@@ -1,0 +1,94 @@
+// E8 — the Fagin-79 substrate claims: bucket occupancy and lookup cost vs.
+// bucket capacity (page size).
+//
+// Expected shape: storage utilization settles near ln 2 ~ 69% independent of
+// bucket capacity; directory size shrinks exponentially with capacity;
+// lookup I/O is flat at ~1 page read (plus rare chain hops) — the headline
+// property of extendible hashing ("at most two page faults to locate the
+// data", with the directory as the first).
+//
+// Uses google-benchmark for the lookup-latency measurements.
+
+#include <benchmark/benchmark.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "exhash/exhash.h"
+
+namespace {
+
+using namespace exhash;
+
+constexpr uint64_t kRecords = 120000;
+
+void PrintOccupancyTable() {
+  std::printf("occupancy after %" PRIu64 " inserts:\n", kRecords);
+  std::printf("%10s %10s %8s %12s %12s %14s\n", "page size", "capacity",
+              "depth", "buckets", "occupancy", "dir entries");
+  for (const size_t page_size : {112, 256, 512, 1024, 4096}) {
+    core::TableOptions options;
+    options.page_size = page_size;
+    options.initial_depth = 1;
+    options.max_depth = 26;
+    core::SequentialExtendibleHash table(options);
+    for (uint64_t k = 0; k < kRecords; ++k) table.Insert(k, k);
+    const auto io = table.IoStats();
+    std::printf("%10zu %10d %8d %12" PRIu64 " %11.1f%% %14" PRIu64 "\n",
+                page_size, table.BucketCapacity(), table.Depth(),
+                io.live_pages,
+                100.0 * double(table.Size()) /
+                    (double(io.live_pages) * table.BucketCapacity()),
+                uint64_t{1} << table.Depth());
+  }
+  std::printf("(theory: asymptotic utilization ln 2 = 69.3%%)\n\n");
+}
+
+void BM_Lookup(benchmark::State& state) {
+  core::TableOptions options;
+  options.page_size = size_t(state.range(0));
+  options.initial_depth = 1;
+  options.max_depth = 26;
+  core::SequentialExtendibleHash table(options);
+  for (uint64_t k = 0; k < kRecords; ++k) table.Insert(k, k);
+  const auto before = table.IoStats();
+  uint64_t i = 0;
+  uint64_t found = 0;
+  for (auto _ : state) {
+    uint64_t v;
+    if (table.Find((i++ * 7) % kRecords, &v)) ++found;
+  }
+  benchmark::DoNotOptimize(found);
+  const auto after = table.IoStats();
+  state.counters["page_reads/op"] =
+      double(after.reads - before.reads) / double(state.iterations());
+}
+BENCHMARK(BM_Lookup)->Arg(112)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_InsertAmortized(benchmark::State& state) {
+  core::TableOptions options;
+  options.page_size = size_t(state.range(0));
+  options.initial_depth = 1;
+  options.max_depth = 26;
+  core::SequentialExtendibleHash table(options);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    table.Insert(k * 0x9e3779b9ULL, k);
+    ++k;
+  }
+  state.counters["splits/op"] =
+      double(table.Stats().splits) / double(state.iterations());
+}
+BENCHMARK(BM_InsertAmortized)->Arg(112)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E8: bucket capacity — occupancy and lookup cost ===\n\n");
+  PrintOccupancyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E3b — directory operation costs vs. depth (supporting data for the growth
+// experiment): doubling copies 2^depth entries, halving is O(1) plus the
+// depthcount rescan, and updatedirectory touches 2^(depth - localdepth)
+// entries.  These are the costs the concurrency story hides behind the
+// alpha lock — the reason doubling "appears atomic" matters.
+
+#include <benchmark/benchmark.h>
+
+#include "core/directory.h"
+
+namespace {
+
+using exhash::core::Directory;
+
+void BM_Double(benchmark::State& state) {
+  const int depth = int(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Directory dir(depth, depth + 1);
+    for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
+      dir.SetEntry(i, uint32_t(i));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dir.Double());
+  }
+  state.counters["entries"] = double(uint64_t{1} << depth);
+}
+BENCHMARK(BM_Double)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_HalveWithRescan(benchmark::State& state) {
+  const int depth = int(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Directory dir(depth, depth);
+    for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
+      dir.SetEntry(i, uint32_t(i % (uint64_t{1} << (depth - 1))));
+    }
+    state.ResumeTiming();
+    dir.Halve();
+    // The paper's top/bottom-half scan to recompute depthcount.
+    benchmark::DoNotOptimize(dir.RecomputeDepthcount());
+  }
+}
+BENCHMARK(BM_HalveWithRescan)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_UpdateEntriesAfterSplit(benchmark::State& state) {
+  const int depth = 16;
+  const int localdepth = int(state.range(0));
+  Directory dir(depth, depth);
+  for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
+    dir.SetEntry(i, uint32_t(i));
+  }
+  for (auto _ : state) {
+    dir.UpdateEntries(7, localdepth, /*pseudokey=*/0b1);
+  }
+  state.counters["entries_touched"] =
+      double(uint64_t{1} << (depth - localdepth));
+}
+BENCHMARK(BM_UpdateEntriesAfterSplit)->Arg(2)->Arg(8)->Arg(14)->Arg(16);
+
+void BM_EntryLookup(benchmark::State& state) {
+  Directory dir(16, 16);
+  for (uint64_t i = 0; i < (uint64_t{1} << 16); ++i) {
+    dir.SetEntry(i, uint32_t(i));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.Entry(i++ & 0xffff));
+  }
+}
+BENCHMARK(BM_EntryLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

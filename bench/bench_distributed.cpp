@@ -1,0 +1,82 @@
+// E6 — message traffic of the distributed design (section 3): messages per
+// user operation as a function of the number of directory replicas and
+// bucket managers.
+//
+// The paper's design goals: requests may go to ANY directory copy
+// (availability), and message traffic should be minimized — in particular a
+// plain find should cost request + op-forward + reply + bucketdone = 4
+// messages regardless of cluster size, while each *structural* update pays
+// a broadcast (copyupdate + ack per extra replica).  This bench verifies
+// that shape.
+//
+// Usage: bench_distributed [ops]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "distributed/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace exhash::dist;
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+
+  std::printf("=== E6: messages per user operation vs. cluster shape ===\n\n");
+  std::printf("%4s %4s | %10s %10s %10s | %12s %12s\n", "D", "B", "find",
+              "insert", "delete", "copyupdates", "total msgs");
+  exhash::bench::PrintRule();
+
+  for (const int dms : {1, 2, 3}) {
+    for (const int bms : {1, 2, 4}) {
+      Cluster::Options options;
+      options.num_directory_managers = dms;
+      options.num_bucket_managers = bms;
+      options.page_size = 256;
+      options.initial_depth = 2;
+      options.spill_per_8 = bms > 1 ? 2 : 0;
+      Cluster cluster(options);
+      auto client = cluster.NewClient();
+
+      auto measure = [&](auto&& fn) -> double {
+        cluster.WaitQuiescent();
+        cluster.ResetNetworkStats();
+        fn();
+        cluster.WaitQuiescent();
+        return double(cluster.network_stats().total_sent) / double(n);
+      };
+
+      const double insert_cost = measure([&] {
+        for (uint64_t k = 0; k < n; ++k) client->Insert(k, k);
+      });
+      const double find_cost = measure([&] {
+        for (uint64_t k = 0; k < n; ++k) client->Find(k, nullptr);
+      });
+      // Capture copyupdate volume during deletes (merge broadcasts).
+      cluster.WaitQuiescent();
+      cluster.ResetNetworkStats();
+      for (uint64_t k = 0; k < n; ++k) client->Remove(k);
+      cluster.WaitQuiescent();
+      const NetworkStats del_stats = cluster.network_stats();
+      const double delete_cost = double(del_stats.total_sent) / double(n);
+      const uint64_t copyupdates =
+          del_stats.per_type[int(MsgType::kCopyUpdate)];
+
+      std::string error;
+      if (!cluster.ValidateQuiescent(0, &error)) {
+        std::printf("VALIDATION FAILED (D=%d B=%d): %s\n", dms, bms,
+                    error.c_str());
+        return 1;
+      }
+      std::printf("%4d %4d | %10.2f %10.2f %10.2f | %12" PRIu64 " %12" PRIu64
+                  "\n",
+                  dms, bms, find_cost, insert_cost, delete_cost, copyupdates,
+                  del_stats.total_sent);
+    }
+  }
+  std::printf(
+      "\nexpected shape: find stays ~4 msgs/op regardless of D and B;\n"
+      "insert/delete grow only through the per-split/merge copyupdate+ack\n"
+      "broadcast, i.e. ~2*(D-1) extra messages per structural change.\n\n");
+  return 0;
+}

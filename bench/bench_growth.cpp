@@ -1,0 +1,70 @@
+// E3 — file growth dynamics (the Figure 2 transitions at scale): splits,
+// directory doublings, depth, and I/O per insert as the file fills.
+//
+// Expected shape (from Fagin 79 analysis): depth grows ~log2(N/capacity);
+// splits/insert settles near 1/capacity; directory doublings are
+// exponentially rare; I/O per insert stays flat (that is the whole point of
+// extendible hashing — no cascading rehash).
+//
+// Usage: bench_growth [total_inserts]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "exhash/exhash.h"
+
+int main(int argc, char** argv) {
+  using namespace exhash;
+  const uint64_t total = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                  : 400000;
+
+  for (const size_t page_size : {size_t(256), size_t(1024)}) {
+    core::TableOptions options;
+    options.page_size = page_size;
+    options.initial_depth = 1;
+    options.max_depth = 26;
+    core::EllisHashTableV2 table(options);
+    const int capacity = table.BucketCapacity();
+
+    std::printf("\n=== E3: growth, page %zu bytes (capacity %d), %" PRIu64
+                " inserts ===\n",
+                page_size, capacity, total);
+    std::printf("%12s %6s %10s %10s %12s %12s %12s\n", "inserts", "depth",
+                "splits", "doublings", "occupancy", "io/insert", "Kops/s");
+    bench::PrintRule();
+
+    uint64_t prev_reads = 0;
+    uint64_t prev_writes = 0;
+    uint64_t inserted = 0;
+    for (uint64_t chunk = total / 8; inserted < total;) {
+      const double t0 = bench::NowSeconds();
+      const uint64_t goal = inserted + chunk;
+      for (; inserted < goal; ++inserted) {
+        table.Insert(inserted * 0x9e3779b9ULL + 1, inserted);
+      }
+      const double dt = bench::NowSeconds() - t0;
+      const auto io = table.IoStats();
+      const auto s = table.Stats();
+      const double occupancy =
+          double(table.Size()) / (double(io.live_pages) * capacity);
+      std::printf("%12" PRIu64 " %6d %10" PRIu64 " %10" PRIu64
+                  " %11.1f%% %12.2f %12.0f\n",
+                  inserted, table.Depth(), s.splits, s.doublings,
+                  occupancy * 100.0,
+                  double(io.reads + io.writes - prev_reads - prev_writes) /
+                      double(chunk),
+                  double(chunk) / dt / 1000.0);
+      prev_reads = io.reads;
+      prev_writes = io.writes;
+    }
+    std::string error;
+    if (!table.Validate(&error)) {
+      std::printf("VALIDATION FAILED: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

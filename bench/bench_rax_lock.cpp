@@ -1,0 +1,127 @@
+// E1 — the lock-compatibility table of section 2.1, live.
+//
+// Part 1 prints the compatibility matrix as actually enforced by RaxLock
+// (the paper's one literal table).  Part 2 (google-benchmark) measures
+// acquisition cost per mode, uncontended and under reader crowds — the
+// constants behind every throughput experiment that follows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "util/rax_lock.h"
+
+namespace {
+
+using exhash::util::LockMode;
+using exhash::util::RaxLock;
+
+const char* ModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kRho:
+      return "rho";
+    case LockMode::kAlpha:
+      return "alpha";
+    case LockMode::kXi:
+      return "xi";
+  }
+  return "?";
+}
+
+void PrintCompatibilityTable() {
+  std::printf("Lock compatibility (request vs. existing), measured live:\n");
+  std::printf("%-22s %6s %6s %6s\n", "", "rho", "alpha", "xi");
+  for (LockMode request :
+       {LockMode::kRho, LockMode::kAlpha, LockMode::kXi}) {
+    std::printf("%-22s", ModeName(request));
+    for (LockMode held : {LockMode::kRho, LockMode::kAlpha, LockMode::kXi}) {
+      RaxLock lock;
+      lock.Lock(held);
+      const bool granted = lock.TryLock(request);
+      if (granted) lock.Unlock(request);
+      lock.Unlock(held);
+      std::printf(" %6s", granted ? "yes" : "no");
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper, section 2.1: rho: yes yes no / alpha: yes no no / "
+              "xi: no no no)\n\n");
+}
+
+void BM_UncontendedRho(benchmark::State& state) {
+  RaxLock lock;
+  for (auto _ : state) {
+    lock.RhoLock();
+    lock.UnRhoLock();
+  }
+}
+BENCHMARK(BM_UncontendedRho);
+
+void BM_UncontendedAlpha(benchmark::State& state) {
+  RaxLock lock;
+  for (auto _ : state) {
+    lock.AlphaLock();
+    lock.UnAlphaLock();
+  }
+}
+BENCHMARK(BM_UncontendedAlpha);
+
+void BM_UncontendedXi(benchmark::State& state) {
+  RaxLock lock;
+  for (auto _ : state) {
+    lock.XiLock();
+    lock.UnXiLock();
+  }
+}
+BENCHMARK(BM_UncontendedXi);
+
+void BM_UpgradeRhoToAlpha(benchmark::State& state) {
+  RaxLock lock;
+  for (auto _ : state) {
+    lock.RhoLock();
+    lock.UpgradeRhoToAlpha();
+    lock.UnAlphaLock();
+    lock.UnRhoLock();
+  }
+}
+BENCHMARK(BM_UpgradeRhoToAlpha);
+
+// Shared readers: N threads all rho-locking one lock.
+void BM_SharedReaders(benchmark::State& state) {
+  static RaxLock lock;
+  for (auto _ : state) {
+    lock.RhoLock();
+    lock.UnRhoLock();
+  }
+}
+BENCHMARK(BM_SharedReaders)->Threads(1)->Threads(2)->Threads(4);
+
+// Readers coexisting with a steady alpha stream (the rho/alpha
+// compatibility that lets finds run during inserts).
+void BM_ReadersWithAlphaTraffic(benchmark::State& state) {
+  static RaxLock lock;
+  if (state.thread_index() == 0) {
+    // Thread 0 plays the updater.
+    for (auto _ : state) {
+      lock.AlphaLock();
+      lock.UnAlphaLock();
+    }
+  } else {
+    for (auto _ : state) {
+      lock.RhoLock();
+      lock.UnRhoLock();
+    }
+  }
+}
+BENCHMARK(BM_ReadersWithAlphaTraffic)->Threads(2)->Threads(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E1: rho/alpha/xi lock (paper section 2.1) ===\n\n");
+  PrintCompatibilityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Shared harness for the experiment suite (DESIGN.md experiment index).
+// Each bench binary prints paper-style tables; these helpers provide the
+// timed mixed-workload runner and table formatting.
+
+#ifndef EXHASH_BENCH_BENCH_UTIL_H_
+#define EXHASH_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/kv_index.h"
+#include "util/histogram.h"
+#include "workload/workload.h"
+
+namespace exhash::bench {
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct MixedRunResult {
+  double seconds = 0;
+  uint64_t ops = 0;
+  double ops_per_sec() const { return seconds > 0 ? double(ops) / seconds : 0; }
+  util::Histogram latency;  // per-op latency in ns (sampled)
+};
+
+struct MixedRunConfig {
+  int threads = 1;
+  uint64_t ops_per_thread = 20000;
+  workload::OpMix mix;
+  workload::KeyDist dist = workload::KeyDist::kUniform;
+  uint64_t key_space = 100000;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  // Record per-op latency for 1 op in `latency_sample_every` (0 = never).
+  uint32_t latency_sample_every = 0;
+  // Only sample latencies of finds (reader-lockout experiment E9).
+  bool latency_finds_only = false;
+};
+
+// Preloads `count` keys drawn from [0, key_space) (every other key so later
+// finds hit ~50% unless the caller loads differently).
+inline void PreloadHalf(core::KeyValueIndex* table, uint64_t key_space) {
+  for (uint64_t k = 0; k < key_space; k += 2) table->Insert(k, k);
+}
+
+// Runs the mixed workload with all threads started together; fills *out
+// with aggregate throughput and (optionally sampled) latency.  Out-param
+// because Histogram holds atomics and cannot move.
+inline void RunMixed(core::KeyValueIndex* table, const MixedRunConfig& config,
+                     MixedRunResult* out) {
+  MixedRunResult& result = *out;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      workload::WorkloadGenerator gen(
+          {.key_space = config.key_space,
+           .dist = config.dist,
+           .zipf_theta = config.zipf_theta,
+           .mix = config.mix,
+           .seed = config.seed},
+          t);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      uint32_t until_sample = config.latency_sample_every;
+      for (uint64_t i = 0; i < config.ops_per_thread; ++i) {
+        const workload::Op op = gen.Next();
+        const bool sample =
+            config.latency_sample_every != 0 && --until_sample == 0 &&
+            (!config.latency_finds_only ||
+             op.type == workload::Op::Type::kFind);
+        std::chrono::steady_clock::time_point start;
+        if (sample) start = std::chrono::steady_clock::now();
+        switch (op.type) {
+          case workload::Op::Type::kFind:
+            table->Find(op.key, nullptr);
+            break;
+          case workload::Op::Type::kInsert:
+            table->Insert(op.key, op.key);
+            break;
+          case workload::Op::Type::kRemove:
+            table->Remove(op.key);
+            break;
+        }
+        if (config.latency_sample_every != 0 && until_sample == 0) {
+          until_sample = config.latency_sample_every;
+          if (sample) {
+            result.latency.Add(uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()));
+          }
+        }
+      }
+    });
+  }
+  while (ready.load() != config.threads) std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.ops = uint64_t(config.threads) * config.ops_per_thread;
+}
+
+// --- table printing ---
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace exhash::bench
+
+#endif  // EXHASH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Disk-backed operation: the hash file actually living on disk pages
+// (pread/pwrite per bucket), as in the paper's model where "the buckets
+// reside on secondary storage".  Shows the file growing bucket-by-bucket as
+// records arrive — no rehash, no compaction, ever — and the I/O ledger per
+// operation type.
+//
+// Usage: disk_backed_store [records] [file]
+
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "exhash/exhash.h"
+
+int main(int argc, char** argv) {
+  using namespace exhash;
+
+  const uint64_t records =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+  const std::string path = argc > 2 ? argv[2] : "/tmp/exhash_demo.pages";
+
+  core::TableOptions options;
+  options.page_size = 4096;
+  options.initial_depth = 2;
+  options.backing_file = path;
+  core::EllisHashTableV2 table(options);
+
+  std::printf("disk-backed extendible hash file: %s (4 KiB pages)\n\n",
+              path.c_str());
+  std::printf("%12s %8s %10s %14s %12s\n", "records", "depth", "pages",
+              "file bytes", "bytes/rec");
+  for (uint64_t k = 0; k < records; ++k) {
+    table.Insert(k, k * 2 + 1);
+    if ((k + 1) % (records / 5) == 0) {
+      struct stat st {};
+      ::stat(path.c_str(), &st);
+      const auto io = table.IoStats();
+      std::printf("%12" PRIu64 " %8d %10" PRIu64 " %14lld %12.1f\n", k + 1,
+                  table.Depth(), io.live_pages,
+                  static_cast<long long>(st.st_size),
+                  double(st.st_size) / double(k + 1));
+    }
+  }
+
+  // Point reads straight off the file.
+  const auto before = table.IoStats();
+  uint64_t hits = 0;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    uint64_t v = 0;
+    if (table.Find(k * 7 % records, &v)) ++hits;
+  }
+  const auto after = table.IoStats();
+  std::printf("\n10000 lookups: %" PRIu64 " hits, %.2f page reads each "
+              "(directory is memory-resident)\n",
+              hits, double(after.reads - before.reads) / 10000.0);
+
+  std::string error;
+  if (!table.Validate(&error)) {
+    std::printf("VALIDATION FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("on-disk structure validated OK\n");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// A distributed key/value store on the paper's section-3 design: replicated
+// directory managers, partitioned bucket managers, asynchronous directory
+// updates ordered by bucket versions, and ack-gated garbage collection.
+//
+// Spins up a cluster, drives it from several client threads, then prints
+// the message-traffic breakdown — the quantity the paper's design goals
+// center on ("a second goal is to minimize message traffic").
+//
+// Usage: distributed_kv [dir_managers] [bucket_managers] [clients]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "distributed/cluster.h"
+
+int main(int argc, char** argv) {
+  using namespace exhash::dist;
+
+  Cluster::Options options;
+  options.num_directory_managers = argc > 1 ? std::atoi(argv[1]) : 2;
+  options.num_bucket_managers = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int num_clients = argc > 3 ? std::atoi(argv[3]) : 3;
+  options.page_size = 256;
+  options.initial_depth = 2;
+  options.spill_per_8 = 2;  // a quarter of split halves placed off-site
+
+  Cluster cluster(options);
+  std::printf("cluster: %d directory replicas, %d bucket managers, %d clients\n",
+              options.num_directory_managers, options.num_bucket_managers,
+              num_clients);
+
+  constexpr uint64_t kPerClient = 2000;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&cluster, c] {
+      auto client = cluster.NewClient();
+      const uint64_t base = uint64_t(c) << 32;
+      for (uint64_t k = 0; k < kPerClient; ++k) client->Insert(base + k, k);
+      for (uint64_t k = 0; k < kPerClient; ++k) client->Find(base + k, nullptr);
+      for (uint64_t k = 0; k < kPerClient; k += 2) client->Remove(base + k);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (!cluster.WaitQuiescent()) {
+    std::printf("cluster failed to quiesce\n");
+    return 1;
+  }
+  std::string error;
+  const uint64_t expected = uint64_t(num_clients) * kPerClient / 2;
+  if (!cluster.ValidateQuiescent(expected, &error)) {
+    std::printf("VALIDATION FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("validated: %" PRIu64 " records, all %d directory replicas "
+              "converged, depth=%d\n\n",
+              expected, options.num_directory_managers,
+              cluster.directory_manager(0).depth());
+
+  const NetworkStats net = cluster.network_stats();
+  const uint64_t total_ops = uint64_t(num_clients) * kPerClient * 5 / 2;
+  std::printf("message traffic (%" PRIu64 " user operations):\n", total_ops);
+  std::printf("  %-18s %10s %12s\n", "type", "count", "per user-op");
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    if (net.per_type[t] == 0) continue;
+    std::printf("  %-18s %10" PRIu64 " %12.3f\n", ToString(MsgType(t)),
+                net.per_type[t], double(net.per_type[t]) / double(total_ops));
+  }
+  std::printf("  %-18s %10" PRIu64 " %12.3f\n", "TOTAL", net.total_sent,
+              double(net.total_sent) / double(total_ops));
+
+  std::printf("\nper bucket manager:\n");
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    const BucketManagerStats s = cluster.bucket_manager(b).stats();
+    std::printf("  manager %d: %" PRIu64 " splits (%" PRIu64 " spilled), %" PRIu64
+                " merges (%" PRIu64 " cross-manager), %" PRIu64
+                " wrongbucket forwards, %" PRIu64 " pages reclaimed\n",
+                b, s.splits_local + s.splits_spilled, s.splits_spilled,
+                s.merges_local + s.merges_remote, s.merges_remote,
+                s.wrongbucket_sent, s.gc_pages);
+  }
+  return 0;
+}

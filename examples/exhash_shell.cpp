@@ -1,0 +1,98 @@
+// An interactive shell over the concurrent extendible hash file: poke at
+// the structure and watch splits, doublings, merges, and halvings happen.
+//
+//   $ exhash_shell
+//   > insert 42 4242
+//   ok
+//   > find 42
+//   42 -> 4242
+//   > dump
+//   extendible hash file: depth=1 depthcount=2 size=1 capacity=4
+//     page 0     [0] localdepth=1 count=1 next=1
+//     page 1     [1] localdepth=1 count=0 next=-1
+//
+// Commands: insert <k> <v> | find <k> | remove <k> | dump | stats |
+//           fill <n> | clear | validate | help | quit
+// Reads from stdin; suitable for piping scripts.
+
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "exhash/exhash.h"
+
+int main() {
+  using namespace exhash;
+
+  core::TableOptions options;
+  options.page_size = 112;  // tiny buckets: structure changes are visible
+  options.initial_depth = 1;
+  core::EllisHashTableV2 table(options);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "insert") {
+      uint64_t k = 0;
+      uint64_t v = 0;
+      in >> k >> v;
+      std::printf("%s\n", table.Insert(k, v) ? "ok" : "duplicate");
+    } else if (cmd == "find") {
+      uint64_t k = 0;
+      in >> k;
+      uint64_t v = 0;
+      if (table.Find(k, &v)) {
+        std::printf("%" PRIu64 " -> %" PRIu64 "\n", k, v);
+      } else {
+        std::printf("not found\n");
+      }
+    } else if (cmd == "remove") {
+      uint64_t k = 0;
+      in >> k;
+      std::printf("%s\n", table.Remove(k) ? "ok" : "not found");
+    } else if (cmd == "dump") {
+      std::fputs(table.DebugString().c_str(), stdout);
+    } else if (cmd == "stats") {
+      const core::TableStats s = table.Stats();
+      std::printf("size=%" PRIu64 " depth=%d splits=%" PRIu64
+                  " doublings=%" PRIu64 " merges=%" PRIu64
+                  " halvings=%" PRIu64 " recoveries=%" PRIu64 "\n",
+                  table.Size(), table.Depth(), s.splits, s.doublings,
+                  s.merges, s.halvings, s.wrong_bucket_hops);
+    } else if (cmd == "fill") {
+      uint64_t n = 0;
+      in >> n;
+      uint64_t added = 0;
+      for (uint64_t k = 0; k < n; ++k) {
+        if (table.Insert(k, k)) ++added;
+      }
+      std::printf("added %" PRIu64 " records, depth=%d\n", added,
+                  table.Depth());
+    } else if (cmd == "clear") {
+      std::vector<uint64_t> keys;
+      table.ForEachRecord(
+          [&keys](uint64_t k, uint64_t) { keys.push_back(k); });
+      for (uint64_t k : keys) table.Remove(k);
+      std::printf("removed %zu records, depth=%d\n", keys.size(),
+                  table.Depth());
+    } else if (cmd == "validate") {
+      std::string error;
+      std::printf("%s\n",
+                  table.Validate(&error) ? "ok" : error.c_str());
+    } else if (cmd == "help") {
+      std::printf("insert <k> <v> | find <k> | remove <k> | dump | stats | "
+                  "fill <n> | clear | validate | quit\n");
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,358 @@
+#include "baseline/blink_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace exhash::baseline {
+
+struct BlinkTree::Node {
+  explicit Node(bool leaf, int lvl) : is_leaf(leaf), level(lvl) {}
+
+  std::shared_mutex latch;
+  const bool is_leaf;
+  const int level;  // 0 == leaf
+  bool has_high = false;
+  uint64_t high_key = 0;  // node covers keys < high_key (when has_high)
+  Node* right = nullptr;
+  std::vector<uint64_t> keys;      // sorted separators / record keys
+  std::vector<uint64_t> values;    // leaves only, parallel to keys
+  std::vector<Node*> children;     // internal only, keys.size() + 1 entries
+
+  // Index of the child responsible for `key`: child i covers
+  // [keys[i-1], keys[i]).
+  size_t ChildIndex(uint64_t key) const {
+    return std::upper_bound(keys.begin(), keys.end(), key) - keys.begin();
+  }
+  bool Covers(uint64_t key) const { return !has_high || key < high_key; }
+};
+
+BlinkTree::BlinkTree(Options options) : options_(options) {
+  assert(options_.fanout >= 4);
+  Node* root = new Node(/*leaf=*/true, /*lvl=*/0);
+  all_nodes_.push_back(root);
+  root_.store(root, std::memory_order_release);
+}
+
+BlinkTree::~BlinkTree() {
+  for (Node* n : all_nodes_) delete n;
+}
+
+void BlinkTree::ChargeNodeAccess() const {
+  const uint64_t ns = options_.node_latency_ns;
+  if (ns == 0) return;
+  if (ns >= 10000) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+BlinkTree::Node* BlinkTree::DescendToLeaf(uint64_t key,
+                                          std::vector<Node*>* path) const {
+  Node* n = root_.load(std::memory_order_acquire);
+  while (!n->is_leaf) {
+    ChargeNodeAccess();
+    n->latch.lock_shared();
+    while (!n->Covers(key)) {
+      Node* r = n->right;
+      n->latch.unlock_shared();
+      move_rights_.fetch_add(1, std::memory_order_relaxed);
+      n = r;
+      ChargeNodeAccess();
+      n->latch.lock_shared();
+    }
+    Node* child = n->children[n->ChildIndex(key)];
+    n->latch.unlock_shared();
+    if (path != nullptr) path->push_back(n);
+    n = child;
+  }
+  return n;
+}
+
+bool BlinkTree::Find(uint64_t key, uint64_t* value) {
+  finds_.fetch_add(1, std::memory_order_relaxed);
+  Node* n = DescendToLeaf(key, nullptr);
+  ChargeNodeAccess();
+  n->latch.lock_shared();
+  while (!n->Covers(key)) {
+    Node* r = n->right;
+    n->latch.unlock_shared();
+    move_rights_.fetch_add(1, std::memory_order_relaxed);
+    n = r;
+    ChargeNodeAccess();
+    n->latch.lock_shared();
+  }
+  const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+  const bool found = it != n->keys.end() && *it == key;
+  if (found && value != nullptr) {
+    *value = n->values[it - n->keys.begin()];
+  }
+  n->latch.unlock_shared();
+  return found;
+}
+
+void BlinkTree::InsertIntoParent(std::vector<Node*>* path, Node* left,
+                                 uint64_t sep, Node* right) {
+  while (true) {
+    Node* parent = nullptr;
+    if (!path->empty()) {
+      parent = path->back();
+      path->pop_back();
+    } else {
+      // `left` may be (or have been) the root.
+      std::lock_guard<std::mutex> guard(root_change_mutex_);
+      if (root_.load(std::memory_order_acquire) == left) {
+        Node* new_root = new Node(/*leaf=*/false, left->level + 1);
+        new_root->keys.push_back(sep);
+        new_root->children.push_back(left);
+        new_root->children.push_back(right);
+        {
+          std::lock_guard<std::mutex> reg(all_nodes_mutex_);
+          all_nodes_.push_back(new_root);
+        }
+        root_.store(new_root, std::memory_order_release);
+        return;
+      }
+      // Someone grew the tree past us: re-descend to the level above
+      // `left` and continue the propagation from there.
+      Node* n = root_.load(std::memory_order_acquire);
+      while (n->level > left->level + 1) {
+        ChargeNodeAccess();
+        n->latch.lock_shared();
+        while (!n->Covers(sep)) {
+          Node* r = n->right;
+          n->latch.unlock_shared();
+          n = r;
+          ChargeNodeAccess();
+          n->latch.lock_shared();
+        }
+        Node* child = n->children[n->ChildIndex(sep)];
+        n->latch.unlock_shared();
+        path->push_back(n);
+        n = child;
+      }
+      parent = n;
+    }
+
+    ChargeNodeAccess();
+    parent->latch.lock();
+    while (!parent->Covers(sep)) {
+      Node* r = parent->right;
+      parent->latch.unlock();
+      move_rights_.fetch_add(1, std::memory_order_relaxed);
+      parent = r;
+      ChargeNodeAccess();
+      parent->latch.lock();
+    }
+    const size_t pos =
+        std::upper_bound(parent->keys.begin(), parent->keys.end(), sep) -
+        parent->keys.begin();
+    parent->keys.insert(parent->keys.begin() + pos, sep);
+    parent->children.insert(parent->children.begin() + pos + 1, right);
+
+    if (parent->keys.size() <= static_cast<size_t>(options_.fanout)) {
+      parent->latch.unlock();
+      return;
+    }
+
+    // Split the internal node: promote the middle separator.
+    const size_t mid = parent->keys.size() / 2;
+    const uint64_t promoted = parent->keys[mid];
+    Node* new_right = new Node(/*leaf=*/false, parent->level);
+    new_right->keys.assign(parent->keys.begin() + mid + 1,
+                           parent->keys.end());
+    new_right->children.assign(parent->children.begin() + mid + 1,
+                               parent->children.end());
+    new_right->has_high = parent->has_high;
+    new_right->high_key = parent->high_key;
+    new_right->right = parent->right;
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    parent->has_high = true;
+    parent->high_key = promoted;
+    parent->right = new_right;
+    {
+      std::lock_guard<std::mutex> reg(all_nodes_mutex_);
+      all_nodes_.push_back(new_right);
+    }
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    parent->latch.unlock();
+
+    left = parent;
+    sep = promoted;
+    right = new_right;
+  }
+}
+
+bool BlinkTree::Insert(uint64_t key, uint64_t value) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Node*> path;
+  Node* n = DescendToLeaf(key, &path);
+  ChargeNodeAccess();
+  n->latch.lock();
+  while (!n->Covers(key)) {
+    Node* r = n->right;
+    n->latch.unlock();
+    move_rights_.fetch_add(1, std::memory_order_relaxed);
+    n = r;
+    ChargeNodeAccess();
+    n->latch.lock();
+  }
+
+  const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+  if (it != n->keys.end() && *it == key) {
+    n->latch.unlock();
+    return false;
+  }
+  const size_t pos = it - n->keys.begin();
+  n->keys.insert(n->keys.begin() + pos, key);
+  n->values.insert(n->values.begin() + pos, value);
+  size_.fetch_add(1, std::memory_order_relaxed);
+
+  if (n->keys.size() <= static_cast<size_t>(options_.fanout)) {
+    n->latch.unlock();
+    return true;
+  }
+
+  // Split the leaf.  The new right sibling becomes reachable through the
+  // link pointer before the separator is posted to the parent, so
+  // concurrent searches recover by moving right — Lehman-Yao's invariant.
+  const size_t mid = n->keys.size() / 2;
+  const uint64_t sep = n->keys[mid];
+  Node* new_right = new Node(/*leaf=*/true, 0);
+  new_right->keys.assign(n->keys.begin() + mid, n->keys.end());
+  new_right->values.assign(n->values.begin() + mid, n->values.end());
+  new_right->has_high = n->has_high;
+  new_right->high_key = n->high_key;
+  new_right->right = n->right;
+  n->keys.resize(mid);
+  n->values.resize(mid);
+  n->has_high = true;
+  n->high_key = sep;
+  n->right = new_right;
+  {
+    std::lock_guard<std::mutex> reg(all_nodes_mutex_);
+    all_nodes_.push_back(new_right);
+  }
+  splits_.fetch_add(1, std::memory_order_relaxed);
+  n->latch.unlock();
+
+  InsertIntoParent(&path, n, sep, new_right);
+  return true;
+}
+
+bool BlinkTree::Remove(uint64_t key) {
+  removes_.fetch_add(1, std::memory_order_relaxed);
+  Node* n = DescendToLeaf(key, nullptr);
+  ChargeNodeAccess();
+  n->latch.lock();
+  while (!n->Covers(key)) {
+    Node* r = n->right;
+    n->latch.unlock();
+    move_rights_.fetch_add(1, std::memory_order_relaxed);
+    n = r;
+    ChargeNodeAccess();
+    n->latch.lock();
+  }
+  const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+  const bool found = it != n->keys.end() && *it == key;
+  if (found) {
+    const size_t pos = it - n->keys.begin();
+    n->keys.erase(n->keys.begin() + pos);
+    n->values.erase(n->values.begin() + pos);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  n->latch.unlock();
+  return found;
+}
+
+uint64_t BlinkTree::ForEachRecord(
+    const std::function<void(uint64_t key, uint64_t value)>& visit) {
+  Node* n = root_.load(std::memory_order_acquire);
+  while (!n->is_leaf) {
+    ChargeNodeAccess();
+    n->latch.lock_shared();
+    Node* child = n->children.front();
+    n->latch.unlock_shared();
+    n = child;
+  }
+  uint64_t visited = 0;
+  while (n != nullptr) {
+    ChargeNodeAccess();
+    n->latch.lock_shared();
+    for (size_t i = 0; i < n->keys.size(); ++i) {
+      visit(n->keys[i], n->values[i]);
+      ++visited;
+    }
+    Node* right = n->right;
+    n->latch.unlock_shared();
+    n = right;
+  }
+  return visited;
+}
+
+core::TableStats BlinkTree::Stats() const {
+  core::TableStats s;
+  s.finds = finds_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.removes = removes_.load(std::memory_order_relaxed);
+  s.splits = splits_.load(std::memory_order_relaxed);
+  s.wrong_bucket_hops = move_rights_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int BlinkTree::Height() const {
+  return root_.load(std::memory_order_acquire)->level + 1;
+}
+
+bool BlinkTree::Validate(std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  // Per-node sanity.
+  {
+    std::lock_guard<std::mutex> reg(all_nodes_mutex_);
+    for (const Node* n : all_nodes_) {
+      if (!std::is_sorted(n->keys.begin(), n->keys.end())) {
+        return fail("node keys not sorted");
+      }
+      if (n->has_high && !n->keys.empty() && n->keys.back() >= n->high_key &&
+          n->is_leaf) {
+        return fail("leaf key >= high key");
+      }
+      if (n->is_leaf && n->keys.size() != n->values.size()) {
+        return fail("leaf keys/values size mismatch");
+      }
+      if (!n->is_leaf && n->children.size() != n->keys.size() + 1) {
+        return fail("internal children/keys size mismatch");
+      }
+    }
+  }
+
+  // Leaf chain: strictly increasing keys, total count == Size().
+  Node* n = root_.load(std::memory_order_acquire);
+  while (!n->is_leaf) n = n->children.front();
+  uint64_t count = 0;
+  bool have_prev = false;
+  uint64_t prev = 0;
+  while (n != nullptr) {
+    for (uint64_t k : n->keys) {
+      if (have_prev && k <= prev) return fail("leaf chain keys not increasing");
+      prev = k;
+      have_prev = true;
+      ++count;
+    }
+    n = n->right;
+  }
+  if (count != Size()) return fail("leaf chain count != Size()");
+  return true;
+}
+
+}  // namespace exhash::baseline

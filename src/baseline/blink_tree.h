@@ -1,0 +1,99 @@
+// A Lehman-Yao B-link tree [Lehman 81] — the concurrent B-tree solution the
+// paper repeatedly compares against ("the approach is similar to the use of
+// link pointers in Lehman and Yao's Blink-tree solution", section 2.1).
+//
+// Every node carries a right link and a high key; a process that lands on a
+// node no longer responsible for its key (because of a concurrent split)
+// simply moves right — the same recovery idea the hash file's `next` links
+// provide.  Searches take only one shared latch at a time, with no
+// latch coupling; inserts latch exclusively at the leaf and propagate splits
+// upward, moving right at each level as needed.
+//
+// As in Lehman-Yao, deletion does not merge underfull nodes (their section 4
+// leaves reorganization to an offline process); this is the standard
+// comparator behaviour and is noted in EXPERIMENTS.md.
+
+#ifndef EXHASH_BASELINE_BLINK_TREE_H_
+#define EXHASH_BASELINE_BLINK_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/kv_index.h"
+
+namespace exhash::baseline {
+
+class BlinkTree : public core::KeyValueIndex {
+ public:
+  struct Options {
+    // Max records per leaf / separators per internal node.
+    int fanout = 32;
+    // Charged on every node visit, emulating one page I/O per node — the
+    // disk-resident regime, where a B-tree pays height I/Os per operation
+    // while the hash file pays one.  Latencies >= 10us sleep (overlappable,
+    // like a real disk wait); smaller ones spin.
+    uint64_t node_latency_ns = 0;
+  };
+
+  BlinkTree() : BlinkTree(Options{}) {}
+  explicit BlinkTree(Options options);
+  ~BlinkTree() override;
+  BlinkTree(const BlinkTree&) = delete;
+  BlinkTree& operator=(const BlinkTree&) = delete;
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+  uint64_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  std::string Name() const override { return "blink"; }
+  core::TableStats Stats() const override;
+  bool Validate(std::string* error) override;
+
+  // Leaf-chain scan (keys in ascending order), one shared latch at a time.
+  uint64_t ForEachRecord(
+      const std::function<void(uint64_t key, uint64_t value)>& visit) override;
+
+  // Tree height (levels), for reporting.
+  int Height() const;
+
+ private:
+  struct Node;
+
+  // Descends from the root to the leaf that may hold `key`, with move-right
+  // recovery at every level.  Fills `path` with the internal nodes visited
+  // (deepest last) when non-null, for split propagation.
+  Node* DescendToLeaf(uint64_t key, std::vector<Node*>* path) const;
+
+  void InsertIntoParent(std::vector<Node*>* path, Node* left, uint64_t sep,
+                        Node* right);
+
+  // Emulated page-I/O charge per node visit (Options::node_latency_ns).
+  void ChargeNodeAccess() const;
+
+  Options options_;
+  std::atomic<Node*> root_;
+  mutable std::mutex root_change_mutex_;
+  std::atomic<uint64_t> size_{0};
+  mutable std::atomic<uint64_t> finds_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> removes_{0};
+  std::atomic<uint64_t> splits_{0};
+  mutable std::atomic<uint64_t> move_rights_{0};
+
+  // Nodes are never reclaimed while the tree lives (splits only ever add
+  // nodes; Lehman-Yao has no merging), so readers can traverse latch-free
+  // between nodes.  All nodes ever allocated, for the destructor.
+  std::mutex all_nodes_mutex_;
+  std::vector<Node*> all_nodes_;
+};
+
+}  // namespace exhash::baseline
+
+#endif  // EXHASH_BASELINE_BLINK_TREE_H_

@@ -1,0 +1,3 @@
+#include "baseline/global_lock_hash.h"
+
+// Header-only implementation; this translation unit anchors the library.

@@ -1,0 +1,56 @@
+// The naive concurrent baseline: the sequential extendible hash file behind
+// one global mutex.  Everything the locking protocols buy is measured
+// against this.
+
+#ifndef EXHASH_BASELINE_GLOBAL_LOCK_HASH_H_
+#define EXHASH_BASELINE_GLOBAL_LOCK_HASH_H_
+
+#include <mutex>
+#include <string>
+
+#include "core/kv_index.h"
+#include "core/options.h"
+#include "core/sequential_hash.h"
+
+namespace exhash::baseline {
+
+class GlobalLockHash : public core::KeyValueIndex {
+ public:
+  explicit GlobalLockHash(const core::TableOptions& options)
+      : inner_(options) {}
+
+  bool Find(uint64_t key, uint64_t* value) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.Find(key, value);
+  }
+  bool Insert(uint64_t key, uint64_t value) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.Insert(key, value);
+  }
+  bool Remove(uint64_t key) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.Remove(key);
+  }
+  uint64_t Size() const override { return inner_.Size(); }
+  std::string Name() const override { return "global-lock"; }
+  int Depth() const override { return inner_.Depth(); }
+  core::TableStats Stats() const override { return inner_.Stats(); }
+  bool Validate(std::string* error) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.Validate(error);
+  }
+  uint64_t ForEachRecord(
+      const std::function<void(uint64_t key, uint64_t value)>& visit)
+      override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.ForEachRecord(visit);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  core::SequentialExtendibleHash inner_;
+};
+
+}  // namespace exhash::baseline
+
+#endif  // EXHASH_BASELINE_GLOBAL_LOCK_HASH_H_

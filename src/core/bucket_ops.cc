@@ -1,0 +1,63 @@
+#include "core/bucket_ops.h"
+
+#include "util/bits.h"
+
+namespace exhash::core {
+
+bool SplitRecords(const storage::Bucket& current, uint64_t key, uint64_t value,
+                  const util::Hasher& hasher, storage::PageId oldpage,
+                  storage::PageId newpage, storage::Bucket* half1,
+                  storage::Bucket* half2) {
+  const int new_ld = current.localdepth + 1;
+
+  half1->Clear();
+  half1->localdepth = new_ld;
+  half1->commonbits = current.commonbits;  // bit new_ld is 0
+  half1->next = newpage;
+  half1->prev = current.prev;
+  half1->next_mgr = current.next_mgr;  // overwritten by distributed callers
+  half1->prev_mgr = current.prev_mgr;
+  half1->version = current.version + 1;
+  half1->deleted = false;
+
+  half2->Clear();
+  half2->localdepth = new_ld;
+  half2->commonbits =
+      current.commonbits | (util::Pseudokey{1} << (new_ld - 1));
+  half2->next = current.next;
+  half2->prev = oldpage;  // the bucket it split off from (section 3)
+  half2->next_mgr = current.next_mgr;
+  half2->prev_mgr = current.prev_mgr;
+  half2->version = current.version + 1;
+  half2->deleted = false;
+
+  for (const storage::Record& r : current.records()) {
+    const util::Pseudokey pk = hasher.Hash(r.key);
+    storage::Bucket* half = util::IsOnePartner(pk, new_ld) ? half2 : half1;
+    half->Add(r.key, r.value);
+  }
+
+  const util::Pseudokey pk = hasher.Hash(key);
+  storage::Bucket* target = util::IsOnePartner(pk, new_ld) ? half2 : half1;
+  if (target->full()) return false;  // caller retries the insert
+  target->Add(key, value);
+  return true;
+}
+
+TableStats AtomicTableStats::Snapshot() const {
+  TableStats s;
+  s.finds = finds.load(std::memory_order_relaxed);
+  s.inserts = inserts.load(std::memory_order_relaxed);
+  s.removes = removes.load(std::memory_order_relaxed);
+  s.splits = splits.load(std::memory_order_relaxed);
+  s.merges = merges.load(std::memory_order_relaxed);
+  s.doublings = doublings.load(std::memory_order_relaxed);
+  s.halvings = halvings.load(std::memory_order_relaxed);
+  s.wrong_bucket_hops = wrong_bucket_hops.load(std::memory_order_relaxed);
+  s.insert_retries = insert_retries.load(std::memory_order_relaxed);
+  s.delete_restarts = delete_restarts.load(std::memory_order_relaxed);
+  s.partner_relocks = partner_relocks.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace exhash::core

@@ -1,0 +1,49 @@
+// Structure-level bucket operations shared by all table variants.
+
+#ifndef EXHASH_CORE_BUCKET_OPS_H_
+#define EXHASH_CORE_BUCKET_OPS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/kv_index.h"
+#include "storage/bucket.h"
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+
+// The paper's split(current, half1, half2, z, newpage): distributes the
+// records of a full bucket between two halves by bit `localdepth+1` of each
+// record's pseudokey, links the halves (half1 keeps the old page and points
+// at the new page; half2 inherits the old next pointer — the order that
+// makes a split "appear as an atomic action", section 2.2), and attempts to
+// place the new record (key, value) into its half.
+//
+// Returns true iff the new record fit ("done"); when false the caller
+// re-runs the insert against the updated structure, exactly the paper's
+// `if (!done) insert(z)`.
+bool SplitRecords(const storage::Bucket& current, uint64_t key, uint64_t value,
+                  const util::Hasher& hasher, storage::PageId oldpage,
+                  storage::PageId newpage, storage::Bucket* half1,
+                  storage::Bucket* half2);
+
+// Atomic mirror of TableStats, updated by the table implementations.
+struct AtomicTableStats {
+  std::atomic<uint64_t> finds{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> removes{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> merges{0};
+  std::atomic<uint64_t> doublings{0};
+  std::atomic<uint64_t> halvings{0};
+  std::atomic<uint64_t> wrong_bucket_hops{0};
+  std::atomic<uint64_t> insert_retries{0};
+  std::atomic<uint64_t> delete_restarts{0};
+  std::atomic<uint64_t> partner_relocks{0};
+
+  TableStats Snapshot() const;
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_BUCKET_OPS_H_

@@ -1,0 +1,63 @@
+#include "core/directory.h"
+
+#include <cassert>
+
+namespace exhash::core {
+
+Directory::Directory(int initial_depth, int max_depth)
+    : max_depth_(max_depth), depth_(initial_depth), depthcount_(0) {
+  assert(initial_depth >= 0 && initial_depth <= max_depth);
+  assert(max_depth <= 30);
+  entries_ = std::make_unique<std::atomic<storage::PageId>[]>(
+      uint64_t{1} << max_depth);
+  for (uint64_t i = 0; i < (uint64_t{1} << max_depth); ++i) {
+    entries_[i].store(storage::kInvalidPage, std::memory_order_relaxed);
+  }
+}
+
+void Directory::UpdateEntries(storage::PageId page, int localdepth,
+                              util::Pseudokey pseudokey) {
+  const int d = depth();
+  assert(localdepth <= d);
+  const uint64_t pattern = util::LowBits(pseudokey, localdepth);
+  const uint64_t stride = uint64_t{1} << localdepth;
+  for (uint64_t i = pattern; i < (uint64_t{1} << d); i += stride) {
+    SetEntry(i, page);
+  }
+}
+
+bool Directory::Double() {
+  const int d = depth();
+  if (d >= max_depth_) return false;
+  const uint64_t half = uint64_t{1} << d;
+  for (uint64_t i = 0; i < half; ++i) {
+    entries_[half + i].store(entries_[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  }
+  // Publishing the new depth with release ordering makes the copied upper
+  // half visible to any reader that acquires the larger depth.
+  depth_.store(d + 1, std::memory_order_release);
+  return true;
+}
+
+void Directory::Halve() {
+  const int d = depth();
+  assert(d >= 1);
+  depth_.store(d - 1, std::memory_order_release);
+}
+
+int Directory::RecomputeDepthcount() const {
+  const int d = depth();
+  if (d == 0) return 1;  // the single bucket trivially has localdepth == 0
+  const uint64_t half = uint64_t{1} << (d - 1);
+  int differing = 0;
+  for (uint64_t i = 0; i < half; ++i) {
+    if (entries_[i].load(std::memory_order_relaxed) !=
+        entries_[half + i].load(std::memory_order_relaxed)) {
+      ++differing;
+    }
+  }
+  return 2 * differing;
+}
+
+}  // namespace exhash::core

@@ -1,0 +1,98 @@
+// The directory: an array of bucket pointers indexed by the low `depth` bits
+// of the pseudokey.
+//
+// Concurrency contract (matches the paper's structure-level reasoning):
+//   * Entries and depth are atomics so readers holding only a rho lock can
+//     index the directory while an alpha-holding inserter rewrites entries;
+//     any interleaving yields either the old or the new pointer, and stale
+//     pointers are recoverable via bucket next links.
+//   * Double() copies the lower half into the upper half *before*
+//     incrementing depth — "it is the act of incrementing depth that makes
+//     the new directory entries visible" (section 2.3) — so doubling appears
+//     atomic to readers.
+//   * Halve() simply decrements depth; the abandoned upper half is not
+//     reused until a subsequent Double() re-copies it.
+//   * The entry array is preallocated at 2^max_depth (the paper's
+//     `int directory[1 << maxdepth]`), so no reallocation ever invalidates a
+//     concurrent reader.
+//
+// Mutual exclusion among writers (alpha/xi) is the caller's job.
+
+#ifndef EXHASH_CORE_DIRECTORY_H_
+#define EXHASH_CORE_DIRECTORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "storage/page.h"
+#include "util/bits.h"
+
+namespace exhash::core {
+
+class Directory {
+ public:
+  Directory(int initial_depth, int max_depth);
+
+  // Current depth.  Acquire-loads so a reader that observes a post-double
+  // depth also observes the copied entries.
+  int depth() const { return depth_.load(std::memory_order_acquire); }
+
+  int max_depth() const { return max_depth_; }
+
+  uint64_t NumEntries() const { return uint64_t{1} << depth(); }
+
+  // The paper's indexdirectory: entry at the low `depth` bits of pk.  The
+  // caller supplies the depth it read, keeping the read of depth and the
+  // indexing consistent within one operation.
+  storage::PageId Entry(uint64_t index) const {
+    return entries_[index].load(std::memory_order_acquire);
+  }
+
+  void SetEntry(uint64_t index, storage::PageId page) {
+    entries_[index].store(page, std::memory_order_release);
+  }
+
+  // The paper's updatedirectory(page, localdepth, pseudokey): points every
+  // directory entry whose low `localdepth` bits equal `pseudokey`'s at
+  // `page`.  Used after a split (aim the new bucket's pattern at the new
+  // page) and after a merge (aim the dead partner's pattern at the survivor).
+  void UpdateEntries(storage::PageId page, int localdepth,
+                     util::Pseudokey pseudokey);
+
+  // Doubles the directory (copy lower half up, then ++depth).  Returns false
+  // if max_depth would be exceeded (callers treat this as "file full";
+  // benchmarks size max_depth generously).
+  bool Double();
+
+  // Halves the directory (--depth).  Caller must have established
+  // depthcount == 0, i.e. no bucket has localdepth == depth.
+  void Halve();
+
+  // --- depthcount: number of buckets whose localdepth == depth ---
+  // Maintained by structure-modifying operations (section 2.2); only ever
+  // accessed under an updater lock, but stored as an atomic so the validator
+  // can read it quiescently without formal UB.
+  int depthcount() const { return depthcount_.load(std::memory_order_relaxed); }
+  void set_depthcount(int v) {
+    depthcount_.store(v, std::memory_order_relaxed);
+  }
+  void AddDepthcount(int delta) {
+    depthcount_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Recomputes depthcount by the paper's scan: corresponding entries in the
+  // top and bottom halves that differ identify buckets of full depth (two
+  // per differing pair).
+  int RecomputeDepthcount() const;
+
+ private:
+  const int max_depth_;
+  std::atomic<int> depth_;
+  std::atomic<int> depthcount_;
+  std::unique_ptr<std::atomic<storage::PageId>[]> entries_;
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_DIRECTORY_H_

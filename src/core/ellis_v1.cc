@@ -1,0 +1,230 @@
+#include "core/ellis_v1.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace exhash::core {
+
+EllisHashTableV1::EllisHashTableV1(const TableOptions& options)
+    : TableBase(options) {
+  InitBuckets();
+}
+
+// Figure 5.  rho-lock the directory, lock-couple onto the bucket, release
+// the directory, then chain-walk with coupled rho locks until the bucket's
+// commonbits match the pseudokey.
+bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
+  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+
+  dir_lock_.RhoLock();
+  storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->RhoLock();
+  dir_lock_.UnRhoLock();
+
+  storage::Bucket current(capacity_);
+  GetBucket(oldpage, &current);
+  while (current.deleted ||
+         !util::MatchesCommonBits(pk, current.commonbits,
+                                  current.localdepth)) {
+    // Wrong bucket: a split moved the data after we read the directory.
+    // The next lock is always granted before the current one is released,
+    // which "prevents processes from leapfrogging each other" (section 2.2).
+    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    const storage::PageId newpage = current.next;
+    util::RaxLock* new_lock = &locks_.For(newpage);
+    new_lock->RhoLock();
+    GetBucket(newpage, &current);
+    old_lock->UnRhoLock();
+    old_lock = new_lock;
+    oldpage = newpage;
+  }
+
+  const bool found = current.Search(key, value);
+  old_lock->UnRhoLock();
+  return found;
+}
+
+// Figure 6.  alpha-lock the directory for the whole operation; readers still
+// pass, other updaters serialize.  No wrong-bucket recovery is needed: the
+// alpha lock guarantees the directory entry is current.
+bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  storage::Bucket current(capacity_);
+  storage::Bucket half1(capacity_);
+  storage::Bucket half2(capacity_);
+
+  while (true) {
+    dir_lock_.AlphaLock();
+    const storage::PageId oldpage =
+        dir_.Entry(util::LowBits(pk, dir_.depth()));
+    util::RaxLock& bucket_lock = locks_.For(oldpage);
+    bucket_lock.AlphaLock();
+    GetBucket(oldpage, &current);
+
+    if (current.Search(key)) {
+      dir_lock_.UnAlphaLock();
+      bucket_lock.UnAlphaLock();
+      return false;
+    }
+
+    if (!current.full()) {
+      // The directory will not be affected: release it before doing the
+      // bucket write so other updaters can proceed.
+      dir_lock_.UnAlphaLock();
+      current.Add(key, value);
+      PutBucket(oldpage, current);
+      bucket_lock.UnAlphaLock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+
+    // Current is full: split (and double the directory first if the bucket
+    // is already at full depth).
+    if (current.localdepth == dir_.depth()) {
+      if (!dir_.Double()) {
+        std::fprintf(stderr,
+                     "exhash: directory exceeded max_depth=%d — raise "
+                     "TableOptions::max_depth\n",
+                     dir_.max_depth());
+        std::abort();
+      }
+      dir_.set_depthcount(0);
+      stats_.doublings.fetch_add(1, std::memory_order_relaxed);
+    }
+    const storage::PageId newpage = AllocBucket();
+    const bool done = SplitRecords(current, key, value, hasher(), oldpage,
+                                   newpage, &half1, &half2);
+    // Write the unreachable new half first; replacing the old page then
+    // publishes the split as one atomic page write (section 2.3).
+    PutBucket(newpage, half2);
+    PutBucket(oldpage, half1);
+    bucket_lock.UnAlphaLock();
+    dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
+    if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    dir_lock_.UnAlphaLock();
+
+    if (done) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // The paper's `if (!done) insert(z)`: retry from scratch.
+    stats_.insert_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Figure 7.  xi-lock the directory and the target bucket; if a merge is
+// possible, xi-lock the partner too — releasing and re-acquiring in chain
+// order when the partner precedes the target, to avoid deadlock with
+// chain-walking readers.
+bool EllisHashTableV1::Remove(uint64_t key) {
+  stats_.removes.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  storage::Bucket current(capacity_);
+  storage::Bucket brother(capacity_);
+
+  dir_lock_.XiLock();
+  const uint64_t selectedbits = util::LowBits(pk, dir_.depth());
+  const storage::PageId oldpage = dir_.Entry(selectedbits);
+  util::RaxLock& old_lock = locks_.For(oldpage);
+  old_lock.XiLock();
+  GetBucket(oldpage, &current);
+
+  // Merge only when deleting the lone record of a depth>1 bucket.  (The
+  // membership check is our fix to Figure 7; see the class comment.)
+  const bool try_merge = options_.enable_merging && current.count() <= 1 &&
+                         current.localdepth > 1 && current.Search(key);
+  if (!try_merge) {
+    dir_lock_.UnXiLock();
+    const bool removed = current.Remove(key);
+    if (removed) {
+      PutBucket(oldpage, current);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    old_lock.UnXiLock();
+    return removed;
+  }
+
+  storage::PageId partnerpage;
+  storage::PageId merged;
+  storage::PageId garbage;
+  if (!util::IsOnePartner(pk, current.localdepth)) {
+    // The key lives in the "0" partner; its partner follows in the chain,
+    // so locking it directly respects the lock ordering.
+    partnerpage = current.next;
+    locks_.For(partnerpage).XiLock();
+    merged = oldpage;
+    garbage = partnerpage;
+  } else {
+    // The key lives in the "1" partner: the "0" partner precedes us in the
+    // chain.  Release our lock and re-acquire both in chain order to avoid
+    // deadlock with a reader following next links from partner to us.
+    partnerpage = dir_.Entry(util::LowBits(
+        pk & ~(util::Pseudokey{1} << (current.localdepth - 1)), dir_.depth()));
+    old_lock.UnXiLock();
+    stats_.partner_relocks.fetch_add(1, std::memory_order_relaxed);
+    locks_.For(partnerpage).XiLock();
+    old_lock.XiLock();
+    // The directory xi-lock excluded all updaters throughout, so `current`
+    // is still accurate; no re-read is needed (unlike the second solution).
+    merged = partnerpage;
+    garbage = oldpage;
+  }
+  GetBucket(partnerpage, &brother);
+
+  if (current.localdepth != brother.localdepth) {
+    // Partner split deeper (or merged shallower): not mergable.
+    current.Remove(key);
+    PutBucket(oldpage, current);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    locks_.For(partnerpage).UnXiLock();
+    old_lock.UnXiLock();
+    dir_lock_.UnXiLock();
+    return true;
+  }
+
+  // Merge.  The survivor (always the "0" partner's page) receives the
+  // brother's records at the reduced local depth; `current` held only the
+  // record being deleted.
+  const int old_ld = brother.localdepth;
+  if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
+  brother.localdepth = old_ld - 1;
+  brother.commonbits &= util::Mask(brother.localdepth);
+  brother.version = std::max(brother.version, current.version) + 1;
+  if (merged == oldpage) {
+    // current was the "0" partner: the merged bucket continues current's
+    // lineage; brother.next already bypasses the garbage page.
+    brother.prev = current.prev;
+    brother.prev_mgr = current.prev_mgr;
+  } else {
+    brother.next = current.next;  // bypass the garbage "1" partner
+    brother.next_mgr = current.next_mgr;
+  }
+  PutBucket(merged, brother);
+  stats_.merges.fetch_add(1, std::memory_order_relaxed);
+
+  if (dir_.depthcount() == 0) {
+    dir_.Halve();
+    dir_.set_depthcount(dir_.RecomputeDepthcount());
+    stats_.halvings.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const util::Pseudokey garbage_bits =
+        brother.commonbits | (util::Pseudokey{1} << (old_ld - 1));
+    dir_.UpdateEntries(merged, old_ld, garbage_bits);
+  }
+  DeallocBucket(garbage);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+
+  locks_.For(partnerpage).UnXiLock();
+  old_lock.UnXiLock();
+  dir_lock_.UnXiLock();
+  return true;
+}
+
+}  // namespace exhash::core

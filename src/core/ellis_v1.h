@@ -1,0 +1,40 @@
+// First solution (Ellis 82, section 2.2, Figures 5-7): a top-down locking
+// protocol.  A lock is placed on each level of the structure — the directory,
+// then a bucket — and held until it is known to be no longer needed.
+//
+//   find:   rho(directory) -> rho(bucket), lock-coupled; release directory
+//           as soon as the bucket lock is granted; chain-walk with coupled
+//           rho locks if a concurrent split moved the data.
+//   insert: alpha(directory) held for the whole operation (readers still
+//           pass; other updaters are serialized); alpha(bucket).
+//   delete: xi(directory) and xi(buckets) — deleters exclude everyone, since
+//           merging invalidates pointers readers might be holding.
+//
+// Deviation from the paper, documented: Figure 7 enters the merge path for
+// any bucket with count <= 1 without re-checking that the lone record is the
+// key being deleted; deleting an absent key from a 1-record bucket would
+// discard an innocent record.  We add the membership check (as the paper
+// itself does in the second solution, Figure 9).
+
+#ifndef EXHASH_CORE_ELLIS_V1_H_
+#define EXHASH_CORE_ELLIS_V1_H_
+
+#include <string>
+
+#include "core/table_base.h"
+
+namespace exhash::core {
+
+class EllisHashTableV1 : public TableBase {
+ public:
+  explicit EllisHashTableV1(const TableOptions& options);
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+  std::string Name() const override { return "ellis-v1"; }
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_ELLIS_V1_H_

@@ -1,0 +1,310 @@
+#include "core/ellis_v2.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace exhash::core {
+
+EllisHashTableV2::EllisHashTableV2(const TableOptions& options)
+    : TableBase(options) {
+  InitBuckets();
+}
+
+// "The procedure for the find operation is the same as before" (section
+// 2.4) — Figure 5, with the wrong-bucket test extended to tombstones.
+bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
+  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+
+  dir_lock_.RhoLock();
+  storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->RhoLock();
+  dir_lock_.UnRhoLock();
+
+  storage::Bucket current(capacity_);
+  GetBucket(oldpage, &current);
+  while (current.deleted ||
+         !util::MatchesCommonBits(pk, current.commonbits,
+                                  current.localdepth)) {
+    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    const storage::PageId newpage = current.next;
+    util::RaxLock* new_lock = &locks_.For(newpage);
+    new_lock->RhoLock();
+    GetBucket(newpage, &current);
+    old_lock->UnRhoLock();
+    old_lock = new_lock;
+    oldpage = newpage;
+  }
+
+  const bool found = current.Search(key, value);
+  old_lock->UnRhoLock();
+  return found;
+}
+
+// Figure 8.  rho on the directory, alpha on buckets; convert the directory
+// rho to alpha only if the bucket is full and the directory will change.
+bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  storage::Bucket current(capacity_);
+  storage::Bucket half1(capacity_);
+  storage::Bucket half2(capacity_);
+
+  while (true) {
+    dir_lock_.RhoLock();
+    storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+    util::RaxLock* old_lock = &locks_.For(oldpage);
+    old_lock->AlphaLock();
+    GetBucket(oldpage, &current);
+
+    // "Because of the additional concurrency, updaters may also find
+    // themselves with the wrong bucket" — including one merged into a
+    // predecessor and marked deleted (section 2.4).
+    while (current.deleted ||
+           !util::MatchesCommonBits(pk, current.commonbits,
+                                    current.localdepth)) {
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      const storage::PageId newpage = current.next;
+      util::RaxLock* new_lock = &locks_.For(newpage);
+      new_lock->AlphaLock();
+      GetBucket(newpage, &current);
+      old_lock->UnAlphaLock();
+      old_lock = new_lock;
+      oldpage = newpage;
+    }
+
+    if (current.Search(key)) {
+      dir_lock_.UnRhoLock();
+      old_lock->UnAlphaLock();
+      return false;
+    }
+
+    if (!current.full()) {
+      dir_lock_.UnRhoLock();
+      current.Add(key, value);
+      PutBucket(oldpage, current);
+      old_lock->UnAlphaLock();
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+
+    // Current is full — the directory will be affected.  Convert our rho
+    // lock to alpha (section 2.5's lock conversion; it cannot deadlock
+    // because a conversion only waits on a *held* alpha, whose owner makes
+    // no further lock requests).
+    dir_lock_.UpgradeRhoToAlpha();
+    if (current.localdepth == dir_.depth()) {
+      if (!dir_.Double()) {
+        std::fprintf(stderr,
+                     "exhash: directory exceeded max_depth=%d — raise "
+                     "TableOptions::max_depth\n",
+                     dir_.max_depth());
+        std::abort();
+      }
+      dir_.set_depthcount(0);
+      stats_.doublings.fetch_add(1, std::memory_order_relaxed);
+    }
+    const storage::PageId newpage = AllocBucket();
+    const bool done = SplitRecords(current, key, value, hasher(), oldpage,
+                                   newpage, &half1, &half2);
+    PutBucket(newpage, half2);
+    PutBucket(oldpage, half1);
+    dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
+    if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    old_lock->UnAlphaLock();
+    dir_lock_.UnAlphaLock();
+    dir_lock_.UnRhoLock();
+
+    if (done) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    stats_.insert_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Figure 9.  rho on the directory, xi on buckets; merging tombstones the
+// dead partner and defers reclamation to a xi-locked GC phase.
+bool EllisHashTableV2::Remove(uint64_t key) {
+  stats_.removes.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  storage::Bucket current(capacity_);
+  storage::Bucket brother(capacity_);
+
+  // Figure 9 restarts the whole delete when the partner check at label A
+  // fails.  When the failure is *stable* (the "0"-side bucket reached
+  // through the directory is not chain-linked to us because the partner
+  // subtree split deeper), re-attempting the merge would loop forever; the
+  // paper's prose resolves this — the deleter "goes back to simply trying
+  // to remove its key" (section 2.5) — so the restart is merge-free.
+  bool allow_merge = options_.enable_merging;
+  while (true) {
+    dir_lock_.RhoLock();
+    storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+    util::RaxLock* old_lock = &locks_.For(oldpage);
+    old_lock->XiLock();
+    GetBucket(oldpage, &current);
+
+    while (current.deleted ||
+           !util::MatchesCommonBits(pk, current.commonbits,
+                                    current.localdepth)) {
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      const storage::PageId newpage = current.next;
+      util::RaxLock* new_lock = &locks_.For(newpage);
+      new_lock->XiLock();
+      GetBucket(newpage, &current);
+      old_lock->UnXiLock();
+      old_lock = new_lock;
+      oldpage = newpage;
+    }
+
+    if (current.count() > 1 || current.localdepth <= 1 || !allow_merge) {
+      // Plain removal; the directory is not affected.
+      dir_lock_.UnRhoLock();
+      const bool removed = current.Remove(key);
+      if (removed) {
+        PutBucket(oldpage, current);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      old_lock->UnXiLock();
+      return removed;
+    }
+
+    if (!current.Search(key)) {  // z not there
+      old_lock->UnXiLock();
+      dir_lock_.UnRhoLock();
+      return false;
+    }
+
+    // Deleting the lone record of a depth>1 bucket: try to merge.
+    storage::PageId partnerpage;
+    storage::PageId merged;
+    storage::PageId garbage;
+    util::RaxLock* partner_lock;
+    if (!util::IsOnePartner(pk, current.localdepth)) {
+      // z in the FIRST of the pair: the partner follows in the chain.
+      partnerpage = current.next;
+      partner_lock = &locks_.For(partnerpage);
+      partner_lock->XiLock();
+      GetBucket(partnerpage, &brother);
+      garbage = partnerpage;
+      merged = oldpage;
+    } else {
+      // z in the SECOND of the pair: locate the "0" partner through the
+      // (possibly stale) directory, then lock both in chain order.
+      partnerpage = dir_.Entry(util::LowBits(
+          pk & ~(util::Pseudokey{1} << (current.localdepth - 1)),
+          dir_.depth()));
+      old_lock->UnXiLock();
+      stats_.partner_relocks.fetch_add(1, std::memory_order_relaxed);
+      partner_lock = &locks_.For(partnerpage);
+      partner_lock->XiLock();
+      GetBucket(partnerpage, &brother);
+      if (brother.deleted || brother.next != oldpage) {
+        // Label A in Figure 9: these are not mergable partners — the entry
+        // was stale, or the partner split or was itself deleted.  Locking
+        // oldpage from here would risk deadlock; restart, merge-free (see
+        // above: the condition may be stable).
+        partner_lock->UnXiLock();
+        dir_lock_.UnRhoLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        allow_merge = false;
+        continue;
+      }
+      old_lock->XiLock();
+      GetBucket(oldpage, &current);
+      garbage = oldpage;
+      merged = partnerpage;
+      if (current.deleted ||
+          !util::MatchesCommonBits(pk, current.commonbits,
+                                   current.localdepth)) {
+        // While waiting to re-lock oldpage it may have filled up and split,
+        // moving z (Figure 9's comment) — or been merged by another deleter.
+        old_lock->UnXiLock();
+        partner_lock->UnXiLock();
+        dir_lock_.UnRhoLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+
+    // Final merge preconditions (Figure 9's composite re-check): matching
+    // local depths, and the target still holds exactly the record being
+    // deleted.  Inserters may have refilled it while it was unlocked, and
+    // another deleter of the same key may have emptied it.
+    const bool mergable = current.localdepth == brother.localdepth &&
+                          current.count() == 1 && current.Search(key);
+    if (!mergable) {
+      partner_lock->UnXiLock();
+      dir_lock_.UnRhoLock();
+      const bool removed = current.Remove(key);
+      if (removed) {
+        PutBucket(oldpage, current);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      old_lock->UnXiLock();
+      return removed;
+    }
+
+    // MERGE.  Convert the directory rho to alpha for the entry updates.
+    dir_lock_.UpgradeRhoToAlpha();
+    const int old_ld = brother.localdepth;
+    if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
+    brother.localdepth = old_ld - 1;
+    brother.commonbits &= util::Mask(brother.localdepth);
+    brother.version = std::max(brother.version, current.version) + 1;
+    if (merged == oldpage) {
+      // current was the "0" partner: its page survives with the brother's
+      // records, continuing current's lineage; brother.next already points
+      // past the garbage page.
+      brother.prev = current.prev;
+      brother.prev_mgr = current.prev_mgr;
+    } else {
+      brother.next = current.next;  // bypass the garbage "1" partner
+      brother.next_mgr = current.next_mgr;
+    }
+
+    // Tombstone the garbage page: marked deleted, next aimed at the
+    // survivor so it keeps working as a signpost for stale searchers.
+    current.deleted = true;
+    current.next = merged;
+    current.Clear();
+
+    PutBucket(merged, brother);
+    PutBucket(garbage, current);
+    const util::Pseudokey garbage_bits =
+        brother.commonbits | (util::Pseudokey{1} << (old_ld - 1));
+    dir_.UpdateEntries(merged, old_ld, garbage_bits);
+    stats_.merges.fetch_add(1, std::memory_order_relaxed);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+
+    old_lock->UnXiLock();
+    partner_lock->UnXiLock();
+    dir_lock_.UnAlphaLock();
+    dir_lock_.UnRhoLock();
+
+    // Garbage-collection phase: "discarding deleted components is done in a
+    // separate phase which is truly serialized with respect to other
+    // actions by xi-locking" (section 2.5).  Once both xi locks are held no
+    // process can hold or gain a path to the tombstone.
+    dir_lock_.XiLock();
+    util::RaxLock& garbage_lock = locks_.For(garbage);
+    garbage_lock.XiLock();
+    if (dir_.depthcount() == 0) {
+      dir_.Halve();
+      dir_.set_depthcount(dir_.RecomputeDepthcount());
+      stats_.halvings.fetch_add(1, std::memory_order_relaxed);
+    }
+    DeallocBucket(garbage);
+    garbage_lock.UnXiLock();
+    dir_lock_.UnXiLock();
+    return true;
+  }
+}
+
+}  // namespace exhash::core

@@ -1,0 +1,39 @@
+// Second solution (Ellis 82, section 2.4, Figures 8-9): an optimistic
+// protocol.  Updaters behave like readers while searching — a rho lock on
+// the directory, alpha/xi locks only on buckets — and convert the directory
+// lock to alpha only when restructuring actually happens.  Consequences:
+//
+//   * updaters may also land on the "wrong bucket" and recover via next
+//     links, including through *tombstones*: a merged bucket is marked
+//     deleted and left in place, its next link aimed at the survivor, so any
+//     process holding a stale directory entry still finds a path;
+//   * a deleter that must lock partners in chain order re-validates
+//     everything after re-locking (the partner may have ceased to be a
+//     partner, the bucket may have refilled, the key may have moved or been
+//     deleted — Figure 9's re-check ladder, each outcome handled);
+//   * tombstones and abandoned directory halves are reclaimed in a separate
+//     garbage-collection phase under xi locks, "truly serialized with
+//     respect to other actions" (section 2.5).
+
+#ifndef EXHASH_CORE_ELLIS_V2_H_
+#define EXHASH_CORE_ELLIS_V2_H_
+
+#include <string>
+
+#include "core/table_base.h"
+
+namespace exhash::core {
+
+class EllisHashTableV2 : public TableBase {
+ public:
+  explicit EllisHashTableV2(const TableOptions& options);
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+  std::string Name() const override { return "ellis-v2"; }
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_ELLIS_V2_H_

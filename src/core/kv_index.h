@@ -1,0 +1,85 @@
+// The public key/value index interface every implementation in this
+// repository provides: the paper's three operations (find, insert, delete)
+// plus introspection used by tests and benchmarks.
+
+#ifndef EXHASH_CORE_KV_INDEX_H_
+#define EXHASH_CORE_KV_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace exhash::core {
+
+// Counters of structural events.  Snapshots are racy but monotone; they are
+// read for reporting, never for control flow.
+struct TableStats {
+  uint64_t finds = 0;
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t doublings = 0;
+  uint64_t halvings = 0;
+  // Times a search landed on the "wrong bucket" and recovered via a next
+  // link (sections 2.2/2.4) — one count per hop.
+  uint64_t wrong_bucket_hops = 0;
+  // Times an insert had to restart because the split could not place the new
+  // record (the paper's `if (!done) insert(z)`).
+  uint64_t insert_retries = 0;
+  // Times a V2 delete restarted from scratch after a consistency re-check
+  // failed (the `delete(z); return;` paths of Figure 9).
+  uint64_t delete_restarts = 0;
+  // Times a deleter had to release the "1" partner and re-lock both partners
+  // in next-link order.
+  uint64_t partner_relocks = 0;
+};
+
+// Thread-safety: Find/Insert/Remove may be called concurrently from any
+// number of threads (for SequentialExtendibleHash, only externally
+// synchronized).  Size() is exact in quiescent states.
+class KeyValueIndex {
+ public:
+  virtual ~KeyValueIndex() = default;
+
+  // Looks up `key`; on success stores the value through `value` if non-null.
+  virtual bool Find(uint64_t key, uint64_t* value) = 0;
+
+  // Inserts (key, value).  Returns false (and changes nothing) if the key is
+  // already present — matching the paper's insert, which treats an existing
+  // key as completion.
+  virtual bool Insert(uint64_t key, uint64_t value) = 0;
+
+  // Deletes `key`.  Returns false if it was not present.
+  virtual bool Remove(uint64_t key) = 0;
+
+  // Number of records.  Exact when no operations are in flight.
+  virtual uint64_t Size() const = 0;
+
+  // Implementation name for reports ("ellis-v1", "blink", ...).
+  virtual std::string Name() const = 0;
+
+  // Current directory depth, or -1 for non-extendible structures.
+  virtual int Depth() const { return -1; }
+
+  virtual TableStats Stats() const { return {}; }
+
+  // Whole-structure invariant check; must only be called in a quiescent
+  // state.  On failure returns false and describes the violation.
+  virtual bool Validate(std::string* error) {
+    (void)error;
+    return true;
+  }
+
+  // Visits every record.  Exact (each record exactly once) in a quiescent
+  // state.  Safe to call concurrently with updates — the extendible tables
+  // traverse the bucket chain with coupled rho locks, the B-link tree walks
+  // its leaf chain — but a record moved by a concurrent split/merge may
+  // then be seen twice or not at all.  Returns the number of visits.
+  virtual uint64_t ForEachRecord(
+      const std::function<void(uint64_t key, uint64_t value)>& visit) = 0;
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_KV_INDEX_H_

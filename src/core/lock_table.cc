@@ -1,0 +1,36 @@
+#include "core/lock_table.h"
+
+namespace exhash::core {
+
+util::RaxLock& LockTable::For(storage::PageId page) {
+  const size_t chunk = page / kChunkSize;
+  {
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    if (chunk < chunks_.size() && chunks_[chunk] != nullptr) {
+      return chunks_[chunk]->locks[page % kChunkSize];
+    }
+  }
+  std::unique_lock<std::shared_mutex> write(mutex_);
+  if (chunk >= chunks_.size()) chunks_.resize(chunk + 1);
+  if (chunks_[chunk] == nullptr) chunks_[chunk] = std::make_unique<Chunk>();
+  return chunks_[chunk]->locks[page % kChunkSize];
+}
+
+util::RaxLockStats LockTable::AggregateStats() const {
+  util::RaxLockStats total;
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  for (const auto& chunk : chunks_) {
+    if (chunk == nullptr) continue;
+    for (const auto& lock : chunk->locks) {
+      const util::RaxLockStats s = lock.stats();
+      total.rho_acquired += s.rho_acquired;
+      total.alpha_acquired += s.alpha_acquired;
+      total.xi_acquired += s.xi_acquired;
+      total.upgrades += s.upgrades;
+      total.contended += s.contended;
+    }
+  }
+  return total;
+}
+
+}  // namespace exhash::core

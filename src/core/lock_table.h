@@ -1,0 +1,44 @@
+// Per-page lock registry.  Every disk page (bucket) gets its own RaxLock,
+// looked up by page id.  Lock objects are never destroyed while the table
+// lives, so a lock acquired on a page that is concurrently deallocated and
+// reused is still a well-defined object (the protocols guarantee such a lock
+// is only ever requested when the page is still reachable; see the
+// deadlock-freedom arguments in sections 2.3 and 2.5).
+
+#ifndef EXHASH_CORE_LOCK_TABLE_H_
+#define EXHASH_CORE_LOCK_TABLE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/rax_lock.h"
+
+namespace exhash::core {
+
+class LockTable {
+ public:
+  LockTable() = default;
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  // Returns the lock for `page`, creating backing storage on demand.
+  util::RaxLock& For(storage::PageId page);
+
+  // Sums stats across all page locks (bench E1/E5 reporting).
+  util::RaxLockStats AggregateStats() const;
+
+ private:
+  static constexpr size_t kChunkSize = 256;
+  struct Chunk {
+    util::RaxLock locks[kChunkSize];
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_LOCK_TABLE_H_

@@ -1,0 +1,46 @@
+// Construction options shared by every extendible hash table variant.
+
+#ifndef EXHASH_CORE_OPTIONS_H_
+#define EXHASH_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+
+struct TableOptions {
+  // Simulated disk page size; the bucket capacity follows from it
+  // (Bucket::CapacityFor).  256 bytes -> 13 records, handy for tests that
+  // want frequent splits; benchmarks typically use 4096 -> 253 records.
+  size_t page_size = 256;
+
+  // Directory depth at creation; the file starts with 2^initial_depth
+  // buckets, each with localdepth == initial_depth.  The paper's figures
+  // start from depth >= 1 and merging never reduces a localdepth below 1.
+  int initial_depth = 1;
+
+  // Hard ceiling on directory depth (the paper's maxdepth in
+  // `int directory[1 << maxdepth]`).  The directory array is preallocated at
+  // this size so doubling never relocates entries under readers.
+  int max_depth = 22;
+
+  // Hash function; nullptr selects the default Mix64Hasher.  Not owned.
+  const util::Hasher* hasher = nullptr;
+
+  // PageStore knobs (see storage/page_store.h).
+  uint64_t io_latency_ns = 0;
+  bool poison_on_dealloc = false;
+  // Nonempty: buckets live in this file (true disk-resident operation).
+  std::string backing_file;
+
+  // When false, deletes never merge buckets (ablation D3': measures what
+  // merging buys/costs; also the behaviour of many practical systems).
+  bool enable_merging = true;
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_OPTIONS_H_

@@ -1,0 +1,156 @@
+#include "core/sequential_hash.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace exhash::core {
+
+SequentialExtendibleHash::SequentialExtendibleHash(
+    const TableOptions& options)
+    : TableBase(options) {
+  InitBuckets();
+}
+
+bool SequentialExtendibleHash::Find(uint64_t key, uint64_t* value) {
+  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  const storage::PageId page = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  storage::Bucket bucket(capacity_);
+  GetBucket(page, &bucket);
+  return bucket.Search(key, value);
+}
+
+bool SequentialExtendibleHash::Insert(uint64_t key, uint64_t value) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  storage::Bucket current(capacity_);
+  storage::Bucket half1(capacity_);
+  storage::Bucket half2(capacity_);
+
+  while (true) {
+    const storage::PageId oldpage =
+        dir_.Entry(util::LowBits(pk, dir_.depth()));
+    GetBucket(oldpage, &current);
+    if (current.Search(key)) return false;  // already there
+    if (!current.full()) {
+      current.Add(key, value);
+      PutBucket(oldpage, current);
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Current is full: split, doubling the directory first if needed.
+    if (current.localdepth == dir_.depth()) {
+      if (!dir_.Double()) {
+        std::fprintf(stderr,
+                     "exhash: directory exceeded max_depth=%d — raise "
+                     "TableOptions::max_depth\n",
+                     dir_.max_depth());
+        std::abort();
+      }
+      dir_.set_depthcount(0);
+      stats_.doublings.fetch_add(1, std::memory_order_relaxed);
+    }
+    const storage::PageId newpage = AllocBucket();
+    const bool done = SplitRecords(current, key, value, hasher(), oldpage,
+                                   newpage, &half1, &half2);
+    // New half first, then the old page: "writing the pair is equivalent to
+    // the single operation of writing the first partner" (section 2.3).
+    PutBucket(newpage, half2);
+    PutBucket(oldpage, half1);
+    dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
+    if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    if (done) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    stats_.insert_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool SequentialExtendibleHash::Remove(uint64_t key) {
+  stats_.removes.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  const uint64_t selectedbits = util::LowBits(pk, dir_.depth());
+  const storage::PageId oldpage = dir_.Entry(selectedbits);
+  storage::Bucket current(capacity_);
+  GetBucket(oldpage, &current);
+
+  const bool too_empty = current.count() <= 1 && current.localdepth > 1 &&
+                         options_.enable_merging;
+  if (!too_empty) {
+    if (!current.Remove(key)) return false;
+    PutBucket(oldpage, current);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // The bucket would become empty: try to merge with the partner
+  // (Figure 2's merge dynamics).  Only sensible if the lone record is the
+  // one being deleted.
+  if (!current.Search(key)) return false;
+
+  storage::Bucket brother(capacity_);
+  storage::PageId merged;
+  storage::PageId garbage;
+  if (!util::IsOnePartner(pk, current.localdepth)) {
+    // The key lives in the "0" partner; the "1" partner is next in chain.
+    const storage::PageId partner = current.next;
+    GetBucket(partner, &brother);
+    merged = oldpage;
+    garbage = partner;
+  } else {
+    const storage::PageId partner = dir_.Entry(util::LowBits(
+        pk & ~(util::Pseudokey{1} << (current.localdepth - 1)), dir_.depth()));
+    GetBucket(partner, &brother);
+    merged = partner;
+    garbage = oldpage;
+  }
+
+  if (current.localdepth != brother.localdepth) {
+    // Partner split deeper: not mergable, just remove.
+    current.Remove(key);
+    PutBucket(oldpage, current);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Merge: the survivor keeps the brother's records (current held only the
+  // record being deleted).  The "0" partner's page always survives.
+  const int old_ld = brother.localdepth;
+  if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
+  brother.localdepth = old_ld - 1;
+  brother.commonbits &= util::Mask(brother.localdepth);
+  if (merged == oldpage) {
+    // current was the "0" partner: the merged bucket continues current's
+    // lineage — take its chain context.
+    brother.prev = current.prev;
+    brother.prev_mgr = current.prev_mgr;
+    // brother.next already points past the garbage bucket.
+  } else {
+    brother.next = current.next;  // bypass the garbage "1" partner
+    brother.next_mgr = current.next_mgr;
+  }
+  brother.version = std::max(brother.version, current.version) + 1;
+  PutBucket(merged, brother);
+  stats_.merges.fetch_add(1, std::memory_order_relaxed);
+
+  if (dir_.depthcount() == 0) {
+    dir_.Halve();
+    dir_.set_depthcount(dir_.RecomputeDepthcount());
+    stats_.halvings.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Repoint the entries of the garbage pattern at the survivor.
+    const util::Pseudokey garbage_bits =
+        brother.commonbits | (util::Pseudokey{1} << (old_ld - 1));
+    dir_.UpdateEntries(merged, old_ld, garbage_bits);
+  }
+  DeallocBucket(garbage);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace exhash::core

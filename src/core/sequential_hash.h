@@ -1,0 +1,27 @@
+// The sequential extendible hash file of Fagin et al. 79 — the paper's
+// "point of departure" (Figure 1/2 semantics).  No internal synchronization:
+// callers must serialize access (GlobalLockHash wraps it with one mutex as
+// the naive concurrent baseline).
+
+#ifndef EXHASH_CORE_SEQUENTIAL_HASH_H_
+#define EXHASH_CORE_SEQUENTIAL_HASH_H_
+
+#include <string>
+
+#include "core/table_base.h"
+
+namespace exhash::core {
+
+class SequentialExtendibleHash : public TableBase {
+ public:
+  explicit SequentialExtendibleHash(const TableOptions& options);
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+  std::string Name() const override { return "sequential"; }
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_SEQUENTIAL_HASH_H_

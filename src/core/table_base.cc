@@ -1,0 +1,151 @@
+#include "core/table_base.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/validate.h"
+#include "util/bits.h"
+
+namespace exhash::core {
+
+namespace {
+
+thread_local std::vector<std::byte> tls_page_scratch;
+
+std::byte* Scratch(size_t page_size) {
+  if (tls_page_scratch.size() < page_size) tls_page_scratch.resize(page_size);
+  return tls_page_scratch.data();
+}
+
+}  // namespace
+
+TableBase::TableBase(const TableOptions& options)
+    : options_(options),
+      hasher_(options.hasher != nullptr ? options.hasher : &default_hasher_),
+      capacity_(storage::Bucket::CapacityFor(options.page_size)),
+      store_(storage::PageStore::Options{options.page_size,
+                                         options.io_latency_ns,
+                                         options.poison_on_dealloc,
+                                         options.backing_file}),
+      dir_(options.initial_depth, options.max_depth) {}
+
+void TableBase::GetBucket(storage::PageId page, storage::Bucket* bucket) {
+  store_.Read(page, Scratch(options_.page_size));
+  if (!storage::Bucket::DeserializeFrom(Scratch(options_.page_size),
+                                        options_.page_size, bucket)) {
+    std::fprintf(stderr,
+                 "exhash: getbucket(%u) read a non-bucket page — locking "
+                 "protocol violation (use-after-dealloc?)\n",
+                 page);
+    std::abort();
+  }
+}
+
+void TableBase::PutBucket(storage::PageId page,
+                          const storage::Bucket& bucket) {
+  bucket.SerializeTo(Scratch(options_.page_size), options_.page_size);
+  store_.Write(page, Scratch(options_.page_size));
+}
+
+void TableBase::InitBuckets() {
+  const int d = options_.initial_depth;
+  const uint64_t n = uint64_t{1} << d;
+
+  // Allocate a page per initial bucket.
+  std::vector<storage::PageId> pages(n);
+  for (uint64_t i = 0; i < n; ++i) pages[i] = store_.Alloc();
+
+  // Chain order is increasing bit-reversed index — the order a sequence of
+  // splits starting from one bucket would have produced, which establishes
+  // the invariant that every "0" partner reaches its "1" partner via next
+  // links (section 2.3).
+  std::vector<uint64_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[util::ReverseLowBits(i, d)] = i;
+
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    const uint64_t idx = order[pos];
+    storage::Bucket b(capacity_);
+    b.localdepth = d;
+    b.commonbits = idx;
+    b.next =
+        pos + 1 < n ? pages[order[pos + 1]] : storage::kInvalidPage;
+    // prev: the "0" partner this bucket conceptually split off from.
+    if (d >= 1 && util::IsOnePartner(idx, d)) {
+      b.prev = pages[idx & ~(uint64_t{1} << (d - 1))];
+    }
+    PutBucket(pages[idx], b);
+    dir_.SetEntry(idx, pages[idx]);
+  }
+  // Every initial bucket has localdepth == depth.
+  dir_.set_depthcount(static_cast<int>(n));
+}
+
+std::string TableBase::DebugString() {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "extendible hash file: depth=%d depthcount=%d size=%llu "
+                "capacity=%d\n",
+                dir_.depth(), dir_.depthcount(),
+                static_cast<unsigned long long>(Size()), capacity_);
+  out += line;
+
+  storage::PageId page = dir_.Entry(0);
+  storage::Bucket bucket(capacity_);
+  while (page != storage::kInvalidPage) {
+    GetBucket(page, &bucket);
+    // Common bits rendered LSB-last, as the paper draws them ("...101").
+    std::string bits;
+    for (int b = bucket.localdepth - 1; b >= 0; --b) {
+      bits += ((bucket.commonbits >> b) & 1) ? '1' : '0';
+    }
+    if (bits.empty()) bits = "<any>";
+    std::snprintf(line, sizeof(line),
+                  "  page %-5u [%s%s] localdepth=%d count=%d next=%d\n", page,
+                  bits.c_str(), bucket.deleted ? " DELETED" : "",
+                  bucket.localdepth, bucket.count(),
+                  bucket.next == storage::kInvalidPage ? -1
+                                                       : int(bucket.next));
+    out += line;
+    page = bucket.next;
+  }
+  return out;
+}
+
+uint64_t TableBase::ForEachRecord(
+    const std::function<void(uint64_t key, uint64_t value)>& visit) {
+  dir_lock_.RhoLock();
+  storage::PageId page = dir_.Entry(0);
+  util::RaxLock* lock = &locks_.For(page);
+  lock->RhoLock();
+  dir_lock_.UnRhoLock();
+
+  uint64_t visited = 0;
+  storage::Bucket bucket(capacity_);
+  while (true) {
+    GetBucket(page, &bucket);
+    if (!bucket.deleted) {
+      for (const storage::Record& r : bucket.records()) {
+        visit(r.key, r.value);
+        ++visited;
+      }
+    }
+    const storage::PageId next = bucket.next;
+    if (next == storage::kInvalidPage) break;
+    util::RaxLock* next_lock = &locks_.For(next);
+    next_lock->RhoLock();
+    lock->UnRhoLock();
+    lock = next_lock;
+    page = next;
+  }
+  lock->UnRhoLock();
+  return visited;
+}
+
+bool TableBase::Validate(std::string* error) {
+  return ValidateStructure(dir_, store_, *hasher_, capacity_,
+                           options_.page_size, Size(), error);
+}
+
+}  // namespace exhash::core

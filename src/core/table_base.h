@@ -1,0 +1,89 @@
+// Common machinery of the centralized extendible hash tables: the simulated
+// disk, the directory, per-page locks, counters, and bucket I/O in the
+// paper's getbucket/putbucket style.
+
+#ifndef EXHASH_CORE_TABLE_BASE_H_
+#define EXHASH_CORE_TABLE_BASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/bucket_ops.h"
+#include "core/directory.h"
+#include "core/kv_index.h"
+#include "core/lock_table.h"
+#include "core/options.h"
+#include "storage/bucket.h"
+#include "storage/page_store.h"
+#include "util/pseudokey.h"
+#include "util/rax_lock.h"
+
+namespace exhash::core {
+
+class TableBase : public KeyValueIndex {
+ public:
+  uint64_t Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  int Depth() const override { return dir_.depth(); }
+  TableStats Stats() const override { return stats_.Snapshot(); }
+  bool Validate(std::string* error) override;
+
+  // Human-readable structure dump (quiescent state only): directory shape
+  // plus one line per bucket along the chain.  For debugging and teaching —
+  // the output mirrors the layout of the paper's Figures 1-4.
+  std::string DebugString();
+
+  // Chain scan with coupled rho locks: rho(directory) to fetch the chain
+  // head (the all-zeros-pattern bucket, whose page is stable), then walk
+  // next links exactly as a reader recovering from a split would, visiting
+  // each live bucket's records under its rho lock.
+  uint64_t ForEachRecord(
+      const std::function<void(uint64_t key, uint64_t value)>& visit) override;
+
+  // Extra introspection for benchmarks.
+  storage::PageStoreStats IoStats() const { return store_.stats(); }
+  util::RaxLockStats DirectoryLockStats() const { return dir_lock_.stats(); }
+  util::RaxLockStats BucketLockStats() const {
+    return locks_.AggregateStats();
+  }
+  int BucketCapacity() const { return capacity_; }
+  const TableOptions& options() const { return options_; }
+
+ protected:
+  explicit TableBase(const TableOptions& options);
+
+  // The paper's getbucket: read the page and decode it into a private
+  // buffer.  Aborts (protocol violation) if the page does not hold a bucket.
+  void GetBucket(storage::PageId page, storage::Bucket* bucket);
+
+  // The paper's putbucket: encode and write the page atomically.
+  void PutBucket(storage::PageId page, const storage::Bucket& bucket);
+
+  // Allocates a fresh page (the paper's allocbucket).
+  storage::PageId AllocBucket() { return store_.Alloc(); }
+  void DeallocBucket(storage::PageId page) { store_.Dealloc(page); }
+
+  const util::Hasher& hasher() const { return *hasher_; }
+
+  // Builds the initial file: 2^initial_depth buckets, chained in
+  // bit-reversed index order (the order splits would have produced), with
+  // prev links aimed at each bucket's "0" partner.
+  void InitBuckets();
+
+  TableOptions options_;
+  util::Mix64Hasher default_hasher_;
+  const util::Hasher* hasher_;
+  int capacity_;
+  storage::PageStore store_;
+  Directory dir_;
+  LockTable locks_;
+  util::RaxLock dir_lock_;
+  AtomicTableStats stats_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_TABLE_BASE_H_

@@ -1,0 +1,175 @@
+#include "core/validate.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/bucket.h"
+#include "util/bits.h"
+
+namespace exhash::core {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string Fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+bool ValidateStructure(const Directory& dir, storage::PageStore& store,
+                       const util::Hasher& hasher, int capacity,
+                       size_t page_size, uint64_t expected_size,
+                       std::string* error) {
+  const int depth = dir.depth();
+  const uint64_t entries = uint64_t{1} << depth;
+
+  // Load every distinct bucket once; remember which entries point where.
+  std::map<storage::PageId, storage::Bucket> buckets;
+  std::map<storage::PageId, std::vector<uint64_t>> referrers;
+  std::vector<std::byte> scratch(page_size);
+  for (uint64_t i = 0; i < entries; ++i) {
+    const storage::PageId page = dir.Entry(i);
+    if (page == storage::kInvalidPage) {
+      return Fail(error, Fmt("directory entry %" PRIu64 " is invalid", i));
+    }
+    referrers[page].push_back(i);
+    if (!buckets.contains(page)) {
+      storage::Bucket b(capacity);
+      store.Read(page, scratch.data());
+      if (!storage::Bucket::DeserializeFrom(scratch.data(), page_size, &b)) {
+        return Fail(error, Fmt("entry %" PRIu64 ": page %u is not a bucket",
+                               i, page));
+      }
+      buckets.emplace(page, std::move(b));
+    }
+  }
+
+  // Per-bucket checks + global record accounting.
+  uint64_t total_records = 0;
+  int full_depth_buckets = 0;
+  std::unordered_set<uint64_t> seen_keys;
+  for (const auto& [page, b] : buckets) {
+    if (b.deleted) {
+      return Fail(error, Fmt("page %u: directory points at a tombstone", page));
+    }
+    if (b.localdepth < 0 || b.localdepth > depth) {
+      return Fail(error, Fmt("page %u: localdepth %d out of range (depth %d)",
+                             page, b.localdepth, depth));
+    }
+    if (b.localdepth == depth) ++full_depth_buckets;
+    const uint64_t expect_refs = uint64_t{1} << (depth - b.localdepth);
+    const auto& refs = referrers[page];
+    if (refs.size() != expect_refs) {
+      return Fail(error,
+                  Fmt("page %u: %zu directory entries point here, expected "
+                      "%" PRIu64 " (localdepth %d, depth %d)",
+                      page, refs.size(), expect_refs, b.localdepth, depth));
+    }
+    for (uint64_t idx : refs) {
+      if (util::LowBits(idx, b.localdepth) != b.commonbits) {
+        return Fail(error,
+                    Fmt("page %u: entry %" PRIu64
+                        " does not match commonbits %" PRIx64,
+                        page, idx, static_cast<uint64_t>(b.commonbits)));
+      }
+    }
+    if (b.count() > capacity) {
+      return Fail(error, Fmt("page %u: count %d exceeds capacity %d", page,
+                             b.count(), capacity));
+    }
+    for (const storage::Record& r : b.records()) {
+      const util::Pseudokey pk = hasher.Hash(r.key);
+      if (!util::MatchesCommonBits(pk, b.commonbits, b.localdepth)) {
+        return Fail(error,
+                    Fmt("page %u: key %" PRIu64 " does not belong here", page,
+                        r.key));
+      }
+      if (!seen_keys.insert(r.key).second) {
+        return Fail(error, Fmt("key %" PRIu64 " appears in two buckets", r.key));
+      }
+      ++total_records;
+    }
+  }
+
+  if (total_records != expected_size) {
+    return Fail(error, Fmt("record count %" PRIu64 " != expected size %" PRIu64,
+                           total_records, expected_size));
+  }
+
+  // depthcount coherence: stored == counted == paper's half-scan.
+  if (dir.depthcount() != full_depth_buckets) {
+    return Fail(error, Fmt("depthcount %d != counted full-depth buckets %d",
+                           dir.depthcount(), full_depth_buckets));
+  }
+  const int rescanned = dir.RecomputeDepthcount();
+  if (rescanned != full_depth_buckets) {
+    return Fail(error, Fmt("half-scan depthcount %d != counted %d", rescanned,
+                           full_depth_buckets));
+  }
+
+  // Chain traversal: start at entry 0 (the all-zeros pattern bucket, which
+  // has the minimal chain rank), follow next links.
+  std::unordered_set<storage::PageId> visited;
+  storage::PageId page = dir.Entry(0);
+  uint64_t prev_rank = 0;
+  bool first = true;
+  while (page != storage::kInvalidPage) {
+    auto it = buckets.find(page);
+    if (it == buckets.end()) {
+      return Fail(error,
+                  Fmt("chain reaches page %u not referenced by the directory",
+                      page));
+    }
+    const storage::Bucket& b = it->second;
+    if (!visited.insert(page).second) {
+      return Fail(error, Fmt("chain revisits page %u (cycle)", page));
+    }
+    const uint64_t rank = util::ChainRank(b.commonbits, b.localdepth);
+    if (!first && rank <= prev_rank) {
+      return Fail(error, Fmt("chain order violation at page %u", page));
+    }
+    prev_rank = rank;
+    first = false;
+
+    // prev-link invariant for "1" partners.
+    if (b.localdepth >= 1 && util::IsOnePartner(b.commonbits, b.localdepth)) {
+      const util::Pseudokey partner_bits =
+          b.commonbits & ~(util::Pseudokey{1} << (b.localdepth - 1));
+      const storage::PageId partner_page =
+          dir.Entry(util::LowBits(partner_bits, depth));
+      // prev must address the current holder of the "0" pattern *unless*
+      // the partner has since split deeper (then prev is historical and
+      // unused: merge requires equal localdepths).
+      auto pit = buckets.find(partner_page);
+      if (pit != buckets.end() && pit->second.localdepth == b.localdepth &&
+          b.prev != partner_page) {
+        return Fail(error,
+                    Fmt("page %u: prev %u does not address its 0-partner %u",
+                        page, b.prev, partner_page));
+      }
+    }
+    page = b.next;
+  }
+  if (visited.size() != buckets.size()) {
+    return Fail(error, Fmt("chain visits %zu buckets, directory knows %zu",
+                           visited.size(), buckets.size()));
+  }
+
+  return true;
+}
+
+}  // namespace exhash::core

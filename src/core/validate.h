@@ -1,0 +1,38 @@
+// Whole-structure invariant checker for quiescent extendible hash files.
+// Used by tests after every phase of single- and multi-threaded workloads.
+
+#ifndef EXHASH_CORE_VALIDATE_H_
+#define EXHASH_CORE_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/directory.h"
+#include "storage/page_store.h"
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+
+// Verifies, in a quiescent state:
+//   1. every live directory entry points at a non-deleted bucket whose
+//      commonbits equal the entry index's low localdepth bits,
+//   2. each bucket is referenced by exactly the 2^(depth - localdepth)
+//      entries matching its commonbits,
+//   3. every record hashes into its bucket and no key appears twice; the
+//      total record count equals `expected_size`,
+//   4. the stored depthcount equals both a direct count of full-depth
+//      buckets and the paper's top/bottom-half scan,
+//   5. the next chain from directory entry 0 visits every bucket exactly
+//      once in increasing bit-reversed commonbits order (so each "0" partner
+//      reaches its "1" partner),
+//   6. every "1" partner's prev link addresses its "0" partner's page.
+//
+// Returns true on success; otherwise false with a description in *error.
+bool ValidateStructure(const Directory& dir, storage::PageStore& store,
+                       const util::Hasher& hasher, int capacity,
+                       size_t page_size, uint64_t expected_size,
+                       std::string* error);
+
+}  // namespace exhash::core
+
+#endif  // EXHASH_CORE_VALIDATE_H_

@@ -1,0 +1,695 @@
+#include "distributed/bucket_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/bucket_ops.h"
+#include "distributed/cluster.h"
+#include "util/bits.h"
+
+namespace exhash::dist {
+
+namespace {
+
+thread_local std::vector<std::byte> tls_page_scratch;
+
+std::byte* Scratch(size_t page_size) {
+  if (tls_page_scratch.size() < page_size) tls_page_scratch.resize(page_size);
+  return tls_page_scratch.data();
+}
+
+}  // namespace
+
+BucketManager::BucketManager(Cluster* cluster, ManagerId id, size_t page_size)
+    : cluster_(cluster),
+      id_(id),
+      page_size_(page_size),
+      capacity_(storage::Bucket::CapacityFor(page_size)),
+      store_(storage::PageStore::Options{page_size, 0,
+                                         /*poison_on_dealloc=*/true}) {
+  front_port_ = cluster_->network().CreatePort();
+}
+
+BucketManager::~BucketManager() { Stop(); }
+
+storage::PageId BucketManager::SeedBucket(const storage::Bucket& bucket) {
+  const storage::PageId page = store_.Alloc();
+  PutBucket(page, bucket);
+  return page;
+}
+
+void BucketManager::Start() {
+  front_thread_ = std::thread([this] { RunFrontEnd(); });
+}
+
+void BucketManager::Stop() {
+  if (!front_thread_.joinable()) return;
+  Message shutdown;
+  shutdown.type = MsgType::kShutdown;
+  cluster_->network().Send(front_port_, shutdown);
+  front_thread_.join();
+  // Drain slaves (callers quiesce the cluster first, so none is blocked on
+  // a peer).
+  std::unique_lock<std::mutex> guard(drain_mutex_);
+  drain_cv_.wait(guard, [this] { return active_slaves_.load() == 0; });
+}
+
+void BucketManager::GetBucket(storage::PageId page, storage::Bucket* bucket) {
+  store_.Read(page, Scratch(page_size_));
+  if (!storage::Bucket::DeserializeFrom(Scratch(page_size_), page_size_,
+                                        bucket)) {
+    std::fprintf(stderr,
+                 "exhash-dist: manager %u read non-bucket page %u — protocol "
+                 "violation (use-after-dealloc?)\n",
+                 id_, page);
+    std::abort();
+  }
+}
+
+void BucketManager::PutBucket(storage::PageId page,
+                              const storage::Bucket& bucket) {
+  bucket.SerializeTo(Scratch(page_size_), page_size_);
+  store_.Write(page, Scratch(page_size_));
+}
+
+PortId BucketManager::AcquireSlavePort() {
+  std::lock_guard<std::mutex> guard(port_pool_mutex_);
+  if (!port_pool_.empty()) {
+    const PortId p = port_pool_.back();
+    port_pool_.pop_back();
+    return p;
+  }
+  return cluster_->network().CreatePort();
+}
+
+void BucketManager::ReleaseSlavePort(PortId port) {
+  std::lock_guard<std::mutex> guard(port_pool_mutex_);
+  port_pool_.push_back(port);
+}
+
+void BucketManager::RunFrontEnd() {
+  while (true) {
+    Message msg = cluster_->network().Receive(front_port_);
+    switch (msg.type) {
+      case MsgType::kShutdown:
+        return;
+      case MsgType::kSplitBucket: {
+        // Handled by the front end directly, as in Figure 14: allocate a
+        // page, install the new half, report its address.
+        const storage::PageId newpage = store_.Alloc();
+        PutBucket(newpage, *msg.buffer);
+        Message reply;
+        reply.type = MsgType::kSplitReply;
+        reply.page = newpage;
+        reply.mgr = id_;
+        cluster_->network().Send(msg.reply_port, reply);
+        break;
+      }
+      default: {
+        // Everything else runs in a slave process.
+        active_slaves_.fetch_add(1);
+        std::thread([this, m = std::move(msg)] { SlaveEntry(m); }).detach();
+        break;
+      }
+    }
+  }
+}
+
+void BucketManager::SlaveEntry(Message msg) {
+  switch (msg.type) {
+    case MsgType::kOpForward:
+    case MsgType::kWrongBucket:
+      switch (msg.op) {
+        case OpType::kFind:
+          SlaveFind(msg);
+          break;
+        case OpType::kInsert:
+          SlaveInsert(msg);
+          break;
+        case OpType::kDelete:
+          SlaveDelete(msg);
+          break;
+      }
+      break;
+    case MsgType::kMergeDown:
+      SlaveMergeDown(msg);
+      break;
+    case MsgType::kMergeUp:
+      SlaveMergeUp(msg);
+      break;
+    case MsgType::kGarbageCollect:
+      SlaveGarbageCollect(msg);
+      break;
+    default:
+      assert(false && "unexpected message at bucket slave");
+  }
+  {
+    // Notify under the mutex: once Stop()'s wait observes zero and
+    // re-acquires the mutex, this thread has provably finished touching the
+    // condition variable, so member destruction is safe.
+    std::lock_guard<std::mutex> guard(drain_mutex_);
+    active_slaves_.fetch_sub(1);
+    drain_cv_.notify_all();
+  }
+}
+
+void BucketManager::SendBucketDone(const Message& msg, bool success) {
+  Message done;
+  done.type = MsgType::kBucketDone;
+  done.txn = msg.txn;
+  done.op = msg.op;
+  done.success = success;
+  cluster_->network().Send(msg.dirmgr_port, done);
+}
+
+void BucketManager::SendUserReply(const Message& msg, bool success,
+                                  bool found, uint64_t value) {
+  Message reply;
+  reply.type = MsgType::kReply;
+  reply.txn = msg.txn;
+  reply.op = msg.op;
+  reply.success = success;
+  reply.found = found;
+  reply.value = value;
+  cluster_->network().Send(msg.user_port, reply);
+}
+
+void BucketManager::SendMergeUpdate(const Message& msg, int old_localdepth,
+                                    uint64_t v0, uint64_t v1,
+                                    storage::PageId survivor,
+                                    ManagerId survivor_mgr,
+                                    storage::PageId garbage,
+                                    ManagerId garbage_mgr) {
+  Message up;
+  up.type = MsgType::kUpdate;
+  up.op = OpType::kDelete;
+  up.txn = msg.txn;
+  up.pseudokey = msg.pseudokey;
+  up.old_localdepth = old_localdepth;
+  up.version1 = v0;  // "0" partner's pre-merge version
+  up.version2 = v1;  // "1" partner's pre-merge version
+  up.page = survivor;
+  up.mgr = survivor_mgr;
+  up.page2 = garbage;
+  up.mgr2 = garbage_mgr;
+  up.success = true;
+  cluster_->network().Send(msg.dirmgr_port, up);
+}
+
+bool BucketManager::WalkToRightBucket(const Message& msg, util::LockMode mode,
+                                      storage::PageId* page,
+                                      storage::Bucket* bucket,
+                                      util::RaxLock** lock) {
+  storage::PageId oldpage = msg.page;
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->Lock(mode);
+
+  // Handshakes taken once the first lock is held (Figure 14): a wrongbucket
+  // forward acknowledges the sending slave — which has kept its own lock
+  // until now, preserving lock coupling across the manager boundary;
+  // a fresh find tells the directory manager it may forget the request.
+  if (msg.type == MsgType::kWrongBucket) {
+    Message ack;
+    ack.type = MsgType::kWrongBucketAck;
+    cluster_->network().Send(msg.reply_port, ack);
+    stat_wrongbucket_served_.fetch_add(1, std::memory_order_relaxed);
+  } else if (msg.op == OpType::kFind) {
+    SendBucketDone(msg, true);
+  }
+
+  GetBucket(oldpage, bucket);
+  while (bucket->deleted ||
+         !util::MatchesCommonBits(msg.pseudokey, bucket->commonbits,
+                                  bucket->localdepth)) {
+    const storage::PageId newpage = bucket->next;
+    const ManagerId machine = bucket->next_mgr;
+    if (machine != id_) {
+      // The chain leaves this manager: forward, and hold our lock until the
+      // peer has locked the next bucket.
+      Message wb = msg;
+      wb.type = MsgType::kWrongBucket;
+      wb.page = newpage;
+      const PortId myreply = AcquireSlavePort();
+      wb.reply_port = myreply;
+      stat_wrongbucket_sent_.fetch_add(1, std::memory_order_relaxed);
+      cluster_->network().Send(cluster_->bucket_front_port(machine), wb);
+      const Message ack = cluster_->network().Receive(myreply);
+      assert(ack.type == MsgType::kWrongBucketAck);
+      (void)ack;
+      ReleaseSlavePort(myreply);
+      old_lock->Unlock(mode);
+      return false;
+    }
+    util::RaxLock* new_lock = &locks_.For(newpage);
+    new_lock->Lock(mode);
+    GetBucket(newpage, bucket);
+    old_lock->Unlock(mode);
+    old_lock = new_lock;
+    oldpage = newpage;
+  }
+  *page = oldpage;
+  *lock = old_lock;
+  return true;
+}
+
+void BucketManager::SlaveFind(const Message& msg) {
+  stat_finds_.fetch_add(1, std::memory_order_relaxed);
+  storage::PageId page;
+  storage::Bucket bucket(capacity_);
+  util::RaxLock* lock;
+  if (!WalkToRightBucket(msg, util::LockMode::kRho, &page, &bucket, &lock)) {
+    return;
+  }
+  uint64_t value = 0;
+  const bool found = bucket.Search(msg.key, &value);
+  SendUserReply(msg, found, found, value);
+  lock->Unlock(util::LockMode::kRho);
+}
+
+void BucketManager::SlaveInsert(const Message& msg) {
+  stat_inserts_.fetch_add(1, std::memory_order_relaxed);
+  storage::PageId oldpage;
+  storage::Bucket current(capacity_);
+  util::RaxLock* lock;
+  if (!WalkToRightBucket(msg, util::LockMode::kAlpha, &oldpage, &current,
+                         &lock)) {
+    return;
+  }
+
+  if (current.Search(msg.key)) {
+    SendBucketDone(msg, true);
+    SendUserReply(msg, /*success=*/false, false, 0);
+    lock->Unlock(util::LockMode::kAlpha);
+    return;
+  }
+
+  if (!current.full()) {
+    current.Add(msg.key, msg.value);
+    PutBucket(oldpage, current);
+    SendBucketDone(msg, true);
+    SendUserReply(msg, /*success=*/true, false, 0);
+    lock->Unlock(util::LockMode::kAlpha);
+    return;
+  }
+
+  // Split.  The new half may be placed on another manager (splitbucket).
+  const int old_localdepth = current.localdepth;
+  storage::Bucket half1(capacity_);
+  storage::Bucket half2(capacity_);
+  const bool done =
+      core::SplitRecords(current, msg.key, msg.value, cluster_->hasher(),
+                         oldpage, storage::kInvalidPage, &half1, &half2);
+  half2.prev = oldpage;
+  half2.prev_mgr = id_;
+
+  storage::PageId newpage;
+  ManagerId machine = cluster_->ChooseSplitTarget(id_);
+  if (machine == id_) {
+    newpage = store_.Alloc();
+    PutBucket(newpage, half2);
+    stat_splits_local_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    Message sb;
+    sb.type = MsgType::kSplitBucket;
+    const PortId myreply = AcquireSlavePort();
+    sb.reply_port = myreply;
+    sb.buffer = std::make_shared<storage::Bucket>(half2);
+    cluster_->network().Send(cluster_->bucket_front_port(machine), sb);
+    const Message reply = cluster_->network().Receive(myreply);
+    ReleaseSlavePort(myreply);
+    newpage = reply.page;
+    machine = reply.mgr;
+    stat_splits_spilled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  half1.next = newpage;
+  half1.next_mgr = machine;
+  PutBucket(oldpage, half1);
+  lock->Unlock(util::LockMode::kAlpha);
+
+  Message up;
+  up.type = MsgType::kUpdate;
+  up.op = OpType::kInsert;
+  up.txn = msg.txn;
+  up.pseudokey = msg.pseudokey;
+  up.old_localdepth = old_localdepth;
+  up.version1 = half1.version;
+  up.version2 = half2.version;
+  up.page = newpage;
+  up.mgr = machine;
+  up.success = done;
+  cluster_->network().Send(msg.dirmgr_port, up);
+
+  if (done) SendUserReply(msg, /*success=*/true, false, 0);
+  // Otherwise the directory manager re-drives the insert after applying the
+  // update (Figure 13), and the terminal slave replies.
+}
+
+void BucketManager::PlainRemove(const Message& msg, storage::PageId page,
+                                storage::Bucket& bucket, util::RaxLock* lock) {
+  const bool removed = bucket.Remove(msg.key);
+  if (removed) PutBucket(page, bucket);
+  SendBucketDone(msg, true);
+  SendUserReply(msg, removed, false, 0);
+  lock->Unlock(util::LockMode::kXi);
+}
+
+void BucketManager::SlaveDelete(const Message& msg) {
+  stat_deletes_.fetch_add(1, std::memory_order_relaxed);
+  storage::PageId oldpage;
+  storage::Bucket current(capacity_);
+  util::RaxLock* lock;
+  if (!WalkToRightBucket(msg, util::LockMode::kXi, &oldpage, &current,
+                         &lock)) {
+    return;
+  }
+
+  if (current.count() > 1 || current.localdepth <= 1 || msg.no_merge ||
+      !cluster_->merging_enabled()) {
+    PlainRemove(msg, oldpage, current, lock);
+    return;
+  }
+  if (!current.Search(msg.key)) {
+    SendBucketDone(msg, true);
+    SendUserReply(msg, /*success=*/false, false, 0);
+    lock->Unlock(util::LockMode::kXi);
+    return;
+  }
+
+  // Deleting the lone record of a depth>1 bucket: attempt a merge.
+  if (!util::IsOnePartner(msg.pseudokey, current.localdepth)) {
+    // z in the FIRST of the pair: the "1" partner is our chain successor.
+    if (current.next_mgr == id_) {
+      LocalMergeZFirst(msg, oldpage, current, lock);
+      return;
+    }
+    // Off-site partner: mergedown.
+    const PortId myreply = AcquireSlavePort();
+    Message md;
+    md.type = MsgType::kMergeDown;
+    md.page = current.next;
+    md.old_localdepth = current.localdepth;
+    md.reply_port = myreply;
+    cluster_->network().Send(cluster_->bucket_front_port(current.next_mgr),
+                             md);
+    const Message reply = cluster_->network().Receive(myreply);
+    ReleaseSlavePort(myreply);
+    if (!reply.success) {
+      PlainRemove(msg, oldpage, current, lock);
+      return;
+    }
+    // The remote partner is tombstoned; its pre-merge contents are in
+    // reply.buffer.  Build the merged bucket on our (the "0" partner's)
+    // page.
+    const storage::Bucket& bro = *reply.buffer;
+    storage::Bucket merged = bro;
+    merged.localdepth = current.localdepth - 1;
+    merged.commonbits = current.commonbits & util::Mask(merged.localdepth);
+    merged.version = std::max(current.version, bro.version) + 1;
+    merged.prev = current.prev;
+    merged.prev_mgr = current.prev_mgr;
+    merged.deleted = false;
+    PutBucket(oldpage, merged);
+    SendMergeUpdate(msg, current.localdepth, current.version, bro.version,
+                    oldpage, id_, current.next, current.next_mgr);
+    SendUserReply(msg, /*success=*/true, false, 0);
+    lock->Unlock(util::LockMode::kXi);
+    stat_merges_remote_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // z in the SECOND of the pair: the "0" partner is found through our prev
+  // link (local information — no directory inquiry needed, section 3).
+  const storage::PageId prevpage = current.prev;
+  const ManagerId prevmgr = current.prev_mgr;
+  lock->Unlock(util::LockMode::kXi);  // lock partners in chain order
+
+  if (prevmgr == id_) {
+    LocalMergeZSecond(msg, oldpage, prevpage);
+    return;
+  }
+
+  // Off-site "0" partner: mergeup + goahead.
+  const PortId myreply = AcquireSlavePort();
+  Message mu;
+  mu.type = MsgType::kMergeUp;
+  mu.page = prevpage;
+  mu.page2 = oldpage;  // target bucket's address
+  mu.mgr = id_;
+  mu.reply_port = myreply;
+  cluster_->network().Send(cluster_->bucket_front_port(prevmgr), mu);
+  const Message reply = cluster_->network().Receive(myreply);
+  ReleaseSlavePort(myreply);
+  if (!reply.success) {
+    // Not mergable partners (stale prev, partner split/deleted): re-drive.
+    SendBucketDone(msg, false);
+    stat_restarts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // The remote side holds its xi lock awaiting goahead; re-lock our bucket
+  // and re-validate everything (Figure 9/14's re-check ladder).
+  util::RaxLock* relock = &locks_.For(oldpage);
+  relock->XiLock();
+  storage::Bucket fresh(capacity_);
+  GetBucket(oldpage, &fresh);
+
+  auto send_goahead = [&](bool ok, storage::PageId next, ManagerId next_mgr,
+                          uint64_t version) {
+    Message go;
+    go.type = MsgType::kGoAhead;
+    go.success = ok;
+    go.page = next;
+    go.mgr = next_mgr;
+    go.version1 = version;
+    cluster_->network().Send(reply.reply_port, go);
+  };
+
+  if (fresh.deleted ||
+      !util::MatchesCommonBits(msg.pseudokey, fresh.commonbits,
+                               fresh.localdepth)) {
+    // z moved while the bucket was unlocked.
+    relock->UnXiLock();
+    send_goahead(false, storage::kInvalidPage, 0, 0);
+    SendBucketDone(msg, false);
+    stat_restarts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const bool mergable = fresh.localdepth == reply.old_localdepth &&
+                        fresh.count() == 1 && fresh.Search(msg.key);
+  if (!mergable) {
+    send_goahead(false, storage::kInvalidPage, 0, 0);
+    PlainRemove(msg, oldpage, fresh, relock);
+    return;
+  }
+
+  const int old_localdepth = fresh.localdepth;
+  const uint64_t v0 = reply.version1;  // "0" partner pre-merge
+  const uint64_t v1 = fresh.version;   // our (the "1" partner's) pre-merge
+  send_goahead(true, fresh.next, fresh.next_mgr, std::max(v0, v1) + 1);
+
+  // Tombstone ourselves, redirecting to the survivor.
+  fresh.deleted = true;
+  fresh.next = prevpage;
+  fresh.next_mgr = prevmgr;
+  fresh.Clear();
+  PutBucket(oldpage, fresh);
+  SendMergeUpdate(msg, old_localdepth, v0, v1, prevpage, prevmgr, oldpage,
+                  id_);
+  SendUserReply(msg, /*success=*/true, false, 0);
+  relock->UnXiLock();
+  stat_merges_remote_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BucketManager::LocalMergeZFirst(const Message& msg,
+                                     storage::PageId oldpage,
+                                     storage::Bucket& current,
+                                     util::RaxLock* old_lock) {
+  const storage::PageId partnerpage = current.next;
+  util::RaxLock* partner_lock = &locks_.For(partnerpage);
+  partner_lock->XiLock();
+  storage::Bucket brother(capacity_);
+  GetBucket(partnerpage, &brother);
+  assert(!brother.deleted);  // live chain never points at a tombstone
+
+  if (brother.localdepth != current.localdepth) {
+    partner_lock->UnXiLock();
+    PlainRemove(msg, oldpage, current, old_lock);
+    return;
+  }
+
+  const int old_localdepth = current.localdepth;
+  storage::Bucket merged = brother;
+  merged.localdepth = old_localdepth - 1;
+  merged.commonbits = current.commonbits & util::Mask(merged.localdepth);
+  merged.version = std::max(current.version, brother.version) + 1;
+  merged.prev = current.prev;
+  merged.prev_mgr = current.prev_mgr;
+  PutBucket(oldpage, merged);
+
+  storage::Bucket tomb = brother;
+  tomb.deleted = true;
+  tomb.Clear();
+  tomb.next = oldpage;
+  tomb.next_mgr = id_;
+  PutBucket(partnerpage, tomb);
+
+  SendMergeUpdate(msg, old_localdepth, current.version, brother.version,
+                  oldpage, id_, partnerpage, id_);
+  SendUserReply(msg, /*success=*/true, false, 0);
+  partner_lock->UnXiLock();
+  old_lock->Unlock(util::LockMode::kXi);
+  stat_merges_local_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BucketManager::LocalMergeZSecond(const Message& msg,
+                                      storage::PageId oldpage,
+                                      storage::PageId prevpage) {
+  // Our lock on oldpage has been released (the caller captured prevpage
+  // while it was still locked); take the partners in chain order, then
+  // re-validate — the centralized second solution's dance (Figure 9),
+  // scoped to this manager's lock table.
+  util::RaxLock* partner_lock = &locks_.For(prevpage);
+  partner_lock->XiLock();
+  storage::Bucket brother(capacity_);
+  GetBucket(prevpage, &brother);
+  if (brother.deleted || brother.next != oldpage || brother.next_mgr != id_) {
+    // Label A: not mergable partners — re-drive through the directory.
+    partner_lock->UnXiLock();
+    SendBucketDone(msg, false);
+    stat_restarts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->XiLock();
+  storage::Bucket fresh(capacity_);
+  GetBucket(oldpage, &fresh);
+  if (fresh.deleted ||
+      !util::MatchesCommonBits(msg.pseudokey, fresh.commonbits,
+                               fresh.localdepth)) {
+    old_lock->UnXiLock();
+    partner_lock->UnXiLock();
+    SendBucketDone(msg, false);
+    stat_restarts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const bool mergable = fresh.localdepth == brother.localdepth &&
+                        fresh.count() == 1 && fresh.Search(msg.key);
+  if (!mergable) {
+    partner_lock->UnXiLock();
+    PlainRemove(msg, oldpage, fresh, old_lock);
+    return;
+  }
+
+  const int old_localdepth = fresh.localdepth;
+  const uint64_t v0 = brother.version;
+  const uint64_t v1 = fresh.version;
+  brother.localdepth = old_localdepth - 1;
+  brother.commonbits &= util::Mask(brother.localdepth);
+  brother.version = std::max(v0, v1) + 1;
+  brother.next = fresh.next;
+  brother.next_mgr = fresh.next_mgr;
+  PutBucket(prevpage, brother);
+
+  fresh.deleted = true;
+  fresh.Clear();
+  fresh.next = prevpage;
+  fresh.next_mgr = id_;
+  PutBucket(oldpage, fresh);
+
+  SendMergeUpdate(msg, old_localdepth, v0, v1, prevpage, id_, oldpage, id_);
+  SendUserReply(msg, /*success=*/true, false, 0);
+  old_lock->UnXiLock();
+  partner_lock->UnXiLock();
+  stat_merges_local_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BucketManager::SlaveMergeDown(const Message& msg) {
+  util::RaxLock& lock = locks_.For(msg.page);
+  lock.XiLock();
+  storage::Bucket brother(capacity_);
+  GetBucket(msg.page, &brother);
+  const bool success =
+      !brother.deleted && brother.localdepth == msg.old_localdepth;
+
+  Message reply;
+  reply.type = MsgType::kMergeDownReply;
+  reply.success = success;
+  reply.buffer = std::make_shared<storage::Bucket>(brother);
+  cluster_->network().Send(msg.reply_port, reply);
+
+  if (success) {
+    // Tombstone: redirect stale searchers to the bucket we split off from —
+    // the merge survivor.
+    brother.deleted = true;
+    brother.next = brother.prev;
+    brother.next_mgr = brother.prev_mgr;
+    brother.Clear();
+    PutBucket(msg.page, brother);
+  }
+  lock.UnXiLock();
+}
+
+void BucketManager::SlaveMergeUp(const Message& msg) {
+  util::RaxLock& lock = locks_.For(msg.page);
+  lock.XiLock();
+  storage::Bucket brother(capacity_);
+  GetBucket(msg.page, &brother);
+  const bool success = !brother.deleted && brother.next == msg.page2 &&
+                       brother.next_mgr == msg.mgr;
+
+  const PortId myreply = success ? AcquireSlavePort() : kInvalidPort;
+  Message reply;
+  reply.type = MsgType::kMergeUpReply;
+  reply.success = success;
+  reply.old_localdepth = brother.localdepth;
+  reply.version1 = brother.version;
+  reply.reply_port = myreply;
+  cluster_->network().Send(msg.reply_port, reply);
+
+  if (success) {
+    const Message go = cluster_->network().Receive(myreply);
+    ReleaseSlavePort(myreply);
+    if (go.success) {
+      brother.localdepth -= 1;
+      brother.commonbits &= util::Mask(brother.localdepth);
+      brother.next = go.page;
+      brother.next_mgr = go.mgr;
+      brother.version = go.version1;
+      PutBucket(msg.page, brother);
+    }
+  }
+  lock.UnXiLock();
+}
+
+void BucketManager::SlaveGarbageCollect(const Message& msg) {
+  for (const storage::PageId page : msg.gc_pages) {
+    util::RaxLock& lock = locks_.For(page);
+    lock.XiLock();
+    store_.Dealloc(page);
+    lock.UnXiLock();
+    stat_gc_pages_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BucketManagerStats BucketManager::stats() const {
+  BucketManagerStats s;
+  s.finds = stat_finds_.load(std::memory_order_relaxed);
+  s.inserts = stat_inserts_.load(std::memory_order_relaxed);
+  s.deletes = stat_deletes_.load(std::memory_order_relaxed);
+  s.splits_local = stat_splits_local_.load(std::memory_order_relaxed);
+  s.splits_spilled = stat_splits_spilled_.load(std::memory_order_relaxed);
+  s.merges_local = stat_merges_local_.load(std::memory_order_relaxed);
+  s.merges_remote = stat_merges_remote_.load(std::memory_order_relaxed);
+  s.wrongbucket_sent = stat_wrongbucket_sent_.load(std::memory_order_relaxed);
+  s.wrongbucket_served =
+      stat_wrongbucket_served_.load(std::memory_order_relaxed);
+  s.gc_pages = stat_gc_pages_.load(std::memory_order_relaxed);
+  s.restarts = stat_restarts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace exhash::dist

@@ -1,0 +1,169 @@
+// BucketManager: owner of a disjoint subset of the buckets (Figure 14).
+//
+// Modeled as the paper presents it: a front-end process that is the initial
+// contact for this manager's buckets, plus slave processes spawned per
+// request that "operate much like processes in the centralized solution
+// until they require pieces of the data structure that are outside this
+// manager's domain", at which point they use the off-site protocols:
+//
+//   * wrongbucket  — chain recovery across managers.  The remote slave locks
+//     the next bucket *before* acknowledging, so the lock-coupling invariant
+//     of the centralized solution survives the manager boundary;
+//   * splitbucket  — placing the new half of a split on another manager
+//     (handled directly by the front end, as in the paper);
+//   * mergedown    — the deleter holds the "0" partner and asks the manager
+//     of the "1" partner to tombstone it and hand back its contents;
+//   * mergeup + goahead — the deleter holds the "1" partner, locates the "0"
+//     partner through its prev link, and runs the two-phase consent dance of
+//     Figure 14 (the remote side holds its xi lock while awaiting goahead);
+//   * garbagecollect — xi-lock + deallocate, sent by a directory manager
+//     once every replica acknowledged the merge.
+//
+// Deviations (documented): completion replies to the user are sent by the
+// slave that finishes the operation; a slave that loses a race re-drives the
+// operation by sending bucketdone(success=false) to the directory manager,
+// which re-forwards against its current directory (the retry hook Figure 13
+// provides for deletes; we use it for the same purpose).
+
+#ifndef EXHASH_DISTRIBUTED_BUCKET_MANAGER_H_
+#define EXHASH_DISTRIBUTED_BUCKET_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/lock_table.h"
+#include "distributed/message.h"
+#include "distributed/network.h"
+#include "storage/bucket.h"
+#include "storage/page_store.h"
+#include "util/pseudokey.h"
+#include "util/rax_lock.h"
+
+namespace exhash::dist {
+
+class Cluster;
+
+struct BucketManagerStats {
+  uint64_t finds = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t splits_local = 0;
+  uint64_t splits_spilled = 0;   // new half placed on another manager
+  uint64_t merges_local = 0;     // both partners on this manager
+  uint64_t merges_remote = 0;    // via mergedown/mergeup
+  uint64_t wrongbucket_sent = 0;
+  uint64_t wrongbucket_served = 0;
+  uint64_t gc_pages = 0;
+  uint64_t restarts = 0;  // bucketdone(success=false) re-drives
+};
+
+class BucketManager {
+ public:
+  BucketManager(Cluster* cluster, ManagerId id, size_t page_size);
+  ~BucketManager();
+  BucketManager(const BucketManager&) = delete;
+  BucketManager& operator=(const BucketManager&) = delete;
+
+  PortId front_port() const { return front_port_; }
+  ManagerId id() const { return id_; }
+  int capacity() const { return capacity_; }
+
+  // Pre-start seeding: writes `bucket` to a fresh page, returns its id.
+  storage::PageId SeedBucket(const storage::Bucket& bucket);
+
+  void Start();
+  // Requires cluster quiescence (no slave blocked on a peer); joins
+  // everything.
+  void Stop();
+
+  BucketManagerStats stats() const;
+  bool Idle() const { return active_slaves_.load() == 0; }
+
+  // Quiescent-state access for the cluster validator.
+  void ReadBucketQuiescent(storage::PageId page, storage::Bucket* bucket) {
+    GetBucket(page, bucket);
+  }
+  storage::PageStoreStats IoStats() const { return store_.stats(); }
+
+ private:
+  void RunFrontEnd();
+  void SlaveEntry(Message msg);
+
+  // The three user operations (also entered via wrongbucket forwards).
+  void SlaveFind(const Message& msg);
+  void SlaveInsert(const Message& msg);
+  void SlaveDelete(const Message& msg);
+  // Off-site merge servicing.
+  void SlaveMergeDown(const Message& msg);
+  void SlaveMergeUp(const Message& msg);
+  void SlaveGarbageCollect(const Message& msg);
+
+  // Walks next links to the bucket owning `pseudokey`, taking `mode` locks
+  // with coupling.  If the chain leaves this manager, forwards the op and
+  // returns false (the caller's slave is done).  On true, *page/*bucket/
+  // **lock describe the locked right bucket.
+  bool WalkToRightBucket(const Message& msg, util::LockMode mode,
+                         storage::PageId* page, storage::Bucket* bucket,
+                         util::RaxLock** lock);
+
+  // Local merge when both partners live on this manager (the centralized
+  // second-solution logic, scoped to this manager's lock table).
+  void LocalMergeZFirst(const Message& msg, storage::PageId oldpage,
+                        storage::Bucket& current, util::RaxLock* old_lock);
+  void LocalMergeZSecond(const Message& msg, storage::PageId oldpage,
+                         storage::PageId prevpage);
+
+  void GetBucket(storage::PageId page, storage::Bucket* bucket);
+  void PutBucket(storage::PageId page, const storage::Bucket& bucket);
+
+  void SendBucketDone(const Message& msg, bool success);
+  void SendUserReply(const Message& msg, bool success, bool found,
+                     uint64_t value);
+  void SendMergeUpdate(const Message& msg, int old_localdepth, uint64_t v0,
+                       uint64_t v1, storage::PageId survivor,
+                       ManagerId survivor_mgr, storage::PageId garbage,
+                       ManagerId garbage_mgr);
+
+  // Completes a delete as a plain removal (no merge) on the locked bucket.
+  void PlainRemove(const Message& msg, storage::PageId page,
+                   storage::Bucket& bucket, util::RaxLock* lock);
+
+  PortId AcquireSlavePort();
+  void ReleaseSlavePort(PortId port);
+
+  Cluster* const cluster_;
+  const ManagerId id_;
+  const size_t page_size_;
+  const int capacity_;
+  storage::PageStore store_;
+  core::LockTable locks_;
+  PortId front_port_;
+  std::thread front_thread_;
+
+  std::mutex port_pool_mutex_;
+  std::vector<PortId> port_pool_;
+
+  std::atomic<int> active_slaves_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> stat_finds_{0};
+  std::atomic<uint64_t> stat_inserts_{0};
+  std::atomic<uint64_t> stat_deletes_{0};
+  std::atomic<uint64_t> stat_splits_local_{0};
+  std::atomic<uint64_t> stat_splits_spilled_{0};
+  std::atomic<uint64_t> stat_merges_local_{0};
+  std::atomic<uint64_t> stat_merges_remote_{0};
+  std::atomic<uint64_t> stat_wrongbucket_sent_{0};
+  std::atomic<uint64_t> stat_wrongbucket_served_{0};
+  std::atomic<uint64_t> stat_gc_pages_{0};
+  std::atomic<uint64_t> stat_restarts_{0};
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_BUCKET_MANAGER_H_

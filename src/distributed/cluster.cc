@@ -1,0 +1,309 @@
+#include "distributed/cluster.h"
+
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <unordered_set>
+
+#include "util/bits.h"
+
+namespace exhash::dist {
+
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+Cluster::Cluster(const Options& options)
+    : options_(options), net_(options.net) {
+  assert(options.num_directory_managers >= 1);
+  assert(options.num_bucket_managers >= 1);
+  assert(options.initial_depth >= 1);
+  for (int d = 0; d < options.num_directory_managers; ++d) {
+    dir_managers_.push_back(std::make_unique<DirectoryManager>(
+        this, uint32_t(d), options.initial_depth, options.max_depth));
+  }
+  for (int b = 0; b < options.num_bucket_managers; ++b) {
+    bucket_managers_.push_back(std::make_unique<BucketManager>(
+        this, ManagerId(b), options.page_size));
+  }
+  Seed();
+  for (auto& bm : bucket_managers_) bm->Start();
+  for (auto& dm : dir_managers_) dm->Start();
+}
+
+Cluster::~Cluster() {
+  // Let in-flight work drain (a slave blocked on a peer must not outlive
+  // that peer), then stop directory managers (no new forwards) and finally
+  // the bucket managers.
+  WaitQuiescent(30000);
+  for (auto& dm : dir_managers_) dm->Stop();
+  for (auto& bm : bucket_managers_) bm->Stop();
+}
+
+void Cluster::Seed() {
+  const int d = options_.initial_depth;
+  const uint64_t n = uint64_t{1} << d;
+  const int B = options_.num_bucket_managers;
+  const int capacity = storage::Bucket::CapacityFor(options_.page_size);
+
+  // Placement: bucket index i lives on manager i % B, so the initial chain
+  // already crosses manager boundaries.  Page ids are deterministic: the
+  // j-th bucket seeded on a manager occupies its page j.
+  std::vector<ManagerId> mgr_of(n);
+  std::vector<storage::PageId> page_of(n);
+  std::vector<uint32_t> per_mgr_count(B, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    mgr_of[i] = ManagerId(i % B);
+    page_of[i] = per_mgr_count[i % B]++;
+  }
+
+  std::vector<uint64_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[util::ReverseLowBits(i, d)] = i;
+
+  // SeedBucket allocates pages in call order; seed in per-manager page
+  // order (i.e., ascending index) so ids match page_of.
+  std::vector<storage::Bucket> buckets(n, storage::Bucket(capacity));
+  for (uint64_t pos = 0; pos < n; ++pos) {
+    const uint64_t idx = order[pos];
+    storage::Bucket& b = buckets[idx];
+    b.localdepth = d;
+    b.commonbits = idx;
+    if (pos + 1 < n) {
+      b.next = page_of[order[pos + 1]];
+      b.next_mgr = mgr_of[order[pos + 1]];
+    }
+    if (util::IsOnePartner(idx, d)) {
+      const uint64_t partner = idx & ~(uint64_t{1} << (d - 1));
+      b.prev = page_of[partner];
+      b.prev_mgr = mgr_of[partner];
+    }
+  }
+  for (uint64_t idx = 0; idx < n; ++idx) {
+    const storage::PageId got = bucket_managers_[mgr_of[idx]]->SeedBucket(
+        buckets[idx]);
+    assert(got == page_of[idx]);
+    (void)got;
+  }
+
+  for (auto& dm : dir_managers_) {
+    for (uint64_t idx = 0; idx < n; ++idx) {
+      dm->SeedEntry(idx, DirEntry{page_of[idx], mgr_of[idx], 0});
+    }
+    dm->SeedDepthcount(int(n));
+  }
+}
+
+ManagerId Cluster::ChooseSplitTarget(ManagerId self) {
+  const int B = num_bucket_managers();
+  if (options_.spill_per_8 == 0 || B < 2) return self;
+  const uint64_t c = split_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (int(c % 8) >= options_.spill_per_8) return self;
+  return ManagerId((self + 1 + c % uint64_t(B - 1)) % uint64_t(B));
+}
+
+std::unique_ptr<Cluster::Client> Cluster::NewClient() {
+  const PortId port = net_.CreatePort();
+  const int first =
+      next_client_dm_.fetch_add(1) % num_directory_managers();
+  return std::unique_ptr<Client>(new Client(this, port, first));
+}
+
+Message Cluster::Client::DoOp(OpType op, uint64_t key, uint64_t value) {
+  Message req;
+  req.type = MsgType::kRequest;
+  req.op = op;
+  req.key = key;
+  req.value = value;
+  req.user_port = port_;
+  const int dm = next_dm_;
+  next_dm_ = (next_dm_ + 1) % cluster_->num_directory_managers();
+  cluster_->network().Send(cluster_->directory_request_port(dm), req);
+  return cluster_->network().Receive(port_);
+}
+
+bool Cluster::Client::Find(uint64_t key, uint64_t* value) {
+  const Message r = DoOp(OpType::kFind, key, 0);
+  if (r.found && value != nullptr) *value = r.value;
+  return r.found;
+}
+
+bool Cluster::Client::Insert(uint64_t key, uint64_t value) {
+  return DoOp(OpType::kInsert, key, value).success;
+}
+
+bool Cluster::Client::Remove(uint64_t key) {
+  return DoOp(OpType::kDelete, key, 0).success;
+}
+
+bool Cluster::WaitQuiescent(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int stable_polls = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool idle = net_.TotalQueued() == 0;
+    for (auto& dm : dir_managers_) idle = idle && dm->Idle();
+    for (auto& bm : bucket_managers_) idle = idle && bm->Idle();
+    if (idle) {
+      if (++stable_polls >= 3) return true;
+    } else {
+      stable_polls = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+bool Cluster::ValidateQuiescent(uint64_t expected_size, std::string* error) {
+  // 1. Replica agreement.
+  const DirectoryManager& first = *dir_managers_[0];
+  const int depth = first.depth();
+  for (size_t d = 1; d < dir_managers_.size(); ++d) {
+    const DirectoryManager& dm = *dir_managers_[d];
+    if (dm.depth() != depth) {
+      return Fail(error, Fmt("replica %zu depth %d != replica 0 depth %d", d,
+                             dm.depth(), depth));
+    }
+    if (dm.depthcount() != first.depthcount()) {
+      return Fail(error, Fmt("replica %zu depthcount %d != replica 0's %d", d,
+                             dm.depthcount(), first.depthcount()));
+    }
+    for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
+      if (!(dm.EntryAt(i) == first.EntryAt(i))) {
+        return Fail(error,
+                    Fmt("replica %zu entry %" PRIu64 " differs from replica 0",
+                        d, i));
+      }
+    }
+  }
+
+  // 2. Bucket graph soundness (the centralized validator, generalized to
+  // (manager, page) addresses).
+  using Addr = std::pair<ManagerId, storage::PageId>;
+  const int capacity = storage::Bucket::CapacityFor(options_.page_size);
+  std::map<Addr, storage::Bucket> buckets;
+  std::map<Addr, std::vector<uint64_t>> referrers;
+  for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
+    const DirEntry e = first.EntryAt(i);
+    if (e.page == storage::kInvalidPage) {
+      return Fail(error, Fmt("entry %" PRIu64 " invalid", i));
+    }
+    const Addr addr{e.mgr, e.page};
+    referrers[addr].push_back(i);
+    if (!buckets.contains(addr)) {
+      storage::Bucket b(capacity);
+      bucket_managers_[e.mgr]->ReadBucketQuiescent(e.page, &b);
+      buckets.emplace(addr, std::move(b));
+    }
+  }
+
+  uint64_t total_records = 0;
+  int full_depth = 0;
+  std::unordered_set<uint64_t> seen_keys;
+  for (const auto& [addr, b] : buckets) {
+    if (b.deleted) {
+      return Fail(error, Fmt("directory references tombstone mgr=%u page=%u",
+                             addr.first, addr.second));
+    }
+    if (b.localdepth < 1 || b.localdepth > depth) {
+      return Fail(error, Fmt("bucket mgr=%u page=%u localdepth %d invalid",
+                             addr.first, addr.second, b.localdepth));
+    }
+    if (b.localdepth == depth) ++full_depth;
+    const uint64_t expect_refs = uint64_t{1} << (depth - b.localdepth);
+    if (referrers[addr].size() != expect_refs) {
+      return Fail(error,
+                  Fmt("bucket mgr=%u page=%u has %zu referrers, want %" PRIu64,
+                      addr.first, addr.second, referrers[addr].size(),
+                      expect_refs));
+    }
+    for (uint64_t idx : referrers[addr]) {
+      if (util::LowBits(idx, b.localdepth) != b.commonbits) {
+        return Fail(error, Fmt("entry %" PRIu64 " commonbits mismatch", idx));
+      }
+    }
+    for (const storage::Record& r : b.records()) {
+      if (!util::MatchesCommonBits(hasher_.Hash(r.key), b.commonbits,
+                                   b.localdepth)) {
+        return Fail(error, Fmt("key %" PRIu64 " misplaced", r.key));
+      }
+      if (!seen_keys.insert(r.key).second) {
+        return Fail(error, Fmt("duplicate key %" PRIu64, r.key));
+      }
+      ++total_records;
+    }
+  }
+  if (total_records != expected_size) {
+    return Fail(error, Fmt("record count %" PRIu64 " != expected %" PRIu64,
+                           total_records, expected_size));
+  }
+  if (first.depthcount() != full_depth) {
+    return Fail(error, Fmt("depthcount %d != counted %d", first.depthcount(),
+                           full_depth));
+  }
+
+  // 3. Chain traversal in bit-reversed order across managers.
+  const DirEntry head = first.EntryAt(0);
+  Addr addr{head.mgr, head.page};
+  std::unordered_set<uint64_t> visited;
+  uint64_t prev_rank = 0;
+  bool first_hop = true;
+  while (true) {
+    auto it = buckets.find(addr);
+    if (it == buckets.end()) {
+      return Fail(error, Fmt("chain reaches unknown bucket mgr=%u page=%u",
+                             addr.first, addr.second));
+    }
+    const storage::Bucket& b = it->second;
+    const uint64_t key64 = (uint64_t(addr.first) << 32) | addr.second;
+    if (!visited.insert(key64).second) {
+      return Fail(error, "chain cycle");
+    }
+    const uint64_t rank = util::ChainRank(b.commonbits, b.localdepth);
+    if (!first_hop && rank <= prev_rank) {
+      return Fail(error, Fmt("chain order violation at mgr=%u page=%u",
+                             addr.first, addr.second));
+    }
+    prev_rank = rank;
+    first_hop = false;
+
+    // prev invariant for "1" partners whose partner is at equal depth.
+    if (util::IsOnePartner(b.commonbits, b.localdepth)) {
+      const uint64_t partner_idx = util::LowBits(
+          b.commonbits & ~(util::Pseudokey{1} << (b.localdepth - 1)), depth);
+      const DirEntry pe = first.EntryAt(partner_idx);
+      const auto pit = buckets.find(Addr{pe.mgr, pe.page});
+      if (pit != buckets.end() && pit->second.localdepth == b.localdepth &&
+          (b.prev != pe.page || b.prev_mgr != pe.mgr)) {
+        return Fail(error, Fmt("prev link of mgr=%u page=%u stale",
+                               addr.first, addr.second));
+      }
+    }
+    if (b.next == storage::kInvalidPage) break;
+    addr = Addr{b.next_mgr, b.next};
+  }
+  if (visited.size() != buckets.size()) {
+    return Fail(error, Fmt("chain visited %zu of %zu buckets", visited.size(),
+                           buckets.size()));
+  }
+  return true;
+}
+
+}  // namespace exhash::dist

@@ -1,0 +1,108 @@
+// Cluster: wires D replicated directory managers and B bucket managers over
+// one SimNetwork, seeds the initial hash file, and provides synchronous
+// client handles plus quiescent-state validation.
+
+#ifndef EXHASH_DISTRIBUTED_CLUSTER_H_
+#define EXHASH_DISTRIBUTED_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/bucket_manager.h"
+#include "distributed/directory_manager.h"
+#include "distributed/network.h"
+#include "util/pseudokey.h"
+
+namespace exhash::dist {
+
+class Cluster {
+ public:
+  struct Options {
+    int num_directory_managers = 2;
+    int num_bucket_managers = 2;
+    size_t page_size = 256;
+    int initial_depth = 2;
+    int max_depth = 18;
+    // Fraction (numerator per 8) of splits whose new half is placed on
+    // another manager — 0 keeps splits local; >0 exercises the splitbucket
+    // protocol and cross-manager chains.
+    int spill_per_8 = 0;
+    bool enable_merging = true;
+    SimNetwork::Options net;
+  };
+
+  explicit Cluster(const Options& options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // A synchronous client.  Not thread-safe; create one per thread.  Each
+  // request goes to the next directory manager round-robin (any replica
+  // works — that is the availability story of section 3).
+  class Client {
+   public:
+    bool Find(uint64_t key, uint64_t* value);
+    bool Insert(uint64_t key, uint64_t value);
+    bool Remove(uint64_t key);
+
+   private:
+    friend class Cluster;
+    Client(Cluster* cluster, PortId port, int first_dm)
+        : cluster_(cluster), port_(port), next_dm_(first_dm) {}
+    Message DoOp(OpType op, uint64_t key, uint64_t value);
+
+    Cluster* cluster_;
+    PortId port_;
+    int next_dm_;
+  };
+
+  std::unique_ptr<Client> NewClient();
+
+  // --- wiring used by the managers ---
+  SimNetwork& network() { return net_; }
+  const util::Hasher& hasher() const { return hasher_; }
+  int num_directory_managers() const { return int(dir_managers_.size()); }
+  int num_bucket_managers() const { return int(bucket_managers_.size()); }
+  PortId directory_request_port(int i) const {
+    return dir_managers_[i]->request_port();
+  }
+  PortId bucket_front_port(ManagerId m) const {
+    return bucket_managers_[m]->front_port();
+  }
+  // Placement policy for the new half of a split.
+  ManagerId ChooseSplitTarget(ManagerId self);
+  bool merging_enabled() const { return options_.enable_merging; }
+
+  DirectoryManager& directory_manager(int i) { return *dir_managers_[i]; }
+  BucketManager& bucket_manager(int i) { return *bucket_managers_[i]; }
+
+  // Blocks until every manager is idle and the network has drained (bounded
+  // by `timeout_ms`).  Returns false on timeout.
+  bool WaitQuiescent(int timeout_ms = 30000);
+
+  // Quiescent-state validation: every directory replica identical, the
+  // bucket graph sound (commonbits/chain/prev invariants), record count
+  // equal to `expected_size`, no duplicate keys.
+  bool ValidateQuiescent(uint64_t expected_size, std::string* error);
+
+  NetworkStats network_stats() const { return net_.stats(); }
+  void ResetNetworkStats() { net_.ResetStats(); }
+
+ private:
+  void Seed();
+
+  Options options_;
+  SimNetwork net_;
+  util::Mix64Hasher hasher_;
+  std::vector<std::unique_ptr<DirectoryManager>> dir_managers_;
+  std::vector<std::unique_ptr<BucketManager>> bucket_managers_;
+  std::atomic<uint64_t> split_counter_{0};
+  std::atomic<int> next_client_dm_{0};
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_CLUSTER_H_

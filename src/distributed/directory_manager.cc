@@ -1,0 +1,233 @@
+#include "distributed/directory_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "distributed/cluster.h"
+#include "util/bits.h"
+
+namespace exhash::dist {
+
+DirectoryManager::DirectoryManager(Cluster* cluster, uint32_t id,
+                                   int initial_depth, int max_depth)
+    : cluster_(cluster), id_(id), replica_(initial_depth, max_depth) {
+  request_port_ = cluster_->network().CreatePort();
+}
+
+DirectoryManager::~DirectoryManager() { Stop(); }
+
+void DirectoryManager::Start() {
+  started_.store(true);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void DirectoryManager::Stop() {
+  if (!thread_.joinable()) return;
+  Message shutdown;
+  shutdown.type = MsgType::kShutdown;
+  cluster_->network().Send(request_port_, shutdown);
+  thread_.join();
+}
+
+void DirectoryManager::Run() {
+  while (true) {
+    Message msg = cluster_->network().Receive(request_port_);
+    if (msg.type == MsgType::kShutdown) return;
+    Handle(msg);
+    MaybeSendDeferredAcks();
+    MaybeGarbageCollect();
+    idle_.store(contexts_.empty() && replica_.pending() == 0 && rho_ == 0 &&
+                    alpha_ == 0 && deferred_delete_acks_.empty() &&
+                    pending_garbage_.empty(),
+                std::memory_order_release);
+  }
+}
+
+bool DirectoryManager::Idle() const {
+  return idle_.load(std::memory_order_acquire);
+}
+
+void DirectoryManager::Handle(const Message& msg) {
+  idle_.store(false, std::memory_order_release);
+  switch (msg.type) {
+    case MsgType::kRequest:
+      HandleRequest(msg);
+      break;
+    case MsgType::kBucketDone:
+      HandleBucketDone(msg);
+      break;
+    case MsgType::kUpdate:
+      HandleUpdate(msg);
+      break;
+    case MsgType::kCopyUpdate:
+      HandleCopyUpdate(msg);
+      break;
+    case MsgType::kCopyUpdateAck:
+      --alpha_;
+      break;
+    default:
+      assert(false && "unexpected message at directory manager");
+  }
+}
+
+void DirectoryManager::HandleRequest(const Message& msg) {
+  stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t txn = (uint64_t{id_} << 40) | next_txn_++;
+  Context ctx;
+  ctx.op = msg.op;
+  ctx.key = msg.key;
+  ctx.value = msg.value;
+  ctx.pseudokey = cluster_->hasher().Hash(msg.key);
+  ctx.user_port = msg.user_port;
+  contexts_[txn] = ctx;
+  ++rho_;
+  ContactBucket(txn, ctx);
+}
+
+void DirectoryManager::ContactBucket(uint64_t txn, const Context& ctx) {
+  const DirEntry entry = replica_.Lookup(ctx.pseudokey);
+  Message fwd;
+  fwd.type = MsgType::kOpForward;
+  fwd.op = ctx.op;
+  fwd.key = ctx.key;
+  fwd.value = ctx.value;
+  fwd.pseudokey = ctx.pseudokey;
+  fwd.txn = txn;
+  fwd.page = entry.page;
+  fwd.user_port = ctx.user_port;
+  fwd.dirmgr_port = request_port_;
+  fwd.no_merge = ctx.no_merge;
+  cluster_->network().Send(cluster_->bucket_front_port(entry.mgr), fwd);
+}
+
+void DirectoryManager::HandleBucketDone(const Message& msg) {
+  const auto it = contexts_.find(msg.txn);
+  if (it == contexts_.end()) return;  // late duplicate; nothing to do
+  if (!msg.success) {
+    // The bucket manager could not complete the op against the state we
+    // routed it to (e.g. a merge race): retry with the current directory.
+    // Re-driven deletes proceed merge-free so a stable partner mismatch
+    // cannot loop (DESIGN.md D-2).
+    stat_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (it->second.op == OpType::kDelete) it->second.no_merge = true;
+    ContactBucket(msg.txn, it->second);
+    return;
+  }
+  --rho_;
+  contexts_.erase(it);
+}
+
+DirUpdate DirectoryManager::ToUpdate(const Message& msg, bool is_copy) {
+  DirUpdate u;
+  u.op = msg.op;
+  u.pseudokey = msg.pseudokey;
+  u.old_localdepth = msg.old_localdepth;
+  u.version1 = msg.version1;
+  u.version2 = msg.version2;
+  u.page = msg.page;
+  u.mgr = msg.mgr;
+  u.is_copy = is_copy;
+  u.ack_port = msg.ack_port;
+  return u;
+}
+
+void DirectoryManager::SubmitToReplica(const DirUpdate& update) {
+  std::vector<DirUpdate> applied;
+  replica_.Submit(update, &applied);
+  for (const DirUpdate& done : applied) {
+    if (!done.is_copy) continue;
+    if (done.op == OpType::kInsert) {
+      Message ack;
+      ack.type = MsgType::kCopyUpdateAck;
+      cluster_->network().Send(done.ack_port, ack);
+    } else {
+      // Delete acks wait for the xi-equivalent: no request this replica
+      // forwarded may still be in flight (rho == 0).
+      deferred_delete_acks_.push_back(done.ack_port);
+    }
+  }
+}
+
+void DirectoryManager::HandleUpdate(const Message& msg) {
+  // Broadcast to the other replicas first (Figure 13), counting an
+  // outstanding ack per copy — the alpha analogue.
+  Message copy = msg;
+  copy.type = MsgType::kCopyUpdate;
+  copy.ack_port = request_port_;
+  for (int d = 0; d < cluster_->num_directory_managers(); ++d) {
+    if (uint32_t(d) == id_) continue;
+    cluster_->network().Send(cluster_->directory_request_port(d), copy);
+    ++alpha_;
+  }
+
+  SubmitToReplica(ToUpdate(msg, /*is_copy=*/false));
+
+  // Transaction bookkeeping.
+  const auto it = contexts_.find(msg.txn);
+  if (it != contexts_.end()) {
+    if (msg.op == OpType::kInsert && !msg.success) {
+      // The split did not place the record: re-drive the insert (the
+      // paper's `if (!msg.success) ContactBucket(...)`).
+      stat_retries_.fetch_add(1, std::memory_order_relaxed);
+      ContactBucket(msg.txn, it->second);
+    } else {
+      --rho_;
+      contexts_.erase(it);
+    }
+  }
+  if (msg.op == OpType::kDelete) {
+    // Remember the tombstoned page for the eventual garbage collection
+    // phase, gated on every replica's acknowledgement.
+    pending_garbage_.emplace_back(msg.mgr2, msg.page2);
+  }
+}
+
+void DirectoryManager::HandleCopyUpdate(const Message& msg) {
+  SubmitToReplica(ToUpdate(msg, /*is_copy=*/true));
+}
+
+void DirectoryManager::MaybeSendDeferredAcks() {
+  if (rho_ != 0 || deferred_delete_acks_.empty()) return;
+  for (PortId port : deferred_delete_acks_) {
+    Message ack;
+    ack.type = MsgType::kCopyUpdateAck;
+    cluster_->network().Send(port, ack);
+  }
+  deferred_delete_acks_.clear();
+}
+
+void DirectoryManager::MaybeGarbageCollect() {
+  if (rho_ != 0 || alpha_ != 0 || pending_garbage_.empty()) return;
+  // Group the reclaimable pages per owning bucket manager.
+  std::sort(pending_garbage_.begin(), pending_garbage_.end());
+  size_t i = 0;
+  while (i < pending_garbage_.size()) {
+    const ManagerId mgr = pending_garbage_[i].first;
+    Message gc;
+    gc.type = MsgType::kGarbageCollect;
+    while (i < pending_garbage_.size() && pending_garbage_[i].first == mgr) {
+      gc.gc_pages.push_back(pending_garbage_[i].second);
+      ++i;
+    }
+    stat_gc_pages_.fetch_add(gc.gc_pages.size(), std::memory_order_relaxed);
+    cluster_->network().Send(cluster_->bucket_front_port(mgr), gc);
+  }
+  stat_gc_rounds_.fetch_add(1, std::memory_order_relaxed);
+  pending_garbage_.clear();
+}
+
+DirectoryManagerStats DirectoryManager::stats() const {
+  DirectoryManagerStats s;
+  s.requests = stat_requests_.load(std::memory_order_relaxed);
+  s.retries = stat_retries_.load(std::memory_order_relaxed);
+  const ReplicaDirectoryStats r = replica_.stats();
+  s.updates_applied = r.applied;
+  s.updates_delayed = r.delayed;
+  s.doublings = r.doublings;
+  s.halvings = r.halvings;
+  s.gc_rounds = stat_gc_rounds_.load(std::memory_order_relaxed);
+  s.gc_pages = stat_gc_pages_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace exhash::dist

@@ -1,0 +1,138 @@
+// DirectoryManager: one replica of the directory, run as a server process
+// (Figure 13).  The centralized directory lock is replaced by the manager's
+// explicit scheduling of the messages it services:
+//
+//   * `rho` counts requests this replica has forwarded and not yet seen
+//     complete — the analogue of outstanding read locks;
+//   * `alpha` counts copyupdate broadcasts not yet acknowledged by the other
+//     replicas — the analogue of an update lock held for the directory
+//     modification;
+//   * deallocation (the xi-locked phase) is gated on both draining:
+//     garbage-collect messages go out only when rho == 0 && alpha == 0, and
+//     a replica acknowledges a *delete* copyupdate only once its own rho has
+//     drained ("when the equivalent of xi-locking occurs").
+//
+// The replica state and the version-ordered update rule live in
+// ReplicaDirectory (see replica_directory.h), which is unit-tested in
+// isolation; this class adds the request multiplexing, broadcast/ack, and
+// garbage-collection scheduling around it.
+//
+// Documented deviations from Figure 13 (which is pseudocode-sketch level)
+// are listed in DESIGN.md section 4b.
+
+#ifndef EXHASH_DISTRIBUTED_DIRECTORY_MANAGER_H_
+#define EXHASH_DISTRIBUTED_DIRECTORY_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "distributed/message.h"
+#include "distributed/network.h"
+#include "distributed/replica_directory.h"
+#include "util/pseudokey.h"
+
+namespace exhash::dist {
+
+struct DirectoryManagerStats {
+  uint64_t requests = 0;
+  uint64_t retries = 0;          // re-forwarded ops (failed split/merge races)
+  uint64_t updates_applied = 0;  // local + copy updates applied
+  uint64_t updates_delayed = 0;  // saved for version ordering
+  uint64_t doublings = 0;
+  uint64_t halvings = 0;
+  uint64_t gc_rounds = 0;
+  uint64_t gc_pages = 0;
+};
+
+class Cluster;
+
+class DirectoryManager {
+ public:
+  DirectoryManager(Cluster* cluster, uint32_t id, int initial_depth,
+                   int max_depth);
+  ~DirectoryManager();
+  DirectoryManager(const DirectoryManager&) = delete;
+  DirectoryManager& operator=(const DirectoryManager&) = delete;
+
+  PortId request_port() const { return request_port_; }
+  uint32_t id() const { return id_; }
+
+  // Installs one initial directory entry (before Start()).
+  void SeedEntry(uint64_t index, DirEntry entry) {
+    replica_.SeedEntry(index, entry);
+  }
+  void SeedDepthcount(int v) { replica_.set_depthcount(v); }
+
+  void Start();
+  // Sends the shutdown message and joins the server thread.
+  void Stop();
+
+  DirectoryManagerStats stats() const;
+
+  // --- Quiescent-state introspection (tests/validator only) ---
+  int depth() const { return replica_.depth(); }
+  int depthcount() const { return replica_.depthcount(); }
+  DirEntry EntryAt(uint64_t index) const { return replica_.Entry(index); }
+  bool Idle() const;  // rho == 0, alpha == 0, nothing saved or pending
+
+ private:
+  struct Context {
+    OpType op;
+    uint64_t key;
+    uint64_t value;
+    uint64_t pseudokey;
+    PortId user_port;
+    bool no_merge = false;
+  };
+
+  void Run();
+  void Handle(const Message& msg);
+  void HandleRequest(const Message& msg);
+  void HandleBucketDone(const Message& msg);
+  void HandleUpdate(const Message& msg);
+  void HandleCopyUpdate(const Message& msg);
+
+  // Forwards the op for `ctx` to the bucket manager currently responsible.
+  void ContactBucket(uint64_t txn, const Context& ctx);
+
+  // Submits to the replica and sends/defers acks for every copyupdate that
+  // the submission applied (including released saved ones).
+  void SubmitToReplica(const DirUpdate& update);
+
+  static DirUpdate ToUpdate(const Message& msg, bool is_copy);
+
+  void MaybeSendDeferredAcks();
+  void MaybeGarbageCollect();
+
+  Cluster* const cluster_;
+  const uint32_t id_;
+  PortId request_port_;
+
+  // Only the server thread touches these after Start(); tests read them in
+  // quiescent states.
+  ReplicaDirectory replica_;
+  std::map<uint64_t, Context> contexts_;
+  uint64_t next_txn_ = 0;
+  int64_t rho_ = 0;    // outstanding forwarded requests
+  int64_t alpha_ = 0;  // outstanding copyupdate acks
+  std::vector<PortId> deferred_delete_acks_;
+  std::vector<std::pair<ManagerId, storage::PageId>> pending_garbage_;
+
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+
+  // Stats are written by the server thread, read racily by reporters.
+  std::atomic<uint64_t> stat_requests_{0};
+  std::atomic<uint64_t> stat_retries_{0};
+  std::atomic<uint64_t> stat_gc_rounds_{0};
+  std::atomic<uint64_t> stat_gc_pages_{0};
+  mutable std::atomic<bool> idle_{true};
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_DIRECTORY_MANAGER_H_

@@ -1,0 +1,103 @@
+// The message catalog of Figure 12.  One flat struct carries the union of
+// all message payloads — mirroring the paper's field lists exactly — plus a
+// type tag.  Port-based addressing follows the paper's Rashid-80 model:
+// senders may be anonymous; a reply port travels inside the message.
+
+#ifndef EXHASH_DISTRIBUTED_MESSAGE_H_
+#define EXHASH_DISTRIBUTED_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/bucket.h"
+#include "storage/page.h"
+
+namespace exhash::dist {
+
+// A port identifier: the long-lived name of a manager's (or request's)
+// message queue.
+using PortId = uint32_t;
+inline constexpr PortId kInvalidPort = 0xffffffffu;
+
+// A bucket manager identity (index into the cluster's manager table; the
+// paper's "id of bucket manager" / namelookup argument).
+using ManagerId = uint32_t;
+
+enum class OpType : uint8_t { kFind, kInsert, kDelete };
+
+enum class MsgType : uint8_t {
+  // client -> directory manager, and the final answer back.
+  kRequest,
+  kReply,
+  // directory manager -> bucket manager (the op forward; Figure 12 lists
+  // Find/Insert/Delete as one message shape distinguished by `op`).
+  kOpForward,
+  // bucket manager -> directory manager.
+  kBucketDone,
+  kUpdate,
+  // directory manager <-> directory manager (replica maintenance).
+  kCopyUpdate,
+  kCopyUpdateAck,
+  // off-site chain recovery.
+  kWrongBucket,
+  kWrongBucketAck,
+  // off-site split placement.
+  kSplitBucket,
+  kSplitReply,
+  // off-site merging.
+  kMergeDown,
+  kMergeDownReply,
+  kMergeUp,
+  kMergeUpReply,
+  kGoAhead,
+  // directory manager -> bucket manager reclamation.
+  kGarbageCollect,
+  // harness control (not in the paper).
+  kShutdown,
+};
+
+inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kShutdown) + 1;
+
+const char* ToString(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kShutdown;
+  OpType op = OpType::kFind;
+
+  uint64_t key = 0;
+  uint64_t value = 0;         // payload for inserts / result of finds
+  uint64_t pseudokey = 0;
+  uint64_t txn = 0;           // transaction #
+
+  storage::PageId page = storage::kInvalidPage;   // page address
+  storage::PageId page2 = storage::kInvalidPage;  // partner / target address
+  ManagerId mgr = 0;          // id of bucket manager
+  ManagerId mgr2 = 0;
+
+  PortId user_port = kInvalidPort;     // where the final Reply goes
+  PortId dirmgr_port = kInvalidPort;   // directory manager's reply port
+  PortId reply_port = kInvalidPort;    // sender's (slave's) reply port
+  PortId ack_port = kInvalidPort;      // acknowledgement port (copyupdate)
+
+  bool success = false;
+  bool found = false;
+  // Set on a re-driven delete: attempt no merge (a failed partner check may
+  // be stable — see the centralized second solution's restart rule).
+  bool no_merge = false;
+
+  int old_localdepth = 0;
+  uint64_t version1 = 0;      // version # of "0" partner
+  uint64_t version2 = 0;      // version # of "1" partner
+
+  // Bucket contents for kSplitBucket ("buffer contents of new half") and
+  // kMergeDownReply ("buffer contents").  Shared so copies are cheap.
+  std::shared_ptr<storage::Bucket> buffer;
+
+  // kGarbageCollect: list of page addresses.
+  std::vector<storage::PageId> gc_pages;
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_MESSAGE_H_

@@ -1,0 +1,146 @@
+#include "distributed/network.h"
+
+#include <chrono>
+
+namespace exhash::dist {
+
+const char* ToString(MsgType type) {
+  switch (type) {
+    case MsgType::kRequest:
+      return "request";
+    case MsgType::kReply:
+      return "reply";
+    case MsgType::kOpForward:
+      return "op-forward";
+    case MsgType::kBucketDone:
+      return "bucketdone";
+    case MsgType::kUpdate:
+      return "update";
+    case MsgType::kCopyUpdate:
+      return "copyupdate";
+    case MsgType::kCopyUpdateAck:
+      return "copyupdate-ack";
+    case MsgType::kWrongBucket:
+      return "wrongbucket";
+    case MsgType::kWrongBucketAck:
+      return "wrongbucket-ack";
+    case MsgType::kSplitBucket:
+      return "splitbucket";
+    case MsgType::kSplitReply:
+      return "splitreply";
+    case MsgType::kMergeDown:
+      return "mergedown";
+    case MsgType::kMergeDownReply:
+      return "mergedown-reply";
+    case MsgType::kMergeUp:
+      return "mergeup";
+    case MsgType::kMergeUpReply:
+      return "mergeup-reply";
+    case MsgType::kGoAhead:
+      return "goahead";
+    case MsgType::kGarbageCollect:
+      return "garbagecollect";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+SimNetwork::SimNetwork(Options options)
+    : options_(options), rng_(options.seed) {}
+
+PortId SimNetwork::CreatePort() {
+  std::lock_guard<std::mutex> guard(ports_mutex_);
+  ports_.push_back(std::make_unique<Port>());
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void SimNetwork::Send(PortId to, Message message) {
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
+  per_type_[static_cast<int>(message.type)].fetch_add(
+      1, std::memory_order_relaxed);
+
+  uint64_t delay_ns = options_.delay_ns_min;
+  if (options_.delay_ns_max > options_.delay_ns_min) {
+    std::lock_guard<std::mutex> guard(rng_mutex_);
+    delay_ns += rng_.Uniform(options_.delay_ns_max - options_.delay_ns_min + 1);
+  }
+
+  Port* port;
+  {
+    std::lock_guard<std::mutex> guard(ports_mutex_);
+    port = ports_.at(to).get();
+  }
+  {
+    std::lock_guard<std::mutex> guard(port->mutex);
+    port->queue.push(Pending{
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns),
+        seq_.fetch_add(1, std::memory_order_relaxed), std::move(message)});
+  }
+  port->cv.notify_all();
+}
+
+Message SimNetwork::Receive(PortId port_id) {
+  Port* port;
+  {
+    std::lock_guard<std::mutex> guard(ports_mutex_);
+    port = ports_.at(port_id).get();
+  }
+  std::unique_lock<std::mutex> guard(port->mutex);
+  while (true) {
+    if (!port->queue.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto deliver_at = port->queue.top().deliver_at;
+      if (deliver_at <= now) {
+        Message m = port->queue.top().message;
+        port->queue.pop();
+        return m;
+      }
+      port->cv.wait_until(guard, deliver_at);
+    } else {
+      port->cv.wait(guard);
+    }
+  }
+}
+
+bool SimNetwork::TryReceive(PortId port_id, Message* message) {
+  Port* port;
+  {
+    std::lock_guard<std::mutex> guard(ports_mutex_);
+    port = ports_.at(port_id).get();
+  }
+  std::lock_guard<std::mutex> guard(port->mutex);
+  if (port->queue.empty() ||
+      port->queue.top().deliver_at > std::chrono::steady_clock::now()) {
+    return false;
+  }
+  *message = port->queue.top().message;
+  port->queue.pop();
+  return true;
+}
+
+size_t SimNetwork::TotalQueued() const {
+  std::lock_guard<std::mutex> guard(ports_mutex_);
+  size_t total = 0;
+  for (const auto& port : ports_) {
+    std::lock_guard<std::mutex> port_guard(port->mutex);
+    total += port->queue.size();
+  }
+  return total;
+}
+
+NetworkStats SimNetwork::stats() const {
+  NetworkStats s;
+  s.total_sent = total_sent_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumMsgTypes; ++i) {
+    s.per_type[i] = per_type_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void SimNetwork::ResetStats() {
+  total_sent_.store(0, std::memory_order_relaxed);
+  for (auto& c : per_type_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace exhash::dist

@@ -1,0 +1,101 @@
+// SimNetwork: the message substrate of section 3.
+//
+// "Processes do not share storage ... and they communicate through
+// asynchronous messages.  The style of message-passing used in our protocol
+// depends on reliable delivery, buffering, and possible anonymity of senders
+// (e.g. port-based communication as in [Rashid 80])."
+//
+// Substitution (DESIGN.md): manager processes on networked machines become
+// threads in one address space that interact *only* through this class.
+// Delivery is reliable and buffered.  An optional per-message latency jitter
+// reorders deliveries — a strictly stronger adversary than FIFO channels —
+// which is exactly what the version-number update ordering must survive
+// (the split-then-merge example of section 3).  Per-type counters provide
+// the message-traffic measurements of experiments E6/E7.
+
+#ifndef EXHASH_DISTRIBUTED_NETWORK_H_
+#define EXHASH_DISTRIBUTED_NETWORK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "distributed/message.h"
+#include "util/random.h"
+
+namespace exhash::dist {
+
+struct NetworkStats {
+  uint64_t total_sent = 0;
+  uint64_t per_type[kNumMsgTypes] = {};
+};
+
+class SimNetwork {
+ public:
+  struct Options {
+    // Each message is delayed by a uniform draw from [min, max] ns before
+    // it becomes receivable.  max > min yields reordering.
+    uint64_t delay_ns_min = 0;
+    uint64_t delay_ns_max = 0;
+    uint64_t seed = 1;
+  };
+
+  SimNetwork() : SimNetwork(Options{}) {}
+  explicit SimNetwork(Options options);
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Creates a new port and returns its id.
+  PortId CreatePort();
+
+  // Reliable, buffered send.  Never blocks.
+  void Send(PortId to, Message message);
+
+  // Blocks until a message is deliverable on `port` and returns it.
+  Message Receive(PortId port);
+
+  // Non-blocking receive; returns false if nothing is deliverable yet.
+  bool TryReceive(PortId port, Message* message);
+
+  NetworkStats stats() const;
+  void ResetStats();
+
+  // Total messages currently buffered across all ports (quiescence probe).
+  size_t TotalQueued() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    uint64_t seq;  // tie-break: preserve send order among equal delays
+    Message message;
+    bool operator>(const Pending& other) const {
+      if (deliver_at != other.deliver_at) return deliver_at > other.deliver_at;
+      return seq > other.seq;
+    }
+  };
+
+  struct Port {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  };
+
+  Options options_;
+  mutable std::mutex ports_mutex_;
+  std::vector<std::unique_ptr<Port>> ports_;
+
+  std::mutex rng_mutex_;
+  util::Rng rng_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> total_sent_{0};
+  std::atomic<uint64_t> per_type_[kNumMsgTypes] = {};
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_NETWORK_H_

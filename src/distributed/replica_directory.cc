@@ -1,0 +1,124 @@
+#include "distributed/replica_directory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exhash::dist {
+
+ReplicaDirectory::ReplicaDirectory(int initial_depth, int max_depth)
+    : max_depth_(max_depth),
+      depth_(initial_depth),
+      entries_(uint64_t{1} << max_depth) {
+  assert(initial_depth >= 1 && initial_depth <= max_depth);
+}
+
+bool ReplicaDirectory::CanApply(const DirUpdate& update) const {
+  if (update.op == OpType::kInsert) {
+    // Split at old localdepth L: the family's entries must still hold the
+    // pre-split version (post-split version - 1).
+    const DirEntry& e = entries_[util::LowBits(update.pseudokey, depth_)];
+    return e.version == update.version1 - 1;
+  }
+  // Merge at old localdepth L: both partners' entries must hold exactly
+  // their pre-merge versions.
+  const int L = update.old_localdepth;
+  if (L > depth_) return false;  // prerequisite splits not yet applied
+  const uint64_t family = util::LowBits(update.pseudokey, L - 1);
+  const uint64_t zero_pat = family;
+  const uint64_t one_pat = family | (uint64_t{1} << (L - 1));
+  return entries_[zero_pat].version == update.version1 &&
+         entries_[one_pat].version == update.version2;
+}
+
+void ReplicaDirectory::Apply(const DirUpdate& update) {
+  ++stats_.applied;
+  if (update.op == OpType::kInsert) {
+    const int L = update.old_localdepth;
+    if (L == depth_) {
+      // doubledirectory: copy lower half up, then grow (Figure 13).
+      assert(depth_ < max_depth_ && "directory exceeded max_depth");
+      const uint64_t half = uint64_t{1} << depth_;
+      for (uint64_t i = 0; i < half; ++i) entries_[half + i] = entries_[i];
+      ++depth_;
+      depthcount_ = 0;
+      ++stats_.doublings;
+    }
+    const uint64_t new_version = update.version1;  // == pre-split + 1
+    const uint64_t family = util::LowBits(update.pseudokey, L);
+    const uint64_t one_pat = family | (uint64_t{1} << L);
+    const uint64_t stride = uint64_t{1} << L;
+    for (uint64_t i = family; i < (uint64_t{1} << depth_); i += stride) {
+      if ((i & util::Mask(L + 1)) == one_pat) {
+        entries_[i] = DirEntry{update.page, update.mgr, new_version};
+      } else {
+        entries_[i].version = new_version;
+      }
+    }
+    if (L + 1 == depth_) depthcount_ += 2;
+    return;
+  }
+
+  // Merge: repoint the whole family at the survivor.
+  const int L = update.old_localdepth;
+  if (L == depth_) depthcount_ -= 2;
+  const uint64_t new_version =
+      std::max(update.version1, update.version2) + 1;
+  const uint64_t family = util::LowBits(update.pseudokey, L - 1);
+  const uint64_t stride = uint64_t{1} << (L - 1);
+  for (uint64_t i = family; i < (uint64_t{1} << depth_); i += stride) {
+    entries_[i] = DirEntry{update.page, update.mgr, new_version};
+  }
+  if (depthcount_ == 0 && depth_ > 1) {
+    // halvedirectory + the paper's top/bottom half depthcount rescan.
+    --depth_;
+    ++stats_.halvings;
+    const uint64_t half = uint64_t{1} << (depth_ - 1);
+    int differing = 0;
+    for (uint64_t i = 0; i < half; ++i) {
+      if (entries_[i].page != entries_[half + i].page ||
+          entries_[i].mgr != entries_[half + i].mgr) {
+        ++differing;
+      }
+    }
+    depthcount_ = 2 * differing;
+  }
+}
+
+void ReplicaDirectory::Submit(const DirUpdate& update,
+                              std::vector<DirUpdate>* applied) {
+  if (!CanApply(update)) {
+    // "Delay this directory update until its time" (Figure 13).
+    ++stats_.delayed;
+    saved_.push_back(update);
+    return;
+  }
+  Apply(update);
+  applied->push_back(update);
+  // ReleaseSaved: applying one update may enable previously delayed ones.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < saved_.size(); ++i) {
+      if (CanApply(saved_[i])) {
+        const DirUpdate next = saved_[i];
+        saved_.erase(saved_.begin() + long(i));
+        Apply(next);
+        applied->push_back(next);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+bool ReplicaDirectory::ConvergedWith(const ReplicaDirectory& other) const {
+  if (depth_ != other.depth_ || depthcount_ != other.depthcount_) {
+    return false;
+  }
+  for (uint64_t i = 0; i < (uint64_t{1} << depth_); ++i) {
+    if (!(entries_[i] == other.entries_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace exhash::dist

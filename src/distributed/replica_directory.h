@@ -1,0 +1,109 @@
+// ReplicaDirectory: one copy of the replicated directory plus the
+// version-ordered update application rule — extracted from the directory
+// manager's message loop so the ordering logic is testable in isolation.
+//
+// The rule (section 3): every bucket carries a version that increments with
+// each structural change that updates the directory; each directory entry
+// records the version of the bucket it points at.  An update is applicable
+// only when the replica's entries still hold the update's *pre*-versions:
+//
+//   split  at localdepth L: the family entry must hold version1 - 1
+//          (the pre-split version; both halves get version1 = pre + 1);
+//   merge  at localdepth L: the "0"-pattern entry must hold version1 AND
+//          the "1"-pattern entry version2 (the partners' pre-merge
+//          versions; the survivor gets max(version1, version2) + 1).
+//
+// Updates that are not yet applicable are saved; applying one update can
+// release saved ones (ReleaseSaved).  Because updates on one bucket family
+// form a version chain, every permutation of a delivery converges to the
+// same directory — the property `replica_directory_test.cc` checks
+// exhaustively.
+
+#ifndef EXHASH_DISTRIBUTED_REPLICA_DIRECTORY_H_
+#define EXHASH_DISTRIBUTED_REPLICA_DIRECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distributed/message.h"
+#include "util/bits.h"
+
+namespace exhash::dist {
+
+// One replicated directory entry: bucket address, owning manager, and the
+// version of the bucket it points to (Figure 10).
+struct DirEntry {
+  storage::PageId page = storage::kInvalidPage;
+  ManagerId mgr = 0;
+  uint64_t version = 0;
+
+  bool operator==(const DirEntry&) const = default;
+};
+
+// Normalized content of an update / copyupdate message, plus passthrough
+// fields the owner needs when a saved update finally applies.
+struct DirUpdate {
+  OpType op = OpType::kFind;  // kInsert == split, kDelete == merge
+  uint64_t pseudokey = 0;
+  int old_localdepth = 0;
+  uint64_t version1 = 0;
+  uint64_t version2 = 0;
+  storage::PageId page = storage::kInvalidPage;  // new page / survivor
+  ManagerId mgr = 0;
+  // Passthrough for the directory manager's ack bookkeeping.
+  bool is_copy = false;
+  PortId ack_port = kInvalidPort;
+};
+
+struct ReplicaDirectoryStats {
+  uint64_t applied = 0;
+  uint64_t delayed = 0;
+  uint64_t doublings = 0;
+  uint64_t halvings = 0;
+};
+
+class ReplicaDirectory {
+ public:
+  ReplicaDirectory(int initial_depth, int max_depth);
+
+  // --- seeding (before traffic) ---
+  void SeedEntry(uint64_t index, DirEntry entry) { entries_[index] = entry; }
+  void set_depthcount(int v) { depthcount_ = v; }
+
+  // --- reads ---
+  int depth() const { return depth_; }
+  int depthcount() const { return depthcount_; }
+  int max_depth() const { return max_depth_; }
+  DirEntry Entry(uint64_t index) const { return entries_[index]; }
+  DirEntry Lookup(util::Pseudokey pk) const {
+    return entries_[util::LowBits(pk, depth_)];
+  }
+  size_t pending() const { return saved_.size(); }
+  ReplicaDirectoryStats stats() const { return stats_; }
+
+  // True if the replica's entry versions match `update`'s preconditions.
+  bool CanApply(const DirUpdate& update) const;
+
+  // Applies `update` now if possible, else saves it; then drains any saved
+  // updates that became applicable.  Appends every update applied by this
+  // call (in application order) to *applied.
+  void Submit(const DirUpdate& update, std::vector<DirUpdate>* applied);
+
+  // Two replicas agree when their visible entries, depth, and depthcount
+  // all match.
+  bool ConvergedWith(const ReplicaDirectory& other) const;
+
+ private:
+  void Apply(const DirUpdate& update);
+
+  const int max_depth_;
+  int depth_;
+  int depthcount_ = 0;
+  std::vector<DirEntry> entries_;
+  std::vector<DirUpdate> saved_;
+  ReplicaDirectoryStats stats_;
+};
+
+}  // namespace exhash::dist
+
+#endif  // EXHASH_DISTRIBUTED_REPLICA_DIRECTORY_H_

@@ -1,0 +1,17 @@
+// Umbrella header: the public API of the concurrent/distributed extendible
+// hashing library.  Include this to get every table variant, the baselines,
+// the workload generators, and the distributed cluster.
+
+#ifndef EXHASH_EXHASH_H_
+#define EXHASH_EXHASH_H_
+
+#include "baseline/blink_tree.h"          // IWYU pragma: export
+#include "baseline/global_lock_hash.h"    // IWYU pragma: export
+#include "core/ellis_v1.h"                // IWYU pragma: export
+#include "core/ellis_v2.h"                // IWYU pragma: export
+#include "core/kv_index.h"                // IWYU pragma: export
+#include "core/options.h"                 // IWYU pragma: export
+#include "core/sequential_hash.h"         // IWYU pragma: export
+#include "workload/workload.h"            // IWYU pragma: export
+
+#endif  // EXHASH_EXHASH_H_

@@ -1,0 +1,106 @@
+#include "storage/bucket.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace exhash::storage {
+
+Bucket::Bucket(int capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+  records_.reserve(capacity);
+}
+
+bool Bucket::Search(uint64_t key, uint64_t* value) const {
+  for (const Record& r : records_) {
+    if (r.key == key) {
+      if (value != nullptr) *value = r.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Bucket::Add(uint64_t key, uint64_t value) {
+  assert(!full());
+  records_.push_back(Record{key, value});
+}
+
+bool Bucket::Remove(uint64_t key) {
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].key == key) {
+      // Order within a bucket is immaterial (section 1): swap-with-last.
+      records_[i] = records_.back();
+      records_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+template <typename T>
+void Put(std::byte*& p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+  p += sizeof(T);
+}
+
+template <typename T>
+T Get(const std::byte*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+void Bucket::SerializeTo(std::byte* out, size_t page_size) const {
+  assert(kHeaderSize + size_t(capacity_) * sizeof(Record) <= page_size);
+  (void)page_size;
+  std::byte* p = out;
+  Put<int32_t>(p, localdepth);
+  Put<int32_t>(p, count());
+  Put<uint64_t>(p, commonbits);
+  Put<uint32_t>(p, next);
+  Put<uint32_t>(p, prev);
+  Put<uint32_t>(p, next_mgr);
+  Put<uint32_t>(p, prev_mgr);
+  Put<uint64_t>(p, version);
+  Put<uint32_t>(p, deleted ? 1u : 0u);
+  Put<uint32_t>(p, kMagic);
+  assert(p == out + kHeaderSize);
+  std::memcpy(p, records_.data(), records_.size() * sizeof(Record));
+}
+
+bool Bucket::DeserializeFrom(const std::byte* in, size_t page_size,
+                             Bucket* bucket) {
+  const std::byte* p = in;
+  const auto localdepth = Get<int32_t>(p);
+  const auto count = Get<int32_t>(p);
+  const auto commonbits = Get<uint64_t>(p);
+  const auto next = Get<uint32_t>(p);
+  const auto prev = Get<uint32_t>(p);
+  const auto next_mgr = Get<uint32_t>(p);
+  const auto prev_mgr = Get<uint32_t>(p);
+  const auto version = Get<uint64_t>(p);
+  const auto flags = Get<uint32_t>(p);
+  const auto magic = Get<uint32_t>(p);
+  if (magic != kMagic) return false;
+  if (count < 0 || kHeaderSize + size_t(count) * sizeof(Record) > page_size) {
+    return false;
+  }
+  bucket->localdepth = localdepth;
+  bucket->commonbits = commonbits;
+  bucket->next = next;
+  bucket->prev = prev;
+  bucket->next_mgr = next_mgr;
+  bucket->prev_mgr = prev_mgr;
+  bucket->version = version;
+  bucket->deleted = (flags & 1u) != 0;
+  bucket->records_.resize(count);
+  std::memcpy(bucket->records_.data(), p, size_t(count) * sizeof(Record));
+  return true;
+}
+
+}  // namespace exhash::storage

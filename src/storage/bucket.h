@@ -1,0 +1,99 @@
+// The bucket: the unit of data that occupies one disk page.
+//
+// Fields follow the paper's `struct buffer` (Figure 5) plus the extensions
+// each later section introduces:
+//   - localdepth, commonbits, count, data  — the sequential structure,
+//   - next                                  — the link added for concurrent
+//     recovery (section 2.1, Figure 3),
+//   - deleted flag                          — the second solution's tombstone
+//     marker (section 2.4; the paper overloads commonbits for this, we use a
+//     dedicated flag bit),
+//   - prev / next_mgr / prev_mgr / version  — the distributed extensions
+//     (section 3, Figure 10).
+//
+// A Bucket is always manipulated in a private in-memory buffer; it moves to
+// and from the PageStore through Serialize/Deserialize, mirroring the
+// paper's getbucket/putbucket discipline.
+
+#ifndef EXHASH_STORAGE_BUCKET_H_
+#define EXHASH_STORAGE_BUCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/bits.h"
+
+namespace exhash::storage {
+
+struct Record {
+  uint64_t key;
+  uint64_t value;
+};
+
+class Bucket {
+ public:
+  // Size of the serialized header preceding the record array.
+  static constexpr size_t kHeaderSize = 48;
+  static constexpr uint32_t kMagic = 0xEB5C1982;  // "extendible bucket, 1982"
+
+  // Records that fit in one page of the given size.
+  static int CapacityFor(size_t page_size) {
+    return static_cast<int>((page_size - kHeaderSize) / sizeof(Record));
+  }
+
+  // An empty bucket with the given record capacity.
+  explicit Bucket(int capacity);
+
+  // --- Header fields (public struct-of-data style; the bucket enforces no
+  // cross-field invariant, the table algorithms do) ---
+  int localdepth = 0;
+  util::Pseudokey commonbits = 0;
+  PageId next = kInvalidPage;
+  PageId prev = kInvalidPage;
+  uint32_t next_mgr = 0;
+  uint32_t prev_mgr = 0;
+  uint64_t version = 0;
+  bool deleted = false;
+
+  int count() const { return static_cast<int>(records_.size()); }
+  int capacity() const { return capacity_; }
+  bool full() const { return count() == capacity_; }
+  bool empty() const { return records_.empty(); }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  // True if `key` is present; if so and `value` is non-null, copies the
+  // associated value out.
+  bool Search(uint64_t key, uint64_t* value = nullptr) const;
+
+  // Appends a record.  Precondition: !full().  Does not check duplicates
+  // (the algorithms Search first, as in the paper).
+  void Add(uint64_t key, uint64_t value);
+
+  // Removes `key` if present; returns whether anything changed.
+  bool Remove(uint64_t key);
+
+  void Clear() { records_.clear(); }
+
+  // --- Page codec ---
+
+  // Writes the bucket into `page_size` bytes at `out`.  Requires
+  // kHeaderSize + capacity*sizeof(Record) <= page_size.
+  void SerializeTo(std::byte* out, size_t page_size) const;
+
+  // Reads a bucket previously serialized into a page.  Returns false (and
+  // leaves *bucket unspecified) if the page does not carry the bucket magic
+  // — which in tests detects reads of poisoned/deallocated pages.
+  static bool DeserializeFrom(const std::byte* in, size_t page_size,
+                              Bucket* bucket);
+
+ private:
+  int capacity_;
+  std::vector<Record> records_;
+};
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_BUCKET_H_

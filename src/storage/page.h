@@ -1,0 +1,19 @@
+// Page identifiers for the simulated disk.
+
+#ifndef EXHASH_STORAGE_PAGE_H_
+#define EXHASH_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace exhash::storage {
+
+// Dense page identifier handed out by PageStore.  The paper manipulates
+// "disk page addresses" as ints; we keep them 32-bit so they pack into both
+// bucket headers and directory entries.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_PAGE_H_

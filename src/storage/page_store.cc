@@ -1,0 +1,161 @@
+#include "storage/page_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace exhash::storage {
+
+PageStore::PageStore(Options options)
+    : options_(std::move(options)), latches_(new std::mutex[kLatchStripes]) {
+  assert(options_.page_size >= 64);
+  chunks_ = std::make_unique<std::atomic<std::byte*>[]>(kMaxChunks);
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  if (!options_.backing_file.empty()) {
+    fd_ = ::open(options_.backing_file.c_str(), O_RDWR | O_CREAT | O_TRUNC,
+                 0644);
+    if (fd_ < 0) {
+      std::fprintf(stderr, "exhash: cannot open backing file %s\n",
+                   options_.backing_file.c_str());
+      std::abort();
+    }
+  }
+}
+
+PageStore::~PageStore() {
+  if (fd_ >= 0) ::close(fd_);
+  for (size_t i = 0; i < num_chunks_; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+std::byte* PageStore::PagePtr(PageId page) {
+  // Lock-free: the caller only asks for allocated pages, whose chunk
+  // pointer was published (release) before the page id escaped the
+  // allocator.
+  return chunks_[page / kPagesPerChunk].load(std::memory_order_acquire) +
+         (page % kPagesPerChunk) * options_.page_size;
+}
+
+PageId PageStore::Alloc() {
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  if (fd_ < 0 && next_unused_ == num_chunks_ * kPagesPerChunk) {
+    assert(num_chunks_ < kMaxChunks && "PageStore chunk table exhausted");
+    chunks_[num_chunks_].store(
+        new std::byte[kPagesPerChunk * options_.page_size],
+        std::memory_order_release);
+    ++num_chunks_;
+  }
+  return static_cast<PageId>(next_unused_++);  // pwrite extends the file
+}
+
+void PageStore::Dealloc(PageId page) {
+  assert(page != kInvalidPage);
+  if (options_.poison_on_dealloc) {
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    if (fd_ >= 0) {
+      std::vector<std::byte> poison(options_.page_size, std::byte{0xDB});
+      [[maybe_unused]] const ssize_t n =
+          ::pwrite(fd_, poison.data(), options_.page_size,
+                   off_t(page) * off_t(options_.page_size));
+      assert(n == ssize_t(options_.page_size));
+    } else {
+      std::memset(PagePtr(page), 0xDB, options_.page_size);
+    }
+  }
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  deallocs_.fetch_add(1, std::memory_order_relaxed);
+  free_list_.push_back(page);
+}
+
+void PageStore::Read(PageId page, void* out) {
+  assert(page != kInvalidPage);
+  SimulateLatency();
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> latch(LatchFor(page));
+  if (fd_ >= 0) {
+    const ssize_t n = ::pread(fd_, out, options_.page_size,
+                              off_t(page) * off_t(options_.page_size));
+    // A short read means the page was allocated but never written; callers
+    // never do that, but zero-fill keeps the failure mode deterministic.
+    if (n < ssize_t(options_.page_size)) {
+      std::memset(static_cast<std::byte*>(out) + std::max<ssize_t>(n, 0),
+                  0, options_.page_size - size_t(std::max<ssize_t>(n, 0)));
+    }
+    return;
+  }
+  std::memcpy(out, PagePtr(page), options_.page_size);
+}
+
+void PageStore::Write(PageId page, const void* in) {
+  assert(page != kInvalidPage);
+  SimulateLatency();
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> latch(LatchFor(page));
+  if (fd_ >= 0) {
+    [[maybe_unused]] const ssize_t n =
+        ::pwrite(fd_, in, options_.page_size,
+                 off_t(page) * off_t(options_.page_size));
+    assert(n == ssize_t(options_.page_size));
+    return;
+  }
+  std::memcpy(PagePtr(page), in, options_.page_size);
+}
+
+void PageStore::SimulateLatency() {
+  if (options_.latency_ns == 0) return;
+  if (options_.latency_ns >= 10000) {
+    // Real disk waits deschedule the process — which is exactly what lets
+    // other operations overlap with an in-flight I/O, the concurrency the
+    // paper's protocols exist to exploit.  Sleep so the simulation has the
+    // same property.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(options_.latency_ns));
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(options_.latency_ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin: sub-sleep-granularity service time
+  }
+}
+
+size_t PageStore::extent() const {
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  return next_unused_;
+}
+
+PageStoreStats PageStore::stats() const {
+  PageStoreStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.deallocs = deallocs_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  s.live_pages = next_unused_ - free_list_.size();
+  return s;
+}
+
+void PageStore::ResetStats() {
+  reads_.store(0, std::memory_order_relaxed);
+  writes_.store(0, std::memory_order_relaxed);
+  allocs_.store(0, std::memory_order_relaxed);
+  deallocs_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace exhash::storage

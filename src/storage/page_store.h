@@ -1,0 +1,121 @@
+// PageStore: the simulated secondary storage the buckets live on.
+//
+// The paper assumes "the buckets are assumed to occupy physical pages on
+// disk which are read and written as single operations" (section 2.1); the
+// entire correctness argument for reader/inserter concurrency rests on that
+// page-grain atomicity (a reader sees either the old or the new version of a
+// bucket, never a torn mix).  PageStore provides exactly that contract:
+// Read() and Write() each transfer a whole page atomically with respect to
+// one another.
+//
+// Substitution note (DESIGN.md): this replaces the 1982 disk with an
+// in-memory page array.  I/O counters and optional injected latency let
+// benchmarks report what a disk-resident study would have measured.
+
+#ifndef EXHASH_STORAGE_PAGE_STORE_H_
+#define EXHASH_STORAGE_PAGE_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace exhash::storage {
+
+// Racy snapshot of I/O activity, for benchmark reporting.
+struct PageStoreStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocs = 0;
+  uint64_t deallocs = 0;
+  uint64_t live_pages = 0;
+};
+
+class PageStore {
+ public:
+  struct Options {
+    size_t page_size = 256;
+    // Delay every Read/Write by this much to emulate device service time.
+    // Delays >= 10us sleep (so concurrent operations can overlap, as they
+    // would on a real disk); smaller ones spin.
+    uint64_t latency_ns = 0;
+    // Overwrite deallocated pages with a poison pattern so stale readers
+    // fail loudly in tests.
+    bool poison_on_dealloc = false;
+    // When nonempty, pages live in this file (pread/pwrite per page)
+    // instead of memory — actual disk-resident operation.  The file is
+    // created/truncated on open; the free list is still in-memory state.
+    std::string backing_file;
+  };
+
+  explicit PageStore(Options options);
+  ~PageStore();
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  // Allocates a page (possibly reusing a deallocated one) and returns its id.
+  PageId Alloc();
+
+  // Returns a page to the free list.  The caller is responsible for ensuring
+  // no other thread still needs it — exactly the obligation the paper's
+  // deallocation protocols discharge.
+  void Dealloc(PageId page);
+
+  // Copies the whole page into `out` (must hold page_size() bytes).
+  // Atomic with respect to concurrent Write()s of the same page.
+  void Read(PageId page, void* out);
+
+  // Atomically replaces the whole page from `in` (page_size() bytes).
+  void Write(PageId page, const void* in);
+
+  size_t page_size() const { return options_.page_size; }
+
+  // Number of pages ever allocated (allocated ids are dense in [0, extent)).
+  size_t extent() const;
+
+  PageStoreStats stats() const;
+  void ResetStats();
+
+ private:
+  static constexpr size_t kPagesPerChunk = 1024;
+  static constexpr size_t kLatchStripes = 1024;
+
+  std::byte* PagePtr(PageId page);
+  std::mutex& LatchFor(PageId page) {
+    return latches_[page % kLatchStripes];
+  }
+  void SimulateLatency();
+
+  const Options options_;
+
+  // File backing (when Options::backing_file is set); -1 otherwise.
+  int fd_ = -1;
+
+  // Page memory is allocated in fixed chunks published through atomic
+  // pointers, so concurrent readers never race with an allocating thread
+  // (a plain vector would reallocate its pointer array under them).
+  static constexpr size_t kMaxChunks = 1 << 16;  // 64M pages max
+  mutable std::mutex alloc_mutex_;
+  std::unique_ptr<std::atomic<std::byte*>[]> chunks_;
+  size_t num_chunks_ = 0;
+  std::vector<PageId> free_list_;
+  size_t next_unused_ = 0;
+
+  // Per-page latches implementing single-operation page transfer.  Striped:
+  // a collision only adds serialization, never breaks atomicity.
+  std::unique_ptr<std::mutex[]> latches_;
+
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocs_{0};
+  std::atomic<uint64_t> deallocs_{0};
+};
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_PAGE_STORE_H_

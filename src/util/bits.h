@@ -1,0 +1,78 @@
+// Bit manipulation helpers for extendible hashing.
+//
+// The paper indexes the directory with the *least significant* bits of the
+// pseudokey ("the least significant bits are used in order to simplify
+// manipulations of the directory", Ellis 82, section 1).  All depth/partner
+// arithmetic in the project goes through these helpers so the convention is
+// encoded exactly once.
+
+#ifndef EXHASH_UTIL_BITS_H_
+#define EXHASH_UTIL_BITS_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace exhash::util {
+
+// A pseudokey is the (conceptually very long) bit string the hash function
+// produces for a key.  64 bits bounds the directory depth at 64, far beyond
+// anything a benchmark reaches.
+using Pseudokey = uint64_t;
+
+// Returns a mask selecting the `depth` least significant bits.
+// mask(0) == 0, mask(3) == 0b111.  Matches the paper's mask().
+constexpr Pseudokey Mask(int depth) {
+  assert(depth >= 0 && depth <= 64);
+  return depth >= 64 ? ~Pseudokey{0} : ((Pseudokey{1} << depth) - 1);
+}
+
+// The low `depth` bits of `pk`: the directory index at that depth.
+constexpr uint64_t LowBits(Pseudokey pk, int depth) { return pk & Mask(depth); }
+
+// Two buckets are partners with respect to bit position d (1-based, LSB is
+// bit 1) if their commonbits agree in bits d-1..1 and differ at bit d
+// (section 2.2).  For a bucket with local depth `ld` and common bit pattern
+// `common`, the partner's pattern flips bit `ld`.
+constexpr Pseudokey PartnerBits(Pseudokey common, int localdepth) {
+  assert(localdepth >= 1 && localdepth <= 64);
+  return common ^ (Pseudokey{1} << (localdepth - 1));
+}
+
+// True if `pk` belongs in the "1" partner of a split at `localdepth`, i.e.
+// bit `localdepth` (1-based) of the pseudokey is set.  The paper's test
+// `(pseudokey & m) == m` with m = 1 << (localdepth-1).
+constexpr bool IsOnePartner(Pseudokey pk, int localdepth) {
+  assert(localdepth >= 1 && localdepth <= 64);
+  return (pk >> (localdepth - 1)) & 1;
+}
+
+// True if the pseudokey matches the bucket's common bit pattern at the given
+// local depth — the "right bucket" test used by every search loop.
+constexpr bool MatchesCommonBits(Pseudokey pk, Pseudokey commonbits,
+                                 int localdepth) {
+  return LowBits(pk, localdepth) == commonbits;
+}
+
+// Reverses the low `bits` bits of `v` (bit 0 swaps with bit bits-1).  The
+// bucket chain created by splits visits buckets in increasing bit-reversed
+// commonbits order; the validator uses this to check chain order.
+constexpr uint64_t ReverseLowBits(uint64_t v, int bits) {
+  uint64_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1);
+  }
+  return r;
+}
+
+// Bit-reversed commonbits as a 64-bit binary fraction, so chains mixing
+// different localdepths compare correctly (a prefix sorts before/with its
+// extensions).
+constexpr uint64_t ChainRank(Pseudokey commonbits, int localdepth) {
+  return localdepth == 0
+             ? 0
+             : ReverseLowBits(commonbits, localdepth) << (64 - localdepth);
+}
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_BITS_H_

@@ -1,0 +1,78 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace exhash::util {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return std::bit_width(value) - 1;  // floor(log2(value))
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  const uint64_t omax = other.max();
+  while (prev < omax &&
+         !max_.compare_exchange_weak(prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  const auto threshold = static_cast<uint64_t>(p / 100.0 * double(total));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > threshold || (p >= 100.0 && seen == total)) {
+      // Midpoint of [2^i, 2^(i+1)); bucket 0 also covers value 0.
+      const uint64_t lo = i == 0 ? 0 : (uint64_t{1} << i);
+      const uint64_t hi = (i + 1 >= 64) ? ~uint64_t{0} : (uint64_t{1} << (i + 1));
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max();
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.0f%s p50=%llu%s p95=%llu%s p99=%llu%s max=%llu%s",
+                static_cast<unsigned long long>(count()), Mean(), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(50)), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(95)), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(99)), unit.c_str(),
+                static_cast<unsigned long long>(max()), unit.c_str());
+  return buf;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace exhash::util

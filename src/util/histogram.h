@@ -1,0 +1,53 @@
+// A lock-free latency histogram with logarithmic buckets, for benchmark
+// reporting (E9 reader-lockout tails and friends).
+
+#ifndef EXHASH_UTIL_HISTOGRAM_H_
+#define EXHASH_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace exhash::util {
+
+// Records nonnegative values (typically nanoseconds).  Buckets are
+// [2^i, 2^(i+1)) so relative error of percentile estimates is < 2x; within a
+// bucket the midpoint is reported.  Add() is wait-free and safe to call from
+// many threads.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  Histogram() = default;
+
+  void Add(uint64_t value);
+
+  // Merges another histogram's counts into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  // p in [0, 100].  Returns an estimate of the p-th percentile value.
+  uint64_t Percentile(double p) const;
+
+  // One-line summary: count, mean, p50, p95, p99, max.
+  std::string Summary(const std::string& unit = "ns") const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(uint64_t value);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_HISTOGRAM_H_

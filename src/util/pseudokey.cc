@@ -1,0 +1,29 @@
+#include "util/pseudokey.h"
+
+namespace exhash::util {
+
+Pseudokey Mix64Hasher::Mix(uint64_t key) {
+  // splitmix64 finalizer (Vigna).  Full-period bijection on 64 bits with
+  // good avalanche in both high and low bits.
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Pseudokey Mix64Hasher::Hash(uint64_t key) const { return Mix(key); }
+
+uint64_t Mix64Hasher::Unmix(Pseudokey pseudokey) {
+  // Invert each stage of Mix in reverse order.  The xorshift stages invert
+  // by re-applying shifted copies until the shift exceeds the word; the
+  // multiplications invert via the modular inverses of the constants.
+  uint64_t z = pseudokey;
+  z ^= (z >> 31) ^ (z >> 62);
+  z *= 0x319642b2d24d8ec3ULL;  // inverse of 0x94d049bb133111eb mod 2^64
+  z ^= (z >> 27) ^ (z >> 54);
+  z *= 0x96de1b173f119089ULL;  // inverse of 0xbf58476d1ce4e5b9 mod 2^64
+  z ^= (z >> 30) ^ (z >> 60);
+  return z - 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace exhash::util

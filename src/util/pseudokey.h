@@ -1,0 +1,51 @@
+// Pseudokey generation.
+//
+// Extendible hashing applies a hash function that "generates a very long
+// pseudokey when applied to a key" (Ellis 82, section 1).  The quality
+// requirement is that the *low* bits be well distributed, since the directory
+// is indexed by the least significant `depth` bits.
+
+#ifndef EXHASH_UTIL_PSEUDOKEY_H_
+#define EXHASH_UTIL_PSEUDOKEY_H_
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace exhash::util {
+
+// Abstract hash-function interface so tests can substitute a deterministic
+// (e.g. identity) hasher and force specific directory shapes.
+class Hasher {
+ public:
+  virtual ~Hasher() = default;
+  virtual Pseudokey Hash(uint64_t key) const = 0;
+};
+
+// Default production hasher: a strong 64-bit mixer (splitmix64 finalizer).
+// Bijective, so distinct keys never collide on the full pseudokey.
+class Mix64Hasher final : public Hasher {
+ public:
+  Pseudokey Hash(uint64_t key) const override;
+
+  // Static convenience for call sites that do not need virtual dispatch.
+  static Pseudokey Mix(uint64_t key);
+
+  // Inverse of Mix (the finalizer is a bijection): Mix(Unmix(x)) == x.
+  // Lets workloads construct keys with *chosen* pseudokey bit patterns —
+  // e.g. the kColliding distribution that funnels every operation into one
+  // bucket subtree to maximize lock contention.
+  static uint64_t Unmix(Pseudokey pseudokey);
+};
+
+// Identity hasher: pseudokey == key.  Used by tests to place keys into
+// specific buckets and to reproduce the paper's worked examples (Figures 1
+// and 2 use literal bit patterns).
+class IdentityHasher final : public Hasher {
+ public:
+  Pseudokey Hash(uint64_t key) const override { return key; }
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_PSEUDOKEY_H_

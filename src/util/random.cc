@@ -1,0 +1,73 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/pseudokey.h"
+
+namespace exhash::util {
+
+namespace {
+constexpr uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four words with successive splitmix64 outputs, the recommended
+  // initialization for xoshiro generators.
+  for (auto& s : s_) {
+    seed = Mix64Hasher::Mix(seed + 1);
+    s = seed;
+  }
+  // Avoid the all-zero state (possible only if Mix produced four zeros,
+  // which it cannot, but keep the invariant explicit).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Multiply-shift rejection-free mapping is fine for benchmark purposes;
+  // bias is at most n / 2^64.
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(Next()) * static_cast<__uint128_t>(n)) >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(double(n_) *
+                               std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace exhash::util

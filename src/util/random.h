@@ -1,0 +1,57 @@
+// Deterministic random number generation and key distributions for
+// workloads, tests, and benchmarks.  Everything is seedable so every
+// experiment is reproducible.
+
+#ifndef EXHASH_UTIL_RANDOM_H_
+#define EXHASH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace exhash::util {
+
+// xoshiro256** (Blackman & Vigna).  Fast, high quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n).  n must be nonzero.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf(N, theta) sampler over [0, n).  Uses the Gray et al. computation of
+// the zeta normalizer; O(1) per sample after O(n)-free setup.
+class ZipfGenerator {
+ public:
+  // theta in (0, 1): 0.99 is the YCSB default skew.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_RANDOM_H_

@@ -1,0 +1,160 @@
+#include "util/rax_lock.h"
+
+#include <cassert>
+
+namespace exhash::util {
+
+bool RaxLock::CompatibleWithHeld(LockMode mode) const {
+  switch (mode) {
+    case LockMode::kRho:
+      return !xi_held_;
+    case LockMode::kAlpha:
+      // A pending conversion reserves the alpha slot so that the converter
+      // (which already holds rho and has priority, see header) is not
+      // overtaken indefinitely.
+      return !alpha_held_ && !xi_held_ && upgrade_waiters_ == 0;
+    case LockMode::kXi:
+      return rho_count_ == 0 && !alpha_held_ && !xi_held_ &&
+             upgrade_waiters_ == 0;
+  }
+  return false;
+}
+
+void RaxLock::Lock(LockMode mode) {
+  std::unique_lock<std::mutex> guard(mutex_);
+  if (queue_.empty() && CompatibleWithHeld(mode)) {
+    // Uncontended fast path.
+  } else {
+    ++stats_.contended;
+    Waiter w{mode};
+    queue_.push_back(&w);
+    cv_.wait(guard, [&] { return w.granted; });
+    // GrantFromQueue() already applied the state transition.
+    switch (mode) {
+      case LockMode::kRho:
+        ++stats_.rho_acquired;
+        break;
+      case LockMode::kAlpha:
+        ++stats_.alpha_acquired;
+        break;
+      case LockMode::kXi:
+        ++stats_.xi_acquired;
+        break;
+    }
+    return;
+  }
+  switch (mode) {
+    case LockMode::kRho:
+      ++rho_count_;
+      ++stats_.rho_acquired;
+      break;
+    case LockMode::kAlpha:
+      alpha_held_ = true;
+      ++stats_.alpha_acquired;
+      break;
+    case LockMode::kXi:
+      xi_held_ = true;
+      ++stats_.xi_acquired;
+      break;
+  }
+}
+
+bool RaxLock::TryLock(LockMode mode) {
+  std::unique_lock<std::mutex> guard(mutex_);
+  if (!queue_.empty() || !CompatibleWithHeld(mode)) return false;
+  switch (mode) {
+    case LockMode::kRho:
+      ++rho_count_;
+      ++stats_.rho_acquired;
+      break;
+    case LockMode::kAlpha:
+      alpha_held_ = true;
+      ++stats_.alpha_acquired;
+      break;
+    case LockMode::kXi:
+      xi_held_ = true;
+      ++stats_.xi_acquired;
+      break;
+  }
+  return true;
+}
+
+void RaxLock::Unlock(LockMode mode) {
+  std::unique_lock<std::mutex> guard(mutex_);
+  switch (mode) {
+    case LockMode::kRho:
+      assert(rho_count_ > 0);
+      --rho_count_;
+      break;
+    case LockMode::kAlpha:
+      assert(alpha_held_);
+      alpha_held_ = false;
+      break;
+    case LockMode::kXi:
+      assert(xi_held_);
+      xi_held_ = false;
+      break;
+  }
+  GrantFromQueue();
+  // Wake converters (they wait on the shared cv with their own predicate).
+  cv_.notify_all();
+}
+
+void RaxLock::UpgradeRhoToAlpha() {
+  std::unique_lock<std::mutex> guard(mutex_);
+  assert(rho_count_ > 0);  // caller must hold rho
+  assert(!xi_held_);       // impossible while a rho lock is out
+  ++upgrade_waiters_;
+  if (alpha_held_) ++stats_.contended;
+  cv_.wait(guard, [&] { return !alpha_held_; });
+  --upgrade_waiters_;
+  alpha_held_ = true;
+  ++stats_.alpha_acquired;
+  ++stats_.upgrades;
+}
+
+void RaxLock::GrantFromQueue() {
+  bool granted_any = false;
+  while (!queue_.empty()) {
+    Waiter* w = queue_.front();
+    // A queued request must be compatible with held state; additionally a
+    // pending conversion blocks alpha/xi grants (handled in
+    // CompatibleWithHeld).
+    bool ok = false;
+    switch (w->mode) {
+      case LockMode::kRho:
+        ok = !xi_held_;
+        break;
+      case LockMode::kAlpha:
+        ok = !alpha_held_ && !xi_held_ && upgrade_waiters_ == 0;
+        break;
+      case LockMode::kXi:
+        ok = rho_count_ == 0 && !alpha_held_ && !xi_held_ &&
+             upgrade_waiters_ == 0;
+        break;
+    }
+    if (!ok) break;
+    switch (w->mode) {
+      case LockMode::kRho:
+        ++rho_count_;
+        break;
+      case LockMode::kAlpha:
+        alpha_held_ = true;
+        break;
+      case LockMode::kXi:
+        xi_held_ = true;
+        break;
+    }
+    w->granted = true;
+    queue_.pop_front();
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+RaxLockStats RaxLock::stats() const {
+  std::unique_lock<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace exhash::util

@@ -1,0 +1,140 @@
+// The three-mode lock of Ellis 82, section 2.1.
+//
+// Lock compatibility (request vs. existing):
+//
+//                  | rho  alpha  xi
+//   rho   (read)   | yes   yes   no
+//   alpha (select) | yes   no    no
+//   xi  (exclusive)| no    no    no
+//
+// rho is a shared read lock.  alpha is the "selective" lock: it excludes
+// other updaters (alpha/xi) but admits readers, which is what lets find
+// operations proceed concurrently with inserters.  xi excludes everything.
+//
+// Granting is FIFO subject to compatibility, matching the fairness
+// assumption under which the paper discusses reader lockout (section 2.3).
+//
+// The second solution additionally needs *lock conversion*: an inserter
+// holding a rho lock on the directory converts it to an alpha lock when it
+// discovers restructuring is required (section 2.5).  UpgradeRhoToAlpha()
+// implements this.  Conversion requests bypass the FIFO queue: a queued xi
+// request cannot be granted while the converter's rho is held, so queue-order
+// granting would deadlock; the paper's deadlock-freedom argument explicitly
+// relies on conversion only having to wait for a *held* alpha.
+
+#ifndef EXHASH_UTIL_RAX_LOCK_H_
+#define EXHASH_UTIL_RAX_LOCK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace exhash::util {
+
+enum class LockMode : uint8_t { kRho = 0, kAlpha = 1, kXi = 2 };
+
+// Returns true if a lock in `request` mode may be granted while a lock in
+// `held` mode is outstanding (the table above).
+constexpr bool Compatible(LockMode request, LockMode held) {
+  if (request == LockMode::kRho) return held != LockMode::kXi;
+  if (request == LockMode::kAlpha) return held == LockMode::kRho;
+  return false;  // xi is compatible with nothing
+}
+
+// Aggregate counters a RaxLock maintains.  Reads are racy snapshots; they
+// are used only for reporting (bench E1).
+struct RaxLockStats {
+  uint64_t rho_acquired = 0;
+  uint64_t alpha_acquired = 0;
+  uint64_t xi_acquired = 0;
+  uint64_t upgrades = 0;
+  // Number of acquisitions that had to block.
+  uint64_t contended = 0;
+};
+
+class RaxLock {
+ public:
+  RaxLock() = default;
+  RaxLock(const RaxLock&) = delete;
+  RaxLock& operator=(const RaxLock&) = delete;
+
+  // Blocks until a lock in `mode` is granted.
+  void Lock(LockMode mode);
+
+  // Releases a lock previously granted in `mode`.
+  void Unlock(LockMode mode);
+
+  // Non-blocking acquisition; returns true on success.  A try-lock does not
+  // queue, and to preserve FIFO fairness it fails if any waiter is queued.
+  bool TryLock(LockMode mode);
+
+  // Converts a held rho lock into rho+alpha.  The caller must hold a rho
+  // lock and, after the upgrade, must eventually release *both* modes
+  // (Unlock(kAlpha) then Unlock(kRho)), mirroring the paper's second
+  // insertion algorithm which issues UnAlphaLock then UnRhoLock.
+  void UpgradeRhoToAlpha();
+
+  RaxLockStats stats() const;
+
+  // Convenience wrappers in the paper's vocabulary.
+  void RhoLock() { Lock(LockMode::kRho); }
+  void UnRhoLock() { Unlock(LockMode::kRho); }
+  void AlphaLock() { Lock(LockMode::kAlpha); }
+  void UnAlphaLock() { Unlock(LockMode::kAlpha); }
+  void XiLock() { Lock(LockMode::kXi); }
+  void UnXiLock() { Unlock(LockMode::kXi); }
+
+ private:
+  struct Waiter {
+    LockMode mode;
+    bool granted = false;
+  };
+
+  // True if `mode` can be granted against the currently *held* locks,
+  // ignoring the queue.
+  bool CompatibleWithHeld(LockMode mode) const;
+
+  // Grants queued requests in FIFO order while the head remains compatible.
+  // Called with mutex_ held whenever held state decreases.
+  void GrantFromQueue();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int rho_count_ = 0;
+  bool alpha_held_ = false;
+  bool xi_held_ = false;
+  int upgrade_waiters_ = 0;
+  std::deque<Waiter*> queue_;
+  RaxLockStats stats_;
+};
+
+// RAII guard for a single mode.
+class RaxGuard {
+ public:
+  RaxGuard(RaxLock& lock, LockMode mode) : lock_(&lock), mode_(mode) {
+    lock_->Lock(mode_);
+  }
+  ~RaxGuard() {
+    if (lock_ != nullptr) lock_->Unlock(mode_);
+  }
+  RaxGuard(const RaxGuard&) = delete;
+  RaxGuard& operator=(const RaxGuard&) = delete;
+
+  // Releases early (idempotent).
+  void Release() {
+    if (lock_ != nullptr) {
+      lock_->Unlock(mode_);
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  RaxLock* lock_;
+  LockMode mode_;
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_RAX_LOCK_H_

@@ -1,0 +1,73 @@
+#include "workload/workload.h"
+
+#include <cassert>
+
+#include "util/pseudokey.h"
+
+namespace exhash::workload {
+
+const char* ToString(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipf:
+      return "zipf";
+    case KeyDist::kSequential:
+      return "sequential";
+    case KeyDist::kColliding:
+      return "colliding";
+  }
+  return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(const Options& options, int thread_id)
+    : options_(options),
+      rng_(util::Mix64Hasher::Mix(options.seed) ^
+           util::Mix64Hasher::Mix(0x7ead0000u + uint64_t(thread_id))),
+      // Each thread starts its sequential run in its own region so streams
+      // do not trivially collide.
+      sequence_(uint64_t(thread_id) * options.key_space) {
+  assert(options.mix.find_pct + options.mix.insert_pct +
+             options.mix.remove_pct ==
+         100);
+  if (options_.dist == KeyDist::kZipf) {
+    zipf_ = std::make_unique<util::ZipfGenerator>(
+        options.key_space, options.zipf_theta,
+        rng_.Next());
+  }
+}
+
+uint64_t WorkloadGenerator::NextKey() {
+  switch (options_.dist) {
+    case KeyDist::kUniform:
+      return rng_.Uniform(options_.key_space);
+    case KeyDist::kZipf:
+      return zipf_->Next();
+    case KeyDist::kSequential:
+      return sequence_++;
+    case KeyDist::kColliding: {
+      // Construct keys whose *pseudokeys* all share the same low 3 bits, so
+      // every operation lands in one bucket subtree no matter how deep the
+      // directory grows — the worst case for lock contention.
+      const uint64_t base = rng_.Uniform(options_.key_space);
+      return util::Mix64Hasher::Unmix((base << 3) | 0b101u);
+    }
+  }
+  return 0;
+}
+
+Op WorkloadGenerator::Next() {
+  const int roll = static_cast<int>(rng_.Uniform(100));
+  Op op;
+  op.key = NextKey();
+  if (roll < options_.mix.find_pct) {
+    op.type = Op::Type::kFind;
+  } else if (roll < options_.mix.find_pct + options_.mix.insert_pct) {
+    op.type = Op::Type::kInsert;
+  } else {
+    op.type = Op::Type::kRemove;
+  }
+  return op;
+}
+
+}  // namespace exhash::workload

@@ -1,0 +1,66 @@
+// Deterministic workload generation: key distributions and operation mixes
+// shared by tests, examples, and every benchmark (experiment index E2-E9).
+
+#ifndef EXHASH_WORKLOAD_WORKLOAD_H_
+#define EXHASH_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+
+namespace exhash::workload {
+
+enum class KeyDist {
+  kUniform,     // uniform over [0, key_space)
+  kZipf,        // Zipf-skewed (hot keys), YCSB-style
+  kSequential,  // monotonically increasing keys (adversarial for B-trees,
+                // benign for hashing — the classic contrast)
+  kColliding,   // keys sharing low pseudokey bits: all traffic lands on few
+                // buckets, maximizing lock contention
+};
+
+const char* ToString(KeyDist dist);
+
+struct OpMix {
+  // Percentages; must sum to 100.
+  int find_pct = 100;
+  int insert_pct = 0;
+  int remove_pct = 0;
+};
+
+struct Op {
+  enum class Type { kFind, kInsert, kRemove };
+  Type type;
+  uint64_t key;
+};
+
+// One deterministic stream per thread: same (seed, thread) -> same ops.
+class WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t key_space = 100000;
+    KeyDist dist = KeyDist::kUniform;
+    double zipf_theta = 0.99;
+    OpMix mix;
+    uint64_t seed = 42;
+  };
+
+  WorkloadGenerator(const Options& options, int thread_id);
+
+  Op Next();
+
+  // Raw key draw (used by loaders).
+  uint64_t NextKey();
+
+ private:
+  Options options_;
+  util::Rng rng_;
+  std::unique_ptr<util::ZipfGenerator> zipf_;
+  uint64_t sequence_;
+};
+
+}  // namespace exhash::workload
+
+#endif  // EXHASH_WORKLOAD_WORKLOAD_H_

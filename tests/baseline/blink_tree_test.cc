@@ -1,0 +1,105 @@
+#include "baseline/blink_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exhash::baseline {
+namespace {
+
+TEST(BlinkTreeTest, SplitsGrowHeight) {
+  BlinkTree tree({.fanout = 4});
+  EXPECT_EQ(tree.Height(), 1);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(tree.Insert(k, k));
+  EXPECT_GT(tree.Height(), 2);
+  EXPECT_GT(tree.Stats().splits, 0u);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+}
+
+TEST(BlinkTreeTest, SequentialAndReverseInserts) {
+  for (const bool reverse : {false, true}) {
+    BlinkTree tree({.fanout = 6});
+    for (uint64_t i = 0; i < 500; ++i) {
+      const uint64_t k = reverse ? 499 - i : i;
+      ASSERT_TRUE(tree.Insert(k, k * 3));
+    }
+    std::string error;
+    ASSERT_TRUE(tree.Validate(&error)) << error;
+    for (uint64_t k = 0; k < 500; ++k) {
+      uint64_t v = 0;
+      ASSERT_TRUE(tree.Find(k, &v)) << k;
+      ASSERT_EQ(v, k * 3);
+    }
+  }
+}
+
+TEST(BlinkTreeTest, RandomOrderInsertsAndRemoves) {
+  BlinkTree tree({.fanout = 8});
+  util::Rng rng(31);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) keys.push_back(rng.Next());
+  for (uint64_t k : keys) tree.Insert(k, k);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    tree.Remove(keys[i]);
+  }
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(tree.Find(keys[i], nullptr), i % 2 == 1) << i;
+  }
+}
+
+TEST(BlinkTreeTest, ConcurrentDisjointInserts) {
+  BlinkTree tree({.fanout = 8});
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(tree.Insert(uint64_t(t) * kPerThread + i, t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.Size(), kThreads * kPerThread);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(tree.Find(k, nullptr)) << k;
+  }
+}
+
+TEST(BlinkTreeTest, ReadersDuringInserts) {
+  BlinkTree tree({.fanout = 8});
+  // Pinned keys that writers never touch.
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(k * 1000000 + 1, k);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([&] {
+    util::Rng rng(5);
+    while (!stop.load()) {
+      const uint64_t k = rng.Uniform(100);
+      uint64_t v = 0;
+      if (!tree.Find(k * 1000000 + 1, &v) || v != k) {
+        reader_failed.store(true);
+        return;
+      }
+    }
+  });
+  for (uint64_t k = 0; k < 20000; ++k) tree.Insert(k * 7 + 3, k);
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(reader_failed.load());
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+}
+
+}  // namespace
+}  // namespace exhash::baseline

@@ -1,0 +1,139 @@
+// Properties of the split operation shared by every table variant.
+
+#include "core/bucket_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/pseudokey.h"
+#include "util/random.h"
+
+namespace exhash::core {
+namespace {
+
+using storage::Bucket;
+
+class SplitRecordsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitRecordsTest, PartitionIsExactAndComplete) {
+  const int capacity = GetParam();
+  util::Mix64Hasher hasher;
+  util::Rng rng(capacity);
+  for (int ld = 0; ld < 12; ++ld) {
+    // Build a full bucket whose records all match a random commonbits
+    // pattern at localdepth ld.
+    const util::Pseudokey pattern = util::LowBits(rng.Next(), ld);
+    Bucket current(capacity);
+    current.localdepth = ld;
+    current.commonbits = pattern;
+    current.version = 7;
+    current.next = 99;
+    current.prev = 55;
+    while (!current.full()) {
+      uint64_t key = rng.Next();
+      while (!util::MatchesCommonBits(hasher.Hash(key), pattern, ld)) {
+        key = rng.Next();
+      }
+      if (!current.Search(key)) current.Add(key, key * 2);
+    }
+    uint64_t new_key = rng.Next();
+    while (!util::MatchesCommonBits(hasher.Hash(new_key), pattern, ld) ||
+           current.Search(new_key)) {
+      new_key = rng.Next();
+    }
+
+    Bucket half1(capacity);
+    Bucket half2(capacity);
+    const bool done = SplitRecords(current, new_key, 123, hasher, /*old=*/10,
+                                   /*new=*/20, &half1, &half2);
+
+    // Structural fields.
+    EXPECT_EQ(half1.localdepth, ld + 1);
+    EXPECT_EQ(half2.localdepth, ld + 1);
+    EXPECT_EQ(half1.commonbits, pattern);
+    EXPECT_EQ(half2.commonbits,
+              pattern | (util::Pseudokey{1} << ld));
+    EXPECT_EQ(half1.next, 20u);       // old -> new
+    EXPECT_EQ(half2.next, 99u);       // new inherits old's next
+    EXPECT_EQ(half2.prev, 10u);       // split off the old page
+    EXPECT_EQ(half1.prev, 55u);       // lineage preserved
+    EXPECT_EQ(half1.version, 8u);
+    EXPECT_EQ(half2.version, 8u);
+    EXPECT_FALSE(half1.deleted);
+    EXPECT_FALSE(half2.deleted);
+
+    // Every old record lands in exactly the half its pseudokey selects.
+    int found = 0;
+    for (const storage::Record& r : current.records()) {
+      const bool one = util::IsOnePartner(hasher.Hash(r.key), ld + 1);
+      const Bucket& home = one ? half2 : half1;
+      const Bucket& other = one ? half1 : half2;
+      uint64_t v = 0;
+      EXPECT_TRUE(home.Search(r.key, &v));
+      EXPECT_EQ(v, r.value);
+      EXPECT_FALSE(other.Search(r.key));
+      ++found;
+    }
+    EXPECT_EQ(found, capacity);
+    EXPECT_EQ(half1.count() + half2.count(), capacity + (done ? 1 : 0));
+    if (done) {
+      const bool one = util::IsOnePartner(hasher.Hash(new_key), ld + 1);
+      EXPECT_TRUE((one ? half2 : half1).Search(new_key));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SplitRecordsTest,
+                         ::testing::Values(1, 2, 4, 13, 61));
+
+TEST(SplitRecordsTest, ReportsNotDoneWhenTargetHalfOverflows) {
+  // Identity hasher: all records share bit (ld+1) == 0, so they all go to
+  // half1 together with the new key — which then cannot fit.
+  util::IdentityHasher hasher;
+  Bucket current(3);
+  current.localdepth = 0;
+  current.commonbits = 0;
+  current.Add(0b000, 1);
+  current.Add(0b010, 2);
+  current.Add(0b100, 3);
+  Bucket half1(3);
+  Bucket half2(3);
+  EXPECT_FALSE(
+      SplitRecords(current, 0b110, 4, hasher, 0, 1, &half1, &half2));
+  EXPECT_EQ(half1.count(), 3);
+  EXPECT_EQ(half2.count(), 0);
+  EXPECT_FALSE(half1.Search(0b110));
+}
+
+TEST(SplitRecordsTest, NewKeyJoinsEmptyHalf) {
+  util::IdentityHasher hasher;
+  Bucket current(2);
+  current.localdepth = 0;
+  current.commonbits = 0;
+  current.Add(0b00, 1);
+  current.Add(0b10, 2);
+  Bucket half1(2);
+  Bucket half2(2);
+  // New key has bit 1 set: goes alone into half2.
+  EXPECT_TRUE(SplitRecords(current, 0b01, 9, hasher, 0, 1, &half1, &half2));
+  EXPECT_EQ(half1.count(), 2);
+  EXPECT_EQ(half2.count(), 1);
+  uint64_t v = 0;
+  EXPECT_TRUE(half2.Search(0b01, &v));
+  EXPECT_EQ(v, 9u);
+}
+
+TEST(AtomicTableStatsTest, SnapshotReflectsCounters) {
+  AtomicTableStats stats;
+  stats.finds.fetch_add(3);
+  stats.splits.fetch_add(2);
+  stats.wrong_bucket_hops.fetch_add(5);
+  const TableStats s = stats.Snapshot();
+  EXPECT_EQ(s.finds, 3u);
+  EXPECT_EQ(s.splits, 2u);
+  EXPECT_EQ(s.wrong_bucket_hops, 5u);
+  EXPECT_EQ(s.merges, 0u);
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,119 @@
+#include "core/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace exhash::core {
+namespace {
+
+TEST(DirectoryTest, InitialState) {
+  Directory dir(2, 10);
+  EXPECT_EQ(dir.depth(), 2);
+  EXPECT_EQ(dir.NumEntries(), 4u);
+  EXPECT_EQ(dir.max_depth(), 10);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dir.Entry(i), storage::kInvalidPage);
+  }
+}
+
+TEST(DirectoryTest, SetAndGetEntries) {
+  Directory dir(2, 10);
+  dir.SetEntry(0, 100);
+  dir.SetEntry(3, 103);
+  EXPECT_EQ(dir.Entry(0), 100u);
+  EXPECT_EQ(dir.Entry(3), 103u);
+}
+
+TEST(DirectoryTest, UpdateEntriesHitsAllMatchingIndices) {
+  Directory dir(3, 10);
+  for (uint64_t i = 0; i < 8; ++i) dir.SetEntry(i, 1);
+  // Point every entry whose low 2 bits are 0b01 at page 55.
+  dir.UpdateEntries(55, 2, 0b01);
+  for (uint64_t i = 0; i < 8; ++i) {
+    if ((i & 0b11) == 0b01) {
+      EXPECT_EQ(dir.Entry(i), 55u) << i;
+    } else {
+      EXPECT_EQ(dir.Entry(i), 1u) << i;
+    }
+  }
+}
+
+TEST(DirectoryTest, UpdateEntriesAtFullDepthTouchesOneEntry) {
+  Directory dir(3, 10);
+  for (uint64_t i = 0; i < 8; ++i) dir.SetEntry(i, 1);
+  dir.UpdateEntries(77, 3, 0b110);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(dir.Entry(i), i == 0b110 ? 77u : 1u) << i;
+  }
+}
+
+TEST(DirectoryTest, DoubleCopiesLowerHalf) {
+  Directory dir(2, 10);
+  for (uint64_t i = 0; i < 4; ++i) dir.SetEntry(i, 10 + i);
+  ASSERT_TRUE(dir.Double());
+  EXPECT_EQ(dir.depth(), 3);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dir.Entry(i), 10 + i);
+    EXPECT_EQ(dir.Entry(i + 4), 10 + i);  // upper half mirrors lower
+  }
+}
+
+TEST(DirectoryTest, DoubleFailsAtMaxDepth) {
+  Directory dir(2, 2);
+  EXPECT_FALSE(dir.Double());
+  EXPECT_EQ(dir.depth(), 2);
+}
+
+TEST(DirectoryTest, HalveReducesDepth) {
+  Directory dir(3, 10);
+  for (uint64_t i = 0; i < 8; ++i) dir.SetEntry(i, 9);
+  dir.Halve();
+  EXPECT_EQ(dir.depth(), 2);
+  EXPECT_EQ(dir.NumEntries(), 4u);
+}
+
+TEST(DirectoryTest, RecomputeDepthcountCountsDifferingPairs) {
+  Directory dir(2, 10);
+  // Entries: 0->A 1->B 2->A 3->C.  At depth 2, pairs are (0,2) and (1,3):
+  // (A,A) same, (B,C) differ => two full-depth buckets.
+  dir.SetEntry(0, 1);
+  dir.SetEntry(1, 2);
+  dir.SetEntry(2, 1);
+  dir.SetEntry(3, 3);
+  EXPECT_EQ(dir.RecomputeDepthcount(), 2);
+}
+
+TEST(DirectoryTest, RecomputeDepthcountAllShared) {
+  Directory dir(2, 10);
+  dir.SetEntry(0, 1);
+  dir.SetEntry(1, 2);
+  dir.SetEntry(2, 1);
+  dir.SetEntry(3, 2);
+  EXPECT_EQ(dir.RecomputeDepthcount(), 0);
+}
+
+TEST(DirectoryTest, RecomputeDepthcountAllDistinct) {
+  Directory dir(2, 10);
+  for (uint64_t i = 0; i < 4; ++i) dir.SetEntry(i, i);
+  EXPECT_EQ(dir.RecomputeDepthcount(), 4);
+}
+
+TEST(DirectoryTest, DepthcountAccessors) {
+  Directory dir(1, 10);
+  dir.set_depthcount(2);
+  dir.AddDepthcount(2);
+  EXPECT_EQ(dir.depthcount(), 4);
+  dir.AddDepthcount(-4);
+  EXPECT_EQ(dir.depthcount(), 0);
+}
+
+TEST(DirectoryTest, DoubleThenHalveRestoresEntries) {
+  Directory dir(2, 10);
+  for (uint64_t i = 0; i < 4; ++i) dir.SetEntry(i, 20 + i);
+  ASSERT_TRUE(dir.Double());
+  dir.Halve();
+  EXPECT_EQ(dir.depth(), 2);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(dir.Entry(i), 20 + i);
+}
+
+}  // namespace
+}  // namespace exhash::core

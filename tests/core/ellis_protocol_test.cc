@@ -1,0 +1,253 @@
+// Protocol-specific behaviour of the two locking solutions: which lock
+// modes they take on the directory, the partner-relock dance, the merge-free
+// restart (the Figure 9 livelock fix), and directed split/merge scenarios
+// steered with the identity hasher.
+
+#include <gtest/gtest.h>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+namespace {
+
+util::IdentityHasher* identity() {
+  static util::IdentityHasher h;
+  return &h;
+}
+
+TableOptions DirectedOptions(int initial_depth) {
+  TableOptions options;
+  options.page_size = 112;  // capacity 4
+  options.initial_depth = initial_depth;
+  options.max_depth = 16;
+  options.hasher = identity();
+  options.poison_on_dealloc = true;
+  return options;
+}
+
+// --- Directory lock usage: the headline difference between the solutions ---
+
+TEST(EllisProtocolTest, V1InsertAlwaysAlphaLocksTheDirectory) {
+  EllisHashTableV1 table(DirectedOptions(1));
+  for (uint64_t k = 0; k < 3; ++k) table.Insert(k << 4, k);  // no splits
+  const auto s = table.DirectoryLockStats();
+  EXPECT_EQ(s.alpha_acquired, 3u);  // one alpha per insert, split or not
+  EXPECT_EQ(s.upgrades, 0u);
+}
+
+TEST(EllisProtocolTest, V2InsertTouchesDirectoryAlphaOnlyOnSplit) {
+  EllisHashTableV2 table(DirectedOptions(1));
+  // Four even keys fill bucket "0" without splitting.
+  for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.DirectoryLockStats().alpha_acquired, 0u);
+  // The fifth forces a split: exactly one rho->alpha conversion.
+  ASSERT_TRUE(table.Insert(0b1000, 8));
+  const auto s = table.DirectoryLockStats();
+  EXPECT_EQ(s.alpha_acquired, 1u);
+  EXPECT_EQ(s.upgrades, 1u);
+}
+
+TEST(EllisProtocolTest, V1DeleteAlwaysXiLocksTheDirectory) {
+  EllisHashTableV1 table(DirectedOptions(1));
+  table.Insert(0, 0);
+  table.Insert(1, 1);
+  table.Remove(0);
+  table.Remove(1);
+  EXPECT_EQ(table.DirectoryLockStats().xi_acquired, 2u);
+}
+
+TEST(EllisProtocolTest, V2PlainDeleteNeverWriteLocksTheDirectory) {
+  EllisHashTableV2 table(DirectedOptions(1));
+  table.Insert(0, 0);
+  table.Insert(2, 2);
+  table.Remove(0);  // localdepth == 1: no merge, plain removal
+  table.Remove(2);
+  const auto s = table.DirectoryLockStats();
+  EXPECT_EQ(s.alpha_acquired, 0u);
+  EXPECT_EQ(s.xi_acquired, 0u);  // xi only in the GC phase after merges
+}
+
+// --- Directed merges ---
+
+TEST(EllisProtocolTest, MergeWhenKeyInFirstOfPair) {
+  // Depth 2, one record in "00" and one in "10"; deleting the "00" record
+  // takes the z-in-first path: the partner is the chain successor.
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TableBase> table;
+    if (variant == 0) {
+      table = std::make_unique<EllisHashTableV1>(DirectedOptions(2));
+    } else {
+      table = std::make_unique<EllisHashTableV2>(DirectedOptions(2));
+    }
+    ASSERT_TRUE(table->Insert(0b00, 1));
+    ASSERT_TRUE(table->Insert(0b10, 2));
+    ASSERT_TRUE(table->Remove(0b00));
+    const auto s = table->Stats();
+    EXPECT_EQ(s.merges, 1u) << "variant " << variant;
+    EXPECT_EQ(s.partner_relocks, 0u) << "variant " << variant;
+    uint64_t v = 0;
+    EXPECT_TRUE(table->Find(0b10, &v));
+    EXPECT_EQ(v, 2u);
+    std::string error;
+    EXPECT_TRUE(table->Validate(&error)) << error;
+  }
+}
+
+TEST(EllisProtocolTest, MergeWhenKeyInSecondOfPairRequiresRelock) {
+  // Deleting the lone record of "10" merges with "00", which precedes it in
+  // the chain: both solutions must release and re-lock in chain order.
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TableBase> table;
+    if (variant == 0) {
+      table = std::make_unique<EllisHashTableV1>(DirectedOptions(2));
+    } else {
+      table = std::make_unique<EllisHashTableV2>(DirectedOptions(2));
+    }
+    ASSERT_TRUE(table->Insert(0b00, 1));
+    ASSERT_TRUE(table->Insert(0b10, 2));
+    ASSERT_TRUE(table->Remove(0b10));
+    const auto s = table->Stats();
+    EXPECT_EQ(s.merges, 1u) << "variant " << variant;
+    EXPECT_EQ(s.partner_relocks, 1u) << "variant " << variant;
+    EXPECT_TRUE(table->Find(0b00, nullptr));
+    std::string error;
+    EXPECT_TRUE(table->Validate(&error)) << error;
+  }
+}
+
+TEST(EllisProtocolTest, V2StablePartnerMismatchRestartsMergeFree) {
+  // Regression test for the Figure 9 livelock: bucket "00" splits deeper
+  // (localdepth 3) while "10" stays at 2.  Deleting the lone "10" record
+  // takes the z-in-second path; the directory-located "0"-side bucket
+  // ("000") is not chain-linked to "10", a *stable* condition.  The delete
+  // must restart exactly once, merge-free, and plain-remove.
+  EllisHashTableV2 table(DirectedOptions(2));
+  // Five keys in pattern 000 (mod 8): bucket "00" splits twice (the first
+  // split puts all records in one half), reaching localdepth 4 and doubling
+  // the directory to depth 4.
+  for (uint64_t k : {0b00000u, 0b01000u, 0b10000u, 0b11000u, 0b100000u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.Depth(), 4);
+  ASSERT_TRUE(table.Insert(0b10, 2));  // the lone "10" record
+  ASSERT_TRUE(table.Remove(0b10));
+
+  const auto s = table.Stats();
+  EXPECT_EQ(s.delete_restarts, 1u);
+  EXPECT_EQ(s.merges, 0u);
+  EXPECT_FALSE(table.Find(0b10, nullptr));
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(EllisProtocolTest, V1StablePartnerMismatchPlainRemoves) {
+  // Same structure under V1: it holds the directory xi-lock, compares
+  // localdepths directly, and plain-removes without restarting.
+  EllisHashTableV1 table(DirectedOptions(2));
+  for (uint64_t k : {0b00000u, 0b01000u, 0b10000u, 0b11000u, 0b100000u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  ASSERT_TRUE(table.Insert(0b10, 2));
+  ASSERT_TRUE(table.Remove(0b10));
+  const auto s = table.Stats();
+  EXPECT_EQ(s.delete_restarts, 0u);
+  EXPECT_EQ(s.merges, 0u);
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(EllisProtocolTest, V2MergeReclaimsTheTombstonePage) {
+  EllisHashTableV2 table(DirectedOptions(2));
+  ASSERT_TRUE(table.Insert(0b00, 1));
+  ASSERT_TRUE(table.Insert(0b10, 2));
+  const auto before = table.IoStats();
+  ASSERT_TRUE(table.Remove(0b00));  // merge + GC phase
+  const auto after = table.IoStats();
+  EXPECT_EQ(after.deallocs, before.deallocs + 1);
+  EXPECT_EQ(after.live_pages + 1, before.live_pages);
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(EllisProtocolTest, MergeSkippedWhenBucketNotEmptyEnough) {
+  // "The simplest interpretation for 'too empty' is that the only record
+  // contained in the bucket is the one to be deleted" (section 2.2).
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TableBase> table;
+    if (variant == 0) {
+      table = std::make_unique<EllisHashTableV1>(DirectedOptions(2));
+    } else {
+      table = std::make_unique<EllisHashTableV2>(DirectedOptions(2));
+    }
+    ASSERT_TRUE(table->Insert(0b000, 1));
+    ASSERT_TRUE(table->Insert(0b100, 2));  // two records in "00"
+    ASSERT_TRUE(table->Remove(0b000));
+    EXPECT_EQ(table->Stats().merges, 0u);
+    EXPECT_TRUE(table->Find(0b100, nullptr));
+  }
+}
+
+TEST(EllisProtocolTest, MergeNeverReducesLocaldepthBelowOne) {
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TableBase> table;
+    if (variant == 0) {
+      table = std::make_unique<EllisHashTableV1>(DirectedOptions(1));
+    } else {
+      table = std::make_unique<EllisHashTableV2>(DirectedOptions(1));
+    }
+    ASSERT_TRUE(table->Insert(0, 0));
+    ASSERT_TRUE(table->Insert(1, 1));
+    ASSERT_TRUE(table->Remove(0));  // partner "1" nonempty & localdepth 1
+    ASSERT_TRUE(table->Remove(1));
+    EXPECT_EQ(table->Stats().merges, 0u);
+    EXPECT_EQ(table->Depth(), 1);
+    std::string error;
+    EXPECT_TRUE(table->Validate(&error)) << error;
+  }
+}
+
+TEST(EllisProtocolTest, DeleteOfAbsentKeyFromSingletonBucketIsSafe) {
+  // The Figure 7 fix: deleting an absent key from a one-record bucket must
+  // not merge away (and thereby lose) the innocent record.
+  for (int variant = 0; variant < 2; ++variant) {
+    std::unique_ptr<TableBase> table;
+    if (variant == 0) {
+      table = std::make_unique<EllisHashTableV1>(DirectedOptions(2));
+    } else {
+      table = std::make_unique<EllisHashTableV2>(DirectedOptions(2));
+    }
+    ASSERT_TRUE(table->Insert(0b100, 7));  // lone record in "00"
+    // 0b1000 also lands in "00" but is absent.
+    EXPECT_FALSE(table->Remove(0b1000));
+    uint64_t v = 0;
+    EXPECT_TRUE(table->Find(0b100, &v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(table->Stats().merges, 0u);
+  }
+}
+
+TEST(EllisProtocolTest, SplitPublishesNewHalfBeforeOldPage) {
+  // Indirect check of the write ordering (section 2.3): after any split the
+  // structure is valid — and the directed scenario pins the halves' layout.
+  EllisHashTableV2 table(DirectedOptions(1));
+  for (uint64_t k : {0b000u, 0b010u, 0b100u, 0b110u, 0b001u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  // Bucket "0" was full; inserting an odd key does not split.  Now overflow
+  // "0" for real:
+  ASSERT_TRUE(table.Insert(0b1000, 8));
+  EXPECT_EQ(table.Stats().splits, 1u);
+  EXPECT_EQ(table.Depth(), 2);
+  for (uint64_t k : {0b000u, 0b010u, 0b100u, 0b110u, 0b001u, 0b1000u}) {
+    EXPECT_TRUE(table.Find(k, nullptr)) << k;
+  }
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,71 @@
+#include "core/lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace exhash::core {
+namespace {
+
+TEST(LockTableTest, SamePageSameLock) {
+  LockTable table;
+  util::RaxLock& a = table.For(42);
+  util::RaxLock& b = table.For(42);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(LockTableTest, DifferentPagesDifferentLocks) {
+  LockTable table;
+  EXPECT_NE(&table.For(1), &table.For(2));
+  EXPECT_NE(&table.For(0), &table.For(256));  // different chunks
+}
+
+TEST(LockTableTest, LocksAreStableAcrossGrowth) {
+  LockTable table;
+  util::RaxLock* early = &table.For(5);
+  early->RhoLock();
+  // Force many chunk allocations.
+  for (storage::PageId p = 0; p < 10000; p += 100) table.For(p);
+  EXPECT_EQ(&table.For(5), early);
+  early->UnRhoLock();
+}
+
+TEST(LockTableTest, ConcurrentLookupsAndGrowth) {
+  LockTable table;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (storage::PageId p = 0; p < 2000; ++p) {
+        util::RaxLock& lock = table.For(p * 4 + storage::PageId(t));
+        lock.RhoLock();
+        lock.UnRhoLock();
+      }
+      // Re-lookup must return identical objects.
+      util::RaxLock* first = &table.For(storage::PageId(t));
+      if (first != &table.For(storage::PageId(t))) failed.store(true);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(LockTableTest, AggregateStatsSumsAcrossLocks) {
+  LockTable table;
+  table.For(1).RhoLock();
+  table.For(1).UnRhoLock();
+  table.For(300).XiLock();
+  table.For(300).UnXiLock();
+  table.For(700).AlphaLock();
+  table.For(700).UnAlphaLock();
+  const util::RaxLockStats s = table.AggregateStats();
+  EXPECT_EQ(s.rho_acquired, 1u);
+  EXPECT_EQ(s.xi_acquired, 1u);
+  EXPECT_EQ(s.alpha_acquired, 1u);
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,139 @@
+// Walking the paper's worked structures.  Figure 1 shows a depth-2 file
+// with four buckets; Figure 2 shows how updates drive splits, a directory
+// doubling, merges, and a halving; Figures 3-4 add the next links and show
+// a split re-linking them.  With the identity hasher (pseudokey == key) we
+// rebuild those transitions literally and check every intermediate state.
+
+#include <gtest/gtest.h>
+
+#include "core/ellis_v2.h"
+#include "core/sequential_hash.h"
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+namespace {
+
+util::IdentityHasher* identity() {
+  static util::IdentityHasher h;
+  return &h;
+}
+
+TableOptions PaperOptions() {
+  TableOptions options;
+  options.page_size = 112;  // 4 records per bucket — the figures' "y = z"
+  options.initial_depth = 2;
+  options.max_depth = 12;
+  options.hasher = identity();
+  options.poison_on_dealloc = true;
+  return options;
+}
+
+// Figure 1: depth 2, entries 00/01/10/11, find by the low bits.
+TEST(PaperScenariosTest, Figure1FindByLowBits) {
+  SequentialExtendibleHash table(PaperOptions());
+  // Keys chosen so their two low bits spread over all four buckets
+  // (the paper's example pseudokey "...101" indexes entry 01).
+  ASSERT_TRUE(table.Insert(0b1100, 1));  // entry 00
+  ASSERT_TRUE(table.Insert(0b0101, 2));  // entry 01
+  ASSERT_TRUE(table.Insert(0b0110, 3));  // entry 10
+  ASSERT_TRUE(table.Insert(0b1011, 4));  // entry 11
+  EXPECT_EQ(table.Depth(), 2);
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Find(0b0101, &v));  // "imagine it is ...101"
+  EXPECT_EQ(v, 2u);
+  // All four buckets still at localdepth == depth: no sharing yet.
+  EXPECT_EQ(table.Stats().splits, 0u);
+}
+
+// Figure 2's first transition: a bucket fills and splits *without*
+// doubling when its localdepth is below the directory depth.
+TEST(PaperScenariosTest, Figure2SplitWithoutDoubling) {
+  // Build a file where bucket "0" has localdepth 1 while depth is 2 —
+  // start at depth 1 and double through the "1" side.
+  TableOptions options = PaperOptions();
+  options.initial_depth = 1;
+  SequentialExtendibleHash table(options);
+  // Fill "1": 4 odd keys, then a fifth odd key doubles the directory and
+  // splits "1" into "01"/"11".
+  for (uint64_t k : {0b0001u, 0b0011u, 0b0101u, 0b0111u, 0b1001u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.Depth(), 2);
+  EXPECT_EQ(table.Stats().doublings, 1u);
+  // Bucket "0" now has localdepth 1: both 00 and 10 entries point at it.
+  // Filling it splits WITHOUT another doubling.
+  for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u, 0b1000u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.Depth(), 2);  // unchanged
+  EXPECT_EQ(table.Stats().doublings, 1u);
+  EXPECT_EQ(table.Stats().splits, 2u);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+}
+
+// Figure 2's growth + shrink round trip: inserts double the directory,
+// deletes merge the buckets back and halve it.
+TEST(PaperScenariosTest, Figure2GrowShrinkRoundTrip) {
+  TableOptions options = PaperOptions();
+  options.initial_depth = 1;
+  EllisHashTableV2 table(options);
+  const int depth0 = table.Depth();
+
+  for (uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(table.Insert(k, k));
+  EXPECT_GT(table.Depth(), depth0);
+  const auto grown = table.Stats();
+  EXPECT_GT(grown.splits, 0u);
+  EXPECT_GT(grown.doublings, 0u);
+
+  for (uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(table.Remove(k));
+  const auto shrunk = table.Stats();
+  EXPECT_GT(shrunk.merges, 0u);
+  EXPECT_GT(shrunk.halvings, 0u);
+  EXPECT_LT(table.Depth(), 7);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+}
+
+// Figure 3/4: the concurrent structure's next links.  After the second
+// bucket splits, the original points at the new bucket and the new bucket
+// inherits the old link — visible through DebugString's chain dump.
+TEST(PaperScenariosTest, Figure4SplitRelinksTheChain) {
+  TableOptions options = PaperOptions();
+  options.initial_depth = 1;
+  EllisHashTableV2 table(options);
+
+  const std::string before = table.DebugString();
+  EXPECT_NE(before.find("depth=1"), std::string::npos);
+
+  // Split the "1" bucket (the "second bucket" of Figure 3).
+  for (uint64_t k : {0b0001u, 0b0011u, 0b0101u, 0b0111u, 0b1001u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  const std::string after = table.DebugString();
+  // The chain now reads 0 -> 01 -> 11: the new bucket ("11") sits right
+  // after the one that split ("01"), holding the old link's place.
+  const size_t p0 = after.find("[0]");
+  const size_t p01 = after.find("[01]");
+  const size_t p11 = after.find("[11]");
+  ASSERT_NE(p0, std::string::npos) << after;
+  ASSERT_NE(p01, std::string::npos) << after;
+  ASSERT_NE(p11, std::string::npos) << after;
+  EXPECT_LT(p0, p01);
+  EXPECT_LT(p01, p11);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(PaperScenariosTest, DebugStringShowsCounts) {
+  EllisHashTableV2 table(PaperOptions());
+  table.Insert(0b00, 1);
+  table.Insert(0b100, 2);
+  const std::string dump = table.DebugString();
+  EXPECT_NE(dump.find("depth=2"), std::string::npos);
+  EXPECT_NE(dump.find("count=2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("size=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exhash::core

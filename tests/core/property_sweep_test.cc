@@ -1,0 +1,91 @@
+// Property sweeps: the oracle workload across the cross product of
+// page size × initial depth × key distribution, on the V2 table (the most
+// intricate protocol).  Each configuration must preserve exact map
+// semantics and pass full structural validation at the end.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_map>
+
+#include "core/ellis_v2.h"
+#include "workload/workload.h"
+
+namespace exhash::core {
+namespace {
+
+using Param = std::tuple<size_t /*page*/, int /*depth0*/, workload::KeyDist>;
+
+class PropertySweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PropertySweepTest, OracleAndValidation) {
+  const auto [page_size, depth0, dist] = GetParam();
+  TableOptions options;
+  options.page_size = page_size;
+  options.initial_depth = depth0;
+  options.max_depth = 20;
+  options.poison_on_dealloc = true;
+  EllisHashTableV2 table(options);
+
+  workload::WorkloadGenerator gen({.key_space = 600,
+                                   .dist = dist,
+                                   .mix = {20, 50, 30},
+                                   .seed = page_size * 31 + uint64_t(depth0)},
+                                  0);
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (int i = 0; i < 6000; ++i) {
+    const workload::Op op = gen.Next();
+    switch (op.type) {
+      case workload::Op::Type::kInsert: {
+        const bool expect = oracle.find(op.key) == oracle.end();
+        ASSERT_EQ(table.Insert(op.key, op.key ^ 0xff), expect) << "op " << i;
+        if (expect) oracle[op.key] = op.key ^ 0xff;
+        break;
+      }
+      case workload::Op::Type::kRemove:
+        ASSERT_EQ(table.Remove(op.key), oracle.erase(op.key) > 0)
+            << "op " << i;
+        break;
+      case workload::Op::Type::kFind: {
+        uint64_t v = 0;
+        const bool found = table.Find(op.key, &v);
+        const auto it = oracle.find(op.key);
+        ASSERT_EQ(found, it != oracle.end()) << "op " << i;
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(table.Size(), oracle.size());
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+
+  // Scan agreement: ForEachRecord must reproduce the oracle exactly.
+  std::unordered_map<uint64_t, uint64_t> scanned;
+  table.ForEachRecord(
+      [&scanned](uint64_t k, uint64_t v) { scanned[k] = v; });
+  ASSERT_EQ(scanned.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(scanned.at(k), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertySweepTest,
+    ::testing::Combine(
+        ::testing::Values(size_t(112), size_t(256), size_t(1024)),
+        ::testing::Values(1, 3),
+        ::testing::Values(workload::KeyDist::kUniform,
+                          workload::KeyDist::kZipf,
+                          workload::KeyDist::kSequential,
+                          workload::KeyDist::kColliding)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "page" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             workload::ToString(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace exhash::core

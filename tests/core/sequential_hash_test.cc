@@ -1,0 +1,199 @@
+#include "core/sequential_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "util/pseudokey.h"
+#include "util/random.h"
+
+namespace exhash::core {
+namespace {
+
+TableOptions SmallOptions() {
+  TableOptions options;
+  options.page_size = 112;  // capacity 4: frequent splits
+  options.initial_depth = 1;
+  options.max_depth = 18;
+  return options;
+}
+
+TEST(SequentialHashTest, EmptyTable) {
+  SequentialExtendibleHash table(SmallOptions());
+  EXPECT_EQ(table.Size(), 0u);
+  EXPECT_EQ(table.Depth(), 1);
+  EXPECT_FALSE(table.Find(1, nullptr));
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(SequentialHashTest, InsertFindRemove) {
+  SequentialExtendibleHash table(SmallOptions());
+  EXPECT_TRUE(table.Insert(1, 10));
+  EXPECT_TRUE(table.Insert(2, 20));
+  EXPECT_FALSE(table.Insert(1, 99));  // duplicate
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Find(1, &v));
+  EXPECT_EQ(v, 10u);  // original value kept
+  EXPECT_TRUE(table.Remove(1));
+  EXPECT_FALSE(table.Remove(1));
+  EXPECT_FALSE(table.Find(1, &v));
+  EXPECT_EQ(table.Size(), 1u);
+}
+
+TEST(SequentialHashTest, GrowthSplitsAndDoubles) {
+  SequentialExtendibleHash table(SmallOptions());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.Size(), 1000u);
+  const TableStats s = table.Stats();
+  EXPECT_GT(s.splits, 0u);
+  EXPECT_GT(s.doublings, 0u);
+  EXPECT_GT(table.Depth(), 3);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(table.Find(k, &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(SequentialHashTest, ShrinkMergesAndHalves) {
+  SequentialExtendibleHash table(SmallOptions());
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(table.Insert(k, k));
+  const int grown_depth = table.Depth();
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(table.Remove(k));
+  EXPECT_EQ(table.Size(), 0u);
+  const TableStats s = table.Stats();
+  EXPECT_GT(s.merges, 0u);
+  EXPECT_GT(s.halvings, 0u);
+  EXPECT_LT(table.Depth(), grown_depth);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(SequentialHashTest, OracleComparisonRandomOps) {
+  SequentialExtendibleHash table(SmallOptions());
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  util::Rng rng(17);
+  constexpr uint64_t kKeySpace = 500;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool inserted = table.Insert(key, key * 7);
+        EXPECT_EQ(inserted, oracle.emplace(key, key * 7).second);
+        break;
+      }
+      case 1: {
+        const bool removed = table.Remove(key);
+        EXPECT_EQ(removed, oracle.erase(key) > 0);
+        break;
+      }
+      case 2: {
+        uint64_t v = 0;
+        const bool found = table.Find(key, &v);
+        const auto it = oracle.find(key);
+        EXPECT_EQ(found, it != oracle.end());
+        if (found) {
+          EXPECT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+    if (i % 2500 == 0) {
+      std::string error;
+      ASSERT_TRUE(table.Validate(&error)) << "op " << i << ": " << error;
+      ASSERT_EQ(table.Size(), oracle.size());
+    }
+  }
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+  for (const auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(table.Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+}
+
+// With the identity hasher we can steer keys into chosen buckets and
+// reproduce the paper's structural transitions (Figure 2) exactly.
+TEST(SequentialHashTest, IdentityHasherSplitScenario) {
+  util::IdentityHasher identity;
+  TableOptions options;
+  options.page_size = 112;  // capacity 4
+  options.initial_depth = 1;
+  options.hasher = &identity;
+  SequentialExtendibleHash table(options);
+
+  // Fill the "...0" bucket: keys 0b0000, 0b0010, 0b0100, 0b0110.
+  for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  EXPECT_EQ(table.Depth(), 1);
+  // A fifth even key forces the "0" bucket to split; its localdepth equals
+  // depth, so the directory doubles: depth 1 -> 2.
+  ASSERT_TRUE(table.Insert(0b1000, 0b1000));
+  EXPECT_EQ(table.Depth(), 2);
+  EXPECT_EQ(table.Stats().splits, 1u);
+  EXPECT_EQ(table.Stats().doublings, 1u);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+
+  // Deleting down to single records merges the pair back and halves.
+  for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u}) {
+    ASSERT_TRUE(table.Remove(k));
+  }
+  ASSERT_TRUE(table.Remove(0b1000));
+  ASSERT_TRUE(table.Validate(&error)) << error;
+  EXPECT_GT(table.Stats().merges, 0u);
+}
+
+TEST(SequentialHashTest, MergingDisabledNeverMerges) {
+  TableOptions options = SmallOptions();
+  options.enable_merging = false;
+  SequentialExtendibleHash table(options);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(table.Insert(k, k));
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(table.Remove(k));
+  EXPECT_EQ(table.Stats().merges, 0u);
+  EXPECT_EQ(table.Stats().halvings, 0u);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(SequentialHashTest, InsertRetryOnSkewedSplit) {
+  // Identity hasher + keys that all extend the same bit pattern force
+  // repeated splits where every record lands in one half (the paper's
+  // `if (!done) insert(z)` path).
+  util::IdentityHasher identity;
+  TableOptions options;
+  options.page_size = 112;  // capacity 4
+  options.initial_depth = 1;
+  options.max_depth = 16;
+  options.hasher = &identity;
+  SequentialExtendibleHash table(options);
+  // Keys k << 8: low 8 bits all zero — they stay together until depth > 8.
+  for (uint64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(table.Insert(k << 8, k));
+  }
+  EXPECT_GT(table.Stats().insert_retries, 0u);
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+  for (uint64_t k = 0; k < 5; ++k) {
+    EXPECT_TRUE(table.Find(k << 8, nullptr));
+  }
+}
+
+TEST(SequentialHashTest, IoCountersAdvance) {
+  SequentialExtendibleHash table(SmallOptions());
+  for (uint64_t k = 0; k < 100; ++k) table.Insert(k, k);
+  const auto io = table.IoStats();
+  EXPECT_GT(io.reads, 0u);
+  EXPECT_GT(io.writes, 0u);
+  EXPECT_GT(io.live_pages, 2u);
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,246 @@
+// Implementation-generic semantic tests: the same suite runs against every
+// KeyValueIndex in the repository (single-threaded here; concurrency is
+// exercised in tests/concurrency/).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "exhash/exhash.h"
+#include "util/random.h"
+
+namespace exhash {
+namespace {
+
+using core::KeyValueIndex;
+using core::TableOptions;
+
+TableOptions SmallOptions() {
+  TableOptions options;
+  options.page_size = 112;  // capacity 4
+  options.initial_depth = 1;
+  options.max_depth = 18;
+  options.poison_on_dealloc = true;  // catch any use-after-dealloc
+  return options;
+}
+
+struct TableFactory {
+  std::string name;
+  std::function<std::unique_ptr<KeyValueIndex>()> make;
+};
+
+class TableSemanticsTest : public ::testing::TestWithParam<TableFactory> {
+ protected:
+  std::unique_ptr<KeyValueIndex> table_ = GetParam().make();
+};
+
+TEST_P(TableSemanticsTest, EmptyTableFindsNothing) {
+  EXPECT_FALSE(table_->Find(0, nullptr));
+  EXPECT_FALSE(table_->Find(12345, nullptr));
+  EXPECT_FALSE(table_->Remove(0));
+  EXPECT_EQ(table_->Size(), 0u);
+}
+
+TEST_P(TableSemanticsTest, SingleRecordLifecycle) {
+  uint64_t v = 0;
+  EXPECT_TRUE(table_->Insert(7, 70));
+  EXPECT_EQ(table_->Size(), 1u);
+  EXPECT_TRUE(table_->Find(7, &v));
+  EXPECT_EQ(v, 70u);
+  EXPECT_TRUE(table_->Remove(7));
+  EXPECT_EQ(table_->Size(), 0u);
+  EXPECT_FALSE(table_->Find(7, nullptr));
+}
+
+TEST_P(TableSemanticsTest, DuplicateInsertRejected) {
+  EXPECT_TRUE(table_->Insert(5, 50));
+  EXPECT_FALSE(table_->Insert(5, 99));
+  uint64_t v = 0;
+  EXPECT_TRUE(table_->Find(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_EQ(table_->Size(), 1u);
+}
+
+TEST_P(TableSemanticsTest, RemoveAbsentKeyFails) {
+  table_->Insert(1, 1);
+  EXPECT_FALSE(table_->Remove(2));
+  EXPECT_EQ(table_->Size(), 1u);
+}
+
+TEST_P(TableSemanticsTest, ZeroAndMaxKeys) {
+  const uint64_t max = ~uint64_t{0};
+  EXPECT_TRUE(table_->Insert(0, 1));
+  EXPECT_TRUE(table_->Insert(max, 2));
+  uint64_t v = 0;
+  EXPECT_TRUE(table_->Find(0, &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(table_->Find(max, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(table_->Remove(0));
+  EXPECT_TRUE(table_->Remove(max));
+}
+
+TEST_P(TableSemanticsTest, GrowThenFindEverything) {
+  constexpr uint64_t kN = 3000;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(table_->Insert(k, k ^ 0xabcd)) << k;
+  }
+  EXPECT_EQ(table_->Size(), kN);
+  std::string error;
+  ASSERT_TRUE(table_->Validate(&error)) << error;
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(table_->Find(k, &v)) << k;
+    ASSERT_EQ(v, k ^ 0xabcd);
+  }
+  EXPECT_FALSE(table_->Find(kN + 1, nullptr));
+}
+
+TEST_P(TableSemanticsTest, GrowThenShrinkToEmpty) {
+  constexpr uint64_t kN = 2000;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(table_->Insert(k, k));
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(table_->Remove(k)) << k;
+  EXPECT_EQ(table_->Size(), 0u);
+  std::string error;
+  ASSERT_TRUE(table_->Validate(&error)) << error;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_FALSE(table_->Find(k, nullptr)) << k;
+  }
+}
+
+TEST_P(TableSemanticsTest, InterleavedOracleComparison) {
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  util::Rng rng(99);
+  constexpr uint64_t kKeySpace = 400;
+  for (int i = 0; i < 15000; ++i) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {
+        const bool inserted = table_->Insert(key, key + i);
+        const bool expected = oracle.find(key) == oracle.end();
+        ASSERT_EQ(inserted, expected) << "op " << i;
+        if (inserted) oracle[key] = key + i;
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(table_->Remove(key), oracle.erase(key) > 0) << "op " << i;
+        break;
+      }
+      case 3: {
+        uint64_t v = 0;
+        const bool found = table_->Find(key, &v);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end()) << "op " << i;
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(table_->Size(), oracle.size());
+  std::string error;
+  ASSERT_TRUE(table_->Validate(&error)) << error;
+}
+
+TEST_P(TableSemanticsTest, ForEachRecordVisitsEverythingOnce) {
+  constexpr uint64_t kN = 500;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(table_->Insert(k, k * 11));
+  }
+  std::unordered_map<uint64_t, uint64_t> seen;
+  const uint64_t visited = table_->ForEachRecord(
+      [&seen](uint64_t key, uint64_t value) { seen[key] = value; });
+  EXPECT_EQ(visited, kN);
+  ASSERT_EQ(seen.size(), kN);
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_EQ(seen.at(k), k * 11);
+  }
+}
+
+TEST_P(TableSemanticsTest, ForEachRecordOnEmptyTable) {
+  uint64_t visited = table_->ForEachRecord([](uint64_t, uint64_t) {});
+  EXPECT_EQ(visited, 0u);
+  // And after grow-then-empty, still zero.
+  for (uint64_t k = 0; k < 200; ++k) table_->Insert(k, k);
+  for (uint64_t k = 0; k < 200; ++k) table_->Remove(k);
+  visited = table_->ForEachRecord([](uint64_t, uint64_t) {});
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST_P(TableSemanticsTest, ChurnSameKeys) {
+  // Insert/delete the same small key set repeatedly: exercises the
+  // split/merge hysteresis repeatedly on the same buckets.
+  for (int round = 0; round < 30; ++round) {
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE(table_->Insert(k, round)) << "round " << round << " k " << k;
+    }
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE(table_->Remove(k)) << "round " << round << " k " << k;
+    }
+  }
+  EXPECT_EQ(table_->Size(), 0u);
+  std::string error;
+  ASSERT_TRUE(table_->Validate(&error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTables, TableSemanticsTest,
+    ::testing::Values(
+        TableFactory{"sequential",
+                     [] {
+                       return std::make_unique<core::SequentialExtendibleHash>(
+                           SmallOptions());
+                     }},
+        TableFactory{"ellis_v1",
+                     [] {
+                       return std::make_unique<core::EllisHashTableV1>(
+                           SmallOptions());
+                     }},
+        TableFactory{"ellis_v2",
+                     [] {
+                       return std::make_unique<core::EllisHashTableV2>(
+                           SmallOptions());
+                     }},
+        TableFactory{"ellis_v1_nomerge",
+                     [] {
+                       auto o = SmallOptions();
+                       o.enable_merging = false;
+                       return std::make_unique<core::EllisHashTableV1>(o);
+                     }},
+        TableFactory{"ellis_v2_nomerge",
+                     [] {
+                       auto o = SmallOptions();
+                       o.enable_merging = false;
+                       return std::make_unique<core::EllisHashTableV2>(o);
+                     }},
+        TableFactory{"global_lock",
+                     [] {
+                       return std::make_unique<baseline::GlobalLockHash>(
+                           SmallOptions());
+                     }},
+        TableFactory{"ellis_v2_on_disk",
+                     [] {
+                       static std::atomic<int> counter{0};
+                       auto o = SmallOptions();
+                       o.backing_file = ::testing::TempDir() +
+                                        "exhash_semantics_" +
+                                        std::to_string(counter.fetch_add(1));
+                       return std::make_unique<core::EllisHashTableV2>(o);
+                     }},
+        TableFactory{"blink",
+                     [] {
+                       return std::make_unique<baseline::BlinkTree>(
+                           baseline::BlinkTree::Options{.fanout = 8});
+                     }}),
+    [](const ::testing::TestParamInfo<TableFactory>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace exhash

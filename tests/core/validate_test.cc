@@ -1,0 +1,206 @@
+// The validator itself must catch corruption — otherwise every "Validate
+// passed" assertion in the suite is vacuous.  Each test builds a correct
+// little file, breaks one invariant surgically, and expects a diagnosis.
+
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/directory.h"
+#include "core/sequential_hash.h"
+#include "storage/bucket.h"
+#include "storage/page_store.h"
+#include "util/pseudokey.h"
+
+namespace exhash::core {
+namespace {
+
+constexpr size_t kPageSize = 112;  // capacity 4
+
+// A hand-built two-bucket file (depth 1) we can corrupt at will.
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest()
+      : store_({.page_size = kPageSize}),
+        dir_(1, 8),
+        capacity_(storage::Bucket::CapacityFor(kPageSize)) {
+    page0_ = store_.Alloc();
+    page1_ = store_.Alloc();
+    storage::Bucket b0(capacity_);
+    b0.localdepth = 1;
+    b0.commonbits = 0;
+    b0.next = page1_;
+    storage::Bucket b1(capacity_);
+    b1.localdepth = 1;
+    b1.commonbits = 1;
+    b1.prev = page0_;
+    Put(page0_, b0);
+    Put(page1_, b1);
+    dir_.SetEntry(0, page0_);
+    dir_.SetEntry(1, page1_);
+    dir_.set_depthcount(2);
+  }
+
+  void Put(storage::PageId page, const storage::Bucket& b) {
+    std::vector<std::byte> buf(kPageSize);
+    b.SerializeTo(buf.data(), kPageSize);
+    store_.Write(page, buf.data());
+  }
+
+  storage::Bucket Get(storage::PageId page) {
+    std::vector<std::byte> buf(kPageSize);
+    store_.Read(page, buf.data());
+    storage::Bucket b(capacity_);
+    EXPECT_TRUE(storage::Bucket::DeserializeFrom(buf.data(), kPageSize, &b));
+    return b;
+  }
+
+  bool Validate(uint64_t expected_size, std::string* error) {
+    return ValidateStructure(dir_, store_, hasher_, capacity_, kPageSize,
+                             expected_size, error);
+  }
+
+  // Adds a key that belongs in bucket `bit` (low pseudokey bit == bit).
+  uint64_t KeyForBucket(int bit, int salt = 0) {
+    uint64_t k = salt;
+    while (int(hasher_.Hash(k) & 1) != bit) ++k;
+    return k;
+  }
+
+  util::Mix64Hasher hasher_;
+  storage::PageStore store_;
+  Directory dir_;
+  int capacity_;
+  storage::PageId page0_;
+  storage::PageId page1_;
+};
+
+TEST_F(ValidateTest, CleanStructurePasses) {
+  std::string error;
+  EXPECT_TRUE(Validate(0, &error)) << error;
+}
+
+TEST_F(ValidateTest, DetectsWrongRecordCount) {
+  std::string error;
+  EXPECT_FALSE(Validate(3, &error));
+  EXPECT_NE(error.find("expected size"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsMisplacedKey) {
+  storage::Bucket b0 = Get(page0_);
+  b0.Add(KeyForBucket(1), 9);  // belongs in bucket 1
+  Put(page0_, b0);
+  std::string error;
+  EXPECT_FALSE(Validate(1, &error));
+  EXPECT_NE(error.find("does not belong"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsDuplicateKeyAcrossBuckets) {
+  // Force the same key into both buckets (bucket 1's copy is misplaced,
+  // but the duplicate check may fire first on bucket order — accept either
+  // diagnosis).
+  const uint64_t k = KeyForBucket(0);
+  storage::Bucket b0 = Get(page0_);
+  b0.Add(k, 1);
+  Put(page0_, b0);
+  storage::Bucket b1 = Get(page1_);
+  b1.Add(k, 2);
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(Validate(2, &error));
+}
+
+TEST_F(ValidateTest, DetectsWrongCommonbits) {
+  storage::Bucket b1 = Get(page1_);
+  b1.commonbits = 0;  // lies about its pattern
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+TEST_F(ValidateTest, DetectsTombstoneInDirectory) {
+  storage::Bucket b1 = Get(page1_);
+  b1.deleted = true;
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+  EXPECT_NE(error.find("tombstone"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsWrongDepthcount) {
+  dir_.set_depthcount(0);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+  EXPECT_NE(error.find("depthcount"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsBrokenChain) {
+  storage::Bucket b0 = Get(page0_);
+  b0.next = storage::kInvalidPage;  // drops bucket 1 from the chain
+  Put(page0_, b0);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+TEST_F(ValidateTest, DetectsChainCycle) {
+  storage::Bucket b1 = Get(page1_);
+  b1.next = page0_;  // back edge
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+TEST_F(ValidateTest, DetectsStalePrevLink) {
+  storage::Bucket b1 = Get(page1_);
+  b1.prev = page1_;  // should address the "0" partner
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+  EXPECT_NE(error.find("prev"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DetectsInvalidDirectoryEntry) {
+  dir_.SetEntry(1, storage::kInvalidPage);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+TEST_F(ValidateTest, DetectsLocaldepthBeyondDepth) {
+  storage::Bucket b0 = Get(page0_);
+  b0.localdepth = 5;
+  Put(page0_, b0);
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+TEST_F(ValidateTest, DetectsEntryPointingAtWrongBucket) {
+  dir_.SetEntry(0, page1_);  // both entries now point at bucket 1
+  std::string error;
+  EXPECT_FALSE(Validate(0, &error));
+}
+
+// End-to-end: the validator accepts every state a real table moves through.
+TEST(ValidateIntegrationTest, AcceptsEveryQuiescentStateOfARealTable) {
+  TableOptions options;
+  options.page_size = kPageSize;
+  options.initial_depth = 1;
+  SequentialExtendibleHash table(options);
+  std::string error;
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(table.Insert(k, k));
+    if (k % 37 == 0) {
+      ASSERT_TRUE(table.Validate(&error)) << "insert " << k << ": " << error;
+    }
+  }
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(table.Remove(k));
+    if (k % 37 == 0) {
+      ASSERT_TRUE(table.Validate(&error)) << "remove " << k << ": " << error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,282 @@
+// End-to-end tests of the distributed extendible hash file: replicated
+// directory managers, partitioned bucket managers, asynchronous
+// version-ordered directory updates, and gated garbage collection.
+
+#include "distributed/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exhash::dist {
+namespace {
+
+Cluster::Options SmallCluster() {
+  Cluster::Options o;
+  o.num_directory_managers = 2;
+  o.num_bucket_managers = 2;
+  o.page_size = 112;  // capacity 4
+  o.initial_depth = 2;
+  o.max_depth = 16;
+  return o;
+}
+
+TEST(ClusterTest, EmptyClusterValidates) {
+  Cluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  EXPECT_TRUE(cluster.ValidateQuiescent(0, &error)) << error;
+}
+
+TEST(ClusterTest, SingleClientLifecycle) {
+  Cluster cluster(SmallCluster());
+  auto client = cluster.NewClient();
+  EXPECT_FALSE(client->Find(7, nullptr));
+  EXPECT_TRUE(client->Insert(7, 70));
+  EXPECT_FALSE(client->Insert(7, 71));  // duplicate
+  uint64_t v = 0;
+  EXPECT_TRUE(client->Find(7, &v));
+  EXPECT_EQ(v, 70u);
+  EXPECT_TRUE(client->Remove(7));
+  EXPECT_FALSE(client->Remove(7));
+  EXPECT_FALSE(client->Find(7, nullptr));
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  EXPECT_TRUE(cluster.ValidateQuiescent(0, &error)) << error;
+}
+
+TEST(ClusterTest, GrowthAcrossManagers) {
+  Cluster cluster(SmallCluster());
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 400;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(client->Insert(k, k * 3)) << k;
+  }
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(client->Find(k, &v)) << k;
+    ASSERT_EQ(v, k * 3);
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(kN, &error)) << error;
+  // Splits actually happened.
+  uint64_t splits = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    splits += cluster.bucket_manager(b).stats().splits_local +
+              cluster.bucket_manager(b).stats().splits_spilled;
+  }
+  EXPECT_GT(splits, 10u);
+}
+
+TEST(ClusterTest, ShrinkMergesAndCollectsGarbage) {
+  Cluster cluster(SmallCluster());
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 300;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Insert(k, k));
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Remove(k)) << k;
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(0, &error)) << error;
+  uint64_t merges = 0;
+  uint64_t gc = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    const BucketManagerStats s = cluster.bucket_manager(b).stats();
+    merges += s.merges_local + s.merges_remote;
+    gc += s.gc_pages;
+  }
+  EXPECT_GT(merges, 0u);
+  // Every merge tombstone must eventually be reclaimed.
+  EXPECT_EQ(gc, merges);
+}
+
+TEST(ClusterTest, SpilledSplitsCrossManagerChains) {
+  Cluster::Options o = SmallCluster();
+  o.spill_per_8 = 4;  // half the splits land on another manager
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 500;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Insert(k, k));
+  uint64_t spilled = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    spilled += cluster.bucket_manager(b).stats().splits_spilled;
+  }
+  EXPECT_GT(spilled, 0u);
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_TRUE(client->Find(k, nullptr)) << k;
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(kN, &error)) << error;
+}
+
+TEST(ClusterTest, OracleComparisonRandomOps) {
+  Cluster::Options o = SmallCluster();
+  o.spill_per_8 = 2;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  util::Rng rng(4242);
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t key = rng.Uniform(200);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool inserted = client->Insert(key, key + i);
+        const bool expected = oracle.find(key) == oracle.end();
+        ASSERT_EQ(inserted, expected) << "op " << i;
+        if (inserted) oracle[key] = key + i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(client->Remove(key), oracle.erase(key) > 0) << "op " << i;
+        break;
+      case 2: {
+        uint64_t v = 0;
+        const bool found = client->Find(key, &v);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end()) << "op " << i;
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(oracle.size(), &error)) << error;
+}
+
+TEST(ClusterTest, ConcurrentClientsDisjointKeys) {
+  Cluster::Options o = SmallCluster();
+  o.num_directory_managers = 3;
+  o.num_bucket_managers = 3;
+  Cluster cluster(o);
+  constexpr int kClients = 4;
+  constexpr uint64_t kPerClient = 250;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = cluster.NewClient();
+      const uint64_t base = uint64_t(c) << 32;
+      for (uint64_t k = 0; k < kPerClient; ++k) {
+        ASSERT_TRUE(client->Insert(base + k, k));
+      }
+      for (uint64_t k = 0; k < kPerClient; ++k) {
+        uint64_t v = 0;
+        ASSERT_TRUE(client->Find(base + k, &v));
+        ASSERT_EQ(v, k);
+      }
+      for (uint64_t k = 0; k < kPerClient; k += 2) {
+        ASSERT_TRUE(client->Remove(base + k));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(
+      cluster.ValidateQuiescent(kClients * kPerClient / 2, &error))
+      << error;
+}
+
+// The paper's section-3 scenario: with delivery jitter, copyupdates can
+// arrive at a replica in the wrong order (merge before the split that
+// produced the buckets).  Version ordering must delay and reorder them; the
+// replicas must still converge.
+TEST(ClusterTest, VersionOrderingUnderNetworkJitter) {
+  Cluster::Options o = SmallCluster();
+  o.num_directory_managers = 3;
+  o.net.delay_ns_min = 0;
+  o.net.delay_ns_max = 500000;  // 0.5 ms jitter: heavy reordering
+  o.net.seed = 7;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  util::Rng rng(99);
+  // Insert/delete churn in a tiny key space drives constant split/merge
+  // pairs — the adversarial case for update ordering.
+  uint64_t live = 0;
+  std::unordered_map<uint64_t, bool> present;
+  for (int i = 0; i < 1500; ++i) {
+    const uint64_t key = rng.Uniform(40);
+    if (rng.Bernoulli(0.5)) {
+      if (client->Insert(key, key)) {
+        present[key] = true;
+      }
+    } else {
+      if (client->Remove(key)) {
+        present[key] = false;
+      }
+    }
+  }
+  for (const auto& [k, p] : present) {
+    if (p) ++live;
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(live, &error)) << error;
+  // The jitter must actually have exercised the delay queue on some replica.
+  uint64_t delayed = 0;
+  for (int d = 0; d < cluster.num_directory_managers(); ++d) {
+    delayed += cluster.directory_manager(d).stats().updates_delayed;
+  }
+  // (Not asserted > 0: reordering is probabilistic — but report it.)
+  RecordProperty("updates_delayed", int(delayed));
+}
+
+// "A second goal is to minimize message traffic" (section 3): a find that
+// needs no recovery costs exactly four messages — request, op-forward,
+// bucketdone, reply — independent of replica and manager counts.
+TEST(ClusterTest, FindCostsExactlyFourMessages) {
+  for (const int dms : {1, 3}) {
+    Cluster::Options o = SmallCluster();
+    o.num_directory_managers = dms;
+    o.num_bucket_managers = 3;
+    Cluster cluster(o);
+    auto client = cluster.NewClient();
+    for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(client->Insert(k, k));
+    ASSERT_TRUE(cluster.WaitQuiescent());
+    cluster.ResetNetworkStats();
+    constexpr uint64_t kFinds = 200;
+    for (uint64_t k = 0; k < kFinds; ++k) {
+      ASSERT_TRUE(client->Find(k % 50, nullptr));
+    }
+    ASSERT_TRUE(cluster.WaitQuiescent());
+    const NetworkStats s = cluster.network_stats();
+    EXPECT_EQ(s.total_sent, 4 * kFinds) << "replicas=" << dms;
+    EXPECT_EQ(s.per_type[int(MsgType::kRequest)], kFinds);
+    EXPECT_EQ(s.per_type[int(MsgType::kOpForward)], kFinds);
+    EXPECT_EQ(s.per_type[int(MsgType::kBucketDone)], kFinds);
+    EXPECT_EQ(s.per_type[int(MsgType::kReply)], kFinds);
+  }
+}
+
+TEST(ClusterTest, StaleReplicaRoutingRecovers) {
+  // One client hammers inserts through directory manager A while another
+  // reads through B; B's copy lags by design (async updates), so reads must
+  // recover via wrongbucket forwarding / next links.
+  Cluster::Options o = SmallCluster();
+  o.num_directory_managers = 2;
+  o.net.delay_ns_min = 0;
+  o.net.delay_ns_max = 200000;
+  Cluster cluster(o);
+  auto writer = cluster.NewClient();
+  auto reader = cluster.NewClient();
+  for (uint64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(writer->Insert(k, k * 7));
+    // Immediately readable through any replica, stale or not.
+    uint64_t v = 0;
+    ASSERT_TRUE(reader->Find(k, &v)) << k;
+    ASSERT_EQ(v, k * 7);
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(300, &error)) << error;
+}
+
+}  // namespace
+}  // namespace exhash::dist

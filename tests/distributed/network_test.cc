@@ -1,0 +1,154 @@
+#include "distributed/network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace exhash::dist {
+namespace {
+
+TEST(SimNetworkTest, SendReceiveRoundtrip) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  Message m;
+  m.type = MsgType::kRequest;
+  m.key = 42;
+  net.Send(port, m);
+  const Message r = net.Receive(port);
+  EXPECT_EQ(r.type, MsgType::kRequest);
+  EXPECT_EQ(r.key, 42u);
+}
+
+TEST(SimNetworkTest, ZeroDelayPreservesSendOrder) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  for (uint64_t i = 0; i < 100; ++i) {
+    Message m;
+    m.type = MsgType::kRequest;
+    m.key = i;
+    net.Send(port, m);
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.Receive(port).key, i);
+  }
+}
+
+TEST(SimNetworkTest, PortsAreIsolated) {
+  SimNetwork net;
+  const PortId a = net.CreatePort();
+  const PortId b = net.CreatePort();
+  Message m;
+  m.type = MsgType::kReply;
+  m.key = 7;
+  net.Send(a, m);
+  Message other;
+  EXPECT_FALSE(net.TryReceive(b, &other));
+  EXPECT_TRUE(net.TryReceive(a, &other));
+  EXPECT_EQ(other.key, 7u);
+}
+
+TEST(SimNetworkTest, TryReceiveEmptyPort) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  Message m;
+  EXPECT_FALSE(net.TryReceive(port, &m));
+}
+
+TEST(SimNetworkTest, ReceiveBlocksUntilSend) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    Message m;
+    m.type = MsgType::kReply;
+    m.key = 5;
+    net.Send(port, m);
+  });
+  const Message r = net.Receive(port);  // must not return early
+  EXPECT_EQ(r.key, 5u);
+  sender.join();
+}
+
+TEST(SimNetworkTest, JitterReordersDeliveries) {
+  SimNetwork net({.delay_ns_min = 0, .delay_ns_max = 3000000, .seed = 9});
+  const PortId port = net.CreatePort();
+  constexpr int kMsgs = 60;
+  for (uint64_t i = 0; i < kMsgs; ++i) {
+    Message m;
+    m.type = MsgType::kRequest;
+    m.key = i;
+    net.Send(port, m);
+  }
+  std::vector<uint64_t> order;
+  for (int i = 0; i < kMsgs; ++i) order.push_back(net.Receive(port).key);
+  // All delivered exactly once...
+  std::vector<uint64_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < kMsgs; ++i) EXPECT_EQ(sorted[i], i);
+  // ...but not in send order (with overwhelming probability).
+  bool reordered = false;
+  for (int i = 1; i < kMsgs; ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimNetworkTest, CountsPerType) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  Message m;
+  m.type = MsgType::kUpdate;
+  net.Send(port, m);
+  net.Send(port, m);
+  m.type = MsgType::kReply;
+  net.Send(port, m);
+  const NetworkStats s = net.stats();
+  EXPECT_EQ(s.total_sent, 3u);
+  EXPECT_EQ(s.per_type[int(MsgType::kUpdate)], 2u);
+  EXPECT_EQ(s.per_type[int(MsgType::kReply)], 1u);
+  net.ResetStats();
+  EXPECT_EQ(net.stats().total_sent, 0u);
+}
+
+TEST(SimNetworkTest, TotalQueuedTracksBacklog) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  EXPECT_EQ(net.TotalQueued(), 0u);
+  Message m;
+  m.type = MsgType::kRequest;
+  net.Send(port, m);
+  net.Send(port, m);
+  EXPECT_EQ(net.TotalQueued(), 2u);
+  net.Receive(port);
+  EXPECT_EQ(net.TotalQueued(), 1u);
+}
+
+TEST(SimNetworkTest, ManyProducersOneConsumer) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Message m;
+        m.type = MsgType::kRequest;
+        m.key = uint64_t(t) * kPerThread + i;
+        net.Send(port, m);
+      }
+    });
+  }
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    const Message r = net.Receive(port);
+    ASSERT_LT(r.key, seen.size());
+    ASSERT_FALSE(seen[r.key]);
+    seen[r.key] = true;
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace exhash::dist

@@ -1,0 +1,166 @@
+// Forcing the off-site protocols of Figure 14: with every split half
+// spilled to another manager, partner buckets constantly live on different
+// managers, so merges must run mergedown/mergeup+goahead and searches must
+// cross manager boundaries via wrongbucket forwarding.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "distributed/cluster.h"
+#include "util/random.h"
+
+namespace exhash::dist {
+namespace {
+
+Cluster::Options SpillEverything() {
+  Cluster::Options o;
+  o.num_directory_managers = 2;
+  o.num_bucket_managers = 3;
+  o.page_size = 112;  // capacity 4
+  o.initial_depth = 1;
+  o.max_depth = 16;
+  o.spill_per_8 = 8;  // every split half goes off-site
+  return o;
+}
+
+TEST(OffsiteProtocolTest, SpilledGrowthIsCorrect) {
+  Cluster cluster(SpillEverything());
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 600;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Insert(k, k * 5));
+  uint64_t spilled = 0;
+  uint64_t local = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    spilled += cluster.bucket_manager(b).stats().splits_spilled;
+    local += cluster.bucket_manager(b).stats().splits_local;
+  }
+  EXPECT_GT(spilled, 50u);
+  EXPECT_EQ(local, 0u);  // every split was placed off-site
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(client->Find(k, &v)) << k;
+    ASSERT_EQ(v, k * 5);
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(kN, &error)) << error;
+}
+
+TEST(OffsiteProtocolTest, CrossManagerMergesUseMergeProtocols) {
+  Cluster cluster(SpillEverything());
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 400;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Insert(k, k));
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(client->Remove(k)) << k;
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(0, &error)) << error;
+
+  uint64_t remote_merges = 0;
+  uint64_t gc = 0;
+  uint64_t total_merges = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    const auto s = cluster.bucket_manager(b).stats();
+    remote_merges += s.merges_remote;
+    total_merges += s.merges_local + s.merges_remote;
+    gc += s.gc_pages;
+  }
+  // With every split spilled, partners are (almost) always off-site.
+  EXPECT_GT(remote_merges, 0u);
+  EXPECT_EQ(gc, total_merges);  // every tombstone reclaimed
+}
+
+TEST(OffsiteProtocolTest, ConcurrentChurnAcrossManagers) {
+  Cluster cluster(SpillEverything());
+  constexpr int kClients = 3;
+  std::atomic<int64_t> net{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&cluster, &net, c] {
+      auto client = cluster.NewClient();
+      util::Rng rng(uint64_t(c) * 31 + 7);
+      for (int i = 0; i < 1200; ++i) {
+        const uint64_t key = rng.Uniform(64);
+        if (rng.Bernoulli(0.5)) {
+          if (client->Insert(key, key)) net.fetch_add(1);
+        } else {
+          if (client->Remove(key)) net.fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(uint64_t(net.load()), &error))
+      << error;
+}
+
+TEST(OffsiteProtocolTest, DegenerateSingleManagerCluster) {
+  Cluster::Options o;
+  o.num_directory_managers = 1;
+  o.num_bucket_managers = 1;
+  o.page_size = 112;
+  o.initial_depth = 1;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  util::Rng rng(3);
+  for (int i = 0; i < 1500; ++i) {
+    const uint64_t key = rng.Uniform(100);
+    if (rng.Bernoulli(0.6)) {
+      if (client->Insert(key, key + 1)) oracle[key] = key + 1;
+    } else {
+      if (client->Remove(key)) oracle.erase(key);
+    }
+  }
+  for (const auto& [k, v] : oracle) {
+    uint64_t got = 0;
+    ASSERT_TRUE(client->Find(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(oracle.size(), &error)) << error;
+}
+
+TEST(OffsiteProtocolTest, MergingDisabledClusterNeverMerges) {
+  Cluster::Options o = SpillEverything();
+  o.enable_merging = false;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(client->Insert(k, k));
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(client->Remove(k));
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(0, &error)) << error;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    const auto s = cluster.bucket_manager(b).stats();
+    EXPECT_EQ(s.merges_local + s.merges_remote, 0u);
+    EXPECT_EQ(s.gc_pages, 0u);
+  }
+  // The directory keeps its high-water depth.
+  EXPECT_GT(cluster.directory_manager(0).depth(), 2);
+}
+
+TEST(OffsiteProtocolTest, ManyReplicasConverge) {
+  Cluster::Options o;
+  o.num_directory_managers = 5;
+  o.num_bucket_managers = 2;
+  o.page_size = 112;
+  o.initial_depth = 2;
+  o.net.delay_ns_max = 100000;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(client->Insert(k, k));
+  for (uint64_t k = 0; k < 200; k += 2) ASSERT_TRUE(client->Remove(k));
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(100, &error)) << error;
+}
+
+}  // namespace
+}  // namespace exhash::dist

@@ -1,0 +1,232 @@
+// Unit and property tests for the version-ordered replica update rule —
+// including the paper's split-then-merge reordering example, verified
+// literally, and a permutation-convergence property: any delivery order of
+// a valid update history leaves every replica identical.
+
+#include "distributed/replica_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exhash::dist {
+namespace {
+
+// A tiny scripted world: we synthesize the update stream a bucket-manager
+// population would emit, tracking bucket versions ourselves.
+struct World {
+  // One conceptual bucket per pattern; versions keyed by (pattern, ld) are
+  // overkill — versions live per *page*, and the "0" page survives, so we
+  // track versions per surviving pattern.
+  ReplicaDirectory truth{1, 10};
+  std::vector<DirUpdate> history;
+  uint64_t next_page = 100;
+
+  World() {
+    truth.SeedEntry(0, DirEntry{0, 0, 0});
+    truth.SeedEntry(1, DirEntry{1, 0, 0});
+    truth.set_depthcount(2);
+  }
+
+  // Splits the bucket holding pseudokey `pk`.
+  void Split(uint64_t pk) {
+    const DirEntry e = truth.Lookup(pk);
+    // Determine the bucket's localdepth from the directory shape: count
+    // entries pointing at the same page.
+    int ld = truth.depth();
+    while (ld > 0) {
+      const uint64_t partner_idx =
+          (util::LowBits(pk, truth.depth())) ^ (uint64_t{1} << (ld - 1));
+      if (truth.Entry(partner_idx).page == e.page &&
+          truth.Entry(partner_idx).mgr == e.mgr) {
+        --ld;  // partner shares the page: localdepth is smaller
+      } else {
+        break;
+      }
+    }
+    DirUpdate u;
+    u.op = OpType::kInsert;
+    u.pseudokey = pk;
+    u.old_localdepth = ld;
+    u.version1 = e.version + 1;
+    u.version2 = e.version + 1;
+    u.page = storage::PageId(next_page++);
+    u.mgr = 0;
+    std::vector<DirUpdate> applied;
+    truth.Submit(u, &applied);
+    ASSERT_EQ(applied.size(), 1u) << "scripted split must apply in order";
+    history.push_back(u);
+  }
+
+  // Merges the pair at the level of the bucket holding `pk` (both partners
+  // must be at equal localdepth in the scripted history).
+  void Merge(uint64_t pk, int localdepth) {
+    const uint64_t family = util::LowBits(pk, localdepth - 1);
+    const DirEntry zero = truth.Entry(family);
+    const DirEntry one =
+        truth.Entry(family | (uint64_t{1} << (localdepth - 1)));
+    DirUpdate u;
+    u.op = OpType::kDelete;
+    u.pseudokey = pk;
+    u.old_localdepth = localdepth;
+    u.version1 = zero.version;
+    u.version2 = one.version;
+    u.page = zero.page;  // the "0" partner's page survives
+    u.mgr = zero.mgr;
+    std::vector<DirUpdate> applied;
+    truth.Submit(u, &applied);
+    ASSERT_EQ(applied.size(), 1u) << "scripted merge must apply in order";
+    history.push_back(u);
+  }
+
+  // Replays `history` in the given order on a fresh replica; returns it.
+  ReplicaDirectory Replay(const std::vector<size_t>& order) {
+    ReplicaDirectory replica(1, 10);
+    replica.SeedEntry(0, DirEntry{0, 0, 0});
+    replica.SeedEntry(1, DirEntry{1, 0, 0});
+    replica.set_depthcount(2);
+    std::vector<DirUpdate> applied;
+    for (size_t i : order) replica.Submit(history[i], &applied);
+    EXPECT_EQ(applied.size(), history.size()) << "every update must apply";
+    EXPECT_EQ(replica.pending(), 0u);
+    return replica;
+  }
+};
+
+TEST(ReplicaDirectoryTest, SplitAppliesAndDoubles) {
+  World w;
+  w.Split(0b0);  // bucket "0" at localdepth 1 == depth: doubles to 2
+  EXPECT_EQ(w.truth.depth(), 2);
+  EXPECT_EQ(w.truth.depthcount(), 2);
+  EXPECT_EQ(w.truth.Entry(0b00).page, 0u);
+  EXPECT_EQ(w.truth.Entry(0b10).page, 100u);  // the new half
+  EXPECT_EQ(w.truth.Entry(0b00).version, 1u);
+  EXPECT_EQ(w.truth.Entry(0b10).version, 1u);
+  // The untouched "1" family keeps version 0 on both mirrored entries.
+  EXPECT_EQ(w.truth.Entry(0b01).version, 0u);
+  EXPECT_EQ(w.truth.Entry(0b11).version, 0u);
+}
+
+TEST(ReplicaDirectoryTest, MergeAppliesAndHalves) {
+  World w;
+  w.Split(0b0);
+  w.Merge(0b0, 2);  // merge "00"+"10" back: depthcount 2 -> 0 -> halve
+  EXPECT_EQ(w.truth.depth(), 1);
+  EXPECT_EQ(w.truth.Entry(0).page, 0u);
+  EXPECT_EQ(w.truth.Entry(0).version, 2u);  // max(1,1)+1
+}
+
+// The paper's section-3 example: a replica that receives the merge before
+// the split must delay it; applying the split releases the merge.
+TEST(ReplicaDirectoryTest, SplitThenMergeReorderedIsDelayed) {
+  World w;
+  w.Split(0b0);      // history[0]
+  w.Merge(0b0, 2);   // history[1]
+
+  ReplicaDirectory replica(1, 10);
+  replica.SeedEntry(0, DirEntry{0, 0, 0});
+  replica.SeedEntry(1, DirEntry{1, 0, 0});
+  replica.set_depthcount(2);
+
+  std::vector<DirUpdate> applied;
+  replica.Submit(w.history[1], &applied);  // merge first: must be delayed
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(replica.pending(), 1u);
+  EXPECT_EQ(replica.stats().delayed, 1u);
+
+  replica.Submit(w.history[0], &applied);  // split: releases the merge
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_EQ(replica.pending(), 0u);
+  EXPECT_TRUE(replica.ConvergedWith(w.truth));
+}
+
+TEST(ReplicaDirectoryTest, DeepSplitChainReversedStillConverges) {
+  World w;
+  w.Split(0b0);      // ld1 -> ld2
+  w.Split(0b00);     // ld2 -> ld3
+  w.Split(0b000);    // ld3 -> ld4
+  const ReplicaDirectory replayed = w.Replay({2, 1, 0});  // fully reversed
+  EXPECT_TRUE(replayed.ConvergedWith(w.truth));
+}
+
+TEST(ReplicaDirectoryTest, IndependentFamiliesApplyInAnyOrder) {
+  World w;
+  w.Split(0b0);  // family 0
+  w.Split(0b1);  // family 1 — independent
+  for (const std::vector<size_t>& order :
+       {std::vector<size_t>{0, 1}, std::vector<size_t>{1, 0}}) {
+    const ReplicaDirectory replayed = w.Replay(order);
+    EXPECT_TRUE(replayed.ConvergedWith(w.truth));
+  }
+}
+
+// Property: EVERY permutation of a nontrivial mixed history converges.
+TEST(ReplicaDirectoryTest, AllPermutationsOfMixedHistoryConverge) {
+  World w;
+  w.Split(0b0);     // depth 2: 00 | 10 | 1
+  w.Split(0b1);     // depth 2: 00 | 10 | 01 | 11
+  w.Split(0b00);    // depth 3
+  w.Merge(0b00, 3); // merge 000+100 back
+  w.Merge(0b1, 2);  // merge 01+11 back
+  ASSERT_EQ(w.history.size(), 5u);
+
+  std::vector<size_t> order = {0, 1, 2, 3, 4};
+  int permutations = 0;
+  do {
+    const ReplicaDirectory replayed = w.Replay(order);
+    ASSERT_TRUE(replayed.ConvergedWith(w.truth))
+        << "permutation " << permutations;
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(permutations, 120);
+}
+
+// Randomized soak: longer histories, random shuffles.
+TEST(ReplicaDirectoryTest, RandomShufflesOfLongHistoriesConverge) {
+  util::Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    World w;
+    // Random interleaving of splits and merges over a few families.
+    std::vector<std::pair<uint64_t, int>> splittable;  // (pk, current ld)
+    w.Split(0b0);
+    w.Split(0b1);
+    w.Split(0b00);
+    w.Split(0b01);
+    w.Merge(0b00, 3);
+    w.Split(0b10);
+    w.Merge(0b01, 3);
+    w.Merge(0b10, 3);
+    (void)splittable;
+
+    std::vector<size_t> order(w.history.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int shuffle = 0; shuffle < 10; ++shuffle) {
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Uniform(i)]);
+      }
+      const ReplicaDirectory replayed = w.Replay(order);
+      ASSERT_TRUE(replayed.ConvergedWith(w.truth))
+          << "round " << round << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST(ReplicaDirectoryTest, ConvergedWithDetectsDifferences) {
+  ReplicaDirectory a(1, 8);
+  ReplicaDirectory b(1, 8);
+  a.SeedEntry(0, DirEntry{0, 0, 0});
+  a.SeedEntry(1, DirEntry{1, 0, 0});
+  b.SeedEntry(0, DirEntry{0, 0, 0});
+  b.SeedEntry(1, DirEntry{2, 0, 0});  // differs
+  a.set_depthcount(2);
+  b.set_depthcount(2);
+  EXPECT_FALSE(a.ConvergedWith(b));
+  b.SeedEntry(1, DirEntry{1, 0, 0});
+  EXPECT_TRUE(a.ConvergedWith(b));
+}
+
+}  // namespace
+}  // namespace exhash::dist

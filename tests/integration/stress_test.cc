@@ -1,0 +1,207 @@
+// Long(er)-running integration stress: sustained mixed traffic with
+// periodic quiesce-and-validate barriers, across every concurrent table and
+// the distributed cluster.  These are the tests most likely to shake out a
+// rare interleaving; they are sized to stay within a few seconds each on a
+// small machine (scale kRounds up for soak testing).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "distributed/cluster.h"
+#include "exhash/exhash.h"
+#include "util/random.h"
+
+namespace exhash {
+namespace {
+
+constexpr int kRounds = 4;
+constexpr int kThreads = 4;
+constexpr int kOpsPerRound = 2500;
+
+struct TableFactory {
+  std::string name;
+  std::function<std::unique_ptr<core::KeyValueIndex>()> make;
+};
+
+class StressTest : public ::testing::TestWithParam<TableFactory> {};
+
+// Phased churn: all threads hammer the table, then rendezvous; the main
+// thread validates the quiescent structure between rounds.  Net-insert
+// accounting keeps the expected size exact despite shared keys.
+TEST_P(StressTest, PhasedChurnWithQuiescentValidation) {
+  auto table = GetParam().make();
+  std::atomic<int64_t> net{0};
+  std::barrier sync(kThreads + 1);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(uint64_t(t) * 101 + 17);
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kOpsPerRound; ++i) {
+          const uint64_t key = rng.Uniform(256);  // hot: constant churn
+          switch (rng.Uniform(3)) {
+            case 0:
+              if (table->Insert(key, key)) net.fetch_add(1);
+              break;
+            case 1:
+              if (table->Remove(key)) net.fetch_sub(1);
+              break;
+            case 2:
+              table->Find(key, nullptr);
+              break;
+          }
+        }
+        sync.arrive_and_wait();  // round ends; main validates
+        sync.arrive_and_wait();  // main done; next round
+      }
+    });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    sync.arrive_and_wait();  // wait for workers
+    std::string error;
+    if (!table->Validate(&error) ||
+        table->Size() != uint64_t(net.load())) {
+      ADD_FAILURE() << "round " << round << ": " << error << " (size "
+                    << table->Size() << " vs net " << net.load() << ")";
+      failed.store(true);
+    }
+    sync.arrive_and_wait();  // release workers
+    if (failed.load()) break;
+  }
+  for (auto& w : workers) w.join();
+}
+
+core::TableOptions StressOptions() {
+  core::TableOptions options;
+  options.page_size = 112;
+  options.initial_depth = 1;
+  options.max_depth = 20;
+  options.poison_on_dealloc = true;
+  return options;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables, StressTest,
+    ::testing::Values(
+        TableFactory{"ellis_v1",
+                     [] {
+                       return std::make_unique<core::EllisHashTableV1>(
+                           StressOptions());
+                     }},
+        TableFactory{"ellis_v2",
+                     [] {
+                       return std::make_unique<core::EllisHashTableV2>(
+                           StressOptions());
+                     }},
+        TableFactory{"blink",
+                     [] {
+                       return std::make_unique<baseline::BlinkTree>(
+                           baseline::BlinkTree::Options{.fanout = 6});
+                     }}),
+    [](const ::testing::TestParamInfo<TableFactory>& info) {
+      return info.param.name;
+    });
+
+TEST(DistributedStressTest, PhasedChurnWithQuiescentValidation) {
+  dist::Cluster::Options o;
+  o.num_directory_managers = 2;
+  o.num_bucket_managers = 2;
+  o.page_size = 112;
+  o.initial_depth = 1;
+  o.max_depth = 16;
+  o.spill_per_8 = 3;
+  o.net.delay_ns_max = 50000;
+  dist::Cluster cluster(o);
+
+  std::atomic<int64_t> net{0};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c) {
+      clients.emplace_back([&cluster, &net, c, round] {
+        auto client = cluster.NewClient();
+        util::Rng rng(uint64_t(round) * 100 + uint64_t(c));
+        for (int i = 0; i < 700; ++i) {
+          const uint64_t key = rng.Uniform(128);
+          switch (rng.Uniform(3)) {
+            case 0:
+              if (client->Insert(key, key)) net.fetch_add(1);
+              break;
+            case 1:
+              if (client->Remove(key)) net.fetch_sub(1);
+              break;
+            case 2:
+              client->Find(key, nullptr);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    ASSERT_TRUE(cluster.WaitQuiescent()) << "round " << round;
+    std::string error;
+    ASSERT_TRUE(cluster.ValidateQuiescent(uint64_t(net.load()), &error))
+        << "round " << round << ": " << error;
+  }
+}
+
+// Mixed implementations sanity: the same deterministic single-threaded
+// op tape must leave every implementation with identical contents.
+TEST(CrossImplementationTest, IdenticalResultsForIdenticalTape) {
+  core::TableOptions options = StressOptions();
+  core::EllisHashTableV1 v1(options);
+  core::EllisHashTableV2 v2(options);
+  core::SequentialExtendibleHash seq(options);
+  baseline::BlinkTree blink;
+
+  util::Rng rng(2027);
+  for (int i = 0; i < 8000; ++i) {
+    const uint64_t key = rng.Uniform(300);
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool a = v1.Insert(key, key + i);
+        ASSERT_EQ(v2.Insert(key, key + i), a);
+        ASSERT_EQ(seq.Insert(key, key + i), a);
+        ASSERT_EQ(blink.Insert(key, key + i), a);
+        break;
+      }
+      case 1: {
+        const bool a = v1.Remove(key);
+        ASSERT_EQ(v2.Remove(key), a);
+        ASSERT_EQ(seq.Remove(key), a);
+        ASSERT_EQ(blink.Remove(key), a);
+        break;
+      }
+      case 2: {
+        uint64_t va = 0;
+        uint64_t vb = 0;
+        const bool a = v1.Find(key, &va);
+        ASSERT_EQ(v2.Find(key, &vb), a);
+        if (a) {
+          ASSERT_EQ(va, vb);
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(v1.Size(), v2.Size());
+  ASSERT_EQ(v1.Size(), seq.Size());
+  ASSERT_EQ(v1.Size(), blink.Size());
+  for (uint64_t k = 0; k < 300; ++k) {
+    uint64_t v = 0;
+    const bool in_v1 = v1.Find(k, &v);
+    ASSERT_EQ(v2.Find(k, nullptr), in_v1);
+    ASSERT_EQ(seq.Find(k, nullptr), in_v1);
+    ASSERT_EQ(blink.Find(k, nullptr), in_v1);
+  }
+}
+
+}  // namespace
+}  // namespace exhash

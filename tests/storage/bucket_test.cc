@@ -1,0 +1,156 @@
+#include "storage/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exhash::storage {
+namespace {
+
+TEST(BucketTest, CapacityFromPageSize) {
+  // 48-byte header + 16-byte records.
+  EXPECT_EQ(Bucket::CapacityFor(112), 4);
+  EXPECT_EQ(Bucket::CapacityFor(256), 13);
+  EXPECT_EQ(Bucket::CapacityFor(4096), 253);
+}
+
+TEST(BucketTest, AddSearchRemove) {
+  Bucket b(4);
+  EXPECT_TRUE(b.empty());
+  b.Add(10, 100);
+  b.Add(20, 200);
+  EXPECT_EQ(b.count(), 2);
+  uint64_t v = 0;
+  EXPECT_TRUE(b.Search(10, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(b.Search(20, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_FALSE(b.Search(30));
+  EXPECT_TRUE(b.Remove(10));
+  EXPECT_FALSE(b.Remove(10));
+  EXPECT_FALSE(b.Search(10));
+  EXPECT_EQ(b.count(), 1);
+}
+
+TEST(BucketTest, FullAtCapacity) {
+  Bucket b(3);
+  b.Add(1, 1);
+  b.Add(2, 2);
+  EXPECT_FALSE(b.full());
+  b.Add(3, 3);
+  EXPECT_TRUE(b.full());
+}
+
+TEST(BucketTest, SearchWithoutValuePointer) {
+  Bucket b(2);
+  b.Add(7, 77);
+  EXPECT_TRUE(b.Search(7));
+  EXPECT_TRUE(b.Search(7, nullptr));
+}
+
+TEST(BucketTest, SerializeRoundtripPreservesEverything) {
+  constexpr size_t kPageSize = 256;
+  Bucket b(Bucket::CapacityFor(kPageSize));
+  b.localdepth = 5;
+  b.commonbits = 0b10110;
+  b.next = 42;
+  b.prev = 17;
+  b.next_mgr = 3;
+  b.prev_mgr = 2;
+  b.version = 991;
+  b.deleted = true;
+  b.Add(111, 1110);
+  b.Add(222, 2220);
+
+  std::vector<std::byte> page(kPageSize);
+  b.SerializeTo(page.data(), kPageSize);
+
+  Bucket out(Bucket::CapacityFor(kPageSize));
+  ASSERT_TRUE(Bucket::DeserializeFrom(page.data(), kPageSize, &out));
+  EXPECT_EQ(out.localdepth, 5);
+  EXPECT_EQ(out.commonbits, 0b10110u);
+  EXPECT_EQ(out.next, 42u);
+  EXPECT_EQ(out.prev, 17u);
+  EXPECT_EQ(out.next_mgr, 3u);
+  EXPECT_EQ(out.prev_mgr, 2u);
+  EXPECT_EQ(out.version, 991u);
+  EXPECT_TRUE(out.deleted);
+  ASSERT_EQ(out.count(), 2);
+  uint64_t v = 0;
+  EXPECT_TRUE(out.Search(111, &v));
+  EXPECT_EQ(v, 1110u);
+  EXPECT_TRUE(out.Search(222, &v));
+  EXPECT_EQ(v, 2220u);
+}
+
+TEST(BucketTest, DeserializeRejectsGarbage) {
+  std::vector<std::byte> page(256);
+  std::memset(page.data(), 0xDB, page.size());  // the poison pattern
+  Bucket out(Bucket::CapacityFor(256));
+  EXPECT_FALSE(Bucket::DeserializeFrom(page.data(), 256, &out));
+}
+
+TEST(BucketTest, DeserializeRejectsOversizedCount) {
+  constexpr size_t kPageSize = 112;  // capacity 4
+  Bucket b(4);
+  b.Add(1, 1);
+  std::vector<std::byte> page(kPageSize);
+  b.SerializeTo(page.data(), kPageSize);
+  // Corrupt the count field (offset 4) to an impossible value.
+  const int32_t bogus = 1000;
+  std::memcpy(page.data() + 4, &bogus, sizeof(bogus));
+  Bucket out(4);
+  EXPECT_FALSE(Bucket::DeserializeFrom(page.data(), kPageSize, &out));
+}
+
+// Property sweep: roundtrip across page sizes and fill levels.
+class BucketRoundtripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BucketRoundtripTest, RandomContentsRoundtrip) {
+  const size_t page_size = GetParam();
+  const int capacity = Bucket::CapacityFor(page_size);
+  util::Rng rng(page_size);
+  for (int fill = 0; fill <= capacity; fill += std::max(1, capacity / 7)) {
+    Bucket b(capacity);
+    b.localdepth = int(rng.Uniform(20));
+    b.commonbits = rng.Next();
+    b.next = uint32_t(rng.Next());
+    b.version = rng.Next();
+    for (int i = 0; i < fill; ++i) b.Add(rng.Next(), rng.Next());
+
+    std::vector<std::byte> page(page_size);
+    b.SerializeTo(page.data(), page_size);
+    Bucket out(capacity);
+    ASSERT_TRUE(Bucket::DeserializeFrom(page.data(), page_size, &out));
+    EXPECT_EQ(out.count(), b.count());
+    for (const Record& r : b.records()) {
+      uint64_t v = 0;
+      EXPECT_TRUE(out.Search(r.key, &v));
+      EXPECT_EQ(v, r.value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BucketRoundtripTest,
+                         ::testing::Values(112, 128, 256, 512, 1024, 4096));
+
+TEST(BucketTest, RemoveKeepsOtherRecords) {
+  Bucket b(8);
+  for (uint64_t k = 0; k < 8; ++k) b.Add(k, k * 10);
+  EXPECT_TRUE(b.Remove(3));
+  for (uint64_t k = 0; k < 8; ++k) {
+    if (k == 3) {
+      EXPECT_FALSE(b.Search(k));
+    } else {
+      uint64_t v = 0;
+      EXPECT_TRUE(b.Search(k, &v));
+      EXPECT_EQ(v, k * 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exhash::storage

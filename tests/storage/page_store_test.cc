@@ -1,0 +1,224 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace exhash::storage {
+namespace {
+
+TEST(PageStoreTest, AllocReturnsDenseIds) {
+  PageStore store({.page_size = 128});
+  EXPECT_EQ(store.Alloc(), 0u);
+  EXPECT_EQ(store.Alloc(), 1u);
+  EXPECT_EQ(store.Alloc(), 2u);
+  EXPECT_EQ(store.extent(), 3u);
+}
+
+TEST(PageStoreTest, ReadWriteRoundtrip) {
+  PageStore store({.page_size = 128});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> in(128);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = std::byte(i);
+  store.Write(p, in.data());
+  std::vector<std::byte> out(128);
+  store.Read(p, out.data());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 128), 0);
+}
+
+TEST(PageStoreTest, DeallocatedPagesAreReused) {
+  PageStore store({.page_size = 128});
+  const PageId a = store.Alloc();
+  (void)store.Alloc();
+  store.Dealloc(a);
+  EXPECT_EQ(store.Alloc(), a);
+  EXPECT_EQ(store.extent(), 2u);  // no new page materialized
+}
+
+TEST(PageStoreTest, PoisonOnDeallocScribblesPage) {
+  PageStore store({.page_size = 64, .poison_on_dealloc = true});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> zero(64, std::byte{0});
+  store.Write(p, zero.data());
+  store.Dealloc(p);
+  std::vector<std::byte> out(64);
+  // Reading a deallocated page is a protocol violation; the poison makes it
+  // detectable.
+  store.Read(p, out.data());
+  EXPECT_EQ(out[0], std::byte{0xDB});
+  EXPECT_EQ(out[63], std::byte{0xDB});
+}
+
+TEST(PageStoreTest, StatsCountOperations) {
+  PageStore store({.page_size = 64});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> buf(64, std::byte{1});
+  store.Write(p, buf.data());
+  store.Read(p, buf.data());
+  store.Read(p, buf.data());
+  const PageStoreStats s = store.stats();
+  EXPECT_EQ(s.allocs, 1u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.live_pages, 1u);
+}
+
+TEST(PageStoreTest, ResetStatsZeroesIoCounters) {
+  PageStore store({.page_size = 64});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> buf(64, std::byte{1});
+  store.Write(p, buf.data());
+  store.ResetStats();
+  EXPECT_EQ(store.stats().writes, 0u);
+}
+
+TEST(PageStoreTest, ManyPagesAcrossChunks) {
+  // Force multiple internal chunks (1024 pages each) and verify isolation.
+  PageStore store({.page_size = 64});
+  constexpr int kPages = 3000;
+  std::vector<PageId> ids(kPages);
+  std::vector<std::byte> buf(64);
+  for (int i = 0; i < kPages; ++i) {
+    ids[i] = store.Alloc();
+    std::memset(buf.data(), i & 0xff, 64);
+    store.Write(ids[i], buf.data());
+  }
+  for (int i = 0; i < kPages; ++i) {
+    store.Read(ids[i], buf.data());
+    EXPECT_EQ(buf[0], std::byte(i & 0xff)) << i;
+    EXPECT_EQ(buf[63], std::byte(i & 0xff)) << i;
+  }
+}
+
+// The load-bearing contract: pages are read and written as single
+// operations (section 2.1).  Writers flood a page with self-consistent
+// patterns; readers must never observe a torn mix.
+TEST(PageStoreTest, PageTransfersAreAtomic) {
+  constexpr size_t kPageSize = 512;
+  PageStore store({.page_size = kPageSize});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> init(kPageSize, std::byte{0});
+  store.Write(p, init.data());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    std::vector<std::byte> buf(kPageSize);
+    uint8_t pattern = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::memset(buf.data(), ++pattern, kPageSize);
+      store.Write(p, buf.data());
+    }
+  });
+  std::thread reader([&] {
+    std::vector<std::byte> buf(kPageSize);
+    for (int i = 0; i < 20000; ++i) {
+      store.Read(p, buf.data());
+      for (size_t j = 1; j < kPageSize; ++j) {
+        if (buf[j] != buf[0]) {
+          torn.store(true);
+          return;
+        }
+      }
+    }
+  });
+  reader.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_FALSE(torn.load());
+}
+
+// --- file backing ---
+
+class FilePageStoreTest : public ::testing::Test {
+ protected:
+  std::string Path() {
+    return ::testing::TempDir() + "exhash_pages_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override { std::remove(Path().c_str()); }
+};
+
+TEST_F(FilePageStoreTest, ReadWriteRoundtripOnDisk) {
+  PageStore store({.page_size = 128, .backing_file = Path()});
+  const PageId a = store.Alloc();
+  const PageId b = store.Alloc();
+  std::vector<std::byte> pa(128, std::byte{0xAA});
+  std::vector<std::byte> pb(128, std::byte{0xBB});
+  store.Write(a, pa.data());
+  store.Write(b, pb.data());
+  std::vector<std::byte> out(128);
+  store.Read(a, out.data());
+  EXPECT_EQ(out[0], std::byte{0xAA});
+  EXPECT_EQ(out[127], std::byte{0xAA});
+  store.Read(b, out.data());
+  EXPECT_EQ(out[64], std::byte{0xBB});
+}
+
+TEST_F(FilePageStoreTest, PoisonOnDiskDealloc) {
+  PageStore store(
+      {.page_size = 64, .poison_on_dealloc = true, .backing_file = Path()});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> zero(64, std::byte{0});
+  store.Write(p, zero.data());
+  store.Dealloc(p);
+  std::vector<std::byte> out(64);
+  store.Read(p, out.data());
+  EXPECT_EQ(out[0], std::byte{0xDB});
+}
+
+TEST_F(FilePageStoreTest, AtomicPageTransfersOnDisk) {
+  PageStore store({.page_size = 256, .backing_file = Path()});
+  const PageId p = store.Alloc();
+  std::vector<std::byte> init(256, std::byte{0});
+  store.Write(p, init.data());
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    std::vector<std::byte> buf(256);
+    uint8_t pattern = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::memset(buf.data(), ++pattern, 256);
+      store.Write(p, buf.data());
+    }
+  });
+  std::vector<std::byte> buf(256);
+  for (int i = 0; i < 3000; ++i) {
+    store.Read(p, buf.data());
+    for (size_t j = 1; j < 256; ++j) {
+      if (buf[j] != buf[0]) {
+        torn.store(true);
+        break;
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(PageStoreTest, ConcurrentAllocsAreUnique) {
+  PageStore store({.page_size = 64});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<PageId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(store.Alloc());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<PageId> all;
+  for (auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), size_t(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace exhash::storage

@@ -1,0 +1,90 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace exhash::util {
+namespace {
+
+TEST(BitsTest, MaskSelectsLowBits) {
+  EXPECT_EQ(Mask(0), 0u);
+  EXPECT_EQ(Mask(1), 0b1u);
+  EXPECT_EQ(Mask(3), 0b111u);
+  EXPECT_EQ(Mask(63), ~uint64_t{0} >> 1);
+  EXPECT_EQ(Mask(64), ~uint64_t{0});
+}
+
+TEST(BitsTest, LowBits) {
+  EXPECT_EQ(LowBits(0b101101, 3), 0b101u);
+  EXPECT_EQ(LowBits(0b101101, 0), 0u);
+  EXPECT_EQ(LowBits(~uint64_t{0}, 64), ~uint64_t{0});
+}
+
+TEST(BitsTest, PartnerBitsFlipsExactlyTheLocaldepthBit) {
+  // Partners w.r.t. bit d agree in bits d-1..1 and differ at bit d.
+  EXPECT_EQ(PartnerBits(0b000, 1), 0b001u);
+  EXPECT_EQ(PartnerBits(0b001, 1), 0b000u);
+  EXPECT_EQ(PartnerBits(0b010, 2), 0b000u);
+  EXPECT_EQ(PartnerBits(0b101, 3), 0b001u);
+}
+
+TEST(BitsTest, PartnerIsAnInvolution) {
+  for (int depth = 1; depth <= 16; ++depth) {
+    for (uint64_t v = 0; v < 64; ++v) {
+      const Pseudokey c = LowBits(v * 0x9e3779b9u, depth);
+      EXPECT_EQ(PartnerBits(PartnerBits(c, depth), depth), c);
+    }
+  }
+}
+
+TEST(BitsTest, IsOnePartnerChecksBitLocaldepth) {
+  // Bit numbering is 1-based from the LSB, as in the paper.
+  EXPECT_FALSE(IsOnePartner(0b100, 1));
+  EXPECT_TRUE(IsOnePartner(0b101, 1));
+  EXPECT_FALSE(IsOnePartner(0b101, 2));
+  EXPECT_TRUE(IsOnePartner(0b101, 3));
+}
+
+TEST(BitsTest, MatchesCommonBits) {
+  // Pseudokey ...10110 belongs in the bucket with commonbits 110 at
+  // localdepth 3.
+  EXPECT_TRUE(MatchesCommonBits(0b10110, 0b110, 3));
+  EXPECT_FALSE(MatchesCommonBits(0b10110, 0b010, 3));
+  EXPECT_TRUE(MatchesCommonBits(0xdeadbeef, 0, 0));  // depth 0 matches all
+}
+
+TEST(BitsTest, ReverseLowBits) {
+  EXPECT_EQ(ReverseLowBits(0b001, 3), 0b100u);
+  EXPECT_EQ(ReverseLowBits(0b110, 3), 0b011u);
+  EXPECT_EQ(ReverseLowBits(0b1, 1), 0b1u);
+  EXPECT_EQ(ReverseLowBits(0, 0), 0u);
+}
+
+TEST(BitsTest, ReverseIsAnInvolution) {
+  for (int bits = 0; bits <= 20; ++bits) {
+    for (uint64_t v = 0; v < 256; ++v) {
+      const uint64_t x = LowBits(v * 2654435761u, bits);
+      EXPECT_EQ(ReverseLowBits(ReverseLowBits(x, bits), bits), x);
+    }
+  }
+}
+
+TEST(BitsTest, ChainRankOrdersSplitsCorrectly) {
+  // After splitting bucket <> into <0>,<1> and then <0> into <00>,<10>,
+  // the chain must run 00, 10, 1 — i.e. ranks strictly increase.
+  const uint64_t r00 = ChainRank(0b00, 2);
+  const uint64_t r10 = ChainRank(0b10, 2);
+  const uint64_t r1 = ChainRank(0b1, 1);
+  EXPECT_LT(r00, r10);
+  EXPECT_LT(r10, r1);
+  // A "0" partner always ranks below its "1" partner.
+  for (int ld = 1; ld <= 10; ++ld) {
+    for (uint64_t v = 0; v < 64; ++v) {
+      const Pseudokey zero = LowBits(v, ld) & ~(Pseudokey{1} << (ld - 1));
+      const Pseudokey one = zero | (Pseudokey{1} << (ld - 1));
+      EXPECT_LT(ChainRank(zero, ld), ChainRank(one, ld));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exhash::util

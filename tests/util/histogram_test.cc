@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace exhash::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, BasicAccounting) {
+  Histogram h;
+  h.Add(100);
+  h.Add(200);
+  h.Add(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Add(v);
+  uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileWithinBucketError) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(1000);
+  // Log buckets bound the estimate within a factor of two.
+  EXPECT_GE(h.Percentile(50), 512u);
+  EXPECT_LE(h.Percentile(50), 2048u);
+}
+
+TEST(HistogramTest, ZeroValuesLandInBucketZero) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.Percentile(50), 1u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Add(10);
+  for (int i = 0; i < 100; ++i) b.Add(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_LT(a.Percentile(25), 100u);
+  EXPECT_GT(a.Percentile(75), 100000u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentAddsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Add(uint64_t(i) + 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.max(), uint64_t{kPerThread});
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(5);
+  const std::string s = h.Summary("us");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exhash::util

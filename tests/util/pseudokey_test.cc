@@ -1,0 +1,64 @@
+#include "util/pseudokey.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace exhash::util {
+namespace {
+
+TEST(PseudokeyTest, MixIsDeterministic) {
+  Mix64Hasher h;
+  EXPECT_EQ(h.Hash(42), h.Hash(42));
+  EXPECT_NE(h.Hash(42), h.Hash(43));
+}
+
+TEST(PseudokeyTest, UnmixInvertsMix) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t x = rng.Next();
+    EXPECT_EQ(Mix64Hasher::Mix(Mix64Hasher::Unmix(x)), x);
+    EXPECT_EQ(Mix64Hasher::Unmix(Mix64Hasher::Mix(x)), x);
+  }
+  // Edge values.
+  for (uint64_t x : {uint64_t{0}, uint64_t{1}, ~uint64_t{0}}) {
+    EXPECT_EQ(Mix64Hasher::Mix(Mix64Hasher::Unmix(x)), x);
+  }
+}
+
+TEST(PseudokeyTest, LowBitsAreWellDistributed) {
+  // The directory indexes by low bits; sequential keys must spread evenly.
+  constexpr int kBits = 6;
+  constexpr int kBuckets = 1 << kBits;
+  constexpr int kSamples = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  Mix64Hasher h;
+  for (uint64_t k = 0; k < kSamples; ++k) {
+    ++counts[LowBits(h.Hash(k), kBits)];
+  }
+  const double expected = double(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+TEST(PseudokeyTest, IdentityHasherPassesKeysThrough) {
+  IdentityHasher h;
+  EXPECT_EQ(h.Hash(0b1011), 0b1011u);
+  EXPECT_EQ(h.Hash(0), 0u);
+}
+
+TEST(PseudokeyTest, VirtualDispatchMatchesStatic) {
+  Mix64Hasher h;
+  const Hasher& base = h;
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(base.Hash(k), Mix64Hasher::Mix(k));
+  }
+}
+
+}  // namespace
+}  // namespace exhash::util

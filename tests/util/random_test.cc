@@ -1,0 +1,97 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace exhash::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Uniform(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, IsSkewedTowardSmallValues) {
+  ZipfGenerator zipf(10000, 0.99, 4);
+  int in_top_1pct = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 100) ++in_top_1pct;
+  }
+  // With theta=0.99 the hottest 1% draw far more than 1% of traffic.
+  EXPECT_GT(in_top_1pct, kSamples / 4);
+}
+
+TEST(ZipfTest, ThetaZeroIsNearUniform) {
+  ZipfGenerator zipf(100, 0.01, 5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  int nonzero = 0;
+  for (int c : counts) {
+    if (c > 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 95);
+}
+
+}  // namespace
+}  // namespace exhash::util

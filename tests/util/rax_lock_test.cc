@@ -1,0 +1,336 @@
+#include "util/rax_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace exhash::util {
+namespace {
+
+using std::chrono::milliseconds;
+
+// --- The compatibility table of section 2.1, verified literally ---
+
+struct CompatCase {
+  LockMode held;
+  LockMode requested;
+  bool compatible;
+};
+
+class CompatibilityTest : public ::testing::TestWithParam<CompatCase> {};
+
+TEST_P(CompatibilityTest, TryLockMatchesPaperTable) {
+  const CompatCase c = GetParam();
+  RaxLock lock;
+  lock.Lock(c.held);
+  EXPECT_EQ(lock.TryLock(c.requested), c.compatible);
+  if (c.compatible) lock.Unlock(c.requested);
+  lock.Unlock(c.held);
+  // Afterwards the lock is free again.
+  EXPECT_TRUE(lock.TryLock(LockMode::kXi));
+  lock.Unlock(LockMode::kXi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, CompatibilityTest,
+    ::testing::Values(
+        // rho request vs existing rho/alpha/xi: yes / yes / no.
+        CompatCase{LockMode::kRho, LockMode::kRho, true},
+        CompatCase{LockMode::kAlpha, LockMode::kRho, true},
+        CompatCase{LockMode::kXi, LockMode::kRho, false},
+        // alpha request: yes / no / no.
+        CompatCase{LockMode::kRho, LockMode::kAlpha, true},
+        CompatCase{LockMode::kAlpha, LockMode::kAlpha, false},
+        CompatCase{LockMode::kXi, LockMode::kAlpha, false},
+        // xi request: no / no / no.
+        CompatCase{LockMode::kRho, LockMode::kXi, false},
+        CompatCase{LockMode::kAlpha, LockMode::kXi, false},
+        CompatCase{LockMode::kXi, LockMode::kXi, false}));
+
+TEST(RaxLockTest, CompatibleConstexprMatchesTable) {
+  EXPECT_TRUE(Compatible(LockMode::kRho, LockMode::kRho));
+  EXPECT_TRUE(Compatible(LockMode::kRho, LockMode::kAlpha));
+  EXPECT_FALSE(Compatible(LockMode::kRho, LockMode::kXi));
+  EXPECT_TRUE(Compatible(LockMode::kAlpha, LockMode::kRho));
+  EXPECT_FALSE(Compatible(LockMode::kAlpha, LockMode::kAlpha));
+  EXPECT_FALSE(Compatible(LockMode::kAlpha, LockMode::kXi));
+  EXPECT_FALSE(Compatible(LockMode::kXi, LockMode::kRho));
+  EXPECT_FALSE(Compatible(LockMode::kXi, LockMode::kAlpha));
+  EXPECT_FALSE(Compatible(LockMode::kXi, LockMode::kXi));
+}
+
+TEST(RaxLockTest, ManyConcurrentReaders) {
+  RaxLock lock;
+  constexpr int kReaders = 8;
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kReaders; ++i) {
+    threads.emplace_back([&] {
+      lock.RhoLock();
+      const int now = inside.fetch_add(1) + 1;
+      int p = peak.load();
+      while (p < now && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::sleep_for(milliseconds(20));
+      inside.fetch_sub(1);
+      lock.UnRhoLock();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(peak.load(), kReaders);  // all readers overlapped
+}
+
+TEST(RaxLockTest, XiWaitsForAllReaders) {
+  RaxLock lock;
+  lock.RhoLock();
+  lock.RhoLock();
+  std::atomic<bool> xi_granted{false};
+  std::thread writer([&] {
+    lock.XiLock();
+    xi_granted.store(true);
+    lock.UnXiLock();
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_FALSE(xi_granted.load());
+  lock.UnRhoLock();
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_FALSE(xi_granted.load());  // one rho still out
+  lock.UnRhoLock();
+  writer.join();
+  EXPECT_TRUE(xi_granted.load());
+}
+
+TEST(RaxLockTest, ReadersQueueBehindWaitingXi) {
+  // FIFO subject to compatibility: a rho arriving after a queued xi must not
+  // overtake it (prevents writer starvation by a reader stream).
+  RaxLock lock;
+  lock.RhoLock();
+  std::atomic<bool> xi_granted{false};
+  std::atomic<bool> late_rho_granted{false};
+  std::thread writer([&] {
+    lock.XiLock();
+    xi_granted.store(true);
+    std::this_thread::sleep_for(milliseconds(30));
+    lock.UnXiLock();
+  });
+  std::this_thread::sleep_for(milliseconds(20));  // let xi queue up
+  std::thread late_reader([&] {
+    lock.RhoLock();
+    late_rho_granted.store(true);
+    lock.UnRhoLock();
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(late_rho_granted.load());  // queued behind xi
+  lock.UnRhoLock();
+  writer.join();
+  late_reader.join();
+  EXPECT_TRUE(xi_granted.load());
+  EXPECT_TRUE(late_rho_granted.load());
+}
+
+TEST(RaxLockTest, UpgradeRhoToAlphaImmediateWhenFree) {
+  RaxLock lock;
+  lock.RhoLock();
+  lock.UpgradeRhoToAlpha();
+  // Now holding rho + alpha: another alpha must fail, another rho succeed.
+  EXPECT_FALSE(lock.TryLock(LockMode::kAlpha));
+  EXPECT_TRUE(lock.TryLock(LockMode::kRho));
+  lock.Unlock(LockMode::kRho);
+  lock.UnAlphaLock();
+  lock.UnRhoLock();
+  EXPECT_TRUE(lock.TryLock(LockMode::kXi));
+  lock.Unlock(LockMode::kXi);
+}
+
+TEST(RaxLockTest, UpgradeWaitsForHeldAlpha) {
+  RaxLock lock;
+  lock.AlphaLock();  // another updater
+  std::atomic<bool> upgraded{false};
+  std::thread t([&] {
+    lock.RhoLock();
+    lock.UpgradeRhoToAlpha();
+    upgraded.store(true);
+    lock.UnAlphaLock();
+    lock.UnRhoLock();
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_FALSE(upgraded.load());
+  lock.UnAlphaLock();
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+}
+
+TEST(RaxLockTest, UpgradeBypassesQueuedXi) {
+  // The paper's deadlock-freedom argument for lock conversion (section 2.5):
+  // the converter holds rho, so a queued xi can never be granted first.  If
+  // the conversion honored FIFO order the two would deadlock.
+  RaxLock lock;
+  lock.RhoLock();
+  std::atomic<bool> xi_granted{false};
+  std::thread writer([&] {
+    lock.XiLock();
+    xi_granted.store(true);
+    lock.UnXiLock();
+  });
+  std::this_thread::sleep_for(milliseconds(30));  // xi now queued
+  EXPECT_FALSE(xi_granted.load());
+  lock.UpgradeRhoToAlpha();  // must not deadlock behind the queued xi
+  lock.UnAlphaLock();
+  lock.UnRhoLock();
+  writer.join();
+  EXPECT_TRUE(xi_granted.load());
+}
+
+TEST(RaxLockTest, GuardAcquiresAndReleases) {
+  RaxLock lock;
+  {
+    RaxGuard guard(lock, LockMode::kXi);
+    EXPECT_FALSE(lock.TryLock(LockMode::kRho));
+  }
+  EXPECT_TRUE(lock.TryLock(LockMode::kXi));
+  lock.UnXiLock();
+}
+
+TEST(RaxLockTest, GuardReleaseIsIdempotent) {
+  RaxLock lock;
+  RaxGuard guard(lock, LockMode::kAlpha);
+  guard.Release();
+  EXPECT_TRUE(lock.TryLock(LockMode::kAlpha));
+  lock.UnAlphaLock();
+  guard.Release();  // no double unlock
+  EXPECT_TRUE(lock.TryLock(LockMode::kXi));
+  lock.UnXiLock();
+}
+
+TEST(RaxLockTest, TryLockFailsWhileWaitersQueued) {
+  // Fairness: try-lock must not jump a queued waiter.
+  RaxLock lock;
+  lock.RhoLock();
+  std::atomic<bool> xi_granted{false};
+  std::thread writer([&] {
+    lock.XiLock();
+    xi_granted.store(true);
+    lock.UnXiLock();
+  });
+  std::this_thread::sleep_for(milliseconds(30));  // xi queues
+  EXPECT_FALSE(lock.TryLock(LockMode::kRho));     // would overtake the xi
+  lock.UnRhoLock();
+  writer.join();
+  EXPECT_TRUE(xi_granted.load());
+}
+
+TEST(RaxLockTest, StatsCountAcquisitions) {
+  RaxLock lock;
+  lock.RhoLock();
+  lock.UnRhoLock();
+  lock.AlphaLock();
+  lock.UnAlphaLock();
+  lock.XiLock();
+  lock.UnXiLock();
+  const RaxLockStats s = lock.stats();
+  EXPECT_EQ(s.rho_acquired, 1u);
+  EXPECT_EQ(s.alpha_acquired, 1u);
+  EXPECT_EQ(s.xi_acquired, 1u);
+  EXPECT_EQ(s.upgrades, 0u);
+}
+
+// Invariant stress: under random concurrent traffic, the set of granted
+// locks always satisfies the compatibility matrix.
+TEST(RaxLockStressTest, GrantInvariantsHoldUnderLoad) {
+  RaxLock lock;
+  std::atomic<int> rho_holders{0};
+  std::atomic<int> alpha_holders{0};
+  std::atomic<int> xi_holders{0};
+  std::atomic<bool> violation{false};
+
+  auto check = [&] {
+    const int r = rho_holders.load();
+    const int a = alpha_holders.load();
+    const int x = xi_holders.load();
+    if (a > 1 || x > 1 || (x == 1 && (r > 0 || a > 0))) {
+      violation.store(true);
+    }
+  };
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(uint64_t(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        switch (rng.Uniform(4)) {
+          case 0:
+          case 1: {
+            lock.RhoLock();
+            rho_holders.fetch_add(1);
+            check();
+            rho_holders.fetch_sub(1);
+            lock.UnRhoLock();
+            break;
+          }
+          case 2: {
+            lock.AlphaLock();
+            alpha_holders.fetch_add(1);
+            check();
+            alpha_holders.fetch_sub(1);
+            lock.UnAlphaLock();
+            break;
+          }
+          case 3: {
+            lock.XiLock();
+            xi_holders.fetch_add(1);
+            check();
+            xi_holders.fetch_sub(1);
+            lock.UnXiLock();
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+// Upgrade stress: converters racing with plain alpha/xi traffic.
+TEST(RaxLockStressTest, UpgradesUnderLoad) {
+  RaxLock lock;
+  std::atomic<int> alpha_holders{0};
+  std::atomic<bool> violation{false};
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(uint64_t(t) + 100);
+      for (int i = 0; i < kIters; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          lock.RhoLock();
+          lock.UpgradeRhoToAlpha();
+          if (alpha_holders.fetch_add(1) != 0) violation.store(true);
+          alpha_holders.fetch_sub(1);
+          lock.UnAlphaLock();
+          lock.UnRhoLock();
+        } else {
+          lock.AlphaLock();
+          if (alpha_holders.fetch_add(1) != 0) violation.store(true);
+          alpha_holders.fetch_sub(1);
+          lock.UnAlphaLock();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(lock.stats().upgrades, 0u);
+}
+
+}  // namespace
+}  // namespace exhash::util

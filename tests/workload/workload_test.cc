@@ -1,0 +1,153 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.h"
+#include "util/pseudokey.h"
+
+namespace exhash::workload {
+namespace {
+
+TEST(WorkloadTest, MixRatiosRespected) {
+  WorkloadGenerator gen({.key_space = 1000,
+                         .dist = KeyDist::kUniform,
+                         .mix = {50, 30, 20},
+                         .seed = 1},
+                        0);
+  int finds = 0;
+  int inserts = 0;
+  int removes = 0;
+  constexpr int kOps = 30000;
+  for (int i = 0; i < kOps; ++i) {
+    switch (gen.Next().type) {
+      case Op::Type::kFind:
+        ++finds;
+        break;
+      case Op::Type::kInsert:
+        ++inserts;
+        break;
+      case Op::Type::kRemove:
+        ++removes;
+        break;
+    }
+  }
+  EXPECT_NEAR(double(finds) / kOps, 0.50, 0.02);
+  EXPECT_NEAR(double(inserts) / kOps, 0.30, 0.02);
+  EXPECT_NEAR(double(removes) / kOps, 0.20, 0.02);
+}
+
+TEST(WorkloadTest, UniformKeysStayInKeySpace) {
+  WorkloadGenerator gen({.key_space = 77,
+                         .dist = KeyDist::kUniform,
+                         .mix = {100, 0, 0},
+                         .seed = 2},
+                        0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(gen.NextKey(), 77u);
+  }
+}
+
+TEST(WorkloadTest, SequentialKeysIncreaseAndPartitionByThread) {
+  WorkloadGenerator a({.key_space = 1000,
+                       .dist = KeyDist::kSequential,
+                       .mix = {100, 0, 0},
+                       .seed = 3},
+                      0);
+  WorkloadGenerator b({.key_space = 1000,
+                       .dist = KeyDist::kSequential,
+                       .mix = {100, 0, 0},
+                       .seed = 3},
+                      1);
+  uint64_t prev = a.NextKey();
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t k = a.NextKey();
+    EXPECT_EQ(k, prev + 1);
+    prev = k;
+  }
+  // Thread 1 starts in its own region.
+  EXPECT_GE(b.NextKey(), 1000u);
+}
+
+TEST(WorkloadTest, CollidingKeysSharePseudokeyLowBits) {
+  WorkloadGenerator gen({.key_space = 4096,
+                         .dist = KeyDist::kColliding,
+                         .mix = {100, 0, 0},
+                         .seed = 4},
+                        0);
+  util::Mix64Hasher hasher;
+  std::set<uint64_t> distinct_keys;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = gen.NextKey();
+    distinct_keys.insert(key);
+    EXPECT_EQ(util::LowBits(hasher.Hash(key), 3), 0b101u);
+  }
+  // The keys themselves are still diverse — it is the pseudokeys that
+  // collide.
+  EXPECT_GT(distinct_keys.size(), 1000u);
+}
+
+TEST(WorkloadTest, DeterministicPerSeedAndThread) {
+  for (int thread = 0; thread < 3; ++thread) {
+    WorkloadGenerator a({.key_space = 500,
+                         .dist = KeyDist::kZipf,
+                         .mix = {60, 20, 20},
+                         .seed = 9},
+                        thread);
+    WorkloadGenerator b({.key_space = 500,
+                         .dist = KeyDist::kZipf,
+                         .mix = {60, 20, 20},
+                         .seed = 9},
+                        thread);
+    for (int i = 0; i < 200; ++i) {
+      const Op x = a.Next();
+      const Op y = b.Next();
+      EXPECT_EQ(x.key, y.key);
+      EXPECT_EQ(int(x.type), int(y.type));
+    }
+  }
+}
+
+TEST(WorkloadTest, DifferentThreadsDifferentStreams) {
+  WorkloadGenerator a({.key_space = 1u << 20,
+                       .dist = KeyDist::kUniform,
+                       .mix = {100, 0, 0},
+                       .seed = 9},
+                      0);
+  WorkloadGenerator b({.key_space = 1u << 20,
+                       .dist = KeyDist::kUniform,
+                       .mix = {100, 0, 0},
+                       .seed = 9},
+                      1);
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.NextKey() == b.NextKey()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(WorkloadTest, ZipfSkewsTraffic) {
+  WorkloadGenerator gen({.key_space = 10000,
+                         .dist = KeyDist::kZipf,
+                         .zipf_theta = 0.99,
+                         .mix = {100, 0, 0},
+                         .seed = 10},
+                        0);
+  int hot = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    if (gen.NextKey() < 100) ++hot;
+  }
+  EXPECT_GT(hot, kOps / 4);  // top 1% of keys draw >25% of traffic
+}
+
+TEST(WorkloadTest, ToStringNames) {
+  EXPECT_STREQ(ToString(KeyDist::kUniform), "uniform");
+  EXPECT_STREQ(ToString(KeyDist::kZipf), "zipf");
+  EXPECT_STREQ(ToString(KeyDist::kSequential), "sequential");
+  EXPECT_STREQ(ToString(KeyDist::kColliding), "colliding");
+}
+
+}  // namespace
+}  // namespace exhash::workload
