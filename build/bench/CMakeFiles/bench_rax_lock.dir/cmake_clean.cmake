@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rax_lock.dir/bench_rax_lock.cpp.o"
+  "CMakeFiles/bench_rax_lock.dir/bench_rax_lock.cpp.o.d"
+  "bench_rax_lock"
+  "bench_rax_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rax_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shrink.dir/bench_shrink.cpp.o"
+  "CMakeFiles/bench_shrink.dir/bench_shrink.cpp.o.d"
+  "bench_shrink"
+  "bench_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

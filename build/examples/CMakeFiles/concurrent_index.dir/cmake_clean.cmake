@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_index.dir/concurrent_index.cpp.o"
+  "CMakeFiles/concurrent_index.dir/concurrent_index.cpp.o.d"
+  "concurrent_index"
+  "concurrent_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_stream.dir/dedup_stream.cpp.o"
+  "CMakeFiles/dedup_stream.dir/dedup_stream.cpp.o.d"
+  "dedup_stream"
+  "dedup_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

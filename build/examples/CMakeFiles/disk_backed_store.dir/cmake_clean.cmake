@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_backed_store.dir/disk_backed_store.cpp.o"
+  "CMakeFiles/disk_backed_store.dir/disk_backed_store.cpp.o.d"
+  "disk_backed_store"
+  "disk_backed_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_backed_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

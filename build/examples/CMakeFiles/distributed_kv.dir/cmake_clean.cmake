@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_kv.dir/distributed_kv.cpp.o"
+  "CMakeFiles/distributed_kv.dir/distributed_kv.cpp.o.d"
+  "distributed_kv"
+  "distributed_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

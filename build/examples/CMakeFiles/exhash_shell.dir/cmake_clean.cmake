@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_shell.dir/exhash_shell.cpp.o"
+  "CMakeFiles/exhash_shell.dir/exhash_shell.cpp.o.d"
+  "exhash_shell"
+  "exhash_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_baseline.dir/blink_tree.cc.o"
+  "CMakeFiles/exhash_baseline.dir/blink_tree.cc.o.d"
+  "CMakeFiles/exhash_baseline.dir/global_lock_hash.cc.o"
+  "CMakeFiles/exhash_baseline.dir/global_lock_hash.cc.o.d"
+  "libexhash_baseline.a"
+  "libexhash_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucket_ops.cc" "src/core/CMakeFiles/exhash_core.dir/bucket_ops.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/bucket_ops.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/exhash_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/ellis_v1.cc" "src/core/CMakeFiles/exhash_core.dir/ellis_v1.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/ellis_v1.cc.o.d"
+  "/root/repo/src/core/ellis_v2.cc" "src/core/CMakeFiles/exhash_core.dir/ellis_v2.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/ellis_v2.cc.o.d"
+  "/root/repo/src/core/lock_table.cc" "src/core/CMakeFiles/exhash_core.dir/lock_table.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/lock_table.cc.o.d"
+  "/root/repo/src/core/sequential_hash.cc" "src/core/CMakeFiles/exhash_core.dir/sequential_hash.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/sequential_hash.cc.o.d"
+  "/root/repo/src/core/table_base.cc" "src/core/CMakeFiles/exhash_core.dir/table_base.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/table_base.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/exhash_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/exhash_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/exhash_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exhash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_core.dir/bucket_ops.cc.o"
+  "CMakeFiles/exhash_core.dir/bucket_ops.cc.o.d"
+  "CMakeFiles/exhash_core.dir/directory.cc.o"
+  "CMakeFiles/exhash_core.dir/directory.cc.o.d"
+  "CMakeFiles/exhash_core.dir/ellis_v1.cc.o"
+  "CMakeFiles/exhash_core.dir/ellis_v1.cc.o.d"
+  "CMakeFiles/exhash_core.dir/ellis_v2.cc.o"
+  "CMakeFiles/exhash_core.dir/ellis_v2.cc.o.d"
+  "CMakeFiles/exhash_core.dir/lock_table.cc.o"
+  "CMakeFiles/exhash_core.dir/lock_table.cc.o.d"
+  "CMakeFiles/exhash_core.dir/sequential_hash.cc.o"
+  "CMakeFiles/exhash_core.dir/sequential_hash.cc.o.d"
+  "CMakeFiles/exhash_core.dir/table_base.cc.o"
+  "CMakeFiles/exhash_core.dir/table_base.cc.o.d"
+  "CMakeFiles/exhash_core.dir/validate.cc.o"
+  "CMakeFiles/exhash_core.dir/validate.cc.o.d"
+  "libexhash_core.a"
+  "libexhash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

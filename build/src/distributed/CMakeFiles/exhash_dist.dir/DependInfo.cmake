@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distributed/bucket_manager.cc" "src/distributed/CMakeFiles/exhash_dist.dir/bucket_manager.cc.o" "gcc" "src/distributed/CMakeFiles/exhash_dist.dir/bucket_manager.cc.o.d"
+  "/root/repo/src/distributed/cluster.cc" "src/distributed/CMakeFiles/exhash_dist.dir/cluster.cc.o" "gcc" "src/distributed/CMakeFiles/exhash_dist.dir/cluster.cc.o.d"
+  "/root/repo/src/distributed/directory_manager.cc" "src/distributed/CMakeFiles/exhash_dist.dir/directory_manager.cc.o" "gcc" "src/distributed/CMakeFiles/exhash_dist.dir/directory_manager.cc.o.d"
+  "/root/repo/src/distributed/network.cc" "src/distributed/CMakeFiles/exhash_dist.dir/network.cc.o" "gcc" "src/distributed/CMakeFiles/exhash_dist.dir/network.cc.o.d"
+  "/root/repo/src/distributed/replica_directory.cc" "src/distributed/CMakeFiles/exhash_dist.dir/replica_directory.cc.o" "gcc" "src/distributed/CMakeFiles/exhash_dist.dir/replica_directory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exhash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/exhash_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exhash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

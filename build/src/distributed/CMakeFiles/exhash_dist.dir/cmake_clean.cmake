@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_dist.dir/bucket_manager.cc.o"
+  "CMakeFiles/exhash_dist.dir/bucket_manager.cc.o.d"
+  "CMakeFiles/exhash_dist.dir/cluster.cc.o"
+  "CMakeFiles/exhash_dist.dir/cluster.cc.o.d"
+  "CMakeFiles/exhash_dist.dir/directory_manager.cc.o"
+  "CMakeFiles/exhash_dist.dir/directory_manager.cc.o.d"
+  "CMakeFiles/exhash_dist.dir/network.cc.o"
+  "CMakeFiles/exhash_dist.dir/network.cc.o.d"
+  "CMakeFiles/exhash_dist.dir/replica_directory.cc.o"
+  "CMakeFiles/exhash_dist.dir/replica_directory.cc.o.d"
+  "libexhash_dist.a"
+  "libexhash_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_storage.dir/bucket.cc.o"
+  "CMakeFiles/exhash_storage.dir/bucket.cc.o.d"
+  "CMakeFiles/exhash_storage.dir/page_store.cc.o"
+  "CMakeFiles/exhash_storage.dir/page_store.cc.o.d"
+  "libexhash_storage.a"
+  "libexhash_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/exhash_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/exhash_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/pseudokey.cc" "src/util/CMakeFiles/exhash_util.dir/pseudokey.cc.o" "gcc" "src/util/CMakeFiles/exhash_util.dir/pseudokey.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/exhash_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/exhash_util.dir/random.cc.o.d"
+  "/root/repo/src/util/rax_lock.cc" "src/util/CMakeFiles/exhash_util.dir/rax_lock.cc.o" "gcc" "src/util/CMakeFiles/exhash_util.dir/rax_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_util.dir/histogram.cc.o"
+  "CMakeFiles/exhash_util.dir/histogram.cc.o.d"
+  "CMakeFiles/exhash_util.dir/pseudokey.cc.o"
+  "CMakeFiles/exhash_util.dir/pseudokey.cc.o.d"
+  "CMakeFiles/exhash_util.dir/random.cc.o"
+  "CMakeFiles/exhash_util.dir/random.cc.o.d"
+  "CMakeFiles/exhash_util.dir/rax_lock.cc.o"
+  "CMakeFiles/exhash_util.dir/rax_lock.cc.o.d"
+  "libexhash_util.a"
+  "libexhash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_workload.dir/workload.cc.o"
+  "CMakeFiles/exhash_workload.dir/workload.cc.o.d"
+  "libexhash_workload.a"
+  "libexhash_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

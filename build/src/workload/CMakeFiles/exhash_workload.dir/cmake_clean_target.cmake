@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexhash_workload.a"
+)

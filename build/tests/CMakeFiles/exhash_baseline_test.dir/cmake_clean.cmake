@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_baseline_test.dir/baseline/blink_tree_test.cc.o"
+  "CMakeFiles/exhash_baseline_test.dir/baseline/blink_tree_test.cc.o.d"
+  "exhash_baseline_test"
+  "exhash_baseline_test.pdb"
+  "exhash_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_concurrency_test.dir/concurrency/concurrent_table_test.cc.o"
+  "CMakeFiles/exhash_concurrency_test.dir/concurrency/concurrent_table_test.cc.o.d"
+  "CMakeFiles/exhash_concurrency_test.dir/concurrency/deadlock_scenario_test.cc.o"
+  "CMakeFiles/exhash_concurrency_test.dir/concurrency/deadlock_scenario_test.cc.o.d"
+  "exhash_concurrency_test"
+  "exhash_concurrency_test.pdb"
+  "exhash_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

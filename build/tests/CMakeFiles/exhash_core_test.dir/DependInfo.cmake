@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bucket_ops_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/bucket_ops_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/bucket_ops_test.cc.o.d"
+  "/root/repo/tests/core/directory_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/directory_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/directory_test.cc.o.d"
+  "/root/repo/tests/core/ellis_protocol_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/ellis_protocol_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/ellis_protocol_test.cc.o.d"
+  "/root/repo/tests/core/lock_table_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/lock_table_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/lock_table_test.cc.o.d"
+  "/root/repo/tests/core/paper_scenarios_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/paper_scenarios_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/paper_scenarios_test.cc.o.d"
+  "/root/repo/tests/core/property_sweep_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/property_sweep_test.cc.o.d"
+  "/root/repo/tests/core/sequential_hash_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/sequential_hash_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/sequential_hash_test.cc.o.d"
+  "/root/repo/tests/core/table_semantics_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/table_semantics_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/table_semantics_test.cc.o.d"
+  "/root/repo/tests/core/validate_test.cc" "tests/CMakeFiles/exhash_core_test.dir/core/validate_test.cc.o" "gcc" "tests/CMakeFiles/exhash_core_test.dir/core/validate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/exhash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exhash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/exhash_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/exhash_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exhash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exhash_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

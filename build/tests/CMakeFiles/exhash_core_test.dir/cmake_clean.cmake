@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_core_test.dir/core/bucket_ops_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/bucket_ops_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/directory_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/directory_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/ellis_protocol_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/ellis_protocol_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/lock_table_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/lock_table_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/paper_scenarios_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/paper_scenarios_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/property_sweep_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/property_sweep_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/sequential_hash_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/sequential_hash_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/table_semantics_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/table_semantics_test.cc.o.d"
+  "CMakeFiles/exhash_core_test.dir/core/validate_test.cc.o"
+  "CMakeFiles/exhash_core_test.dir/core/validate_test.cc.o.d"
+  "exhash_core_test"
+  "exhash_core_test.pdb"
+  "exhash_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/distributed/cluster_test.cc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/cluster_test.cc.o" "gcc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/cluster_test.cc.o.d"
+  "/root/repo/tests/distributed/network_test.cc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/network_test.cc.o" "gcc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/network_test.cc.o.d"
+  "/root/repo/tests/distributed/offsite_protocol_test.cc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/offsite_protocol_test.cc.o" "gcc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/offsite_protocol_test.cc.o.d"
+  "/root/repo/tests/distributed/replica_directory_test.cc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/replica_directory_test.cc.o" "gcc" "tests/CMakeFiles/exhash_distributed_test.dir/distributed/replica_directory_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/exhash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exhash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/exhash_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/exhash_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exhash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exhash_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

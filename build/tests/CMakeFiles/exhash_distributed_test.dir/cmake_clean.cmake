@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_distributed_test.dir/distributed/cluster_test.cc.o"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/cluster_test.cc.o.d"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/network_test.cc.o"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/network_test.cc.o.d"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/offsite_protocol_test.cc.o"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/offsite_protocol_test.cc.o.d"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/replica_directory_test.cc.o"
+  "CMakeFiles/exhash_distributed_test.dir/distributed/replica_directory_test.cc.o.d"
+  "exhash_distributed_test"
+  "exhash_distributed_test.pdb"
+  "exhash_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

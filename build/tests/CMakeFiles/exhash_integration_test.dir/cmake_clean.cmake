@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_integration_test.dir/integration/stress_test.cc.o"
+  "CMakeFiles/exhash_integration_test.dir/integration/stress_test.cc.o.d"
+  "exhash_integration_test"
+  "exhash_integration_test.pdb"
+  "exhash_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

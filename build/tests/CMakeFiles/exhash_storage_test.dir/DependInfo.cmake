@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/bucket_test.cc" "tests/CMakeFiles/exhash_storage_test.dir/storage/bucket_test.cc.o" "gcc" "tests/CMakeFiles/exhash_storage_test.dir/storage/bucket_test.cc.o.d"
+  "/root/repo/tests/storage/page_store_test.cc" "tests/CMakeFiles/exhash_storage_test.dir/storage/page_store_test.cc.o" "gcc" "tests/CMakeFiles/exhash_storage_test.dir/storage/page_store_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/exhash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exhash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/exhash_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/exhash_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exhash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exhash_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_storage_test.dir/storage/bucket_test.cc.o"
+  "CMakeFiles/exhash_storage_test.dir/storage/bucket_test.cc.o.d"
+  "CMakeFiles/exhash_storage_test.dir/storage/page_store_test.cc.o"
+  "CMakeFiles/exhash_storage_test.dir/storage/page_store_test.cc.o.d"
+  "exhash_storage_test"
+  "exhash_storage_test.pdb"
+  "exhash_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_util_test.dir/util/bits_test.cc.o"
+  "CMakeFiles/exhash_util_test.dir/util/bits_test.cc.o.d"
+  "CMakeFiles/exhash_util_test.dir/util/histogram_test.cc.o"
+  "CMakeFiles/exhash_util_test.dir/util/histogram_test.cc.o.d"
+  "CMakeFiles/exhash_util_test.dir/util/pseudokey_test.cc.o"
+  "CMakeFiles/exhash_util_test.dir/util/pseudokey_test.cc.o.d"
+  "CMakeFiles/exhash_util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/exhash_util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/exhash_util_test.dir/util/rax_lock_test.cc.o"
+  "CMakeFiles/exhash_util_test.dir/util/rax_lock_test.cc.o.d"
+  "exhash_util_test"
+  "exhash_util_test.pdb"
+  "exhash_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhash_workload_test.dir/workload/workload_test.cc.o"
+  "CMakeFiles/exhash_workload_test.dir/workload/workload_test.cc.o.d"
+  "exhash_workload_test"
+  "exhash_workload_test.pdb"
+  "exhash_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhash_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/exhash_util_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_core_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/exhash_integration_test[1]_include.cmake")
