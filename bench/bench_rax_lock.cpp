@@ -7,7 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/rax_lock.h"
 
@@ -94,7 +100,7 @@ void BM_SharedReaders(benchmark::State& state) {
     lock.UnRhoLock();
   }
 }
-BENCHMARK(BM_SharedReaders)->Threads(1)->Threads(2)->Threads(4);
+BENCHMARK(BM_SharedReaders)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
 
 // Readers coexisting with a steady alpha stream (the rho/alpha
 // compatibility that lets finds run during inserts).
@@ -113,7 +119,98 @@ void BM_ReadersWithAlphaTraffic(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_ReadersWithAlphaTraffic)->Threads(2)->Threads(4);
+BENCHMARK(BM_ReadersWithAlphaTraffic)->Threads(2)->Threads(4)->Threads(8);
+
+// --- one-line JSON summary (BENCH_rax_lock.json) ---
+//
+// A self-timed companion to the google-benchmark numbers above so the perf
+// trajectory of the lock is tracked as a machine-readable artifact from PR
+// to PR.  Reports the uncontended rho acquire+release pair cost and reader
+// scaling (1..8 threads all rho-locking one shared lock).
+
+// Templated on the body so the lock calls inline (a member-function-pointer
+// version measures call overhead, not the lock).
+template <typename Pair>
+double TimedPairNs(uint64_t iters, Pair pair) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) pair();
+  const auto stop = std::chrono::steady_clock::now();
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count()) /
+         double(iters);
+}
+
+// N threads hammering rho on one shared lock; returns aggregate ns per
+// acquire+release pair (wall time * threads / total pairs would measure
+// per-thread cost; on the single-core CI host aggregate wall-clock per pair
+// is the honest scaling figure).
+double SharedRhoPairNs(int threads, uint64_t pairs_per_thread) {
+  RaxLock lock;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < pairs_per_thread; ++i) {
+        lock.RhoLock();
+        lock.UnRhoLock();
+      }
+    });
+  }
+  while (ready.load() != threads) std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto stop = std::chrono::steady_clock::now();
+  return double(std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count()) /
+         double(pairs_per_thread * uint64_t(threads));
+}
+
+void EmitJsonSummary() {
+  constexpr uint64_t kIters = 5000000;
+  RaxLock rho_lock, alpha_lock, xi_lock;
+  const double rho_ns = TimedPairNs(kIters, [&] {
+    rho_lock.RhoLock();
+    rho_lock.UnRhoLock();
+  });
+  const double alpha_ns = TimedPairNs(kIters, [&] {
+    alpha_lock.AlphaLock();
+    alpha_lock.UnAlphaLock();
+  });
+  const double xi_ns = TimedPairNs(kIters, [&] {
+    xi_lock.XiLock();
+    xi_lock.UnXiLock();
+  });
+
+  std::string json = "{\"bench\":\"rax_lock\"";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"uncontended_rho_pair_ns\":%.2f", rho_ns);
+  json += buf;
+  std::snprintf(buf, sizeof buf, ",\"uncontended_alpha_pair_ns\":%.2f",
+                alpha_ns);
+  json += buf;
+  std::snprintf(buf, sizeof buf, ",\"uncontended_xi_pair_ns\":%.2f", xi_ns);
+  json += buf;
+  json += ",\"shared_rho_pair_ns\":{";
+  for (int threads : {1, 2, 4, 8}) {
+    const double ns = SharedRhoPairNs(threads, 2000000 / uint64_t(threads));
+    std::snprintf(buf, sizeof buf, "%s\"%d\":%.2f",
+                  threads == 1 ? "" : ",", threads, ns);
+    json += buf;
+  }
+  json += "}}";
+
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_rax_lock.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+}
 
 }  // namespace
 
@@ -123,5 +220,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  EmitJsonSummary();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -65,13 +66,23 @@ int main(int argc, char** argv) {
   std::printf("(single-core host: >1 thread measures lock/protocol overhead "
               "and fairness, not parallel speedup)\n");
 
+  // One-line JSON artifact (BENCH_throughput.json): in-memory ops/sec per
+  // mix, table and thread count, so the perf trajectory is diffable per PR.
+  std::string json = "{\"bench\":\"throughput\",\"ops_per_sec\":{";
+  bool first_mix = true;
+
   for (const Mix& mix : mixes) {
     std::printf("\nmix %-14s %14s", mix.name, "");
     for (int t = 1; t <= max_threads; t *= 2) std::printf("%10d thr", t);
     std::printf("\n");
     bench::PrintRule();
+    json += std::string(first_mix ? "" : ",") + "\"" + mix.name + "\":{";
+    first_mix = false;
+    bool first_table = true;
     for (const std::string& name : tables) {
       std::printf("  %-26s", name.c_str());
+      json += std::string(first_table ? "" : ",") + "\"" + name + "\":{";
+      first_table = false;
       for (int t = 1; t <= max_threads; t *= 2) {
         auto table = MakeTable(name, 0);
         bench::PreloadHalf(table.get(), 100000);
@@ -82,9 +93,21 @@ int main(int argc, char** argv) {
         bench::MixedRunResult r;
         RunMixed(table.get(), config, &r);
         std::printf("%14.0f", r.ops_per_sec());
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s\"%d\":%.0f", t == 1 ? "" : ",", t,
+                      r.ops_per_sec());
+        json += buf;
       }
+      json += "}";
       std::printf("\n");
     }
+    json += "}";
+  }
+  json += "}}";
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
 
   // --- The disk-resident regime the paper targets: page transfers take

@@ -1,25 +1,42 @@
 #include "core/lock_table.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace exhash::core {
 
-util::RaxLock& LockTable::For(storage::PageId page) {
-  const size_t chunk = page / kChunkSize;
-  {
-    std::shared_lock<std::shared_mutex> read(mutex_);
-    if (chunk < chunks_.size() && chunks_[chunk] != nullptr) {
-      return chunks_[chunk]->locks[page % kChunkSize];
-    }
+LockTable::LockTable()
+    : chunks_(new std::atomic<Chunk*>[kMaxChunks]()) {}
+
+LockTable::~LockTable() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
   }
-  std::unique_lock<std::shared_mutex> write(mutex_);
-  if (chunk >= chunks_.size()) chunks_.resize(chunk + 1);
-  if (chunks_[chunk] == nullptr) chunks_[chunk] = std::make_unique<Chunk>();
-  return chunks_[chunk]->locks[page % kChunkSize];
+}
+
+LockTable::Chunk* LockTable::Publish(storage::PageId page, size_t chunk) {
+  if (chunk >= kMaxChunks) {
+    std::fprintf(stderr,
+                 "LockTable: page id %u exceeds the %zu-page lock directory\n",
+                 page, kMaxChunks * kChunkSize);
+    std::abort();
+  }
+  Chunk* fresh = new Chunk();
+  Chunk* expected = nullptr;
+  if (chunks_[chunk].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_release,
+                                             std::memory_order_acquire)) {
+    return fresh;
+  }
+  // Another thread published first; adopt its chunk.
+  delete fresh;
+  return expected;
 }
 
 util::RaxLockStats LockTable::AggregateStats() const {
   util::RaxLockStats total;
-  std::shared_lock<std::shared_mutex> read(mutex_);
-  for (const auto& chunk : chunks_) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    const Chunk* chunk = chunks_[i].load(std::memory_order_acquire);
     if (chunk == nullptr) continue;
     for (const auto& lock : chunk->locks) {
       const util::RaxLockStats s = lock.stats();

@@ -4,13 +4,20 @@
 // reused is still a well-defined object (the protocols guarantee such a lock
 // is only ever requested when the page is still reachable; see the
 // deadlock-freedom arguments in sections 2.3 and 2.5).
+//
+// Lookup is lock-free: the chunk directory is a fixed array of atomic
+// pointers published by CAS, so For() on an existing page is one acquire
+// load plus indexing — it sits on the hot path of every bucket operation
+// and must not serialize behind a mutex the way a growable vector would.
+// Losing publishers delete their chunk and adopt the winner's, so every
+// caller agrees on one lock object per page forever.
 
 #ifndef EXHASH_CORE_LOCK_TABLE_H_
 #define EXHASH_CORE_LOCK_TABLE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
-#include <shared_mutex>
-#include <vector>
 
 #include "storage/page.h"
 #include "util/rax_lock.h"
@@ -19,24 +26,43 @@ namespace exhash::core {
 
 class LockTable {
  public:
-  LockTable() = default;
+  LockTable();
+  ~LockTable();
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
   // Returns the lock for `page`, creating backing storage on demand.
-  util::RaxLock& For(storage::PageId page);
+  util::RaxLock& For(storage::PageId page) {
+    const size_t chunk = size_t(page) / kChunkSize;
+    Chunk* c = chunk < kMaxChunks
+                   ? chunks_[chunk].load(std::memory_order_acquire)
+                   : nullptr;
+    if (c == nullptr) [[unlikely]] c = Publish(page, chunk);
+    return c->locks[size_t(page) % kChunkSize];
+  }
 
   // Sums stats across all page locks (bench E1/E5 reporting).
   util::RaxLockStats AggregateStats() const;
 
  private:
   static constexpr size_t kChunkSize = 256;
+  // Fixed directory: 2^16 chunks of 256 locks covers 16.7M pages, far
+  // beyond any page id the page store hands out; Publish() aborts with a
+  // diagnostic rather than silently aliasing if that ever changes.
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
   struct Chunk {
     util::RaxLock locks[kChunkSize];
   };
 
-  mutable std::shared_mutex mutex_;
-  std::vector<std::unique_ptr<Chunk>> chunks_;
+  // Allocates and CAS-publishes the chunk for `page` (or aborts on an
+  // out-of-range page id).  Cold path, lives in the .cc.
+  Chunk* Publish(storage::PageId page, size_t chunk);
+
+  // Heap-allocated so a stack-constructed table stays small; the pointer
+  // itself is immutable after construction, so the hot path pays only the
+  // one atomic slot load.
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
 };
 
 }  // namespace exhash::core

@@ -4,157 +4,165 @@
 
 namespace exhash::util {
 
-bool RaxLock::CompatibleWithHeld(LockMode mode) const {
+void RaxLock::LockSlow(LockMode mode) {
+  std::unique_lock<std::mutex> guard(mutex_);
+  // The lock may have become free between the fast-path failure and
+  // acquiring the mutex; retry once, but never overtake a queued waiter.
+  // (Queue membership only changes under the mutex, and the waiter bit is
+  // set exactly while the queue is non-empty, so the emptiness check here
+  // is authoritative.)
+  if (queue_.empty() && TryAcquireWord(mode)) return;
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  Waiter w{mode};
+  word_.fetch_or(kWaiterBit, std::memory_order_relaxed);
+  queue_.push_back(&w);
+  // Close the race with a release that drained the lock after our fast path
+  // failed but before the waiter bit above became visible: re-run the grant
+  // loop ourselves.  Any release that observes the bit from here on takes
+  // the mutex and grants, so nothing can be lost.
+  GrantFromQueue();
+  cv_.wait(guard, [&] { return w.granted; });
+}
+
+bool RaxLock::TryGrantLocked(LockMode mode) {
+  uint64_t cur = word_.load(std::memory_order_relaxed);
+  uint64_t block = 0, set = 0, add = 0;
   switch (mode) {
     case LockMode::kRho:
-      return !xi_held_;
+      block = kXiBit;
+      add = kRhoOne + kRhoAcqOne;
+      break;
     case LockMode::kAlpha:
       // A pending conversion reserves the alpha slot so that the converter
       // (which already holds rho and has priority, see header) is not
       // overtaken indefinitely.
-      return !alpha_held_ && !xi_held_ && upgrade_waiters_ == 0;
+      block = kAlphaBit | kXiBit | kUpgradeMask;
+      set = kAlphaBit;
+      add = kAlphaAcqOne;
+      break;
     case LockMode::kXi:
-      return rho_count_ == 0 && !alpha_held_ && !xi_held_ &&
-             upgrade_waiters_ == 0;
+      block = kRhoMask | kAlphaBit | kXiBit | kUpgradeMask;
+      set = kXiBit;
+      add = kXiAcqOne;
+      break;
+  }
+  // A fast-path rho that is about to back out may transiently hold a
+  // phantom count here and make a xi grant fail; that thread always
+  // proceeds to LockSlow(), which re-runs GrantFromQueue() under the mutex,
+  // so the grant is only delayed, never lost.
+  while ((cur & block) == 0) {
+    if (word_.compare_exchange_weak(cur, (cur | set) + add,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      MaybeFold(cur);
+      return true;
+    }
   }
   return false;
-}
-
-void RaxLock::Lock(LockMode mode) {
-  std::unique_lock<std::mutex> guard(mutex_);
-  if (queue_.empty() && CompatibleWithHeld(mode)) {
-    // Uncontended fast path.
-  } else {
-    ++stats_.contended;
-    Waiter w{mode};
-    queue_.push_back(&w);
-    cv_.wait(guard, [&] { return w.granted; });
-    // GrantFromQueue() already applied the state transition.
-    switch (mode) {
-      case LockMode::kRho:
-        ++stats_.rho_acquired;
-        break;
-      case LockMode::kAlpha:
-        ++stats_.alpha_acquired;
-        break;
-      case LockMode::kXi:
-        ++stats_.xi_acquired;
-        break;
-    }
-    return;
-  }
-  switch (mode) {
-    case LockMode::kRho:
-      ++rho_count_;
-      ++stats_.rho_acquired;
-      break;
-    case LockMode::kAlpha:
-      alpha_held_ = true;
-      ++stats_.alpha_acquired;
-      break;
-    case LockMode::kXi:
-      xi_held_ = true;
-      ++stats_.xi_acquired;
-      break;
-  }
-}
-
-bool RaxLock::TryLock(LockMode mode) {
-  std::unique_lock<std::mutex> guard(mutex_);
-  if (!queue_.empty() || !CompatibleWithHeld(mode)) return false;
-  switch (mode) {
-    case LockMode::kRho:
-      ++rho_count_;
-      ++stats_.rho_acquired;
-      break;
-    case LockMode::kAlpha:
-      alpha_held_ = true;
-      ++stats_.alpha_acquired;
-      break;
-    case LockMode::kXi:
-      xi_held_ = true;
-      ++stats_.xi_acquired;
-      break;
-  }
-  return true;
-}
-
-void RaxLock::Unlock(LockMode mode) {
-  std::unique_lock<std::mutex> guard(mutex_);
-  switch (mode) {
-    case LockMode::kRho:
-      assert(rho_count_ > 0);
-      --rho_count_;
-      break;
-    case LockMode::kAlpha:
-      assert(alpha_held_);
-      alpha_held_ = false;
-      break;
-    case LockMode::kXi:
-      assert(xi_held_);
-      xi_held_ = false;
-      break;
-  }
-  GrantFromQueue();
-  // Wake converters (they wait on the shared cv with their own predicate).
-  cv_.notify_all();
-}
-
-void RaxLock::UpgradeRhoToAlpha() {
-  std::unique_lock<std::mutex> guard(mutex_);
-  assert(rho_count_ > 0);  // caller must hold rho
-  assert(!xi_held_);       // impossible while a rho lock is out
-  ++upgrade_waiters_;
-  if (alpha_held_) ++stats_.contended;
-  cv_.wait(guard, [&] { return !alpha_held_; });
-  --upgrade_waiters_;
-  alpha_held_ = true;
-  ++stats_.alpha_acquired;
-  ++stats_.upgrades;
 }
 
 void RaxLock::GrantFromQueue() {
   bool granted_any = false;
   while (!queue_.empty()) {
     Waiter* w = queue_.front();
-    // A queued request must be compatible with held state; additionally a
-    // pending conversion blocks alpha/xi grants (handled in
-    // CompatibleWithHeld).
-    bool ok = false;
-    switch (w->mode) {
-      case LockMode::kRho:
-        ok = !xi_held_;
-        break;
-      case LockMode::kAlpha:
-        ok = !alpha_held_ && !xi_held_ && upgrade_waiters_ == 0;
-        break;
-      case LockMode::kXi:
-        ok = rho_count_ == 0 && !alpha_held_ && !xi_held_ &&
-             upgrade_waiters_ == 0;
-        break;
-    }
-    if (!ok) break;
-    switch (w->mode) {
-      case LockMode::kRho:
-        ++rho_count_;
-        break;
-      case LockMode::kAlpha:
-        alpha_held_ = true;
-        break;
-      case LockMode::kXi:
-        xi_held_ = true;
-        break;
-    }
+    if (!TryGrantLocked(w->mode)) break;
     w->granted = true;
     queue_.pop_front();
     granted_any = true;
   }
+  if (queue_.empty()) {
+    word_.fetch_and(~kWaiterBit, std::memory_order_relaxed);
+  }
   if (granted_any) cv_.notify_all();
 }
 
-RaxLockStats RaxLock::stats() const {
+void RaxLock::WakeSlow() {
   std::unique_lock<std::mutex> guard(mutex_);
-  return stats_;
+  GrantFromQueue();
+  // Converters wait on the shared cv with their own predicate (alpha
+  // clear), outside the queue; wake them unconditionally.
+  cv_.notify_all();
+}
+
+void RaxLock::UpgradeRhoToAlpha() {
+  uint64_t cur = word_.load(std::memory_order_relaxed);
+  assert((cur & kRhoMask) != 0);  // caller must hold rho
+  assert((cur & kXiBit) == 0);    // impossible while a rho lock is out
+  // Uncontended: alpha is free right now, so take it with a single CAS.  No
+  // pending-conversion announcement is needed — the reservation only exists
+  // to keep a *waiting* converter from being overtaken.
+  while ((cur & kAlphaBit) == 0) {
+    if (word_.compare_exchange_weak(cur, (cur | kAlphaBit) + kAlphaAcqOne,
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+      upgrades_.fetch_add(1, std::memory_order_relaxed);
+      MaybeFold(cur);
+      return;
+    }
+  }
+  // Alpha is held: announce the pending conversion.  The upgrade count in
+  // the word blocks every later alpha/xi grant (fast path and queue alike),
+  // so the converter only ever waits for an alpha that is already held —
+  // the paper's deadlock-freedom condition for conversions (section 2.5).
+  cur = word_.fetch_add(kUpgradeOne, std::memory_order_acq_rel) + kUpgradeOne;
+  while ((cur & kAlphaBit) == 0) {
+    if (word_.compare_exchange_weak(
+            cur, ((cur - kUpgradeOne) | kAlphaBit) + kAlphaAcqOne,
+            std::memory_order_acquire, std::memory_order_relaxed)) {
+      upgrades_.fetch_add(1, std::memory_order_relaxed);
+      MaybeFold(cur);
+      return;
+    }
+  }
+  // Alpha is held: block until its release wakes us.  Conversions bypass
+  // the FIFO queue by design (see header).
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> guard(mutex_);
+  for (;;) {
+    cur = word_.load(std::memory_order_relaxed);
+    while ((cur & kAlphaBit) == 0) {
+      if (word_.compare_exchange_weak(
+              cur, ((cur - kUpgradeOne) | kAlphaBit) + kAlphaAcqOne,
+              std::memory_order_acquire, std::memory_order_relaxed)) {
+        upgrades_.fetch_add(1, std::memory_order_relaxed);
+        MaybeFold(cur);
+        return;
+      }
+    }
+    cv_.wait(guard, [&] {
+      return (word_.load(std::memory_order_relaxed) & kAlphaBit) == 0;
+    });
+  }
+}
+
+void RaxLock::FoldStats() const {
+  uint64_t cur = word_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t counters =
+        cur & (kRhoAcqMask | kAlphaAcqMask | kXiAcqMask);
+    if (counters == 0) return;
+    if (word_.compare_exchange_weak(cur, cur - counters,
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+      rho_acq_base_.fetch_add((counters & kRhoAcqMask) >> 32,
+                              std::memory_order_relaxed);
+      alpha_acq_base_.fetch_add((counters & kAlphaAcqMask) >> 48,
+                                std::memory_order_relaxed);
+      xi_acq_base_.fetch_add(counters >> 56, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+RaxLockStats RaxLock::stats() const {
+  FoldStats();
+  RaxLockStats s;
+  s.rho_acquired = rho_acq_base_.load(std::memory_order_relaxed);
+  s.alpha_acquired = alpha_acq_base_.load(std::memory_order_relaxed);
+  s.xi_acquired = xi_acq_base_.load(std::memory_order_relaxed);
+  s.upgrades = upgrades_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace exhash::util

@@ -21,6 +21,44 @@
 // request cannot be granted while the converter's rho is held, so queue-order
 // granting would deadlock; the paper's deadlock-freedom argument explicitly
 // relies on conversion only having to wait for a *held* alpha.
+//
+// --- Implementation: a two-tier lock ---
+//
+// Every operation in both Ellis protocols starts by rho-locking the single
+// directory lock, so this class is the hottest object in the system.  The
+// held state lives in one packed 64-bit atomic word; the uncontended paths
+// never touch the mutex:
+//
+//   rho acquire    = one fetch_add   (also bumps the in-word acquire counter)
+//   rho release    = one fetch_sub
+//   alpha/xi       = one CAS to acquire, one fetch_and to release
+//
+// The mutex + condition variable + FIFO queue of waiters is tier two, entered
+// only when the word says the request is incompatible with the held state or
+// a waiter is already queued.  A "waiter" bit in the word makes every later
+// fast-path request divert to the queue, which preserves FIFO granting for
+// all *blocked* requesters.  The intentional relaxation versus a strict FIFO
+// lock: an acquisition that arrives while the lock is compatible and no
+// waiter is queued is granted immediately without ever being ordered against
+// concurrent fast-path acquisitions.  That is exactly the set of grants the
+// paper's protocols treat as concurrent anyway, so the compatibility matrix
+// and the section 2.3 fairness discussion are unaffected.
+//
+// Word layout (bits):
+//    0..15  count of granted rho locks
+//   16      alpha held
+//   17      xi held
+//   18      waiter queued (tier-two queue non-empty)
+//   24..31  pending UpgradeRhoToAlpha conversions (they reserve the alpha
+//           slot so a converter is never overtaken indefinitely)
+//   32..47  rho acquisitions since the last stats fold
+//   48..55  alpha acquisitions since the last stats fold
+//   56..63  xi acquisitions since the last stats fold
+//
+// The acquire counters ride along in the same fetch_add/CAS that grants the
+// lock, so statistics cost nothing on the hot path; they are folded into
+// 64-bit side counters whenever a field passes half of its range (and on
+// stats() reads), long before it can overflow into its neighbor.
 
 #ifndef EXHASH_UTIL_RAX_LOCK_H_
 #define EXHASH_UTIL_RAX_LOCK_H_
@@ -61,14 +99,96 @@ class RaxLock {
   RaxLock& operator=(const RaxLock&) = delete;
 
   // Blocks until a lock in `mode` is granted.
-  void Lock(LockMode mode);
+  void Lock(LockMode mode) {
+    switch (mode) {
+      case LockMode::kRho: {
+        // Optimistic: one fetch_add grants the lock and counts the
+        // acquisition.  If a xi lock is held or a waiter is queued, back the
+        // increment out and join the queue.  The transient phantom rho this
+        // leaves in the word is benign: it can only make a concurrent
+        // granter *decline* a grant, and LockSlow() re-runs the grant loop
+        // under the mutex after enqueueing, so nothing is lost.
+        const uint64_t old =
+            word_.fetch_add(kRhoOne + kRhoAcqOne, std::memory_order_acquire);
+        if ((old & (kXiBit | kWaiterBit)) == 0) [[likely]] {
+          MaybeFold(old);
+          return;
+        }
+        BackOutRho();
+        break;
+      }
+      case LockMode::kAlpha: {
+        uint64_t cur = word_.load(std::memory_order_relaxed);
+        while ((cur & (kAlphaBit | kXiBit | kWaiterBit | kUpgradeMask)) == 0) {
+          if (word_.compare_exchange_weak(cur, (cur | kAlphaBit) + kAlphaAcqOne,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+            MaybeFold(cur);
+            return;
+          }
+        }
+        break;
+      }
+      case LockMode::kXi: {
+        uint64_t cur = word_.load(std::memory_order_relaxed);
+        while ((cur & (kRhoMask | kAlphaBit | kXiBit | kWaiterBit |
+                       kUpgradeMask)) == 0) {
+          if (word_.compare_exchange_weak(cur, (cur | kXiBit) + kXiAcqOne,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+            MaybeFold(cur);
+            return;
+          }
+        }
+        break;
+      }
+    }
+    LockSlow(mode);
+  }
 
   // Releases a lock previously granted in `mode`.
-  void Unlock(LockMode mode);
+  void Unlock(LockMode mode) {
+    switch (mode) {
+      case LockMode::kRho: {
+        const uint64_t now =
+            word_.fetch_sub(kRhoOne, std::memory_order_release) - kRhoOne;
+        // A rho release can only unblock a queued xi, and only once the last
+        // rho drains; alpha waiters and converters do not wait on readers.
+        if ((now & kWaiterBit) != 0 && (now & kRhoMask) == 0) [[unlikely]] {
+          WakeSlow();
+        }
+        return;
+      }
+      case LockMode::kAlpha: {
+        // Ignoring fetch_and's result lets it compile to a plain locked
+        // `and`; a coherent re-load then checks for wake duty.  A waiter
+        // bit that was set at release time is either still visible here or
+        // was cleared by a grant that already ran — never missed.
+        word_.fetch_and(~kAlphaBit, std::memory_order_release);
+        const uint64_t now = word_.load(std::memory_order_relaxed);
+        // Alpha release unblocks queued alpha/xi waiters and pending
+        // conversions (which wait on the condvar, not the queue).
+        if ((now & (kWaiterBit | kUpgradeMask)) != 0) [[unlikely]] {
+          WakeSlow();
+        }
+        return;
+      }
+      case LockMode::kXi: {
+        word_.fetch_and(~kXiBit, std::memory_order_release);
+        const uint64_t now = word_.load(std::memory_order_relaxed);
+        // No conversion can be pending while xi is held (converters hold
+        // rho), so only the queue needs waking.
+        if ((now & kWaiterBit) != 0) [[unlikely]] {
+          WakeSlow();
+        }
+        return;
+      }
+    }
+  }
 
   // Non-blocking acquisition; returns true on success.  A try-lock does not
   // queue, and to preserve FIFO fairness it fails if any waiter is queued.
-  bool TryLock(LockMode mode);
+  bool TryLock(LockMode mode) { return TryAcquireWord(mode); }
 
   // Converts a held rho lock into rho+alpha.  The caller must hold a rho
   // lock and, after the upgrade, must eventually release *both* modes
@@ -87,27 +207,122 @@ class RaxLock {
   void UnXiLock() { Unlock(LockMode::kXi); }
 
  private:
+  // --- packed word layout ---
+  static constexpr uint64_t kRhoOne = uint64_t{1};
+  static constexpr uint64_t kRhoMask = uint64_t{0xFFFF};
+  static constexpr uint64_t kAlphaBit = uint64_t{1} << 16;
+  static constexpr uint64_t kXiBit = uint64_t{1} << 17;
+  static constexpr uint64_t kWaiterBit = uint64_t{1} << 18;
+  static constexpr uint64_t kUpgradeOne = uint64_t{1} << 24;
+  static constexpr uint64_t kUpgradeMask = uint64_t{0xFF} << 24;
+  static constexpr uint64_t kRhoAcqOne = uint64_t{1} << 32;
+  static constexpr uint64_t kRhoAcqMask = uint64_t{0xFFFF} << 32;
+  static constexpr uint64_t kAlphaAcqOne = uint64_t{1} << 48;
+  static constexpr uint64_t kAlphaAcqMask = uint64_t{0xFF} << 48;
+  static constexpr uint64_t kXiAcqOne = uint64_t{1} << 56;
+  static constexpr uint64_t kXiAcqMask = uint64_t{0xFF} << 56;
+  // Fold stats once any per-mode acquire counter reaches half range.
+  static constexpr uint64_t kFoldThreshold =
+      (kRhoAcqOne << 15) | (kAlphaAcqOne << 7) | (kXiAcqOne << 7);
+
   struct Waiter {
     LockMode mode;
     bool granted = false;
   };
 
-  // True if `mode` can be granted against the currently *held* locks,
-  // ignoring the queue.
-  bool CompatibleWithHeld(LockMode mode) const;
+  // Single CAS attempt loop respecting the waiter bit; used by TryLock and
+  // by the slow path's under-mutex retry.  Returns true when granted.
+  bool TryAcquireWord(LockMode mode) {
+    uint64_t cur = word_.load(std::memory_order_relaxed);
+    uint64_t block = 0, set = 0, add = 0;
+    switch (mode) {
+      case LockMode::kRho:
+        block = kXiBit | kWaiterBit;
+        add = kRhoOne + kRhoAcqOne;
+        break;
+      case LockMode::kAlpha:
+        block = kAlphaBit | kXiBit | kWaiterBit | kUpgradeMask;
+        set = kAlphaBit;
+        add = kAlphaAcqOne;
+        break;
+      case LockMode::kXi:
+        block = kRhoMask | kAlphaBit | kXiBit | kWaiterBit | kUpgradeMask;
+        set = kXiBit;
+        add = kXiAcqOne;
+        break;
+    }
+    while ((cur & block) == 0) {
+      if (word_.compare_exchange_weak(cur, (cur | set) + add,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        MaybeFold(cur);
+        return true;
+      }
+    }
+    return false;
+  }
 
-  // Grants queued requests in FIFO order while the head remains compatible.
-  // Called with mutex_ held whenever held state decreases.
+  // Reverts an optimistic rho fetch_add that lost to a xi holder or a
+  // queued waiter.  A concurrent FoldStats() may already have moved our
+  // in-word acquisition count into the side counter; subtracting it from
+  // the (now empty) field would borrow into the neighboring counters, so
+  // take it back from wherever it currently lives.
+  void BackOutRho() {
+    uint64_t cur = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const bool in_word = (cur & kRhoAcqMask) != 0;
+      const uint64_t sub = kRhoOne + (in_word ? kRhoAcqOne : 0);
+      if (word_.compare_exchange_weak(cur, cur - sub,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        if (!in_word) rho_acq_base_.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void MaybeFold(uint64_t observed) const {
+    if ((observed & kFoldThreshold) != 0) [[unlikely]] {
+      FoldStats();
+    }
+  }
+
+  // Moves the in-word acquisition counters into the 64-bit side counters.
+  void FoldStats() const;
+
+  // Tier two: queue behind the mutex, FIFO-granted by GrantFromQueue().
+  void LockSlow(LockMode mode);
+
+  // Grants queued requests in FIFO order while the head remains compatible,
+  // then clears the waiter bit if the queue drained.  Called with mutex_
+  // held whenever held state decreases (or a new waiter enqueues, to close
+  // the race with a release that happened before the waiter bit was set).
   void GrantFromQueue();
 
-  mutable std::mutex mutex_;
+  // Applies the grant transition for a queued head request, ignoring the
+  // waiter bit (the queue itself is doing the granting).  Mutex held.
+  bool TryGrantLocked(LockMode mode);
+
+  // Takes the mutex, drains grantable waiters and wakes converters.
+  void WakeSlow();
+
+  // The packed lock word; the only thing fast paths touch.  Kept on its own
+  // cache line so tier-two traffic cannot false-share with it.  Mutable
+  // because const stats() reads fold the in-word counters out of it.
+  alignas(64) mutable std::atomic<uint64_t> word_{0};
+
+  // Folded statistics (relaxed; exact because folds happen before the
+  // in-word counters can wrap).
+  mutable std::atomic<uint64_t> rho_acq_base_{0};
+  mutable std::atomic<uint64_t> alpha_acq_base_{0};
+  mutable std::atomic<uint64_t> xi_acq_base_{0};
+  std::atomic<uint64_t> upgrades_{0};
+  std::atomic<uint64_t> contended_{0};
+
+  // Tier two: blocking machinery, touched only under contention.
+  std::mutex mutex_;
   std::condition_variable cv_;
-  int rho_count_ = 0;
-  bool alpha_held_ = false;
-  bool xi_held_ = false;
-  int upgrade_waiters_ = 0;
   std::deque<Waiter*> queue_;
-  RaxLockStats stats_;
 };
 
 // RAII guard for a single mode.

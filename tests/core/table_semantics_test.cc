@@ -3,6 +3,7 @@
 // exercised in tests/concurrency/).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <functional>
@@ -226,10 +227,14 @@ INSTANTIATE_TEST_SUITE_P(
                      }},
         TableFactory{"ellis_v2_on_disk",
                      [] {
+                       // The pid keeps the path unique across the parallel
+                       // ctest runners (one process per test), which would
+                       // otherwise share one file and corrupt each other.
                        static std::atomic<int> counter{0};
                        auto o = SmallOptions();
                        o.backing_file = ::testing::TempDir() +
                                         "exhash_semantics_" +
+                                        std::to_string(::getpid()) + "_" +
                                         std::to_string(counter.fetch_add(1));
                        return std::make_unique<core::EllisHashTableV2>(o);
                      }},

@@ -68,16 +68,22 @@ TEST(RaxLockTest, ManyConcurrentReaders) {
   RaxLock lock;
   constexpr int kReaders = 8;
   std::atomic<int> inside{0};
+  std::atomic<int> arrived{0};
   std::atomic<int> peak{0};
   std::vector<std::thread> threads;
   for (int i = 0; i < kReaders; ++i) {
     threads.emplace_back([&] {
       lock.RhoLock();
+      arrived.fetch_add(1);
       const int now = inside.fetch_add(1) + 1;
       int p = peak.load();
       while (p < now && !peak.compare_exchange_weak(p, now)) {
       }
-      std::this_thread::sleep_for(milliseconds(20));
+      // Hold rho until every reader is inside: rho is shared, so this
+      // barrier always completes, and it makes full overlap deterministic
+      // (a timed sleep is beaten by slow thread spawn under sanitizers).
+      // The latch is monotonic, unlike `inside`, so no one spins forever.
+      while (arrived.load() < kReaders) std::this_thread::yield();
       inside.fetch_sub(1);
       lock.UnRhoLock();
     });
