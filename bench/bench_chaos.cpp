@@ -1,0 +1,141 @@
+// E10 — chaos: throughput and recovery cost under injected faults
+// (DESIGN.md §5).
+//
+// Sweeps the client-edge fault intensity (drop/dup probability) over a
+// fixed cluster while concurrent clients run an insert/find/delete
+// workload with the retry/failover policy on, plus one partition window
+// that cuts a directory replica's request edge mid-run.  After each level:
+// fault-free drain, WaitQuiescent, ValidateQuiescent — every row must
+// converge to the exact expected state.  Reports how throughput degrades
+// and how much recovery work (retries, failovers, dedup hits) faults buy.
+//
+// Usage: bench_chaos [keys_per_client] [seed]
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "distributed/cluster.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace exhash::dist;
+  const uint64_t keys_per_client =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  std::printf("=== E10: chaos — throughput and recovery under faults ===\n\n");
+  std::printf("%7s | %10s %9s | %8s %9s %9s %9s | %9s\n", "drop", "ops/s",
+              "msgs/op", "retries", "failover", "bm dedup", "dm dedup",
+              "converged");
+  exhash::bench::PrintRule();
+
+  std::string json = "{\"bench\":\"chaos\",\"drop\":{";
+  bool first_row = true;
+
+  for (const double drop : {0.0, 0.05, 0.10, 0.20}) {
+    Cluster::Options o;
+    o.num_directory_managers = 3;
+    o.num_bucket_managers = 2;
+    o.page_size = 112;  // capacity 4: constant splits/merges
+    o.initial_depth = 2;
+    o.spill_per_8 = 2;
+    o.net.delay_ns_min = 0;
+    o.net.delay_ns_max = 200'000;
+    o.net.seed = seed;
+    o.faults.request_drop = drop;
+    o.faults.request_dup = drop / 2;
+    o.faults.reply_drop = drop;
+    o.faults.reply_dup = drop / 2;
+    o.faults.interior_dup = drop / 4;
+    o.retry.enabled = true;
+    Cluster cluster(o);
+
+    if (drop > 0) {
+      cluster.network().Partition(
+          cluster.directory_request_port(int(seed % 3)),
+          MsgMask(MsgType::kRequest), std::chrono::milliseconds(5),
+          std::chrono::milliseconds(40), /*drop=*/true);
+    }
+
+    constexpr int kClients = 4;
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> failovers{0};
+    const double start = exhash::bench::NowSeconds();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = cluster.NewClient();
+        const uint64_t base = uint64_t(c + 1) << 32;
+        for (uint64_t i = 0; i < keys_per_client; ++i) {
+          client->Insert(base + i, i);
+        }
+        for (uint64_t i = 0; i < keys_per_client; ++i) {
+          client->Find(base + i, nullptr);
+        }
+        for (uint64_t i = 0; i < keys_per_client / 2; ++i) {
+          client->Remove(base + i);
+        }
+        retries.fetch_add(client->stats().retries);
+        failovers.fetch_add(client->stats().failovers);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = exhash::bench::NowSeconds() - start;
+    const uint64_t total_ops =
+        uint64_t(kClients) * (2 * keys_per_client + keys_per_client / 2);
+
+    cluster.ClearFaults();
+    const bool quiesced = cluster.WaitQuiescent(60000);
+    const uint64_t live =
+        uint64_t(kClients) * (keys_per_client - keys_per_client / 2);
+    std::string error;
+    if (!quiesced || !cluster.ValidateQuiescent(live, &error)) {
+      std::printf("VALIDATION FAILED (drop %.2f): %s\n", drop, error.c_str());
+      return 1;
+    }
+
+    uint64_t bm_dedup = 0;
+    for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+      bm_dedup += cluster.bucket_manager(b).stats().dedup_hits;
+    }
+    uint64_t dm_dedup = 0;
+    for (int d = 0; d < cluster.num_directory_managers(); ++d) {
+      const auto s = cluster.directory_manager(d).stats();
+      dm_dedup += s.dup_requests + s.dup_reforwards;
+    }
+    const NetworkStats net = cluster.network_stats();
+    const double ops_per_sec = seconds > 0 ? double(total_ops) / seconds : 0;
+    const double msgs_per_op = double(net.total_sent) / double(total_ops);
+    std::printf("%6.0f%% | %10.0f %9.2f | %8" PRIu64 " %9" PRIu64 " %9" PRIu64
+                " %9" PRIu64 " | %9s\n",
+                drop * 100, ops_per_sec, msgs_per_op, retries.load(),
+                failovers.load(), bm_dedup, dm_dedup, "yes");
+
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%.0f%%\":{\"ops_per_sec\":%.0f,\"msgs_per_op\":%.2f,"
+                  "\"retries\":%" PRIu64 ",\"failovers\":%" PRIu64
+                  ",\"dedup_hits\":%" PRIu64 "}",
+                  first_row ? "" : ",", drop * 100, ops_per_sec, msgs_per_op,
+                  retries.load(), failovers.load(), bm_dedup + dm_dedup);
+    json += entry;
+    first_row = false;
+  }
+  json += "}}";
+  if (std::FILE* f = std::fopen("BENCH_chaos.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  std::printf(
+      "\nexpected shape: throughput falls as drop rises (timeouts cost whole\n"
+      "backoff windows) and msgs/op climbs with re-sends and duplicates —\n"
+      "yet every row converges to the exact record count: the dedup tables\n"
+      "absorb every re-driven mutation.\n\n");
+  return 0;
+}

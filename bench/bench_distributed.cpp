@@ -14,6 +14,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "distributed/cluster.h"
@@ -27,6 +28,11 @@ int main(int argc, char** argv) {
               "insert", "delete", "copyupdates", "total msgs");
   exhash::bench::PrintRule();
 
+  // One-line JSON artifact (BENCH_distributed.json): ops/s, messages per
+  // op, and stale-routing retry count per cluster shape, diffable per PR.
+  std::string json = "{\"bench\":\"distributed\",\"shapes\":{";
+  bool first_shape = true;
+
   for (const int dms : {1, 2, 3}) {
     for (const int bms : {1, 2, 4}) {
       Cluster::Options options;
@@ -38,10 +44,13 @@ int main(int argc, char** argv) {
       Cluster cluster(options);
       auto client = cluster.NewClient();
 
+      double client_seconds = 0;
       auto measure = [&](auto&& fn) -> double {
         cluster.WaitQuiescent();
         cluster.ResetNetworkStats();
+        const double start = exhash::bench::NowSeconds();
         fn();
+        client_seconds += exhash::bench::NowSeconds() - start;
         cluster.WaitQuiescent();
         return double(cluster.network_stats().total_sent) / double(n);
       };
@@ -55,7 +64,9 @@ int main(int argc, char** argv) {
       // Capture copyupdate volume during deletes (merge broadcasts).
       cluster.WaitQuiescent();
       cluster.ResetNetworkStats();
+      const double del_start = exhash::bench::NowSeconds();
       for (uint64_t k = 0; k < n; ++k) client->Remove(k);
+      client_seconds += exhash::bench::NowSeconds() - del_start;
       cluster.WaitQuiescent();
       const NetworkStats del_stats = cluster.network_stats();
       const double delete_cost = double(del_stats.total_sent) / double(n);
@@ -72,7 +83,28 @@ int main(int argc, char** argv) {
                   "\n",
                   dms, bms, find_cost, insert_cost, delete_cost, copyupdates,
                   del_stats.total_sent);
+
+      uint64_t retries = 0;
+      for (int d = 0; d < cluster.num_directory_managers(); ++d) {
+        retries += cluster.directory_manager(d).stats().retries;
+      }
+      const double ops_per_sec =
+          client_seconds > 0 ? double(3 * n) / client_seconds : 0;
+      char entry[256];
+      std::snprintf(entry, sizeof(entry),
+                    "%s\"D%dB%d\":{\"ops_per_sec\":%.0f,"
+                    "\"find_msgs_per_op\":%.2f,\"insert_msgs_per_op\":%.2f,"
+                    "\"delete_msgs_per_op\":%.2f,\"retries\":%" PRIu64 "}",
+                    first_shape ? "" : ",", dms, bms, ops_per_sec, find_cost,
+                    insert_cost, delete_cost, retries);
+      json += entry;
+      first_shape = false;
     }
+  }
+  json += "}}";
+  if (std::FILE* f = std::fopen("BENCH_distributed.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
   std::printf(
       "\nexpected shape: find stays ~4 msgs/op regardless of D and B;\n"

@@ -13,6 +13,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +32,11 @@ int main(int argc, char** argv) {
               "retries", "wrongbkt", "total msgs", "converged");
   exhash::bench::PrintRule();
 
+  // One-line JSON artifact (BENCH_replication.json): ops/s, messages per
+  // op, and retry count per jitter level, diffable per PR.
+  std::string json = "{\"bench\":\"replication\",\"jitter\":{";
+  bool first_row = true;
+
   for (const uint64_t jitter : {uint64_t(0), jitter_us / 4, jitter_us}) {
     Cluster::Options options;
     options.num_directory_managers = 3;
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
     // inserts (exact under any interleaving).
     constexpr int kClients = 4;
     std::atomic<int64_t> net_inserts{0};
+    const double start = exhash::bench::NowSeconds();
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&cluster, &net_inserts, ops, c] {
@@ -64,6 +71,7 @@ int main(int argc, char** argv) {
       });
     }
     for (auto& c : clients) c.join();
+    const double seconds = exhash::bench::NowSeconds() - start;
     const uint64_t live = uint64_t(net_inserts.load());
     const bool quiesced = cluster.WaitQuiescent();
     std::string error;
@@ -89,6 +97,22 @@ int main(int argc, char** argv) {
     std::printf("%8" PRIu64 "us | %10" PRIu64 " %10" PRIu64 " %10" PRIu64
                 " %12" PRIu64 " | %9s\n",
                 jitter, delayed, retries, wrongbucket, net.total_sent, "yes");
+
+    char entry[256];
+    std::snprintf(entry, sizeof(entry),
+                  "%s\"%" PRIu64 "us\":{\"ops_per_sec\":%.0f,"
+                  "\"msgs_per_op\":%.2f,\"retries\":%" PRIu64
+                  ",\"updates_delayed\":%" PRIu64 "}",
+                  first_row ? "" : ",", jitter,
+                  seconds > 0 ? double(ops) / seconds : 0,
+                  double(net.total_sent) / double(ops), retries, delayed);
+    json += entry;
+    first_row = false;
+  }
+  json += "}}";
+  if (std::FILE* f = std::fopen("BENCH_replication.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
   std::printf(
       "\nexpected shape: with zero jitter updates arrive in order (nothing\n"

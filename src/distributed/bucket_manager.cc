@@ -165,8 +165,22 @@ void BucketManager::SendBucketDone(const Message& msg, bool success) {
   cluster_->network().Send(msg.dirmgr_port, done);
 }
 
+void BucketManager::RecordApplied(const Message& msg, bool success) {
+  std::lock_guard<std::mutex> guard(dedup_mutex_);
+  AppliedOp& entry = applied_[msg.client_id];
+  // First outcome wins for a given seq; older seqs never regress the entry
+  // (a re-delivered old forward can reach this point after a newer op).
+  if (msg.client_seq > entry.seq) {
+    entry.seq = msg.client_seq;
+    entry.success = success;
+  }
+}
+
 void BucketManager::SendUserReply(const Message& msg, bool success,
                                   bool found, uint64_t value) {
+  if (msg.client_id != 0 && msg.op != OpType::kFind) {
+    RecordApplied(msg, success);
+  }
   Message reply;
   reply.type = MsgType::kReply;
   reply.txn = msg.txn;
@@ -174,7 +188,46 @@ void BucketManager::SendUserReply(const Message& msg, bool success,
   reply.success = success;
   reply.found = found;
   reply.value = value;
+  reply.client_id = msg.client_id;
+  reply.client_seq = msg.client_seq;
   cluster_->network().Send(msg.user_port, reply);
+}
+
+bool BucketManager::ServeDuplicate(const Message& msg) {
+  if (msg.client_id == 0) return false;
+  bool hit = false;
+  bool success = false;
+  {
+    std::lock_guard<std::mutex> guard(dedup_mutex_);
+    const auto it = applied_.find(msg.client_id);
+    if (it != applied_.end() && it->second.seq >= msg.client_seq) {
+      hit = true;
+      // An *ancient* forward (seq strictly below the latest applied) was
+      // answered long ago; the reply we synthesize here is stale noise the
+      // client discards, so its success bit is immaterial.
+      success = it->second.seq == msg.client_seq && it->second.success;
+    }
+  }
+  if (!hit) return false;
+  stat_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.type == MsgType::kWrongBucket) {
+    // Honor the lock-coupling handshake: the forwarding slave holds its
+    // bucket lock until this ack arrives.
+    Message ack;
+    ack.type = MsgType::kWrongBucketAck;
+    cluster_->network().Send(msg.reply_port, ack);
+  }
+  SendBucketDone(msg, true);
+  // Reply directly (bypassing RecordApplied — the entry is already there).
+  Message reply;
+  reply.type = MsgType::kReply;
+  reply.txn = msg.txn;
+  reply.op = msg.op;
+  reply.success = success;
+  reply.client_id = msg.client_id;
+  reply.client_seq = msg.client_seq;
+  cluster_->network().Send(msg.user_port, reply);
+  return true;
 }
 
 void BucketManager::SendMergeUpdate(const Message& msg, int old_localdepth,
@@ -271,6 +324,7 @@ void BucketManager::SlaveFind(const Message& msg) {
 
 void BucketManager::SlaveInsert(const Message& msg) {
   stat_inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (ServeDuplicate(msg)) return;
   storage::PageId oldpage;
   storage::Bucket current(capacity_);
   util::RaxLock* lock;
@@ -358,6 +412,7 @@ void BucketManager::PlainRemove(const Message& msg, storage::PageId page,
 
 void BucketManager::SlaveDelete(const Message& msg) {
   stat_deletes_.fetch_add(1, std::memory_order_relaxed);
+  if (ServeDuplicate(msg)) return;
   storage::PageId oldpage;
   storage::Bucket current(capacity_);
   util::RaxLock* lock;
@@ -689,6 +744,7 @@ BucketManagerStats BucketManager::stats() const {
       stat_wrongbucket_served_.load(std::memory_order_relaxed);
   s.gc_pages = stat_gc_pages_.load(std::memory_order_relaxed);
   s.restarts = stat_restarts_.load(std::memory_order_relaxed);
+  s.dedup_hits = stat_dedup_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

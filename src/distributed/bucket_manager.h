@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/lock_table.h"
@@ -59,6 +60,7 @@ struct BucketManagerStats {
   uint64_t wrongbucket_served = 0;
   uint64_t gc_pages = 0;
   uint64_t restarts = 0;  // bucketdone(success=false) re-drives
+  uint64_t dedup_hits = 0;  // re-delivered mutations answered from the table
 };
 
 class BucketManager {
@@ -92,6 +94,14 @@ class BucketManager {
  private:
   void RunFrontEnd();
   void SlaveEntry(Message msg);
+
+  // Exactly-once guard for mutations: if this manager already applied an op
+  // with this client's sequence number (or a later one), answer from the
+  // recorded outcome — honoring the wrongbucket handshake if needed — and
+  // return true; the caller's slave is done.  Finds never consult this.
+  bool ServeDuplicate(const Message& msg);
+  // Records a mutation outcome at the single user-reply choke point.
+  void RecordApplied(const Message& msg, bool success);
 
   // The three user operations (also entered via wrongbucket forwards).
   void SlaveFind(const Message& msg);
@@ -147,6 +157,14 @@ class BucketManager {
   std::mutex port_pool_mutex_;
   std::vector<PortId> port_pool_;
 
+  // Latest applied mutation per client (client_id -> {seq, outcome}).
+  struct AppliedOp {
+    uint64_t seq = 0;
+    bool success = false;
+  };
+  std::mutex dedup_mutex_;
+  std::unordered_map<uint64_t, AppliedOp> applied_;
+
   std::atomic<int> active_slaves_{0};
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
@@ -162,6 +180,7 @@ class BucketManager {
   std::atomic<uint64_t> stat_wrongbucket_served_{0};
   std::atomic<uint64_t> stat_gc_pages_{0};
   std::atomic<uint64_t> stat_restarts_{0};
+  std::atomic<uint64_t> stat_dedup_hits_{0};
 };
 
 }  // namespace exhash::dist

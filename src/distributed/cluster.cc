@@ -1,5 +1,6 @@
 #include "distributed/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
@@ -45,8 +46,56 @@ Cluster::Cluster(const Options& options)
         this, ManagerId(b), options.page_size));
   }
   Seed();
+  InstallFaults();
   for (auto& bm : bucket_managers_) bm->Start();
   for (auto& dm : dir_managers_) dm->Start();
+}
+
+void Cluster::InstallFaults() {
+  const Options::Faults& f = options_.faults;
+  // Interior duplication is restricted to the re-delivery-tolerant types:
+  // op forwards and bucketdones are settled by the dedup tables, updates
+  // and copyupdates by the replica's stale-discard.  Duplicating acks,
+  // split/merge replies, or goaheads would corrupt the pooled-port
+  // handshakes (a stray ack wakes the wrong slave); duplicating
+  // garbagecollect would double-deallocate pages.
+  constexpr uint32_t kDupSafe =
+      MsgMaskOf(MsgType::kOpForward, MsgType::kBucketDone, MsgType::kUpdate,
+                MsgType::kCopyUpdate);
+  // Delay spikes are pure reordering, which every interior type must
+  // tolerate already; only shutdown is exempt (harness control).
+  constexpr uint32_t kSpikeable =
+      kAllMsgMask &
+      ~MsgMaskOf(MsgType::kRequest, MsgType::kReply, MsgType::kShutdown);
+
+  for (auto& dm : dir_managers_) {
+    const PortId port = dm->request_port();
+    if (f.request_drop > 0 || f.request_dup > 0 || f.request_spike_prob > 0) {
+      net_.AddFault(port, FaultRule{MsgMask(MsgType::kRequest),
+                                    f.request_drop, f.request_dup,
+                                    f.request_spike_prob, f.request_spike_ns});
+    }
+    if (f.interior_dup > 0) {
+      net_.AddFault(port, FaultRule{kDupSafe, 0.0, f.interior_dup, 0.0, 0});
+    }
+    if (f.interior_spike_prob > 0) {
+      net_.AddFault(port, FaultRule{kSpikeable, 0.0, 0.0,
+                                    f.interior_spike_prob,
+                                    f.interior_spike_ns});
+    }
+  }
+  for (auto& bm : bucket_managers_) {
+    const PortId port = bm->front_port();
+    if (f.interior_dup > 0) {
+      net_.AddFault(port, FaultRule{kDupSafe, 0.0, f.interior_dup, 0.0, 0});
+    }
+    if (f.interior_spike_prob > 0) {
+      net_.AddFault(port, FaultRule{kSpikeable, 0.0, 0.0,
+                                    f.interior_spike_prob,
+                                    f.interior_spike_ns});
+    }
+  }
+  // Client reply-edge rules are installed per client port in NewClient().
 }
 
 Cluster::~Cluster() {
@@ -120,23 +169,73 @@ ManagerId Cluster::ChooseSplitTarget(ManagerId self) {
 }
 
 std::unique_ptr<Cluster::Client> Cluster::NewClient() {
-  const PortId port = net_.CreatePort();
+  // Client ports are excluded from the quiescence probe: a retrying client
+  // can abandon stale duplicate replies in its queue.
+  const PortId port = net_.CreateClientPort();
+  const Options::Faults& f = options_.faults;
+  if (f.reply_drop > 0 || f.reply_dup > 0 || f.reply_spike_prob > 0) {
+    net_.AddFault(port, FaultRule{MsgMask(MsgType::kReply), f.reply_drop,
+                                  f.reply_dup, f.reply_spike_prob,
+                                  f.reply_spike_ns});
+  }
   const int first =
       next_client_dm_.fetch_add(1) % num_directory_managers();
-  return std::unique_ptr<Client>(new Client(this, port, first));
+  const uint64_t id = 1 + next_client_id_.fetch_add(1);
+  return std::unique_ptr<Client>(new Client(this, port, first, id));
 }
 
 Message Cluster::Client::DoOp(OpType op, uint64_t key, uint64_t value) {
+  ++stats_.ops;
+  const uint64_t seq = ++next_seq_;
   Message req;
   req.type = MsgType::kRequest;
   req.op = op;
   req.key = key;
   req.value = value;
   req.user_port = port_;
-  const int dm = next_dm_;
-  next_dm_ = (next_dm_ + 1) % cluster_->num_directory_managers();
-  cluster_->network().Send(cluster_->directory_request_port(dm), req);
-  return cluster_->network().Receive(port_);
+  req.client_id = client_id_;
+  req.client_seq = seq;
+
+  const int num_dms = cluster_->num_directory_managers();
+  int dm = next_dm_;
+  next_dm_ = (next_dm_ + 1) % num_dms;
+
+  const Options::Retry& retry = cluster_->options_.retry;
+  if (!retry.enabled) {
+    cluster_->network().Send(cluster_->directory_request_port(dm), req);
+    while (true) {
+      Message r = cluster_->network().Receive(port_);
+      if (r.client_seq == seq) return r;
+      ++stats_.stale_replies;  // duplicated reply for an earlier op
+    }
+  }
+
+  auto timeout = std::chrono::microseconds(retry.initial_timeout_us);
+  const auto max_timeout = std::chrono::microseconds(retry.max_timeout_us);
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    cluster_->network().Send(cluster_->directory_request_port(dm), req);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::nanoseconds::zero()) break;
+      Message r;
+      if (!cluster_->network().ReceiveFor(
+              port_, &r,
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  remaining))) {
+        break;
+      }
+      if (r.client_seq == seq) return r;
+      ++stats_.stale_replies;
+    }
+    // Timed out: fail over to the next replica with backoff.  The dedup
+    // tables make the re-driven op exactly-once even if the first attempt
+    // is still in flight somewhere.
+    dm = (dm + 1) % num_dms;
+    ++stats_.failovers;
+    timeout = std::min(timeout * 2, max_timeout);
+  }
 }
 
 bool Cluster::Client::Find(uint64_t key, uint64_t* value) {
@@ -158,13 +257,24 @@ bool Cluster::WaitQuiescent(int timeout_ms) {
                         std::chrono::milliseconds(timeout_ms);
   int stable_polls = 0;
   while (std::chrono::steady_clock::now() < deadline) {
-    bool idle = net_.TotalQueued() == 0;
+    std::chrono::steady_clock::time_point earliest{};
+    const size_t queued = net_.QueuedForQuiescence(&earliest);
+    bool idle = queued == 0;
     for (auto& dm : dir_managers_) idle = idle && dm->Idle();
     for (auto& bm : bucket_managers_) idle = idle && bm->Idle();
     if (idle) {
       if (++stable_polls >= 3) return true;
     } else {
       stable_polls = 0;
+      // Delay-aware: when the only outstanding work is messages whose
+      // delivery time lies in the future (delay jitter, spikes, a stall
+      // window), sleep until the earliest one is due instead of burning
+      // 2 ms polls against a clock we can read exactly.
+      const auto now = std::chrono::steady_clock::now();
+      if (queued > 0 && earliest > now + std::chrono::milliseconds(2)) {
+        std::this_thread::sleep_until(std::min(earliest, deadline));
+        continue;
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }

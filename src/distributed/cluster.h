@@ -32,6 +32,39 @@ class Cluster {
     int spill_per_8 = 0;
     bool enable_merging = true;
     SimNetwork::Options net;
+
+    // Fault plan (DESIGN.md §5).  All-zero — the default — is the reliable
+    // network of PR 0/1.  Client↔DM edges may drop, duplicate, and spike;
+    // interior DM↔BM / DM↔DM links stay reliable-but-reorderable and may
+    // additionally duplicate (dup-safe types only) and spike.
+    struct Faults {
+      // client -> directory manager (kRequest into DM request ports).
+      double request_drop = 0.0;
+      double request_dup = 0.0;
+      double request_spike_prob = 0.0;
+      uint64_t request_spike_ns = 0;
+      // manager -> client (kReply into client ports).
+      double reply_drop = 0.0;
+      double reply_dup = 0.0;
+      double reply_spike_prob = 0.0;
+      uint64_t reply_spike_ns = 0;
+      // Interior links.  Duplication is restricted to the types the
+      // protocol provably tolerates (op forwards, bucketdones, updates,
+      // copyupdates); acks and the two-phase merge handshake must stay
+      // exactly-once because they pair with a blocked slave.
+      double interior_dup = 0.0;
+      double interior_spike_prob = 0.0;
+      uint64_t interior_spike_ns = 0;
+    } faults;
+
+    // Client timeout/retry policy.  Off by default: with it on, message
+    // counts per op stop being exact (spurious timeouts re-drive ops), so
+    // the message-cost experiments and tests keep it disabled.
+    struct Retry {
+      bool enabled = false;
+      uint64_t initial_timeout_us = 8000;
+      uint64_t max_timeout_us = 64000;
+    } retry;
   };
 
   explicit Cluster(const Options& options);
@@ -41,22 +74,41 @@ class Cluster {
 
   // A synchronous client.  Not thread-safe; create one per thread.  Each
   // request goes to the next directory manager round-robin (any replica
-  // works — that is the availability story of section 3).
+  // works — that is the availability story of section 3).  With the retry
+  // policy enabled, an unanswered request is re-sent with exponential
+  // backoff, failing over to the next replica on each timeout; the stable
+  // (client_id, client_seq) identity it carries makes re-driven mutations
+  // exactly-once (DESIGN.md §5).
   class Client {
    public:
+    struct Stats {
+      uint64_t ops = 0;
+      uint64_t retries = 0;        // re-sent requests (timeouts)
+      uint64_t failovers = 0;      // replica switches forced by timeouts
+      uint64_t stale_replies = 0;  // replies for already-settled ops
+    };
+
     bool Find(uint64_t key, uint64_t* value);
     bool Insert(uint64_t key, uint64_t value);
     bool Remove(uint64_t key);
 
+    const Stats& stats() const { return stats_; }
+
    private:
     friend class Cluster;
-    Client(Cluster* cluster, PortId port, int first_dm)
-        : cluster_(cluster), port_(port), next_dm_(first_dm) {}
+    Client(Cluster* cluster, PortId port, int first_dm, uint64_t client_id)
+        : cluster_(cluster),
+          port_(port),
+          next_dm_(first_dm),
+          client_id_(client_id) {}
     Message DoOp(OpType op, uint64_t key, uint64_t value);
 
     Cluster* cluster_;
     PortId port_;
     int next_dm_;
+    uint64_t client_id_;
+    uint64_t next_seq_ = 0;
+    Stats stats_;
   };
 
   std::unique_ptr<Client> NewClient();
@@ -91,8 +143,13 @@ class Cluster {
   NetworkStats network_stats() const { return net_.stats(); }
   void ResetNetworkStats() { net_.ResetStats(); }
 
+  // Removes every fault rule and partition window — the chaos harness calls
+  // this before its fault-free drain so queued traffic settles reliably.
+  void ClearFaults() { net_.ClearAllFaults(); }
+
  private:
   void Seed();
+  void InstallFaults();
 
   Options options_;
   SimNetwork net_;
@@ -101,6 +158,7 @@ class Cluster {
   std::vector<std::unique_ptr<BucketManager>> bucket_managers_;
   std::atomic<uint64_t> split_counter_{0};
   std::atomic<int> next_client_dm_{0};
+  std::atomic<uint64_t> next_client_id_{0};
 };
 
 }  // namespace exhash::dist

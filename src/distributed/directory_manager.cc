@@ -72,6 +72,26 @@ void DirectoryManager::Handle(const Message& msg) {
 
 void DirectoryManager::HandleRequest(const Message& msg) {
   stat_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.client_id != 0) {
+    ClientEntry& ce = clients_[msg.client_id];
+    if (msg.client_seq < ce.seq ||
+        (msg.client_seq == ce.seq && ce.in_flight)) {
+      // A duplicated or retried delivery of an op that is ancient or still
+      // being driven by this replica: swallow it.  The in-flight op's reply
+      // is on its way; forwarding again would only spawn a redundant slave.
+      stat_dup_requests_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (msg.client_seq == ce.seq) {
+      // This replica finished the op but the client is retrying — its reply
+      // was lost.  Re-drive it: the bucket manager's dedup table re-answers
+      // mutations from the recorded outcome without re-applying, and finds
+      // simply re-run.
+      stat_dup_reforwards_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ce.seq = msg.client_seq;
+    ce.in_flight = true;
+  }
   const uint64_t txn = (uint64_t{id_} << 40) | next_txn_++;
   Context ctx;
   ctx.op = msg.op;
@@ -79,9 +99,27 @@ void DirectoryManager::HandleRequest(const Message& msg) {
   ctx.value = msg.value;
   ctx.pseudokey = cluster_->hasher().Hash(msg.key);
   ctx.user_port = msg.user_port;
+  ctx.client_id = msg.client_id;
+  ctx.client_seq = msg.client_seq;
   contexts_[txn] = ctx;
   ++rho_;
   ContactBucket(txn, ctx);
+}
+
+void DirectoryManager::CompleteContext(
+    std::map<uint64_t, Context>::iterator it) {
+  const Context& ctx = it->second;
+  if (ctx.client_id != 0) {
+    const auto ce = clients_.find(ctx.client_id);
+    // Guard on the sequence number: a newer op from the same client may
+    // already own the entry (the client only moves on after a reply, but a
+    // re-forward of an old seq can complete late).
+    if (ce != clients_.end() && ce->second.seq == ctx.client_seq) {
+      ce->second.in_flight = false;
+    }
+  }
+  --rho_;
+  contexts_.erase(it);
 }
 
 void DirectoryManager::ContactBucket(uint64_t txn, const Context& ctx) {
@@ -97,6 +135,8 @@ void DirectoryManager::ContactBucket(uint64_t txn, const Context& ctx) {
   fwd.user_port = ctx.user_port;
   fwd.dirmgr_port = request_port_;
   fwd.no_merge = ctx.no_merge;
+  fwd.client_id = ctx.client_id;
+  fwd.client_seq = ctx.client_seq;
   cluster_->network().Send(cluster_->bucket_front_port(entry.mgr), fwd);
 }
 
@@ -113,8 +153,7 @@ void DirectoryManager::HandleBucketDone(const Message& msg) {
     ContactBucket(msg.txn, it->second);
     return;
   }
-  --rho_;
-  contexts_.erase(it);
+  CompleteContext(it);
 }
 
 DirUpdate DirectoryManager::ToUpdate(const Message& msg, bool is_copy) {
@@ -149,6 +188,14 @@ void DirectoryManager::SubmitToReplica(const DirUpdate& update) {
 }
 
 void DirectoryManager::HandleUpdate(const Message& msg) {
+  if (replica_.AlreadySeen(ToUpdate(msg, /*is_copy=*/false))) {
+    // A duplicated kUpdate delivery.  The first copy already broadcast to
+    // the replicas, recorded the garbage page, and settled the transaction;
+    // re-processing would inflate alpha (replicas discard duplicate
+    // broadcasts without acking) and double-collect the tombstoned page.
+    stat_dup_updates_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Broadcast to the other replicas first (Figure 13), counting an
   // outstanding ack per copy — the alpha analogue.
   Message copy = msg;
@@ -171,8 +218,7 @@ void DirectoryManager::HandleUpdate(const Message& msg) {
       stat_retries_.fetch_add(1, std::memory_order_relaxed);
       ContactBucket(msg.txn, it->second);
     } else {
-      --rho_;
-      contexts_.erase(it);
+      CompleteContext(it);
     }
   }
   if (msg.op == OpType::kDelete) {
@@ -223,10 +269,14 @@ DirectoryManagerStats DirectoryManager::stats() const {
   const ReplicaDirectoryStats r = replica_.stats();
   s.updates_applied = r.applied;
   s.updates_delayed = r.delayed;
+  s.updates_discarded =
+      r.discarded + stat_dup_updates_.load(std::memory_order_relaxed);
   s.doublings = r.doublings;
   s.halvings = r.halvings;
   s.gc_rounds = stat_gc_rounds_.load(std::memory_order_relaxed);
   s.gc_pages = stat_gc_pages_.load(std::memory_order_relaxed);
+  s.dup_requests = stat_dup_requests_.load(std::memory_order_relaxed);
+  s.dup_reforwards = stat_dup_reforwards_.load(std::memory_order_relaxed);
   return s;
 }
 

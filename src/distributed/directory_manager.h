@@ -42,10 +42,13 @@ struct DirectoryManagerStats {
   uint64_t retries = 0;          // re-forwarded ops (failed split/merge races)
   uint64_t updates_applied = 0;  // local + copy updates applied
   uint64_t updates_delayed = 0;  // saved for version ordering
+  uint64_t updates_discarded = 0;  // duplicated update deliveries dropped
   uint64_t doublings = 0;
   uint64_t halvings = 0;
   uint64_t gc_rounds = 0;
   uint64_t gc_pages = 0;
+  uint64_t dup_requests = 0;     // duplicate requests swallowed
+  uint64_t dup_reforwards = 0;   // completed requests re-driven (lost reply)
 };
 
 class Cluster;
@@ -87,6 +90,17 @@ class DirectoryManager {
     uint64_t pseudokey;
     PortId user_port;
     bool no_merge = false;
+    uint64_t client_id = 0;
+    uint64_t client_seq = 0;
+  };
+
+  // Per-client dedup state (the tentpole's "small dedup table"): the highest
+  // sequence number seen from the client and whether that op is still being
+  // driven by this replica.  Clients issue strictly increasing sequence
+  // numbers, so one entry per client suffices.
+  struct ClientEntry {
+    uint64_t seq = 0;
+    bool in_flight = false;
   };
 
   void Run();
@@ -95,6 +109,10 @@ class DirectoryManager {
   void HandleBucketDone(const Message& msg);
   void HandleUpdate(const Message& msg);
   void HandleCopyUpdate(const Message& msg);
+
+  // Settles a finished transaction: clears the client's in-flight marker,
+  // releases rho, and erases the context.
+  void CompleteContext(std::map<uint64_t, Context>::iterator it);
 
   // Forwards the op for `ctx` to the bucket manager currently responsible.
   void ContactBucket(uint64_t txn, const Context& ctx);
@@ -116,6 +134,7 @@ class DirectoryManager {
   // quiescent states.
   ReplicaDirectory replica_;
   std::map<uint64_t, Context> contexts_;
+  std::map<uint64_t, ClientEntry> clients_;  // client_id -> dedup state
   uint64_t next_txn_ = 0;
   int64_t rho_ = 0;    // outstanding forwarded requests
   int64_t alpha_ = 0;  // outstanding copyupdate acks
@@ -130,6 +149,9 @@ class DirectoryManager {
   std::atomic<uint64_t> stat_retries_{0};
   std::atomic<uint64_t> stat_gc_rounds_{0};
   std::atomic<uint64_t> stat_gc_pages_{0};
+  std::atomic<uint64_t> stat_dup_requests_{0};
+  std::atomic<uint64_t> stat_dup_reforwards_{0};
+  std::atomic<uint64_t> stat_dup_updates_{0};
   mutable std::atomic<bool> idle_{true};
 };
 

@@ -61,6 +61,17 @@ inline constexpr int kNumMsgTypes = static_cast<int>(MsgType::kShutdown) + 1;
 
 const char* ToString(MsgType type);
 
+// Type-mask helpers for scoping fault-injection rules (see network.h) to a
+// subset of message types.
+constexpr uint32_t MsgMask(MsgType type) {
+  return uint32_t{1} << static_cast<int>(type);
+}
+template <typename... Types>
+constexpr uint32_t MsgMaskOf(Types... types) {
+  return (MsgMask(types) | ...);
+}
+inline constexpr uint32_t kAllMsgMask = (uint32_t{1} << kNumMsgTypes) - 1;
+
 struct Message {
   MsgType type = MsgType::kShutdown;
   OpType op = OpType::kFind;
@@ -69,6 +80,15 @@ struct Message {
   uint64_t value = 0;         // payload for inserts / result of finds
   uint64_t pseudokey = 0;
   uint64_t txn = 0;           // transaction #
+
+  // Stable request identity for exactly-once semantics under retry and
+  // duplicated delivery: a cluster-unique client id plus that client's
+  // monotone per-op sequence number.  0/0 means "no identity" (internal
+  // messages and legacy senders); such ops get no dedup protection.  The
+  // pair rides every hop of a user op — request, forward, wrongbucket,
+  // reply — so any replica or bucket manager can recognize a re-delivery.
+  uint64_t client_id = 0;
+  uint64_t client_seq = 0;
 
   storage::PageId page = storage::kInvalidPage;   // page address
   storage::PageId page2 = storage::kInvalidPage;  // partner / target address

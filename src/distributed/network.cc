@@ -1,5 +1,6 @@
 #include "distributed/network.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace exhash::dist {
@@ -47,45 +48,118 @@ const char* ToString(MsgType type) {
 }
 
 SimNetwork::SimNetwork(Options options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options), rng_(options.seed), fault_rng_(options.seed ^ 0x9e3779b97f4a7c15ull) {}
 
-PortId SimNetwork::CreatePort() {
+PortId SimNetwork::CreatePortInternal(bool counted) {
   std::lock_guard<std::mutex> guard(ports_mutex_);
   ports_.push_back(std::make_unique<Port>());
+  ports_.back()->counted = counted;
   return static_cast<PortId>(ports_.size() - 1);
 }
 
+PortId SimNetwork::CreatePort() { return CreatePortInternal(true); }
+
+PortId SimNetwork::CreateClientPort() { return CreatePortInternal(false); }
+
+SimNetwork::Port* SimNetwork::GetPort(PortId id) const {
+  std::lock_guard<std::mutex> guard(ports_mutex_);
+  return ports_.at(id).get();
+}
+
+void SimNetwork::AddFault(PortId to, const FaultRule& rule) {
+  Port* port = GetPort(to);
+  std::lock_guard<std::mutex> guard(port->mutex);
+  port->faults.push_back(rule);
+}
+
+void SimNetwork::ClearFaults(PortId to) {
+  Port* port = GetPort(to);
+  std::lock_guard<std::mutex> guard(port->mutex);
+  port->faults.clear();
+  port->window.active = false;
+}
+
+void SimNetwork::ClearAllFaults() {
+  std::lock_guard<std::mutex> guard(ports_mutex_);
+  for (const auto& port : ports_) {
+    std::lock_guard<std::mutex> port_guard(port->mutex);
+    port->faults.clear();
+    port->window.active = false;
+  }
+}
+
+void SimNetwork::Partition(PortId to, uint32_t type_mask,
+                           std::chrono::nanoseconds start_in,
+                           std::chrono::nanoseconds duration, bool drop) {
+  Port* port = GetPort(to);
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> guard(port->mutex);
+  port->window.start = now + start_in;
+  port->window.end = port->window.start + duration;
+  port->window.type_mask = type_mask;
+  port->window.drop = drop;
+  port->window.active = true;
+}
+
 void SimNetwork::Send(PortId to, Message message) {
-  total_sent_.fetch_add(1, std::memory_order_relaxed);
-  per_type_[static_cast<int>(message.type)].fetch_add(
-      1, std::memory_order_relaxed);
+  Port* port = GetPort(to);
+  const uint32_t type_bit = MsgMask(message.type);
+  const auto now = std::chrono::steady_clock::now();
 
   uint64_t delay_ns = options_.delay_ns_min;
-  if (options_.delay_ns_max > options_.delay_ns_min) {
-    std::lock_guard<std::mutex> guard(rng_mutex_);
-    delay_ns += rng_.Uniform(options_.delay_ns_max - options_.delay_ns_min + 1);
-  }
+  int copies = 1;
+  {
+    std::lock_guard<std::mutex> port_guard(port->mutex);
+    // Jitter and fault draws under rng_mutex_ (nested inside the port lock;
+    // no path takes them in the other order).
+    {
+      std::lock_guard<std::mutex> rng_guard(rng_mutex_);
+      if (options_.delay_ns_max > options_.delay_ns_min) {
+        delay_ns +=
+            rng_.Uniform(options_.delay_ns_max - options_.delay_ns_min + 1);
+      }
+      for (const FaultRule& rule : port->faults) {
+        if (!(rule.type_mask & type_bit)) continue;
+        if (rule.drop_prob > 0 && fault_rng_.Bernoulli(rule.drop_prob)) {
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (rule.dup_prob > 0 && fault_rng_.Bernoulli(rule.dup_prob)) {
+          ++copies;
+          duplicated_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (rule.spike_prob > 0 && fault_rng_.Bernoulli(rule.spike_prob)) {
+          delay_ns += rule.spike_ns;
+          spiked_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
 
-  Port* port;
-  {
-    std::lock_guard<std::mutex> guard(ports_mutex_);
-    port = ports_.at(to).get();
-  }
-  {
-    std::lock_guard<std::mutex> guard(port->mutex);
-    port->queue.push(Pending{
-        std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns),
-        seq_.fetch_add(1, std::memory_order_relaxed), std::move(message)});
+    auto deliver_at = now + std::chrono::nanoseconds(delay_ns);
+    if (port->window.active && (port->window.type_mask & type_bit) &&
+        now >= port->window.start && now < port->window.end) {
+      if (port->window.drop) {
+        dropped_.fetch_add(uint64_t(copies), std::memory_order_relaxed);
+        return;
+      }
+      deliver_at = std::max(deliver_at, port->window.end);
+      stalled_.fetch_add(uint64_t(copies), std::memory_order_relaxed);
+    }
+
+    total_sent_.fetch_add(uint64_t(copies), std::memory_order_relaxed);
+    per_type_[static_cast<int>(message.type)].fetch_add(
+        uint64_t(copies), std::memory_order_relaxed);
+    for (int c = 0; c < copies; ++c) {
+      port->queue.push(Pending{deliver_at,
+                               seq_.fetch_add(1, std::memory_order_relaxed),
+                               message});
+    }
   }
   port->cv.notify_all();
 }
 
 Message SimNetwork::Receive(PortId port_id) {
-  Port* port;
-  {
-    std::lock_guard<std::mutex> guard(ports_mutex_);
-    port = ports_.at(port_id).get();
-  }
+  Port* port = GetPort(port_id);
   std::unique_lock<std::mutex> guard(port->mutex);
   while (true) {
     if (!port->queue.empty()) {
@@ -104,11 +178,7 @@ Message SimNetwork::Receive(PortId port_id) {
 }
 
 bool SimNetwork::TryReceive(PortId port_id, Message* message) {
-  Port* port;
-  {
-    std::lock_guard<std::mutex> guard(ports_mutex_);
-    port = ports_.at(port_id).get();
-  }
+  Port* port = GetPort(port_id);
   std::lock_guard<std::mutex> guard(port->mutex);
   if (port->queue.empty() ||
       port->queue.top().deliver_at > std::chrono::steady_clock::now()) {
@@ -117,6 +187,27 @@ bool SimNetwork::TryReceive(PortId port_id, Message* message) {
   *message = port->queue.top().message;
   port->queue.pop();
   return true;
+}
+
+bool SimNetwork::ReceiveFor(PortId port_id, Message* message,
+                            std::chrono::nanoseconds timeout) {
+  Port* port = GetPort(port_id);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> guard(port->mutex);
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (!port->queue.empty() && port->queue.top().deliver_at <= now) {
+      *message = port->queue.top().message;
+      port->queue.pop();
+      return true;
+    }
+    if (now >= deadline) return false;
+    auto wake = deadline;
+    if (!port->queue.empty()) {
+      wake = std::min(wake, port->queue.top().deliver_at);
+    }
+    port->cv.wait_until(guard, wake);
+  }
 }
 
 size_t SimNetwork::TotalQueued() const {
@@ -129,18 +220,44 @@ size_t SimNetwork::TotalQueued() const {
   return total;
 }
 
+size_t SimNetwork::QueuedForQuiescence(
+    std::chrono::steady_clock::time_point* earliest) const {
+  std::lock_guard<std::mutex> guard(ports_mutex_);
+  size_t total = 0;
+  bool have_earliest = false;
+  for (const auto& port : ports_) {
+    std::lock_guard<std::mutex> port_guard(port->mutex);
+    if (!port->counted || port->queue.empty()) continue;
+    total += port->queue.size();
+    const auto at = port->queue.top().deliver_at;
+    if (earliest != nullptr && (!have_earliest || at < *earliest)) {
+      *earliest = at;
+      have_earliest = true;
+    }
+  }
+  return total;
+}
+
 NetworkStats SimNetwork::stats() const {
   NetworkStats s;
   s.total_sent = total_sent_.load(std::memory_order_relaxed);
   for (int i = 0; i < kNumMsgTypes; ++i) {
     s.per_type[i] = per_type_[i].load(std::memory_order_relaxed);
   }
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.spiked = spiked_.load(std::memory_order_relaxed);
+  s.stalled = stalled_.load(std::memory_order_relaxed);
   return s;
 }
 
 void SimNetwork::ResetStats() {
   total_sent_.store(0, std::memory_order_relaxed);
   for (auto& c : per_type_) c.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  duplicated_.store(0, std::memory_order_relaxed);
+  spiked_.store(0, std::memory_order_relaxed);
+  stalled_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace exhash::dist

@@ -7,11 +7,18 @@
 //
 // Substitution (DESIGN.md): manager processes on networked machines become
 // threads in one address space that interact *only* through this class.
-// Delivery is reliable and buffered.  An optional per-message latency jitter
-// reorders deliveries — a strictly stronger adversary than FIFO channels —
-// which is exactly what the version-number update ordering must survive
-// (the split-then-merge example of section 3).  Per-type counters provide
-// the message-traffic measurements of experiments E6/E7.
+// Delivery is reliable and buffered by default.  An optional per-message
+// latency jitter reorders deliveries — a strictly stronger adversary than
+// FIFO channels — which is exactly what the version-number update ordering
+// must survive (the split-then-merge example of section 3).  Per-type
+// counters provide the message-traffic measurements of experiments E6/E7.
+//
+// Fault injection (DESIGN.md §5): per-port rules can additionally drop,
+// duplicate, or delay-spike messages of selected types, and a timed
+// partition window can cut or stall a port.  All draws come from a
+// dedicated seeded Rng, so a fault schedule is reproducible from
+// (options.seed, send order).  Faults are an overlay: with no rules
+// installed the network behaves exactly as before.
 
 #ifndef EXHASH_DISTRIBUTED_NETWORK_H_
 #define EXHASH_DISTRIBUTED_NETWORK_H_
@@ -31,8 +38,25 @@
 namespace exhash::dist {
 
 struct NetworkStats {
-  uint64_t total_sent = 0;
+  uint64_t total_sent = 0;  // messages enqueued (duplicated copies included)
   uint64_t per_type[kNumMsgTypes] = {};
+  // Fault-injection outcomes.
+  uint64_t dropped = 0;     // discarded by a drop rule or drop-partition
+  uint64_t duplicated = 0;  // extra copies enqueued by dup rules
+  uint64_t spiked = 0;      // messages given a delay spike
+  uint64_t stalled = 0;     // messages held to the end of a stall window
+};
+
+// One fault rule, scoped by a bitmask of message types (MsgMask /
+// MsgMaskOf in message.h).  All rules installed on a port whose mask
+// matches a message apply cumulatively: drop and duplication probabilities
+// are drawn per rule, spike delays add up.
+struct FaultRule {
+  uint32_t type_mask = kAllMsgMask;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double spike_prob = 0.0;
+  uint64_t spike_ns = 0;
 };
 
 class SimNetwork {
@@ -53,7 +77,13 @@ class SimNetwork {
   // Creates a new port and returns its id.
   PortId CreatePort();
 
-  // Reliable, buffered send.  Never blocks.
+  // Creates a port that QueuedForQuiescence ignores.  For client reply
+  // ports: a retrying client may abandon stale duplicate replies in its
+  // queue, which must not keep the cluster from looking quiescent.
+  PortId CreateClientPort();
+
+  // Buffered send; never blocks.  Reliable unless fault rules or a
+  // partition window on the destination port say otherwise.
   void Send(PortId to, Message message);
 
   // Blocks until a message is deliverable on `port` and returns it.
@@ -62,11 +92,37 @@ class SimNetwork {
   // Non-blocking receive; returns false if nothing is deliverable yet.
   bool TryReceive(PortId port, Message* message);
 
+  // Blocking receive bounded by `timeout`; returns false on timeout.
+  bool ReceiveFor(PortId port, Message* message,
+                  std::chrono::nanoseconds timeout);
+
+  // --- fault injection ---
+  // Installs a fault rule on the destination port.  Multiple rules compose.
+  void AddFault(PortId to, const FaultRule& rule);
+  void ClearFaults(PortId to);
+  // Removes every fault rule and partition window on every port.
+  void ClearAllFaults();
+
+  // Schedules one partition window on `to`: for `duration` starting
+  // `start_in` from now, matching messages are dropped (`drop` == true) or
+  // stalled until the window closes (`drop` == false).  A port holds at
+  // most one window; a new call replaces it.
+  void Partition(PortId to, uint32_t type_mask,
+                 std::chrono::nanoseconds start_in,
+                 std::chrono::nanoseconds duration, bool drop);
+
   NetworkStats stats() const;
   void ResetStats();
 
-  // Total messages currently buffered across all ports (quiescence probe).
+  // Total messages currently buffered across all ports.
   size_t TotalQueued() const;
+
+  // Quiescence probe: messages buffered on non-client ports.  When the
+  // result is nonzero, *earliest (if non-null) receives the soonest
+  // deliver_at among them, so a waiter can sleep until real work is due
+  // instead of spinning past in-flight delayed messages.
+  size_t QueuedForQuiescence(
+      std::chrono::steady_clock::time_point* earliest) const;
 
  private:
   struct Pending {
@@ -79,21 +135,41 @@ class SimNetwork {
     }
   };
 
+  struct PartitionWindow {
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point end;
+    uint32_t type_mask = 0;
+    bool drop = false;
+    bool active = false;
+  };
+
   struct Port {
     std::mutex mutex;
     std::condition_variable cv;
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+    std::vector<FaultRule> faults;
+    PartitionWindow window;
+    bool counted = true;  // participates in QueuedForQuiescence
   };
+
+  PortId CreatePortInternal(bool counted);
+  Port* GetPort(PortId id) const;
 
   Options options_;
   mutable std::mutex ports_mutex_;
   std::vector<std::unique_ptr<Port>> ports_;
 
   std::mutex rng_mutex_;
-  util::Rng rng_;
+  util::Rng rng_;        // delivery jitter
+  util::Rng fault_rng_;  // fault draws, independent so enabling faults does
+                         // not perturb the jitter sequence
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> total_sent_{0};
   std::atomic<uint64_t> per_type_[kNumMsgTypes] = {};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> spiked_{0};
+  std::atomic<uint64_t> stalled_{0};
 };
 
 }  // namespace exhash::dist

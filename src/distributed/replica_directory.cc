@@ -84,8 +84,60 @@ void ReplicaDirectory::Apply(const DirUpdate& update) {
   }
 }
 
+bool ReplicaDirectory::IsStale(const DirUpdate& update) const {
+  if (update.op == OpType::kInsert) {
+    // The split's family entry already moved past the pre-split version.
+    const DirEntry& e = entries_[util::LowBits(update.pseudokey, depth_)];
+    return e.version >= update.version1;
+  }
+  // Merge at old localdepth L.  The family entry — read at the coarsest
+  // visible granularity, since the directory may have halved below L after
+  // applying this very merge — is strictly monotone along the family's
+  // version chain: it sits at exactly version1 while the merge is pending
+  // (every prerequisite split ends there), strictly below it before, and
+  // strictly above it once the merge (or anything after it) has applied.
+  const int L = update.old_localdepth;
+  const uint64_t family =
+      util::LowBits(update.pseudokey, std::min(L - 1, depth_));
+  if (entries_[family].version > update.version1) return true;
+  if (L > depth_) return false;  // prerequisite splits still outstanding
+  const uint64_t one_pat = util::LowBits(update.pseudokey, L - 1) |
+                           (uint64_t{1} << (L - 1));
+  return entries_[one_pat].version > update.version2;
+}
+
+namespace {
+
+// Two deliveries describe the same logical update when they agree on the
+// operation, the family it targets, and the version preconditions.
+bool Equivalent(const DirUpdate& a, const DirUpdate& b) {
+  if (a.op != b.op || a.old_localdepth != b.old_localdepth ||
+      a.version1 != b.version1 || a.version2 != b.version2) {
+    return false;
+  }
+  const int bits =
+      a.op == OpType::kInsert ? a.old_localdepth : a.old_localdepth - 1;
+  return util::LowBits(a.pseudokey, bits) == util::LowBits(b.pseudokey, bits);
+}
+
+}  // namespace
+
+bool ReplicaDirectory::AlreadySeen(const DirUpdate& update) const {
+  if (IsStale(update)) return true;
+  for (const DirUpdate& saved : saved_) {
+    if (Equivalent(saved, update)) return true;
+  }
+  return false;
+}
+
 void ReplicaDirectory::Submit(const DirUpdate& update,
                               std::vector<DirUpdate>* applied) {
+  if (AlreadySeen(update)) {
+    // A duplicated delivery: the first copy was applied (or is saved and
+    // will be).  Discard without acking — the applied copy acked already.
+    ++stats_.discarded;
+    return;
+  }
   if (!CanApply(update)) {
     // "Delay this directory update until its time" (Figure 13).
     ++stats_.delayed;

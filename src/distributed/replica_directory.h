@@ -60,6 +60,7 @@ struct ReplicaDirectoryStats {
   uint64_t delayed = 0;
   uint64_t doublings = 0;
   uint64_t halvings = 0;
+  uint64_t discarded = 0;  // duplicated deliveries recognized and dropped
 };
 
 class ReplicaDirectory {
@@ -84,9 +85,22 @@ class ReplicaDirectory {
   // True if the replica's entry versions match `update`'s preconditions.
   bool CanApply(const DirUpdate& update) const;
 
+  // True if `update`'s preconditions have been *surpassed* — the entry
+  // versions it requires can never come back, so this is a duplicated
+  // delivery of an update this replica already applied.  Sound because the
+  // updates touching one bucket family form a linear version chain: the
+  // only way past an update's pre-versions is to apply that very update.
+  bool IsStale(const DirUpdate& update) const;
+
+  // True if `update` was already applied (IsStale) or an equivalent update
+  // is already sitting in the saved list — either way a re-delivery.
+  bool AlreadySeen(const DirUpdate& update) const;
+
   // Applies `update` now if possible, else saves it; then drains any saved
   // updates that became applicable.  Appends every update applied by this
-  // call (in application order) to *applied.
+  // call (in application order) to *applied.  Duplicated deliveries
+  // (AlreadySeen) are discarded silently — they are never appended, so the
+  // caller acks each logical update exactly once.
   void Submit(const DirUpdate& update, std::vector<DirUpdate>* applied);
 
   // Two replicas agree when their visible entries, depth, and depthcount

@@ -1,5 +1,5 @@
 // Multi-threaded correctness tests, parameterized over every thread-safe
-// table.  Strategy (DESIGN.md section 5): per-thread key ownership for exact
+// table.  Strategy (DESIGN.md section 6): per-thread key ownership for exact
 // assertions, shared hot keys for contention, and full structure validation
 // at every quiescent point.
 

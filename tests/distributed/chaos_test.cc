@@ -1,0 +1,142 @@
+// Chaos harness (DESIGN.md §5, EXPERIMENTS.md E10): randomized fault
+// schedules over concurrent clients, then a fault-free drain and full
+// quiescent-state validation.
+//
+// Each run storms the cluster with client-edge drops (20%), duplication
+// (10%), delay spikes, interior duplication of the re-delivery-tolerant
+// message types, and one partition window that cuts a directory replica's
+// request edge mid-run.  Clients retry with backoff and fail over between
+// replicas; the (client_id, client_seq) dedup tables must keep every
+// mutation exactly-once.  After the storm: ClearFaults, WaitQuiescent,
+// ValidateQuiescent — identical replicas, sound bucket graph, and the
+// *exact* expected record count (any duplicated or lost application would
+// break it).
+//
+// Runs for a fixed set of seeds (ctest label: chaos) so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/cluster.h"
+#include "util/random.h"
+
+namespace exhash::dist {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, StormThenConverge) {
+  const uint64_t seed = GetParam();
+
+  Cluster::Options o;
+  o.num_directory_managers = 3;
+  o.num_bucket_managers = 2;
+  o.page_size = 112;  // capacity 4: lots of splits and merges
+  o.initial_depth = 2;
+  o.max_depth = 16;
+  o.spill_per_8 = 2;  // cross-manager chains under fire
+  o.net.delay_ns_min = 0;
+  o.net.delay_ns_max = 200'000;
+  o.net.seed = seed;
+  o.faults.request_drop = 0.20;
+  o.faults.request_dup = 0.10;
+  o.faults.request_spike_prob = 0.05;
+  o.faults.request_spike_ns = 2'000'000;
+  o.faults.reply_drop = 0.20;
+  o.faults.reply_dup = 0.10;
+  o.faults.reply_spike_prob = 0.05;
+  o.faults.reply_spike_ns = 2'000'000;
+  o.faults.interior_dup = 0.05;
+  o.faults.interior_spike_prob = 0.10;
+  o.faults.interior_spike_ns = 1'000'000;
+  o.retry.enabled = true;
+  Cluster cluster(o);
+
+  // One partition window per run: a replica chosen by the seed loses its
+  // client request edge for 40 ms early in the storm.  Clients talking to
+  // it must fail over.
+  const int victim = int(seed % uint64_t(o.num_directory_managers));
+  cluster.network().Partition(cluster.directory_request_port(victim),
+                              MsgMask(MsgType::kRequest),
+                              std::chrono::milliseconds(5),
+                              std::chrono::milliseconds(40),
+                              /*drop=*/true);
+
+  constexpr int kClients = 4;
+  constexpr uint64_t kKeysPerClient = 96;
+  std::atomic<uint64_t> wrong_reads{0};
+  std::atomic<uint64_t> total_retries{0};
+  std::atomic<uint64_t> total_failovers{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = cluster.NewClient();
+      // Disjoint key ranges per client keep the expected final count exact.
+      const uint64_t base = uint64_t(c + 1) << 32;
+      util::Rng rng(seed * 977 + uint64_t(c));
+      std::vector<uint64_t> keys(kKeysPerClient);
+      for (uint64_t i = 0; i < kKeysPerClient; ++i) keys[i] = base + i;
+      for (size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+      }
+      // Phase 1: insert everything.  The boolean result is not asserted: a
+      // retry racing its own duplicated first delivery can be answered
+      // "duplicate key" — either way the record is present exactly once.
+      for (const uint64_t k : keys) client->Insert(k, k ^ 0x5aa5);
+      // Phase 2: every insert must be readable mid-storm (read-your-writes
+      // through any replica, stale or not).
+      for (const uint64_t k : keys) {
+        uint64_t v = 0;
+        if (!client->Find(k, &v) || v != (k ^ 0x5aa5)) {
+          wrong_reads.fetch_add(1);
+        }
+      }
+      // Phase 3: delete the first half of the shuffled order.
+      for (uint64_t i = 0; i < kKeysPerClient / 2; ++i) {
+        client->Remove(keys[i]);
+      }
+      total_retries.fetch_add(client->stats().retries);
+      total_failovers.fetch_add(client->stats().failovers);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong_reads.load(), 0u);
+
+  // Fault-free drain: stop injecting, let every delayed/duplicated message
+  // settle, then validate the quiescent state.
+  cluster.ClearFaults();
+  ASSERT_TRUE(cluster.WaitQuiescent(60000));
+  const uint64_t expected =
+      uint64_t(kClients) * (kKeysPerClient - kKeysPerClient / 2);
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(expected, &error)) << error;
+
+  // The storm actually stormed: faults fired and the recovery machinery
+  // (retries and at least one of failover/dedup) did real work.
+  const NetworkStats net = cluster.network_stats();
+  EXPECT_GT(net.dropped, 0u);
+  EXPECT_GT(net.duplicated, 0u);
+  EXPECT_GT(total_retries.load(), 0u);
+  uint64_t dedup_hits = 0;
+  for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
+    dedup_hits += cluster.bucket_manager(b).stats().dedup_hits;
+  }
+  uint64_t dup_swallowed = 0;
+  for (int d = 0; d < cluster.num_directory_managers(); ++d) {
+    dup_swallowed += cluster.directory_manager(d).stats().dup_requests;
+  }
+  ::testing::Test::RecordProperty("retries", int(total_retries.load()));
+  ::testing::Test::RecordProperty("failovers", int(total_failovers.load()));
+  ::testing::Test::RecordProperty("bm_dedup_hits", int(dedup_hits));
+  ::testing::Test::RecordProperty("dm_dup_swallowed", int(dup_swallowed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace exhash::dist

@@ -278,5 +278,92 @@ TEST(ClusterTest, StaleReplicaRoutingRecovers) {
   ASSERT_TRUE(cluster.ValidateQuiescent(300, &error)) << error;
 }
 
+TEST(ClusterTest, WaitQuiescentSurvivesLargeDelayJitter) {
+  // Regression: TotalQueued() counted messages whose deliver_at lay in the
+  // future, so the old fixed-cadence poll could spin its whole budget while
+  // a drained network merely had delayed stragglers.  The probe now sleeps
+  // until the earliest delivery, so heavy jitter converges comfortably.
+  Cluster::Options o = SmallCluster();
+  o.net.delay_ns_min = 0;
+  o.net.delay_ns_max = 15'000'000;  // up to 15 ms per hop
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  for (uint64_t k = 0; k < 20; ++k) ASSERT_TRUE(client->Insert(k, k));
+  ASSERT_TRUE(cluster.WaitQuiescent(20000));
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(20, &error)) << error;
+}
+
+TEST(ClusterTest, WaitQuiescentTimesOutPromptlyWhenWedged) {
+  Cluster::Options o = SmallCluster();
+  Cluster cluster(o);
+
+  // Wedge bucket manager 0: stall every message into its front port (except
+  // shutdown) for the next 800 ms.
+  const uint32_t stall_mask = kAllMsgMask & ~MsgMask(MsgType::kShutdown);
+  cluster.network().Partition(cluster.bucket_front_port(0), stall_mask,
+                              std::chrono::seconds(0),
+                              std::chrono::milliseconds(800),
+                              /*drop=*/false);
+
+  // Pick a key routed to a bucket on manager 0 and start an insert; its
+  // op-forward parks in the stall window, leaving the directory manager
+  // with rho > 0.
+  uint64_t key = 0;
+  while (cluster.hasher().Hash(key) % 4 % 2 != 0) ++key;
+  const PortId user = cluster.network().CreateClientPort();
+  Message req;
+  req.type = MsgType::kRequest;
+  req.op = OpType::kInsert;
+  req.key = key;
+  req.value = 1;
+  req.user_port = user;
+  cluster.network().Send(cluster.directory_request_port(0), req);
+  while (cluster.directory_manager(0).Idle()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The timeout path must respect its budget, not hang for the default 30 s.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(cluster.WaitQuiescent(250));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(700));
+
+  // Once the window closes the op completes and the cluster drains.
+  const Message reply = cluster.network().Receive(user);
+  EXPECT_TRUE(reply.success);
+  ASSERT_TRUE(cluster.WaitQuiescent(5000));
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(1, &error)) << error;
+}
+
+TEST(ClusterTest, RetryFailoverSurvivesRequestDrops) {
+  // Client-edge loss in both directions; the retry/failover loop plus the
+  // dedup tables must deliver every op exactly once.
+  Cluster::Options o = SmallCluster();
+  o.num_directory_managers = 3;
+  o.faults.request_drop = 0.10;
+  o.faults.reply_drop = 0.10;
+  o.retry.enabled = true;
+  Cluster cluster(o);
+  auto client = cluster.NewClient();
+  constexpr uint64_t kN = 120;
+  for (uint64_t k = 0; k < kN; ++k) client->Insert(k, k * 5);
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(client->Find(k, &v)) << k;
+    ASSERT_EQ(v, k * 5);
+  }
+  for (uint64_t k = 0; k < kN / 2; ++k) client->Remove(k);
+  cluster.ClearFaults();
+  ASSERT_TRUE(cluster.WaitQuiescent(30000));
+  std::string error;
+  ASSERT_TRUE(cluster.ValidateQuiescent(kN - kN / 2, &error)) << error;
+  // With 480+ request/reply crossings at 10% loss each way, some retries
+  // happened (P[none] < 1e-20) — the machinery was actually exercised.
+  EXPECT_GT(client->stats().retries, 0u);
+  EXPECT_GT(cluster.network_stats().dropped, 0u);
+}
+
 }  // namespace
 }  // namespace exhash::dist

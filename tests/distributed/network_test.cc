@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -122,6 +124,183 @@ TEST(SimNetworkTest, TotalQueuedTracksBacklog) {
   EXPECT_EQ(net.TotalQueued(), 2u);
   net.Receive(port);
   EXPECT_EQ(net.TotalQueued(), 1u);
+}
+
+TEST(SimNetworkTest, ToStringCoversEveryMsgType) {
+  // Keyed to kNumMsgTypes: adding a MsgType without a ToString case (or a
+  // duplicate label) fails here, not in a log file.
+  std::set<std::string> labels;
+  for (int i = 0; i < kNumMsgTypes; ++i) {
+    const char* label = ToString(static_cast<MsgType>(i));
+    EXPECT_STRNE(label, "?") << "MsgType " << i << " missing from ToString";
+    EXPECT_TRUE(labels.insert(label).second)
+        << "duplicate ToString label '" << label << "'";
+  }
+}
+
+TEST(SimNetworkTest, ReceiveForTimesOutAndDelivers) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  Message m;
+  EXPECT_FALSE(net.ReceiveFor(port, &m, std::chrono::milliseconds(20)));
+  Message sent;
+  sent.type = MsgType::kReply;
+  sent.key = 11;
+  net.Send(port, sent);
+  ASSERT_TRUE(net.ReceiveFor(port, &m, std::chrono::milliseconds(20)));
+  EXPECT_EQ(m.key, 11u);
+}
+
+TEST(SimNetworkTest, DropRuleDiscardsMatchingType) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.AddFault(port, FaultRule{MsgMask(MsgType::kRequest), /*drop=*/1.0});
+  Message m;
+  m.type = MsgType::kRequest;
+  for (int i = 0; i < 10; ++i) net.Send(port, m);
+  // The mask scopes the rule: replies pass untouched.
+  m.type = MsgType::kReply;
+  m.key = 3;
+  net.Send(port, m);
+  Message r;
+  ASSERT_TRUE(net.TryReceive(port, &r));
+  EXPECT_EQ(r.type, MsgType::kReply);
+  EXPECT_FALSE(net.TryReceive(port, &r));
+  const NetworkStats s = net.stats();
+  EXPECT_EQ(s.dropped, 10u);
+  EXPECT_EQ(s.total_sent, 1u);  // only the reply was enqueued
+}
+
+TEST(SimNetworkTest, DupRuleDeliversTwice) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.AddFault(port,
+               FaultRule{MsgMask(MsgType::kOpForward), 0.0, /*dup=*/1.0});
+  Message m;
+  m.type = MsgType::kOpForward;
+  m.key = 8;
+  net.Send(port, m);
+  Message r;
+  ASSERT_TRUE(net.TryReceive(port, &r));
+  EXPECT_EQ(r.key, 8u);
+  ASSERT_TRUE(net.TryReceive(port, &r));
+  EXPECT_EQ(r.key, 8u);
+  EXPECT_FALSE(net.TryReceive(port, &r));
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().total_sent, 2u);
+}
+
+TEST(SimNetworkTest, SpikeRuleDelaysDelivery) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.AddFault(port, FaultRule{kAllMsgMask, 0.0, 0.0, /*spike_prob=*/1.0,
+                               /*spike_ns=*/50'000'000});
+  Message m;
+  m.type = MsgType::kRequest;
+  net.Send(port, m);
+  Message r;
+  EXPECT_FALSE(net.TryReceive(port, &r));  // not deliverable yet
+  EXPECT_FALSE(net.ReceiveFor(port, &r, std::chrono::milliseconds(5)));
+  ASSERT_TRUE(net.ReceiveFor(port, &r, std::chrono::milliseconds(500)));
+  EXPECT_EQ(net.stats().spiked, 1u);
+}
+
+TEST(SimNetworkTest, SeededFaultScheduleIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    SimNetwork net({.seed = seed});
+    const PortId port = net.CreatePort();
+    net.AddFault(port, FaultRule{kAllMsgMask, /*drop=*/0.5});
+    Message m;
+    m.type = MsgType::kRequest;
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      const uint64_t before = net.stats().dropped;
+      net.Send(port, m);
+      outcomes.push_back(net.stats().dropped == before);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetworkTest, PartitionDropWindowCutsThenHeals) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.Partition(port, MsgMask(MsgType::kRequest), std::chrono::seconds(0),
+                std::chrono::milliseconds(150), /*drop=*/true);
+  Message m;
+  m.type = MsgType::kRequest;
+  net.Send(port, m);
+  Message r;
+  EXPECT_FALSE(net.TryReceive(port, &r));
+  EXPECT_EQ(net.stats().dropped, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  net.Send(port, m);  // window over: delivery resumes
+  ASSERT_TRUE(net.ReceiveFor(port, &r, std::chrono::milliseconds(100)));
+}
+
+TEST(SimNetworkTest, PartitionStallWindowHoldsUntilClose) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.Partition(port, kAllMsgMask, std::chrono::seconds(0),
+                std::chrono::milliseconds(120), /*drop=*/false);
+  Message m;
+  m.type = MsgType::kUpdate;
+  net.Send(port, m);
+  Message r;
+  EXPECT_FALSE(net.ReceiveFor(port, &r, std::chrono::milliseconds(10)));
+  ASSERT_TRUE(net.ReceiveFor(port, &r, std::chrono::milliseconds(1000)));
+  EXPECT_EQ(r.type, MsgType::kUpdate);
+  EXPECT_EQ(net.stats().stalled, 1u);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(SimNetworkTest, ClearAllFaultsRestoresReliability) {
+  SimNetwork net;
+  const PortId port = net.CreatePort();
+  net.AddFault(port, FaultRule{kAllMsgMask, /*drop=*/1.0});
+  net.Partition(port, kAllMsgMask, std::chrono::seconds(0),
+                std::chrono::seconds(10), /*drop=*/true);
+  Message m;
+  m.type = MsgType::kRequest;
+  net.Send(port, m);
+  Message r;
+  EXPECT_FALSE(net.TryReceive(port, &r));
+  net.ClearAllFaults();
+  net.Send(port, m);
+  ASSERT_TRUE(net.TryReceive(port, &r));
+}
+
+TEST(SimNetworkTest, QuiescenceProbeReportsEarliestDelivery) {
+  SimNetwork net({.delay_ns_min = 60'000'000, .delay_ns_max = 60'000'000});
+  const PortId port = net.CreatePort();
+  Message m;
+  m.type = MsgType::kUpdate;
+  const auto before = std::chrono::steady_clock::now();
+  net.Send(port, m);
+  std::chrono::steady_clock::time_point earliest{};
+  EXPECT_EQ(net.QueuedForQuiescence(&earliest), 1u);
+  // The in-flight message is due ~60 ms out; a delay-aware waiter can sleep
+  // until then instead of polling past it.
+  EXPECT_GT(earliest, before + std::chrono::milliseconds(30));
+  EXPECT_EQ(net.TotalQueued(), 1u);
+}
+
+TEST(SimNetworkTest, ClientPortsExcludedFromQuiescenceProbe) {
+  SimNetwork net;
+  const PortId counted = net.CreatePort();
+  const PortId client = net.CreateClientPort();
+  Message m;
+  m.type = MsgType::kReply;
+  net.Send(client, m);
+  // A stale reply abandoned in a client port must not look like work.
+  EXPECT_EQ(net.QueuedForQuiescence(nullptr), 0u);
+  EXPECT_EQ(net.TotalQueued(), 1u);
+  m.type = MsgType::kUpdate;
+  net.Send(counted, m);
+  EXPECT_EQ(net.QueuedForQuiescence(nullptr), 1u);
+  EXPECT_EQ(net.TotalQueued(), 2u);
 }
 
 TEST(SimNetworkTest, ManyProducersOneConsumer) {

@@ -214,6 +214,100 @@ TEST(ReplicaDirectoryTest, RandomShufflesOfLongHistoriesConverge) {
   }
 }
 
+TEST(ReplicaDirectoryTest, StaleDuplicateIsDiscardedNotSaved) {
+  World w;
+  w.Split(0b0);
+  ReplicaDirectory replica = w.Replay({0});
+  // A duplicated delivery of the already-applied split: its precondition is
+  // surpassed, so it must be discarded — saving it would leave a pending
+  // update that never applies (and would wedge quiescence detection).
+  EXPECT_TRUE(replica.IsStale(w.history[0]));
+  std::vector<DirUpdate> applied;
+  replica.Submit(w.history[0], &applied);
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(replica.pending(), 0u);
+  EXPECT_EQ(replica.stats().discarded, 1u);
+  EXPECT_TRUE(replica.ConvergedWith(w.truth));
+}
+
+TEST(ReplicaDirectoryTest, DuplicateOfSavedUpdateIsDiscarded) {
+  World w;
+  w.Split(0b0);     // history[0]
+  w.Merge(0b0, 2);  // history[1]
+  ReplicaDirectory replica(1, 10);
+  replica.SeedEntry(0, DirEntry{0, 0, 0});
+  replica.SeedEntry(1, DirEntry{1, 0, 0});
+  replica.set_depthcount(2);
+  std::vector<DirUpdate> applied;
+  // Merge arrives early (saved), then again (duplicate of a saved update).
+  replica.Submit(w.history[1], &applied);
+  EXPECT_EQ(replica.pending(), 1u);
+  replica.Submit(w.history[1], &applied);
+  EXPECT_EQ(replica.pending(), 1u) << "duplicate must not be saved twice";
+  EXPECT_EQ(replica.stats().discarded, 1u);
+  // The split releases the one saved copy; both updates apply exactly once.
+  replica.Submit(w.history[0], &applied);
+  EXPECT_EQ(applied.size(), 2u);
+  EXPECT_EQ(replica.pending(), 0u);
+  EXPECT_TRUE(replica.ConvergedWith(w.truth));
+}
+
+TEST(ReplicaDirectoryTest, MergeDuplicateStaleAfterDirectoryHalves) {
+  World w;
+  w.Split(0b0);
+  w.Merge(0b0, 2);  // applying this halves the directory back to depth 1
+  ReplicaDirectory replica = w.Replay({0, 1});
+  ASSERT_EQ(replica.depth(), 1);
+  // The merge's old_localdepth (2) now exceeds the replica's depth; the
+  // duplicate must still be recognized as stale via the family entry.
+  EXPECT_TRUE(replica.IsStale(w.history[1]));
+  std::vector<DirUpdate> applied;
+  replica.Submit(w.history[1], &applied);
+  EXPECT_TRUE(applied.empty());
+  EXPECT_EQ(replica.pending(), 0u);
+  EXPECT_TRUE(replica.ConvergedWith(w.truth));
+}
+
+TEST(ReplicaDirectoryTest, DuplicatedShuffledDeliveryConverges) {
+  // Every permutation property, strengthened: each update is delivered one
+  // to three times in a random interleaving; replicas must converge with
+  // every logical update applied exactly once and nothing left pending.
+  util::Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    World w;
+    w.Split(0b0);
+    w.Split(0b1);
+    w.Split(0b00);
+    w.Split(0b01);
+    w.Merge(0b00, 3);
+    w.Split(0b10);
+    w.Merge(0b01, 3);
+    w.Merge(0b10, 3);
+
+    std::vector<size_t> deliveries;
+    for (size_t i = 0; i < w.history.size(); ++i) {
+      const uint64_t copies = 1 + rng.Uniform(3);
+      for (uint64_t c = 0; c < copies; ++c) deliveries.push_back(i);
+    }
+    for (size_t i = deliveries.size(); i > 1; --i) {
+      std::swap(deliveries[i - 1], deliveries[rng.Uniform(i)]);
+    }
+
+    ReplicaDirectory replica(1, 10);
+    replica.SeedEntry(0, DirEntry{0, 0, 0});
+    replica.SeedEntry(1, DirEntry{1, 0, 0});
+    replica.set_depthcount(2);
+    std::vector<DirUpdate> applied;
+    for (size_t i : deliveries) replica.Submit(w.history[i], &applied);
+    ASSERT_EQ(applied.size(), w.history.size()) << "round " << round;
+    ASSERT_EQ(replica.pending(), 0u) << "round " << round;
+    ASSERT_EQ(replica.stats().discarded,
+              deliveries.size() - w.history.size())
+        << "round " << round;
+    ASSERT_TRUE(replica.ConvergedWith(w.truth)) << "round " << round;
+  }
+}
+
 TEST(ReplicaDirectoryTest, ConvergedWithDetectsDifferences) {
   ReplicaDirectory a(1, 8);
   ReplicaDirectory b(1, 8);
