@@ -86,8 +86,16 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
     if (!current.full()) {
       dir_lock_.UnRhoLock();
       current.Add(key, value);
-      PutBucket(oldpage, current);
-      old_lock->UnAlphaLock();
+      if (options_.test_publish_after_unlock) [[unlikely]] {
+        // TEST ONLY (see TableOptions): releasing the lock before the page
+        // write opens a lost-update window for the verify subsystem's
+        // checker demo.
+        old_lock->UnAlphaLock();
+        PutBucket(oldpage, current);
+      } else {
+        PutBucket(oldpage, current);
+        old_lock->UnAlphaLock();
+      }
       size_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }

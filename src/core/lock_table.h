@@ -31,8 +31,12 @@ class LockTable {
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
-  // Returns the lock for `page`, creating backing storage on demand.
+  // Returns the lock for `page`, creating backing storage on demand.  The
+  // TestHooks emission is a schedule-exploration yield point *before* any
+  // acquisition: it models a thread preempted between resolving a page to
+  // its lock and requesting it (DESIGN.md §6b).
   util::RaxLock& For(storage::PageId page) {
+    util::TestHooks::Emit(util::HookPoint::kLockLookup, this);
     const size_t chunk = size_t(page) / kChunkSize;
     Chunk* c = chunk < kMaxChunks
                    ? chunks_[chunk].load(std::memory_order_acquire)

@@ -39,6 +39,16 @@ struct TableOptions {
   // When false, deletes never merge buckets (ablation D3': measures what
   // merging buys/costs; also the behaviour of many practical systems).
   bool enable_merging = true;
+
+  // TEST ONLY — deliberately breaks the protocol for the verify subsystem's
+  // checker demo (DESIGN.md §6b).  When true, EllisHashTableV2's non-split
+  // insert publishes the bucket page *after* releasing the bucket's alpha
+  // lock, reordering the §2.3 "one atomic page write" publication against
+  // the lock release.  Two racing inserters can then overwrite each other's
+  // records (a lost update), which the linearizability checker must catch as
+  // a successful Insert whose key a later Find misses.  Never set outside
+  // tests.
+  bool test_publish_after_unlock = false;
 };
 
 }  // namespace exhash::core

@@ -1,5 +1,6 @@
 #include "core/table_base.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -70,9 +71,14 @@ void TableBase::InitBuckets() {
     b.commonbits = idx;
     b.next =
         pos + 1 < n ? pages[order[pos + 1]] : storage::kInvalidPage;
-    // prev: the "0" partner this bucket conceptually split off from.
-    if (d >= 1 && util::IsOnePartner(idx, d)) {
-      b.prev = pages[idx & ~(uint64_t{1} << (d - 1))];
+    // prev: the bucket this one split off from in the canonical split
+    // history — idx with its highest set bit cleared.  Every nonzero index
+    // gets one, not just the "1" partners at the seed depth: merges can
+    // lower a localdepth below initial_depth, at which point a bucket
+    // seeded without a prev becomes a "1" partner whose prev the delete
+    // protocols follow — straight to an invalid page.
+    if (idx != 0) {
+      b.prev = pages[idx & ~(uint64_t{1} << (std::bit_width(idx) - 1))];
     }
     PutBucket(pages[idx], b);
     dir_.SetEntry(idx, pages[idx]);
@@ -146,6 +152,13 @@ uint64_t TableBase::ForEachRecord(
 bool TableBase::Validate(std::string* error) {
   return ValidateStructure(dir_, store_, *hasher_, capacity_,
                            options_.page_size, Size(), error);
+}
+
+bool TableBase::ValidateInFlightState(uint64_t expected_size,
+                                      std::string* error) {
+  return ValidateStructure(dir_, store_, *hasher_, capacity_,
+                           options_.page_size, expected_size, error,
+                           ValidateMode::kInFlight);
 }
 
 }  // namespace exhash::core

@@ -30,6 +30,12 @@ class TableBase : public KeyValueIndex {
   TableStats Stats() const override { return stats_.Snapshot(); }
   bool Validate(std::string* error) override;
 
+  // Instant-invariant check (ValidateMode::kInFlight) for the verify
+  // subsystem: legal to call while an operation is paused at an injected
+  // yield point mid-restructure.  `expected_size` is caller-supplied because
+  // the size counter lags the page writes inside an operation.
+  bool ValidateInFlightState(uint64_t expected_size, std::string* error);
+
   // Human-readable structure dump (quiescent state only): directory shape
   // plus one line per bucket along the chain.  For debugging and teaching —
   // the output mirrors the layout of the paper's Figures 1-4.

@@ -28,12 +28,128 @@ std::string Fmt(const char* format, ...) {
   return buf;
 }
 
+// The kInFlight instant-invariant set (see validate.h).  A paused
+// restructurer leaves the directory stale, so buckets are enumerated by the
+// next chain rather than by directory reference, and entries are checked
+// with the reader's recovery walk instead of referrer counting.
+bool ValidateInFlight(const Directory& dir, storage::PageStore& store,
+                      const util::Hasher& hasher, int capacity,
+                      size_t page_size, uint64_t expected_size,
+                      std::string* error) {
+  const int depth = dir.depth();
+  const uint64_t entries = uint64_t{1} << depth;
+  std::vector<std::byte> scratch(page_size);
+  const auto read_bucket = [&](storage::PageId page, storage::Bucket* b) {
+    store.Read(page, scratch.data());
+    return storage::Bucket::DeserializeFrom(scratch.data(), page_size, b);
+  };
+
+  // 1+2: chain traversal from entry 0 (the all-zeros bucket's page never
+  // becomes a tombstone: merge survivors are always "0" partners).
+  std::unordered_set<storage::PageId> live;
+  uint64_t total_records = 0;
+  std::unordered_set<uint64_t> seen_keys;
+  // A legal chain has at most one live bucket per directory entry plus the
+  // not-yet-published half of a paused split per in-flight operation; 2x
+  // entries + slack bounds it without assuming how many ops are paused.
+  const uint64_t max_chain = 2 * entries + 16;
+  storage::PageId page = dir.Entry(0);
+  uint64_t prev_rank = 0;
+  bool first = true;
+  while (page != storage::kInvalidPage) {
+    if (live.size() > max_chain) {
+      return Fail(error, Fmt("chain exceeds %" PRIu64 " buckets (cycle?)",
+                             max_chain));
+    }
+    storage::Bucket b(capacity);
+    if (!read_bucket(page, &b)) {
+      return Fail(error, Fmt("chain reaches page %u which is not a bucket",
+                             page));
+    }
+    if (b.deleted) {
+      return Fail(error, Fmt("live chain passes through tombstone page %u",
+                             page));
+    }
+    if (!live.insert(page).second) {
+      return Fail(error, Fmt("chain revisits page %u (cycle)", page));
+    }
+    const uint64_t rank = util::ChainRank(b.commonbits, b.localdepth);
+    if (!first && rank <= prev_rank) {
+      return Fail(error, Fmt("chain order violation at page %u", page));
+    }
+    prev_rank = rank;
+    first = false;
+    if (b.count() > capacity) {
+      return Fail(error, Fmt("page %u: count %d exceeds capacity %d", page,
+                             b.count(), capacity));
+    }
+    for (const storage::Record& r : b.records()) {
+      if (!util::MatchesCommonBits(hasher.Hash(r.key), b.commonbits,
+                                   b.localdepth)) {
+        return Fail(error, Fmt("page %u: key %" PRIu64 " does not belong here",
+                               page, r.key));
+      }
+      if (!seen_keys.insert(r.key).second) {
+        return Fail(error, Fmt("key %" PRIu64 " appears in two buckets",
+                               r.key));
+      }
+      ++total_records;
+    }
+    page = b.next;
+  }
+  if (total_records != expected_size) {
+    return Fail(error, Fmt("record count %" PRIu64 " != expected size %" PRIu64,
+                           total_records, expected_size));
+  }
+
+  // 3: every entry recovers via the reader's wrong-bucket walk.
+  for (uint64_t i = 0; i < entries; ++i) {
+    storage::PageId hop = dir.Entry(i);
+    if (hop == storage::kInvalidPage) {
+      return Fail(error, Fmt("directory entry %" PRIu64 " is invalid", i));
+    }
+    uint64_t hops = 0;
+    for (;; ++hops) {
+      if (hops > max_chain) {
+        return Fail(error,
+                    Fmt("entry %" PRIu64 " does not recover within %" PRIu64
+                        " hops",
+                        i, max_chain));
+      }
+      storage::Bucket b(capacity);
+      if (!read_bucket(hop, &b)) {
+        return Fail(error, Fmt("entry %" PRIu64 " walk hits non-bucket page %u",
+                               i, hop));
+      }
+      if (!b.deleted && util::LowBits(i, b.localdepth) == b.commonbits) {
+        if (!live.contains(hop)) {
+          return Fail(error,
+                      Fmt("entry %" PRIu64 " resolves to page %u which the "
+                          "chain never visits",
+                          i, hop));
+        }
+        break;
+      }
+      if (b.next == storage::kInvalidPage) {
+        return Fail(error,
+                    Fmt("entry %" PRIu64 " walk dead-ends at page %u", i, hop));
+      }
+      hop = b.next;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool ValidateStructure(const Directory& dir, storage::PageStore& store,
                        const util::Hasher& hasher, int capacity,
                        size_t page_size, uint64_t expected_size,
-                       std::string* error) {
+                       std::string* error, ValidateMode mode) {
+  if (mode == ValidateMode::kInFlight) {
+    return ValidateInFlight(dir, store, hasher, capacity, page_size,
+                            expected_size, error);
+  }
   const int depth = dir.depth();
   const uint64_t entries = uint64_t{1} << depth;
 

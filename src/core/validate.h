@@ -13,6 +13,28 @@
 
 namespace exhash::core {
 
+// What the checker may assume about the file's state.
+enum class ValidateMode {
+  // No operation in flight: the full invariant set below.
+  kQuiescent,
+  // An operation may be paused mid-restructure (the verify subsystem stops
+  // threads at injected yield points — DESIGN.md §6b).  Only the *instant*
+  // invariants are checked, the ones the protocols maintain at every step:
+  //   1. the next chain from directory entry 0 visits only live buckets, in
+  //      strictly increasing bit-reversed commonbits order, without cycles;
+  //   2. every record hashes into its chain bucket, no key appears twice,
+  //      and the chain's total record count equals `expected_size`;
+  //   3. every directory entry — however stale — recovers: following next
+  //      links from it (through tombstone signposts) reaches a live chain
+  //      bucket whose commonbits match the entry, in a bounded number of
+  //      hops.  This is exactly the reader's wrong-bucket loop (§2.2/§2.4),
+  //      so 3 states "any search that indexes the directory now terminates
+  //      correctly".
+  // Referrer counts, depthcount, and prev links are quiescent-only (a
+  // paused splitter holds them stale legally) and are not checked.
+  kInFlight,
+};
+
 // Verifies, in a quiescent state:
 //   1. every live directory entry points at a non-deleted bucket whose
 //      commonbits equal the entry index's low localdepth bits,
@@ -31,7 +53,8 @@ namespace exhash::core {
 bool ValidateStructure(const Directory& dir, storage::PageStore& store,
                        const util::Hasher& hasher, int capacity,
                        size_t page_size, uint64_t expected_size,
-                       std::string* error);
+                       std::string* error,
+                       ValidateMode mode = ValidateMode::kQuiescent);
 
 }  // namespace exhash::core
 

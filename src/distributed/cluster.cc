@@ -1,6 +1,7 @@
 #include "distributed/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cinttypes>
@@ -139,10 +140,15 @@ void Cluster::Seed() {
       b.next = page_of[order[pos + 1]];
       b.next_mgr = mgr_of[order[pos + 1]];
     }
-    if (util::IsOnePartner(idx, d)) {
-      const uint64_t partner = idx & ~(uint64_t{1} << (d - 1));
-      b.prev = page_of[partner];
-      b.prev_mgr = mgr_of[partner];
+    // Canonical-split-history prev for every nonzero index (idx with its
+    // highest set bit cleared), as in TableBase::InitBuckets: merges can
+    // lower localdepths below the seed depth, where a missing prev strands
+    // the z-in-second merge path.
+    if (idx != 0) {
+      const uint64_t parent =
+          idx & ~(uint64_t{1} << (std::bit_width(idx) - 1));
+      b.prev = page_of[parent];
+      b.prev_mgr = mgr_of[parent];
     }
   }
   for (uint64_t idx = 0; idx < n; ++idx) {
@@ -239,17 +245,28 @@ Message Cluster::Client::DoOp(OpType op, uint64_t key, uint64_t value) {
 }
 
 bool Cluster::Client::Find(uint64_t key, uint64_t* value) {
+  size_t token = 0;
+  if (tap_.on_invoke) token = tap_.on_invoke(OpType::kFind, key, 0);
   const Message r = DoOp(OpType::kFind, key, 0);
+  if (tap_.on_return) tap_.on_return(token, r.found, r.value);
   if (r.found && value != nullptr) *value = r.value;
   return r.found;
 }
 
 bool Cluster::Client::Insert(uint64_t key, uint64_t value) {
-  return DoOp(OpType::kInsert, key, value).success;
+  size_t token = 0;
+  if (tap_.on_invoke) token = tap_.on_invoke(OpType::kInsert, key, value);
+  const Message r = DoOp(OpType::kInsert, key, value);
+  if (tap_.on_return) tap_.on_return(token, r.success, 0);
+  return r.success;
 }
 
 bool Cluster::Client::Remove(uint64_t key) {
-  return DoOp(OpType::kDelete, key, 0).success;
+  size_t token = 0;
+  if (tap_.on_invoke) token = tap_.on_invoke(OpType::kDelete, key, 0);
+  const Message r = DoOp(OpType::kDelete, key, 0);
+  if (tap_.on_return) tap_.on_return(token, r.success, 0);
+  return r.success;
 }
 
 bool Cluster::WaitQuiescent(int timeout_ms) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,17 @@ class Cluster {
     bool Insert(uint64_t key, uint64_t value);
     bool Remove(uint64_t key);
 
+    // Operation tap for history recording (src/verify).  on_invoke fires
+    // before the request is first sent and returns a token; on_return fires
+    // with that token once the reply settles — after all retries/failovers,
+    // so the recorded interval spans the whole logical operation.  The
+    // client is single-threaded, so no synchronization is needed.
+    struct OpTap {
+      std::function<size_t(OpType op, uint64_t key, uint64_t arg)> on_invoke;
+      std::function<void(size_t token, bool result, uint64_t out)> on_return;
+    };
+    void SetTap(OpTap tap) { tap_ = std::move(tap); }
+
     const Stats& stats() const { return stats_; }
 
    private:
@@ -109,6 +121,7 @@ class Cluster {
     uint64_t client_id_;
     uint64_t next_seq_ = 0;
     Stats stats_;
+    OpTap tap_;
   };
 
   std::unique_ptr<Client> NewClient();

@@ -85,6 +85,12 @@ void RaxLock::WakeSlow() {
 }
 
 void RaxLock::UpgradeRhoToAlpha() {
+  TestHooks::Emit(HookPoint::kPreUpgrade, this);
+  UpgradeRhoToAlphaImpl();
+  TestHooks::Emit(HookPoint::kPostUpgrade, this);
+}
+
+void RaxLock::UpgradeRhoToAlphaImpl() {
   uint64_t cur = word_.load(std::memory_order_relaxed);
   assert((cur & kRhoMask) != 0);  // caller must hold rho
   assert((cur & kXiBit) == 0);    // impossible while a rho lock is out

@@ -69,6 +69,8 @@
 #include <deque>
 #include <mutex>
 
+#include "util/test_hooks.h"
+
 namespace exhash::util {
 
 enum class LockMode : uint8_t { kRho = 0, kAlpha = 1, kXi = 2 };
@@ -98,8 +100,24 @@ class RaxLock {
   RaxLock(const RaxLock&) = delete;
   RaxLock& operator=(const RaxLock&) = delete;
 
-  // Blocks until a lock in `mode` is granted.
+  // Blocks until a lock in `mode` is granted.  The TestHooks emissions
+  // bracketing the acquisition/release are the schedule-exploration yield
+  // points (DESIGN.md §6b); they compile to a load-and-predicted branch when
+  // no hook is installed.
   void Lock(LockMode mode) {
+    TestHooks::Emit(HookPoint::kPreLock, this);
+    LockImpl(mode);
+    TestHooks::Emit(HookPoint::kPostLock, this);
+  }
+
+  // Releases a lock previously granted in `mode`.
+  void Unlock(LockMode mode) {
+    UnlockImpl(mode);
+    TestHooks::Emit(HookPoint::kPostUnlock, this);
+  }
+
+ private:
+  void LockImpl(LockMode mode) {
     switch (mode) {
       case LockMode::kRho: {
         // Optimistic: one fetch_add grants the lock and counts the
@@ -146,8 +164,7 @@ class RaxLock {
     LockSlow(mode);
   }
 
-  // Releases a lock previously granted in `mode`.
-  void Unlock(LockMode mode) {
+  void UnlockImpl(LockMode mode) {
     switch (mode) {
       case LockMode::kRho: {
         const uint64_t now =
@@ -186,6 +203,7 @@ class RaxLock {
     }
   }
 
+ public:
   // Non-blocking acquisition; returns true on success.  A try-lock does not
   // queue, and to preserve FIFO fairness it fails if any waiter is queued.
   bool TryLock(LockMode mode) { return TryAcquireWord(mode); }
@@ -289,6 +307,10 @@ class RaxLock {
 
   // Moves the in-word acquisition counters into the 64-bit side counters.
   void FoldStats() const;
+
+  // The conversion algorithm proper (UpgradeRhoToAlpha wraps it in the
+  // TestHooks emissions).
+  void UpgradeRhoToAlphaImpl();
 
   // Tier two: queue behind the mutex, FIFO-granted by GrantFromQueue().
   void LockSlow(LockMode mode);

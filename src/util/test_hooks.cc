@@ -1,0 +1,21 @@
+#include "util/test_hooks.h"
+
+namespace exhash::util {
+
+std::atomic<const TestHooks::Impl*> TestHooks::impl_{nullptr};
+
+void TestHooks::Install(Fn fn, void* ctx) {
+  // Per the header contract no instrumented thread runs during Install/
+  // Clear, so swapping the pointer and freeing the old impl cannot race an
+  // Emit.
+  const Impl* old = impl_.exchange(new Impl{fn, ctx},
+                                   std::memory_order_release);
+  delete old;
+}
+
+void TestHooks::Clear() {
+  const Impl* old = impl_.exchange(nullptr, std::memory_order_release);
+  delete old;
+}
+
+}  // namespace exhash::util

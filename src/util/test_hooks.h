@@ -1,0 +1,82 @@
+// Process-global test instrumentation points ("yield points") for the
+// verify subsystem's schedule exploration (DESIGN.md §6b).
+//
+// The locking layer emits an event at every lock acquisition, release, and
+// conversion.  A schedule driver installs a callback that perturbs thread
+// timing at those points (yield, brief sleep, priority-based stalls), which
+// steers real threads into the narrow interleavings the Ellis protocols must
+// survive — the windows between publishing a bucket page and updating the
+// directory, between releasing one lock of a couple and taking the next, and
+// around rho->alpha conversion.
+//
+// Cost when no hook is installed — the only state the production binaries
+// ever see — is one relaxed-tier load of a never-written global plus a
+// predicted-not-taken branch per emission point.
+//
+// Contract: Install() and Clear() may only be called while no instrumented
+// thread is running (install before spawning workers, clear after joining
+// them).  That makes the fn/ctx pair race-free without any synchronization
+// on the emit path beyond the single acquire load.
+
+#ifndef EXHASH_UTIL_TEST_HOOKS_H_
+#define EXHASH_UTIL_TEST_HOOKS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace exhash::util {
+
+enum class HookPoint : uint8_t {
+  // About to request a lock (mode already chosen, nothing held yet by this
+  // request).  `where` is the RaxLock.
+  kPreLock = 0,
+  // Lock granted; the caller is about to touch the protected structure.
+  kPostLock = 1,
+  // Lock released; any state published under it is now visible to others.
+  // For the Ellis split paths this lands exactly between the bucket-page
+  // writes and the directory update (V1) — the paper's "wrong bucket"
+  // intermediate state.
+  kPostUnlock = 2,
+  // Directory rho->alpha conversion about to start / just completed.
+  kPreUpgrade = 3,
+  kPostUpgrade = 4,
+  // LockTable::For resolved a page to its lock (before any acquisition).
+  kLockLookup = 5,
+};
+
+constexpr int kNumHookPoints = 6;
+
+class TestHooks {
+ public:
+  // fn(ctx, point, where): `where` identifies the lock (or lock table)
+  // emitting the event — an opaque address, never dereferenced.
+  using Fn = void (*)(void* ctx, HookPoint point, const void* where);
+
+  // Installs the hook.  No instrumented threads may be running.
+  static void Install(Fn fn, void* ctx);
+
+  // Removes the hook.  No instrumented threads may be running.
+  static void Clear();
+
+  static bool Installed() {
+    return impl_.load(std::memory_order_relaxed) != nullptr;
+  }
+
+  // The emission point, called from lock hot paths.
+  static void Emit(HookPoint point, const void* where) {
+    const Impl* h = impl_.load(std::memory_order_acquire);
+    if (h != nullptr) [[unlikely]] h->fn(h->ctx, point, where);
+  }
+
+ private:
+  struct Impl {
+    Fn fn;
+    void* ctx;
+  };
+
+  static std::atomic<const Impl*> impl_;
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_TEST_HOOKS_H_

@@ -1,0 +1,153 @@
+#include "verify/history.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace exhash::verify {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFind:
+      return "Find";
+    case OpKind::kInsert:
+      return "Insert";
+    case OpKind::kRemove:
+      return "Remove";
+  }
+  return "?";
+}
+
+std::string OpRecord::ToString() const {
+  char buf[160];
+  switch (kind) {
+    case OpKind::kFind:
+      if (result) {
+        std::snprintf(buf, sizeof(buf),
+                      "t%d Find(%" PRIu64 ") -> true (value %" PRIu64
+                      ")  [%" PRIu64 ", %" PRIu64 "]",
+                      thread, key, out, invoke, ret);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "t%d Find(%" PRIu64 ") -> false  [%" PRIu64 ", %" PRIu64
+                      "]",
+                      thread, key, invoke, ret);
+      }
+      break;
+    case OpKind::kInsert:
+      std::snprintf(buf, sizeof(buf),
+                    "t%d Insert(%" PRIu64 ", %" PRIu64 ") -> %s  [%" PRIu64
+                    ", %" PRIu64 "]",
+                    thread, key, arg, result ? "true" : "false", invoke, ret);
+      break;
+    case OpKind::kRemove:
+      std::snprintf(buf, sizeof(buf),
+                    "t%d Remove(%" PRIu64 ") -> %s  [%" PRIu64 ", %" PRIu64
+                    "]",
+                    thread, key, result ? "true" : "false", invoke, ret);
+      break;
+  }
+  return buf;
+}
+
+size_t History::ThreadLog::Invoke(OpKind kind, uint64_t key, uint64_t arg) {
+  OpRecord op;
+  op.kind = kind;
+  op.thread = thread_;
+  op.key = key;
+  op.arg = arg;
+  op.invoke = owner_->Tick();
+  op.ret = UINT64_MAX;  // open until Return()
+  ops_.push_back(op);
+  return ops_.size() - 1;
+}
+
+void History::ThreadLog::Return(size_t token, bool result, uint64_t out) {
+  OpRecord& op = ops_[token];
+  op.result = result;
+  op.out = out;
+  op.ret = owner_->Tick();
+}
+
+History::ThreadLog* History::NewThread() {
+  std::lock_guard<std::mutex> guard(mu_);
+  logs_.emplace_back(ThreadLog(this, int(logs_.size())));
+  return &logs_.back();
+}
+
+std::vector<OpRecord> History::Merge() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<OpRecord> all;
+  for (const ThreadLog& log : logs_) {
+    for (const OpRecord& op : log.ops_) {
+      if (op.ret == UINT64_MAX) {
+        std::fprintf(stderr,
+                     "verify: History::Merge with an open op on thread %d — "
+                     "join workers before merging\n",
+                     log.thread_);
+        std::abort();
+      }
+      all.push_back(op);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              return a.invoke < b.invoke;
+            });
+  return all;
+}
+
+uint64_t History::num_ops() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t n = 0;
+  for (const ThreadLog& log : logs_) n += log.ops_.size();
+  return n;
+}
+
+namespace {
+std::atomic<uint64_t> g_next_recording_index_id{1};
+}  // namespace
+
+RecordingIndex::RecordingIndex(core::KeyValueIndex* base)
+    : base_(base),
+      instance_id_(
+          g_next_recording_index_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+History::ThreadLog& RecordingIndex::Log() {
+  thread_local std::vector<std::pair<uint64_t, History::ThreadLog*>> cache;
+  for (const auto& [id, log] : cache) {
+    if (id == instance_id_) return *log;
+  }
+  History::ThreadLog* log = history_.NewThread();
+  cache.emplace_back(instance_id_, log);
+  return *log;
+}
+
+bool RecordingIndex::Find(uint64_t key, uint64_t* value) {
+  History::ThreadLog& log = Log();
+  const size_t token = log.Invoke(OpKind::kFind, key, 0);
+  uint64_t out = 0;
+  const bool found = base_->Find(key, &out);
+  log.Return(token, found, out);
+  if (found && value != nullptr) *value = out;
+  return found;
+}
+
+bool RecordingIndex::Insert(uint64_t key, uint64_t value) {
+  History::ThreadLog& log = Log();
+  const size_t token = log.Invoke(OpKind::kInsert, key, value);
+  const bool ok = base_->Insert(key, value);
+  log.Return(token, ok);
+  return ok;
+}
+
+bool RecordingIndex::Remove(uint64_t key) {
+  History::ThreadLog& log = Log();
+  const size_t token = log.Invoke(OpKind::kRemove, key, 0);
+  const bool ok = base_->Remove(key);
+  log.Return(token, ok);
+  return ok;
+}
+
+}  // namespace exhash::verify

@@ -1,0 +1,125 @@
+// Invocation/response history recording for linearizability checking
+// (DESIGN.md §6b).
+//
+// Worker threads log each operation as two events — invocation (op + args)
+// and response (result) — stamped with ticks drawn from one process-wide
+// atomic counter.  The counter's modification order is consistent with
+// real-time precedence: if operation A's response event completes before
+// operation B's invocation event starts, A's response tick is smaller than
+// B's invocation tick.  That is exactly the precedence relation Herlihy &
+// Wing's definition needs, with no clock-resolution ties to break.
+//
+// Events are buffered per thread (no cross-thread contention beyond the
+// tick counter) and merged after the run.
+
+#ifndef EXHASH_VERIFY_HISTORY_H_
+#define EXHASH_VERIFY_HISTORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/kv_index.h"
+
+namespace exhash::verify {
+
+enum class OpKind : uint8_t { kFind = 0, kInsert = 1, kRemove = 2 };
+
+const char* OpKindName(OpKind kind);
+
+// One completed operation: what was asked, what came back, and the
+// real-time interval [invoke, ret] it occupied.
+struct OpRecord {
+  OpKind kind = OpKind::kFind;
+  int thread = -1;
+  uint64_t key = 0;
+  uint64_t arg = 0;     // insert's value
+  bool result = false;  // the returned bool
+  uint64_t out = 0;     // find's returned value (valid when result is true)
+  uint64_t invoke = 0;
+  uint64_t ret = 0;
+
+  // "t2 Insert(5, 7) -> true  [12, 19]"
+  std::string ToString() const;
+};
+
+class History {
+ public:
+  // Per-thread event log.  Not thread-safe; each worker owns one.
+  class ThreadLog {
+   public:
+    // Records the invocation event; returns a token to pass to Return().
+    size_t Invoke(OpKind kind, uint64_t key, uint64_t arg);
+    // Records the response event for the op `token` identifies.
+    void Return(size_t token, bool result, uint64_t out = 0);
+
+   private:
+    friend class History;
+    ThreadLog(History* owner, int thread) : owner_(owner), thread_(thread) {}
+    History* owner_;
+    int thread_;
+    std::vector<OpRecord> ops_;
+  };
+
+  History() = default;
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  // Registers a new logging thread.  Thread-safe; the returned pointer is
+  // stable for the History's lifetime.
+  ThreadLog* NewThread();
+
+  // Invocation-ordered merge of all logs.  Aborts if any op is still open —
+  // harnesses join their workers before merging.
+  std::vector<OpRecord> Merge() const;
+
+  uint64_t num_ops() const;
+
+ private:
+  uint64_t Tick() { return clock_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<uint64_t> clock_{0};
+  mutable std::mutex mu_;
+  std::deque<ThreadLog> logs_;  // deque: stable addresses
+};
+
+// KeyValueIndex adapter that records every Find/Insert/Remove into an owned
+// History.  Threads register lazily on first use; all other virtuals
+// forward to the wrapped index.
+class RecordingIndex : public core::KeyValueIndex {
+ public:
+  explicit RecordingIndex(core::KeyValueIndex* base);
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+
+  uint64_t Size() const override { return base_->Size(); }
+  std::string Name() const override { return base_->Name() + "+recorded"; }
+  int Depth() const override { return base_->Depth(); }
+  core::TableStats Stats() const override { return base_->Stats(); }
+  bool Validate(std::string* error) override { return base_->Validate(error); }
+  uint64_t ForEachRecord(
+      const std::function<void(uint64_t, uint64_t)>& visit) override {
+    return base_->ForEachRecord(visit);
+  }
+
+  History& history() { return history_; }
+
+ private:
+  // The calling thread's log, registered on first use.  Cached in a
+  // thread-local keyed by a process-unique instance id (an address would
+  // alias across construct/destroy cycles at the same location).
+  History::ThreadLog& Log();
+
+  core::KeyValueIndex* base_;
+  History history_;
+  uint64_t instance_id_;
+};
+
+}  // namespace exhash::verify
+
+#endif  // EXHASH_VERIFY_HISTORY_H_

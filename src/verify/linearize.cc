@@ -1,0 +1,251 @@
+#include "verify/linearize.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+namespace exhash::verify {
+
+namespace {
+
+// Sequential map model: present keys and their values.  Absent keys are not
+// stored, so equal abstract states have equal representations (memo relies
+// on this).
+using Model = std::map<uint64_t, uint64_t>;
+
+// Applies `op` to the model; returns false if the recorded result is
+// inconsistent with the model state (this linearization order is invalid).
+bool Apply(const OpRecord& op, Model* m) {
+  auto it = m->find(op.key);
+  const bool present = it != m->end();
+  switch (op.kind) {
+    case OpKind::kFind:
+      if (op.result != present) return false;
+      if (present && op.out != it->second) return false;
+      return true;
+    case OpKind::kInsert:
+      if (present) return op.result == false;
+      if (!op.result) return false;
+      (*m)[op.key] = op.arg;
+      return true;
+    case OpKind::kRemove:
+      if (!present) return op.result == false;
+      if (!op.result) return false;
+      m->erase(it);
+      return true;
+  }
+  return false;
+}
+
+struct VecHash {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    uint64_t h = 0xcbf29ce484222325u;
+    for (uint64_t w : v) {
+      h ^= w;
+      h *= 0x100000001b3u;
+    }
+    return size_t(h);
+  }
+};
+
+// Wing & Gong search over one partition's ops (invocation-sorted).
+class SubChecker {
+ public:
+  SubChecker(const std::vector<OpRecord>& ops, uint64_t budget)
+      : ops_(ops), budget_(budget), words_((ops.size() + 63) / 64) {}
+
+  // kLinearizable / kNonLinearizable / kBudgetExceeded for this partition.
+  Verdict Run();
+
+  uint64_t states() const { return states_; }
+  // Deepest valid prefix found (meaningful after a kNonLinearizable Run).
+  const std::vector<int>& best_path() const { return best_path_; }
+  const Model& best_model() const { return best_model_; }
+  std::vector<uint64_t> best_mask() const { return best_mask_; }
+
+ private:
+  struct Frame {
+    std::vector<uint64_t> mask;  // linearized set
+    Model model;
+    std::vector<int> cands;
+    size_t next = 0;
+  };
+
+  static bool TestBit(const std::vector<uint64_t>& mask, int i) {
+    return (mask[size_t(i) / 64] >> (i % 64)) & 1;
+  }
+  static void SetBit(std::vector<uint64_t>* mask, int i) {
+    (*mask)[size_t(i) / 64] |= uint64_t{1} << (i % 64);
+  }
+
+  // Ops eligible to linearize next: un-linearized ops invoked before every
+  // un-linearized response (an op that responded before another's invocation
+  // must precede it in any linearization).
+  std::vector<int> Candidates(const std::vector<uint64_t>& mask) const {
+    uint64_t min_ret = UINT64_MAX;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!TestBit(mask, int(i))) min_ret = std::min(min_ret, ops_[i].ret);
+    }
+    std::vector<int> cands;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!TestBit(mask, int(i)) && ops_[i].invoke < min_ret) {
+        cands.push_back(int(i));
+      }
+    }
+    return cands;
+  }
+
+  std::vector<uint64_t> MemoKey(const std::vector<uint64_t>& mask,
+                                const Model& model) const {
+    std::vector<uint64_t> key = mask;
+    key.reserve(mask.size() + 2 * model.size());
+    for (const auto& [k, v] : model) {
+      key.push_back(k);
+      key.push_back(v);
+    }
+    return key;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const uint64_t budget_;
+  const size_t words_;
+  uint64_t states_ = 0;
+  std::vector<int> best_path_;
+  Model best_model_;
+  std::vector<uint64_t> best_mask_;
+};
+
+Verdict SubChecker::Run() {
+  const size_t n = ops_.size();
+  if (n == 0) return Verdict::kLinearizable;
+
+  std::unordered_set<std::vector<uint64_t>, VecHash> visited;
+  std::vector<Frame> stack;
+  std::vector<int> path;  // chosen op of stack[1..]
+
+  Frame root;
+  root.mask.assign(words_, 0);
+  root.cands = Candidates(root.mask);
+  visited.insert(MemoKey(root.mask, root.model));
+  states_ = 1;
+  best_mask_.assign(words_, 0);
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next >= f.cands.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      continue;
+    }
+    const int c = f.cands[f.next++];
+
+    Model model = f.model;
+    if (!Apply(ops_[c], &model)) continue;
+    std::vector<uint64_t> mask = f.mask;
+    SetBit(&mask, c);
+    if (!visited.insert(MemoKey(mask, model)).second) continue;
+    if (++states_ > budget_) return Verdict::kBudgetExceeded;
+
+    path.push_back(c);
+    if (path.size() > best_path_.size()) {
+      best_path_ = path;
+      best_model_ = model;
+      best_mask_ = mask;
+    }
+    if (path.size() == n) return Verdict::kLinearizable;
+
+    Frame child;
+    child.cands = Candidates(mask);
+    child.mask = std::move(mask);
+    child.model = std::move(model);
+    stack.push_back(std::move(child));
+  }
+  return Verdict::kNonLinearizable;
+}
+
+}  // namespace
+
+std::string Counterexample::Format() const {
+  std::string s;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "non-linearizable at key %" PRIu64 ": %zu op(s) linearize, "
+                "then none of the remaining %zu can be next\n",
+                key, linearized.size(), stuck.size());
+  s += buf;
+  if (model_present) {
+    std::snprintf(buf, sizeof(buf),
+                  "model after prefix: key %" PRIu64 " present, value %" PRIu64
+                  "\n",
+                  key, model_value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "model after prefix: key %" PRIu64
+                  " absent\n", key);
+  }
+  s += buf;
+  const size_t tail = std::min<size_t>(linearized.size(), 6);
+  if (tail > 0) {
+    s += "  prefix (last " + std::to_string(tail) + "):\n";
+    for (size_t i = linearized.size() - tail; i < linearized.size(); ++i) {
+      s += "    " + linearized[i].ToString() + "\n";
+    }
+  }
+  s += "  stuck window:\n";
+  const size_t cap = std::min<size_t>(stuck.size(), 12);
+  for (size_t i = 0; i < cap; ++i) {
+    s += "    " + stuck[i].ToString() + "\n";
+  }
+  if (cap < stuck.size()) {
+    s += "    ... " + std::to_string(stuck.size() - cap) + " more\n";
+  }
+  return s;
+}
+
+CheckResult CheckHistory(const std::vector<OpRecord>& history,
+                         const CheckOptions& options) {
+  // Partitions in deterministic (key-sorted) order; one partition holding
+  // everything when partitioning is off.
+  std::map<uint64_t, std::vector<OpRecord>> groups;
+  if (options.partition_by_key) {
+    for (const OpRecord& op : history) groups[op.key].push_back(op);
+  } else {
+    groups[0] = history;
+  }
+
+  CheckResult result;
+  for (auto& [key, ops] : groups) {
+    // Merge() sorted the full history; per-key projections inherit order.
+    std::sort(ops.begin(), ops.end(),
+              [](const OpRecord& a, const OpRecord& b) {
+                return a.invoke < b.invoke;
+              });
+    const uint64_t budget_left = options.max_states > result.states
+                                     ? options.max_states - result.states
+                                     : 0;
+    SubChecker checker(ops, budget_left);
+    const Verdict v = checker.Run();
+    result.states += checker.states();
+    if (v == Verdict::kLinearizable) continue;
+    result.verdict = v;
+    if (v == Verdict::kNonLinearizable) {
+      Counterexample& cex = result.cex;
+      cex.key = key;
+      for (int i : checker.best_path()) cex.linearized.push_back(ops[i]);
+      const auto mask = checker.best_mask();
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (((mask[i / 64] >> (i % 64)) & 1) == 0) cex.stuck.push_back(ops[i]);
+      }
+      const Model& m = checker.best_model();
+      const auto it = m.find(key);
+      cex.model_present = it != m.end();
+      cex.model_value = cex.model_present ? it->second : 0;
+    }
+    return result;  // first failing / over-budget partition wins
+  }
+  return result;
+}
+
+}  // namespace exhash::verify

@@ -1,0 +1,70 @@
+// Linearizability checker for map histories (DESIGN.md §6b).
+//
+// Implements Wing & Gong's search — pick any operation whose invocation
+// precedes every un-linearized response, apply it to the sequential model,
+// recurse — with two of Lowe's optimizations:
+//
+//   * memoization on (linearized-set, model-state): two search paths that
+//     linearized the same op subset leave the model in the same abstract
+//     state, so revisits are pruned;
+//   * P-compositionality: every operation here touches exactly one key and
+//     the map's sequential spec is a product of independent per-key specs,
+//     so a history is linearizable iff each key's projected sub-history is.
+//     Keys partition the search into many small problems instead of one
+//     exponential one.
+//
+// The sequential model per key is the paper's map contract: Find reports
+// (present, value); Insert succeeds iff absent (and binds the value);
+// Remove succeeds iff present.
+
+#ifndef EXHASH_VERIFY_LINEARIZE_H_
+#define EXHASH_VERIFY_LINEARIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/history.h"
+
+namespace exhash::verify {
+
+struct CheckOptions {
+  // Partition the history by key before searching (sound for this ADT; see
+  // header).  Off only for checker self-tests comparing the two paths.
+  bool partition_by_key = true;
+  // Total search-state budget across all partitions; exceeding it yields
+  // Verdict::kBudgetExceeded rather than an unbounded search.
+  uint64_t max_states = 4u << 20;
+};
+
+enum class Verdict {
+  kLinearizable,
+  kNonLinearizable,
+  kBudgetExceeded,
+};
+
+// On failure: the deepest linearizable prefix the search found and the ops
+// that cannot extend it — the minimal window to stare at, not the whole
+// history.
+struct Counterexample {
+  uint64_t key = 0;                  // the partition that failed
+  std::vector<OpRecord> linearized;  // deepest valid linearization prefix
+  std::vector<OpRecord> stuck;       // remaining ops, invocation order
+  bool model_present = false;        // model state after the prefix
+  uint64_t model_value = 0;
+
+  std::string Format() const;
+};
+
+struct CheckResult {
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t states = 0;  // search nodes visited
+  Counterexample cex;   // meaningful iff verdict == kNonLinearizable
+};
+
+CheckResult CheckHistory(const std::vector<OpRecord>& history,
+                         const CheckOptions& options = {});
+
+}  // namespace exhash::verify
+
+#endif  // EXHASH_VERIFY_LINEARIZE_H_

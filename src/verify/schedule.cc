@@ -1,0 +1,336 @@
+#include "verify/schedule.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/test_hooks.h"
+#include "verify/history.h"
+
+namespace exhash::verify {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, stream) pairs into RNG seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15u * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9u;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBu;
+  return z ^ (z >> 31);
+}
+
+const char* HookName(util::HookPoint p) {
+  switch (p) {
+    case util::HookPoint::kPreLock:
+      return "pre-lock";
+    case util::HookPoint::kPostLock:
+      return "post-lock";
+    case util::HookPoint::kPostUnlock:
+      return "post-unlock";
+    case util::HookPoint::kPreUpgrade:
+      return "pre-upgrade";
+    case util::HookPoint::kPostUpgrade:
+      return "post-upgrade";
+    case util::HookPoint::kLockLookup:
+      return "lock-lookup";
+  }
+  return "?";
+}
+
+class YieldController;
+
+// Identifies the calling worker to its controller.  Plain thread-locals:
+// workers of at most one schedule run at a time (see RunOneSchedule's
+// contract), and stale values from a previous run are fenced by the owner
+// check in AtPoint.
+thread_local YieldController* tls_owner = nullptr;
+thread_local int tls_tid = -1;
+
+// Turns TestHooks emissions into seed-deterministic timing perturbations.
+class YieldController {
+ public:
+  static constexpr int kMaxThreads = 16;
+  static constexpr int kMaxDemotions = 16;
+  static constexpr size_t kTraceCap = 128;
+
+  enum class Action : uint8_t { kYield, kSleep, kDemote, kBackoff };
+
+  struct TraceEntry {
+    uint64_t point;
+    uint8_t tid;
+    util::HookPoint hook;
+    Action action;
+  };
+
+  explicit YieldController(const ScheduleConfig& config) : config_(config) {
+    assert(config.threads <= kMaxThreads);
+    for (int t = 0; t < config.threads; ++t) {
+      rngs_.emplace_back(MixSeed(config.seed, 0x11E1Du + uint64_t(t)));
+      priority_[t].store(0, std::memory_order_relaxed);
+      active_[t].store(false, std::memory_order_relaxed);
+    }
+    if (config.mode == ScheduleConfig::Mode::kPct) {
+      util::Rng rng(MixSeed(config.seed, 0x9C7));
+      // Random priority permutation (1..threads; demotions go <= 0).
+      int perm[kMaxThreads];
+      for (int t = 0; t < config.threads; ++t) perm[t] = t + 1;
+      for (int t = config.threads - 1; t > 0; --t) {
+        std::swap(perm[t], perm[rng.Uniform(uint64_t(t) + 1)]);
+      }
+      for (int t = 0; t < config.threads; ++t) {
+        priority_[t].store(perm[t], std::memory_order_relaxed);
+      }
+      num_demotions_ = std::min(config.pct_depth, kMaxDemotions);
+      for (int k = 0; k < num_demotions_; ++k) {
+        demote_at_[k] = rng.Uniform(uint64_t(config.expected_points));
+      }
+      std::sort(demote_at_, demote_at_ + num_demotions_);
+    }
+    util::TestHooks::Install(&Trampoline, this);
+  }
+
+  ~YieldController() { Stop(); }
+
+  // Uninstalls the hook.  Call after joining all workers.
+  void Stop() {
+    if (util::TestHooks::Installed()) util::TestHooks::Clear();
+  }
+
+  void BeginThread(int tid) {
+    tls_owner = this;
+    tls_tid = tid;
+    active_[tid].store(true, std::memory_order_relaxed);
+  }
+
+  void EndThread(int tid) {
+    active_[tid].store(false, std::memory_order_relaxed);
+    tls_owner = nullptr;
+    tls_tid = -1;
+  }
+
+  uint64_t points() const {
+    return points_.load(std::memory_order_relaxed);
+  }
+  uint64_t perturbations() const {
+    return perturbations_.load(std::memory_order_relaxed);
+  }
+
+  std::string FormatTrace() const {
+    const size_t n =
+        std::min<size_t>(trace_len_.load(std::memory_order_acquire),
+                         kTraceCap);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "perturbation trace (%" PRIu64 " taken over %" PRIu64
+                  " yield points, first %zu):\n",
+                  perturbations(), points(), n);
+    std::string s = buf;
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEntry& e = trace_[i];
+      const char* action = e.action == Action::kYield    ? "yield"
+                           : e.action == Action::kSleep  ? "sleep"
+                           : e.action == Action::kDemote ? "demote"
+                                                         : "backoff";
+      std::snprintf(buf, sizeof(buf), "  @%" PRIu64 " t%d %s %s\n", e.point,
+                    int(e.tid), HookName(e.hook), action);
+      s += buf;
+    }
+    return s;
+  }
+
+ private:
+  static void Trampoline(void* ctx, util::HookPoint point, const void*) {
+    static_cast<YieldController*>(ctx)->AtPoint(point);
+  }
+
+  void AtPoint(util::HookPoint point) {
+    if (tls_owner != this || tls_tid < 0) return;  // untracked thread
+    const int tid = tls_tid;
+    const uint64_t n = points_.fetch_add(1, std::memory_order_relaxed);
+
+    if (config_.mode == ScheduleConfig::Mode::kRandomYield) {
+      util::Rng& rng = rngs_[size_t(tid)];
+      const double roll = rng.NextDouble();
+      if (roll < config_.sleep_prob) {
+        Record(n, tid, point, Action::kSleep);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            1 + rng.Uniform(config_.max_sleep_us)));
+      } else if (roll < config_.sleep_prob + config_.yield_prob) {
+        Record(n, tid, point, Action::kYield);
+        std::this_thread::yield();
+      }
+      return;
+    }
+
+    // PCT: fire due demotions (each point index is drawn exactly once from
+    // the fetch_add, so claim with a CAS; >= absorbs duplicate samples).
+    int k = next_demotion_.load(std::memory_order_relaxed);
+    while (k < num_demotions_ && n >= demote_at_[k]) {
+      if (next_demotion_.compare_exchange_weak(k, k + 1,
+                                               std::memory_order_relaxed)) {
+        priority_[tid].store(next_low_.fetch_sub(1, std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        Record(n, tid, point, Action::kDemote);
+        break;
+      }
+    }
+    // Back off while a higher-priority thread is active — bounded, because
+    // a higher-priority thread may be invisibly blocked inside a lock this
+    // thread holds the key to.
+    for (int spins = 0; spins < 200; ++spins) {
+      const int mine = priority_[tid].load(std::memory_order_relaxed);
+      bool higher = false;
+      for (int t = 0; t < config_.threads; ++t) {
+        if (t != tid && active_[t].load(std::memory_order_relaxed) &&
+            priority_[t].load(std::memory_order_relaxed) > mine) {
+          higher = true;
+          break;
+        }
+      }
+      if (!higher) break;
+      if (spins == 0) Record(n, tid, point, Action::kBackoff);
+      std::this_thread::yield();
+    }
+  }
+
+  void Record(uint64_t point, int tid, util::HookPoint hook, Action action) {
+    perturbations_.fetch_add(1, std::memory_order_relaxed);
+    const size_t slot = trace_len_.fetch_add(1, std::memory_order_acq_rel);
+    if (slot < kTraceCap) {
+      trace_[slot] = TraceEntry{point, uint8_t(tid), hook, action};
+    }
+  }
+
+  const ScheduleConfig config_;
+  std::vector<util::Rng> rngs_;
+  std::atomic<bool> active_[kMaxThreads];
+  std::atomic<int> priority_[kMaxThreads];
+  uint64_t demote_at_[kMaxDemotions] = {};
+  int num_demotions_ = 0;
+  std::atomic<int> next_demotion_{0};
+  std::atomic<int> next_low_{0};
+  std::atomic<uint64_t> points_{0};
+  std::atomic<uint64_t> perturbations_{0};
+  std::atomic<size_t> trace_len_{0};
+  TraceEntry trace_[kTraceCap];
+};
+
+// Unique per (thread, op index) so a stale read shows up as a value
+// mismatch, not just a presence anomaly.
+uint64_t ValueOf(int tid, int i) {
+  return (uint64_t(tid + 1) << 32) | uint64_t(i + 1);
+}
+
+}  // namespace
+
+ScheduleOutcome RunOneSchedule(core::KeyValueIndex* table,
+                               const ScheduleConfig& config) {
+  RecordingIndex recorded(table);
+  YieldController controller(config);
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      controller.BeginThread(t);
+      util::Rng rng(MixSeed(config.seed, 0x05EEDu + uint64_t(t)));
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < config.ops_per_thread; ++i) {
+        const double roll = rng.NextDouble();
+        const uint64_t key = rng.Uniform(config.key_space);
+        if (roll < 0.40) {
+          recorded.Insert(key, ValueOf(t, i));
+        } else if (roll < 0.70) {
+          recorded.Find(key, nullptr);
+        } else {
+          recorded.Remove(key);
+        }
+      }
+      controller.EndThread(t);
+    });
+  }
+  while (ready.load() != config.threads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  controller.Stop();
+
+  ScheduleOutcome outcome;
+  outcome.seed = config.seed;
+  const std::vector<OpRecord> history = recorded.history().Merge();
+  outcome.ops = history.size();
+  const CheckResult check = CheckHistory(history);
+  outcome.verdict = check.verdict;
+  outcome.states = check.states;
+  outcome.points = controller.points();
+  outcome.perturbations = controller.perturbations();
+
+  std::string validate_error;
+  const bool structurally_ok =
+      !config.validate_after || table->Validate(&validate_error);
+  outcome.ok =
+      check.verdict == Verdict::kLinearizable && structurally_ok;
+
+  if (!outcome.ok) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "schedule seed=%" PRIu64
+                  " threads=%d ops/thread=%d keys=%" PRIu64 " mode=%s\n",
+                  config.seed, config.threads, config.ops_per_thread,
+                  config.key_space,
+                  config.mode == ScheduleConfig::Mode::kPct ? "pct"
+                                                            : "random-yield");
+    outcome.report = buf;
+    if (check.verdict == Verdict::kNonLinearizable) {
+      outcome.report += check.cex.Format();
+    } else if (check.verdict == Verdict::kBudgetExceeded) {
+      outcome.report += "checker search budget exceeded\n";
+    }
+    if (!structurally_ok) {
+      outcome.report += "quiescent validation failed: " + validate_error +
+                        "\n";
+    }
+    outcome.report += controller.FormatTrace();
+  }
+  return outcome;
+}
+
+SweepOutcome RunSweep(
+    const std::function<std::unique_ptr<core::KeyValueIndex>()>& factory,
+    const ScheduleConfig& base, uint64_t num_seeds) {
+  SweepOutcome sweep;
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    ScheduleConfig config = base;
+    config.seed = base.seed + s;
+    std::unique_ptr<core::KeyValueIndex> table = factory();
+    const ScheduleOutcome outcome = RunOneSchedule(table.get(), config);
+    ++sweep.schedules;
+    sweep.total_states += outcome.states;
+    if (!outcome.ok) {
+      ++sweep.failures;
+      sweep.first_failure = outcome;
+      break;  // the printed seed replays it
+    }
+  }
+  return sweep;
+}
+
+uint64_t SweepBudgetFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("EXHASH_VERIFY_SWEEP");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return fallback;
+  return uint64_t(v);
+}
+
+}  // namespace exhash::verify

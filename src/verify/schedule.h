@@ -1,0 +1,100 @@
+// Schedule exploration: runs small concurrent workloads against a table
+// while perturbing thread timing at the TestHooks yield points, records the
+// history, and checks it for linearizability (DESIGN.md §6b).
+//
+// Two exploration modes, both replayable from a printed seed:
+//
+//   * kRandomYield — at each yield point the running thread consults its own
+//     seeded RNG and either proceeds, yields the core, or sleeps a few tens
+//     of microseconds.  Decisions depend only on (seed, thread, decision
+//     index), never on the interleaving, so a failing seed re-runs the same
+//     perturbation schedule.
+//   * kPct — PCT-style (Burckhardt et al.): threads get random priorities
+//     from the seed, plus d priority-demotion points sampled over the run's
+//     expected yield-point count.  At every yield point a thread that is not
+//     the highest-priority active thread backs off (bounded, so a thread
+//     blocked invisibly inside a lock cannot livelock the run).  With d
+//     demotions this probes depth-(d+1) ordering bugs systematically rather
+//     than by luck.
+//
+// The driver is deliberately built on real threads and the real locks: it
+// explores genuine interleavings of the production code, so a "pass over N
+// seeds" is evidence about the shipped protocol, not a model of it.
+
+#ifndef EXHASH_VERIFY_SCHEDULE_H_
+#define EXHASH_VERIFY_SCHEDULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/kv_index.h"
+#include "verify/linearize.h"
+
+namespace exhash::verify {
+
+struct ScheduleConfig {
+  enum class Mode { kRandomYield, kPct };
+
+  int threads = 3;
+  int ops_per_thread = 12;
+  // Keys are drawn uniformly from [0, key_space): small spaces force the
+  // per-bucket and same-key collisions where the protocols earn their keep.
+  uint64_t key_space = 6;
+  uint64_t seed = 1;
+  Mode mode = Mode::kRandomYield;
+
+  // kRandomYield knobs.
+  double yield_prob = 0.25;
+  double sleep_prob = 0.05;
+  uint32_t max_sleep_us = 50;
+
+  // kPct knobs.
+  int pct_depth = 3;            // priority-demotion points (the "d")
+  int expected_points = 400;    // demotion points are sampled in [0, this)
+
+  // Also require a quiescent Validate() after the run (on by default; the
+  // checker finds history anomalies, the validator structural ones).
+  bool validate_after = true;
+};
+
+struct ScheduleOutcome {
+  bool ok = true;
+  uint64_t seed = 0;
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t states = 0;        // checker search nodes
+  uint64_t ops = 0;           // recorded operations
+  uint64_t points = 0;        // yield points hit
+  uint64_t perturbations = 0; // yields/sleeps/backoffs actually taken
+  // On failure: counterexample, seed, config one-liner, and the yield-point
+  // trace (satellite: actionable output, not the raw history).
+  std::string report;
+};
+
+// Runs one seeded schedule against `table` (which must be freshly
+// constructed and empty).  Installs and clears the process-global TestHooks;
+// do not run two schedules concurrently in one process.
+ScheduleOutcome RunOneSchedule(core::KeyValueIndex* table,
+                               const ScheduleConfig& config);
+
+struct SweepOutcome {
+  uint64_t schedules = 0;
+  uint64_t failures = 0;
+  uint64_t total_states = 0;
+  ScheduleOutcome first_failure;  // meaningful iff failures > 0
+};
+
+// Runs seeds [base.seed, base.seed + num_seeds) over tables from `factory`.
+// Stops early after the first failure (its seed replays it).
+SweepOutcome RunSweep(
+    const std::function<std::unique_ptr<core::KeyValueIndex>()>& factory,
+    const ScheduleConfig& base, uint64_t num_seeds);
+
+// Seed budget for sweep tests: EXHASH_VERIFY_SWEEP when set and positive,
+// otherwise `fallback` (the smoke-tier cap).
+uint64_t SweepBudgetFromEnv(uint64_t fallback);
+
+}  // namespace exhash::verify
+
+#endif  // EXHASH_VERIFY_SCHEDULE_H_

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
 
 #include "core/ellis_v1.h"
@@ -27,6 +31,13 @@ TableOptions ScenarioOptions() {
   options.max_depth = 16;
   options.hasher = identity();
   options.poison_on_dealloc = true;
+  // Disk-backed, with a pid + counter in the name: parallel ctest runners
+  // (one process per test) share TempDir, and a shared backing file would
+  // let two tables corrupt each other.
+  static std::atomic<int> counter{0};
+  options.backing_file = ::testing::TempDir() + "exhash_deadlock_" +
+                         std::to_string(::getpid()) + "_" +
+                         std::to_string(counter.fetch_add(1));
   return options;
 }
 
@@ -37,7 +48,8 @@ TableOptions ScenarioOptions() {
 // sides at full speed.
 template <typename Table>
 void RunRelockVsChainWalk() {
-  Table table(ScenarioOptions());
+  const TableOptions options = ScenarioOptions();
+  Table table(options);
   std::atomic<bool> stop{false};
 
   // Deleter thread: perpetually creates and deletes the lone record of the
@@ -79,7 +91,8 @@ void RunRelockVsChainWalk() {
   inserter.join();
 
   std::string error;
-  ASSERT_TRUE(table.Validate(&error)) << error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+  std::remove(options.backing_file.c_str());
 }
 
 TEST(DeadlockScenarioTest, V1PartnerRelockVsChainWalk) {
@@ -95,7 +108,8 @@ TEST(DeadlockScenarioTest, V2PartnerRelockVsChainWalk) {
 // splitting inserters (converters) against a stream of merging deleters
 // (whose GC phase queues xi on the directory).
 TEST(DeadlockScenarioTest, V2ConversionVsGarbageCollection) {
-  EllisHashTableV2 table(ScenarioOptions());
+  const TableOptions options = ScenarioOptions();
+  EllisHashTableV2 table(options);
   std::atomic<bool> stop{false};
 
   std::thread splitter([&] {
@@ -127,9 +141,10 @@ TEST(DeadlockScenarioTest, V2ConversionVsGarbageCollection) {
   merger.join();
 
   std::string error;
-  ASSERT_TRUE(table.Validate(&error)) << error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
   // The conversion path genuinely ran.
   EXPECT_GT(table.DirectoryLockStats().upgrades, 0u);
+  std::remove(options.backing_file.c_str());
 }
 
 }  // namespace

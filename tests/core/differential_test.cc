@@ -1,0 +1,132 @@
+// Property-based differential testing: both concurrent protocols and the
+// sequential baseline, fed one identical randomized op stream, must agree
+// with each other and with a std::map reference at every step — through
+// directory doublings on the way up and merges/halvings on the way down.
+// Any divergence in return value, found value, or size is a protocol bug
+// even if every structure stays internally valid.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "core/sequential_hash.h"
+#include "util/random.h"
+
+namespace exhash::core {
+namespace {
+
+TableOptions SmallOptions() {
+  TableOptions options;
+  options.page_size = 112;  // capacity 4
+  options.initial_depth = 1;
+  options.max_depth = 16;
+  return options;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  DifferentialTest()
+      : v1_(SmallOptions()), v2_(SmallOptions()), seq_(SmallOptions()) {}
+
+  KeyValueIndex* tables_[3] = {&v1_, &v2_, &seq_};
+
+  void Insert(uint64_t key, uint64_t value) {
+    const bool expect = model_.emplace(key, value).second;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Insert(key, value), expect)
+          << t->Name() << " Insert(" << key << ") diverged at op " << ops_;
+    }
+    ++ops_;
+  }
+
+  void Find(uint64_t key) {
+    const auto it = model_.find(key);
+    const bool expect = it != model_.end();
+    for (KeyValueIndex* t : tables_) {
+      uint64_t out = 0;
+      ASSERT_EQ(t->Find(key, &out), expect)
+          << t->Name() << " Find(" << key << ") diverged at op " << ops_;
+      if (expect) {
+        ASSERT_EQ(out, it->second)
+            << t->Name() << " Find(" << key << ") wrong value at op " << ops_;
+      }
+    }
+    ++ops_;
+  }
+
+  void Remove(uint64_t key) {
+    const bool expect = model_.erase(key) != 0;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Remove(key), expect)
+          << t->Name() << " Remove(" << key << ") diverged at op " << ops_;
+    }
+    ++ops_;
+  }
+
+  void CheckState() {
+    std::string error;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Size(), model_.size()) << t->Name() << " at op " << ops_;
+      ASSERT_TRUE(t->Validate(&error))
+          << t->Name() << " at op " << ops_ << ": " << error;
+    }
+  }
+
+  EllisHashTableV1 v1_;
+  EllisHashTableV2 v2_;
+  SequentialExtendibleHash seq_;
+  std::map<uint64_t, uint64_t> model_;
+  uint64_t ops_ = 0;
+};
+
+TEST_P(DifferentialTest, GrowThenShrinkAgreesEverywhere) {
+  util::Rng rng(GetParam());
+  constexpr uint64_t kKeySpace = 96;  // depth ~5 at peak with capacity 4
+
+  // Grow phase: insert-heavy, through several doublings.
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    const double roll = rng.NextDouble();
+    if (roll < 0.70) {
+      Insert(key, rng.Next());
+    } else if (roll < 0.90) {
+      Find(key);
+    } else {
+      Remove(key);
+    }
+    if (i % 64 == 0) CheckState();
+  }
+  CheckState();
+  EXPECT_GT(seq_.Stats().doublings, 0u);
+
+  // Shrink phase: remove-heavy, through merges.
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    const double roll = rng.NextDouble();
+    if (roll < 0.70) {
+      Remove(key);
+    } else if (roll < 0.90) {
+      Find(key);
+    } else {
+      Insert(key, rng.Next());
+    }
+    if (i % 64 == 0) CheckState();
+  }
+
+  // Full drain: every implementation must come back down through halvings
+  // to an empty, still-valid file.
+  while (!model_.empty()) Remove(model_.begin()->first);
+  CheckState();
+  EXPECT_GT(seq_.Stats().merges, 0u);
+  EXPECT_GT(seq_.Stats().halvings, 0u);
+  for (KeyValueIndex* t : tables_) EXPECT_EQ(t->Size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace exhash::core

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -137,7 +140,10 @@ TEST(PageStoreTest, PageTransfersAreAtomic) {
 class FilePageStoreTest : public ::testing::Test {
  protected:
   std::string Path() {
+    // Test name alone is not enough: repeated or sharded runs of the same
+    // test can overlap in one TempDir, so include the pid too.
     return ::testing::TempDir() + "exhash_pages_" +
+           std::to_string(::getpid()) + "_" +
            ::testing::UnitTest::GetInstance()->current_test_info()->name();
   }
   void TearDown() override { std::remove(Path().c_str()); }

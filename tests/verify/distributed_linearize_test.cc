@@ -1,0 +1,132 @@
+// End-to-end linearizability of the distributed layer under faults: tapped
+// retrying clients record invocation/response intervals while the network
+// drops, duplicates, and delays their traffic.  Whatever the retries and
+// failovers do internally, the observable history must stay linearizable —
+// an at-least-once duplicate that applied a mutation twice, or a failover
+// that resurrected a stale reply, shows up here as a checker verdict.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/cluster.h"
+#include "util/random.h"
+#include "verify/history.h"
+#include "verify/linearize.h"
+
+namespace exhash::dist {
+namespace {
+
+using verify::CheckHistory;
+using verify::History;
+using verify::OpKind;
+using verify::Verdict;
+
+OpKind KindOf(OpType op) {
+  switch (op) {
+    case OpType::kFind:
+      return OpKind::kFind;
+    case OpType::kInsert:
+      return OpKind::kInsert;
+    case OpType::kDelete:
+      return OpKind::kRemove;
+  }
+  return OpKind::kFind;
+}
+
+// Bridges a client's op tap into a History thread log.
+void Tap(Cluster::Client* client, History::ThreadLog* log) {
+  Cluster::Client::OpTap tap;
+  tap.on_invoke = [log](OpType op, uint64_t key, uint64_t arg) {
+    return log->Invoke(KindOf(op), key, arg);
+  };
+  tap.on_return = [log](size_t token, bool result, uint64_t out) {
+    log->Return(token, result, out);
+  };
+  client->SetTap(std::move(tap));
+}
+
+class DistributedLinearizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistributedLinearizeTest, FaultyClusterHistoryIsLinearizable) {
+  const uint64_t seed = GetParam();
+
+  Cluster::Options o;
+  o.num_directory_managers = 3;
+  o.num_bucket_managers = 2;
+  o.page_size = 112;  // capacity 4
+  o.initial_depth = 2;
+  o.max_depth = 16;
+  o.spill_per_8 = 2;
+  o.net.delay_ns_max = 100'000;
+  o.net.seed = seed;
+  o.faults.request_drop = 0.10;
+  o.faults.request_dup = 0.10;
+  o.faults.reply_drop = 0.10;
+  o.faults.reply_dup = 0.10;
+  o.faults.interior_dup = 0.05;
+  o.retry.enabled = true;
+  Cluster cluster(o);
+
+  // A *shared* small key space — unlike the chaos test's disjoint ranges —
+  // so clients genuinely race on the same keys and the checker has real
+  // overlap to resolve.
+  constexpr int kClients = 3;
+  constexpr int kOpsPerClient = 60;
+  constexpr uint64_t kKeySpace = 8;
+
+  History history;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = cluster.NewClient();
+      History::ThreadLog* log = history.NewThread();
+      Tap(client.get(), log);
+      util::Rng rng(seed * 7919 + uint64_t(c));
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const uint64_t key = rng.Uniform(kKeySpace);
+        const double roll = rng.NextDouble();
+        if (roll < 0.40) {
+          client->Insert(key, (uint64_t(c + 1) << 32) | uint64_t(i + 1));
+        } else if (roll < 0.70) {
+          client->Find(key, nullptr);
+        } else {
+          client->Remove(key);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Drain: fault-free reads of every key pin the final state into the
+  // history (they must linearize after everything), and the survivor count
+  // feeds quiescent validation.
+  cluster.ClearFaults();
+  ASSERT_TRUE(cluster.WaitQuiescent());
+  auto reader = cluster.NewClient();
+  History::ThreadLog* reader_log = history.NewThread();
+  Tap(reader.get(), reader_log);
+  uint64_t present = 0;
+  for (uint64_t key = 0; key < kKeySpace; ++key) {
+    if (reader->Find(key, nullptr)) ++present;
+  }
+
+  const auto ops = history.Merge();
+  EXPECT_EQ(ops.size(), uint64_t(kClients) * kOpsPerClient + kKeySpace);
+  const auto result = CheckHistory(ops);
+  EXPECT_EQ(result.verdict, Verdict::kLinearizable)
+      << "seed " << seed << ":\n"
+      << result.cex.Format();
+
+  std::string error;
+  EXPECT_TRUE(cluster.ValidateQuiescent(present, &error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedLinearizeTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace exhash::dist

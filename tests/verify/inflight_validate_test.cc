@@ -1,0 +1,255 @@
+// ValidateMode::kInFlight: the instant invariants must hold at every
+// injected yield point — including the legal intermediate states a paused
+// restructure exposes (bucket reachable only via next) — while still
+// rejecting genuine corruption.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/directory.h"
+#include "core/ellis_v1.h"
+#include "core/validate.h"
+#include "storage/bucket.h"
+#include "storage/page_store.h"
+#include "util/pseudokey.h"
+#include "util/test_hooks.h"
+
+namespace exhash::core {
+namespace {
+
+constexpr size_t kPageSize = 112;  // capacity 4
+
+util::IdentityHasher* identity() {
+  static util::IdentityHasher h;
+  return &h;
+}
+
+// Blocks the emitting thread at the nth emission of `target` until
+// Release(); other hook points pass through.
+struct PauseController {
+  util::HookPoint target;
+  int fire_at;
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool paused = false;
+  bool released = false;
+
+  static void Hook(void* ctx, util::HookPoint point, const void*) {
+    static_cast<PauseController*>(ctx)->At(point);
+  }
+  void At(util::HookPoint point) {
+    if (point != target) return;
+    if (count.fetch_add(1) + 1 != fire_at) return;
+    std::unique_lock<std::mutex> lock(mu);
+    paused = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+  }
+  void WaitPaused() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return paused; });
+  }
+  void Release() {
+    std::unique_lock<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+// Pause a real V1 insert between the split's page writes and the directory
+// update — the new bucket exists but is reachable only via its sibling's
+// next link (the §2.3 intermediate every reader must tolerate).
+TEST(InFlightValidateTest, AcceptsRealTablePausedMidSplit) {
+  TableOptions options;
+  options.page_size = kPageSize;
+  options.initial_depth = 1;
+  options.max_depth = 8;
+  options.hasher = identity();
+  EllisHashTableV1 table(options);
+
+  // Fill bucket "0" to capacity (identity hasher: low bit selects).
+  for (uint64_t k : {0u, 2u, 4u, 6u}) ASSERT_TRUE(table.Insert(k, k));
+
+  // The split path's first unlock is the bucket lock, released after both
+  // halves are written but before dir_.UpdateEntries.
+  PauseController pause{util::HookPoint::kPostUnlock, 1};
+  util::TestHooks::Install(&PauseController::Hook, &pause);
+  std::thread inserter([&] { EXPECT_TRUE(table.Insert(8, 8)); });
+  pause.WaitPaused();
+
+  // The split placed the 5th record before the pause point.
+  std::string error;
+  EXPECT_TRUE(table.ValidateInFlightState(5, &error))
+      << "legal mid-split state rejected: " << error;
+  // The quiescent checker rightly refuses this instant (stale directory
+  // entries, lagging depthcount and size) — that is why kInFlight exists.
+  EXPECT_FALSE(table.Validate(&error));
+
+  pause.Release();
+  inserter.join();
+  util::TestHooks::Clear();
+
+  EXPECT_TRUE(table.Validate(&error)) << error;
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Find(8, &v));
+  EXPECT_EQ(v, 8u);
+}
+
+// Hand-built states, same idiom as tests/core/validate_test.cc: a depth-1
+// two-bucket file we can reshape into intermediates or corruption.
+class InFlightStructTest : public ::testing::Test {
+ protected:
+  InFlightStructTest()
+      : store_({.page_size = kPageSize}),
+        dir_(1, 8),
+        capacity_(storage::Bucket::CapacityFor(kPageSize)) {
+    page0_ = store_.Alloc();
+    page1_ = store_.Alloc();
+    storage::Bucket b0(capacity_);
+    b0.localdepth = 1;
+    b0.commonbits = 0;
+    b0.next = page1_;
+    storage::Bucket b1(capacity_);
+    b1.localdepth = 1;
+    b1.commonbits = 1;
+    b1.prev = page0_;
+    Put(page0_, b0);
+    Put(page1_, b1);
+    dir_.SetEntry(0, page0_);
+    dir_.SetEntry(1, page1_);
+    dir_.set_depthcount(2);
+  }
+
+  void Put(storage::PageId page, const storage::Bucket& b) {
+    std::vector<std::byte> buf(kPageSize);
+    b.SerializeTo(buf.data(), kPageSize);
+    store_.Write(page, buf.data());
+  }
+
+  storage::Bucket Get(storage::PageId page) {
+    std::vector<std::byte> buf(kPageSize);
+    store_.Read(page, buf.data());
+    storage::Bucket b(capacity_);
+    EXPECT_TRUE(storage::Bucket::DeserializeFrom(buf.data(), kPageSize, &b));
+    return b;
+  }
+
+  bool InFlightValid(uint64_t expected_size, std::string* error) {
+    return ValidateStructure(dir_, store_, hasher_, capacity_, kPageSize,
+                             expected_size, error, ValidateMode::kInFlight);
+  }
+
+  util::IdentityHasher hasher_;
+  storage::PageStore store_;
+  Directory dir_;
+  int capacity_;
+  storage::PageId page0_;
+  storage::PageId page1_;
+};
+
+TEST_F(InFlightStructTest, CleanStatePasses) {
+  std::string error;
+  EXPECT_TRUE(InFlightValid(0, &error)) << error;
+}
+
+// Mid-split snapshot: bucket "00" split into "00"/"10", both pages written
+// and chained, but the doubled directory's new entries still aim at the old
+// page.  Instant invariants hold; the quiescent set does not.
+TEST_F(InFlightStructTest, AcceptsBucketReachableOnlyViaNext) {
+  const storage::PageId page2 = store_.Alloc();
+  storage::Bucket b0 = Get(page0_);
+  b0.localdepth = 2;
+  b0.commonbits = 0b00;
+  b0.next = page2;
+  Put(page0_, b0);
+  storage::Bucket b2(capacity_);
+  b2.localdepth = 2;
+  b2.commonbits = 0b10;
+  b2.next = page1_;
+  b2.prev = page0_;
+  Put(page2, b2);
+
+  ASSERT_TRUE(dir_.Double());
+  // Doubling aliases entries 2,3 onto 0,1: entry 2 still points at page0,
+  // the "wrong bucket" a stale reader recovers from via next.
+  ASSERT_EQ(dir_.Entry(2), page0_);
+
+  std::string error;
+  EXPECT_TRUE(InFlightValid(0, &error)) << error;
+  EXPECT_FALSE(ValidateStructure(dir_, store_, hasher_, capacity_, kPageSize,
+                                 0, &error, ValidateMode::kQuiescent));
+}
+
+// A V2 tombstone signpost: a merged bucket left in place, next aimed at the
+// survivor, with a stale directory entry still addressing it.
+TEST_F(InFlightStructTest, AcceptsTombstoneSignpost) {
+  const storage::PageId page2 = store_.Alloc();
+  storage::Bucket tomb(capacity_);
+  tomb.localdepth = 1;
+  tomb.commonbits = 1;
+  tomb.deleted = true;
+  tomb.next = page1_;
+  Put(page2, tomb);
+  dir_.SetEntry(1, page2);
+
+  std::string error;
+  EXPECT_TRUE(InFlightValid(0, &error)) << error;
+}
+
+TEST_F(InFlightStructTest, RejectsDanglingRecoveryWalk) {
+  const storage::PageId page2 = store_.Alloc();
+  storage::Bucket tomb(capacity_);
+  tomb.localdepth = 1;
+  tomb.commonbits = 1;
+  tomb.deleted = true;
+  tomb.next = storage::kInvalidPage;  // signpost to nowhere
+  Put(page2, tomb);
+  dir_.SetEntry(1, page2);
+
+  std::string error;
+  EXPECT_FALSE(InFlightValid(0, &error));
+  EXPECT_NE(error.find("entry"), std::string::npos);
+}
+
+TEST_F(InFlightStructTest, RejectsChainCycle) {
+  storage::Bucket b1 = Get(page1_);
+  b1.next = page0_;  // back edge
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(InFlightValid(0, &error));
+}
+
+TEST_F(InFlightStructTest, RejectsDuplicateKeyAcrossChain) {
+  storage::Bucket b0 = Get(page0_);
+  b0.Add(2, 1);
+  Put(page0_, b0);
+  storage::Bucket b1 = Get(page1_);
+  b1.Add(2, 2);  // same key; also misplaced — either diagnosis is fine
+  Put(page1_, b1);
+  std::string error;
+  EXPECT_FALSE(InFlightValid(2, &error));
+}
+
+TEST_F(InFlightStructTest, RejectsMisplacedRecord) {
+  storage::Bucket b0 = Get(page0_);
+  b0.Add(3, 9);  // low bit 1: belongs in bucket "1"
+  Put(page0_, b0);
+  std::string error;
+  EXPECT_FALSE(InFlightValid(1, &error));
+}
+
+TEST_F(InFlightStructTest, RejectsWrongRecordCount) {
+  std::string error;
+  EXPECT_FALSE(InFlightValid(3, &error));
+  EXPECT_NE(error.find("size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exhash::core

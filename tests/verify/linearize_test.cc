@@ -1,0 +1,223 @@
+// The checker itself must be trusted before anything it checks is — so:
+// hand-built histories with known verdicts, both classic anomalies (stale
+// read, lost update, value mismatch) and legal reorderings that a naive
+// "respect wall-clock order" checker would wrongly reject.
+
+#include "verify/linearize.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sequential_hash.h"
+#include "verify/history.h"
+
+namespace exhash::verify {
+namespace {
+
+// [invoke, ret] intervals are given directly; the builder keeps them honest
+// (ret > invoke).
+OpRecord Op(OpKind kind, int thread, uint64_t key, uint64_t arg, bool result,
+            uint64_t out, uint64_t invoke, uint64_t ret) {
+  OpRecord op;
+  op.kind = kind;
+  op.thread = thread;
+  op.key = key;
+  op.arg = arg;
+  op.result = result;
+  op.out = out;
+  op.invoke = invoke;
+  op.ret = ret;
+  EXPECT_LT(invoke, ret);
+  return op;
+}
+
+OpRecord Find(int t, uint64_t key, bool found, uint64_t out, uint64_t inv,
+              uint64_t ret) {
+  return Op(OpKind::kFind, t, key, 0, found, out, inv, ret);
+}
+OpRecord Insert(int t, uint64_t key, uint64_t value, bool ok, uint64_t inv,
+                uint64_t ret) {
+  return Op(OpKind::kInsert, t, key, value, ok, 0, inv, ret);
+}
+OpRecord Remove(int t, uint64_t key, bool ok, uint64_t inv, uint64_t ret) {
+  return Op(OpKind::kRemove, t, key, 0, ok, 0, inv, ret);
+}
+
+TEST(LinearizeTest, EmptyHistoryIsLinearizable) {
+  const CheckResult r = CheckHistory({});
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+TEST(LinearizeTest, SequentialHistoryIsLinearizable) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 1),
+      Find(0, 5, true, 7, 2, 3),
+      Insert(0, 5, 9, false, 4, 5),  // duplicate insert fails
+      Remove(0, 5, true, 6, 7),
+      Find(0, 5, false, 0, 8, 9),
+      Remove(0, 5, false, 10, 11),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+// A find that returns "absent" while overlapping the insert is fine: it
+// linearizes before the insert even though it *returned* after the insert's
+// invocation.
+TEST(LinearizeTest, OverlappingOpsMayReorder) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 10),
+      Find(1, 5, false, 0, 2, 4),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+// The same find *after* the insert returned is a stale read.
+TEST(LinearizeTest, DetectsStaleRead) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 1),
+      Find(1, 5, false, 0, 2, 4),
+  };
+  const CheckResult r = CheckHistory(h);
+  ASSERT_EQ(r.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(r.cex.key, 5u);
+  EXPECT_FALSE(r.cex.stuck.empty());
+  // The formatted counterexample names the key and shows the window.
+  const std::string text = r.cex.Format();
+  EXPECT_NE(text.find("non-linearizable at key 5"), std::string::npos);
+  EXPECT_NE(text.find("stuck window"), std::string::npos);
+}
+
+// Two inserts of the same key both claiming success: the second has no
+// valid linearization point — exactly the lost-update shape the broken
+// table variant produces.
+TEST(LinearizeTest, DetectsLostUpdate) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 1),
+      Insert(1, 5, 9, true, 2, 3),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kNonLinearizable);
+}
+
+TEST(LinearizeTest, DetectsWrongValue) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 1),
+      Find(1, 5, true, 8, 2, 4),  // present, but a value nobody inserted
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kNonLinearizable);
+}
+
+TEST(LinearizeTest, DetectsRemoveOfAbsentClaimingSuccess) {
+  const std::vector<OpRecord> h = {
+      Remove(0, 5, true, 0, 1),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kNonLinearizable);
+}
+
+// Concurrent inserts where exactly one wins is the *correct* outcome.
+TEST(LinearizeTest, ConcurrentInsertsOneWinnerIsLinearizable) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 3, 1, true, 0, 10),
+      Insert(1, 3, 2, false, 1, 9),
+      Find(2, 3, true, 1, 11, 12),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+// Requires genuine search: the reads force a specific interleaving of the
+// overlapping insert/remove pair that differs from invocation order.
+TEST(LinearizeTest, SearchFindsNonObviousOrder) {
+  const std::vector<OpRecord> h = {
+      Insert(0, 1, 5, true, 0, 20),
+      Remove(1, 1, true, 1, 19),
+      Find(2, 1, true, 5, 2, 6),
+      Find(2, 1, false, 0, 7, 18),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+// P-compositionality: the partitioned and monolithic searches must agree,
+// on both verdicts, for multi-key histories.
+TEST(LinearizeTest, PartitionedAndMonolithicAgree) {
+  const std::vector<OpRecord> good = {
+      Insert(0, 1, 10, true, 0, 5),
+      Insert(1, 2, 20, true, 1, 4),
+      Find(0, 2, false, 0, 6, 8),   // overlaps nothing; 2 present... reorder?
+      Find(1, 1, true, 10, 7, 9),
+  };
+  // Find(2)->absent after Insert(2) returned: non-linearizable — in both
+  // modes, and the failing key is identified when partitioning.
+  CheckOptions part;
+  CheckOptions mono;
+  mono.partition_by_key = false;
+  const CheckResult rp = CheckHistory(good, part);
+  const CheckResult rm = CheckHistory(good, mono);
+  EXPECT_EQ(rp.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(rm.verdict, Verdict::kNonLinearizable);
+  EXPECT_EQ(rp.cex.key, 2u);
+
+  const std::vector<OpRecord> fixed = {
+      Insert(0, 1, 10, true, 0, 5),
+      Insert(1, 2, 20, true, 1, 4),
+      Find(0, 2, true, 20, 6, 8),
+      Find(1, 1, true, 10, 7, 9),
+  };
+  EXPECT_EQ(CheckHistory(fixed, part).verdict, Verdict::kLinearizable);
+  EXPECT_EQ(CheckHistory(fixed, mono).verdict, Verdict::kLinearizable);
+}
+
+TEST(LinearizeTest, BudgetExceededIsReported) {
+  // Many mutually overlapping ops on one key: the search space is large,
+  // and a one-state budget cannot resolve it.
+  std::vector<OpRecord> h;
+  for (int t = 0; t < 8; ++t) {
+    h.push_back(Insert(t, 1, uint64_t(t), t == 0, 0, 100));
+  }
+  CheckOptions options;
+  options.max_states = 1;
+  const CheckResult r = CheckHistory(h, options);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+}
+
+// Recorder end-to-end: drive a real (sequential) table through the
+// recording wrapper and check the merged history.
+TEST(HistoryRecorderTest, RecordsAndPassesChecker) {
+  core::TableOptions options;
+  options.page_size = 112;
+  options.initial_depth = 1;
+  core::SequentialExtendibleHash table(options);
+  RecordingIndex recorded(&table);
+
+  EXPECT_TRUE(recorded.Insert(1, 100));
+  EXPECT_FALSE(recorded.Insert(1, 200));
+  uint64_t v = 0;
+  EXPECT_TRUE(recorded.Find(1, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(recorded.Remove(1));
+  EXPECT_FALSE(recorded.Find(1, nullptr));
+
+  const std::vector<OpRecord> h = recorded.history().Merge();
+  ASSERT_EQ(h.size(), 5u);
+  // Single-threaded: invocation order is program order, intervals disjoint.
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LT(h[i].invoke, h[i].ret);
+    if (i > 0) EXPECT_LT(h[i - 1].ret, h[i].invoke);
+  }
+  EXPECT_EQ(h[0].kind, OpKind::kInsert);
+  EXPECT_TRUE(h[0].result);
+  EXPECT_EQ(h[2].out, 100u);
+  EXPECT_EQ(recorded.Name(), "sequential+recorded");
+
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+}  // namespace
+}  // namespace exhash::verify

@@ -1,0 +1,153 @@
+// Schedule-exploration sweeps (the `verify` ctest label).  Smoke-tier seed
+// counts by default; EXHASH_VERIFY_SWEEP=N scales any of these to a long
+// campaign (the acceptance runs use 10000+).  A failure prints the seed; to
+// replay it, run the same test with EXHASH_VERIFY_SWEEP set so the sweep
+// reaches that seed, or see tests/README.md for the one-seed recipe.
+
+#include "verify/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "verify/linearize.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define EXHASH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EXHASH_TSAN 1
+#endif
+#endif
+
+namespace exhash::verify {
+namespace {
+
+// TSan runs every interleaving ~10x slower; the sweep budget shrinks so the
+// suite still fits the smoke tier (the races TSan finds don't need many
+// seeds — it checks orderings, not outcomes).
+#ifdef EXHASH_TSAN
+constexpr uint64_t kSmokeSeeds = 40;
+#else
+constexpr uint64_t kSmokeSeeds = 200;
+#endif
+
+core::TableOptions SmallOptions() {
+  core::TableOptions options;
+  options.page_size = 112;  // capacity 4: constant splits/merges
+  options.initial_depth = 1;
+  options.max_depth = 16;
+  return options;
+}
+
+std::unique_ptr<core::KeyValueIndex> MakeV1() {
+  return std::make_unique<core::EllisHashTableV1>(SmallOptions());
+}
+std::unique_ptr<core::KeyValueIndex> MakeV2() {
+  return std::make_unique<core::EllisHashTableV2>(SmallOptions());
+}
+
+TEST(ScheduleTest, HooksFireAndHistoryIsComplete) {
+  auto table = MakeV1();
+  ScheduleConfig config;
+  config.seed = 7;
+  const ScheduleOutcome outcome = RunOneSchedule(table.get(), config);
+  EXPECT_TRUE(outcome.ok) << outcome.report;
+  EXPECT_EQ(outcome.ops, uint64_t(config.threads) * config.ops_per_thread);
+  // The yield points in the lock paths actually fired.
+  EXPECT_GT(outcome.points, 0u);
+}
+
+TEST(ScheduleTest, V1RandomYieldSweep) {
+  ScheduleConfig config;
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV1, config, seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  EXPECT_EQ(sweep.schedules, seeds);
+}
+
+TEST(ScheduleTest, V2RandomYieldSweep) {
+  ScheduleConfig config;
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV2, config, seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
+TEST(ScheduleTest, V1PctSweep) {
+  ScheduleConfig config;
+  config.mode = ScheduleConfig::Mode::kPct;
+  config.threads = 4;
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV1, config, seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
+TEST(ScheduleTest, V2PctSweep) {
+  ScheduleConfig config;
+  config.mode = ScheduleConfig::Mode::kPct;
+  config.threads = 4;
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV2, config, seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
+// The deliberately broken variant (publish-after-unlock, a lost-update
+// window) must be caught within the smoke budget — this is what keeps the
+// whole harness honest.  Wider sleeps at the yield points blow the window
+// open; more ops per thread give every key a later read to contradict.
+ScheduleConfig BrokenHuntConfig() {
+  ScheduleConfig config;
+  config.ops_per_thread = 20;
+  config.sleep_prob = 0.30;
+  config.yield_prob = 0.30;
+  return config;
+}
+
+std::unique_ptr<core::KeyValueIndex> MakeBrokenV2() {
+  auto options = SmallOptions();
+  options.test_publish_after_unlock = true;
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+TEST(ScheduleTest, BrokenVariantIsCaught) {
+  const SweepOutcome sweep = RunSweep(MakeBrokenV2, BrokenHuntConfig(), 3000);
+  ASSERT_GE(sweep.failures, 1u)
+      << "lost-update variant survived " << sweep.schedules << " schedules";
+  // The report is actionable: it names the seed and shows the window.
+  EXPECT_NE(sweep.first_failure.report.find("seed"), std::string::npos);
+  EXPECT_FALSE(sweep.first_failure.report.empty());
+}
+
+TEST(ScheduleTest, FailingSeedReplays) {
+  const SweepOutcome sweep = RunSweep(MakeBrokenV2, BrokenHuntConfig(), 3000);
+  ASSERT_GE(sweep.failures, 1u);
+  const uint64_t seed = sweep.first_failure.seed;
+  // The perturbation schedule is a pure function of the seed; the OS still
+  // schedules threads, so allow a few attempts for the race to land again.
+  bool reproduced = false;
+  for (int attempt = 0; attempt < 5 && !reproduced; ++attempt) {
+    ScheduleConfig config = BrokenHuntConfig();
+    config.seed = seed;
+    auto table = MakeBrokenV2();
+    reproduced = !RunOneSchedule(table.get(), config).ok;
+  }
+  EXPECT_TRUE(reproduced) << "seed " << seed << " did not replay in 5 tries";
+}
+
+TEST(SweepBudgetTest, EnvKnobOverridesFallback) {
+  ::unsetenv("EXHASH_VERIFY_SWEEP");
+  EXPECT_EQ(SweepBudgetFromEnv(77), 77u);
+  ::setenv("EXHASH_VERIFY_SWEEP", "123", 1);
+  EXPECT_EQ(SweepBudgetFromEnv(77), 123u);
+  ::setenv("EXHASH_VERIFY_SWEEP", "0", 1);
+  EXPECT_EQ(SweepBudgetFromEnv(77), 77u);
+  ::setenv("EXHASH_VERIFY_SWEEP", "junk", 1);
+  EXPECT_EQ(SweepBudgetFromEnv(77), 77u);
+  ::unsetenv("EXHASH_VERIFY_SWEEP");
+}
+
+}  // namespace
+}  // namespace exhash::verify
