@@ -9,7 +9,11 @@
 // converge to the exact expected state.  Reports how throughput degrades
 // and how much recovery work (retries, failovers, dedup hits) faults buy.
 //
-// Usage: bench_chaos [keys_per_client] [seed]
+// Usage: bench_chaos [keys_per_client] [seed] [--metrics]
+//
+// --metrics registers each fault level's cluster with the global registry
+// and writes per-level snapshots to BENCH_chaos_metrics.json; the
+// BENCH_chaos.json one-liner is unchanged.
 
 #include <atomic>
 #include <cinttypes>
@@ -25,9 +29,15 @@
 
 int main(int argc, char** argv) {
   using namespace exhash::dist;
+  namespace bench = exhash::bench;
+  namespace metrics = exhash::metrics;
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const char* arg2 = bench::PositionalArg(argc, argv, 2);
   const uint64_t keys_per_client =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 600;
-  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+      arg1 != nullptr ? std::strtoull(arg1, nullptr, 10) : 600;
+  const uint64_t seed = arg2 != nullptr ? std::strtoull(arg2, nullptr, 10) : 3;
+  const bool with_metrics = bench::HasFlag(argc, argv, "--metrics");
+  bench::MetricsSidecar sidecar("chaos");
 
   std::printf("=== E10: chaos — throughput and recovery under faults ===\n\n");
   std::printf("%7s | %10s %9s | %8s %9s %9s %9s | %9s\n", "drop", "ops/s",
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
     o.faults.interior_dup = drop / 4;
     o.retry.enabled = true;
     Cluster cluster(o);
+    if (with_metrics) cluster.RegisterMetrics();
 
     if (drop > 0) {
       cluster.network().Partition(
@@ -126,11 +137,19 @@ int main(int argc, char** argv) {
                   retries.load(), failovers.load(), bm_dedup + dm_dedup);
     json += entry;
     first_row = false;
+    if (with_metrics) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "drop=%.0f%%", drop * 100);
+      sidecar.Add(label, metrics::Registry::Global().TakeSnapshot());
+    }
   }
   json += "}}";
   if (std::FILE* f = std::fopen("BENCH_chaos.json", "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
+  }
+  if (with_metrics && sidecar.Write()) {
+    std::printf("metrics sidecar: BENCH_chaos_metrics.json\n");
   }
   std::printf(
       "\nexpected shape: throughput falls as drop rises (timeouts cost whole\n"

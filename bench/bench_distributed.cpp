@@ -9,7 +9,12 @@
 // a broadcast (copyupdate + ack per extra replica).  This bench verifies
 // that shape.
 //
-// Usage: bench_distributed [ops]
+// Usage: bench_distributed [ops] [--metrics]
+//
+// --metrics registers each cluster with the global metrics registry and
+// writes per-shape snapshots (per-node DM/BM counters, per-MsgType network
+// traffic, stale-directory hit rate) to BENCH_distributed_metrics.json;
+// the BENCH_distributed.json one-liner is unchanged.
 
 #include <cinttypes>
 #include <cstdio>
@@ -21,7 +26,12 @@
 
 int main(int argc, char** argv) {
   using namespace exhash::dist;
-  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  namespace bench = exhash::bench;
+  namespace metrics = exhash::metrics;
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const uint64_t n = arg1 != nullptr ? std::strtoull(arg1, nullptr, 10) : 4000;
+  const bool with_metrics = bench::HasFlag(argc, argv, "--metrics");
+  bench::MetricsSidecar sidecar("distributed");
 
   std::printf("=== E6: messages per user operation vs. cluster shape ===\n\n");
   std::printf("%4s %4s | %10s %10s %10s | %12s %12s\n", "D", "B", "find",
@@ -42,6 +52,7 @@ int main(int argc, char** argv) {
       options.initial_depth = 2;
       options.spill_per_8 = bms > 1 ? 2 : 0;
       Cluster cluster(options);
+      if (with_metrics) cluster.RegisterMetrics();
       auto client = cluster.NewClient();
 
       double client_seconds = 0;
@@ -99,12 +110,20 @@ int main(int argc, char** argv) {
                     insert_cost, delete_cost, retries);
       json += entry;
       first_shape = false;
+      if (with_metrics) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "D%dB%d", dms, bms);
+        sidecar.Add(label, metrics::Registry::Global().TakeSnapshot());
+      }
     }
   }
   json += "}}";
   if (std::FILE* f = std::fopen("BENCH_distributed.json", "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
+  }
+  if (with_metrics && sidecar.Write()) {
+    std::printf("metrics sidecar: BENCH_distributed_metrics.json\n");
   }
   std::printf(
       "\nexpected shape: find stays ~4 msgs/op regardless of D and B;\n"

@@ -1,0 +1,190 @@
+// E12 — cost of observability, and a worked diagnosis (DESIGN.md §8).
+//
+// Three parts:
+//
+//   (a) primitive microbenches: ShardedCounter::Add vs a single shared
+//       atomic under T incrementing threads, Histogram::Add, and the
+//       Trace::Emit disabled-check — the building blocks' unit costs.
+//   (b) end-to-end overhead: the E2 read-only and mixed workloads on the
+//       Ellis tables with TableOptions::metrics off vs on.  The acceptance
+//       bar is <=5% on read-only at the highest thread count; sampled lock
+//       latency (1-in-kSamplePeriod) plus null-sink branches keeps it there.
+//   (c) diagnosis: the instrumented 50f/25i/25d run on ellis-v1 at the
+//       highest thread count, dumping the per-table snapshot that
+//       attributes the throughput collapse (EXPERIMENTS.md E12 walks
+//       through the numbers).
+//
+// Usage: bench_metrics [max_threads] [ops_per_thread]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exhash/exhash.h"
+#include "metrics/registry.h"
+#include "metrics/sharded_counter.h"
+#include "metrics/trace_ring.h"
+#include "util/histogram.h"
+
+namespace {
+
+using namespace exhash;
+using bench::MixedRunConfig;
+using bench::RunMixed;
+
+std::unique_ptr<core::KeyValueIndex> MakeEllis(const std::string& name,
+                                               bool metrics) {
+  core::TableOptions options;
+  options.page_size = 256;
+  options.initial_depth = 2;
+  options.metrics = metrics;
+  if (name == "ellis-v1") {
+    return std::make_unique<core::EllisHashTableV1>(options);
+  }
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+// ns per call of `fn()` over `iters` calls from `threads` threads.
+template <typename Fn>
+double NsPerCall(int threads, uint64_t iters, Fn fn) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < iters; ++i) fn();
+    });
+  }
+  while (ready.load() != threads) std::this_thread::yield();
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double ns = double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  return ns / double(iters * uint64_t(threads));
+}
+
+double Throughput(const std::string& name, bool metrics, int threads,
+                  uint64_t ops, const workload::OpMix& mix) {
+  auto table = MakeEllis(name, metrics);
+  bench::PreloadHalf(table.get(), 100000);
+  MixedRunConfig config;
+  config.threads = threads;
+  config.ops_per_thread = ops / uint64_t(threads);
+  config.mix = mix;
+  bench::MixedRunResult r;
+  RunMixed(table.get(), config, &r);
+  return r.ops_per_sec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const char* arg2 = bench::PositionalArg(argc, argv, 2);
+  const int max_threads = arg1 != nullptr ? std::atoi(arg1) : 8;
+  const uint64_t ops =
+      arg2 != nullptr ? std::strtoull(arg2, nullptr, 10) : 40000;
+
+  std::printf("=== E12: observability cost (EXHASH_METRICS %s at compile "
+              "time) ===\n",
+              metrics::kCompiledIn ? "ON" : "OFF");
+
+  // --- (a) primitives ---
+  bench::PrintHeader("E12a: primitive costs (ns/call)");
+  {
+    const uint64_t iters = 2'000'000;
+    metrics::detail::ShardedCounter sharded;
+    std::atomic<uint64_t> shared{0};
+    util::Histogram hist;
+    const double ns_sharded =
+        NsPerCall(max_threads, iters, [&] { sharded.Add(1); });
+    const double ns_shared = NsPerCall(max_threads, iters, [&] {
+      shared.fetch_add(1, std::memory_order_relaxed);
+    });
+    const double ns_hist = NsPerCall(max_threads, iters, [&] { hist.Add(42); });
+    const double ns_trace_off =
+        NsPerCall(max_threads, iters, [&] { metrics::Trace::Emit("p"); });
+    std::printf("  %-34s %8.2f\n  %-34s %8.2f\n  %-34s %8.2f\n"
+                "  %-34s %8.2f\n",
+                "sharded counter add", ns_sharded,
+                "single shared atomic add", ns_shared,
+                "histogram add", ns_hist,
+                "trace emit (disabled)", ns_trace_off);
+  }
+
+  // --- (b) enabled-path overhead ---
+  bench::PrintHeader("E12b: table throughput, metrics off vs on (ops/s)");
+  std::string json = "{\"bench\":\"metrics\",\"overhead_pct\":{";
+  struct MixRow {
+    const char* name;
+    workload::OpMix mix;
+  };
+  const std::vector<MixRow> mixes = {{"100f/0i/0d", {100, 0, 0}},
+                                     {"50f/25i/25d", {50, 25, 25}}};
+  bool first = true;
+  for (const MixRow& m : mixes) {
+    for (const std::string name : {"ellis-v1", "ellis-v2"}) {
+      // Interleave off/on pairs and keep the best of 5 each: on a shared
+      // host the winner-vs-winner comparison is the stable one (run-to-run
+      // throughput swings far exceed the effect being measured).
+      double best_off = 0, best_on = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        best_off = std::max(
+            best_off, Throughput(name, false, max_threads, ops, m.mix));
+        best_on = std::max(
+            best_on, Throughput(name, true, max_threads, ops, m.mix));
+      }
+      const double overhead =
+          best_off > 0 ? (best_off - best_on) / best_off * 100.0 : 0;
+      std::printf("  %-12s %-10s off %12.0f   on %12.0f   overhead %+5.1f%%\n",
+                  m.name, name.c_str(), best_off, best_on, overhead);
+      char entry[96];
+      std::snprintf(entry, sizeof(entry), "%s\"%s/%s/%d\":%.1f",
+                    first ? "" : ",", m.name, name.c_str(), max_threads,
+                    overhead);
+      json += entry;
+      first = false;
+    }
+  }
+  json += "}}";
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_metrics.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  // --- (c) worked diagnosis: why does ellis-v1 collapse on the mixed
+  // workload at high thread counts?  Run instrumented and dump the table's
+  // snapshot; EXPERIMENTS.md E12 interprets it. ---
+  bench::PrintHeader("E12c: instrumented ellis-v1, 50f/25i/25d, max threads");
+  {
+    auto table = MakeEllis("ellis-v1", true);
+    bench::PreloadHalf(table.get(), 100000);
+    MixedRunConfig config;
+    config.threads = max_threads;
+    config.ops_per_thread = ops / uint64_t(max_threads);
+    config.mix = {50, 25, 25};
+    // Delta around the run so the dump shows the measured workload, not the
+    // single-threaded preload.
+    const metrics::Snapshot before = metrics::Registry::Global().TakeSnapshot();
+    bench::MixedRunResult r;
+    RunMixed(table.get(), config, &r);
+    const metrics::Snapshot delta =
+        metrics::Registry::Global().TakeSnapshot().Delta(before);
+    std::printf("  throughput: %.0f ops/s\n\n%s\n", r.ops_per_sec(),
+                delta.Text().c_str());
+  }
+  return 0;
+}

@@ -7,7 +7,12 @@
 // Expected shape: read-only ~ equal everywhere; as the update fraction and
 // thread count grow, V2 >= V1 >> global-lock on update-heavy mixes.
 //
-// Usage: bench_throughput [max_threads] [ops_per_thread]
+// Usage: bench_throughput [max_threads] [ops_per_thread] [--metrics]
+//
+// --metrics additionally instruments the Ellis tables (TableOptions::
+// metrics) and writes per-cell registry snapshots to the sidecar
+// BENCH_throughput_metrics.json; the BENCH_throughput.json one-liner is
+// byte-identical with or without the flag.
 
 #include <cinttypes>
 #include <cstdio>
@@ -26,11 +31,13 @@ using bench::MixedRunConfig;
 using bench::RunMixed;
 
 std::unique_ptr<core::KeyValueIndex> MakeTable(const std::string& name,
-                                               uint64_t io_latency_ns) {
+                                               uint64_t io_latency_ns,
+                                               bool metrics = false) {
   core::TableOptions options;
   options.page_size = 256;
   options.initial_depth = 2;
   options.io_latency_ns = io_latency_ns;
+  options.metrics = metrics;
   if (name == "ellis-v1") return std::make_unique<core::EllisHashTableV1>(options);
   if (name == "ellis-v2") return std::make_unique<core::EllisHashTableV2>(options);
   if (name == "global-lock")
@@ -45,8 +52,13 @@ std::unique_ptr<core::KeyValueIndex> MakeTable(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 4;
-  const uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20000;
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const char* arg2 = bench::PositionalArg(argc, argv, 2);
+  const int max_threads = arg1 != nullptr ? std::atoi(arg1) : 4;
+  const uint64_t ops =
+      arg2 != nullptr ? std::strtoull(arg2, nullptr, 10) : 20000;
+  const bool metrics = bench::HasFlag(argc, argv, "--metrics");
+  bench::MetricsSidecar sidecar("throughput");
 
   struct Mix {
     const char* name;
@@ -84,14 +96,24 @@ int main(int argc, char** argv) {
       json += std::string(first_table ? "" : ",") + "\"" + name + "\":{";
       first_table = false;
       for (int t = 1; t <= max_threads; t *= 2) {
-        auto table = MakeTable(name, 0);
+        auto table = MakeTable(name, 0, metrics);
         bench::PreloadHalf(table.get(), 100000);
         MixedRunConfig config;
         config.threads = t;
         config.ops_per_thread = ops / uint64_t(t);
         config.mix = mix.mix;
+        // Delta-snapshot around the run so the sidecar cell excludes the
+        // preload (the table's provider deregisters with the table, so the
+        // snapshot must happen while it is alive).
+        metrics::Snapshot before;
+        if (metrics) before = metrics::Registry::Global().TakeSnapshot();
         bench::MixedRunResult r;
         RunMixed(table.get(), config, &r);
+        if (metrics) {
+          sidecar.Add(std::string(mix.name) + "/" + name + "/" +
+                          std::to_string(t),
+                      metrics::Registry::Global().TakeSnapshot().Delta(before));
+        }
         std::printf("%14.0f", r.ops_per_sec());
         char buf[48];
         std::snprintf(buf, sizeof buf, "%s\"%d\":%.0f", t == 1 ? "" : ",", t,
@@ -108,6 +130,11 @@ int main(int argc, char** argv) {
   if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
+  }
+  if (metrics) {
+    if (sidecar.Write()) {
+      std::printf("metrics sidecar: BENCH_throughput_metrics.json\n");
+    }
   }
 
   // --- The disk-resident regime the paper targets: page transfers take

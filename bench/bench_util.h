@@ -16,10 +16,70 @@
 #include <vector>
 
 #include "core/kv_index.h"
+#include "metrics/registry.h"
 #include "util/histogram.h"
 #include "workload/workload.h"
 
 namespace exhash::bench {
+
+// --- argv helpers ---
+//
+// The bench mains take positional arguments plus optional `--flag`s (today:
+// --metrics).  Flags may appear anywhere; positional parsing skips them, so
+// `bench_throughput 8 50000 --metrics` and `bench_throughput --metrics 8
+// 50000` both work and the historical no-flag invocations are unchanged.
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+// The index-th (1-based) non-flag argument, or nullptr if absent.
+inline const char* PositionalArg(int argc, char** argv, int index) {
+  int seen = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') continue;
+    if (++seen == index) return argv[i];
+  }
+  return nullptr;
+}
+
+// --- metrics sidecar (DESIGN.md §8) ---
+//
+// Benches opted into --metrics write their registry snapshots to
+// BENCH_<name>_metrics.json as a *separate* artifact; the existing one-line
+// BENCH_<name>.json formats are load-bearing (diffed across PRs, parsed by
+// tests) and must not change shape.
+
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  // Records one labeled section, e.g. Add("50f/25i/25d/ellis-v1/8", snap).
+  void Add(const std::string& label, const metrics::Snapshot& snap) {
+    body_ += std::string(body_.empty() ? "" : ",") + "\"" + label +
+             "\":" + snap.Json();
+  }
+
+  // Writes {"bench":"<name>","metrics":{<label>:<snapshot>,...}} to
+  // BENCH_<name>_metrics.json.  Returns false if the file cannot open.
+  bool Write() const {
+    const std::string path = "BENCH_" + bench_name_ + "_metrics.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"bench\":\"%s\",\"metrics\":{%s}}\n",
+                 bench_name_.c_str(), body_.c_str());
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string body_;
+};
 
 inline double NowSeconds() {
   return std::chrono::duration<double>(

@@ -28,6 +28,7 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
 
   storage::Bucket current(capacity_);
   GetBucket(oldpage, &current);
+  uint64_t chase_hops = 0;
   while (current.deleted ||
          !util::MatchesCommonBits(pk, current.commonbits,
                                   current.localdepth)) {
@@ -35,6 +36,7 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
     // The next lock is always granted before the current one is released,
     // which "prevents processes from leapfrogging each other" (section 2.2).
     stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    ++chase_hops;
     const storage::PageId newpage = current.next;
     util::RaxLock* new_lock = &locks_.For(newpage);
     new_lock->RhoLock();
@@ -43,6 +45,7 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
     old_lock = new_lock;
     oldpage = newpage;
   }
+  RecordFindChase(chase_hops);
 
   const bool found = current.Search(key, value);
   old_lock->UnRhoLock();

@@ -27,10 +27,12 @@ bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
 
   storage::Bucket current(capacity_);
   GetBucket(oldpage, &current);
+  uint64_t chase_hops = 0;
   while (current.deleted ||
          !util::MatchesCommonBits(pk, current.commonbits,
                                   current.localdepth)) {
     stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    ++chase_hops;
     const storage::PageId newpage = current.next;
     util::RaxLock* new_lock = &locks_.For(newpage);
     new_lock->RhoLock();
@@ -39,6 +41,7 @@ bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
     old_lock = new_lock;
     oldpage = newpage;
   }
+  RecordFindChase(chase_hops);
 
   const bool found = current.Search(key, value);
   old_lock->UnRhoLock();
@@ -64,10 +67,12 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
     // "Because of the additional concurrency, updaters may also find
     // themselves with the wrong bucket" — including one merged into a
     // predecessor and marked deleted (section 2.4).
+    uint64_t chase_hops = 0;
     while (current.deleted ||
            !util::MatchesCommonBits(pk, current.commonbits,
                                     current.localdepth)) {
       stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
       const storage::PageId newpage = current.next;
       util::RaxLock* new_lock = &locks_.For(newpage);
       new_lock->AlphaLock();
@@ -76,6 +81,7 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
       old_lock = new_lock;
       oldpage = newpage;
     }
+    RecordUpdateChase(chase_hops);
 
     if (current.Search(key)) {
       dir_lock_.UnRhoLock();
@@ -158,10 +164,12 @@ bool EllisHashTableV2::Remove(uint64_t key) {
     old_lock->XiLock();
     GetBucket(oldpage, &current);
 
+    uint64_t chase_hops = 0;
     while (current.deleted ||
            !util::MatchesCommonBits(pk, current.commonbits,
                                     current.localdepth)) {
       stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
       const storage::PageId newpage = current.next;
       util::RaxLock* new_lock = &locks_.For(newpage);
       new_lock->XiLock();
@@ -170,6 +178,7 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       old_lock = new_lock;
       oldpage = newpage;
     }
+    RecordUpdateChase(chase_hops);
 
     if (current.count() > 1 || current.localdepth <= 1 || !allow_merge) {
       // Plain removal; the directory is not affected.

@@ -22,6 +22,13 @@ LockTable::Chunk* LockTable::Publish(storage::PageId page, size_t chunk) {
     std::abort();
   }
   Chunk* fresh = new Chunk();
+#if EXHASH_METRICS_ENABLED
+  if (metrics::LockMetrics* sink =
+          default_sink_.load(std::memory_order_relaxed);
+      sink != nullptr) {
+    for (auto& lock : fresh->locks) lock.SetMetricsSink(sink);
+  }
+#endif
   Chunk* expected = nullptr;
   if (chunks_[chunk].compare_exchange_strong(expected, fresh,
                                              std::memory_order_release,
@@ -32,6 +39,17 @@ LockTable::Chunk* LockTable::Publish(storage::PageId page, size_t chunk) {
   delete fresh;
   return expected;
 }
+
+#if EXHASH_METRICS_ENABLED
+void LockTable::SetMetricsSinkAll(metrics::LockMetrics* sink) {
+  default_sink_.store(sink, std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    Chunk* chunk = chunks_[i].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (auto& lock : chunk->locks) lock.SetMetricsSink(sink);
+  }
+}
+#endif
 
 util::RaxLockStats LockTable::AggregateStats() const {
   util::RaxLockStats total;

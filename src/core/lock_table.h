@@ -48,6 +48,14 @@ class LockTable {
   // Sums stats across all page locks (bench E1/E5 reporting).
   util::RaxLockStats AggregateStats() const;
 
+#if EXHASH_METRICS_ENABLED
+  // Installs `sink` on every existing lock and on every lock published
+  // later.  Intended to be called once, at table construction, before the
+  // table is shared; the sink (one per bucket-lock family) must outlive the
+  // LockTable's users.
+  void SetMetricsSinkAll(metrics::LockMetrics* sink);
+#endif
+
  private:
   static constexpr size_t kChunkSize = 256;
   // Fixed directory: 2^16 chunks of 256 locks covers 16.7M pages, far
@@ -67,6 +75,13 @@ class LockTable {
   // itself is immutable after construction, so the hot path pays only the
   // one atomic slot load.
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+
+#if EXHASH_METRICS_ENABLED
+  // Sink applied to freshly published chunks (and retroactively by
+  // SetMetricsSinkAll); the atomic makes the Publish() read well-defined
+  // even if installation ever raced with first use.
+  std::atomic<metrics::LockMetrics*> default_sink_{nullptr};
+#endif
 };
 
 }  // namespace exhash::core

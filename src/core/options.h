@@ -7,7 +7,25 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/gate.h"
 #include "util/pseudokey.h"
+
+// Forward declaration of metrics::Registry (metrics/registry.h), mirroring
+// that header's gate-selected alias so this widely-included header stays
+// free of the observability subsystem's types.
+namespace exhash::metrics {
+namespace detail {
+class Registry;
+}
+namespace noop {
+class Registry;
+}
+#if EXHASH_METRICS_ENABLED
+using Registry = detail::Registry;
+#else
+using Registry = noop::Registry;
+#endif
+}  // namespace exhash::metrics
 
 namespace exhash::core {
 
@@ -39,6 +57,20 @@ struct TableOptions {
   // When false, deletes never merge buckets (ablation D3': measures what
   // merging buys/costs; also the behaviour of many practical systems).
   bool enable_merging = true;
+
+  // Observability (DESIGN.md §8).  When true the table constructs its
+  // metrics state: lock-acquisition latency histograms on the directory
+  // lock and the bucket-lock family, chase-length histograms, and a
+  // registry provider exporting everything under "<metrics_prefix>.".
+  // Costs one predicted branch per lock acquisition plus sampled clock
+  // reads; when false the table behaves exactly as an EXHASH_METRICS=OFF
+  // build.  Ignored (no effect, no state) when the subsystem is compiled
+  // out.
+  bool metrics = false;
+  // Registry the table exports into; nullptr selects Registry::Global().
+  metrics::Registry* metrics_registry = nullptr;
+  // Name prefix for this table's exported metrics.
+  std::string metrics_prefix = "table";
 
   // TEST ONLY — deliberately breaks the protocol for the verify subsystem's
   // checker demo (DESIGN.md §6b).  When true, EllisHashTableV2's non-split

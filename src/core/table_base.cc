@@ -29,7 +29,47 @@ TableBase::TableBase(const TableOptions& options)
                                          options.io_latency_ns,
                                          options.poison_on_dealloc,
                                          options.backing_file}),
-      dir_(options.initial_depth, options.max_depth) {}
+      dir_(options.initial_depth, options.max_depth) {
+#if EXHASH_METRICS_ENABLED
+  if (options_.metrics) {
+    // The `extra` callback bridges the table's existing atomic counters
+    // into snapshots; it reads only members declared before metrics_, which
+    // the member destruction order keeps alive for the provider's lifetime.
+    metrics_ = std::make_unique<metrics::TableMetrics>(
+        options_.metrics_registry, options_.metrics_prefix,
+        [this](metrics::Snapshot* snap, const std::string& prefix) {
+          const TableStats s = stats_.Snapshot();
+          auto& c = snap->counters;
+          c[prefix + ".ops.finds"] = s.finds;
+          c[prefix + ".ops.inserts"] = s.inserts;
+          c[prefix + ".ops.removes"] = s.removes;
+          c[prefix + ".structure.splits"] = s.splits;
+          c[prefix + ".structure.merges"] = s.merges;
+          c[prefix + ".structure.doublings"] = s.doublings;
+          c[prefix + ".structure.halvings"] = s.halvings;
+          c[prefix + ".recovery.wrong_bucket_hops"] = s.wrong_bucket_hops;
+          c[prefix + ".retry.insert_retries"] = s.insert_retries;
+          c[prefix + ".retry.delete_restarts"] = s.delete_restarts;
+          c[prefix + ".retry.partner_relocks"] = s.partner_relocks;
+          const util::RaxLockStats dl = dir_lock_.stats();
+          c[prefix + ".dir_lock.rho"] = dl.rho_acquired;
+          c[prefix + ".dir_lock.alpha"] = dl.alpha_acquired;
+          c[prefix + ".dir_lock.xi"] = dl.xi_acquired;
+          c[prefix + ".dir_lock.upgrades"] = dl.upgrades;
+          c[prefix + ".dir_lock.contended"] = dl.contended;
+          const util::RaxLockStats bl = locks_.AggregateStats();
+          c[prefix + ".bucket_locks.rho"] = bl.rho_acquired;
+          c[prefix + ".bucket_locks.alpha"] = bl.alpha_acquired;
+          c[prefix + ".bucket_locks.xi"] = bl.xi_acquired;
+          c[prefix + ".bucket_locks.upgrades"] = bl.upgrades;
+          c[prefix + ".bucket_locks.contended"] = bl.contended;
+          c[prefix + ".depth"] = static_cast<uint64_t>(dir_.depth());
+        });
+    dir_lock_.SetMetricsSink(&metrics_->dir_lock);
+    locks_.SetMetricsSinkAll(&metrics_->bucket_locks);
+  }
+#endif
+}
 
 void TableBase::GetBucket(storage::PageId page, storage::Bucket* bucket) {
   store_.Read(page, Scratch(options_.page_size));
@@ -147,6 +187,18 @@ uint64_t TableBase::ForEachRecord(
   }
   lock->UnRhoLock();
   return visited;
+}
+
+uint64_t TableBase::LiveBuckets() {
+  uint64_t live = 0;
+  storage::PageId page = dir_.Entry(0);
+  storage::Bucket bucket(capacity_);
+  while (page != storage::kInvalidPage) {
+    GetBucket(page, &bucket);
+    if (!bucket.deleted) ++live;
+    page = bucket.next;
+  }
+  return live;
 }
 
 bool TableBase::Validate(std::string* error) {

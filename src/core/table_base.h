@@ -14,10 +14,17 @@
 #include "core/kv_index.h"
 #include "core/lock_table.h"
 #include "core/options.h"
+#include "metrics/gate.h"
 #include "storage/bucket.h"
 #include "storage/page_store.h"
 #include "util/pseudokey.h"
 #include "util/rax_lock.h"
+
+#if EXHASH_METRICS_ENABLED
+#include <memory>
+
+#include "metrics/table_metrics.h"
+#endif
 
 namespace exhash::core {
 
@@ -57,6 +64,16 @@ class TableBase : public KeyValueIndex {
   int BucketCapacity() const { return capacity_; }
   const TableOptions& options() const { return options_; }
 
+  // Number of live (non-deleted) buckets reachable along the next-link
+  // chain.  Quiescent-state introspection: structure-invariant tests check
+  // it against 2^initial_depth + splits - merges.
+  uint64_t LiveBuckets();
+
+#if EXHASH_METRICS_ENABLED
+  // Non-null iff TableOptions::metrics was set (DESIGN.md §8).
+  metrics::TableMetrics* table_metrics() { return metrics_.get(); }
+#endif
+
  protected:
   explicit TableBase(const TableOptions& options);
 
@@ -78,6 +95,27 @@ class TableBase : public KeyValueIndex {
   // prev links aimed at each bucket's "0" partner.
   void InitBuckets();
 
+  // Chase-length recording (DESIGN.md §8): called by the table variants at
+  // the end of an operation that recovered via next links.  Only nonzero
+  // hop counts are recorded — the histogram is "hops per recovery event";
+  // the recovery *rate* is its count over the op counters.  Compiles to
+  // nothing when the subsystem is off, and to a null check when it is on
+  // but the table is uninstrumented.
+  void RecordFindChase(uint64_t hops) {
+#if EXHASH_METRICS_ENABLED
+    if (metrics_ != nullptr && hops != 0) metrics_->find_chase.Add(hops);
+#else
+    (void)hops;
+#endif
+  }
+  void RecordUpdateChase(uint64_t hops) {
+#if EXHASH_METRICS_ENABLED
+    if (metrics_ != nullptr && hops != 0) metrics_->update_chase.Add(hops);
+#else
+    (void)hops;
+#endif
+  }
+
   TableOptions options_;
   util::Mix64Hasher default_hasher_;
   const util::Hasher* hasher_;
@@ -88,6 +126,12 @@ class TableBase : public KeyValueIndex {
   util::RaxLock dir_lock_;
   AtomicTableStats stats_;
   std::atomic<uint64_t> size_{0};
+
+#if EXHASH_METRICS_ENABLED
+  // Declared last so it is destroyed first: its destructor deregisters the
+  // registry provider, which reads the members above at snapshot time.
+  std::unique_ptr<metrics::TableMetrics> metrics_;
+#endif
 };
 
 }  // namespace exhash::core

@@ -100,12 +100,139 @@ void Cluster::InstallFaults() {
 }
 
 Cluster::~Cluster() {
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->RemoveProvider(metrics_provider_);
+  }
   // Let in-flight work drain (a slave blocked on a peer must not outlive
   // that peer), then stop directory managers (no new forwards) and finally
   // the bucket managers.
   WaitQuiescent(30000);
   for (auto& dm : dir_managers_) dm->Stop();
   for (auto& bm : bucket_managers_) bm->Stop();
+}
+
+void Cluster::RegisterMetrics(metrics::Registry* registry,
+                              const std::string& prefix) {
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->RemoveProvider(metrics_provider_);
+  }
+  metrics_registry_ = registry != nullptr ? registry
+                                          : &metrics::Registry::Global();
+  metrics_provider_ =
+      metrics_registry_->AddProvider([this, prefix](metrics::Snapshot* snap) {
+        auto& c = snap->counters;
+
+        DirectoryManagerStats dm_total;
+        for (size_t i = 0; i < dir_managers_.size(); ++i) {
+          const DirectoryManagerStats s = dir_managers_[i]->stats();
+          const std::string p = prefix + ".dm" + std::to_string(i);
+          c[p + ".requests"] = s.requests;
+          c[p + ".retries"] = s.retries;
+          c[p + ".updates_applied"] = s.updates_applied;
+          c[p + ".updates_delayed"] = s.updates_delayed;
+          c[p + ".updates_discarded"] = s.updates_discarded;
+          c[p + ".doublings"] = s.doublings;
+          c[p + ".halvings"] = s.halvings;
+          c[p + ".gc_rounds"] = s.gc_rounds;
+          c[p + ".gc_pages"] = s.gc_pages;
+          c[p + ".dup_requests"] = s.dup_requests;
+          c[p + ".dup_reforwards"] = s.dup_reforwards;
+          dm_total.requests += s.requests;
+          dm_total.retries += s.retries;
+          dm_total.updates_applied += s.updates_applied;
+          dm_total.updates_delayed += s.updates_delayed;
+          dm_total.updates_discarded += s.updates_discarded;
+          dm_total.doublings += s.doublings;
+          dm_total.halvings += s.halvings;
+          dm_total.gc_rounds += s.gc_rounds;
+          dm_total.gc_pages += s.gc_pages;
+          dm_total.dup_requests += s.dup_requests;
+          dm_total.dup_reforwards += s.dup_reforwards;
+        }
+        {
+          const std::string p = prefix + ".dm";
+          c[p + ".requests"] = dm_total.requests;
+          c[p + ".retries"] = dm_total.retries;
+          c[p + ".updates_applied"] = dm_total.updates_applied;
+          c[p + ".updates_delayed"] = dm_total.updates_delayed;
+          c[p + ".updates_discarded"] = dm_total.updates_discarded;
+          c[p + ".doublings"] = dm_total.doublings;
+          c[p + ".halvings"] = dm_total.halvings;
+          c[p + ".gc_rounds"] = dm_total.gc_rounds;
+          c[p + ".gc_pages"] = dm_total.gc_pages;
+          c[p + ".dup_requests"] = dm_total.dup_requests;
+          c[p + ".dup_reforwards"] = dm_total.dup_reforwards;
+        }
+
+        BucketManagerStats bm_total;
+        for (size_t i = 0; i < bucket_managers_.size(); ++i) {
+          const BucketManagerStats s = bucket_managers_[i]->stats();
+          const std::string p = prefix + ".bm" + std::to_string(i);
+          c[p + ".finds"] = s.finds;
+          c[p + ".inserts"] = s.inserts;
+          c[p + ".deletes"] = s.deletes;
+          c[p + ".splits_local"] = s.splits_local;
+          c[p + ".splits_spilled"] = s.splits_spilled;
+          c[p + ".merges_local"] = s.merges_local;
+          c[p + ".merges_remote"] = s.merges_remote;
+          c[p + ".wrongbucket_sent"] = s.wrongbucket_sent;
+          c[p + ".wrongbucket_served"] = s.wrongbucket_served;
+          c[p + ".gc_pages"] = s.gc_pages;
+          c[p + ".restarts"] = s.restarts;
+          c[p + ".dedup_hits"] = s.dedup_hits;
+          bm_total.finds += s.finds;
+          bm_total.inserts += s.inserts;
+          bm_total.deletes += s.deletes;
+          bm_total.splits_local += s.splits_local;
+          bm_total.splits_spilled += s.splits_spilled;
+          bm_total.merges_local += s.merges_local;
+          bm_total.merges_remote += s.merges_remote;
+          bm_total.wrongbucket_sent += s.wrongbucket_sent;
+          bm_total.wrongbucket_served += s.wrongbucket_served;
+          bm_total.gc_pages += s.gc_pages;
+          bm_total.restarts += s.restarts;
+          bm_total.dedup_hits += s.dedup_hits;
+        }
+        {
+          const std::string p = prefix + ".bm";
+          c[p + ".finds"] = bm_total.finds;
+          c[p + ".inserts"] = bm_total.inserts;
+          c[p + ".deletes"] = bm_total.deletes;
+          c[p + ".splits_local"] = bm_total.splits_local;
+          c[p + ".splits_spilled"] = bm_total.splits_spilled;
+          c[p + ".merges_local"] = bm_total.merges_local;
+          c[p + ".merges_remote"] = bm_total.merges_remote;
+          c[p + ".wrongbucket_sent"] = bm_total.wrongbucket_sent;
+          c[p + ".wrongbucket_served"] = bm_total.wrongbucket_served;
+          c[p + ".gc_pages"] = bm_total.gc_pages;
+          c[p + ".restarts"] = bm_total.restarts;
+          c[p + ".dedup_hits"] = bm_total.dedup_hits;
+        }
+        // Stale-directory hit rate: bucket ops that landed on a manager no
+        // longer owning the key (the §3 wrongbucket path), per million ops.
+        const uint64_t bm_ops =
+            bm_total.finds + bm_total.inserts + bm_total.deletes;
+        c[prefix + ".bm.stale_dir_hit_ppm"] =
+            bm_ops == 0 ? 0 : bm_total.wrongbucket_sent * 1000000 / bm_ops;
+
+        const NetworkStats n = net_.stats();
+        c[prefix + ".net.attempts"] = n.attempts;
+        c[prefix + ".net.sent"] = n.total_sent;
+        c[prefix + ".net.received"] = n.total_received;
+        c[prefix + ".net.dropped"] = n.dropped;
+        c[prefix + ".net.duplicated"] = n.duplicated;
+        c[prefix + ".net.spiked"] = n.spiked;
+        c[prefix + ".net.stalled"] = n.stalled;
+        for (int t = 0; t < kNumMsgTypes; ++t) {
+          const char* name = ToString(static_cast<MsgType>(t));
+          if (n.per_type[t] != 0) {
+            c[prefix + ".net.sent." + name] = n.per_type[t];
+          }
+          if (n.per_type_recv[t] != 0) {
+            c[prefix + ".net.recv." + name] = n.per_type_recv[t];
+          }
+        }
+      });
 }
 
 void Cluster::Seed() {

@@ -15,6 +15,7 @@
 #include "distributed/bucket_manager.h"
 #include "distributed/directory_manager.h"
 #include "distributed/network.h"
+#include "metrics/registry.h"
 #include "util/pseudokey.h"
 
 namespace exhash::dist {
@@ -156,6 +157,16 @@ class Cluster {
   NetworkStats network_stats() const { return net_.stats(); }
   void ResetNetworkStats() { net_.ResetStats(); }
 
+  // Observability (DESIGN.md §8): registers a snapshot-time provider that
+  // exports per-node manager counters ("<prefix>.dm0.requests", ...),
+  // cluster-wide aggregates ("<prefix>.dm.requests"), per-MsgType network
+  // send/receive/fault counters, and the stale-directory hit rate (bucket
+  // ops that arrived at the wrong manager per million ops).  nullptr
+  // selects Registry::Global().  The provider is deregistered in the
+  // destructor; in EXHASH_METRICS=OFF builds this is a no-op.
+  void RegisterMetrics(metrics::Registry* registry = nullptr,
+                       const std::string& prefix = "cluster");
+
   // Removes every fault rule and partition window — the chaos harness calls
   // this before its fault-free drain so queued traffic settles reliably.
   void ClearFaults() { net_.ClearAllFaults(); }
@@ -172,6 +183,10 @@ class Cluster {
   std::atomic<uint64_t> split_counter_{0};
   std::atomic<int> next_client_dm_{0};
   std::atomic<uint64_t> next_client_id_{0};
+
+  // RegisterMetrics bookkeeping (provider deregistered in ~Cluster).
+  metrics::Registry* metrics_registry_ = nullptr;
+  uint64_t metrics_provider_ = 0;
 };
 
 }  // namespace exhash::dist

@@ -105,6 +105,7 @@ void SimNetwork::Send(PortId to, Message message) {
   Port* port = GetPort(to);
   const uint32_t type_bit = MsgMask(message.type);
   const auto now = std::chrono::steady_clock::now();
+  attempts_.fetch_add(1, std::memory_order_relaxed);
 
   uint64_t delay_ns = options_.delay_ns_min;
   int copies = 1;
@@ -121,7 +122,9 @@ void SimNetwork::Send(PortId to, Message message) {
       for (const FaultRule& rule : port->faults) {
         if (!(rule.type_mask & type_bit)) continue;
         if (rule.drop_prob > 0 && fault_rng_.Bernoulli(rule.drop_prob)) {
-          dropped_.fetch_add(1, std::memory_order_relaxed);
+          // Count every discarded copy (an earlier rule may have dup'd) so
+          // that total_sent + dropped == attempts + duplicated stays exact.
+          dropped_.fetch_add(uint64_t(copies), std::memory_order_relaxed);
           return;
         }
         if (rule.dup_prob > 0 && fault_rng_.Bernoulli(rule.dup_prob)) {
@@ -168,6 +171,7 @@ Message SimNetwork::Receive(PortId port_id) {
       if (deliver_at <= now) {
         Message m = port->queue.top().message;
         port->queue.pop();
+        CountReceive(m);
         return m;
       }
       port->cv.wait_until(guard, deliver_at);
@@ -186,6 +190,7 @@ bool SimNetwork::TryReceive(PortId port_id, Message* message) {
   }
   *message = port->queue.top().message;
   port->queue.pop();
+  CountReceive(*message);
   return true;
 }
 
@@ -199,6 +204,7 @@ bool SimNetwork::ReceiveFor(PortId port_id, Message* message,
     if (!port->queue.empty() && port->queue.top().deliver_at <= now) {
       *message = port->queue.top().message;
       port->queue.pop();
+      CountReceive(*message);
       return true;
     }
     if (now >= deadline) return false;
@@ -240,9 +246,12 @@ size_t SimNetwork::QueuedForQuiescence(
 
 NetworkStats SimNetwork::stats() const {
   NetworkStats s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
   s.total_sent = total_sent_.load(std::memory_order_relaxed);
+  s.total_received = total_received_.load(std::memory_order_relaxed);
   for (int i = 0; i < kNumMsgTypes; ++i) {
     s.per_type[i] = per_type_[i].load(std::memory_order_relaxed);
+    s.per_type_recv[i] = per_type_recv_[i].load(std::memory_order_relaxed);
   }
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.duplicated = duplicated_.load(std::memory_order_relaxed);
@@ -252,8 +261,11 @@ NetworkStats SimNetwork::stats() const {
 }
 
 void SimNetwork::ResetStats() {
+  attempts_.store(0, std::memory_order_relaxed);
   total_sent_.store(0, std::memory_order_relaxed);
+  total_received_.store(0, std::memory_order_relaxed);
   for (auto& c : per_type_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : per_type_recv_) c.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   duplicated_.store(0, std::memory_order_relaxed);
   spiked_.store(0, std::memory_order_relaxed);

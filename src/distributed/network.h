@@ -38,10 +38,18 @@
 namespace exhash::dist {
 
 struct NetworkStats {
+  // Send() invocations — what the senders asked for, before faults.
+  uint64_t attempts = 0;
   uint64_t total_sent = 0;  // messages enqueued (duplicated copies included)
   uint64_t per_type[kNumMsgTypes] = {};
-  // Fault-injection outcomes.
-  uint64_t dropped = 0;     // discarded by a drop rule or drop-partition
+  // Receiver side: messages actually popped by Receive/TryReceive/
+  // ReceiveFor (lags total_sent by whatever is still buffered).
+  uint64_t total_received = 0;
+  uint64_t per_type_recv[kNumMsgTypes] = {};
+  // Fault-injection outcomes.  `dropped` counts discarded *copies*, so the
+  // books always balance:  total_sent + dropped == attempts + duplicated
+  // (chaos_test cross-checks this against its FaultRule bookkeeping).
+  uint64_t dropped = 0;     // copies discarded by a drop rule or partition
   uint64_t duplicated = 0;  // extra copies enqueued by dup rules
   uint64_t spiked = 0;      // messages given a delay spike
   uint64_t stalled = 0;     // messages held to the end of a stall window
@@ -154,6 +162,11 @@ class SimNetwork {
 
   PortId CreatePortInternal(bool counted);
   Port* GetPort(PortId id) const;
+  void CountReceive(const Message& message) {
+    total_received_.fetch_add(1, std::memory_order_relaxed);
+    per_type_recv_[static_cast<int>(message.type)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
 
   Options options_;
   mutable std::mutex ports_mutex_;
@@ -164,8 +177,11 @@ class SimNetwork {
   util::Rng fault_rng_;  // fault draws, independent so enabling faults does
                          // not perturb the jitter sequence
   std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> attempts_{0};
   std::atomic<uint64_t> total_sent_{0};
   std::atomic<uint64_t> per_type_[kNumMsgTypes] = {};
+  std::atomic<uint64_t> total_received_{0};
+  std::atomic<uint64_t> per_type_recv_[kNumMsgTypes] = {};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> duplicated_{0};
   std::atomic<uint64_t> spiked_{0};

@@ -1,0 +1,35 @@
+// Compile-time gate for the observability subsystem (DESIGN.md §8).
+//
+// EXHASH_METRICS_ENABLED is 1 unless the build says otherwise (CMake option
+// EXHASH_METRICS=OFF passes -DEXHASH_METRICS_ENABLED=0).  Hot headers guard
+// their instrumentation members and calls with this macro, so a disabled
+// build contains no metrics state, no branches, and no symbols — the
+// disabled path is free by construction, not by optimizer goodwill
+// (tests/metrics/compile_out_test.cc checks both directions).
+//
+// This header is include-only and safe from any layer, including src/util,
+// which must not link against the metrics library.
+
+#ifndef EXHASH_METRICS_GATE_H_
+#define EXHASH_METRICS_GATE_H_
+
+#ifndef EXHASH_METRICS_ENABLED
+#define EXHASH_METRICS_ENABLED 1
+#endif
+
+// Wraps a statement that exists only in metrics-enabled builds:
+//   EXHASH_METRICS_ONLY(counter->Add(1));
+#if EXHASH_METRICS_ENABLED
+#define EXHASH_METRICS_ONLY(...) __VA_ARGS__
+#else
+#define EXHASH_METRICS_ONLY(...)
+#endif
+
+namespace exhash::metrics {
+
+// Queryable from regular code (the macro is for preprocessor-level gating).
+inline constexpr bool kCompiledIn = EXHASH_METRICS_ENABLED != 0;
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_GATE_H_

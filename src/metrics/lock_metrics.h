@@ -1,0 +1,62 @@
+// Per-lock-family metrics sink for RaxLock (DESIGN.md §8).
+//
+// A LockMetrics object aggregates acquisition-latency histograms per mode
+// plus a slow-path counter for one *family* of locks — one sink for a
+// table's directory lock, one shared by all of its bucket locks.  RaxLock
+// carries an atomic pointer to a sink; null (the default) keeps the lock's
+// hot path exactly as fast as an uninstrumented build.
+//
+// Latency is sampled 1-in-kSamplePeriod per thread: two steady_clock reads
+// per sampled acquisition, amortized to ~1-2ns per acquisition, which is
+// what keeps the enabled path inside the E12 overhead budget.  Counts are
+// NOT kept here — RaxLock already counts per-mode acquisitions for free in
+// its packed word (RaxLockStats); the registry providers read those.
+//
+// Header-only on purpose: rax_lock.cc (src/util) includes this without
+// linking the metrics library — util is below metrics in the layer order.
+
+#ifndef EXHASH_METRICS_LOCK_METRICS_H_
+#define EXHASH_METRICS_LOCK_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "metrics/gate.h"
+#include "util/histogram.h"
+
+namespace exhash::metrics {
+
+struct LockMetrics {
+  // One histogram per LockMode (kRho=0, kAlpha=1, kXi=2), nanoseconds.
+  util::Histogram acquire_ns[3];
+  // Acquisitions that entered the blocking tier while this sink was
+  // installed (RaxLock's own `contended` counts for the lock's lifetime;
+  // this one is resettable with the sink).
+  std::atomic<uint64_t> slow_path{0};
+
+  // Prime on purpose: the counter is shared across sinks, and an operation
+  // acquires locks in a fixed cycle (directory, then bucket, ...).  An even
+  // period resonates with that cycle — every sample lands on the same lock
+  // family and the others record nothing.  Sized so the sampled path's two
+  // clock reads plus histogram add (~70ns) amortize below 1ns/acquisition;
+  // a bench run still collects thousands of samples per histogram.
+  static constexpr uint32_t kSamplePeriod = 127;
+
+  // True 1-in-kSamplePeriod per calling thread.  One thread-local counter
+  // shared across sinks: sampling needs no per-sink state.
+  static bool ShouldSample() {
+    thread_local uint32_t countdown = 0;
+    if (countdown-- != 0) return false;
+    countdown = kSamplePeriod - 1;
+    return true;
+  }
+
+  void RecordAcquire(int mode, uint64_t ns) { acquire_ns[mode].Add(ns); }
+  void RecordSlowPath() {
+    slow_path.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_LOCK_METRICS_H_

@@ -1,0 +1,53 @@
+#include "metrics/metrics_index.h"
+
+#include <chrono>
+
+namespace exhash::metrics {
+
+namespace {
+const char* const kOpNames[3] = {"find", "insert", "remove"};
+}  // namespace
+
+MetricsIndex::MetricsIndex(core::KeyValueIndex* base, Registry* registry,
+                           const std::string& prefix, uint32_t sample_every)
+    : base_(base),
+      registry_(registry != nullptr ? registry : &Registry::Global()),
+      prefix_(prefix),
+      sample_every_(sample_every) {
+  for (int op = 0; op < 3; ++op) {
+    const std::string stem = prefix_ + "." + kOpNames[op];
+    ops_[op] = registry_->GetCounter(stem + ".ops");
+    latency_[op] = registry_->GetHistogram(stem + ".latency_ns");
+  }
+}
+
+MetricsIndex::~MetricsIndex() = default;
+
+template <typename Fn>
+bool MetricsIndex::Metered(Op op, uint64_t key, Fn&& fn) {
+  ops_[op]->Add(1);
+  if (!ShouldSample()) [[likely]] {
+    return fn();
+  }
+  Trace::Emit(kOpNames[op], key);
+  const auto start = std::chrono::steady_clock::now();
+  const bool result = fn();
+  latency_[op]->Add(uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count()));
+  return result;
+}
+
+bool MetricsIndex::Find(uint64_t key, uint64_t* value) {
+  return Metered(kFind, key, [&] { return base_->Find(key, value); });
+}
+
+bool MetricsIndex::Insert(uint64_t key, uint64_t value) {
+  return Metered(kInsert, key, [&] { return base_->Insert(key, value); });
+}
+
+bool MetricsIndex::Remove(uint64_t key) {
+  return Metered(kRemove, key, [&] { return base_->Remove(key); });
+}
+
+}  // namespace exhash::metrics

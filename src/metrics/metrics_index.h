@@ -1,0 +1,81 @@
+// MetricsIndex: KeyValueIndex adapter that meters every operation through
+// the registry (DESIGN.md §8) — the observability twin of the verify
+// subsystem's RecordingIndex.
+//
+// Per operation type it keeps a sharded op counter (every op) and a latency
+// histogram (sampled 1-in-sample_every; 1 = every op).  All metrics are
+// registered in the given registry under "<prefix>.": benches wrap a table
+// as MetricsIndex(table, registry, "v1") and a snapshot delta then carries
+// v1.find.ops, v1.find.latency_ns, ... alongside whatever the wrapped
+// table's own providers contribute.
+//
+// Works in EXHASH_METRICS=OFF builds too (the registry alias is the no-op
+// stub there); the wrapper then only forwards.
+
+#ifndef EXHASH_METRICS_METRICS_INDEX_H_
+#define EXHASH_METRICS_METRICS_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/kv_index.h"
+#include "metrics/registry.h"
+#include "metrics/trace_ring.h"
+
+namespace exhash::metrics {
+
+class MetricsIndex : public core::KeyValueIndex {
+ public:
+  // `registry` defaults to the process-global one; `sample_every` controls
+  // latency sampling (0 disables latency entirely, 1 times every op).
+  MetricsIndex(core::KeyValueIndex* base, Registry* registry = nullptr,
+               const std::string& prefix = "index",
+               uint32_t sample_every = 16);
+  ~MetricsIndex() override;
+
+  bool Find(uint64_t key, uint64_t* value) override;
+  bool Insert(uint64_t key, uint64_t value) override;
+  bool Remove(uint64_t key) override;
+
+  uint64_t Size() const override { return base_->Size(); }
+  std::string Name() const override { return base_->Name() + "+metrics"; }
+  int Depth() const override { return base_->Depth(); }
+  core::TableStats Stats() const override { return base_->Stats(); }
+  bool Validate(std::string* error) override { return base_->Validate(error); }
+  uint64_t ForEachRecord(
+      const std::function<void(uint64_t, uint64_t)>& visit) override {
+    return base_->ForEachRecord(visit);
+  }
+
+  Registry* registry() { return registry_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  enum Op { kFind = 0, kInsert = 1, kRemove = 2 };
+
+  template <typename Fn>
+  bool Metered(Op op, uint64_t key, Fn&& fn);
+
+  bool ShouldSample() {
+    if (sample_every_ == 0) return false;
+    if (sample_every_ == 1) return true;
+    // The countdown is thread-local, not per-instance, so its phase leaks
+    // between wrappers with different periods — fine for amortized
+    // sampling, which is why the exact cases (0 and 1) are decided above.
+    thread_local uint32_t countdown = 0;
+    if (countdown-- != 0) return false;
+    countdown = sample_every_ - 1;
+    return true;
+  }
+
+  core::KeyValueIndex* base_;
+  Registry* registry_;
+  std::string prefix_;
+  uint32_t sample_every_;
+  Counter* ops_[3];
+  util::Histogram* latency_[3];
+};
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_METRICS_INDEX_H_

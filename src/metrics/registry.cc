@@ -1,0 +1,160 @@
+#include "metrics/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace exhash::metrics {
+
+namespace {
+
+// Minimal JSON string escaping: metric names are ASCII identifiers with
+// dots, but a stray quote or backslash must not corrupt the document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Snapshot Snapshot::Delta(const Snapshot& earlier) const {
+  Snapshot d;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const uint64_t base = it != earlier.counters.end() ? it->second : 0;
+    d.counters[name] = value >= base ? value - base : 0;
+  }
+  for (const auto& [name, summary] : histograms) {
+    HistogramSummary s = summary;
+    const auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end() && s.count >= it->second.count) {
+      s.count -= it->second.count;
+    }
+    d.histograms[name] = s;
+  }
+  return d;
+}
+
+std::string Snapshot::Text() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%-48s %12" PRIu64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-48s n=%" PRIu64 " mean=%.0f p50=%" PRIu64 " p95=%" PRIu64
+                  " p99=%" PRIu64 " max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean, h.p50, h.p95, h.p99, h.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string Snapshot::Json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[128];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",",
+                  JsonEscape(name).c_str(), value);
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"mean\":%.1f,\"p50\":%" PRIu64
+                  ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"max\":%" PRIu64 "}",
+                  first ? "" : ",", JsonEscape(name).c_str(), h.count, h.mean,
+                  h.p50, h.p95, h.p99, h.max);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+namespace detail {
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry();  // leaked: outlives every exit path
+  return *r;
+}
+
+ShardedCounter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<ShardedCounter>();
+  return slot.get();
+}
+
+util::Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<util::Histogram>();
+  return slot.get();
+}
+
+uint64_t Registry::AddProvider(Provider provider) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const uint64_t handle = next_provider_++;
+  providers_[handle] = std::move(provider);
+  return handle;
+}
+
+void Registry::RemoveProvider(uint64_t handle) {
+  std::lock_guard<std::mutex> guard(mu_);
+  providers_.erase(handle);
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Read();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Snapshot::HistogramSummary s;
+    s.count = histogram->count();
+    s.mean = histogram->Mean();
+    s.p50 = histogram->Percentile(50);
+    s.p95 = histogram->Percentile(95);
+    s.p99 = histogram->Percentile(99);
+    s.max = histogram->max();
+    snap.histograms[name] = s;
+  }
+  for (const auto& [handle, provider] : providers_) {
+    (void)handle;
+    provider(&snap);
+  }
+  return snap;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (const auto& [name, counter] : counters_) {
+    (void)name;
+    counter->Reset();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram->Reset();
+  }
+}
+
+}  // namespace detail
+}  // namespace exhash::metrics

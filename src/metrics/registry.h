@@ -1,0 +1,141 @@
+// MetricsRegistry: named counters, latency histograms, and snapshot-time
+// providers, with text/JSON export (DESIGN.md §8).
+//
+// Shape of use:
+//
+//   auto* splits = registry->GetCounter("table.splits");   // once, at setup
+//   splits->Add();                                         // hot path
+//   metrics::Snapshot before = registry->TakeSnapshot();
+//   ... run ...
+//   std::string json = registry->TakeSnapshot().Delta(before).Json();
+//
+// GetCounter/GetHistogram intern by name under a mutex — call sites resolve
+// once and keep the pointer; returned pointers live as long as the registry.
+// Providers are callbacks that contribute values computed at snapshot time
+// (the bridge for subsystems that already keep their own atomics: TableStats,
+// RaxLockStats, NetworkStats, the distributed managers' stats).
+//
+// In EXHASH_METRICS=OFF builds the alias `Registry` points at noop::Registry
+// below: same API, empty state, every hot call a deleted no-op.
+
+#ifndef EXHASH_METRICS_REGISTRY_H_
+#define EXHASH_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "metrics/gate.h"
+#include "metrics/sharded_counter.h"
+#include "util/histogram.h"
+
+namespace exhash::metrics {
+
+// Point-in-time view of a registry.  Plain data: copyable, diffable,
+// dumpable.  Histograms are summarized (count/mean/percentiles), not copied
+// bucket-by-bucket — deltas of percentile summaries would be meaningless, so
+// Delta() keeps the *later* summary and subtracts only counts.
+struct Snapshot {
+  struct HistogramSummary {
+    uint64_t count = 0;
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t max = 0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSummary> histograms;
+
+  // this - earlier, counter-wise (clamped at 0 so a reset in between cannot
+  // produce a wrapped giant).  Histogram summaries keep this snapshot's
+  // percentiles with the count diffed.
+  Snapshot Delta(const Snapshot& earlier) const;
+
+  // Human-readable multi-line table.
+  std::string Text() const;
+
+  // Machine-readable single-line JSON:
+  //   {"counters":{...},"histograms":{"name":{"count":..,"p50":..,...}}}
+  // Keys are emitted in sorted order so output is deterministic.
+  std::string Json() const;
+};
+
+namespace detail {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-global instance benches and production wiring default to.
+  static Registry& Global();
+
+  // Create-or-get; the pointer is stable for the registry's lifetime.
+  ShardedCounter* GetCounter(const std::string& name);
+  util::Histogram* GetHistogram(const std::string& name);
+
+  // A provider contributes snapshot-time values.  Returns a handle for
+  // RemoveProvider; owners deregister before they die.
+  using Provider = std::function<void(Snapshot*)>;
+  uint64_t AddProvider(Provider provider);
+  void RemoveProvider(uint64_t handle);
+
+  Snapshot TakeSnapshot() const;
+  std::string DumpText() const { return TakeSnapshot().Text(); }
+  std::string DumpJson() const { return TakeSnapshot().Json(); }
+
+  // Zeroes every owned counter and histogram (providers are not touched —
+  // their owners' counters are not ours to clear).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>> counters_;
+  std::map<std::string, std::unique_ptr<util::Histogram>> histograms_;
+  std::map<uint64_t, Provider> providers_;
+  uint64_t next_provider_ = 1;
+};
+
+}  // namespace detail
+
+namespace noop {
+
+class Registry {
+ public:
+  static Registry& Global() {
+    static Registry r;
+    return r;
+  }
+  ShardedCounter* GetCounter(const std::string&) { return &counter_; }
+  util::Histogram* GetHistogram(const std::string&) { return &histogram_; }
+  using Provider = std::function<void(Snapshot*)>;
+  uint64_t AddProvider(Provider) { return 0; }
+  void RemoveProvider(uint64_t) {}
+  Snapshot TakeSnapshot() const { return {}; }
+  std::string DumpText() const { return ""; }
+  std::string DumpJson() const { return "{\"counters\":{},\"histograms\":{}}"; }
+  void Reset() {}
+
+ private:
+  // One shared sink: writes to it are no-ops anyway.
+  ShardedCounter counter_;
+  util::Histogram histogram_;
+};
+
+}  // namespace noop
+
+#if EXHASH_METRICS_ENABLED
+using Registry = detail::Registry;
+#else
+using Registry = noop::Registry;
+#endif
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_REGISTRY_H_

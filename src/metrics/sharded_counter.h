@@ -1,0 +1,94 @@
+// Sharded monotone counters: the primitive the metrics registry is built
+// from (DESIGN.md §8).
+//
+// A counter is an array of cache-line-padded atomic shards; a thread always
+// increments the shard picked by its (process-unique, round-robin) shard
+// slot, so concurrent increments from different threads touch different
+// cache lines and never contend.  Reads sum the shards — racy but monotone,
+// which is all reporting needs.
+//
+// Both the real implementation (detail::) and the disabled-build stub
+// (noop::) are always defined so either can be unit-tested from any build;
+// the `metrics::Counter` alias at the bottom picks one by the compile gate.
+
+#ifndef EXHASH_METRICS_SHARDED_COUNTER_H_
+#define EXHASH_METRICS_SHARDED_COUNTER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "metrics/gate.h"
+
+namespace exhash::metrics {
+
+namespace detail {
+
+// Power of two.  8 shards * 64 bytes = 512 bytes per counter — cheap enough
+// to have many counters, wide enough that 8 threads rarely collide (and a
+// collision costs one shared fetch_add, never a lost update).
+inline constexpr unsigned kCounterShards = 8;
+
+// The calling thread's shard slot, assigned round-robin on first use.  One
+// process-wide sequence shared by every counter: threads created together
+// land on distinct shards.
+inline unsigned ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Read() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+};
+
+}  // namespace detail
+
+namespace noop {
+
+// The disabled-build stub: empty, stateless, every call a no-op that the
+// compiler deletes.  compile_out_test.cc asserts it stays empty.
+class ShardedCounter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Read() const { return 0; }
+  void Reset() {}
+};
+
+}  // namespace noop
+
+#if EXHASH_METRICS_ENABLED
+using Counter = detail::ShardedCounter;
+#else
+using Counter = noop::ShardedCounter;
+#endif
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_SHARDED_COUNTER_H_

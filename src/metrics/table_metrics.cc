@@ -1,0 +1,47 @@
+#include "metrics/table_metrics.h"
+
+namespace exhash::metrics {
+
+void AddHistogramSummary(Snapshot* snap, const std::string& name,
+                         const util::Histogram& h) {
+  Snapshot::HistogramSummary s;
+  s.count = h.count();
+  s.mean = h.Mean();
+  s.p50 = h.Percentile(50);
+  s.p95 = h.Percentile(95);
+  s.p99 = h.Percentile(99);
+  s.max = h.max();
+  snap->histograms[name] = s;
+}
+
+TableMetrics::TableMetrics(
+    Registry* registry, std::string prefix,
+    std::function<void(Snapshot*, const std::string&)> extra)
+    : registry_(registry != nullptr ? registry : &Registry::Global()),
+      prefix_(std::move(prefix)),
+      extra_(std::move(extra)) {
+  provider_handle_ = registry_->AddProvider([this](Snapshot* snap) {
+    static const char* const kModes[3] = {"rho", "alpha", "xi"};
+    for (int m = 0; m < 3; ++m) {
+      AddHistogramSummary(snap,
+                          prefix_ + ".dir_lock." + kModes[m] + ".acquire_ns",
+                          dir_lock.acquire_ns[m]);
+      AddHistogramSummary(
+          snap, prefix_ + ".bucket_locks." + kModes[m] + ".acquire_ns",
+          bucket_locks.acquire_ns[m]);
+    }
+    snap->counters[prefix_ + ".dir_lock.slow_path"] =
+        dir_lock.slow_path.load(std::memory_order_relaxed);
+    snap->counters[prefix_ + ".bucket_locks.slow_path"] =
+        bucket_locks.slow_path.load(std::memory_order_relaxed);
+    AddHistogramSummary(snap, prefix_ + ".find.chase_hops", find_chase);
+    AddHistogramSummary(snap, prefix_ + ".update.chase_hops", update_chase);
+    if (extra_) extra_(snap, prefix_);
+  });
+}
+
+TableMetrics::~TableMetrics() {
+  registry_->RemoveProvider(provider_handle_);
+}
+
+}  // namespace exhash::metrics

@@ -1,0 +1,61 @@
+// Per-table metrics state (DESIGN.md §8), owned by TableBase when
+// TableOptions::metrics is set.
+//
+// Holds the latency/distribution data the table's existing atomic counters
+// cannot express — lock-acquisition histograms for the directory lock and
+// the bucket-lock family, and next-link chase-length histograms per path —
+// plus the registry registration that exports everything (including the
+// table's TableStats and RaxLockStats, via the `extra` callback) under
+// "<prefix>.".
+//
+// This header is only ever included from metrics-enabled code paths
+// (table_base.h guards its member with the compile gate).
+
+#ifndef EXHASH_METRICS_TABLE_METRICS_H_
+#define EXHASH_METRICS_TABLE_METRICS_H_
+
+#include <functional>
+#include <string>
+
+#include "metrics/lock_metrics.h"
+#include "metrics/registry.h"
+#include "util/histogram.h"
+
+namespace exhash::metrics {
+
+// Snapshot-time helper shared by providers: summarizes `h` into
+// snap->histograms[name].
+void AddHistogramSummary(Snapshot* snap, const std::string& name,
+                         const util::Histogram& h);
+
+class TableMetrics {
+ public:
+  // `extra(snap, prefix)` contributes the owner's own counters (TableStats,
+  // RaxLockStats) at snapshot time.  Must stay valid until destruction.
+  TableMetrics(Registry* registry, std::string prefix,
+               std::function<void(Snapshot*, const std::string&)> extra);
+  ~TableMetrics();
+  TableMetrics(const TableMetrics&) = delete;
+  TableMetrics& operator=(const TableMetrics&) = delete;
+
+  LockMetrics dir_lock;
+  LockMetrics bucket_locks;
+  // Next-link hops per operation ("wrong bucket" recoveries): the reader
+  // path (Find) and the updater walks (V2 insert/delete).  Mostly zeros —
+  // the tail is the signal.
+  util::Histogram find_chase;
+  util::Histogram update_chase;
+
+  Registry* registry() { return registry_; }
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  Registry* registry_;
+  std::string prefix_;
+  std::function<void(Snapshot*, const std::string&)> extra_;
+  uint64_t provider_handle_;
+};
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_TABLE_METRICS_H_

@@ -1,0 +1,126 @@
+#include "metrics/trace_ring.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace exhash::metrics::detail {
+
+namespace {
+
+// One thread's ring.  Owned by the global ring list (so Drain() can reach
+// rings of threads that already exited); a thread_local pointer caches the
+// calling thread's ring.
+struct Ring {
+  explicit Ring(uint32_t id, size_t capacity) : thread(id) {
+    events.resize(capacity);
+  }
+  const uint32_t thread;
+  // Guards events and pos.  In steady state the only lockers are the owning
+  // thread (Emit) and the rare Drain/Clear, so the lock is uncontended and
+  // costs a couple of uncontended atomics per enabled emit — the path that
+  // must stay near-free is the *disabled* emit, which never gets here.
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  // Monotone append position; events[pos % capacity].
+  uint64_t pos = 0;
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  size_t capacity = 4096;
+  uint32_t next_thread = 0;
+  std::atomic<uint64_t> tick{0};
+};
+
+Global& G() {
+  static Global* g = new Global();
+  return *g;
+}
+
+Ring* MyRing() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    Global& g = G();
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.rings.push_back(std::make_unique<Ring>(g.next_thread++, g.capacity));
+    ring = g.rings.back().get();
+  }
+  return ring;
+}
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+void Trace::Enable(size_t capacity) {
+  Global& g = G();
+  {
+    std::lock_guard<std::mutex> guard(g.mu);
+    g.capacity = capacity == 0 ? 1 : capacity;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Trace::EmitSlow(const char* point, uint64_t a, uint64_t b) {
+  Ring* ring = MyRing();
+  const uint64_t tick = G().tick.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(ring->mu);
+  TraceEvent& e = ring->events[ring->pos % ring->events.size()];
+  e.tick = tick;
+  e.thread = ring->thread;
+  e.point = point;
+  e.a = a;
+  e.b = b;
+  ++ring->pos;
+}
+
+std::vector<TraceEvent> Trace::Drain() {
+  std::vector<TraceEvent> out;
+  Global& g = G();
+  std::lock_guard<std::mutex> guard(g.mu);
+  for (const auto& ring : g.rings) {
+    std::lock_guard<std::mutex> ring_guard(ring->mu);
+    const uint64_t pos = ring->pos;
+    const uint64_t n = std::min<uint64_t>(pos, ring->events.size());
+    for (uint64_t i = pos - n; i < pos; ++i) {
+      const TraceEvent& e = ring->events[i % ring->events.size()];
+      if (e.point != nullptr) out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.tick < y.tick;
+            });
+  return out;
+}
+
+std::string Trace::DumpText() {
+  std::string out;
+  char line[192];
+  for (const TraceEvent& e : Drain()) {
+    std::snprintf(line, sizeof(line),
+                  "%8" PRIu64 "  t%-3u %-24s %" PRIu64 " %" PRIu64 "\n",
+                  e.tick, e.thread, e.point, e.a, e.b);
+    out += line;
+  }
+  return out;
+}
+
+void Trace::Clear() {
+  Global& g = G();
+  std::lock_guard<std::mutex> guard(g.mu);
+  for (const auto& ring : g.rings) {
+    std::lock_guard<std::mutex> ring_guard(ring->mu);
+    for (TraceEvent& e : ring->events) e = TraceEvent{};
+    ring->pos = 0;
+  }
+  g.tick.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace exhash::metrics::detail

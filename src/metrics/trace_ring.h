@@ -1,0 +1,97 @@
+// Trace ring: fixed-size per-thread event rings for post-mortem debugging
+// (DESIGN.md §8).
+//
+// When enabled, instrumented sites call Trace::Emit("point", a, b); each
+// thread appends into its own ring (no cross-thread contention beyond one
+// global tick counter), old events are overwritten, and on a test failure
+// the harness calls Trace::DumpText() to get the last-N events of every
+// thread merged into one tick-ordered timeline.  The verify suite attaches
+// this to counterexample reports so a failing schedule shows *what the
+// threads were doing*, not just the final history.
+//
+// `point` must be a string literal (or otherwise outlive the trace): rings
+// store the pointer, never copy the text.
+//
+// Disabled (default) cost: one relaxed load + predicted branch per site.
+// EXHASH_METRICS=OFF builds alias Trace to the no-op stub below and sites
+// compile to nothing.
+
+#ifndef EXHASH_METRICS_TRACE_RING_H_
+#define EXHASH_METRICS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/gate.h"
+
+namespace exhash::metrics {
+
+struct TraceEvent {
+  uint64_t tick = 0;   // global order (one atomic counter)
+  uint32_t thread = 0; // per-thread ring id, assigned on first emit
+  const char* point = nullptr;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+namespace detail {
+
+class Trace {
+ public:
+  // Starts tracing with `capacity` events retained per thread.  Idempotent;
+  // callable while threads run (they pick the flag up on the next emit).
+  static void Enable(size_t capacity = 4096);
+  static void Disable();
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  static void Emit(const char* point, uint64_t a = 0, uint64_t b = 0) {
+    if (!enabled()) [[likely]] return;
+    EmitSlow(point, a, b);
+  }
+
+  // Every retained event from every thread's ring, merged in tick order.
+  // Rings keep filling while this runs; the result is a consistent-enough
+  // post-mortem view, not a barrier snapshot.
+  static std::vector<TraceEvent> Drain();
+
+  // "tick thread point a b" per line, tick-ordered.
+  static std::string DumpText();
+
+  // Empties all rings (keeps tracing enabled if it was).
+  static void Clear();
+
+ private:
+  static void EmitSlow(const char* point, uint64_t a, uint64_t b);
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace detail
+
+namespace noop {
+
+class Trace {
+ public:
+  static void Enable(size_t = 4096) {}
+  static void Disable() {}
+  static bool enabled() { return false; }
+  static void Emit(const char*, uint64_t = 0, uint64_t = 0) {}
+  static std::vector<TraceEvent> Drain() { return {}; }
+  static std::string DumpText() { return ""; }
+  static void Clear() {}
+};
+
+}  // namespace noop
+
+#if EXHASH_METRICS_ENABLED
+using Trace = detail::Trace;
+#else
+using Trace = noop::Trace;
+#endif
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_TRACE_RING_H_

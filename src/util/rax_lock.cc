@@ -2,7 +2,23 @@
 
 #include <cassert>
 
+#if EXHASH_METRICS_ENABLED
+#include <chrono>
+#endif
+
 namespace exhash::util {
+
+#if EXHASH_METRICS_ENABLED
+void RaxLock::LockTimed(LockMode mode, metrics::LockMetrics* sink) {
+  // Caller (Lock) already decided to sample this acquisition.
+  const auto start = std::chrono::steady_clock::now();
+  LockImpl(mode);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  sink->RecordAcquire(static_cast<int>(mode), static_cast<uint64_t>(ns));
+}
+#endif
 
 void RaxLock::LockSlow(LockMode mode) {
   std::unique_lock<std::mutex> guard(mutex_);
@@ -13,6 +29,12 @@ void RaxLock::LockSlow(LockMode mode) {
   // is authoritative.)
   if (queue_.empty() && TryAcquireWord(mode)) return;
   contended_.fetch_add(1, std::memory_order_relaxed);
+#if EXHASH_METRICS_ENABLED
+  if (metrics::LockMetrics* sink = metrics_.load(std::memory_order_relaxed);
+      sink != nullptr) {
+    sink->RecordSlowPath();
+  }
+#endif
   Waiter w{mode};
   word_.fetch_or(kWaiterBit, std::memory_order_relaxed);
   queue_.push_back(&w);
@@ -123,6 +145,12 @@ void RaxLock::UpgradeRhoToAlphaImpl() {
   // Alpha is held: block until its release wakes us.  Conversions bypass
   // the FIFO queue by design (see header).
   contended_.fetch_add(1, std::memory_order_relaxed);
+#if EXHASH_METRICS_ENABLED
+  if (metrics::LockMetrics* sink = metrics_.load(std::memory_order_relaxed);
+      sink != nullptr) {
+    sink->RecordSlowPath();
+  }
+#endif
   std::unique_lock<std::mutex> guard(mutex_);
   for (;;) {
     cur = word_.load(std::memory_order_relaxed);

@@ -69,7 +69,12 @@
 #include <deque>
 #include <mutex>
 
+#include "metrics/gate.h"
 #include "util/test_hooks.h"
+
+#if EXHASH_METRICS_ENABLED
+#include "metrics/lock_metrics.h"  // header-only; no util→metrics link edge
+#endif
 
 namespace exhash::util {
 
@@ -106,7 +111,20 @@ class RaxLock {
   // no hook is installed.
   void Lock(LockMode mode) {
     TestHooks::Emit(HookPoint::kPreLock, this);
+#if EXHASH_METRICS_ENABLED
+    // Sample check inline so the unsampled 12-in-13 pays only this load,
+    // branch, and countdown — then falls into the exact same inlined
+    // LockImpl as an uninstrumented acquisition.  Short-circuit keeps the
+    // countdown frozen while no sink is installed.
+    metrics::LockMetrics* sink = metrics_.load(std::memory_order_relaxed);
+    if (sink != nullptr && metrics::LockMetrics::ShouldSample()) [[unlikely]] {
+      LockTimed(mode, sink);
+    } else {
+      LockImpl(mode);
+    }
+#else
     LockImpl(mode);
+#endif
     TestHooks::Emit(HookPoint::kPostLock, this);
   }
 
@@ -216,6 +234,20 @@ class RaxLock {
 
   RaxLockStats stats() const;
 
+#if EXHASH_METRICS_ENABLED
+  // Installs (or clears, with nullptr) the metrics sink.  The sink must
+  // outlive every acquisition that can observe it; tables install sinks at
+  // construction and never swap them while the lock is in use, so a relaxed
+  // load on the hot path is sufficient.  With no sink installed the only
+  // added cost per Lock() is this one predicted-not-taken branch.
+  void SetMetricsSink(metrics::LockMetrics* sink) {
+    metrics_.store(sink, std::memory_order_release);
+  }
+  metrics::LockMetrics* metrics_sink() const {
+    return metrics_.load(std::memory_order_relaxed);
+  }
+#endif
+
   // Convenience wrappers in the paper's vocabulary.
   void RhoLock() { Lock(LockMode::kRho); }
   void UnRhoLock() { Unlock(LockMode::kRho); }
@@ -315,6 +347,12 @@ class RaxLock {
   // Tier two: queue behind the mutex, FIFO-granted by GrantFromQueue().
   void LockSlow(LockMode mode);
 
+#if EXHASH_METRICS_ENABLED
+  // Sampled acquisition: times LockImpl with two clock reads and records
+  // into `sink`.  Out of line — reached 1-in-kSamplePeriod, never hot.
+  void LockTimed(LockMode mode, metrics::LockMetrics* sink);
+#endif
+
   // Grants queued requests in FIFO order while the head remains compatible,
   // then clears the waiter bit if the queue drained.  Called with mutex_
   // held whenever held state decreases (or a new waiter enqueues, to close
@@ -340,6 +378,11 @@ class RaxLock {
   mutable std::atomic<uint64_t> xi_acq_base_{0};
   std::atomic<uint64_t> upgrades_{0};
   std::atomic<uint64_t> contended_{0};
+
+#if EXHASH_METRICS_ENABLED
+  // Latency/slow-path sink; null (the default) means uninstrumented.
+  std::atomic<metrics::LockMetrics*> metrics_{nullptr};
+#endif
 
   // Tier two: blocking machinery, touched only under contention.
   std::mutex mutex_;

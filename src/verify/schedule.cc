@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "metrics/trace_ring.h"
 #include "util/random.h"
 #include "util/test_hooks.h"
 #include "verify/history.h"
@@ -155,6 +156,10 @@ class YieldController {
     if (tls_owner != this || tls_tid < 0) return;  // untracked thread
     const int tid = tls_tid;
     const uint64_t n = points_.fetch_add(1, std::memory_order_relaxed);
+    // Free unless someone called Trace::Enable (metrics/trace_ring.h) —
+    // then every yield point lands in the per-thread rings and a failing
+    // schedule's report carries the merged timeline.
+    metrics::Trace::Emit(HookName(point), uint64_t(tid), n);
 
     if (config_.mode == ScheduleConfig::Mode::kRandomYield) {
       util::Rng& rng = rngs_[size_t(tid)];
@@ -300,6 +305,10 @@ ScheduleOutcome RunOneSchedule(core::KeyValueIndex* table,
                         "\n";
     }
     outcome.report += controller.FormatTrace();
+    if (metrics::Trace::enabled()) {
+      outcome.report += "trace ring (tick thread point a b):\n";
+      outcome.report += metrics::Trace::DumpText();
+    }
   }
   return outcome;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exhash/exhash.h"
+#include "metrics/registry.h"
 #include "util/random.h"
 
 namespace exhash {
@@ -285,6 +286,95 @@ TEST_P(ConcurrentTableTest, CollidingPseudokeyChurn) {
   for (auto& t : threads) t.join();
   std::string error;
   ASSERT_TRUE(table_->Validate(&error)) << error;
+}
+
+// --- metrics cross-checks (DESIGN.md §8) ---
+//
+// The structural counters must agree with independently observable
+// structure after a concurrent churn: counters are bumped inside the
+// restructuring critical sections, so at quiescence
+//
+//   Depth()       == initial_depth + doublings - halvings
+//   LiveBuckets() == 2^initial_depth + splits - merges
+//
+// and the registry snapshot must report the exact same numbers the table's
+// own Stats() does (the provider bridge loses nothing).
+
+template <typename Table>
+void RunStructureCounterCrossCheck(const std::string& prefix) {
+  metrics::Registry registry;
+  TableOptions options = ContentionOptions();
+  options.metrics = true;
+  options.metrics_registry = &registry;
+  options.metrics_prefix = prefix;
+  Table table(options);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      workload::WorkloadGenerator gen(
+          {.key_space = 4000,
+           .mix = {.find_pct = 20, .insert_pct = 50, .remove_pct = 30},
+           .seed = 99},
+          t);
+      for (int i = 0; i < 4000; ++i) {
+        const workload::Op op = gen.Next();
+        switch (op.type) {
+          case workload::Op::Type::kFind:
+            table.Find(op.key, nullptr);
+            break;
+          case workload::Op::Type::kInsert:
+            table.Insert(op.key, op.key);
+            break;
+          case workload::Op::Type::kRemove:
+            table.Remove(op.key);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << error;
+
+  const core::TableStats stats = table.Stats();
+  EXPECT_GT(stats.splits, 0u) << "churn must actually restructure";
+  EXPECT_EQ(uint64_t(table.Depth()),
+            uint64_t(ContentionOptions().initial_depth) + stats.doublings -
+                stats.halvings);
+  EXPECT_EQ(table.LiveBuckets(), (uint64_t{1} << ContentionOptions()
+                                      .initial_depth) +
+                                     stats.splits - stats.merges);
+
+  if constexpr (metrics::kCompiledIn) {
+    const metrics::Snapshot snap = registry.TakeSnapshot();
+    EXPECT_EQ(snap.counters.at(prefix + ".structure.splits"), stats.splits);
+    EXPECT_EQ(snap.counters.at(prefix + ".structure.merges"), stats.merges);
+    EXPECT_EQ(snap.counters.at(prefix + ".structure.doublings"),
+              stats.doublings);
+    EXPECT_EQ(snap.counters.at(prefix + ".structure.halvings"),
+              stats.halvings);
+    EXPECT_EQ(snap.counters.at(prefix + ".ops.finds"), stats.finds);
+    EXPECT_EQ(snap.counters.at(prefix + ".ops.inserts"), stats.inserts);
+    EXPECT_EQ(snap.counters.at(prefix + ".ops.removes"), stats.removes);
+    EXPECT_EQ(snap.counters.at(prefix + ".depth"), uint64_t(table.Depth()));
+    // Every operation rho/alpha/xi-locks the directory exactly once on its
+    // main path; the per-mode totals must at least cover the op counts.
+    EXPECT_GE(snap.counters.at(prefix + ".dir_lock.rho") +
+                  snap.counters.at(prefix + ".dir_lock.alpha") +
+                  snap.counters.at(prefix + ".dir_lock.xi"),
+              stats.finds + stats.inserts + stats.removes);
+  }
+}
+
+TEST(StructureCounterCrossCheck, EllisV1) {
+  RunStructureCounterCrossCheck<core::EllisHashTableV1>("v1");
+}
+
+TEST(StructureCounterCrossCheck, EllisV2) {
+  RunStructureCounterCrossCheck<core::EllisHashTableV2>("v2");
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -121,6 +121,25 @@ TEST_P(ChaosTest, StormThenConverge) {
   EXPECT_GT(net.dropped, 0u);
   EXPECT_GT(net.duplicated, 0u);
   EXPECT_GT(total_retries.load(), 0u);
+
+  // Fault bookkeeping must balance exactly: every Send() attempt either
+  // became an enqueued copy or was dropped, and every extra enqueued copy
+  // came from a dup rule.  `dropped` counts discarded copies (a dropped
+  // duplicate counts on both sides), so this holds with equality.
+  EXPECT_EQ(net.total_sent + net.dropped, net.attempts + net.duplicated);
+  // Receivers can only pop what was enqueued.  (Not equality: a retrying
+  // client abandons stale duplicate replies in its uncounted reply port.)
+  EXPECT_LE(net.total_received, net.total_sent);
+  EXPECT_GT(net.total_received, 0u);
+  // Per-type counters partition the totals.
+  uint64_t per_type_sent = 0;
+  uint64_t per_type_recv = 0;
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    per_type_sent += net.per_type[t];
+    per_type_recv += net.per_type_recv[t];
+  }
+  EXPECT_EQ(per_type_sent, net.total_sent);
+  EXPECT_EQ(per_type_recv, net.total_received);
   uint64_t dedup_hits = 0;
   for (int b = 0; b < cluster.num_bucket_managers(); ++b) {
     dedup_hits += cluster.bucket_manager(b).stats().dedup_hits;

@@ -1,0 +1,138 @@
+// Golden-format guard for the bench JSON artifacts (DESIGN.md §8).
+//
+// The one-line BENCH_<name>.json files are load-bearing: they are diffed
+// across PRs and parsed by tooling, and the --metrics sidecar feature
+// explicitly promises not to perturb them.  The artifacts themselves are
+// regenerated per run (gitignored), so the golden here is the *shape*:
+//
+//   * an embedded known-good BENCH_throughput.json line must keep parsing
+//     and carrying the agreed schema (if the bench main's emitter changes
+//     shape, regenerating this sample breaks this test -> deliberate bump),
+//   * a freshly generated BENCH_throughput.json in the source tree, when
+//     present, must match the same schema,
+//   * the MetricsSidecar writer must produce a parseable document with the
+//     agreed {"bench":...,"metrics":{label:snapshot}} envelope.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "metrics/registry.h"
+#include "tests/metrics/mini_json.h"
+
+namespace exhash {
+namespace {
+
+using exhash::testing::JsonValue;
+using exhash::testing::MiniJsonParser;
+
+// Captured from a real bench_throughput run; shortened but structurally
+// identical: mix -> table -> thread-count -> ops/sec.
+const char kGoldenThroughputLine[] =
+    "{\"bench\":\"throughput\",\"ops_per_sec\":{"
+    "\"100f/0i/0d\":{\"ellis-v1\":{\"1\":3754526,\"8\":6344736},"
+    "\"ellis-v2\":{\"1\":7053547,\"8\":6599489}},"
+    "\"50f/25i/25d\":{\"ellis-v1\":{\"1\":5734781,\"8\":267098},"
+    "\"ellis-v2\":{\"1\":6327960,\"8\":5797764}}}}";
+
+void ExpectThroughputSchema(const JsonValue& doc) {
+  const JsonValue* bench = doc.Get("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "throughput");
+  const JsonValue* ops = doc.Get("ops_per_sec");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_TRUE(ops->is_object());
+  ASSERT_FALSE(ops->object.empty());
+  for (const auto& [mix, tables] : ops->object) {
+    ASSERT_TRUE(tables.is_object()) << mix;
+    for (const auto& [table, threads] : tables.object) {
+      ASSERT_TRUE(threads.is_object()) << table;
+      for (const auto& [count, value] : threads.object) {
+        EXPECT_GT(std::stoi(count), 0) << "thread keys are counts";
+        EXPECT_TRUE(value.is_number()) << mix << "/" << table << "/" << count;
+        EXPECT_GE(value.number, 0);
+      }
+    }
+  }
+}
+
+TEST(BenchFormatTest, GoldenThroughputLineKeepsItsSchema) {
+  const auto doc = MiniJsonParser::Parse(kGoldenThroughputLine);
+  ASSERT_TRUE(doc.has_value());
+  ExpectThroughputSchema(*doc);
+  // The collapse cell E12 diagnoses is part of the golden record.
+  EXPECT_EQ(doc->Get("ops_per_sec")
+                ->Get("50f/25i/25d")
+                ->Get("ellis-v1")
+                ->Get("8")
+                ->number,
+            267098);
+}
+
+// When a generated artifact is present (a bench ran in this tree), it must
+// carry the exact same schema as the golden — proof the --metrics sidecar
+// work did not perturb the one-liner.
+TEST(BenchFormatTest, GeneratedThroughputArtifactMatchesGolden) {
+  const std::string path =
+      std::string(EXHASH_SOURCE_DIR) + "/BENCH_throughput.json";
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    GTEST_SKIP() << "no generated BENCH_throughput.json in this tree";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = MiniJsonParser::Parse(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << "artifact is not valid JSON";
+  ExpectThroughputSchema(*doc);
+}
+
+TEST(BenchFormatTest, MetricsSidecarEnvelopeParses) {
+  metrics::Registry registry;
+  EXHASH_METRICS_ONLY(registry.GetCounter("table.splits")->Add(42));
+  EXHASH_METRICS_ONLY(registry.GetHistogram("lat")->Add(100));
+
+  bench::MetricsSidecar sidecar("format_check");
+  sidecar.Add("cell/one", registry.TakeSnapshot());
+  sidecar.Add("cell/two", registry.TakeSnapshot());
+  ASSERT_TRUE(sidecar.Write());
+
+  std::ifstream in("BENCH_format_check_metrics.json");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove("BENCH_format_check_metrics.json");
+
+  const auto doc = MiniJsonParser::Parse(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << buffer.str();
+  EXPECT_EQ(doc->Get("bench")->str, "format_check");
+  const JsonValue* cells = doc->Get("metrics");
+  ASSERT_NE(cells, nullptr);
+  const JsonValue* one = cells->Get("cell/one");
+  ASSERT_NE(one, nullptr);
+  ASSERT_NE(one->Get("counters"), nullptr);
+  ASSERT_NE(one->Get("histograms"), nullptr);
+  if constexpr (metrics::kCompiledIn) {
+    EXPECT_EQ(one->Get("counters")->Get("table.splits")->number, 42);
+    EXPECT_EQ(one->Get("histograms")->Get("lat")->Get("count")->number, 1);
+  }
+  ASSERT_NE(cells->Get("cell/two"), nullptr);
+}
+
+// The sidecar path convention: BENCH_<name>_metrics.json, never touching
+// BENCH_<name>.json.
+TEST(BenchFormatTest, SidecarWritesToItsOwnFile) {
+  bench::MetricsSidecar sidecar("pathcheck");
+  ASSERT_TRUE(sidecar.Write());
+  EXPECT_EQ(std::remove("BENCH_pathcheck_metrics.json"), 0)
+      << "sidecar must write BENCH_<name>_metrics.json";
+  EXPECT_NE(std::remove("BENCH_pathcheck.json"), 0)
+      << "sidecar must not create the one-liner's file";
+}
+
+}  // namespace
+}  // namespace exhash

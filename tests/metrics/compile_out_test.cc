@@ -1,0 +1,122 @@
+// The compile-out guarantee (DESIGN.md §8): with EXHASH_METRICS=OFF the
+// metrics aliases resolve to the noop:: stubs, which are stateless and whose
+// calls the optimizer deletes.  Both namespaces are always compiled, so this
+// test runs in every build configuration and checks:
+//
+//   * the gate constant agrees with the macro and with which type each
+//     alias picked,
+//   * the noop types are empty (no storage -> nothing to update at runtime),
+//   * the noop call surface is inert but API-compatible.
+//
+// The EXHASH_METRICS=OFF CMake preset then rebuilds everything with the
+// aliases flipped and reruns the full suite — this file is what makes that
+// run meaningful.
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "metrics/gate.h"
+#include "metrics/registry.h"
+#include "metrics/sharded_counter.h"
+#include "metrics/trace_ring.h"
+
+namespace exhash::metrics {
+namespace {
+
+// --- gate consistency ---
+
+static_assert(kCompiledIn == (EXHASH_METRICS_ENABLED != 0),
+              "gate constant must mirror the macro");
+
+#if EXHASH_METRICS_ENABLED
+static_assert(std::is_same_v<Counter, detail::ShardedCounter>);
+static_assert(std::is_same_v<Registry, detail::Registry>);
+static_assert(std::is_same_v<Trace, detail::Trace>);
+#else
+static_assert(std::is_same_v<Counter, noop::ShardedCounter>);
+static_assert(std::is_same_v<Registry, noop::Registry>);
+static_assert(std::is_same_v<Trace, noop::Trace>);
+#endif
+
+// --- the noop types carry no state ---
+
+static_assert(std::is_empty_v<noop::ShardedCounter>,
+              "a disabled counter must occupy no storage");
+static_assert(std::is_empty_v<noop::Trace>,
+              "the disabled trace front-end must be stateless");
+
+// The real counter, by contrast, is the full sharded array.
+static_assert(sizeof(detail::ShardedCounter) ==
+                  64 * detail::kCounterShards,
+              "one cache line per shard");
+
+TEST(CompileOutTest, GateConstantMatchesBuild) {
+#if EXHASH_METRICS_ENABLED
+  EXPECT_TRUE(kCompiledIn);
+#else
+  EXPECT_FALSE(kCompiledIn);
+#endif
+}
+
+TEST(CompileOutTest, NoopCounterIsInert) {
+  noop::ShardedCounter c;
+  c.Add();
+  c.Add(1000);
+  EXPECT_EQ(c.Read(), 0u);
+  c.Reset();
+  EXPECT_EQ(c.Read(), 0u);
+}
+
+TEST(CompileOutTest, NoopRegistryIsInert) {
+  noop::Registry r;
+  r.GetCounter("anything")->Add(5);
+  r.GetHistogram("anything");
+  const uint64_t handle = r.AddProvider(
+      [](Snapshot* snap) { snap->counters["never"] = 1; });
+  r.RemoveProvider(handle);
+  const Snapshot snap = r.TakeSnapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_EQ(r.DumpText(), "");
+}
+
+TEST(CompileOutTest, NoopRegistryDumpJsonIsValidEmptyDocument) {
+  // Callers parse DumpJson unconditionally; the disabled build must still
+  // hand them a well-formed document.
+  noop::Registry r;
+  EXPECT_EQ(r.DumpJson(), "{\"counters\":{},\"histograms\":{}}");
+}
+
+TEST(CompileOutTest, NoopTraceNeverEnables) {
+  noop::Trace::Enable(1 << 20);
+  EXPECT_FALSE(noop::Trace::enabled());
+  noop::Trace::Emit("point", 1, 2);
+  EXPECT_TRUE(noop::Trace::Drain().empty());
+  EXPECT_EQ(noop::Trace::DumpText(), "");
+  noop::Trace::Disable();
+}
+
+// The EXHASH_METRICS_ONLY(...) macro must expand to nothing when disabled
+// and to its argument when enabled — provable in both builds by counting.
+TEST(CompileOutTest, MetricsOnlyMacroFollowsGate) {
+  int runs = 0;
+  EXHASH_METRICS_ONLY(++runs);
+  EXPECT_EQ(runs, kCompiledIn ? 1 : 0);
+}
+
+// Whatever the build, the *selected* alias API works end to end; in the OFF
+// build every assertion below degenerates to the inert expectations.
+TEST(CompileOutTest, SelectedAliasRoundTrip) {
+  Registry r;
+  r.GetCounter("alias.counter")->Add(3);
+  const Snapshot snap = r.TakeSnapshot();
+  if constexpr (kCompiledIn) {
+    EXPECT_EQ(snap.counters.at("alias.counter"), 3u);
+  } else {
+    EXPECT_TRUE(snap.counters.empty());
+  }
+}
+
+}  // namespace
+}  // namespace exhash::metrics

@@ -1,0 +1,123 @@
+// MetricsIndex: the metering KeyValueIndex adapter (DESIGN.md §8).  Checks
+// transparent forwarding, per-op counters, sampled latency histograms, and
+// the prefix naming contract.
+
+#include "metrics/metrics_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/ellis_v2.h"
+#include "core/options.h"
+#include "metrics/registry.h"
+
+namespace exhash::metrics {
+namespace {
+
+core::TableOptions SmallTable() {
+  core::TableOptions options;
+  options.page_size = 256;
+  options.initial_depth = 2;
+  return options;
+}
+
+TEST(MetricsIndexTest, ForwardsOperationsFaithfully) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "t");
+
+  EXPECT_TRUE(index.Insert(1, 100));
+  EXPECT_TRUE(index.Insert(2, 200));
+  EXPECT_FALSE(index.Insert(1, 999)) << "duplicate insert must forward";
+  uint64_t value = 0;
+  EXPECT_TRUE(index.Find(1, &value));
+  EXPECT_EQ(value, 100u);
+  EXPECT_FALSE(index.Find(3, nullptr));
+  EXPECT_TRUE(index.Remove(2));
+  EXPECT_FALSE(index.Remove(2));
+  EXPECT_EQ(index.Size(), 1u);
+  EXPECT_EQ(index.Size(), table.Size());
+}
+
+TEST(MetricsIndexTest, NameAndDepthComeFromBase) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "t");
+  EXPECT_EQ(index.Name(), table.Name() + "+metrics");
+  EXPECT_EQ(index.Depth(), table.Depth());
+}
+
+// The remaining tests assert on registry contents, which only exist when
+// the subsystem is compiled in; in EXHASH_METRICS=OFF builds the wrapper's
+// contract is pure forwarding, covered above.
+#if EXHASH_METRICS_ENABLED
+
+TEST(MetricsIndexTest, CountsEveryOperation) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "v2");
+
+  for (uint64_t k = 0; k < 100; ++k) index.Insert(k, k);
+  for (uint64_t k = 0; k < 150; ++k) index.Find(k, nullptr);
+  for (uint64_t k = 0; k < 40; ++k) index.Remove(k);
+
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("v2.insert.ops"), 100u);
+  EXPECT_EQ(snap.counters.at("v2.find.ops"), 150u);
+  EXPECT_EQ(snap.counters.at("v2.remove.ops"), 40u);
+}
+
+TEST(MetricsIndexTest, SampleEveryOneTimesEveryOp) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "s", /*sample_every=*/1);
+  for (uint64_t k = 0; k < 50; ++k) index.Insert(k, k);
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.at("s.insert.latency_ns").count, 50u);
+}
+
+TEST(MetricsIndexTest, SampleEveryZeroDisablesLatency) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "z", /*sample_every=*/0);
+  for (uint64_t k = 0; k < 50; ++k) index.Insert(k, k);
+  const Snapshot snap = registry.TakeSnapshot();
+  EXPECT_EQ(snap.histograms.at("z.insert.latency_ns").count, 0u)
+      << "sample_every=0 must disable latency timing entirely";
+  EXPECT_EQ(snap.counters.at("z.insert.ops"), 50u)
+      << "...but op counting always runs";
+}
+
+TEST(MetricsIndexTest, TwoWrappersShareInternedMetrics) {
+  core::EllisHashTableV2 a(SmallTable());
+  core::EllisHashTableV2 b(SmallTable());
+  Registry registry;
+  MetricsIndex wrap_a(&a, &registry, "same");
+  MetricsIndex wrap_b(&b, &registry, "same");
+  wrap_a.Insert(1, 1);
+  wrap_b.Insert(2, 2);
+  // Same prefix -> same interned counters: contributions accumulate.
+  EXPECT_EQ(registry.TakeSnapshot().counters.at("same.insert.ops"), 2u);
+}
+
+TEST(MetricsIndexTest, SnapshotDeltaIsolatesAPhase) {
+  core::EllisHashTableV2 table(SmallTable());
+  Registry registry;
+  MetricsIndex index(&table, &registry, "d");
+  for (uint64_t k = 0; k < 500; ++k) index.Insert(k, k);  // preload
+
+  const Snapshot before = registry.TakeSnapshot();
+  for (uint64_t k = 0; k < 200; ++k) index.Find(k, nullptr);
+  const Snapshot delta = registry.TakeSnapshot().Delta(before);
+
+  EXPECT_EQ(delta.counters.at("d.find.ops"), 200u);
+  EXPECT_EQ(delta.counters.at("d.insert.ops"), 0u)
+      << "preload inserts must not leak into the delta";
+}
+
+#endif  // EXHASH_METRICS_ENABLED
+
+}  // namespace
+}  // namespace exhash::metrics

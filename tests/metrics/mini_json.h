@@ -1,0 +1,203 @@
+// A deliberately tiny recursive-descent JSON parser for tests.
+//
+// Exists so the metrics tests can check DumpJson() output by *parsing* it —
+// a round trip through an independent reader — instead of by substring
+// matching, and so bench_format_test.cc can assert the committed
+// BENCH_*.json artifacts keep their schema.  Supports the full value
+// grammar the project emits: objects, arrays, strings (with \" \\ \uXXXX
+// escapes), numbers, true/false/null.  Not a validator of exotic inputs; a
+// parse failure returns nullopt and the test fails loudly.
+
+#ifndef EXHASH_TESTS_METRICS_MINI_JSON_H_
+#define EXHASH_TESTS_METRICS_MINI_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exhash::testing {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class MiniJsonParser {
+ public:
+  // Parses one complete JSON document; trailing garbage fails the parse.
+  static std::optional<JsonValue> Parse(const std::string& text) {
+    MiniJsonParser p(text);
+    JsonValue v;
+    if (!p.ParseValue(&v)) return std::nullopt;
+    p.SkipSpace();
+    if (p.pos_ != text.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ParseWord("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object[key] = std::move(value);
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const long cp = std::strtol(hex.c_str(), nullptr, 16);
+          // ASCII-only escapes in our output; anything wider is preserved
+          // as a replacement byte, which is enough for round-trip checks.
+          *out += cp < 0x80 ? char(cp) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      out->boolean = true;
+      return ParseWord("true");
+    }
+    out->boolean = false;
+    return ParseWord("false");
+  }
+
+  bool ParseWord(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_++] != *p) return false;
+    }
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->type = JsonValue::Type::kNumber;
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace exhash::testing
+
+#endif  // EXHASH_TESTS_METRICS_MINI_JSON_H_

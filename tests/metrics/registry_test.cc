@@ -1,0 +1,268 @@
+// Metrics registry and sharded-counter semantics (DESIGN.md §8): lose-free
+// concurrent counting, interning, snapshot/delta arithmetic, providers, and
+// a DumpJson round trip through an independent parser.
+
+#include "metrics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/sharded_counter.h"
+#include "tests/metrics/mini_json.h"
+
+namespace exhash::metrics {
+namespace {
+
+using exhash::testing::JsonValue;
+using exhash::testing::MiniJsonParser;
+
+TEST(ShardedCounterTest, StartsAtZero) {
+  detail::ShardedCounter c;
+  EXPECT_EQ(c.Read(), 0u);
+}
+
+TEST(ShardedCounterTest, AddAccumulates) {
+  detail::ShardedCounter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Read(), 42u);
+}
+
+TEST(ShardedCounterTest, ResetZeroes) {
+  detail::ShardedCounter c;
+  c.Add(7);
+  c.Reset();
+  EXPECT_EQ(c.Read(), 0u);
+}
+
+// The load-bearing property: concurrent increments from many threads are
+// never lost, whichever shards the threads land on.  8 threads matches the
+// shard count; run under TSan this also proves the counter race-free.
+TEST(ShardedCounterTest, ConcurrentAddsLoseNothing) {
+  detail::ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  while (ready.load() != kThreads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Read(), uint64_t{kThreads} * kPerThread);
+}
+
+// Reads concurrent with writes must be monotone and never exceed the total
+// written so far... a racy sum of per-shard atomics guarantees exactly that.
+TEST(ShardedCounterTest, ConcurrentReadsAreMonotone) {
+  detail::ShardedCounter c;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < 200000 && !stop.load(); ++i) c.Add(1);
+  });
+  uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = c.Read();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_LE(prev, 200000u);
+}
+
+TEST(ShardedCounterTest, ThreadShardIsStablePerThread) {
+  const unsigned a = detail::ThreadShard();
+  const unsigned b = detail::ThreadShard();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, detail::kCounterShards);
+}
+
+TEST(RegistryTest, GetCounterInternsByName) {
+  detail::Registry r;
+  detail::ShardedCounter* a = r.GetCounter("x");
+  detail::ShardedCounter* b = r.GetCounter("x");
+  detail::ShardedCounter* c = r.GetCounter("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RegistryTest, GetHistogramInternsByName) {
+  detail::Registry r;
+  EXPECT_EQ(r.GetHistogram("h"), r.GetHistogram("h"));
+  EXPECT_NE(r.GetHistogram("h"), r.GetHistogram("g"));
+}
+
+TEST(RegistryTest, SnapshotSeesCountersAndHistograms) {
+  detail::Registry r;
+  r.GetCounter("ops")->Add(5);
+  r.GetHistogram("lat")->Add(100);
+  r.GetHistogram("lat")->Add(300);
+  const Snapshot snap = r.TakeSnapshot();
+  ASSERT_TRUE(snap.counters.count("ops"));
+  EXPECT_EQ(snap.counters.at("ops"), 5u);
+  ASSERT_TRUE(snap.histograms.count("lat"));
+  EXPECT_EQ(snap.histograms.at("lat").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("lat").mean, 200.0);
+  EXPECT_GE(snap.histograms.at("lat").max, 300u);
+}
+
+TEST(RegistryTest, DeltaSubtractsCounterwise) {
+  detail::Registry r;
+  r.GetCounter("a")->Add(10);
+  const Snapshot before = r.TakeSnapshot();
+  r.GetCounter("a")->Add(7);
+  r.GetCounter("b")->Add(3);  // appears only in the later snapshot
+  const Snapshot delta = r.TakeSnapshot().Delta(before);
+  EXPECT_EQ(delta.counters.at("a"), 7u);
+  EXPECT_EQ(delta.counters.at("b"), 3u);
+}
+
+TEST(RegistryTest, DeltaClampsAtZeroAfterReset) {
+  detail::Registry r;
+  r.GetCounter("a")->Add(100);
+  const Snapshot before = r.TakeSnapshot();
+  r.Reset();
+  r.GetCounter("a")->Add(2);
+  // A reset between snapshots must not produce a wrapped giant.
+  EXPECT_EQ(r.TakeSnapshot().Delta(before).counters.at("a"), 0u);
+}
+
+TEST(RegistryTest, DeltaDiffsHistogramCounts) {
+  detail::Registry r;
+  r.GetHistogram("h")->Add(10);
+  r.GetHistogram("h")->Add(10);
+  const Snapshot before = r.TakeSnapshot();
+  r.GetHistogram("h")->Add(10);
+  const Snapshot delta = r.TakeSnapshot().Delta(before);
+  EXPECT_EQ(delta.histograms.at("h").count, 1u);
+}
+
+TEST(RegistryTest, ProviderContributesAtSnapshotTime) {
+  detail::Registry r;
+  uint64_t source = 7;
+  const uint64_t handle = r.AddProvider(
+      [&source](Snapshot* snap) { snap->counters["ext.value"] = source; });
+  EXPECT_EQ(r.TakeSnapshot().counters.at("ext.value"), 7u);
+  source = 9;  // providers read live state, not a registration-time copy
+  EXPECT_EQ(r.TakeSnapshot().counters.at("ext.value"), 9u);
+  r.RemoveProvider(handle);
+  EXPECT_EQ(r.TakeSnapshot().counters.count("ext.value"), 0u);
+}
+
+TEST(RegistryTest, RemoveProviderIsIdempotent) {
+  detail::Registry r;
+  const uint64_t handle = r.AddProvider([](Snapshot*) {});
+  r.RemoveProvider(handle);
+  r.RemoveProvider(handle);  // double-deregistration must be harmless
+  r.RemoveProvider(12345);   // unknown handle too
+}
+
+TEST(RegistryTest, ResetZeroesOwnedState) {
+  detail::Registry r;
+  r.GetCounter("c")->Add(4);
+  r.GetHistogram("h")->Add(9);
+  r.Reset();
+  const Snapshot snap = r.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("c"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, TextDumpMentionsEveryMetric) {
+  detail::Registry r;
+  r.GetCounter("table.splits")->Add(3);
+  r.GetHistogram("table.lat")->Add(50);
+  const std::string text = r.DumpText();
+  EXPECT_NE(text.find("table.splits"), std::string::npos);
+  EXPECT_NE(text.find("table.lat"), std::string::npos);
+}
+
+// The JSON dump must survive a round trip through an independent parser
+// with every value intact — not just "look like" JSON.
+TEST(RegistryTest, DumpJsonRoundTrip) {
+  detail::Registry r;
+  r.GetCounter("ops.finds")->Add(12);
+  r.GetCounter("ops.inserts")->Add(34);
+  util::Histogram* h = r.GetHistogram("latency_ns");
+  for (int i = 0; i < 100; ++i) h->Add(1000);
+  r.AddProvider([](Snapshot* snap) { snap->counters["provided"] = 99; });
+
+  const auto doc = MiniJsonParser::Parse(r.DumpJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  EXPECT_EQ(counters->Get("ops.finds")->number, 12);
+  EXPECT_EQ(counters->Get("ops.inserts")->number, 34);
+  EXPECT_EQ(counters->Get("provided")->number, 99);
+
+  const JsonValue* histograms = doc->Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* lat = histograms->Get("latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Get("count")->number, 100);
+  ASSERT_NE(lat->Get("p50"), nullptr);
+  ASSERT_NE(lat->Get("p95"), nullptr);
+  ASSERT_NE(lat->Get("p99"), nullptr);
+  ASSERT_NE(lat->Get("max"), nullptr);
+  EXPECT_EQ(lat->Get("max")->number, 1000);
+}
+
+TEST(RegistryTest, DumpJsonEscapesAwkwardNames) {
+  detail::Registry r;
+  r.GetCounter("weird\"name\\with\tstuff")->Add(1);
+  const auto doc = MiniJsonParser::Parse(r.DumpJson());
+  ASSERT_TRUE(doc.has_value()) << r.DumpJson();
+  const JsonValue* counters = doc->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Get("weird\"name\\with\tstuff")->number, 1);
+}
+
+// Interning and snapshotting race against hot-path Add()s in real use;
+// under TSan this is the proof the whole registry is data-race-free.
+TEST(RegistryTest, ConcurrentUseIsSafe) {
+  detail::Registry r;
+  constexpr int kThreads = 8;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, t] {
+      detail::ShardedCounter* mine =
+          r.GetCounter("worker." + std::to_string(t));
+      detail::ShardedCounter* shared = r.GetCounter("shared");
+      for (int i = 0; i < 20000; ++i) {
+        mine->Add(1);
+        shared->Add(1);
+        if (i % 4096 == 0) r.GetHistogram("shared.h")->Add(uint64_t(i));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)r.TakeSnapshot();
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const Snapshot snap = r.TakeSnapshot();
+  EXPECT_EQ(snap.counters.at("shared"), uint64_t{kThreads} * 20000);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counters.at("worker." + std::to_string(t)), 20000u);
+  }
+}
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&detail::Registry::Global(), &detail::Registry::Global());
+}
+
+}  // namespace
+}  // namespace exhash::metrics

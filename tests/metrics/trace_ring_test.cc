@@ -1,0 +1,176 @@
+// Trace ring semantics (DESIGN.md §8): disabled-by-default no-op, per-thread
+// rings that keep the last N events, tick-ordered merge, and text dump.
+//
+// The rings are process-global (per-thread, reachable after thread exit), so
+// every test starts from Clear() and the suite tolerates events left over
+// from other tests in the same binary by tagging points with unique names.
+
+#include "metrics/trace_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace exhash::metrics {
+namespace {
+
+// Count the drained events whose point matches `tag` exactly.
+size_t CountPoint(const std::vector<TraceEvent>& events, const char* tag) {
+  return size_t(std::count_if(
+      events.begin(), events.end(),
+      [tag](const TraceEvent& e) { return std::string(e.point) == tag; }));
+}
+
+class TraceRingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    detail::Trace::Disable();
+    detail::Trace::Clear();
+  }
+  void TearDown() override {
+    detail::Trace::Disable();
+    detail::Trace::Clear();
+  }
+};
+
+TEST_F(TraceRingTest, DisabledEmitRecordsNothing) {
+  EXPECT_FALSE(detail::Trace::enabled());
+  detail::Trace::Emit("disabled-point", 1, 2);
+  EXPECT_EQ(CountPoint(detail::Trace::Drain(), "disabled-point"), 0u);
+}
+
+TEST_F(TraceRingTest, EnabledEmitIsDrained) {
+  detail::Trace::Enable(64);
+  EXPECT_TRUE(detail::Trace::enabled());
+  detail::Trace::Emit("point-a", 10, 20);
+  detail::Trace::Emit("point-b", 30);
+  const auto events = detail::Trace::Drain();
+  ASSERT_EQ(CountPoint(events, "point-a"), 1u);
+  ASSERT_EQ(CountPoint(events, "point-b"), 1u);
+  for (const TraceEvent& e : events) {
+    if (std::string(e.point) == "point-a") {
+      EXPECT_EQ(e.a, 10u);
+      EXPECT_EQ(e.b, 20u);
+    }
+  }
+}
+
+TEST_F(TraceRingTest, DrainIsTickOrdered) {
+  detail::Trace::Enable(256);
+  for (uint64_t i = 0; i < 100; ++i) detail::Trace::Emit("ordered", i);
+  const auto events = detail::Trace::Drain();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].tick, events[i].tick);
+  }
+}
+
+TEST_F(TraceRingTest, RingKeepsOnlyTheLastCapacityEvents) {
+  // Capacity applies to rings created after Enable; this thread's ring may
+  // already exist from a previous test in this binary, so measure by what
+  // survives: the *latest* events must be there, the earliest gone.
+  detail::Trace::Clear();
+  detail::Trace::Enable(8);
+  for (uint64_t i = 0; i < 1000; ++i) detail::Trace::Emit("wrap", i);
+  const auto events = detail::Trace::Drain();
+  const size_t kept = CountPoint(events, "wrap");
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, 1000u);  // the ring wrapped: early events overwritten
+  // The very last emit always survives.
+  bool last_found = false;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.point) == "wrap" && e.a == 999) last_found = true;
+  }
+  EXPECT_TRUE(last_found);
+}
+
+TEST_F(TraceRingTest, ClearEmptiesRings) {
+  detail::Trace::Enable(64);
+  detail::Trace::Emit("cleared");
+  detail::Trace::Clear();
+  EXPECT_EQ(CountPoint(detail::Trace::Drain(), "cleared"), 0u);
+  EXPECT_TRUE(detail::Trace::enabled()) << "Clear must not disable tracing";
+}
+
+TEST_F(TraceRingTest, DisableStopsRecording) {
+  detail::Trace::Enable(64);
+  detail::Trace::Emit("before-disable");
+  detail::Trace::Disable();
+  detail::Trace::Emit("after-disable");
+  const auto events = detail::Trace::Drain();
+  EXPECT_EQ(CountPoint(events, "before-disable"), 1u);
+  EXPECT_EQ(CountPoint(events, "after-disable"), 0u);
+}
+
+TEST_F(TraceRingTest, ThreadsGetDistinctRingIds) {
+  detail::Trace::Enable(64);
+  std::atomic<int> done{0};
+  std::thread t1([&] {
+    detail::Trace::Emit("thread-one");
+    done.fetch_add(1);
+  });
+  std::thread t2([&] {
+    detail::Trace::Emit("thread-two");
+    done.fetch_add(1);
+  });
+  t1.join();
+  t2.join();
+  detail::Trace::Emit("thread-main");
+  const auto events = detail::Trace::Drain();
+  uint32_t one = 0, two = 0, main_id = 0;
+  for (const TraceEvent& e : events) {
+    const std::string p = e.point;
+    if (p == "thread-one") one = e.thread;
+    if (p == "thread-two") two = e.thread;
+    if (p == "thread-main") main_id = e.thread;
+  }
+  EXPECT_NE(one, two);
+  EXPECT_NE(one, main_id);
+  EXPECT_NE(two, main_id);
+}
+
+// Emits racing Drain must be safe (TSan validates); the drain sees a
+// consistent-enough view — every event it returns has a valid point.
+TEST_F(TraceRingTest, ConcurrentEmitAndDrainAreSafe) {
+  detail::Trace::Enable(128);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 4; ++t) {
+    emitters.emplace_back([&stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        detail::Trace::Emit("racing", uint64_t(t), i++);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (const TraceEvent& e : detail::Trace::Drain()) {
+      ASSERT_NE(e.point, nullptr);
+    }
+  }
+  stop.store(true);
+  for (auto& t : emitters) t.join();
+}
+
+TEST_F(TraceRingTest, DumpTextContainsPointAndArgs) {
+  detail::Trace::Enable(64);
+  detail::Trace::Emit("dumped-point", 123, 456);
+  const std::string text = detail::Trace::DumpText();
+  EXPECT_NE(text.find("dumped-point"), std::string::npos);
+  EXPECT_NE(text.find("123"), std::string::npos);
+  EXPECT_NE(text.find("456"), std::string::npos);
+}
+
+TEST_F(TraceRingTest, NoopTraceIsInert) {
+  noop::Trace::Enable(64);
+  EXPECT_FALSE(noop::Trace::enabled());
+  noop::Trace::Emit("nothing", 1, 2);
+  EXPECT_TRUE(noop::Trace::Drain().empty());
+  EXPECT_EQ(noop::Trace::DumpText(), "");
+}
+
+}  // namespace
+}  // namespace exhash::metrics

@@ -68,6 +68,53 @@ TEST(BitsTest, ReverseIsAnInvolution) {
   }
 }
 
+// --- depth edges: 0 and the full 64-bit width ---
+//
+// Depth 0 is a real state (a directory of one entry before any doubling)
+// and depth 64 is the representable maximum; both ends exercise the
+// shift-width corners where naive `1 << depth` code is undefined.
+
+TEST(BitsTest, DepthZeroEdges) {
+  EXPECT_EQ(Mask(0), 0u);
+  EXPECT_EQ(LowBits(~uint64_t{0}, 0), 0u);
+  // Every pseudokey matches the depth-0 bucket.
+  EXPECT_TRUE(MatchesCommonBits(0, 0, 0));
+  EXPECT_TRUE(MatchesCommonBits(~uint64_t{0}, 0, 0));
+  EXPECT_EQ(ChainRank(0, 0), 0u);
+  EXPECT_EQ(ReverseLowBits(~uint64_t{0}, 0), 0u);
+}
+
+TEST(BitsTest, Depth64Edges) {
+  EXPECT_EQ(Mask(64), ~uint64_t{0});
+  EXPECT_EQ(LowBits(0x123456789abcdef0u, 64), 0x123456789abcdef0u);
+  // Partner at localdepth 64 flips the MSB.
+  EXPECT_EQ(PartnerBits(0, 64), uint64_t{1} << 63);
+  EXPECT_EQ(PartnerBits(uint64_t{1} << 63, 64), 0u);
+  EXPECT_TRUE(IsOnePartner(uint64_t{1} << 63, 64));
+  EXPECT_FALSE(IsOnePartner(~(uint64_t{1} << 63), 64));
+  // Full-width reversal is still an involution and maps LSB <-> MSB.
+  EXPECT_EQ(ReverseLowBits(1, 64), uint64_t{1} << 63);
+  EXPECT_EQ(ReverseLowBits(uint64_t{1} << 63, 64), 1u);
+  const uint64_t v = 0xdeadbeefcafef00du;
+  EXPECT_EQ(ReverseLowBits(ReverseLowBits(v, 64), 64), v);
+  // ChainRank at localdepth 64 is the bare reversal (shift by 0).
+  EXPECT_EQ(ChainRank(v, 64), ReverseLowBits(v, 64));
+}
+
+TEST(BitsTest, MatchesCommonBitsAtFullDepth) {
+  const uint64_t pk = 0x0123456789abcdefu;
+  EXPECT_TRUE(MatchesCommonBits(pk, pk, 64));
+  EXPECT_FALSE(MatchesCommonBits(pk, pk ^ 1, 64));
+  EXPECT_FALSE(MatchesCommonBits(pk, pk ^ (uint64_t{1} << 63), 64));
+}
+
+TEST(BitsTest, MaskGrowsByOneBitPerDepth) {
+  for (int depth = 1; depth <= 64; ++depth) {
+    EXPECT_EQ(Mask(depth) ^ Mask(depth - 1), uint64_t{1} << (depth - 1))
+        << "depth=" << depth;
+  }
+}
+
 TEST(BitsTest, ChainRankOrdersSplitsCorrectly) {
   // After splitting bucket <> into <0>,<1> and then <0> into <00>,<10>,
   // the chain must run 00, 10, 1 — i.e. ranks strictly increase.

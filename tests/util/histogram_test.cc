@@ -98,5 +98,103 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(s.find("us"), std::string::npos);
 }
 
+// --- bucket boundary math ---
+//
+// Buckets are [2^i, 2^(i+1)); the estimate for a value is its bucket's
+// midpoint.  These tests pin the boundary behavior exactly: 2^i and 2^i - 1
+// land in adjacent buckets, so their estimates must differ, and each
+// estimate must stay within the bucket that produced it.
+
+TEST(HistogramTest, PowerOfTwoBoundariesSeparateBuckets) {
+  for (int i = 1; i < 62; i += 7) {
+    const uint64_t boundary = uint64_t{1} << i;
+    Histogram below;
+    Histogram at;
+    below.Add(boundary - 1);
+    at.Add(boundary);
+    const uint64_t est_below = below.Percentile(50);
+    const uint64_t est_at = at.Percentile(50);
+    // [2^(i-1), 2^i) vs [2^i, 2^(i+1)): estimates from different buckets.
+    EXPECT_LT(est_below, boundary) << "i=" << i;
+    EXPECT_GE(est_at, boundary) << "i=" << i;
+    EXPECT_LT(est_at, 2 * boundary) << "i=" << i;
+  }
+}
+
+TEST(HistogramTest, EstimateWithinFactorTwoEverywhere) {
+  // The documented accuracy contract: relative error < 2x at any scale.
+  for (const uint64_t v : {uint64_t{1}, uint64_t{3}, uint64_t{100},
+                           uint64_t{4095}, uint64_t{4096},
+                           uint64_t{1} << 40, (uint64_t{1} << 62) + 17}) {
+    Histogram h;
+    h.Add(v);
+    const uint64_t est = h.Percentile(50);
+    EXPECT_GE(est, v / 2) << "v=" << v;
+    EXPECT_LE(est, v * 2) << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, TopBucketHoldsHugeValues) {
+  Histogram h;
+  const uint64_t huge = ~uint64_t{0} - 1;
+  h.Add(huge);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), huge);
+  // The top bucket's midpoint computation must not overflow to a tiny value.
+  EXPECT_GE(h.Percentile(50), uint64_t{1} << 62);
+}
+
+TEST(HistogramTest, PercentileZeroAndHundredEdges) {
+  Histogram h;
+  h.Add(1);
+  h.Add(1u << 20);
+  const uint64_t p0 = h.Percentile(0);
+  const uint64_t p100 = h.Percentile(100);
+  EXPECT_LE(p0, 2u) << "p0 reports from the lowest occupied bucket";
+  EXPECT_GE(p100, 1u << 20) << "p100 reports from the highest occupied bucket";
+  EXPECT_LE(p100, 1u << 21);
+}
+
+// --- merge math ---
+
+TEST(HistogramTest, MergeAddsSums) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.sum(), 40u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeOfEmptyIsIdentity) {
+  Histogram a;
+  Histogram empty;
+  a.Add(7);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.sum(), 7u);
+  EXPECT_EQ(a.max(), 7u);
+}
+
+TEST(HistogramTest, MergePreservesPercentileMath) {
+  // Merging two histograms must give the same percentile estimates as one
+  // histogram fed all the values — per-bucket addition guarantees it.
+  Histogram merged;
+  Histogram parts[2];
+  Histogram whole;
+  for (uint64_t v = 1; v <= 4000; ++v) {
+    parts[v % 2].Add(v);
+    whole.Add(v);
+  }
+  merged.Merge(parts[0]);
+  merged.Merge(parts[1]);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.sum(), whole.sum());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(merged.Percentile(p), whole.Percentile(p)) << "p=" << p;
+  }
+}
+
 }  // namespace
 }  // namespace exhash::util

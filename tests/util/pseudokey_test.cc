@@ -60,5 +60,52 @@ TEST(PseudokeyTest, VirtualDispatchMatchesStatic) {
   }
 }
 
+TEST(PseudokeyTest, AvalancheOnSingleBitFlips) {
+  // Splits key on successive bits of the pseudokey, so flipping one input
+  // bit must scramble roughly half the output bits — a weak mixer would
+  // funnel sequential keys into sibling buckets forever.
+  Rng rng(21);
+  double total_flipped = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t key = rng.Next();
+    const int bit = int(rng.Uniform(64));
+    const uint64_t diff =
+        Mix64Hasher::Mix(key) ^ Mix64Hasher::Mix(key ^ (uint64_t{1} << bit));
+    total_flipped += __builtin_popcountll(diff);
+  }
+  const double mean_flipped = total_flipped / kTrials;
+  EXPECT_GT(mean_flipped, 24.0);
+  EXPECT_LT(mean_flipped, 40.0);
+}
+
+TEST(PseudokeyTest, EveryLowBitIsUnbiased) {
+  // Each directory-indexing bit individually must be ~50/50 over
+  // sequential keys (the distribution test above checks joint spread; this
+  // one catches a single stuck bit).
+  constexpr int kSamples = 20000;
+  Mix64Hasher h;
+  for (int bit = 0; bit < 16; ++bit) {
+    int ones = 0;
+    for (uint64_t k = 0; k < kSamples; ++k) {
+      ones += int((h.Hash(k) >> bit) & 1);
+    }
+    EXPECT_GT(ones, kSamples * 45 / 100) << "bit " << bit;
+    EXPECT_LT(ones, kSamples * 55 / 100) << "bit " << bit;
+  }
+}
+
+TEST(PseudokeyTest, DeterministicAcrossInstances) {
+  // The pseudokey function is part of the on-disk/wire contract: two
+  // hasher instances (e.g. different cluster nodes) must agree exactly.
+  Mix64Hasher a;
+  Mix64Hasher b;
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Next();
+    EXPECT_EQ(a.Hash(k), b.Hash(k));
+  }
+}
+
 }  // namespace
 }  // namespace exhash::util
