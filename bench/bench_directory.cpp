@@ -1,28 +1,42 @@
 // E3b — directory operation costs vs. depth (supporting data for the growth
-// experiment): doubling copies 2^depth entries, halving is O(1) plus the
-// depthcount rescan, and updatedirectory touches 2^(depth - localdepth)
-// entries.  These are the costs the concurrency story hides behind the
-// alpha lock — the reason doubling "appears atomic" matters.
+// experiment).  Under the copy-on-write snapshot directory (DESIGN.md §4d)
+// every mutation clones the 2^depth entry array: doubling, halving, and
+// updatedirectory are all restructure-rate O(2^depth) costs paid under the
+// alpha lock while readers keep loading the old snapshot — the trade that
+// bought the lock-free read path measured by BM_SnapshotLoadUnderPin.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/directory.h"
+#include "util/epoch.h"
 
 namespace {
 
 using exhash::core::Directory;
+using exhash::storage::PageId;
+
+// Directory entries are copy-on-write now (DESIGN.md §4d): per-entry
+// SetEntry setup would publish — and clone — 2^depth snapshots, so every
+// fixture seeds with the single-publish InitEntries bulk path.
+void Seed(Directory* dir, int depth, uint64_t modulus) {
+  const uint64_t n = uint64_t{1} << depth;
+  std::vector<PageId> pages(n);
+  for (uint64_t i = 0; i < n; ++i) pages[i] = PageId(i % modulus);
+  dir->InitEntries(pages.data(), n);
+}
 
 void BM_Double(benchmark::State& state) {
   const int depth = int(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
     Directory dir(depth, depth + 1);
-    for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
-      dir.SetEntry(i, uint32_t(i));
-    }
+    Seed(&dir, depth, uint64_t{1} << depth);
     state.ResumeTiming();
     benchmark::DoNotOptimize(dir.Double());
   }
+  exhash::util::EpochDomain::Global().Drain();
   state.counters["entries"] = double(uint64_t{1} << depth);
 }
 BENCHMARK(BM_Double)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
@@ -32,14 +46,13 @@ void BM_HalveWithRescan(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Directory dir(depth, depth);
-    for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
-      dir.SetEntry(i, uint32_t(i % (uint64_t{1} << (depth - 1))));
-    }
+    Seed(&dir, depth, uint64_t{1} << (depth - 1));
     state.ResumeTiming();
     dir.Halve();
     // The paper's top/bottom-half scan to recompute depthcount.
     benchmark::DoNotOptimize(dir.RecomputeDepthcount());
   }
+  exhash::util::EpochDomain::Global().Drain();
 }
 BENCHMARK(BM_HalveWithRescan)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
 
@@ -47,12 +60,11 @@ void BM_UpdateEntriesAfterSplit(benchmark::State& state) {
   const int depth = 16;
   const int localdepth = int(state.range(0));
   Directory dir(depth, depth);
-  for (uint64_t i = 0; i < (uint64_t{1} << depth); ++i) {
-    dir.SetEntry(i, uint32_t(i));
-  }
+  Seed(&dir, depth, uint64_t{1} << depth);
   for (auto _ : state) {
     dir.UpdateEntries(7, localdepth, /*pseudokey=*/0b1);
   }
+  exhash::util::EpochDomain::Global().Drain();
   state.counters["entries_touched"] =
       double(uint64_t{1} << (depth - localdepth));
 }
@@ -60,15 +72,29 @@ BENCHMARK(BM_UpdateEntriesAfterSplit)->Arg(2)->Arg(8)->Arg(14)->Arg(16);
 
 void BM_EntryLookup(benchmark::State& state) {
   Directory dir(16, 16);
-  for (uint64_t i = 0; i < (uint64_t{1} << 16); ++i) {
-    dir.SetEntry(i, uint32_t(i));
-  }
+  Seed(&dir, 16, uint64_t{1} << 16);
   uint64_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(dir.Entry(i++ & 0xffff));
   }
 }
 BENCHMARK(BM_EntryLookup);
+
+// The read path the snapshot directory bought: one atomic load under an
+// epoch pin, no lock, no matter the depth.  Compare against E1's
+// uncontended rho pair (~25ns on the record hardware) — this is what every
+// Find now pays instead.
+void BM_SnapshotLoadUnderPin(benchmark::State& state) {
+  Directory dir(16, 16);
+  Seed(&dir, 16, uint64_t{1} << 16);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    exhash::util::EpochPin pin(exhash::util::EpochDomain::Global());
+    const exhash::core::DirectorySnapshot* snap = dir.Load();
+    benchmark::DoNotOptimize(snap->Entry(i++ & 0xffff));
+  }
+}
+BENCHMARK(BM_SnapshotLoadUnderPin);
 
 }  // namespace
 

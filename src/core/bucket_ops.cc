@@ -54,6 +54,7 @@ TableStats AtomicTableStats::Snapshot() const {
   s.doublings = doublings.load(std::memory_order_relaxed);
   s.halvings = halvings.load(std::memory_order_relaxed);
   s.wrong_bucket_hops = wrong_bucket_hops.load(std::memory_order_relaxed);
+  s.stale_reads = stale_reads.load(std::memory_order_relaxed);
   s.insert_retries = insert_retries.load(std::memory_order_relaxed);
   s.delete_restarts = delete_restarts.load(std::memory_order_relaxed);
   s.partner_relocks = partner_relocks.load(std::memory_order_relaxed);

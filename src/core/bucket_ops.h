@@ -37,6 +37,7 @@ struct AtomicTableStats {
   std::atomic<uint64_t> doublings{0};
   std::atomic<uint64_t> halvings{0};
   std::atomic<uint64_t> wrong_bucket_hops{0};
+  std::atomic<uint64_t> stale_reads{0};
   std::atomic<uint64_t> insert_retries{0};
   std::atomic<uint64_t> delete_restarts{0};
   std::atomic<uint64_t> partner_relocks{0};

@@ -1,61 +1,113 @@
 #include "core/directory.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/epoch.h"
 
 namespace exhash::core {
 
 Directory::Directory(int initial_depth, int max_depth)
-    : max_depth_(max_depth), depth_(initial_depth), depthcount_(0) {
+    : max_depth_(max_depth), depthcount_(0) {
   assert(initial_depth >= 0 && initial_depth <= max_depth);
   assert(max_depth <= 30);
-  entries_ = std::make_unique<std::atomic<storage::PageId>[]>(
-      uint64_t{1} << max_depth);
-  for (uint64_t i = 0; i < (uint64_t{1} << max_depth); ++i) {
-    entries_[i].store(storage::kInvalidPage, std::memory_order_relaxed);
-  }
+  auto* snap = new DirectorySnapshot;
+  snap->version = 0;
+  snap->depth = initial_depth;
+  const uint64_t n = uint64_t{1} << initial_depth;
+  snap->entries = std::make_unique<storage::PageId[]>(n);
+  for (uint64_t i = 0; i < n; ++i) snap->entries[i] = storage::kInvalidPage;
+  current_.store(snap, std::memory_order_release);
+}
+
+Directory::~Directory() {
+  // Predecessor snapshots retired by this directory may still be pending;
+  // their deleters are self-contained (delete the snapshot), so draining
+  // here is safe even for standalone Directory users.
+  util::EpochDomain::Global().Drain();
+  delete current_.load(std::memory_order_acquire);
+}
+
+DirectorySnapshot* Directory::Clone(int new_depth) const {
+  const DirectorySnapshot* old = Current();
+  auto* snap = new DirectorySnapshot;
+  snap->depth = new_depth;
+  const uint64_t n = uint64_t{1} << new_depth;
+  snap->entries = std::make_unique<storage::PageId[]>(n);
+  const uint64_t copy = std::min(n, old->NumEntries());
+  for (uint64_t i = 0; i < copy; ++i) snap->entries[i] = old->entries[i];
+  return snap;
+}
+
+void Directory::Publish(DirectorySnapshot* next) {
+  const DirectorySnapshot* old = current_.load(std::memory_order_relaxed);
+  next->version = old->version + 1;
+  current_.store(next, std::memory_order_seq_cst);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  util::TestHooks::Emit(util::HookPoint::kSnapshotPublish, this);
+  util::EpochDomain::Global().Retire(
+      [](void* ctx, uint64_t) {
+        delete static_cast<DirectorySnapshot*>(ctx);
+      },
+      const_cast<DirectorySnapshot*>(old), 0);
+}
+
+void Directory::SetEntry(uint64_t index, storage::PageId page) {
+  DirectorySnapshot* snap = Clone(Current()->depth);
+  snap->entries[index] = page;
+  Publish(snap);
+}
+
+void Directory::InitEntries(const storage::PageId* pages, uint64_t count) {
+  DirectorySnapshot* snap = Clone(Current()->depth);
+  assert(count == snap->NumEntries());
+  for (uint64_t i = 0; i < count; ++i) snap->entries[i] = pages[i];
+  Publish(snap);
 }
 
 void Directory::UpdateEntries(storage::PageId page, int localdepth,
                               util::Pseudokey pseudokey) {
-  const int d = depth();
+  DirectorySnapshot* snap = Clone(Current()->depth);
+  const int d = snap->depth;
   assert(localdepth <= d);
   const uint64_t pattern = util::LowBits(pseudokey, localdepth);
   const uint64_t stride = uint64_t{1} << localdepth;
   for (uint64_t i = pattern; i < (uint64_t{1} << d); i += stride) {
-    SetEntry(i, page);
+    snap->entries[i] = page;
   }
+  Publish(snap);
 }
 
 bool Directory::Double() {
-  const int d = depth();
+  const int d = Current()->depth;
   if (d >= max_depth_) return false;
+  DirectorySnapshot* snap = Clone(d + 1);
   const uint64_t half = uint64_t{1} << d;
   for (uint64_t i = 0; i < half; ++i) {
-    entries_[half + i].store(entries_[i].load(std::memory_order_relaxed),
-                             std::memory_order_relaxed);
+    snap->entries[half + i] = snap->entries[i];
   }
-  // Publishing the new depth with release ordering makes the copied upper
-  // half visible to any reader that acquires the larger depth.
-  depth_.store(d + 1, std::memory_order_release);
+  // Publishing the new snapshot makes the copied upper half and the larger
+  // depth visible in one pointer store — the snapshot-directory form of
+  // "it is the act of incrementing depth that makes the new directory
+  // entries visible" (section 2.3).
+  Publish(snap);
   return true;
 }
 
 void Directory::Halve() {
-  const int d = depth();
+  const int d = Current()->depth;
   assert(d >= 1);
-  depth_.store(d - 1, std::memory_order_release);
+  Publish(Clone(d - 1));
 }
 
 int Directory::RecomputeDepthcount() const {
-  const int d = depth();
+  const DirectorySnapshot* snap = Current();
+  const int d = snap->depth;
   if (d == 0) return 1;  // the single bucket trivially has localdepth == 0
   const uint64_t half = uint64_t{1} << (d - 1);
   int differing = 0;
   for (uint64_t i = 0; i < half; ++i) {
-    if (entries_[i].load(std::memory_order_relaxed) !=
-        entries_[half + i].load(std::memory_order_relaxed)) {
-      ++differing;
-    }
+    if (snap->entries[i] != snap->entries[half + i]) ++differing;
   }
   return 2 * differing;
 }

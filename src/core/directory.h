@@ -1,22 +1,35 @@
 // The directory: an array of bucket pointers indexed by the low `depth` bits
-// of the pseudokey.
+// of the pseudokey — published as a versioned immutable snapshot.
 //
-// Concurrency contract (matches the paper's structure-level reasoning):
-//   * Entries and depth are atomics so readers holding only a rho lock can
-//     index the directory while an alpha-holding inserter rewrites entries;
-//     any interleaving yields either the old or the new pointer, and stale
-//     pointers are recoverable via bucket next links.
-//   * Double() copies the lower half into the upper half *before*
-//     incrementing depth — "it is the act of incrementing depth that makes
-//     the new directory entries visible" (section 2.3) — so doubling appears
-//     atomic to readers.
-//   * Halve() simply decrements depth; the abandoned upper half is not
-//     reused until a subsequent Double() re-copies it.
-//   * The entry array is preallocated at 2^max_depth (the paper's
-//     `int directory[1 << maxdepth]`), so no reallocation ever invalidates a
-//     concurrent reader.
+// Concurrency contract (DESIGN.md §4d):
+//   * The live directory is one heap-allocated DirectorySnapshot behind a
+//     single atomic pointer.  Readers and the search phase of updaters call
+//     Load() — one acquire-tier load, no directory lock — and index the
+//     returned snapshot.  A snapshot can go stale the instant it is loaded;
+//     staleness is recoverable exactly as in the paper: a stale entry leads
+//     to a bucket (or tombstone) whose `next` chain reaches the records'
+//     current home (sections 2.2/2.4).  This mirrors how §3 tolerates stale
+//     *replicated* directories via version numbers — here the version is the
+//     snapshot's `version` field and "the network" is one pointer load.
+//   * Every structural mutation (SetEntry, UpdateEntries, Double, Halve,
+//     InitEntries) is copy-on-write: build a new snapshot, publish it with
+//     one pointer store (version + 1), and retire the superseded snapshot to
+//     the global epoch domain.  Mutual exclusion among writers (the table's
+//     alpha/xi directory lock) is still the caller's job — the snapshot
+//     machinery only removes *readers* from that lock.
+//   * A caller must hold an EpochPin for as long as it uses a Load()ed
+//     snapshot; retired snapshots are freed only after two epoch advances.
+//   * Double() publishes lower-half-copied-up entries and depth+1 in one
+//     snapshot swap — the act that used to be "incrementing depth makes the
+//     new entries visible" (section 2.3) is now the pointer store.
+//   * Halve() publishes a lower-half snapshot at depth-1; the abandoned
+//     upper half simply is not part of the new snapshot.
 //
-// Mutual exclusion among writers (alpha/xi) is the caller's job.
+// The convenience accessors depth()/Entry()/NumEntries() read the current
+// snapshot per call; they are for quiescent introspection (validator,
+// tests, single-threaded SequentialExtendibleHash) and for writers already
+// holding the directory lock.  Concurrent code paths must Load() once and
+// read everything from that one snapshot.
 
 #ifndef EXHASH_CORE_DIRECTORY_H_
 #define EXHASH_CORE_DIRECTORY_H_
@@ -27,52 +40,89 @@
 
 #include "storage/page.h"
 #include "util/bits.h"
+#include "util/test_hooks.h"
 
 namespace exhash::core {
+
+// Immutable once published.  `entries` holds exactly 2^depth plain (non-
+// atomic) page ids: nobody writes a snapshot after publication, so reads
+// race with nothing.
+struct DirectorySnapshot {
+  uint64_t version = 0;
+  int depth = 0;
+  std::unique_ptr<storage::PageId[]> entries;
+
+  storage::PageId Entry(uint64_t index) const { return entries[index]; }
+  uint64_t NumEntries() const { return uint64_t{1} << depth; }
+};
 
 class Directory {
  public:
   Directory(int initial_depth, int max_depth);
 
-  // Current depth.  Acquire-loads so a reader that observes a post-double
-  // depth also observes the copied entries.
-  int depth() const { return depth_.load(std::memory_order_acquire); }
+  // Frees the live snapshot and drains the global epoch domain so retired
+  // predecessors (whose deleters are self-contained) cannot outlive the
+  // process as leaks.  Contract: quiescent.
+  ~Directory();
 
+  // The lock-free read path: one seq_cst load of the snapshot pointer.
+  // The caller must hold an EpochPin on util::EpochDomain::Global() for as
+  // long as it uses the result.
+  const DirectorySnapshot* Load() const {
+    const DirectorySnapshot* snap =
+        current_.load(std::memory_order_seq_cst);
+    util::TestHooks::Emit(util::HookPoint::kSnapshotLoad, this);
+    return snap;
+  }
+
+  // Quiescent/locked convenience accessors (see the header comment).
+  int depth() const { return Current()->depth; }
   int max_depth() const { return max_depth_; }
-
-  uint64_t NumEntries() const { return uint64_t{1} << depth(); }
-
-  // The paper's indexdirectory: entry at the low `depth` bits of pk.  The
-  // caller supplies the depth it read, keeping the read of depth and the
-  // indexing consistent within one operation.
+  uint64_t NumEntries() const { return Current()->NumEntries(); }
   storage::PageId Entry(uint64_t index) const {
-    return entries_[index].load(std::memory_order_acquire);
+    return Current()->entries[index];
   }
 
-  void SetEntry(uint64_t index, storage::PageId page) {
-    entries_[index].store(page, std::memory_order_release);
+  // Version of the live snapshot (== publishes since construction) and the
+  // publish counter itself; tests cross-check the two stay equal.
+  uint64_t version() const { return Current()->version; }
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
   }
+
+  // --- Writers (directory alpha/xi lock held, except single-threaded
+  // construction).  Each call builds-and-publishes one new snapshot. ---
+
+  // Points one entry at `page`.
+  void SetEntry(uint64_t index, storage::PageId page);
+
+  // Bulk initialization: all 2^depth entries in one publish.  For table
+  // construction and benchmark setup — per-entry SetEntry would publish
+  // (and copy) once per entry.
+  void InitEntries(const storage::PageId* pages, uint64_t count);
 
   // The paper's updatedirectory(page, localdepth, pseudokey): points every
   // directory entry whose low `localdepth` bits equal `pseudokey`'s at
   // `page`.  Used after a split (aim the new bucket's pattern at the new
-  // page) and after a merge (aim the dead partner's pattern at the survivor).
+  // page) and after a merge (aim the dead partner's pattern at the
+  // survivor).
   void UpdateEntries(storage::PageId page, int localdepth,
                      util::Pseudokey pseudokey);
 
-  // Doubles the directory (copy lower half up, then ++depth).  Returns false
-  // if max_depth would be exceeded (callers treat this as "file full";
-  // benchmarks size max_depth generously).
+  // Doubles the directory (publish lower half copied up, depth+1).
+  // Returns false if max_depth would be exceeded (callers treat this as
+  // "file full"; benchmarks size max_depth generously).
   bool Double();
 
-  // Halves the directory (--depth).  Caller must have established
-  // depthcount == 0, i.e. no bucket has localdepth == depth.
+  // Halves the directory (publish the lower half at depth-1).  Caller must
+  // have established depthcount == 0, i.e. no bucket has localdepth ==
+  // depth.
   void Halve();
 
   // --- depthcount: number of buckets whose localdepth == depth ---
   // Maintained by structure-modifying operations (section 2.2); only ever
-  // accessed under an updater lock, but stored as an atomic so the validator
-  // can read it quiescently without formal UB.
+  // accessed under an updater lock, but stored as an atomic so the
+  // validator can read it quiescently without formal UB.
   int depthcount() const { return depthcount_.load(std::memory_order_relaxed); }
   void set_depthcount(int v) {
     depthcount_.store(v, std::memory_order_relaxed);
@@ -87,10 +137,21 @@ class Directory {
   int RecomputeDepthcount() const;
 
  private:
+  const DirectorySnapshot* Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // New snapshot at `new_depth` with entries copied from the live one
+  // (truncated or lower-half-duplicated as the depth dictates).
+  DirectorySnapshot* Clone(int new_depth) const;
+
+  // Swaps `next` in (version = old + 1) and retires the old snapshot.
+  void Publish(DirectorySnapshot* next);
+
   const int max_depth_;
-  std::atomic<int> depth_;
   std::atomic<int> depthcount_;
-  std::unique_ptr<std::atomic<storage::PageId>[]> entries_;
+  std::atomic<uint64_t> publishes_{0};
+  std::atomic<const DirectorySnapshot*> current_;
 };
 
 }  // namespace exhash::core

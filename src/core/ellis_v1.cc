@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/bits.h"
+#include "util/epoch.h"
 
 namespace exhash::core {
 
@@ -13,18 +14,20 @@ EllisHashTableV1::EllisHashTableV1(const TableOptions& options)
   InitBuckets();
 }
 
-// Figure 5.  rho-lock the directory, lock-couple onto the bucket, release
-// the directory, then chain-walk with coupled rho locks until the bucket's
-// commonbits match the pseudokey.
+// Figure 5 over the snapshot directory (DESIGN.md §4d): pin an epoch, load
+// the snapshot with one atomic load — no directory lock — then lock-couple
+// along next links with rho locks until the bucket's commonbits match the
+// pseudokey.  A stale snapshot entry is recovered exactly like the paper's
+// "wrong bucket" case.
 bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
   stats_.finds.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
 
-  dir_lock_.RhoLock();
-  storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  const DirectorySnapshot* snap = dir_.Load();
+  storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
   util::RaxLock* old_lock = &locks_.For(oldpage);
   old_lock->RhoLock();
-  dir_lock_.UnRhoLock();
 
   storage::Bucket current(capacity_);
   GetBucket(oldpage, &current);
@@ -32,9 +35,10 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
   while (current.deleted ||
          !util::MatchesCommonBits(pk, current.commonbits,
                                   current.localdepth)) {
-    // Wrong bucket: a split moved the data after we read the directory.
-    // The next lock is always granted before the current one is released,
-    // which "prevents processes from leapfrogging each other" (section 2.2).
+    // Wrong bucket: the snapshot was stale, or a split moved the data
+    // after we loaded it.  The next lock is always granted before the
+    // current one is released, which "prevents processes from leapfrogging
+    // each other" (section 2.2).
     stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
     ++chase_hops;
     const storage::PageId newpage = current.next;
@@ -45,6 +49,9 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
     old_lock = new_lock;
     oldpage = newpage;
   }
+  if (chase_hops != 0) {
+    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+  }
   RecordFindChase(chase_hops);
 
   const bool found = current.Search(key, value);
@@ -52,43 +59,66 @@ bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
   return found;
 }
 
-// Figure 6.  alpha-lock the directory for the whole operation; readers still
-// pass, other updaters serialize.  No wrong-bucket recovery is needed: the
-// alpha lock guarantees the directory entry is current.
+// Figure 6, re-ordered for the snapshot directory: the search phase runs
+// lock-free off the snapshot (alpha only on buckets, with wrong-bucket
+// recovery), and the directory alpha lock is taken only when a split will
+// actually change the directory — and only *after* the bucket lock, the
+// global order being "buckets before directory".
 bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
   stats_.inserts.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
   storage::Bucket current(capacity_);
   storage::Bucket half1(capacity_);
   storage::Bucket half2(capacity_);
 
   while (true) {
-    dir_lock_.AlphaLock();
-    const storage::PageId oldpage =
-        dir_.Entry(util::LowBits(pk, dir_.depth()));
-    util::RaxLock& bucket_lock = locks_.For(oldpage);
-    bucket_lock.AlphaLock();
+    const DirectorySnapshot* snap = dir_.Load();
+    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    util::RaxLock* old_lock = &locks_.For(oldpage);
+    old_lock->AlphaLock();
     GetBucket(oldpage, &current);
 
+    // Without the directory lock the entry can be stale for updaters too
+    // (the second solution's situation, section 2.4): chase with coupled
+    // alpha locks.
+    uint64_t chase_hops = 0;
+    while (current.deleted ||
+           !util::MatchesCommonBits(pk, current.commonbits,
+                                    current.localdepth)) {
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
+      const storage::PageId newpage = current.next;
+      util::RaxLock* new_lock = &locks_.For(newpage);
+      new_lock->AlphaLock();
+      GetBucket(newpage, &current);
+      old_lock->UnAlphaLock();
+      old_lock = new_lock;
+      oldpage = newpage;
+    }
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    RecordUpdateChase(chase_hops);
+
     if (current.Search(key)) {
-      dir_lock_.UnAlphaLock();
-      bucket_lock.UnAlphaLock();
+      old_lock->UnAlphaLock();
       return false;
     }
 
     if (!current.full()) {
-      // The directory will not be affected: release it before doing the
-      // bucket write so other updaters can proceed.
-      dir_lock_.UnAlphaLock();
+      // The directory is not affected: no directory lock at all.
       current.Add(key, value);
       PutBucket(oldpage, current);
-      bucket_lock.UnAlphaLock();
+      old_lock->UnAlphaLock();
       size_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
 
-    // Current is full: split (and double the directory first if the bucket
-    // is already at full depth).
+    // Current is full: split (doubling the directory first if the bucket
+    // is already at full depth).  The bucket alpha is held, so current
+    // cannot change; take the directory alpha last.
+    dir_lock_.AlphaLock();
     if (current.localdepth == dir_.depth()) {
       if (!dir_.Double()) {
         std::fprintf(stderr,
@@ -104,14 +134,15 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
     const bool done = SplitRecords(current, key, value, hasher(), oldpage,
                                    newpage, &half1, &half2);
     // Write the unreachable new half first; replacing the old page then
-    // publishes the split as one atomic page write (section 2.3).
+    // publishes the split as one atomic page write (section 2.3), and the
+    // snapshot publish in UpdateEntries makes the short route visible.
     PutBucket(newpage, half2);
     PutBucket(oldpage, half1);
-    bucket_lock.UnAlphaLock();
     dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
     if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
     stats_.splits.fetch_add(1, std::memory_order_relaxed);
     dir_lock_.UnAlphaLock();
+    old_lock->UnAlphaLock();
 
     if (done) {
       size_.fetch_add(1, std::memory_order_relaxed);
@@ -122,112 +153,184 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
   }
 }
 
-// Figure 7.  xi-lock the directory and the target bucket; if a merge is
-// possible, xi-lock the partner too — releasing and re-acquiring in chain
-// order when the partner precedes the target, to avoid deadlock with
-// chain-walking readers.
+// Figure 7, re-ordered for the snapshot directory.  The search phase is
+// lock-free off the snapshot with xi-coupled chasing; a merge xi-locks both
+// partners (releasing and re-acquiring in chain order when the partner
+// precedes the target), then takes the directory xi lock *last* — V1 keeps
+// the exclusive directory mode and does merge, entry updates, halving and
+// page retirement in that single critical section.  Because the directory
+// lock no longer freezes the world during the partner dance, both partners
+// are re-read and re-checked after the relock, restarting when the bucket
+// moved (the second solution's discipline, which V1 now shares).
 bool EllisHashTableV1::Remove(uint64_t key) {
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
   storage::Bucket current(capacity_);
   storage::Bucket brother(capacity_);
 
-  dir_lock_.XiLock();
-  const uint64_t selectedbits = util::LowBits(pk, dir_.depth());
-  const storage::PageId oldpage = dir_.Entry(selectedbits);
-  util::RaxLock& old_lock = locks_.For(oldpage);
-  old_lock.XiLock();
-  GetBucket(oldpage, &current);
+  bool allow_merge = options_.enable_merging;
+  while (true) {
+    const DirectorySnapshot* snap = dir_.Load();
+    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    util::RaxLock* old_lock = &locks_.For(oldpage);
+    old_lock->XiLock();
+    GetBucket(oldpage, &current);
 
-  // Merge only when deleting the lone record of a depth>1 bucket.  (The
-  // membership check is our fix to Figure 7; see the class comment.)
-  const bool try_merge = options_.enable_merging && current.count() <= 1 &&
-                         current.localdepth > 1 && current.Search(key);
-  if (!try_merge) {
-    dir_lock_.UnXiLock();
-    const bool removed = current.Remove(key);
-    if (removed) {
-      PutBucket(oldpage, current);
-      size_.fetch_sub(1, std::memory_order_relaxed);
+    uint64_t chase_hops = 0;
+    while (current.deleted ||
+           !util::MatchesCommonBits(pk, current.commonbits,
+                                    current.localdepth)) {
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
+      const storage::PageId newpage = current.next;
+      util::RaxLock* new_lock = &locks_.For(newpage);
+      new_lock->XiLock();
+      GetBucket(newpage, &current);
+      old_lock->UnXiLock();
+      old_lock = new_lock;
+      oldpage = newpage;
     }
-    old_lock.UnXiLock();
-    return removed;
-  }
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    RecordUpdateChase(chase_hops);
 
-  storage::PageId partnerpage;
-  storage::PageId merged;
-  storage::PageId garbage;
-  if (!util::IsOnePartner(pk, current.localdepth)) {
-    // The key lives in the "0" partner; its partner follows in the chain,
-    // so locking it directly respects the lock ordering.
-    partnerpage = current.next;
-    locks_.For(partnerpage).XiLock();
-    merged = oldpage;
-    garbage = partnerpage;
-  } else {
-    // The key lives in the "1" partner: the "0" partner precedes us in the
-    // chain.  Release our lock and re-acquire both in chain order to avoid
-    // deadlock with a reader following next links from partner to us.
-    partnerpage = dir_.Entry(util::LowBits(
-        pk & ~(util::Pseudokey{1} << (current.localdepth - 1)), dir_.depth()));
-    old_lock.UnXiLock();
-    stats_.partner_relocks.fetch_add(1, std::memory_order_relaxed);
-    locks_.For(partnerpage).XiLock();
-    old_lock.XiLock();
-    // The directory xi-lock excluded all updaters throughout, so `current`
-    // is still accurate; no re-read is needed (unlike the second solution).
-    merged = partnerpage;
-    garbage = oldpage;
-  }
-  GetBucket(partnerpage, &brother);
+    // Merge only when deleting the lone record of a depth>1 bucket.  (The
+    // membership check is our fix to Figure 7; see the class comment.)
+    const bool try_merge = allow_merge && current.count() <= 1 &&
+                           current.localdepth > 1 && current.Search(key);
+    if (!try_merge) {
+      const bool removed = current.Remove(key);
+      if (removed) {
+        PutBucket(oldpage, current);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      old_lock->UnXiLock();
+      return removed;
+    }
 
-  if (current.localdepth != brother.localdepth) {
-    // Partner split deeper (or merged shallower): not mergable.
-    current.Remove(key);
-    PutBucket(oldpage, current);
+    storage::PageId partnerpage;
+    storage::PageId merged;
+    storage::PageId garbage;
+    util::RaxLock* partner_lock;
+    if (!util::IsOnePartner(pk, current.localdepth)) {
+      // The key lives in the "0" partner; its partner follows in the
+      // chain, so locking it directly respects the lock ordering.
+      partnerpage = current.next;
+      partner_lock = &locks_.For(partnerpage);
+      partner_lock->XiLock();
+      GetBucket(partnerpage, &brother);
+      merged = oldpage;
+      garbage = partnerpage;
+    } else {
+      // The key lives in the "1" partner: the "0" partner precedes us in
+      // the chain.  Locate it through a fresh snapshot, release our lock
+      // and re-acquire both in chain order to avoid deadlock with a reader
+      // following next links from partner to us.
+      const DirectorySnapshot* fresh = dir_.Load();
+      partnerpage = fresh->Entry(util::LowBits(
+          pk & ~(util::Pseudokey{1} << (current.localdepth - 1)),
+          fresh->depth));
+      old_lock->UnXiLock();
+      stats_.partner_relocks.fetch_add(1, std::memory_order_relaxed);
+      partner_lock = &locks_.For(partnerpage);
+      partner_lock->XiLock();
+      GetBucket(partnerpage, &brother);
+      if (brother.deleted || brother.next != oldpage) {
+        // Not chain-linked partners: the entry was stale, or the partner
+        // split deeper or was itself merged.  The condition may be stable
+        // (a deeper-split partner stays that way), so restart merge-free —
+        // the same Figure 9 livelock fix the second solution uses.
+        partner_lock->UnXiLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        allow_merge = false;
+        continue;
+      }
+      old_lock->XiLock();
+      GetBucket(oldpage, &current);
+      merged = partnerpage;
+      garbage = oldpage;
+      if (current.deleted ||
+          !util::MatchesCommonBits(pk, current.commonbits,
+                                   current.localdepth)) {
+        // While our lock was released the bucket filled and split, moving
+        // z — or another deleter merged it away.  Transient: retry with
+        // merging still allowed.
+        old_lock->UnXiLock();
+        partner_lock->UnXiLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+
+    // Composite re-check (the relock released our lock, so inserters may
+    // have refilled the bucket, or the partner may have split).
+    const bool mergable = current.localdepth == brother.localdepth &&
+                          current.count() == 1 && current.Search(key);
+    if (!mergable) {
+      partner_lock->UnXiLock();
+      const bool removed = current.Remove(key);
+      if (removed) {
+        PutBucket(oldpage, current);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      old_lock->UnXiLock();
+      return removed;
+    }
+
+    // MERGE.  Both partners are xi-held; take the directory xi lock last.
+    // The survivor (always the "0" partner's page) receives the brother's
+    // records at the reduced local depth; `current` held only the record
+    // being deleted.
+    dir_lock_.XiLock();
+    const int old_ld = brother.localdepth;
+    if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
+    brother.localdepth = old_ld - 1;
+    brother.commonbits &= util::Mask(brother.localdepth);
+    brother.version = std::max(brother.version, current.version) + 1;
+    if (merged == oldpage) {
+      // current was the "0" partner: the merged bucket continues current's
+      // lineage; brother.next already bypasses the garbage page.
+      brother.prev = current.prev;
+      brother.prev_mgr = current.prev_mgr;
+    } else {
+      brother.next = current.next;  // bypass the garbage "1" partner
+      brother.next_mgr = current.next_mgr;
+    }
+
+    // Tombstone the garbage page: marked deleted, next aimed at the
+    // survivor so it keeps working as a signpost for stale-snapshot
+    // searchers until the epoch scheme reclaims it.
+    current.deleted = true;
+    current.next = merged;
+    current.Clear();
+
+    PutBucket(merged, brother);
+    PutBucket(garbage, current);
+    stats_.merges.fetch_add(1, std::memory_order_relaxed);
+
+    if (dir_.depthcount() == 0) {
+      // The merge removed the last two full-depth buckets; the garbage
+      // page's only directory entry is in the abandoned upper half, so
+      // halving unlinks it.
+      dir_.Halve();
+      dir_.set_depthcount(dir_.RecomputeDepthcount());
+      stats_.halvings.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const util::Pseudokey garbage_bits =
+          brother.commonbits | (util::Pseudokey{1} << (old_ld - 1));
+      dir_.UpdateEntries(merged, old_ld, garbage_bits);
+    }
+    // Unlinked from the live snapshot — hand the page to the epoch domain.
+    RetireBucket(garbage);
     size_.fetch_sub(1, std::memory_order_relaxed);
-    locks_.For(partnerpage).UnXiLock();
-    old_lock.UnXiLock();
+
     dir_lock_.UnXiLock();
+    partner_lock->UnXiLock();
+    old_lock->UnXiLock();
     return true;
   }
-
-  // Merge.  The survivor (always the "0" partner's page) receives the
-  // brother's records at the reduced local depth; `current` held only the
-  // record being deleted.
-  const int old_ld = brother.localdepth;
-  if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
-  brother.localdepth = old_ld - 1;
-  brother.commonbits &= util::Mask(brother.localdepth);
-  brother.version = std::max(brother.version, current.version) + 1;
-  if (merged == oldpage) {
-    // current was the "0" partner: the merged bucket continues current's
-    // lineage; brother.next already bypasses the garbage page.
-    brother.prev = current.prev;
-    brother.prev_mgr = current.prev_mgr;
-  } else {
-    brother.next = current.next;  // bypass the garbage "1" partner
-    brother.next_mgr = current.next_mgr;
-  }
-  PutBucket(merged, brother);
-  stats_.merges.fetch_add(1, std::memory_order_relaxed);
-
-  if (dir_.depthcount() == 0) {
-    dir_.Halve();
-    dir_.set_depthcount(dir_.RecomputeDepthcount());
-    stats_.halvings.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    const util::Pseudokey garbage_bits =
-        brother.commonbits | (util::Pseudokey{1} << (old_ld - 1));
-    dir_.UpdateEntries(merged, old_ld, garbage_bits);
-  }
-  DeallocBucket(garbage);
-  size_.fetch_sub(1, std::memory_order_relaxed);
-
-  locks_.For(partnerpage).UnXiLock();
-  old_lock.UnXiLock();
-  dir_lock_.UnXiLock();
-  return true;
 }
 
 }  // namespace exhash::core

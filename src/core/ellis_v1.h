@@ -1,14 +1,28 @@
-// First solution (Ellis 82, section 2.2, Figures 5-7): a top-down locking
-// protocol.  A lock is placed on each level of the structure — the directory,
-// then a bucket — and held until it is known to be no longer needed.
+// First solution (Ellis 82, section 2.2, Figures 5-7), re-based on the
+// versioned snapshot directory (DESIGN.md §4d).  The paper's top-down
+// protocol locked the directory first on every operation; here the
+// directory *array* is an immutable snapshot loaded with one atomic read
+// under an epoch pin, and the directory lock survives only to serialize
+// restructures.  V1 keeps its character — conservative, whole-restructure
+// critical sections — but the lock order is now buckets before directory:
 //
-//   find:   rho(directory) -> rho(bucket), lock-coupled; release directory
-//           as soon as the bucket lock is granted; chain-walk with coupled
-//           rho locks if a concurrent split moved the data.
-//   insert: alpha(directory) held for the whole operation (readers still
-//           pass; other updaters are serialized); alpha(bucket).
-//   delete: xi(directory) and xi(buckets) — deleters exclude everyone, since
-//           merging invalidates pointers readers might be holding.
+//   find:   pin; snapshot load -> rho(bucket); chain-walk with coupled rho
+//           locks if the snapshot was stale (a split or merge moved the
+//           data) — the same recovery the second solution always had.
+//   insert: pin; snapshot load -> alpha(bucket), chase with coupled alphas;
+//           only a split takes alpha(directory), after the bucket lock.
+//   delete: pin; snapshot load -> xi(bucket), chase with coupled xis; only
+//           a merge takes xi(directory) — held across the entry updates,
+//           halving and tombstoning, V1's one-big-critical-section habit.
+//           A merged-away page is tombstoned (deleted, next -> survivor)
+//           and reclaimed through the epoch domain, not freed inline: with
+//           no directory lock, readers can hold stale snapshot entries.
+//
+// Because the search phase no longer freezes the directory, V1's deleter
+// inherits the second solution's partner dance: when the key lives in the
+// "1" partner it releases its lock, re-locks in chain order, and re-checks
+// everything, restarting (merge-free if the mismatch may be stable) when
+// the world changed — Figure 9's discipline applied to Figure 7.
 //
 // Deviation from the paper, documented: Figure 7 enters the merge path for
 // any bucket with count <= 1 without re-checking that the lone record is the

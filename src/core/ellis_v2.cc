@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/bits.h"
+#include "util/epoch.h"
 
 namespace exhash::core {
 
@@ -14,16 +15,17 @@ EllisHashTableV2::EllisHashTableV2(const TableOptions& options)
 }
 
 // "The procedure for the find operation is the same as before" (section
-// 2.4) — Figure 5, with the wrong-bucket test extended to tombstones.
+// 2.4) — Figure 5 over the snapshot directory, with the wrong-bucket test
+// extended to tombstones.
 bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
   stats_.finds.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
 
-  dir_lock_.RhoLock();
-  storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  const DirectorySnapshot* snap = dir_.Load();
+  storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
   util::RaxLock* old_lock = &locks_.For(oldpage);
   old_lock->RhoLock();
-  dir_lock_.UnRhoLock();
 
   storage::Bucket current(capacity_);
   GetBucket(oldpage, &current);
@@ -41,6 +43,9 @@ bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
     old_lock = new_lock;
     oldpage = newpage;
   }
+  if (chase_hops != 0) {
+    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+  }
   RecordFindChase(chase_hops);
 
   const bool found = current.Search(key, value);
@@ -48,18 +53,22 @@ bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
   return found;
 }
 
-// Figure 8.  rho on the directory, alpha on buckets; convert the directory
-// rho to alpha only if the bucket is full and the directory will change.
+// Figure 8 over the snapshot directory: the search phase takes no directory
+// lock at all (the snapshot load replaced the rho lock, and with it the
+// section 2.5 rho-to-alpha conversion); alpha on buckets.  When the bucket
+// is full and the directory will change, the directory alpha lock is taken
+// *after* the bucket alpha — buckets before directory, the global order.
 bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
   stats_.inserts.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
   storage::Bucket current(capacity_);
   storage::Bucket half1(capacity_);
   storage::Bucket half2(capacity_);
 
   while (true) {
-    dir_lock_.RhoLock();
-    storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+    const DirectorySnapshot* snap = dir_.Load();
+    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->AlphaLock();
     GetBucket(oldpage, &current);
@@ -81,16 +90,17 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
       old_lock = new_lock;
       oldpage = newpage;
     }
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
     RecordUpdateChase(chase_hops);
 
     if (current.Search(key)) {
-      dir_lock_.UnRhoLock();
       old_lock->UnAlphaLock();
       return false;
     }
 
     if (!current.full()) {
-      dir_lock_.UnRhoLock();
       current.Add(key, value);
       if (options_.test_publish_after_unlock) [[unlikely]] {
         // TEST ONLY (see TableOptions): releasing the lock before the page
@@ -106,11 +116,9 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
       return true;
     }
 
-    // Current is full — the directory will be affected.  Convert our rho
-    // lock to alpha (section 2.5's lock conversion; it cannot deadlock
-    // because a conversion only waits on a *held* alpha, whose owner makes
-    // no further lock requests).
-    dir_lock_.UpgradeRhoToAlpha();
+    // Current is full — the directory will be affected.  The bucket alpha
+    // pins `current`; take the directory alpha last.
+    dir_lock_.AlphaLock();
     if (current.localdepth == dir_.depth()) {
       if (!dir_.Double()) {
         std::fprintf(stderr,
@@ -125,14 +133,31 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
     const storage::PageId newpage = AllocBucket();
     const bool done = SplitRecords(current, key, value, hasher(), oldpage,
                                    newpage, &half1, &half2);
-    PutBucket(newpage, half2);
-    PutBucket(oldpage, half1);
-    dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
-    if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
-    stats_.splits.fetch_add(1, std::memory_order_relaxed);
-    old_lock->UnAlphaLock();
-    dir_lock_.UnAlphaLock();
-    dir_lock_.UnRhoLock();
+    if (options_.test_publish_dir_before_pages) [[unlikely]] {
+      // TEST ONLY (see TableOptions): publish the new directory snapshot
+      // before the old page's rewrite, and push that rewrite past both
+      // unlocks.  The new half is written first so a reader routed through
+      // the fresh snapshot never decodes an uninitialized page — the bug
+      // is strictly a lost-update race on the stale old page.
+      PutBucket(newpage, half2);
+      dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
+      if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
+      stats_.splits.fetch_add(1, std::memory_order_relaxed);
+      dir_lock_.UnAlphaLock();
+      old_lock->UnAlphaLock();
+      PutBucket(oldpage, half1);  // straggler write races fresh updaters
+    } else {
+      // Write the unreachable new half first; replacing the old page then
+      // publishes the split as one atomic page write (section 2.3), and
+      // the snapshot publish makes the short route visible.
+      PutBucket(newpage, half2);
+      PutBucket(oldpage, half1);
+      dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
+      if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
+      stats_.splits.fetch_add(1, std::memory_order_relaxed);
+      dir_lock_.UnAlphaLock();
+      old_lock->UnAlphaLock();
+    }
 
     if (done) {
       size_.fetch_add(1, std::memory_order_relaxed);
@@ -142,11 +167,20 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
   }
 }
 
-// Figure 9.  rho on the directory, xi on buckets; merging tombstones the
-// dead partner and defers reclamation to a xi-locked GC phase.
+// Figure 9 over the snapshot directory: no directory lock during the search
+// phase; xi on buckets; a merge takes the directory alpha (after the bucket
+// locks) for the entry updates, tombstones the dead partner, and defers
+// both halving and reclamation to a GC phase.  The GC phase no longer
+// xi-locks the world: the snapshot keeps readers off the directory lock
+// entirely, so it takes the directory alpha to halve and then hands the
+// tombstone page to the epoch scheme — reclamation happens once every
+// operation pinned at retire time has finished, which is exactly the
+// "no process can hold or gain a path" condition section 2.5 used xi
+// locks to establish.
 bool EllisHashTableV2::Remove(uint64_t key) {
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
   storage::Bucket current(capacity_);
   storage::Bucket brother(capacity_);
 
@@ -158,8 +192,8 @@ bool EllisHashTableV2::Remove(uint64_t key) {
   // to remove its key" (section 2.5) — so the restart is merge-free.
   bool allow_merge = options_.enable_merging;
   while (true) {
-    dir_lock_.RhoLock();
-    storage::PageId oldpage = dir_.Entry(util::LowBits(pk, dir_.depth()));
+    const DirectorySnapshot* snap = dir_.Load();
+    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->XiLock();
     GetBucket(oldpage, &current);
@@ -178,11 +212,13 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       old_lock = new_lock;
       oldpage = newpage;
     }
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
     RecordUpdateChase(chase_hops);
 
     if (current.count() > 1 || current.localdepth <= 1 || !allow_merge) {
       // Plain removal; the directory is not affected.
-      dir_lock_.UnRhoLock();
       const bool removed = current.Remove(key);
       if (removed) {
         PutBucket(oldpage, current);
@@ -194,7 +230,6 @@ bool EllisHashTableV2::Remove(uint64_t key) {
 
     if (!current.Search(key)) {  // z not there
       old_lock->UnXiLock();
-      dir_lock_.UnRhoLock();
       return false;
     }
 
@@ -212,11 +247,13 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       garbage = partnerpage;
       merged = oldpage;
     } else {
-      // z in the SECOND of the pair: locate the "0" partner through the
-      // (possibly stale) directory, then lock both in chain order.
-      partnerpage = dir_.Entry(util::LowBits(
+      // z in the SECOND of the pair: locate the "0" partner through a
+      // fresh (possibly already stale) snapshot, then lock both in chain
+      // order.
+      const DirectorySnapshot* fresh = dir_.Load();
+      partnerpage = fresh->Entry(util::LowBits(
           pk & ~(util::Pseudokey{1} << (current.localdepth - 1)),
-          dir_.depth()));
+          fresh->depth));
       old_lock->UnXiLock();
       stats_.partner_relocks.fetch_add(1, std::memory_order_relaxed);
       partner_lock = &locks_.For(partnerpage);
@@ -228,7 +265,6 @@ bool EllisHashTableV2::Remove(uint64_t key) {
         // oldpage from here would risk deadlock; restart, merge-free (see
         // above: the condition may be stable).
         partner_lock->UnXiLock();
-        dir_lock_.UnRhoLock();
         stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
         allow_merge = false;
         continue;
@@ -244,7 +280,6 @@ bool EllisHashTableV2::Remove(uint64_t key) {
         // moving z (Figure 9's comment) — or been merged by another deleter.
         old_lock->UnXiLock();
         partner_lock->UnXiLock();
-        dir_lock_.UnRhoLock();
         stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
@@ -258,7 +293,6 @@ bool EllisHashTableV2::Remove(uint64_t key) {
                           current.count() == 1 && current.Search(key);
     if (!mergable) {
       partner_lock->UnXiLock();
-      dir_lock_.UnRhoLock();
       const bool removed = current.Remove(key);
       if (removed) {
         PutBucket(oldpage, current);
@@ -268,8 +302,9 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       return removed;
     }
 
-    // MERGE.  Convert the directory rho to alpha for the entry updates.
-    dir_lock_.UpgradeRhoToAlpha();
+    // MERGE.  Both partners are xi-held; take the directory alpha last for
+    // the entry updates (readers keep passing through the snapshot).
+    dir_lock_.AlphaLock();
     const int old_ld = brother.localdepth;
     if (old_ld == dir_.depth()) dir_.AddDepthcount(-2);
     brother.localdepth = old_ld - 1;
@@ -300,26 +335,27 @@ bool EllisHashTableV2::Remove(uint64_t key) {
     stats_.merges.fetch_add(1, std::memory_order_relaxed);
     size_.fetch_sub(1, std::memory_order_relaxed);
 
-    old_lock->UnXiLock();
-    partner_lock->UnXiLock();
     dir_lock_.UnAlphaLock();
-    dir_lock_.UnRhoLock();
+    partner_lock->UnXiLock();
+    old_lock->UnXiLock();
 
-    // Garbage-collection phase: "discarding deleted components is done in a
-    // separate phase which is truly serialized with respect to other
-    // actions by xi-locking" (section 2.5).  Once both xi locks are held no
-    // process can hold or gain a path to the tombstone.
-    dir_lock_.XiLock();
-    util::RaxLock& garbage_lock = locks_.For(garbage);
-    garbage_lock.XiLock();
+    // Garbage-collection phase (section 2.5, restructured for the snapshot
+    // directory).  Halving is re-checked under a fresh directory alpha: the
+    // depthcount can only be 0 here if the halving this merge enabled is
+    // still due (a concurrent restructure that changed the picture also
+    // recomputed or re-seeded the count).  The tombstone page itself goes
+    // to the epoch domain — it is unlinked from the live snapshot (by the
+    // UpdateEntries above, or by the Halve dropping the abandoned upper
+    // half that held its only entry), so only already-pinned stale readers
+    // can still reach it, and the reclaimer waits those out.
+    dir_lock_.AlphaLock();
     if (dir_.depthcount() == 0) {
       dir_.Halve();
       dir_.set_depthcount(dir_.RecomputeDepthcount());
       stats_.halvings.fetch_add(1, std::memory_order_relaxed);
     }
-    DeallocBucket(garbage);
-    garbage_lock.UnXiLock();
-    dir_lock_.UnXiLock();
+    dir_lock_.UnAlphaLock();
+    RetireBucket(garbage);
     return true;
   }
 }

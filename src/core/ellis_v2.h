@@ -1,19 +1,27 @@
-// Second solution (Ellis 82, section 2.4, Figures 8-9): an optimistic
-// protocol.  Updaters behave like readers while searching — a rho lock on
-// the directory, alpha/xi locks only on buckets — and convert the directory
-// lock to alpha only when restructuring actually happens.  Consequences:
+// Second solution (Ellis 82, section 2.4, Figures 8-9), re-based on the
+// versioned snapshot directory (DESIGN.md §4d).  The paper's optimistic
+// protocol had updaters behave like readers — a rho lock on the directory,
+// converted to alpha only when restructuring happened.  The snapshot
+// directory takes that to its limit: the search phase touches no directory
+// lock at all (one atomic snapshot load under an epoch pin replaced the
+// rho lock, and the rho-to-alpha conversion with it), and a restructure
+// takes the directory alpha directly, after the bucket locks.  The rest of
+// the second solution survives intact:
 //
 //   * updaters may also land on the "wrong bucket" and recover via next
 //     links, including through *tombstones*: a merged bucket is marked
 //     deleted and left in place, its next link aimed at the survivor, so any
-//     process holding a stale directory entry still finds a path;
+//     process holding a stale snapshot entry still finds a path;
 //   * a deleter that must lock partners in chain order re-validates
 //     everything after re-locking (the partner may have ceased to be a
 //     partner, the bucket may have refilled, the key may have moved or been
 //     deleted — Figure 9's re-check ladder, each outcome handled);
-//   * tombstones and abandoned directory halves are reclaimed in a separate
-//     garbage-collection phase under xi locks, "truly serialized with
-//     respect to other actions" (section 2.5).
+//   * tombstones are reclaimed in a separate garbage-collection phase —
+//     now a directory-alpha halving check plus an epoch-domain retirement
+//     in place of section 2.5's xi-locked sweep: the epoch scheme waits
+//     out every operation that could still hold a path to the tombstone,
+//     which is the same guarantee the xi locks bought, without stalling
+//     readers.
 
 #ifndef EXHASH_CORE_ELLIS_V2_H_
 #define EXHASH_CORE_ELLIS_V2_H_

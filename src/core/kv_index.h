@@ -24,6 +24,11 @@ struct TableStats {
   // Times a search landed on the "wrong bucket" and recovered via a next
   // link (sections 2.2/2.4) — one count per hop.
   uint64_t wrong_bucket_hops = 0;
+  // Operations whose search phase started from a directory snapshot entry
+  // that no longer named the key's home bucket (one count per operation
+  // that chased, vs. wrong_bucket_hops' one per hop) — the price of the
+  // lock-free Load() read path, paid via the same next-link recovery.
+  uint64_t stale_reads = 0;
   // Times an insert had to restart because the split could not place the new
   // record (the paper's `if (!done) insert(z)`).
   uint64_t insert_retries = 0;

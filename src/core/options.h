@@ -81,6 +81,16 @@ struct TableOptions {
   // a successful Insert whose key a later Find misses.  Never set outside
   // tests.
   bool test_publish_after_unlock = false;
+
+  // TEST ONLY — the snapshot-directory analogue of the above (DESIGN.md
+  // §4d/§6b).  When true, EllisHashTableV2's split publishes the new
+  // directory snapshot *before* the old bucket page is rewritten, and
+  // defers that rewrite until after both locks are released.  A racing
+  // updater can then read the stale pre-split page through the fresh
+  // directory, split it again, and have its work overwritten by the
+  // straggler write — lost updates the schedule sweep's checker must
+  // catch.  Never set outside tests.
+  bool test_publish_dir_before_pages = false;
 };
 
 }  // namespace exhash::core

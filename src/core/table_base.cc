@@ -7,6 +7,7 @@
 
 #include "core/validate.h"
 #include "util/bits.h"
+#include "util/epoch.h"
 
 namespace exhash::core {
 
@@ -48,15 +49,28 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".structure.doublings"] = s.doublings;
           c[prefix + ".structure.halvings"] = s.halvings;
           c[prefix + ".recovery.wrong_bucket_hops"] = s.wrong_bucket_hops;
+          c[prefix + ".recovery.stale_reads"] = s.stale_reads;
           c[prefix + ".retry.insert_retries"] = s.insert_retries;
           c[prefix + ".retry.delete_restarts"] = s.delete_restarts;
           c[prefix + ".retry.partner_relocks"] = s.partner_relocks;
+          // The directory lock is restructure-only now (DESIGN.md §4d):
+          // rho and upgrade counts are structurally zero and no longer
+          // exported.  Readers show up under .dir.* / .epoch.* instead.
           const util::RaxLockStats dl = dir_lock_.stats();
-          c[prefix + ".dir_lock.rho"] = dl.rho_acquired;
           c[prefix + ".dir_lock.alpha"] = dl.alpha_acquired;
           c[prefix + ".dir_lock.xi"] = dl.xi_acquired;
-          c[prefix + ".dir_lock.upgrades"] = dl.upgrades;
           c[prefix + ".dir_lock.contended"] = dl.contended;
+          c[prefix + ".dir.snapshot_publishes"] = dir_.publishes();
+          c[prefix + ".dir.snapshot_version"] = dir_.version();
+          // Process-wide epoch-reclamation counters (the global domain is
+          // shared by every table; see util/epoch.h).
+          const util::EpochStats es = util::EpochDomain::Global().stats();
+          c[prefix + ".epoch.epoch"] = es.epoch;
+          c[prefix + ".epoch.pins"] = es.pins;
+          c[prefix + ".epoch.retired"] = es.retired;
+          c[prefix + ".epoch.freed"] = es.freed;
+          c[prefix + ".epoch.advances"] = es.advances;
+          c[prefix + ".epoch.pending"] = es.pending;
           const util::RaxLockStats bl = locks_.AggregateStats();
           c[prefix + ".bucket_locks.rho"] = bl.rho_acquired;
           c[prefix + ".bucket_locks.alpha"] = bl.alpha_acquired;
@@ -69,6 +83,22 @@ TableBase::TableBase(const TableOptions& options)
     locks_.SetMetricsSinkAll(&metrics_->bucket_locks);
   }
 #endif
+}
+
+TableBase::~TableBase() {
+  // Pending retires may hold deleters that call into store_ (RetireBucket)
+  // — drain them while the members are still alive.  Runs before member
+  // destruction by construction of a destructor body.
+  util::EpochDomain::Global().Drain();
+}
+
+void TableBase::RetireBucket(storage::PageId page) {
+  util::EpochDomain::Global().Retire(
+      [](void* ctx, uint64_t arg) {
+        static_cast<storage::PageStore*>(ctx)->Dealloc(
+            static_cast<storage::PageId>(arg));
+      },
+      &store_, page);
 }
 
 void TableBase::GetBucket(storage::PageId page, storage::Bucket* bucket) {
@@ -121,8 +151,9 @@ void TableBase::InitBuckets() {
       b.prev = pages[idx & ~(uint64_t{1} << (std::bit_width(idx) - 1))];
     }
     PutBucket(pages[idx], b);
-    dir_.SetEntry(idx, pages[idx]);
   }
+  // One publish for the whole seed directory (entry i -> page i).
+  dir_.InitEntries(pages.data(), n);
   // Every initial bucket has localdepth == depth.
   dir_.set_depthcount(static_cast<int>(n));
 }
@@ -161,11 +192,14 @@ std::string TableBase::DebugString() {
 
 uint64_t TableBase::ForEachRecord(
     const std::function<void(uint64_t key, uint64_t value)>& visit) {
-  dir_lock_.RhoLock();
-  storage::PageId page = dir_.Entry(0);
+  // The pin covers the window between reading the chain-head entry and
+  // holding its rho lock (a concurrent merge could retire a page there);
+  // once the lock coupling starts, every page we step onto is held alive
+  // by the lock on its predecessor.
+  util::EpochPin pin(util::EpochDomain::Global());
+  storage::PageId page = dir_.Load()->Entry(0);
   util::RaxLock* lock = &locks_.For(page);
   lock->RhoLock();
-  dir_lock_.UnRhoLock();
 
   uint64_t visited = 0;
   storage::Bucket bucket(capacity_);
@@ -190,6 +224,7 @@ uint64_t TableBase::ForEachRecord(
 }
 
 uint64_t TableBase::LiveBuckets() {
+  util::EpochPin pin(util::EpochDomain::Global());
   uint64_t live = 0;
   storage::PageId page = dir_.Entry(0);
   storage::Bucket bucket(capacity_);

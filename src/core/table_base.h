@@ -43,17 +43,29 @@ class TableBase : public KeyValueIndex {
   // the size counter lags the page writes inside an operation.
   bool ValidateInFlightState(uint64_t expected_size, std::string* error);
 
+  // Drains the global epoch domain: retired bucket pages reference this
+  // table's page store through their deleters, so they must be freed
+  // before the members below are destroyed.
+  ~TableBase() override;
+
   // Human-readable structure dump (quiescent state only): directory shape
   // plus one line per bucket along the chain.  For debugging and teaching —
   // the output mirrors the layout of the paper's Figures 1-4.
   std::string DebugString();
 
-  // Chain scan with coupled rho locks: rho(directory) to fetch the chain
-  // head (the all-zeros-pattern bucket, whose page is stable), then walk
-  // next links exactly as a reader recovering from a split would, visiting
-  // each live bucket's records under its rho lock.
+  // Chain scan with coupled rho locks: load the directory snapshot (under
+  // an epoch pin) to fetch the chain head (the all-zeros-pattern bucket,
+  // whose page is stable), then walk next links exactly as a reader
+  // recovering from a split would, visiting each live bucket's records
+  // under its rho lock.
   uint64_t ForEachRecord(
       const std::function<void(uint64_t key, uint64_t value)>& visit) override;
+
+  // Snapshot-directory introspection (DESIGN.md §4d): the live snapshot's
+  // version and the publish counter.  Equal in any quiescent state — the
+  // differential suites assert it.
+  uint64_t SnapshotVersion() const { return dir_.version(); }
+  uint64_t SnapshotPublishes() const { return dir_.publishes(); }
 
   // Extra introspection for benchmarks.
   storage::PageStoreStats IoStats() const { return store_.stats(); }
@@ -87,6 +99,12 @@ class TableBase : public KeyValueIndex {
   // Allocates a fresh page (the paper's allocbucket).
   storage::PageId AllocBucket() { return store_.Alloc(); }
   void DeallocBucket(storage::PageId page) { store_.Dealloc(page); }
+
+  // Epoch-deferred deallocation: a merged-away (tombstoned) page stays
+  // readable for stale-snapshot readers already past the directory; the
+  // page store reclaims it only after every operation pinned at retire
+  // time has finished.
+  void RetireBucket(storage::PageId page);
 
   const util::Hasher& hasher() const { return *hasher_; }
 

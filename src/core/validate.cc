@@ -9,6 +9,7 @@
 
 #include "storage/bucket.h"
 #include "util/bits.h"
+#include "util/epoch.h"
 
 namespace exhash::core {
 
@@ -36,7 +37,12 @@ bool ValidateInFlight(const Directory& dir, storage::PageStore& store,
                       const util::Hasher& hasher, int capacity,
                       size_t page_size, uint64_t expected_size,
                       std::string* error) {
-  const int depth = dir.depth();
+  // One snapshot for the whole pass (entries from two different snapshots
+  // would not be an "instant" to check), pinned so tombstones reachable
+  // from it cannot be reclaimed mid-walk.
+  util::EpochPin pin(util::EpochDomain::Global());
+  const DirectorySnapshot* snap = dir.Load();
+  const int depth = snap->depth;
   const uint64_t entries = uint64_t{1} << depth;
   std::vector<std::byte> scratch(page_size);
   const auto read_bucket = [&](storage::PageId page, storage::Bucket* b) {
@@ -53,7 +59,7 @@ bool ValidateInFlight(const Directory& dir, storage::PageStore& store,
   // not-yet-published half of a paused split per in-flight operation; 2x
   // entries + slack bounds it without assuming how many ops are paused.
   const uint64_t max_chain = 2 * entries + 16;
-  storage::PageId page = dir.Entry(0);
+  storage::PageId page = snap->Entry(0);
   uint64_t prev_rank = 0;
   bool first = true;
   while (page != storage::kInvalidPage) {
@@ -104,7 +110,7 @@ bool ValidateInFlight(const Directory& dir, storage::PageStore& store,
 
   // 3: every entry recovers via the reader's wrong-bucket walk.
   for (uint64_t i = 0; i < entries; ++i) {
-    storage::PageId hop = dir.Entry(i);
+    storage::PageId hop = snap->Entry(i);
     if (hop == storage::kInvalidPage) {
       return Fail(error, Fmt("directory entry %" PRIu64 " is invalid", i));
     }
@@ -150,7 +156,9 @@ bool ValidateStructure(const Directory& dir, storage::PageStore& store,
     return ValidateInFlight(dir, store, hasher, capacity, page_size,
                             expected_size, error);
   }
-  const int depth = dir.depth();
+  util::EpochPin pin(util::EpochDomain::Global());
+  const DirectorySnapshot* snap = dir.Load();
+  const int depth = snap->depth;
   const uint64_t entries = uint64_t{1} << depth;
 
   // Load every distinct bucket once; remember which entries point where.
@@ -158,7 +166,7 @@ bool ValidateStructure(const Directory& dir, storage::PageStore& store,
   std::map<storage::PageId, std::vector<uint64_t>> referrers;
   std::vector<std::byte> scratch(page_size);
   for (uint64_t i = 0; i < entries; ++i) {
-    const storage::PageId page = dir.Entry(i);
+    const storage::PageId page = snap->Entry(i);
     if (page == storage::kInvalidPage) {
       return Fail(error, Fmt("directory entry %" PRIu64 " is invalid", i));
     }
@@ -240,7 +248,7 @@ bool ValidateStructure(const Directory& dir, storage::PageStore& store,
   // Chain traversal: start at entry 0 (the all-zeros pattern bucket, which
   // has the minimal chain rank), follow next links.
   std::unordered_set<storage::PageId> visited;
-  storage::PageId page = dir.Entry(0);
+  storage::PageId page = snap->Entry(0);
   uint64_t prev_rank = 0;
   bool first = true;
   while (page != storage::kInvalidPage) {
@@ -266,7 +274,7 @@ bool ValidateStructure(const Directory& dir, storage::PageStore& store,
       const util::Pseudokey partner_bits =
           b.commonbits & ~(util::Pseudokey{1} << (b.localdepth - 1));
       const storage::PageId partner_page =
-          dir.Entry(util::LowBits(partner_bits, depth));
+          snap->Entry(util::LowBits(partner_bits, depth));
       // prev must address the current holder of the "0" pattern *unless*
       // the partner has since split deeper (then prev is historical and
       // unused: merge requires equal localdepths).

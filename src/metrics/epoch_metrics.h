@@ -1,0 +1,31 @@
+// Counter sink for EpochDomain reclamation events (DESIGN.md §8).
+//
+// Mirrors LockMetrics' role for RaxLock: the domain carries an atomic
+// pointer to one of these, null by default, and ticks it on retire / free /
+// advance.  Retires are restructure-rate events (splits and merges), not
+// per-operation, so plain atomics suffice — no sharding.
+//
+// Header-only on purpose: epoch.cc (src/util) includes this without
+// linking the metrics library — util is below metrics in the layer order.
+// Under EXHASH_METRICS=OFF the struct (and EpochDomain's sink hook) is
+// compiled out entirely; tests/metrics/compile_out_test.cc pins that.
+
+#ifndef EXHASH_METRICS_EPOCH_METRICS_H_
+#define EXHASH_METRICS_EPOCH_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "metrics/gate.h"
+
+namespace exhash::metrics {
+
+struct EpochMetrics {
+  std::atomic<uint64_t> retired{0};
+  std::atomic<uint64_t> freed{0};
+  std::atomic<uint64_t> advances{0};
+};
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_EPOCH_METRICS_H_

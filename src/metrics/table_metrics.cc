@@ -23,12 +23,17 @@ TableMetrics::TableMetrics(
   provider_handle_ = registry_->AddProvider([this](Snapshot* snap) {
     static const char* const kModes[3] = {"rho", "alpha", "xi"};
     for (int m = 0; m < 3; ++m) {
-      AddHistogramSummary(snap,
-                          prefix_ + ".dir_lock." + kModes[m] + ".acquire_ns",
-                          dir_lock.acquire_ns[m]);
       AddHistogramSummary(
           snap, prefix_ + ".bucket_locks." + kModes[m] + ".acquire_ns",
           bucket_locks.acquire_ns[m]);
+    }
+    // The directory lock lost its rho mode to the snapshot directory
+    // (DESIGN.md §4d): exporting a structurally-empty series would read as
+    // "quiet" instead of "gone", so only alpha/xi are published.
+    for (int m = 1; m < 3; ++m) {
+      AddHistogramSummary(snap,
+                          prefix_ + ".dir_lock." + kModes[m] + ".acquire_ns",
+                          dir_lock.acquire_ns[m]);
     }
     snap->counters[prefix_ + ".dir_lock.slow_path"] =
         dir_lock.slow_path.load(std::memory_order_relaxed);

@@ -1,0 +1,243 @@
+#include "util/epoch.h"
+
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/test_hooks.h"
+
+namespace exhash::util {
+
+namespace {
+
+// Registry of live domain ids, so thread-exit cleanup and the thread-local
+// slot cache can tell a dead domain's stale pointer from a live one
+// without ever dereferencing it.  Function-local leaky statics sidestep
+// both static-init and static-destruction order: thread-local destructors
+// of late-exiting threads may run after main() returns.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::unordered_set<uint64_t>& LiveDomains() {
+  static auto* set = new std::unordered_set<uint64_t>;
+  return *set;
+}
+
+uint64_t NextDomainId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache of (domain id, slot).  The destructor returns slots of
+// still-live domains to their free pools; entries of dead domains are
+// dropped without being touched.
+struct ThreadSlotCache {
+  struct Entry {
+    uint64_t domain_id;
+    EpochDomain::Slot* slot;
+  };
+  std::vector<Entry> entries;
+
+  ~ThreadSlotCache() {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    for (const Entry& e : entries) {
+      if (LiveDomains().count(e.domain_id) != 0) {
+        e.slot->epoch.store(EpochDomain::kIdle, std::memory_order_release);
+        e.slot->in_use.store(false, std::memory_order_release);
+      }
+    }
+  }
+};
+
+thread_local ThreadSlotCache tls_slot_cache;
+
+}  // namespace
+
+EpochDomain::EpochDomain() : id_(NextDomainId()) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  LiveDomains().insert(id_);
+}
+
+EpochDomain::~EpochDomain() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    LiveDomains().erase(id_);
+  }
+  // With the id unregistered, no thread-exit cleanup will touch the slots
+  // again; stale cache entries compare ids and never dereference.
+  Slot* s = slots_.load(std::memory_order_acquire);
+  while (s != nullptr) {
+    Slot* next = s->next;
+    delete s;
+    s = next;
+  }
+}
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain* domain = new EpochDomain;  // deliberately leaked
+  return *domain;
+}
+
+EpochDomain::Slot* EpochDomain::AcquireSlot() {
+  for (const auto& e : tls_slot_cache.entries) {
+    if (e.domain_id == id_) return e.slot;
+  }
+  // Slow path: adopt a free slot or register a new one.  The registry
+  // mutex serializes in_use handoff against thread-exit cleanup.
+  Slot* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    // Drop cache entries of dead domains so churning domains (tests that
+    // construct one per iteration) cannot grow the cache without bound.
+    auto& entries = tls_slot_cache.entries;
+    for (size_t i = 0; i < entries.size();) {
+      if (LiveDomains().count(entries[i].domain_id) == 0) {
+        entries[i] = entries.back();
+        entries.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+         s = s->next) {
+      if (!s->in_use.load(std::memory_order_acquire)) {
+        s->in_use.store(true, std::memory_order_release);
+        slot = s;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr) {
+    slot = new Slot;
+    slot->in_use.store(true, std::memory_order_relaxed);
+    Slot* head = slots_.load(std::memory_order_relaxed);
+    do {
+      slot->next = head;
+    } while (!slots_.compare_exchange_weak(head, slot,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  }
+  tls_slot_cache.entries.push_back({id_, slot});
+  return slot;
+}
+
+void EpochDomain::Retire(Deleter fn, void* ctx, uint64_t arg) {
+  TestHooks::Emit(HookPoint::kEpochRetire, this);
+  RetireNode* node = new RetireNode;
+  node->fn = fn;
+  node->ctx = ctx;
+  node->arg = arg;
+  // seq_cst: this load is ordered after the caller's unlink publication,
+  // so the tag is >= the pin epoch of any reader that can still reach the
+  // object (the free gate `tag + 2 <= epoch` then cannot pass while such
+  // a reader stays pinned).
+  node->epoch = global_epoch_.load(std::memory_order_seq_cst);
+  RetireNode* head = retired_.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!retired_.compare_exchange_weak(head, node,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+#if EXHASH_METRICS_ENABLED
+  if (metrics::EpochMetrics* sink =
+          metrics_sink_.load(std::memory_order_acquire)) {
+    sink->retired.fetch_add(1, std::memory_order_relaxed);
+  }
+#endif
+  TryReclaim();
+}
+
+uint64_t EpochDomain::TryReclaim() {
+  std::unique_lock<std::mutex> lock(reclaim_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;
+
+  // Advance if every pinned slot has caught up with the current epoch.
+  const uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+  bool can_advance = true;
+  for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    const uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e != g) {
+      can_advance = false;
+      break;
+    }
+  }
+  uint64_t cur = g;
+  if (can_advance) {
+    cur = g + 1;
+    global_epoch_.store(cur, std::memory_order_seq_cst);
+    advances_.fetch_add(1, std::memory_order_relaxed);
+#if EXHASH_METRICS_ENABLED
+    if (metrics::EpochMetrics* sink =
+            metrics_sink_.load(std::memory_order_acquire)) {
+      sink->advances.fetch_add(1, std::memory_order_relaxed);
+    }
+#endif
+  }
+
+  // Sweep: steal the whole stack, free what is two epochs old, push the
+  // rest back (concurrent Retire pushes interleave harmlessly).
+  RetireNode* node = retired_.exchange(nullptr, std::memory_order_acq_rel);
+  RetireNode* keep_head = nullptr;
+  RetireNode* keep_tail = nullptr;
+  uint64_t freed = 0;
+  while (node != nullptr) {
+    RetireNode* next = node->next;
+    if (node->epoch + 2 <= cur) {
+      node->fn(node->ctx, node->arg);
+      delete node;
+      ++freed;
+    } else {
+      node->next = keep_head;
+      keep_head = node;
+      if (keep_tail == nullptr) keep_tail = node;
+    }
+    node = next;
+  }
+  if (keep_head != nullptr) {
+    RetireNode* head = retired_.load(std::memory_order_relaxed);
+    do {
+      keep_tail->next = head;
+    } while (!retired_.compare_exchange_weak(head, keep_head,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed));
+  }
+  if (freed != 0) {
+    freed_count_.fetch_add(freed, std::memory_order_relaxed);
+    pending_.fetch_sub(freed, std::memory_order_relaxed);
+#if EXHASH_METRICS_ENABLED
+    if (metrics::EpochMetrics* sink =
+            metrics_sink_.load(std::memory_order_acquire)) {
+      sink->freed.fetch_add(freed, std::memory_order_relaxed);
+    }
+#endif
+  }
+  return freed;
+}
+
+void EpochDomain::Drain() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (TryReclaim() == 0) std::this_thread::yield();
+  }
+}
+
+EpochStats EpochDomain::stats() const {
+  EpochStats s;
+  s.epoch = global_epoch_.load(std::memory_order_relaxed);
+  for (Slot* slot = slots_.load(std::memory_order_acquire); slot != nullptr;
+       slot = slot->next) {
+    s.pins += slot->pins.load(std::memory_order_relaxed);
+  }
+  s.retired = retired_count_.load(std::memory_order_relaxed);
+  s.freed = freed_count_.load(std::memory_order_relaxed);
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.pending = pending_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace exhash::util

@@ -1,0 +1,207 @@
+// Epoch-based reclamation for lock-free readers (DESIGN.md §4d).
+//
+// The versioned snapshot directory lets readers and the search phase of
+// updaters traverse the directory and bucket chains without ever taking the
+// directory lock.  That removes the lock-coupling step that used to prove a
+// page could not be deallocated while someone still held a path to it, so
+// retired objects (superseded directory snapshots, merged-away bucket
+// pages) must instead wait until every operation that could have seen them
+// has finished.  This is the classic three-epoch scheme (Fraser's
+// quiescent-state variant):
+//
+//   * A reader PINS the domain for the duration of one table operation:
+//     it publishes the current global epoch into its per-thread slot (one
+//     seq_cst store to its own cache line — no shared-line refcount
+//     traffic), and clears the slot on unpin.
+//   * A writer RETIRES an object after unlinking it from the live
+//     structure; the node is tagged with the global epoch read *after* the
+//     unlink became visible.
+//   * The global epoch ADVANCES from e to e+1 only when every pinned slot
+//     shows e.  An object tagged r is freed once the epoch reaches r+2:
+//     two advances prove that every operation pinned at the time of the
+//     retire (all of which show <= r+1 in their slots) has since unpinned.
+//
+// Why a pinned reader can never reach a freed object: the live structure
+// never points at a retired object (writers unlink before they retire),
+// and a retired object's frozen pointers only lead to objects retired no
+// earlier than itself.  A reader pinned at epoch e starts from the live
+// snapshot pointer, so everything it can reach was retired at epoch >= e —
+// see the safety argument spelled out in DESIGN.md §4d.
+//
+// Memory-order notes (deliberately TSan-friendly): pin/unpin are plain
+// seq_cst/release stores and the reclaimer scans slots with seq_cst loads,
+// so every happens-before edge the proof needs is a store->load
+// synchronization on the same atomic — no standalone fences, which
+// ThreadSanitizer does not model.
+//
+// Thread slots are registered lazily per (thread, domain) and cached in a
+// thread-local table; slots return to the domain's free pool at thread
+// exit.  Domains are cheap to construct for tests; production code shares
+// the process-wide Global() domain (never destroyed).
+
+#ifndef EXHASH_UTIL_EPOCH_H_
+#define EXHASH_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "metrics/gate.h"
+
+#if EXHASH_METRICS_ENABLED
+#include "metrics/epoch_metrics.h"
+#endif
+
+namespace exhash::util {
+
+// Aggregate view of a domain's activity.  Plain counters, always compiled
+// in: tests and the table registry providers read them; the reclaim logic
+// itself keys off `pending`.
+struct EpochStats {
+  uint64_t epoch = 0;     // current global epoch
+  uint64_t pins = 0;      // total Pin() calls across all slots
+  uint64_t retired = 0;   // objects handed to Retire()
+  uint64_t freed = 0;     // deleters actually run
+  uint64_t advances = 0;  // successful epoch advances
+  uint64_t pending = 0;   // retired - freed right now
+};
+
+class EpochDomain {
+ public:
+  // Slot epoch value meaning "not inside any operation".
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  // Deleters are plain function pointers so retire nodes stay trivially
+  // destructible: fn(ctx, arg) frees the object.  The pair outlives the
+  // node (e.g. a PageStore pointer plus the page id, or the object itself
+  // as ctx).
+  using Deleter = void (*)(void* ctx, uint64_t arg);
+
+  // One cache line per registered thread; readers write only their own.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> in_use{false};
+    std::atomic<uint64_t> pins{0};
+    Slot* next = nullptr;  // registry link, immutable once published
+  };
+
+  EpochDomain();
+
+  // Drains all pending retires (running their deleters), then frees the
+  // slot registry.  Contract: no thread is pinned on, or concurrently
+  // using, this domain.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // The process-wide domain shared by every table.  Never destroyed (its
+  // retire list is drained by the owners of retired objects — Directory
+  // and TableBase destructors — so process exit sees no pending nodes).
+  static EpochDomain& Global();
+
+  // Returns (registering on first use) the calling thread's slot.  O(1)
+  // after the first call per (thread, domain).
+  Slot* AcquireSlot();
+
+  // Publishes the current global epoch into `slot`.  The caller may then
+  // dereference any pointer reachable from the live structure until
+  // Unpin().  Not reentrant per slot.
+  void Pin(Slot* slot) {
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    slot->epoch.store(e, std::memory_order_seq_cst);
+    // One correction keeps a racing advance from wedging reclamation on a
+    // long-running reader pinned one epoch behind.  Safe because no
+    // protected pointer has been loaded yet: the proof runs against the
+    // *last* value stored before the caller's first protected load.
+    const uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+    if (e2 != e) [[unlikely]] {
+      slot->epoch.store(e2, std::memory_order_seq_cst);
+    }
+    slot->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Release-store so the reclaimer's scan of this slot happens-after every
+  // protected access the reader made.
+  void Unpin(Slot* slot) {
+    slot->epoch.store(kIdle, std::memory_order_release);
+  }
+
+  // Hands an unlinked object to the domain.  Runs opportunistic
+  // reclamation (amortized O(slots + pending)); the deleter runs at some
+  // later Retire/TryReclaim/Drain once two epochs have passed.
+  void Retire(Deleter fn, void* ctx, uint64_t arg);
+
+  // One reclamation attempt: advance the epoch if every pinned slot has
+  // caught up, then free everything retired two epochs ago.  Returns the
+  // number of deleters run.  Skips (returns 0) if another thread is
+  // already reclaiming.
+  uint64_t TryReclaim();
+
+  // Blocks (yielding) until nothing is pending.  Requires that every
+  // pinned reader eventually unpins.
+  void Drain();
+
+  uint64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+  EpochStats stats() const;
+
+#if EXHASH_METRICS_ENABLED
+  // Optional counter sink (DESIGN.md §8): retire/free/advance events tick
+  // the sink's counters while installed.  Compiled out entirely under
+  // EXHASH_METRICS=OFF — tests/metrics/compile_out_test.cc pins both
+  // states.
+  void SetMetricsSink(metrics::EpochMetrics* sink) {
+    metrics_sink_.store(sink, std::memory_order_release);
+  }
+#endif
+
+ private:
+  struct RetireNode {
+    Deleter fn;
+    void* ctx;
+    uint64_t arg;
+    uint64_t epoch;
+    RetireNode* next;
+  };
+
+  const uint64_t id_;  // process-unique, never reused
+  std::atomic<uint64_t> global_epoch_{0};
+  std::atomic<Slot*> slots_{nullptr};         // grow-only registry
+  std::atomic<RetireNode*> retired_{nullptr};  // Treiber stack
+  std::mutex reclaim_mu_;                      // single reclaimer at a time
+
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> freed_count_{0};
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> pending_{0};
+
+#if EXHASH_METRICS_ENABLED
+  std::atomic<metrics::EpochMetrics*> metrics_sink_{nullptr};
+#endif
+};
+
+// RAII pin covering one table operation.
+class EpochPin {
+ public:
+  explicit EpochPin(EpochDomain& domain)
+      : domain_(&domain), slot_(domain.AcquireSlot()) {
+    domain_->Pin(slot_);
+  }
+  ~EpochPin() { domain_->Unpin(slot_); }
+
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  EpochDomain* domain_;
+  EpochDomain::Slot* slot_;
+};
+
+}  // namespace exhash::util
+
+#endif  // EXHASH_UTIL_EPOCH_H_

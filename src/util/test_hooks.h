@@ -42,9 +42,21 @@ enum class HookPoint : uint8_t {
   kPostUpgrade = 4,
   // LockTable::For resolved a page to its lock (before any acquisition).
   kLockLookup = 5,
+  // Versioned snapshot directory (DESIGN.md §4d).  A reader or an
+  // updater's search phase just loaded the current directory snapshot;
+  // `where` is the Directory.  Yielding here stretches the window in which
+  // the loaded snapshot goes stale against a concurrent publish.
+  kSnapshotLoad = 6,
+  // A restructure just published a new snapshot (the pointer store is
+  // already visible); `where` is the Directory.  Lands between publication
+  // and the retire of the superseded snapshot.
+  kSnapshotPublish = 7,
+  // An unlinked object (superseded snapshot or merged-away bucket page)
+  // was just handed to the epoch domain; `where` is the EpochDomain.
+  kEpochRetire = 8,
 };
 
-constexpr int kNumHookPoints = 6;
+constexpr int kNumHookPoints = 9;
 
 class TestHooks {
  public:

@@ -42,6 +42,12 @@ const char* HookName(util::HookPoint p) {
       return "post-upgrade";
     case util::HookPoint::kLockLookup:
       return "lock-lookup";
+    case util::HookPoint::kSnapshotLoad:
+      return "snapshot-load";
+    case util::HookPoint::kSnapshotPublish:
+      return "snapshot-publish";
+    case util::HookPoint::kEpochRetire:
+      return "epoch-retire";
   }
   return "?";
 }

@@ -14,6 +14,7 @@
 
 #include "exhash/exhash.h"
 #include "metrics/registry.h"
+#include "util/epoch.h"
 #include "util/random.h"
 
 namespace exhash {
@@ -360,12 +361,32 @@ void RunStructureCounterCrossCheck(const std::string& prefix) {
     EXPECT_EQ(snap.counters.at(prefix + ".ops.inserts"), stats.inserts);
     EXPECT_EQ(snap.counters.at(prefix + ".ops.removes"), stats.removes);
     EXPECT_EQ(snap.counters.at(prefix + ".depth"), uint64_t(table.Depth()));
-    // Every operation rho/alpha/xi-locks the directory exactly once on its
-    // main path; the per-mode totals must at least cover the op counts.
-    EXPECT_GE(snap.counters.at(prefix + ".dir_lock.rho") +
-                  snap.counters.at(prefix + ".dir_lock.alpha") +
+    // The snapshot directory removed readers from the directory lock: there
+    // is no rho counter to export any more, and the remaining alpha/xi
+    // totals must cover the restructures, which are the only users left.
+    EXPECT_EQ(snap.counters.count(prefix + ".dir_lock.rho"), 0u);
+    EXPECT_EQ(snap.counters.count(prefix + ".dir_lock.upgrades"), 0u);
+    EXPECT_GE(snap.counters.at(prefix + ".dir_lock.alpha") +
                   snap.counters.at(prefix + ".dir_lock.xi"),
-              stats.finds + stats.inserts + stats.removes);
+              stats.splits + stats.merges);
+    // Snapshot-publish accounting: the live version counts every publish
+    // since construction, and each doubling/halving/split published at
+    // least once.
+    EXPECT_EQ(snap.counters.at(prefix + ".dir.snapshot_version"),
+              snap.counters.at(prefix + ".dir.snapshot_publishes"));
+    EXPECT_EQ(snap.counters.at(prefix + ".dir.snapshot_version"),
+              table.SnapshotVersion());
+    EXPECT_GE(table.SnapshotVersion(),
+              1 + stats.doublings + stats.halvings + stats.splits);
+    // Epoch-reclamation accounting (process-global domain): everything
+    // retired is freed or still pending, and with the table quiescent a
+    // drain must leave nothing pending.
+    EXPECT_EQ(snap.counters.at(prefix + ".epoch.pending"),
+              snap.counters.at(prefix + ".epoch.retired") -
+                  snap.counters.at(prefix + ".epoch.freed"));
+    util::EpochDomain::Global().Drain();
+    const metrics::Snapshot drained = registry.TakeSnapshot();
+    EXPECT_EQ(drained.counters.at(prefix + ".epoch.pending"), 0u);
   }
 }
 

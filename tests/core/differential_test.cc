@@ -73,6 +73,28 @@ class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
       ASSERT_TRUE(t->Validate(&error))
           << t->Name() << " at op " << ops_ << ": " << error;
     }
+    CheckStructureLaws();
+  }
+
+  // Exported-structure cross-checks for the snapshot directory (DESIGN.md
+  // §4d), asserted at every quiescent point:
+  //   * the live snapshot's version counts every publish since construction
+  //     (a publish that skipped the version bump, or a version bump without
+  //     a publish, breaks reader recovery reasoning);
+  //   * live buckets obey 2^initial_depth + splits - merges — the counter
+  //     and the chain must tell the same story.
+  void CheckStructureLaws() {
+    TableBase* concurrent[2] = {&v1_, &v2_};
+    for (TableBase* t : concurrent) {
+      const TableStats s = t->Stats();
+      ASSERT_EQ(t->SnapshotVersion(), t->SnapshotPublishes())
+          << t->Name() << " at op " << ops_;
+      ASSERT_GE(t->SnapshotVersion(),
+                1 + s.doublings + s.halvings + s.splits)
+          << t->Name() << " at op " << ops_;
+      ASSERT_EQ(t->LiveBuckets(), 2 + s.splits - s.merges)
+          << t->Name() << " at op " << ops_;
+    }
   }
 
   EllisHashTableV1 v1_;
@@ -100,7 +122,12 @@ TEST_P(DifferentialTest, GrowThenShrinkAgreesEverywhere) {
     if (i % 64 == 0) CheckState();
   }
   CheckState();
-  EXPECT_GT(seq_.Stats().doublings, 0u);
+  // The grow phase must exercise repeated directory growth in every
+  // implementation, not just "a" doubling (key space 96 at capacity 4
+  // reaches depth ~5 from 1).
+  EXPECT_GE(v1_.Stats().doublings, 3u);
+  EXPECT_GE(v2_.Stats().doublings, 3u);
+  EXPECT_GE(seq_.Stats().doublings, 3u);
 
   // Shrink phase: remove-heavy, through merges.
   for (int i = 0; i < 600; ++i) {
@@ -120,8 +147,13 @@ TEST_P(DifferentialTest, GrowThenShrinkAgreesEverywhere) {
   // to an empty, still-valid file.
   while (!model_.empty()) Remove(model_.begin()->first);
   CheckState();
+  // And back down: repeated halvings, in every implementation.
+  EXPECT_GT(v1_.Stats().merges, 0u);
+  EXPECT_GT(v2_.Stats().merges, 0u);
   EXPECT_GT(seq_.Stats().merges, 0u);
-  EXPECT_GT(seq_.Stats().halvings, 0u);
+  EXPECT_GE(v1_.Stats().halvings, 2u);
+  EXPECT_GE(v2_.Stats().halvings, 2u);
+  EXPECT_GE(seq_.Stats().halvings, 2u);
   for (KeyValueIndex* t : tables_) EXPECT_EQ(t->Size(), 0u);
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/ellis_v1.h"
 #include "core/ellis_v2.h"
+#include "util/epoch.h"
 #include "util/pseudokey.h"
 
 namespace exhash::core {
@@ -27,13 +28,24 @@ TableOptions DirectedOptions(int initial_depth) {
   return options;
 }
 
-// --- Directory lock usage: the headline difference between the solutions ---
+// --- Directory lock usage under the snapshot directory (DESIGN.md §4d):
+// search phases never touch the directory lock in either solution; the
+// lock appears only when a restructure actually changes the directory. ---
 
-TEST(EllisProtocolTest, V1InsertAlwaysAlphaLocksTheDirectory) {
+TEST(EllisProtocolTest, V1InsertTouchesDirectoryAlphaOnlyOnSplit) {
   EllisHashTableV1 table(DirectedOptions(1));
-  for (uint64_t k = 0; k < 3; ++k) table.Insert(k << 4, k);  // no splits
+  // Four even keys fill bucket "0" without splitting: no directory lock
+  // in any mode — the snapshot load replaced the search-phase locking.
+  for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u}) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  const auto s0 = table.DirectoryLockStats();
+  EXPECT_EQ(s0.rho_acquired, 0u);
+  EXPECT_EQ(s0.alpha_acquired, 0u);
+  // The fifth forces a split: exactly one directory alpha, no conversion.
+  ASSERT_TRUE(table.Insert(0b1000, 8));
   const auto s = table.DirectoryLockStats();
-  EXPECT_EQ(s.alpha_acquired, 3u);  // one alpha per insert, split or not
+  EXPECT_EQ(s.alpha_acquired, 1u);
   EXPECT_EQ(s.upgrades, 0u);
 }
 
@@ -43,21 +55,34 @@ TEST(EllisProtocolTest, V2InsertTouchesDirectoryAlphaOnlyOnSplit) {
   for (uint64_t k : {0b0000u, 0b0010u, 0b0100u, 0b0110u}) {
     ASSERT_TRUE(table.Insert(k, k));
   }
-  EXPECT_EQ(table.DirectoryLockStats().alpha_acquired, 0u);
-  // The fifth forces a split: exactly one rho->alpha conversion.
+  const auto s0 = table.DirectoryLockStats();
+  EXPECT_EQ(s0.rho_acquired, 0u);
+  EXPECT_EQ(s0.alpha_acquired, 0u);
+  // The fifth forces a split: one direct alpha (the old rho->alpha
+  // conversion vanished along with the search-phase rho lock).
   ASSERT_TRUE(table.Insert(0b1000, 8));
   const auto s = table.DirectoryLockStats();
   EXPECT_EQ(s.alpha_acquired, 1u);
-  EXPECT_EQ(s.upgrades, 1u);
+  EXPECT_EQ(s.upgrades, 0u);
 }
 
-TEST(EllisProtocolTest, V1DeleteAlwaysXiLocksTheDirectory) {
+TEST(EllisProtocolTest, V1DeleteXiLocksTheDirectoryOnlyOnMerge) {
+  // Plain removals never touch the directory lock...
   EllisHashTableV1 table(DirectedOptions(1));
   table.Insert(0, 0);
   table.Insert(1, 1);
   table.Remove(0);
   table.Remove(1);
-  EXPECT_EQ(table.DirectoryLockStats().xi_acquired, 2u);
+  EXPECT_EQ(table.DirectoryLockStats().xi_acquired, 0u);
+  EXPECT_EQ(table.DirectoryLockStats().rho_acquired, 0u);
+
+  // ...but a merge keeps V1's exclusive directory critical section.
+  EllisHashTableV1 merging(DirectedOptions(2));
+  ASSERT_TRUE(merging.Insert(0b00, 1));
+  ASSERT_TRUE(merging.Insert(0b10, 2));
+  ASSERT_TRUE(merging.Remove(0b00));
+  EXPECT_EQ(merging.Stats().merges, 1u);
+  EXPECT_EQ(merging.DirectoryLockStats().xi_acquired, 1u);
 }
 
 TEST(EllisProtocolTest, V2PlainDeleteNeverWriteLocksTheDirectory) {
@@ -144,9 +169,10 @@ TEST(EllisProtocolTest, V2StablePartnerMismatchRestartsMergeFree) {
   EXPECT_TRUE(table.Validate(&error)) << error;
 }
 
-TEST(EllisProtocolTest, V1StablePartnerMismatchPlainRemoves) {
-  // Same structure under V1: it holds the directory xi-lock, compares
-  // localdepths directly, and plain-removes without restarting.
+TEST(EllisProtocolTest, V1StablePartnerMismatchRestartsMergeFree) {
+  // Same structure under V1.  Without the whole-delete directory lock V1
+  // inherits the second solution's partner dance — and with it the Figure 9
+  // livelock fix: the stable mismatch restarts exactly once, merge-free.
   EllisHashTableV1 table(DirectedOptions(2));
   for (uint64_t k : {0b00000u, 0b01000u, 0b10000u, 0b11000u, 0b100000u}) {
     ASSERT_TRUE(table.Insert(k, k));
@@ -154,8 +180,9 @@ TEST(EllisProtocolTest, V1StablePartnerMismatchPlainRemoves) {
   ASSERT_TRUE(table.Insert(0b10, 2));
   ASSERT_TRUE(table.Remove(0b10));
   const auto s = table.Stats();
-  EXPECT_EQ(s.delete_restarts, 0u);
+  EXPECT_EQ(s.delete_restarts, 1u);
   EXPECT_EQ(s.merges, 0u);
+  EXPECT_FALSE(table.Find(0b10, nullptr));
   std::string error;
   EXPECT_TRUE(table.Validate(&error)) << error;
 }
@@ -166,6 +193,26 @@ TEST(EllisProtocolTest, V2MergeReclaimsTheTombstonePage) {
   ASSERT_TRUE(table.Insert(0b10, 2));
   const auto before = table.IoStats();
   ASSERT_TRUE(table.Remove(0b00));  // merge + GC phase
+  // The GC phase retires the tombstone page to the epoch domain rather
+  // than deallocating inline; with no operation in flight, draining the
+  // domain must give the page back.
+  util::EpochDomain::Global().Drain();
+  const auto after = table.IoStats();
+  EXPECT_EQ(after.deallocs, before.deallocs + 1);
+  EXPECT_EQ(after.live_pages + 1, before.live_pages);
+  std::string error;
+  EXPECT_TRUE(table.Validate(&error)) << error;
+}
+
+TEST(EllisProtocolTest, V1MergeReclaimsTheTombstonePage) {
+  // V1 shares the tombstone-and-retire scheme: with no directory lock on
+  // the read path, even V1 cannot free a merged-away page inline.
+  EllisHashTableV1 table(DirectedOptions(2));
+  ASSERT_TRUE(table.Insert(0b00, 1));
+  ASSERT_TRUE(table.Insert(0b10, 2));
+  const auto before = table.IoStats();
+  ASSERT_TRUE(table.Remove(0b00));
+  util::EpochDomain::Global().Drain();
   const auto after = table.IoStats();
   EXPECT_EQ(after.deallocs, before.deallocs + 1);
   EXPECT_EQ(after.live_pages + 1, before.live_pages);

@@ -70,6 +70,27 @@ TEST_P(PropertySweepTest, OracleAndValidation) {
   for (const auto& [k, v] : oracle) {
     ASSERT_EQ(scanned.at(k), v);
   }
+
+  // Snapshot-directory laws (DESIGN.md §4d) at quiescence: version counts
+  // every publish, and live buckets match the restructure counters.
+  const TableStats stats = table.Stats();
+  ASSERT_EQ(table.SnapshotVersion(), table.SnapshotPublishes());
+  ASSERT_GE(table.SnapshotVersion(),
+            1 + stats.doublings + stats.halvings + stats.splits);
+  ASSERT_EQ(table.LiveBuckets(),
+            (uint64_t{1} << depth0) + stats.splits - stats.merges);
+
+  // Drain to empty: the structure must come back down through merges with
+  // every law still holding.
+  for (const auto& [k, v] : oracle) {
+    ASSERT_TRUE(table.Remove(k)) << k;
+  }
+  ASSERT_EQ(table.Size(), 0u);
+  ASSERT_TRUE(table.Validate(&error)) << error;
+  const TableStats end = table.Stats();
+  ASSERT_EQ(table.SnapshotVersion(), table.SnapshotPublishes());
+  ASSERT_EQ(table.LiveBuckets(),
+            (uint64_t{1} << depth0) + end.splits - end.merges);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -21,8 +21,10 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "core/ellis_v1.h"
 #include "metrics/registry.h"
 #include "tests/metrics/mini_json.h"
+#include "util/epoch.h"
 
 namespace exhash {
 namespace {
@@ -121,6 +123,66 @@ TEST(BenchFormatTest, MetricsSidecarEnvelopeParses) {
     EXPECT_EQ(one->Get("histograms")->Get("lat")->Get("count")->number, 1);
   }
   ASSERT_NE(cells->Get("cell/two"), nullptr);
+}
+
+// Golden counter namespace for an instrumented table.  The sidecar files
+// are diffed by name, so a renamed or lingering counter silently breaks
+// every consumer: this pins that the ρ-era directory-lock series died with
+// the snapshot directory (DESIGN.md §4d) and that the replacement
+// snapshot/epoch families are exported, by taking a real snapshot from a
+// live table rather than trusting a hand-written sample.
+TEST(BenchFormatTest, TableCounterNamespaceMatchesSnapshotDirectoryEra) {
+  if (!metrics::kCompiledIn) {
+    GTEST_SKIP() << "EXHASH_METRICS=OFF exports nothing by design";
+  }
+  metrics::Registry registry;
+  core::TableOptions options;
+  options.page_size = 112;  // capacity 4: the handful of inserts split
+  options.initial_depth = 1;
+  options.metrics = true;
+  options.metrics_registry = &registry;
+  options.metrics_prefix = "t";
+  core::EllisHashTableV1 table(options);
+  for (uint64_t k = 0; k < 24; ++k) {
+    ASSERT_TRUE(table.Insert(k, k));
+  }
+  ASSERT_GT(table.Stats().splits, 0u);
+
+  const metrics::Snapshot snap = registry.TakeSnapshot();
+  // Dead ρ-era names must stay dead.
+  EXPECT_EQ(snap.counters.count("t.dir_lock.rho"), 0u);
+  EXPECT_EQ(snap.counters.count("t.dir_lock.upgrades"), 0u);
+  EXPECT_EQ(snap.histograms.count("t.dir_lock.rho.acquire_ns"), 0u);
+  // The families that replaced them.
+  for (const char* name :
+       {"t.dir.snapshot_publishes", "t.dir.snapshot_version",
+        "t.recovery.stale_reads", "t.epoch.epoch", "t.epoch.pins",
+        "t.epoch.retired", "t.epoch.freed", "t.epoch.advances",
+        "t.epoch.pending", "t.dir_lock.alpha", "t.dir_lock.xi",
+        "t.dir_lock.contended"}) {
+    EXPECT_EQ(snap.counters.count(name), 1u) << name;
+  }
+  // The directory lock still latencies its surviving modes; the bucket
+  // locks keep all three.
+  EXPECT_EQ(snap.histograms.count("t.dir_lock.alpha.acquire_ns"), 1u);
+  EXPECT_EQ(snap.histograms.count("t.dir_lock.xi.acquire_ns"), 1u);
+  EXPECT_EQ(snap.histograms.count("t.bucket_locks.rho.acquire_ns"), 1u);
+  // And the new names flow through the sidecar envelope unchanged.
+  bench::MetricsSidecar sidecar("namespace_check");
+  sidecar.Add("cell", snap);
+  ASSERT_TRUE(sidecar.Write());
+  std::ifstream in("BENCH_namespace_check_metrics.json");
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::remove("BENCH_namespace_check_metrics.json");
+  const auto doc = MiniJsonParser::Parse(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->Get("metrics")->Get("cell")->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->Get("t.dir.snapshot_publishes"), nullptr);
+  EXPECT_EQ(counters->Get("t.dir_lock.rho"), nullptr);
 }
 
 // The sidecar path convention: BENCH_<name>_metrics.json, never touching

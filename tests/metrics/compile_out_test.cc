@@ -16,10 +16,12 @@
 
 #include <type_traits>
 
+#include "metrics/epoch_metrics.h"
 #include "metrics/gate.h"
 #include "metrics/registry.h"
 #include "metrics/sharded_counter.h"
 #include "metrics/trace_ring.h"
+#include "util/epoch.h"
 
 namespace exhash::metrics {
 namespace {
@@ -50,6 +52,21 @@ static_assert(std::is_empty_v<noop::Trace>,
 static_assert(sizeof(detail::ShardedCounter) ==
                   64 * detail::kCounterShards,
               "one cache line per shard");
+
+// --- the epoch hooks vanish with the gate ---
+
+// EpochDomain's metrics sink (util/epoch.h) is not a noop variant — the
+// member function and the atomic pointer behind it are #if'd out entirely,
+// so the OFF build's retire/free/advance paths carry no sink load at all.
+// Detect the member with a requires-expression so this file proves the
+// right thing in both build flavors.
+template <typename D>
+constexpr bool kHasEpochMetricsSink =
+    requires(D d, EpochMetrics* sink) { d.SetMetricsSink(sink); };
+
+static_assert(kHasEpochMetricsSink<util::EpochDomain> ==
+                  (EXHASH_METRICS_ENABLED != 0),
+              "the epoch sink hook must exist exactly when metrics do");
 
 TEST(CompileOutTest, GateConstantMatchesBuild) {
 #if EXHASH_METRICS_ENABLED
@@ -104,6 +121,29 @@ TEST(CompileOutTest, MetricsOnlyMacroFollowsGate) {
   EXHASH_METRICS_ONLY(++runs);
   EXPECT_EQ(runs, kCompiledIn ? 1 : 0);
 }
+
+#if EXHASH_METRICS_ENABLED
+// The enabled-build half of the epoch-sink contract: while installed, the
+// sink sees every retire, free, and advance; after uninstall it goes quiet.
+TEST(CompileOutTest, EpochSinkTicksRetireFreeAdvance) {
+  util::EpochDomain domain;
+  EpochMetrics sink;
+  domain.SetMetricsSink(&sink);
+
+  auto noop_deleter = [](void*, uint64_t) {};
+  domain.Retire(+noop_deleter, nullptr, 0);
+  domain.Drain();
+  EXPECT_EQ(sink.retired.load(), 1u);
+  EXPECT_EQ(sink.freed.load(), 1u);
+  EXPECT_GT(sink.advances.load(), 0u);
+
+  domain.SetMetricsSink(nullptr);
+  domain.Retire(+noop_deleter, nullptr, 0);
+  domain.Drain();
+  EXPECT_EQ(sink.retired.load(), 1u);
+  EXPECT_EQ(sink.freed.load(), 1u);
+}
+#endif
 
 // Whatever the build, the *selected* alias API works end to end; in the OFF
 // build every assertion below degenerates to the inert expectations.

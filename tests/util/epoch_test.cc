@@ -1,0 +1,243 @@
+// Epoch-based reclamation (util/epoch.h, DESIGN.md §4d): the pin/retire/
+// advance contract in isolation, then against the snapshot directory it
+// exists for.  The stress cases are the ones the sanitizer presets earn
+// their keep on: ASan proves a pinned reader never touches freed memory,
+// TSan proves the pin/scan happens-before edges are real.
+
+#include "util/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/directory.h"
+#include "storage/page.h"
+
+namespace exhash::util {
+namespace {
+
+void CountingDeleter(void* ctx, uint64_t) {
+  static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+}
+
+// --- Domain contract, no readers involved ---
+
+TEST(EpochDomainTest, RetireListDrainsOnQuiescence) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  for (int i = 0; i < 1000; ++i) {
+    domain.Retire(&CountingDeleter, &freed, uint64_t(i));
+  }
+  domain.Drain();
+  EXPECT_EQ(freed.load(), 1000);
+  EXPECT_EQ(domain.pending(), 0u);
+  const EpochStats s = domain.stats();
+  EXPECT_EQ(s.retired, 1000u);
+  EXPECT_EQ(s.freed, 1000u);
+  EXPECT_GT(s.advances, 0u);
+}
+
+TEST(EpochDomainTest, FreeNeedsTwoAdvancesPastTheRetireEpoch) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  const uint64_t e0 = domain.epoch();
+  domain.Retire(&CountingDeleter, &freed, 0);
+  // Retire runs one opportunistic reclamation itself; a single advance
+  // cannot free an object tagged e0 — it needs the epoch to reach e0+2.
+  EXPECT_EQ(freed.load(), 0);
+  domain.TryReclaim();
+  domain.TryReclaim();
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_GE(domain.epoch(), e0 + 2);
+}
+
+TEST(EpochDomainTest, PinnedSlotBlocksReclamation) {
+  EpochDomain domain;
+  std::atomic<int> freed{0};
+  EpochDomain::Slot* slot = domain.AcquireSlot();
+  domain.Pin(slot);
+  domain.Retire(&CountingDeleter, &freed, 0);
+  // The pinned slot still shows the pre-advance epoch, so the epoch can
+  // gain at most one and the object (which needs +2) must stay pending.
+  for (int i = 0; i < 10; ++i) domain.TryReclaim();
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(domain.pending(), 1u);
+  domain.Unpin(slot);
+  domain.Drain();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EpochDomainTest, DestructorDrainsPendingRetires) {
+  std::atomic<int> freed{0};
+  {
+    EpochDomain domain;
+    domain.Retire(&CountingDeleter, &freed, 0);
+    domain.Retire(&CountingDeleter, &freed, 1);
+  }
+  EXPECT_EQ(freed.load(), 2);
+}
+
+TEST(EpochDomainTest, PinCountsAndSlotReuseAcrossThreads) {
+  EpochDomain domain;
+  // Threads register lazily and release their slots at exit; a later
+  // thread may adopt a released slot, so the slot registry stays bounded
+  // while the pin total keeps counting.
+  for (int round = 0; round < 4; ++round) {
+    std::thread([&] {
+      EpochPin pin(domain);
+    }).join();
+  }
+  EXPECT_EQ(domain.stats().pins, 4u);
+}
+
+TEST(EpochDomainTest, ThreadExitWhilePinnedElsewhereIsSafe) {
+  // A thread that used domain A must not corrupt domain B's registry when
+  // it exits, and a domain destroyed before the thread exits must not be
+  // touched by the thread-local cache teardown (the live-domain registry
+  // check).  ASan is the judge here.
+  auto* doomed = new EpochDomain;
+  EpochDomain survivor;
+  std::thread t([&] {
+    EpochPin p1(*doomed);
+    EpochPin p2(survivor);
+  });
+  t.join();
+  delete doomed;  // before any later thread touches its cached slots
+  std::thread([&] { EpochPin p(survivor); }).join();
+  survivor.Drain();
+}
+
+// --- Against the snapshot directory ---
+
+TEST(EpochDirectoryTest, PinnedReaderSurvivesDoublingAndHalving) {
+  core::Directory dir(2, 12);
+  for (uint64_t i = 0; i < 4; ++i) {
+    dir.SetEntry(i, storage::PageId(100 + i));
+  }
+
+  EpochPin pin(EpochDomain::Global());
+  const core::DirectorySnapshot* snap = dir.Load();
+  const uint64_t version = snap->version;
+
+  // A writer doubles twice, halves twice, and rewrites entries — each
+  // mutation publishes a new snapshot and retires the predecessor, ours
+  // included.  The pin must keep the loaded snapshot readable throughout
+  // (ASan fails this test loudly if a retired snapshot is freed early).
+  std::thread writer([&] {
+    ASSERT_TRUE(dir.Double());
+    ASSERT_TRUE(dir.Double());
+    for (uint64_t i = 0; i < dir.NumEntries(); ++i) {
+      dir.SetEntry(i, storage::PageId(500 + i));
+    }
+    dir.Halve();
+    dir.Halve();
+  });
+  writer.join();
+
+  // The snapshot is immutable: same depth, same entries, same version as
+  // the instant it was loaded, no matter what was published since.
+  EXPECT_EQ(snap->depth, 2);
+  EXPECT_EQ(snap->version, version);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap->Entry(i), storage::PageId(100 + i));
+  }
+  EXPECT_GT(dir.version(), version);
+}
+
+TEST(EpochStressTest, ChurnDoublingHalvingWhileReadersSpin) {
+  core::Directory dir(1, 12);
+  dir.SetEntry(0, 11);
+  dir.SetEntry(1, 22);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::atomic<uint64_t> reads{0};
+
+  // Three readers load-and-scan under a pin; one writer churns the shape.
+  // Every entry of every observed snapshot must be valid: a torn or
+  // prematurely freed snapshot shows up as kInvalidPage (or as an ASan /
+  // TSan report under the sanitizer presets).
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochPin pin(EpochDomain::Global());
+        const core::DirectorySnapshot* snap = dir.Load();
+        for (uint64_t i = 0; i < snap->NumEntries(); ++i) {
+          if (snap->Entry(i) == storage::kInvalidPage) {
+            ok.store(false, std::memory_order_relaxed);
+          }
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Wait for the readers to actually run before churning (on a one-core
+  // box the writer can otherwise finish before they are first scheduled).
+  while (reads.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  for (int round = 0; round < 400; ++round) {
+    ASSERT_TRUE(dir.Double());
+    for (uint64_t i = 0; i < dir.NumEntries(); ++i) {
+      dir.SetEntry(i, storage::PageId(1 + uint64_t(round) + i));
+    }
+    ASSERT_TRUE(dir.Double());
+    dir.Halve();
+    dir.Halve();
+    if ((round & 31) == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(reads.load(), 0u);
+  EpochDomain::Global().Drain();
+  EXPECT_EQ(EpochDomain::Global().pending(), 0u);
+}
+
+TEST(EpochStressTest, ConcurrentRetireAndPinChurn) {
+  EpochDomain domain;
+  std::atomic<bool> stop{false};
+  int retired_total = 0;
+
+  std::vector<std::thread> pinners;
+  for (int t = 0; t < 2; ++t) {
+    pinners.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochPin pin(domain);
+      }
+    });
+  }
+  std::vector<std::thread> retirers;
+  std::atomic<int> retired{0};
+  for (int t = 0; t < 2; ++t) {
+    retirers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        // Heap objects so ASan catches a double free or a leak.
+        auto* obj = new uint64_t(uint64_t(i));
+        domain.Retire(
+            [](void* ctx, uint64_t) {
+              delete static_cast<uint64_t*>(ctx);
+            },
+            obj, 0);
+        retired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& r : retirers) r.join();
+  retired_total = retired.load();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& p : pinners) p.join();
+
+  domain.Drain();
+  EXPECT_EQ(domain.pending(), 0u);
+  EXPECT_EQ(domain.stats().retired, uint64_t(retired_total));
+  EXPECT_EQ(domain.stats().freed, uint64_t(retired_total));
+}
+
+}  // namespace
+}  // namespace exhash::util

@@ -121,6 +121,57 @@ TEST(ScheduleTest, BrokenVariantIsCaught) {
   EXPECT_FALSE(sweep.first_failure.report.empty());
 }
 
+// The snapshot-directory analogue: a split that publishes the new
+// directory snapshot *before* rewriting the old bucket page (and defers
+// that rewrite past both unlocks) lets a racing updater read the stale
+// pre-split page through the fresh directory and lose its update to the
+// straggler write.  The new kSnapshotLoad/kSnapshotPublish yield points are
+// exactly where the window opens, so the checker must catch this within
+// the same smoke budget as the lock-order variant above.
+std::unique_ptr<core::KeyValueIndex> MakeBrokenSnapshotV2() {
+  auto options = SmallOptions();
+  options.test_publish_dir_before_pages = true;
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+// Unlike the publish-after-unlock bug (any two same-bucket inserts race),
+// this window only opens on a *split*, so the hunt needs enough distinct
+// keys to overflow capacity-4 buckets repeatedly, and longer sleeps to let
+// a racing updater finish inside the straggler-write window.
+ScheduleConfig BrokenSnapshotHuntConfig() {
+  ScheduleConfig config = BrokenHuntConfig();
+  config.ops_per_thread = 30;
+  config.key_space = 16;
+  config.max_sleep_us = 100;
+  return config;
+}
+
+TEST(ScheduleTest, BrokenSnapshotPublishOrderIsCaught) {
+  const SweepOutcome sweep =
+      RunSweep(MakeBrokenSnapshotV2, BrokenSnapshotHuntConfig(), 3000);
+  ASSERT_GE(sweep.failures, 1u)
+      << "publish-dir-before-pages variant survived " << sweep.schedules
+      << " schedules";
+  EXPECT_NE(sweep.first_failure.report.find("seed"), std::string::npos);
+}
+
+// The correct tables must survive the exact configuration that catches the
+// broken variant — otherwise the catch above proves nothing about the
+// snapshot protocol, only about the config being hot enough to trip.
+TEST(ScheduleTest, V1SurvivesTheSplitHeavyHunt) {
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV1, BrokenSnapshotHuntConfig(),
+                                      seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
+TEST(ScheduleTest, V2SurvivesTheSplitHeavyHunt) {
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakeV2, BrokenSnapshotHuntConfig(),
+                                      seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
 TEST(ScheduleTest, FailingSeedReplays) {
   const SweepOutcome sweep = RunSweep(MakeBrokenV2, BrokenHuntConfig(), 3000);
   ASSERT_GE(sweep.failures, 1u);

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# One-shot line-coverage report for src/core + src/util (tests/README.md).
+#
+# Configures/builds/tests the `coverage` preset (gcov instrumentation,
+# separate build-coverage/ tree), then aggregates the per-TU gcov JSON into
+# one per-file table.  Aggregation is a line-wise union across translation
+# units, so header-defined code (epoch.h's Pin/Unpin, directory.h's Entry)
+# is counted once, not per includer.
+#
+# Usage:
+#   tools/coverage.sh              # full tier-1 suite
+#   tools/coverage.sh <label>      # only `ctest -L <label>` (e.g. util)
+#
+# Only gcov is assumed (no lcov/gcovr on the toolchain image).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+BUILD="$ROOT/build-coverage"
+
+cmake --preset coverage
+cmake --build --preset coverage -j"$(nproc)"
+
+# Stale counters from a previous run would inflate the report.
+find "$BUILD" -name '*.gcda' -delete
+
+ctest --preset coverage ${1:+-L "$1"}
+
+# Staged through a file: the report script itself arrives on stdin (the
+# heredoc), so the gcov stream cannot also ride the pipe.
+GCOV_JSON="$BUILD/coverage-gcov.jsonl"
+find "$BUILD" -name '*.gcda' -print0 |
+  xargs -0 -n 16 gcov --json-format --stdout 2>/dev/null > "$GCOV_JSON"
+
+python3 - "$ROOT" "$GCOV_JSON" <<'PY'
+import collections
+import json
+import sys
+
+root = sys.argv[1] + "/"
+# file -> {line -> executed?}; union across TUs.
+lines = collections.defaultdict(dict)
+for doc in open(sys.argv[2]):
+    doc = doc.strip()
+    if not doc:
+        continue
+    for f in json.loads(doc).get("files", []):
+        path = f["file"]
+        if path.startswith(root):
+            path = path[len(root):]
+        if not (path.startswith("src/core/") or path.startswith("src/util/")):
+            continue
+        per_file = lines[path]
+        for ln in f["lines"]:
+            n = ln["line_number"]
+            per_file[n] = per_file.get(n, False) or ln["count"] > 0
+if not lines:
+    sys.exit("coverage.sh: no gcov data for src/core or src/util")
+
+print(f"\n{'file':<44} {'lines':>7} {'hit':>7} {'cover':>7}")
+print("-" * 68)
+total = hit = 0
+for path in sorted(lines):
+    per_file = lines[path]
+    n, h = len(per_file), sum(per_file.values())
+    total += n
+    hit += h
+    print(f"{path:<44} {n:>7} {h:>7} {100.0 * h / n:>6.1f}%")
+print("-" * 68)
+print(f"{'TOTAL src/core + src/util':<44} {total:>7} {hit:>7} "
+      f"{100.0 * hit / total:>6.1f}%")
+PY
