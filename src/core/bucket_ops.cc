@@ -58,6 +58,9 @@ TableStats AtomicTableStats::Snapshot() const {
   s.insert_retries = insert_retries.load(std::memory_order_relaxed);
   s.delete_restarts = delete_restarts.load(std::memory_order_relaxed);
   s.partner_relocks = partner_relocks.load(std::memory_order_relaxed);
+  s.optimistic_hits = optimistic_hits.load(std::memory_order_relaxed);
+  s.seq_retries = seq_retries.load(std::memory_order_relaxed);
+  s.seq_fallbacks = seq_fallbacks.load(std::memory_order_relaxed);
   return s;
 }
 

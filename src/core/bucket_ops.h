@@ -41,6 +41,9 @@ struct AtomicTableStats {
   std::atomic<uint64_t> insert_retries{0};
   std::atomic<uint64_t> delete_restarts{0};
   std::atomic<uint64_t> partner_relocks{0};
+  std::atomic<uint64_t> optimistic_hits{0};
+  std::atomic<uint64_t> seq_retries{0};
+  std::atomic<uint64_t> seq_fallbacks{0};
 
   TableStats Snapshot() const;
 };

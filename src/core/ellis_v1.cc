@@ -14,49 +14,11 @@ EllisHashTableV1::EllisHashTableV1(const TableOptions& options)
   InitBuckets();
 }
 
-// Figure 5 over the snapshot directory (DESIGN.md §4d): pin an epoch, load
-// the snapshot with one atomic load — no directory lock — then lock-couple
-// along next links with rho locks until the bucket's commonbits match the
-// pseudokey.  A stale snapshot entry is recovered exactly like the paper's
-// "wrong bucket" case.
+// Find is the shared lock-free route (DESIGN.md §4e): seq-validated
+// optimistic page copies off the snapshot directory, falling back to the
+// Figure 5 rho-coupled chase only when the torn/hop budget runs out.
 bool EllisHashTableV1::Find(uint64_t key, uint64_t* value) {
-  stats_.finds.fetch_add(1, std::memory_order_relaxed);
-  const util::Pseudokey pk = hasher().Hash(key);
-  util::EpochPin pin(util::EpochDomain::Global());
-
-  const DirectorySnapshot* snap = dir_.Load();
-  storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
-  util::RaxLock* old_lock = &locks_.For(oldpage);
-  old_lock->RhoLock();
-
-  storage::Bucket current(capacity_);
-  GetBucket(oldpage, &current);
-  uint64_t chase_hops = 0;
-  while (current.deleted ||
-         !util::MatchesCommonBits(pk, current.commonbits,
-                                  current.localdepth)) {
-    // Wrong bucket: the snapshot was stale, or a split moved the data
-    // after we loaded it.  The next lock is always granted before the
-    // current one is released, which "prevents processes from leapfrogging
-    // each other" (section 2.2).
-    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
-    ++chase_hops;
-    const storage::PageId newpage = current.next;
-    util::RaxLock* new_lock = &locks_.For(newpage);
-    new_lock->RhoLock();
-    GetBucket(newpage, &current);
-    old_lock->UnRhoLock();
-    old_lock = new_lock;
-    oldpage = newpage;
-  }
-  if (chase_hops != 0) {
-    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
-  }
-  RecordFindChase(chase_hops);
-
-  const bool found = current.Search(key, value);
-  old_lock->UnRhoLock();
-  return found;
+  return FindImpl(key, value);
 }
 
 // Figure 6, re-ordered for the snapshot directory: the search phase runs
@@ -73,11 +35,16 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
   storage::Bucket half2(capacity_);
 
   while (true) {
-    const DirectorySnapshot* snap = dir_.Load();
-    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    // Position lock-free first (DESIGN.md §4e): the seek lands on the
+    // right bucket without a single locked hop, and when its validated
+    // image survives the lock grant (seq unchanged) the locked re-read is
+    // skipped too.  The chase loop below stays as the backstop for the
+    // window between validation and lock grant.
+    const SeekResult seek = OptimisticSeek(pk);
+    storage::PageId oldpage = seek.page;
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->AlphaLock();
-    GetBucket(oldpage, &current);
+    GetBucketSeeked(seek, oldpage, &current);
 
     // Without the directory lock the entry can be stale for updaters too
     // (the second solution's situation, section 2.4): chase with coupled
@@ -171,11 +138,11 @@ bool EllisHashTableV1::Remove(uint64_t key) {
 
   bool allow_merge = options_.enable_merging;
   while (true) {
-    const DirectorySnapshot* snap = dir_.Load();
-    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    const SeekResult seek = OptimisticSeek(pk);
+    storage::PageId oldpage = seek.page;
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->XiLock();
-    GetBucket(oldpage, &current);
+    GetBucketSeeked(seek, oldpage, &current);
 
     uint64_t chase_hops = 0;
     while (current.deleted ||
@@ -221,6 +188,18 @@ bool EllisHashTableV1::Remove(uint64_t key) {
       partner_lock = &locks_.For(partnerpage);
       partner_lock->XiLock();
       GetBucket(partnerpage, &brother);
+      if (brother.deleted) {
+        // The chain successor is a tombstone signpost, not a live partner.
+        // A tombstone keeps its stale localdepth, so the composite check
+        // below cannot be trusted to reject it — merging one would copy
+        // its deleted flag and signpost next into the survivor and
+        // double-retire its page.  Restart merge-free.
+        partner_lock->UnXiLock();
+        old_lock->UnXiLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        allow_merge = false;
+        continue;
+      }
       merged = oldpage;
       garbage = partnerpage;
     } else {

@@ -15,42 +15,11 @@ EllisHashTableV2::EllisHashTableV2(const TableOptions& options)
 }
 
 // "The procedure for the find operation is the same as before" (section
-// 2.4) — Figure 5 over the snapshot directory, with the wrong-bucket test
-// extended to tombstones.
+// 2.4) — the shared lock-free route of DESIGN.md §4e, whose wrong-bucket
+// test already covers tombstones (a validated image with the deleted flag
+// set chases its next link, the signpost the merge left behind).
 bool EllisHashTableV2::Find(uint64_t key, uint64_t* value) {
-  stats_.finds.fetch_add(1, std::memory_order_relaxed);
-  const util::Pseudokey pk = hasher().Hash(key);
-  util::EpochPin pin(util::EpochDomain::Global());
-
-  const DirectorySnapshot* snap = dir_.Load();
-  storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
-  util::RaxLock* old_lock = &locks_.For(oldpage);
-  old_lock->RhoLock();
-
-  storage::Bucket current(capacity_);
-  GetBucket(oldpage, &current);
-  uint64_t chase_hops = 0;
-  while (current.deleted ||
-         !util::MatchesCommonBits(pk, current.commonbits,
-                                  current.localdepth)) {
-    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
-    ++chase_hops;
-    const storage::PageId newpage = current.next;
-    util::RaxLock* new_lock = &locks_.For(newpage);
-    new_lock->RhoLock();
-    GetBucket(newpage, &current);
-    old_lock->UnRhoLock();
-    old_lock = new_lock;
-    oldpage = newpage;
-  }
-  if (chase_hops != 0) {
-    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
-  }
-  RecordFindChase(chase_hops);
-
-  const bool found = current.Search(key, value);
-  old_lock->UnRhoLock();
-  return found;
+  return FindImpl(key, value);
 }
 
 // Figure 8 over the snapshot directory: the search phase takes no directory
@@ -67,11 +36,16 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
   storage::Bucket half2(capacity_);
 
   while (true) {
-    const DirectorySnapshot* snap = dir_.Load();
-    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    // Position lock-free first (DESIGN.md §4e): the seek lands on the
+    // right bucket without a single locked hop, and when its validated
+    // image survives the lock grant (seq unchanged) the locked re-read is
+    // skipped too.  The chase loop below stays as the backstop for the
+    // window between validation and lock grant.
+    const SeekResult seek = OptimisticSeek(pk);
+    storage::PageId oldpage = seek.page;
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->AlphaLock();
-    GetBucket(oldpage, &current);
+    GetBucketSeeked(seek, oldpage, &current);
 
     // "Because of the additional concurrency, updaters may also find
     // themselves with the wrong bucket" — including one merged into a
@@ -192,11 +166,11 @@ bool EllisHashTableV2::Remove(uint64_t key) {
   // to remove its key" (section 2.5) — so the restart is merge-free.
   bool allow_merge = options_.enable_merging;
   while (true) {
-    const DirectorySnapshot* snap = dir_.Load();
-    storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+    const SeekResult seek = OptimisticSeek(pk);
+    storage::PageId oldpage = seek.page;
     util::RaxLock* old_lock = &locks_.For(oldpage);
     old_lock->XiLock();
-    GetBucket(oldpage, &current);
+    GetBucketSeeked(seek, oldpage, &current);
 
     uint64_t chase_hops = 0;
     while (current.deleted ||
@@ -244,6 +218,18 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       partner_lock = &locks_.For(partnerpage);
       partner_lock->XiLock();
       GetBucket(partnerpage, &brother);
+      if (brother.deleted) {
+        // The chain successor is a tombstone signpost, not a live partner.
+        // A tombstone keeps its stale localdepth, so the composite check
+        // below cannot be trusted to reject it — merging one would copy
+        // its deleted flag and signpost next into the survivor and
+        // double-retire its page.  Restart merge-free.
+        partner_lock->UnXiLock();
+        old_lock->UnXiLock();
+        stats_.delete_restarts.fetch_add(1, std::memory_order_relaxed);
+        allow_merge = false;
+        continue;
+      }
       garbage = partnerpage;
       merged = oldpage;
     } else {

@@ -38,6 +38,20 @@ struct TableStats {
   // Times a deleter had to release the "1" partner and re-lock both partners
   // in next-link order.
   uint64_t partner_relocks = 0;
+  // Optimistic (seqlock) bucket read path, DESIGN.md §4e.  Finds that
+  // completed without touching any lock.  Together with seq_fallbacks this
+  // partitions finds exactly: optimistic_hits + seq_fallbacks == finds in
+  // any quiescent state (concurrent_table_test asserts it).
+  uint64_t optimistic_hits = 0;
+  // Optimistic page reads discarded and retried — the seq word moved (or
+  // was odd) across the lockless copy, or the image failed decoding.
+  // Counts retries from finds *and* from updater seek phases, so it is not
+  // part of the finds partition above.
+  uint64_t seq_retries = 0;
+  // Finds that exhausted the torn-read/hop budget and fell back to the
+  // rho-locked chase.  Kept out of the find-chase histogram on purpose:
+  // a fall is a different event than a wrong-bucket hop.
+  uint64_t seq_fallbacks = 0;
 };
 
 // Thread-safety: Find/Insert/Remove may be called concurrently from any

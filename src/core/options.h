@@ -91,6 +91,15 @@ struct TableOptions {
   // straggler write — lost updates the schedule sweep's checker must
   // catch.  Never set outside tests.
   bool test_publish_dir_before_pages = false;
+
+  // TEST ONLY — the seqlock analogue of the two above (DESIGN.md §4e/§6b).
+  // When true, the page store performs both sequence-word bumps *after*
+  // the page data copy instead of bracketing it, so the word stays even
+  // while the copy is in flight and an optimistic reader racing the copy
+  // validates a torn page image.  Finds can then return values no write
+  // ever produced (a mixed old/new record area), which the linearizability
+  // checker must catch.  Never set outside tests.
+  bool test_seq_bump_after_write = false;
 };
 
 }  // namespace exhash::core

@@ -29,7 +29,8 @@ TableBase::TableBase(const TableOptions& options)
       store_(storage::PageStore::Options{options.page_size,
                                          options.io_latency_ns,
                                          options.poison_on_dealloc,
-                                         options.backing_file}),
+                                         options.backing_file,
+                                         options.test_seq_bump_after_write}),
       dir_(options.initial_depth, options.max_depth) {
 #if EXHASH_METRICS_ENABLED
   if (options_.metrics) {
@@ -53,6 +54,11 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".retry.insert_retries"] = s.insert_retries;
           c[prefix + ".retry.delete_restarts"] = s.delete_restarts;
           c[prefix + ".retry.partner_relocks"] = s.partner_relocks;
+          // Optimistic bucket-read family (DESIGN.md §4e).  hits and
+          // fallbacks partition finds; retries also count updater seeks.
+          c[prefix + ".bucket.optimistic_hits"] = s.optimistic_hits;
+          c[prefix + ".bucket.seq_retries"] = s.seq_retries;
+          c[prefix + ".bucket.seq_fallbacks"] = s.seq_fallbacks;
           // The directory lock is restructure-only now (DESIGN.md §4d):
           // rho and upgrade counts are structurally zero and no longer
           // exported.  Readers show up under .dir.* / .epoch.* instead.
@@ -71,11 +77,14 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".epoch.freed"] = es.freed;
           c[prefix + ".epoch.advances"] = es.advances;
           c[prefix + ".epoch.pending"] = es.pending;
+          // Bucket locks now guard only the slow paths (updates and the
+          // rho fallback); the rho->alpha upgrade counter died with the
+          // optimistic read path — no caller converts anymore, so the
+          // structurally-zero series is no longer exported.
           const util::RaxLockStats bl = locks_.AggregateStats();
           c[prefix + ".bucket_locks.rho"] = bl.rho_acquired;
           c[prefix + ".bucket_locks.alpha"] = bl.alpha_acquired;
           c[prefix + ".bucket_locks.xi"] = bl.xi_acquired;
-          c[prefix + ".bucket_locks.upgrades"] = bl.upgrades;
           c[prefix + ".bucket_locks.contended"] = bl.contended;
           c[prefix + ".depth"] = static_cast<uint64_t>(dir_.depth());
         });
@@ -117,6 +126,188 @@ void TableBase::PutBucket(storage::PageId page,
                           const storage::Bucket& bucket) {
   bucket.SerializeTo(Scratch(options_.page_size), options_.page_size);
   store_.Write(page, Scratch(options_.page_size));
+}
+
+// The lock-free find (DESIGN.md §4e).  Route: snapshot entry -> validated
+// optimistic page copies -> next-link hops, all without a single lock.
+// Every decision is made on a *validated* image (seq-before == seq-after,
+// both even), so each hop follows a link that was the live route at
+// validation time; the epoch pin keeps every page on that route mapped and
+// unpoisoned until we return.  A torn copy, an undecodable image, or an
+// over-long chase burns budget; when it runs out we take the Figure 5
+// rho-coupled path, whose lock-coupling progress argument is the backstop
+// that keeps Find deadlock- and livelock-free.
+bool TableBase::FindImpl(uint64_t key, uint64_t* value) {
+  stats_.finds.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
+  std::byte* scratch = Scratch(options_.page_size);
+
+  int torn = 0;
+  uint64_t chase_hops = 0;
+  const DirectorySnapshot* snap = dir_.Load();
+  storage::PageId page = snap->Entry(util::LowBits(pk, snap->depth));
+  while (torn < kSeqTornBudget && chase_hops < kSeqHopCap) {
+    if (!store_.ReadOptimistic(page, scratch)) {
+      // Torn copy (or an unvalidated link led off the map): re-route from
+      // a fresh snapshot — the write that tore us may have been the very
+      // split/merge that moved the key.
+      ++torn;
+      stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+      snap = dir_.Load();
+      page = snap->Entry(util::LowBits(pk, snap->depth));
+      continue;
+    }
+    const storage::BucketRef ref(scratch, options_.page_size);
+    if (!ref.valid()) {
+      // A validated copy that does not decode: only the broken test
+      // variants can produce this (a correct writer never publishes a
+      // non-bucket image under an even seq).  Same treatment as torn.
+      ++torn;
+      stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+      snap = dir_.Load();
+      page = snap->Entry(util::LowBits(pk, snap->depth));
+      continue;
+    }
+    if (ref.deleted() ||
+        !util::MatchesCommonBits(pk, ref.commonbits(), ref.localdepth())) {
+      // Wrong bucket — the paper's recovery, minus the locks: the
+      // validated image's next link was the live signpost at validation
+      // time, and the pin keeps its target readable.
+      const storage::PageId next = ref.next();
+      if (next == storage::kInvalidPage) {
+        // A consistent image never dead-ends a wrong-bucket chase; the
+        // snapshot entry itself must have been stale.  Re-route.
+        ++torn;
+        stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+        snap = dir_.Load();
+        page = snap->Entry(util::LowBits(pk, snap->depth));
+        continue;
+      }
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
+      page = next;
+      continue;
+    }
+    const bool found = ref.Search(key, value);
+    stats_.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    RecordFindChase(chase_hops);
+    return found;
+  }
+
+  // Budget exhausted: fall into the rho-coupled chase (Figure 5 over the
+  // snapshot directory).  The fall is its own event — the hops burned
+  // above stay out of the find-chase histogram, and the locked chase
+  // below records its own (fresh) hop count.
+  stats_.seq_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  snap = dir_.Load();
+  storage::PageId oldpage = snap->Entry(util::LowBits(pk, snap->depth));
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->RhoLock();
+
+  storage::Bucket current(capacity_);
+  GetBucket(oldpage, &current);
+  chase_hops = 0;
+  while (current.deleted ||
+         !util::MatchesCommonBits(pk, current.commonbits,
+                                  current.localdepth)) {
+    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    ++chase_hops;
+    const storage::PageId newpage = current.next;
+    util::RaxLock* new_lock = &locks_.For(newpage);
+    new_lock->RhoLock();
+    GetBucket(newpage, &current);
+    old_lock->UnRhoLock();
+    old_lock = new_lock;
+    oldpage = newpage;
+  }
+  if (chase_hops != 0) {
+    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordFindChase(chase_hops);
+  const bool found = current.Search(key, value);
+  old_lock->UnRhoLock();
+  return found;
+}
+
+// Updater positioning without locks: the same validated route as FindImpl,
+// but stopping at the page rather than the answer — the caller locks it
+// and re-checks under the lock.  On any budget exhaustion this degrades to
+// exactly what updaters did before this path existed: hand back the raw
+// snapshot entry for the locked chase to sort out.
+TableBase::SeekResult TableBase::OptimisticSeek(util::Pseudokey pk) {
+  std::byte* scratch = Scratch(options_.page_size);
+  int torn = 0;
+  uint64_t chase_hops = 0;
+  uint64_t seq = 0;
+  const DirectorySnapshot* snap = dir_.Load();
+  storage::PageId page = snap->Entry(util::LowBits(pk, snap->depth));
+  while (torn < kSeqTornBudget && chase_hops < kSeqHopCap) {
+    if (!store_.ReadOptimistic(page, scratch, &seq)) {
+      ++torn;
+      stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+      snap = dir_.Load();
+      page = snap->Entry(util::LowBits(pk, snap->depth));
+      continue;
+    }
+    const storage::BucketRef ref(scratch, options_.page_size);
+    if (!ref.valid()) {
+      ++torn;
+      stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+      snap = dir_.Load();
+      page = snap->Entry(util::LowBits(pk, snap->depth));
+      continue;
+    }
+    if (ref.deleted() ||
+        !util::MatchesCommonBits(pk, ref.commonbits(), ref.localdepth())) {
+      const storage::PageId next = ref.next();
+      if (next == storage::kInvalidPage) {
+        ++torn;
+        stats_.seq_retries.fetch_add(1, std::memory_order_relaxed);
+        snap = dir_.Load();
+        page = snap->Entry(util::LowBits(pk, snap->depth));
+        continue;
+      }
+      stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+      ++chase_hops;
+      page = next;
+      continue;
+    }
+    // The image in scratch is a validated copy of `page`; hand back the
+    // seq it validated against (reported by ReadOptimistic itself — a
+    // fresh PageSeq() here could already be a later writer's, which would
+    // let GetBucketSeeked elide the re-read against a stale image) so the
+    // caller can skip the locked re-read when nothing moved.  The hops
+    // were real recoveries for this operation.
+    if (chase_hops != 0) {
+      stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    RecordUpdateChase(chase_hops);
+    return SeekResult{page, seq, true};
+  }
+  snap = dir_.Load();
+  return SeekResult{snap->Entry(util::LowBits(pk, snap->depth)), 0, false};
+}
+
+void TableBase::GetBucketSeeked(const SeekResult& seek, storage::PageId page,
+                                storage::Bucket* bucket) {
+  if (seek.have_image && seek.page == page &&
+      store_.PageSeq(page) == seek.seq) {
+    // No write bumped the word between our validated copy and the lock
+    // grant, and the word is monotone — the scratch image is byte-for-byte
+    // the page's current content.
+    if (storage::Bucket::DeserializeFrom(Scratch(options_.page_size),
+                                         options_.page_size, bucket)) {
+      return;
+    }
+    // A validated image that does not decode (broken test variants only):
+    // fall through to the locked read, which aborts loudly if the page
+    // truly is not a bucket.
+  }
+  GetBucket(page, bucket);
 }
 
 void TableBase::InitBuckets() {

@@ -106,6 +106,46 @@ class TableBase : public KeyValueIndex {
   // time has finished.
   void RetireBucket(storage::PageId page);
 
+  // --- Optimistic (seqlock) read path, DESIGN.md §4e ---
+
+  // Torn-read and hop budgets for the lock-free route.  Falling back after
+  // a bounded number of failures is what turns the optimistic path's
+  // obstruction-freedom into the locked path's deadlock-free progress.
+  static constexpr int kSeqTornBudget = 8;
+  static constexpr uint64_t kSeqHopCap = 128;
+
+  // The shared Find for both Ellis variants ("the procedure for the find
+  // operation is the same as before", section 2.4): zero locks end-to-end
+  // on the fast path — snapshot load under the epoch pin, seq-validated
+  // page copies, lock-free next-link chasing — falling back to the
+  // rho-coupled chase of Figure 5 when the torn/hop budget runs out.
+  // Counts the op and maintains the optimistic_hits/seq_fallbacks
+  // partition of `finds`.
+  bool FindImpl(uint64_t key, uint64_t* value);
+
+  // Lock-free positioning for updaters: chases the snapshot entry along
+  // next links with validated optimistic reads until the bucket matching
+  // `pk` is found (or the budget runs out).  Returns the page to lock.
+  // When `have_image` is true, the thread-local scratch buffer holds a
+  // validated image of that page and `seq` its sequence word: after
+  // locking, if PageSeq(page) still equals `seq` the image is current (any
+  // write bumps the word; the lock excludes new writers) and the caller
+  // may decode it instead of re-reading the page.  The caller must hold an
+  // epoch pin and must still run its wrong-bucket chase after locking —
+  // the bucket can move between validation and lock grant.
+  struct SeekResult {
+    storage::PageId page;
+    uint64_t seq = 0;
+    bool have_image = false;
+  };
+  SeekResult OptimisticSeek(util::Pseudokey pk);
+
+  // The seq-compare elision: decodes the still-current scratch image when
+  // the seek's seq survived the lock acquisition, else reads the page.
+  // Call with the page lock held.
+  void GetBucketSeeked(const SeekResult& seek, storage::PageId page,
+                       storage::Bucket* bucket);
+
   const util::Hasher& hasher() const { return *hasher_; }
 
   // Builds the initial file: 2^initial_depth buckets, chained in

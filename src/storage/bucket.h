@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "storage/page.h"
@@ -92,6 +93,72 @@ class Bucket {
  private:
   int capacity_;
   std::vector<Record> records_;
+};
+
+// Read-only view over a raw serialized bucket page (DESIGN.md §4e).
+//
+// The lock-free find path copies a page once (PageStore::ReadOptimistic
+// into thread-local scratch) and must then answer "is this key here, and
+// where do I chase next" without the heap allocation a full Bucket
+// deserialize pays per call.  BucketRef decodes header fields in place,
+// field by field, from the scratch image.
+//
+// The image it wraps may be *torn* (the caller validates the seqlock word
+// only after deciding what to do with the copy, and the broken test
+// variants hand it torn pages on purpose), so unlike DeserializeFrom —
+// whose callers abort on bad magic — every accessor here is safe on
+// arbitrary bytes: valid() gates magic and bounds, and count() is clamped
+// so a garbage header can never drive an out-of-bounds record scan.
+class BucketRef {
+ public:
+  // `page` must stay alive and unmodified for the life of the ref (it is a
+  // private scratch copy, never live page memory).
+  BucketRef(const std::byte* page, size_t page_size)
+      : p_(page), page_size_(page_size) {}
+
+  // Magic intact and record count within page bounds — false on poisoned,
+  // never-written, or torn-in-the-header images.
+  bool valid() const {
+    return Load<uint32_t>(44) == Bucket::kMagic && RawCount() >= 0 &&
+           Bucket::kHeaderSize + size_t(RawCount()) * sizeof(Record) <=
+               page_size_;
+  }
+
+  int localdepth() const { return Load<int32_t>(0); }
+  int count() const { return valid() ? RawCount() : 0; }
+  util::Pseudokey commonbits() const { return Load<uint64_t>(8); }
+  PageId next() const { return Load<uint32_t>(16); }
+  PageId prev() const { return Load<uint32_t>(20); }
+  uint64_t version() const { return Load<uint64_t>(32); }
+  bool deleted() const { return (Load<uint32_t>(40) & 1u) != 0; }
+
+  // True if `key` is present; copies the value out when found.  Bounded by
+  // the validated count, so safe even on a torn record area (the caller's
+  // seq validation rejects the result afterwards).
+  bool Search(uint64_t key, uint64_t* value = nullptr) const {
+    const int n = count();
+    const std::byte* rec = p_ + Bucket::kHeaderSize;
+    for (int i = 0; i < n; ++i, rec += sizeof(Record)) {
+      if (Load<uint64_t>(size_t(rec - p_)) == key) {
+        if (value != nullptr) *value = Load<uint64_t>(size_t(rec - p_) + 8);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int32_t RawCount() const { return Load<int32_t>(4); }
+
+  template <typename T>
+  T Load(size_t offset) const {
+    T v;
+    std::memcpy(&v, p_ + offset, sizeof(T));
+    return v;
+  }
+
+  const std::byte* p_;
+  size_t page_size_;
 };
 
 }  // namespace exhash::storage

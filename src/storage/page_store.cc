@@ -12,14 +12,21 @@
 #include <thread>
 #include <vector>
 
+#include "util/test_hooks.h"
+
 namespace exhash::storage {
 
 PageStore::PageStore(Options options)
     : options_(std::move(options)), latches_(new std::mutex[kLatchStripes]) {
   assert(options_.page_size >= 64);
+  // Word-grain atomic page transfer (ReadOptimistic / CopyIntoPage) needs
+  // whole-word pages; every real page size is a power of two anyway.
+  assert(options_.page_size % 8 == 0);
   chunks_ = std::make_unique<std::atomic<std::byte*>[]>(kMaxChunks);
+  seq_chunks_ = std::make_unique<std::atomic<SeqWord*>[]>(kMaxChunks);
   for (size_t i = 0; i < kMaxChunks; ++i) {
     chunks_[i].store(nullptr, std::memory_order_relaxed);
+    seq_chunks_[i].store(nullptr, std::memory_order_relaxed);
   }
   if (!options_.backing_file.empty()) {
     fd_ = ::open(options_.backing_file.c_str(), O_RDWR | O_CREAT | O_TRUNC,
@@ -37,6 +44,9 @@ PageStore::~PageStore() {
   for (size_t i = 0; i < num_chunks_; ++i) {
     delete[] chunks_[i].load(std::memory_order_relaxed);
   }
+  for (size_t i = 0; i < num_seq_chunks_; ++i) {
+    delete[] seq_chunks_[i].load(std::memory_order_relaxed);
+  }
 }
 
 std::byte* PageStore::PagePtr(PageId page) {
@@ -53,7 +63,7 @@ PageId PageStore::Alloc() {
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
-    return id;
+    return id;  // seq word survives from the previous life: never reset
   }
   if (fd_ < 0 && next_unused_ == num_chunks_ * kPagesPerChunk) {
     assert(num_chunks_ < kMaxChunks && "PageStore chunk table exhausted");
@@ -62,21 +72,41 @@ PageId PageStore::Alloc() {
         std::memory_order_release);
     ++num_chunks_;
   }
+  if (next_unused_ == num_seq_chunks_ * kPagesPerChunk) {
+    assert(num_seq_chunks_ < kMaxChunks && "PageStore chunk table exhausted");
+    seq_chunks_[num_seq_chunks_].store(new SeqWord[kPagesPerChunk],
+                                       std::memory_order_release);
+    ++num_seq_chunks_;
+  }
   return static_cast<PageId>(next_unused_++);  // pwrite extends the file
 }
 
 void PageStore::Dealloc(PageId page) {
   assert(page != kInvalidPage);
   if (options_.poison_on_dealloc) {
+    // Poisoning mutates page data, so it is a write for the seqlock
+    // protocol: bump odd, store poison through the same atomic word path
+    // (an epoch-pinned optimistic reader may legally race this copy), bump
+    // even.  The reader then either returns the intact pre-image or fails
+    // validation — never a half-poisoned page.
+    const std::vector<std::byte> poison(options_.page_size, std::byte{0xDB});
     std::lock_guard<std::mutex> latch(LatchFor(page));
     if (fd_ >= 0) {
-      std::vector<std::byte> poison(options_.page_size, std::byte{0xDB});
+      std::atomic<uint64_t>& seq = SeqRef(page);
+      const uint64_t s0 = seq.load(std::memory_order_relaxed);
+      seq.store(s0 + 1, std::memory_order_relaxed);
       [[maybe_unused]] const ssize_t n =
           ::pwrite(fd_, poison.data(), options_.page_size,
                    off_t(page) * off_t(options_.page_size));
       assert(n == ssize_t(options_.page_size));
+      seq.store(s0 + 2, std::memory_order_release);
     } else {
-      std::memset(PagePtr(page), 0xDB, options_.page_size);
+      std::atomic<uint64_t>& seq = SeqRef(page);
+      const uint64_t s0 = seq.load(std::memory_order_relaxed);
+      seq.store(s0 + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      CopyIntoPage(PagePtr(page), poison.data());
+      seq.store(s0 + 2, std::memory_order_release);
     }
   }
   std::lock_guard<std::mutex> guard(alloc_mutex_);
@@ -90,32 +120,151 @@ void PageStore::Read(PageId page, void* out) {
   reads_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> latch(LatchFor(page));
   if (fd_ >= 0) {
-    const ssize_t n = ::pread(fd_, out, options_.page_size,
-                              off_t(page) * off_t(options_.page_size));
-    // A short read means the page was allocated but never written; callers
-    // never do that, but zero-fill keeps the failure mode deterministic.
-    if (n < ssize_t(options_.page_size)) {
-      std::memset(static_cast<std::byte*>(out) + std::max<ssize_t>(n, 0),
-                  0, options_.page_size - size_t(std::max<ssize_t>(n, 0)));
-    }
+    PreadPage(page, out);
     return;
   }
   std::memcpy(out, PagePtr(page), options_.page_size);
 }
 
+// Caller holds the page latch.
+void PageStore::PreadPage(PageId page, void* out) {
+  const ssize_t n = ::pread(fd_, out, options_.page_size,
+                            off_t(page) * off_t(options_.page_size));
+  // A short read means the page was allocated but never written; callers
+  // never do that, but zero-fill keeps the failure mode deterministic.
+  if (n < ssize_t(options_.page_size)) {
+    std::memset(static_cast<std::byte*>(out) + std::max<ssize_t>(n, 0),
+                0, options_.page_size - size_t(std::max<ssize_t>(n, 0)));
+  }
+}
+
+// The seqlock write side (DESIGN.md §4e).  Under the latch (so writers
+// never race each other; only optimistic readers race this):
+//
+//   odd bump (relaxed) -> release fence -> data stores (relaxed atomics)
+//                                       -> even bump (release)
+//
+// The release fence pairs with the reader's acquire fence: if a reader's
+// lockless copy observed *any* word of this write, its second seq sample
+// observes at least the odd value and the copy is discarded.  The even
+// bump's release pairs with the reader's first (acquire) sample: a reader
+// that starts after the write completes is guaranteed the full new image.
 void PageStore::Write(PageId page, const void* in) {
   assert(page != kInvalidPage);
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> latch(LatchFor(page));
   if (fd_ >= 0) {
+    std::atomic<uint64_t>& seq = SeqRef(page);
+    const uint64_t s0 = seq.load(std::memory_order_relaxed);
+    seq.store(s0 + 1, std::memory_order_relaxed);
     [[maybe_unused]] const ssize_t n =
         ::pwrite(fd_, in, options_.page_size,
                  off_t(page) * off_t(options_.page_size));
     assert(n == ssize_t(options_.page_size));
+    seq.store(s0 + 2, std::memory_order_release);
     return;
   }
-  std::memcpy(PagePtr(page), in, options_.page_size);
+  std::atomic<uint64_t>& seq = SeqRef(page);
+  const uint64_t s0 = seq.load(std::memory_order_relaxed);
+  if (options_.test_seq_bump_after_write) [[unlikely]] {
+    // BROKEN (test only): the copy runs with the word still even, so a
+    // racing optimistic reader validates a torn image.
+    CopyIntoPage(PagePtr(page), in);
+    seq.store(s0 + 1, std::memory_order_relaxed);
+    seq.store(s0 + 2, std::memory_order_release);
+    return;
+  }
+  seq.store(s0 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  CopyIntoPage(PagePtr(page), in);
+  seq.store(s0 + 2, std::memory_order_release);
+}
+
+void PageStore::CopyIntoPage(std::byte* page_dst, const void* in) {
+  const auto* src = static_cast<const std::byte*>(in);
+  const size_t words = options_.page_size / 8;
+  const size_t half = words / 2;
+  for (size_t i = 0; i < words; ++i) {
+    if (i == half) {
+      util::TestHooks::Emit(util::HookPoint::kPageCopy, this);
+    }
+    uint64_t w;
+    std::memcpy(&w, src + i * 8, 8);
+    __atomic_store_n(reinterpret_cast<uint64_t*>(page_dst + i * 8), w,
+                     __ATOMIC_RELAXED);
+  }
+}
+
+void PageStore::CopyFromPage(void* out, const std::byte* page_src, size_t n) {
+  auto* dst = static_cast<std::byte*>(out);
+  const size_t words = n / 8;
+  for (size_t i = 0; i < words; ++i) {
+    const uint64_t w = __atomic_load_n(
+        reinterpret_cast<const uint64_t*>(page_src + i * 8), __ATOMIC_RELAXED);
+    std::memcpy(dst + i * 8, &w, 8);
+  }
+}
+
+bool PageStore::ReadOptimistic(PageId page, void* out, uint64_t* seq_out) {
+  if (fd_ >= 0) {
+    // File-backed pages go through the kernel page cache; there is no
+    // defined lockless racy pread, so optimistic mode degrades to the
+    // latched path (still a correct, merely slower, read).  The seq is
+    // sampled under the same latch writers bump it under, so it is the
+    // seq of exactly this image — a PageSeq() sampled after return could
+    // already belong to a later writer's image.
+    SimulateLatency();
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    PreadPage(page, out);
+    if (seq_out != nullptr) {
+      *seq_out = SeqRef(page).load(std::memory_order_relaxed);
+    }
+    return true;
+  }
+  // No assert on the id here: the lock-free chase may hand us a page id
+  // decoded from an image it has not validated yet (the broken test
+  // variants make that a torn, arbitrary word).  An id outside the
+  // published chunks is answered like any other torn read — false, the
+  // caller revalidates its route.
+  if (page / kPagesPerChunk >= kMaxChunks ||
+      chunks_[page / kPagesPerChunk].load(std::memory_order_acquire) ==
+          nullptr) {
+    optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  SimulateLatency();
+  optimistic_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic<uint64_t>& seq = SeqRef(page);
+  util::TestHooks::Emit(util::HookPoint::kSeqReadBegin, this);
+  const uint64_t s1 = seq.load(std::memory_order_acquire);
+  if (s1 & 1) {  // write in progress: don't even bother copying
+    optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  CopyFromPage(out, PagePtr(page), options_.page_size);
+  util::TestHooks::Emit(util::HookPoint::kSeqValidate, this);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t s2 = seq.load(std::memory_order_relaxed);
+  if (s1 != s2) {
+    optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Report the seq this image validated against, not a fresh sample: a
+  // writer may complete between validation and the caller's next load,
+  // and pairing its newer seq with this older image would let the
+  // lock-then-compare elision (TableBase::GetBucketSeeked) accept a
+  // stale bucket.
+  if (seq_out != nullptr) {
+    *seq_out = s1;
+  }
+  return true;
+}
+
+uint64_t PageStore::PageSeq(PageId page) const {
+  assert(page != kInvalidPage);
+  return SeqRef(page).load(std::memory_order_acquire);
 }
 
 void PageStore::SimulateLatency() {
@@ -146,6 +295,8 @@ PageStoreStats PageStore::stats() const {
   s.writes = writes_.load(std::memory_order_relaxed);
   s.allocs = allocs_.load(std::memory_order_relaxed);
   s.deallocs = deallocs_.load(std::memory_order_relaxed);
+  s.optimistic_reads = optimistic_reads_.load(std::memory_order_relaxed);
+  s.optimistic_torn = optimistic_torn_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> guard(alloc_mutex_);
   s.live_pages = next_unused_ - free_list_.size();
   return s;
@@ -156,6 +307,8 @@ void PageStore::ResetStats() {
   writes_.store(0, std::memory_order_relaxed);
   allocs_.store(0, std::memory_order_relaxed);
   deallocs_.store(0, std::memory_order_relaxed);
+  optimistic_reads_.store(0, std::memory_order_relaxed);
+  optimistic_torn_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace exhash::storage

@@ -34,6 +34,8 @@ struct PageStoreStats {
   uint64_t allocs = 0;
   uint64_t deallocs = 0;
   uint64_t live_pages = 0;
+  uint64_t optimistic_reads = 0;
+  uint64_t optimistic_torn = 0;
 };
 
 class PageStore {
@@ -51,6 +53,13 @@ class PageStore {
     // instead of memory — actual disk-resident operation.  The file is
     // created/truncated on open; the free list is still in-memory state.
     std::string backing_file;
+    // TEST ONLY: perform both sequence bumps *after* the page copy instead
+    // of bracketing it (odd before, even after).  The word stays even while
+    // the copy is in flight, so an optimistic reader racing the copy
+    // validates a half-written page — the exact torn-read window the
+    // seqlock protocol closes.  The verify sweeps must catch this variant
+    // (DESIGN.md §4e).
+    bool test_seq_bump_after_write = false;
   };
 
   explicit PageStore(Options options);
@@ -70,6 +79,33 @@ class PageStore {
   // Atomic with respect to concurrent Write()s of the same page.
   void Read(PageId page, void* out);
 
+  // Lock-free optimistic read (DESIGN.md §4e).  Samples the page's
+  // sequence word, copies the page without taking the latch, and
+  // revalidates: returns true iff the copy is a consistent page image
+  // (no Write/Dealloc overlapped it).  On false, `out` may hold a torn
+  // mix and must be discarded; the caller retries or falls back to the
+  // latched Read.  The caller must guarantee the page is not *reused*
+  // during the call (the tables do this with an epoch pin around the
+  // whole lookup — a deallocated page may be read, a reallocated one
+  // fails validation because the sequence word is never reset).
+  // Memory-backed stores only; with a backing file this falls back to
+  // the latched read and returns true.
+  //
+  // On success, `*seq_out` (when non-null) receives the sequence value
+  // the image validated against — captured atomically with the read, so
+  // `PageSeq(page) == *seq_out` later proves the page is still
+  // byte-for-byte this image.  Sampling PageSeq() separately after the
+  // read is NOT equivalent: a writer completing in that window pairs its
+  // newer seq with the older image.
+  bool ReadOptimistic(PageId page, void* out, uint64_t* seq_out = nullptr);
+
+  // Current value of the page's sequence word (even = stable).  A page
+  // image paired with the seq it validated against stays current as long
+  // as PageSeq still returns that value — writers bump under the latch
+  // before touching data, so lock-then-compare lets updaters skip the
+  // re-read (DESIGN.md §4e).
+  uint64_t PageSeq(PageId page) const;
+
   // Atomically replaces the whole page from `in` (page_size() bytes).
   void Write(PageId page, const void* in);
 
@@ -85,11 +121,35 @@ class PageStore {
   static constexpr size_t kPagesPerChunk = 1024;
   static constexpr size_t kLatchStripes = 1024;
 
+  // One sequence word per page, on its own cache line so a writer bumping
+  // one bucket's seq never invalidates the line an optimistic reader of a
+  // *neighboring* bucket is spinning on.  Monotone for the life of the
+  // store: Dealloc/realloc never reset it, which is what lets an
+  // epoch-pinned reader treat seq equality as proof the image it copied is
+  // the image still published (no ABA across page reuse).
+  struct alignas(64) SeqWord {
+    std::atomic<uint64_t> v{0};
+  };
+
   std::byte* PagePtr(PageId page);
+  std::atomic<uint64_t>& SeqRef(PageId page) const {
+    return seq_chunks_[page / kPagesPerChunk]
+        .load(std::memory_order_acquire)[page % kPagesPerChunk]
+        .v;
+  }
   std::mutex& LatchFor(PageId page) {
     return latches_[page % kLatchStripes];
   }
   void SimulateLatency();
+  // The data transfers that race with optimistic readers, word-at-a-time
+  // through relaxed atomics so the race is defined behavior (and
+  // TSan-clean).  The page side is 8-aligned (chunk base is new[]-aligned,
+  // page_size % 8 == 0 is asserted); the caller-buffer side goes through
+  // memcpy so its alignment never matters.
+  void CopyIntoPage(std::byte* page_dst, const void* in);
+  static void CopyFromPage(void* out, const std::byte* page_src, size_t n);
+  // File-backed pread with zero-fill of short reads; caller holds the latch.
+  void PreadPage(PageId page, void* out);
 
   const Options options_;
 
@@ -103,6 +163,12 @@ class PageStore {
   mutable std::mutex alloc_mutex_;
   std::unique_ptr<std::atomic<std::byte*>[]> chunks_;
   size_t num_chunks_ = 0;
+  // Sequence-word chunks, published the same way as the data chunks and
+  // allocated for both backings (file-backed stores keep seq words too, so
+  // PageSeq comparisons work there even though optimistic reads fall back
+  // to the latch).
+  std::unique_ptr<std::atomic<SeqWord*>[]> seq_chunks_;
+  size_t num_seq_chunks_ = 0;
   std::vector<PageId> free_list_;
   size_t next_unused_ = 0;
 
@@ -114,6 +180,8 @@ class PageStore {
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> allocs_{0};
   std::atomic<uint64_t> deallocs_{0};
+  std::atomic<uint64_t> optimistic_reads_{0};
+  std::atomic<uint64_t> optimistic_torn_{0};
 };
 
 }  // namespace exhash::storage

@@ -54,9 +54,24 @@ enum class HookPoint : uint8_t {
   // An unlinked object (superseded snapshot or merged-away bucket page)
   // was just handed to the epoch domain; `where` is the EpochDomain.
   kEpochRetire = 8,
+  // Seqlock bucket reads (DESIGN.md §4e).  An optimistic reader is about to
+  // sample the page's sequence word for the first time; `where` is the
+  // PageStore.  Yielding here lets a writer start (or finish) a page
+  // rewrite before the read begins.
+  kSeqReadBegin = 9,
+  // The optimistic reader finished its lockless page copy and is about to
+  // re-sample the sequence word; `where` is the PageStore.  This is the
+  // validation edge: a yield stretches the window in which a concurrent
+  // write tears the copy, forcing the seq-mismatch retry path.
+  kSeqValidate = 10,
+  // A writer is midway through its latched page copy (sequence word odd,
+  // page latch held); `where` is the PageStore.  Pausing a writer here is
+  // how the torn-read tests hold a half-written page in place while
+  // optimistic readers run against it.
+  kPageCopy = 11,
 };
 
-constexpr int kNumHookPoints = 9;
+constexpr int kNumHookPoints = 12;
 
 class TestHooks {
  public:

@@ -48,6 +48,12 @@ const char* HookName(util::HookPoint p) {
       return "snapshot-publish";
     case util::HookPoint::kEpochRetire:
       return "epoch-retire";
+    case util::HookPoint::kSeqReadBegin:
+      return "seq-read-begin";
+    case util::HookPoint::kSeqValidate:
+      return "seq-validate";
+    case util::HookPoint::kPageCopy:
+      return "page-copy";
   }
   return "?";
 }

@@ -342,6 +342,13 @@ void RunStructureCounterCrossCheck(const std::string& prefix) {
 
   const core::TableStats stats = table.Stats();
   EXPECT_GT(stats.splits, 0u) << "churn must actually restructure";
+  // The optimistic read path partitions finds exactly (DESIGN.md §4e):
+  // every find either completed lock-free (a hit) or fell back to the
+  // rho-locked chase — there is no third outcome and no double count.
+  // seq_retries is deliberately not part of the partition (retries also
+  // come from updater seek phases).
+  EXPECT_EQ(stats.optimistic_hits + stats.seq_fallbacks, stats.finds);
+  EXPECT_GT(stats.optimistic_hits, 0u) << "churn finds must mostly hit";
   EXPECT_EQ(uint64_t(table.Depth()),
             uint64_t(ContentionOptions().initial_depth) + stats.doublings -
                 stats.halvings);
@@ -360,6 +367,13 @@ void RunStructureCounterCrossCheck(const std::string& prefix) {
     EXPECT_EQ(snap.counters.at(prefix + ".ops.finds"), stats.finds);
     EXPECT_EQ(snap.counters.at(prefix + ".ops.inserts"), stats.inserts);
     EXPECT_EQ(snap.counters.at(prefix + ".ops.removes"), stats.removes);
+    // The optimistic-read family rides the same provider bridge.
+    EXPECT_EQ(snap.counters.at(prefix + ".bucket.optimistic_hits"),
+              stats.optimistic_hits);
+    EXPECT_EQ(snap.counters.at(prefix + ".bucket.seq_retries"),
+              stats.seq_retries);
+    EXPECT_EQ(snap.counters.at(prefix + ".bucket.seq_fallbacks"),
+              stats.seq_fallbacks);
     EXPECT_EQ(snap.counters.at(prefix + ".depth"), uint64_t(table.Depth()));
     // The snapshot directory removed readers from the directory lock: there
     // is no rho counter to export any more, and the remaining alpha/xi

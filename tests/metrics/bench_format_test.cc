@@ -149,9 +149,12 @@ TEST(BenchFormatTest, TableCounterNamespaceMatchesSnapshotDirectoryEra) {
   ASSERT_GT(table.Stats().splits, 0u);
 
   const metrics::Snapshot snap = registry.TakeSnapshot();
-  // Dead ρ-era names must stay dead.
+  // Dead ρ-era names must stay dead — including the bucket-lock upgrade
+  // series, structurally zero since the optimistic read path (DESIGN.md
+  // §4e) removed the last rho->alpha converter.
   EXPECT_EQ(snap.counters.count("t.dir_lock.rho"), 0u);
   EXPECT_EQ(snap.counters.count("t.dir_lock.upgrades"), 0u);
+  EXPECT_EQ(snap.counters.count("t.bucket_locks.upgrades"), 0u);
   EXPECT_EQ(snap.histograms.count("t.dir_lock.rho.acquire_ns"), 0u);
   // The families that replaced them.
   for (const char* name :
@@ -159,7 +162,8 @@ TEST(BenchFormatTest, TableCounterNamespaceMatchesSnapshotDirectoryEra) {
         "t.recovery.stale_reads", "t.epoch.epoch", "t.epoch.pins",
         "t.epoch.retired", "t.epoch.freed", "t.epoch.advances",
         "t.epoch.pending", "t.dir_lock.alpha", "t.dir_lock.xi",
-        "t.dir_lock.contended"}) {
+        "t.dir_lock.contended", "t.bucket.optimistic_hits",
+        "t.bucket.seq_retries", "t.bucket.seq_fallbacks"}) {
     EXPECT_EQ(snap.counters.count(name), 1u) << name;
   }
   // The directory lock still latencies its surviving modes; the bucket

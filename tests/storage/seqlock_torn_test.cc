@@ -1,0 +1,289 @@
+// Torn-read detection at the storage layer (DESIGN.md §4e; labels
+// storage,verify).
+//
+// The seqlock contract under test: an optimistic reader racing a writer
+// either fails validation (and retries / falls back) or returns a page
+// image some single Write produced — never a mix of two writes.  The
+// writer is held mid-copy at the kPageCopy TestHooks yield point, which
+// freezes the page in a provably half-written state while readers run
+// against it; the deliberately broken protocol (both seq bumps after the
+// copy) must hand the reader exactly the mixed image the correct protocol
+// makes impossible.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "util/test_hooks.h"
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPageSize = 128;
+
+std::vector<std::byte> Pattern(std::byte fill) {
+  return std::vector<std::byte>(kPageSize, fill);
+}
+
+bool IsUniform(const std::vector<std::byte>& page, std::byte fill) {
+  for (std::byte b : page) {
+    if (b != fill) return false;
+  }
+  return true;
+}
+
+// Blocks the hooked thread at its first kPageCopy emission until Release();
+// other points pass through (the reader side emits kSeqReadBegin /
+// kSeqValidate on its own thread).
+class PauseAtPageCopy {
+ public:
+  PauseAtPageCopy() {
+    util::TestHooks::Install(&PauseAtPageCopy::Trampoline, this);
+  }
+  ~PauseAtPageCopy() { util::TestHooks::Clear(); }
+
+  void AwaitPaused() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return paused_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  static void Trampoline(void* ctx, util::HookPoint point, const void*) {
+    static_cast<PauseAtPageCopy*>(ctx)->At(point);
+  }
+
+  void At(util::HookPoint point) {
+    if (point != util::HookPoint::kPageCopy) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (armed_fired_) return;  // only the first copy pauses
+    armed_fired_ = true;
+    paused_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return released_; });
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_fired_ = false;
+  bool paused_ = false;
+  bool released_ = false;
+};
+
+// Correct protocol: with the writer frozen mid-copy the sequence word is
+// odd, so every optimistic read in the window is rejected; after release
+// the reader sees the complete new image.  No interleaving shows a mix.
+TEST(SeqlockTornTest, PausedWriterNeverLeaksAMixedPage) {
+  PageStore store({.page_size = kPageSize});
+  const PageId p = store.Alloc();
+  const auto before = Pattern(std::byte{0xAA});
+  const auto after = Pattern(std::byte{0xBB});
+  store.Write(p, before.data());
+
+  PauseAtPageCopy pause;
+  std::thread writer([&] { store.Write(p, after.data()); });
+  pause.AwaitPaused();
+
+  // The page is genuinely half-written right now; the optimistic reader
+  // must refuse to validate it (the word is odd for the whole window).
+  std::vector<std::byte> out(kPageSize);
+  int validated = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (store.ReadOptimistic(p, out.data())) {
+      ++validated;
+      EXPECT_TRUE(IsUniform(out, std::byte{0xAA}) ||
+                  IsUniform(out, std::byte{0xBB}))
+          << "validated read returned a mixed page";
+    }
+  }
+  EXPECT_EQ(validated, 0) << "reads validated against an in-flight write";
+  const auto stats = store.stats();
+  EXPECT_GE(stats.optimistic_torn, 64u);
+
+  pause.Release();
+  writer.join();
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data()));
+  EXPECT_TRUE(IsUniform(out, std::byte{0xBB}));
+}
+
+// Broken protocol (TableOptions::test_seq_bump_after_write): the word
+// stays even across the copy, so the reader validates the frozen
+// half-written page — the storage-level witness the schedule sweeps catch
+// at table level.
+TEST(SeqlockTornTest, BrokenSeqOrderValidatesTheMixedPage) {
+  PageStore::Options options;
+  options.page_size = kPageSize;
+  options.test_seq_bump_after_write = true;
+  PageStore store(options);
+  const PageId p = store.Alloc();
+  const auto before = Pattern(std::byte{0xAA});
+  const auto after = Pattern(std::byte{0xBB});
+  store.Write(p, before.data());
+
+  PauseAtPageCopy pause;
+  std::thread writer([&] { store.Write(p, after.data()); });
+  pause.AwaitPaused();
+
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data()))
+      << "broken variant should validate against the even word";
+  // The frozen page is exactly half new, half old — and the "validated"
+  // copy shows it.
+  EXPECT_EQ(std::memcmp(out.data(), after.data(), kPageSize / 2), 0);
+  EXPECT_EQ(std::memcmp(out.data() + kPageSize / 2,
+                        before.data() + kPageSize / 2, kPageSize / 2),
+            0);
+
+  pause.Release();
+  writer.join();
+}
+
+// The pre-image half of the contract: before the writer reaches its odd
+// bump, readers validate and get the old image byte-for-byte.
+TEST(SeqlockTornTest, ReaderBeforeTheWriteGetsThePreImage) {
+  PageStore store({.page_size = kPageSize});
+  const PageId p = store.Alloc();
+  const auto before = Pattern(std::byte{0x5C});
+  store.Write(p, before.data());
+  std::vector<std::byte> out(kPageSize);
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data()));
+  EXPECT_EQ(std::memcmp(out.data(), before.data(), kPageSize), 0);
+}
+
+TEST(SeqlockTornTest, SeqAdvancesByTwoPerWriteAndSurvivesReuse) {
+  PageStore::Options options;
+  options.page_size = kPageSize;
+  options.poison_on_dealloc = true;
+  PageStore store(options);
+  const PageId p = store.Alloc();
+  const auto img = Pattern(std::byte{0x01});
+  EXPECT_EQ(store.PageSeq(p), 0u);
+  store.Write(p, img.data());
+  EXPECT_EQ(store.PageSeq(p), 2u);
+  store.Write(p, img.data());
+  EXPECT_EQ(store.PageSeq(p), 4u);
+  // Poisoning mutates the page: it is a write for the protocol.
+  store.Dealloc(p);
+  EXPECT_EQ(store.PageSeq(p), 6u);
+  // Reuse keeps the word monotone — the no-ABA guarantee an epoch-pinned
+  // reader's validation depends on.
+  const PageId q = store.Alloc();
+  ASSERT_EQ(q, p);
+  EXPECT_EQ(store.PageSeq(q), 6u);
+  store.Write(q, img.data());
+  EXPECT_EQ(store.PageSeq(q), 8u);
+}
+
+// The seq a successful ReadOptimistic reports must be the one its image
+// validated against — never a later writer's.  (Regression: the seek path
+// once paired a post-read PageSeq sample with the image; a write landing
+// between validation and that sample let the lock-then-compare elision
+// accept a stale bucket, corrupting chain pointers.)
+TEST(SeqlockTornTest, ReportedSeqBelongsToTheImageNotALaterWriter) {
+  PageStore store({.page_size = kPageSize});
+  const PageId p = store.Alloc();
+  const auto a = Pattern(std::byte{0xAA});
+  const auto b = Pattern(std::byte{0xBB});
+  store.Write(p, a.data());
+
+  std::vector<std::byte> out(kPageSize);
+  uint64_t seq = ~0ull;
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data(), &seq));
+  EXPECT_EQ(seq, store.PageSeq(p));  // quiescent: the two agree
+
+  // A write after the read must invalidate the pairing: the image is now
+  // stale and PageSeq moved on, so `PageSeq == seq` correctly fails.
+  store.Write(p, b.data());
+  EXPECT_NE(store.PageSeq(p), seq);
+  uint64_t seq2 = ~0ull;
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data(), &seq2));
+  EXPECT_EQ(seq2, seq + 2);
+  EXPECT_TRUE(IsUniform(out, std::byte{0xBB}));
+}
+
+// Same contract for the file-backed degradation: the latched read samples
+// the seq under the writer's own latch, so it cannot observe a later
+// writer's value, and dealloc poisoning bumps it like any other mutation.
+TEST(SeqlockTornTest, FileBackedReadReportsTheLatchedSeq) {
+  PageStore::Options options;
+  options.page_size = kPageSize;
+  options.poison_on_dealloc = true;
+  options.backing_file = ::testing::TempDir() + "/seqlock_torn_file.pages";
+  PageStore store(options);
+  const PageId p = store.Alloc();
+  const auto a = Pattern(std::byte{0x11});
+  store.Write(p, a.data());
+
+  std::vector<std::byte> out(kPageSize);
+  uint64_t seq = ~0ull;
+  ASSERT_TRUE(store.ReadOptimistic(p, out.data(), &seq));
+  EXPECT_EQ(seq, 2u);
+  EXPECT_EQ(std::memcmp(out.data(), a.data(), kPageSize), 0);
+
+  store.Write(p, a.data());
+  EXPECT_EQ(store.PageSeq(p), 4u);
+  store.Dealloc(p);  // poison is a mutation: bumps even with file backing
+  EXPECT_EQ(store.PageSeq(p), 6u);
+}
+
+TEST(SeqlockTornTest, OutOfRangePageIdReadsAsTorn) {
+  PageStore store({.page_size = kPageSize});
+  (void)store.Alloc();
+  std::vector<std::byte> out(kPageSize);
+  // A torn image can hand the lock-free chase an arbitrary word as a page
+  // id; the store must answer "torn", not crash.
+  EXPECT_FALSE(store.ReadOptimistic(kInvalidPage, out.data()));
+  EXPECT_FALSE(store.ReadOptimistic(123456789u, out.data()));
+  EXPECT_GE(store.stats().optimistic_torn, 2u);
+}
+
+// Concurrent smoke: one writer alternating two images, readers validating
+// copies — every validated copy is one of the two images, never a blend.
+TEST(SeqlockTornTest, ConcurrentReadersOnlySeeWholeImages) {
+  PageStore store({.page_size = kPageSize});
+  const PageId p = store.Alloc();
+  const auto a = Pattern(std::byte{0xAA});
+  const auto b = Pattern(std::byte{0xBB});
+  store.Write(p, a.data());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) {
+      store.Write(p, (i & 1) ? b.data() : a.data());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      std::vector<std::byte> out(kPageSize);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!store.ReadOptimistic(p, out.data())) continue;
+        if (!IsUniform(out, std::byte{0xAA}) &&
+            !IsUniform(out, std::byte{0xBB})) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+}  // namespace
+}  // namespace exhash::storage

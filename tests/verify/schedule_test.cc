@@ -172,6 +172,37 @@ TEST(ScheduleTest, V2SurvivesTheSplitHeavyHunt) {
   EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
 }
 
+// The seqlock analogue (DESIGN.md §4e): a page store that performs both
+// sequence bumps *after* the data copy leaves the word even while the copy
+// is in flight, so a lock-free find racing a split's page rewrite can
+// validate a half-written image — and return results (a present key
+// missing, a key paired with another record's value) that fit no point in
+// time.  The kSeqReadBegin/kSeqValidate/kPageCopy yield points are exactly
+// where the window opens and closes.
+std::unique_ptr<core::KeyValueIndex> MakeBrokenSeqV2() {
+  auto options = SmallOptions();
+  options.test_seq_bump_after_write = true;
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+// The torn image must contradict *committed* state, which takes a page
+// rewrite big enough to straddle the reader's copy — splits provide that;
+// reuse the split-heavy hunt (small key space, capacity-4 buckets, long
+// sleeps to park a writer mid-copy while a reader validates).
+TEST(ScheduleTest, BrokenSeqBumpOrderIsCaught) {
+  const SweepOutcome sweep =
+      RunSweep(MakeBrokenSeqV2, BrokenSnapshotHuntConfig(), 3000);
+  ASSERT_GE(sweep.failures, 1u)
+      << "seq-bump-after-write variant survived " << sweep.schedules
+      << " schedules";
+  EXPECT_NE(sweep.first_failure.report.find("seed"), std::string::npos);
+}
+
+// And the correct tables must survive the identical configuration — the
+// catch above indicts the broken bump order, not the hunt's heat.  (The
+// V1/V2 SurvivesTheSplitHeavyHunt tests above are that control: same
+// config, correct protocol, zero failures.)
+
 TEST(ScheduleTest, FailingSeedReplays) {
   const SweepOutcome sweep = RunSweep(MakeBrokenV2, BrokenHuntConfig(), 3000);
   ASSERT_GE(sweep.failures, 1u);

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-shot line-coverage report for src/core + src/util (tests/README.md).
+# One-shot line-coverage report for src/core + src/storage + src/util
+# (tests/README.md).
 #
 # Configures/builds/tests the `coverage` preset (gcov instrumentation,
 # separate build-coverage/ tree), then aggregates the per-TU gcov JSON into
@@ -48,14 +49,15 @@ for doc in open(sys.argv[2]):
         path = f["file"]
         if path.startswith(root):
             path = path[len(root):]
-        if not (path.startswith("src/core/") or path.startswith("src/util/")):
+        if not (path.startswith("src/core/") or path.startswith("src/storage/")
+                or path.startswith("src/util/")):
             continue
         per_file = lines[path]
         for ln in f["lines"]:
             n = ln["line_number"]
             per_file[n] = per_file.get(n, False) or ln["count"] > 0
 if not lines:
-    sys.exit("coverage.sh: no gcov data for src/core or src/util")
+    sys.exit("coverage.sh: no gcov data for src/core, src/storage or src/util")
 
 print(f"\n{'file':<44} {'lines':>7} {'hit':>7} {'cover':>7}")
 print("-" * 68)
@@ -67,6 +69,6 @@ for path in sorted(lines):
     hit += h
     print(f"{path:<44} {n:>7} {h:>7} {100.0 * h / n:>6.1f}%")
 print("-" * 68)
-print(f"{'TOTAL src/core + src/util':<44} {total:>7} {hit:>7} "
+print(f"{'TOTAL src/core + src/storage + src/util':<44} {total:>7} {hit:>7} "
       f"{100.0 * hit / total:>6.1f}%")
 PY
