@@ -1,0 +1,183 @@
+// E15 — crash consistency (DESIGN.md §9): what the WAL costs while the
+// table runs, and what recovery costs after a power cut.
+//
+// Part 1, WAL overhead: the same mixed workload against three durability
+// settings on in-memory media — no WAL (the seed baseline), group-commit
+// WAL (records buffer until a restructure commit point), and
+// fsync-every-commit WAL (every acked op durable).  The read-heavy mix
+// doubles as the E14 regression check: finds never touch the log, so the
+// read path must not pay for durability.
+//
+// Part 2, recovery time: build a table of N keys, cut power, and time the
+// recovering constructor — once with the whole table in the log (worst
+// case: replay everything since format) and once right after a
+// checkpoint (best case: adopt checksummed slots, replay nothing).
+//
+// Usage: bench_crash [threads] [ops_per_thread]
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exhash/exhash.h"
+
+namespace {
+
+using namespace exhash;
+
+std::unique_ptr<core::TableBase> MakeV2(const core::TableOptions& o) {
+  return std::make_unique<core::EllisHashTableV2>(o);
+}
+
+double TimedRecoverMs(const core::TableOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<core::TableBase> recovered = MakeV2(options);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!recovered->recovery_report().ok()) {
+    std::printf("RECOVERY FAILED: %s\n",
+                recovered->recovery_report().error.c_str());
+    std::exit(1);
+  }
+  std::string error;
+  if (!recovered->Validate(&error)) {
+    std::printf("VALIDATION FAILED after recovery: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+
+  std::string json = "{\"bench\":\"crash\",\"ops_per_sec\":{";
+
+  // --- Part 1: WAL overhead ---
+  struct Mode {
+    const char* name;
+    bool wal;
+    bool flush_every_commit;
+  };
+  const std::vector<Mode> modes = {
+      {"no-wal", false, false},
+      {"wal-group", true, false},
+      {"wal-fsync", true, true},
+  };
+  struct Mix {
+    const char* name;
+    workload::OpMix mix;
+  };
+  const std::vector<Mix> mixes = {
+      {"100f/0i/0d", {100, 0, 0}},
+      {"50f/25i/25d", {50, 25, 25}},
+  };
+
+  std::printf("=== E15: WAL overhead, in-memory media (%d threads, %" PRIu64
+              " ops each) ===\n",
+              threads, ops);
+  std::printf("%-14s %14s %14s %10s %16s\n", "mix", "mode", "ops/sec",
+              "vs no-wal", "log bytes/op");
+  bench::PrintRule();
+  bool first_mix = true;
+  for (const Mix& mix : mixes) {
+    json += std::string(first_mix ? "" : ",") + "\"" + mix.name + "\":{";
+    first_mix = false;
+    double baseline = 0;
+    bool first_mode = true;
+    for (const Mode& mode : modes) {
+      core::TableOptions options;
+      options.page_size = 256;
+      options.wal = mode.wal;
+      options.wal_flush_every_commit = mode.flush_every_commit;
+      std::unique_ptr<core::TableBase> table = MakeV2(options);
+      bench::PreloadHalf(table.get(), 100000);
+      const storage::PageStoreStats before = table->Store().stats();
+      bench::MixedRunConfig config;
+      config.threads = threads;
+      config.ops_per_thread = ops;
+      config.mix = mix.mix;
+      bench::MixedRunResult r;
+      bench::RunMixed(table.get(), config, &r);
+      const storage::PageStoreStats after = table->Store().stats();
+      if (baseline == 0) baseline = r.ops_per_sec();
+      const double bytes_per_op =
+          double(after.wal_flushed_bytes - before.wal_flushed_bytes) /
+          double(r.ops);
+      std::printf("%-14s %14s %14.0f %9.1f%% %16.1f\n", mix.name, mode.name,
+                  r.ops_per_sec(), 100.0 * r.ops_per_sec() / baseline,
+                  bytes_per_op);
+      char cell[96];
+      std::snprintf(cell, sizeof cell, "%s\"%s\":%.0f",
+                    first_mode ? "" : ",", mode.name, r.ops_per_sec());
+      json += cell;
+      first_mode = false;
+    }
+    json += "}";
+  }
+  json += "},\"recovery_ms\":{";
+
+  // --- Part 2: recovery time ---
+  std::printf("\n=== E15: recovery time after a simulated power cut ===\n");
+  std::printf("%-10s %16s %14s %16s %14s\n", "keys", "mode", "recover ms",
+              "replayed imgs", "slots loaded");
+  bench::PrintRule();
+  bool first_size = true;
+  for (const uint64_t keys : {20000ull, 80000ull}) {
+    json += std::string(first_size ? "" : ",") + "\"" +
+            std::to_string(keys) + "\":{";
+    first_size = false;
+    for (const bool checkpoint : {false, true}) {
+      core::TableOptions options;
+      options.page_size = 256;
+      options.wal = true;
+      std::unique_ptr<core::TableBase> table = MakeV2(options);
+      for (uint64_t k = 0; k < keys; ++k) table->Insert(k, k);
+      if (checkpoint) {
+        if (table->Store().Checkpoint() != storage::IoStatus::kOk) {
+          std::printf("CHECKPOINT FAILED\n");
+          return 1;
+        }
+      }
+      table->Store().CrashNow(/*seed=*/1);
+      core::TableOptions recover_options = options;
+      recover_options.recover_from = table->Store().TakeCrashImage();
+      table.reset();
+
+      // Time the recovering constructor: storage replay + liveness scan +
+      // directory rebuild + the post-recovery checkpoint.
+      const double ms = TimedRecoverMs(recover_options);
+      std::unique_ptr<core::TableBase> probe = MakeV2(recover_options);
+      const auto& report = probe->recovery_report();
+      const char* mode = checkpoint ? "from-checkpoint" : "log-replay";
+      std::printf("%-10" PRIu64 " %16s %14.2f %16" PRIu64 " %14" PRIu64 "\n",
+                  keys, mode, ms, report.replayed_images, report.slots_loaded);
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "%s\"%s\":%.2f",
+                    checkpoint ? "," : "", mode, ms);
+      json += cell;
+    }
+    json += "}";
+  }
+  json += "}}";
+
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_crash.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  std::printf("\nexpected shape: the read-heavy mix is unchanged across "
+              "modes (finds never touch the\nlog — the E14 guarantee); the "
+              "update mix pays for fsync-every-commit; recovery from\na "
+              "checkpoint beats log replay and both scale with table "
+              "size.\n\n");
+  return 0;
+}

@@ -31,6 +31,11 @@ int main(int argc, char** argv) {
               "splits+merges", "recoveries", "per 1k ops", "restarts");
   bench::PrintRule();
 
+  // One-line JSON artifact (BENCH_recovery.json): recovery counts and
+  // rates per table, so the chain-hop trajectory is diffable per PR.
+  std::string json = "{\"bench\":\"recovery\",\"tables\":{";
+  bool first_table = true;
+
   for (const char* name : {"ellis-v1", "ellis-v2"}) {
     core::TableOptions options;
     options.page_size = 112;  // capacity 4: maximal churn
@@ -58,11 +63,27 @@ int main(int argc, char** argv) {
                 s.wrong_bucket_hops,
                 1000.0 * double(s.wrong_bucket_hops) / double(r.ops),
                 s.delete_restarts);
+    char cell[192];
+    std::snprintf(cell, sizeof cell,
+                  "%s\"%s\":{\"ops_per_sec\":%.0f,\"recoveries\":%" PRIu64
+                  ",\"recoveries_per_1k\":%.2f,\"restarts\":%" PRIu64 "}",
+                  first_table ? "" : ",", name, r.ops_per_sec(),
+                  s.wrong_bucket_hops,
+                  1000.0 * double(s.wrong_bucket_hops) / double(r.ops),
+                  s.delete_restarts);
+    json += cell;
+    first_table = false;
     std::string error;
     if (!table->Validate(&error)) {
       std::printf("VALIDATION FAILED (%s): %s\n", name, error.c_str());
       return 1;
     }
+  }
+  json += "}}";
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_recovery.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
   }
   std::printf("\nexpected shape: V1 recoveries come only from reader races "
               "with splits; V2 adds updater\nrecoveries through stale "

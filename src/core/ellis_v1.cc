@@ -11,7 +11,7 @@ namespace exhash::core {
 
 EllisHashTableV1::EllisHashTableV1(const TableOptions& options)
     : TableBase(options) {
-  InitBuckets();
+  if (!RecoverIfRequested()) InitBuckets();
 }
 
 // Find is the shared lock-free route (DESIGN.md §4e): seq-validated
@@ -103,8 +103,12 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
     // Write the unreachable new half first; replacing the old page then
     // publishes the split as one atomic page write (section 2.3), and the
     // snapshot publish in UpdateEntries makes the short route visible.
-    PutBucket(newpage, half2);
-    PutBucket(oldpage, half1);
+    // One transaction, committed (flushed) at the restructure commit
+    // point: across a crash the pair lands together or not at all.
+    const uint64_t txn = BeginRestructureTxn();
+    PutBucket(newpage, half2, txn);
+    PutBucket(oldpage, half1, txn);
+    CommitRestructureTxn(txn);
     dir_.UpdateEntries(newpage, half2.localdepth, half2.commonbits);
     if (half1.localdepth == dir_.depth()) dir_.AddDepthcount(2);
     stats_.splits.fetch_add(1, std::memory_order_relaxed);
@@ -285,8 +289,13 @@ bool EllisHashTableV1::Remove(uint64_t key) {
     current.next = merged;
     current.Clear();
 
-    PutBucket(merged, brother);
-    PutBucket(garbage, current);
+    // Survivor and tombstone are one transaction: recovery must never see
+    // the tombstone without the survivor's widened pattern (or vice versa),
+    // or the live buckets would stop partitioning the pseudokey space.
+    const uint64_t txn = BeginRestructureTxn();
+    PutBucket(merged, brother, txn);
+    PutBucket(garbage, current, txn);
+    CommitRestructureTxn(txn);
     stats_.merges.fetch_add(1, std::memory_order_relaxed);
 
     if (dir_.depthcount() == 0) {

@@ -5,10 +5,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "metrics/gate.h"
 #include "util/pseudokey.h"
+
+// Forward declaration of the crash-simulation image (storage/wal.h); a
+// shared_ptr member keeps this widely-included header free of the
+// durability subsystem's types.
+namespace exhash::storage {
+struct CrashImage;
+}
 
 // Forward declaration of metrics::Registry (metrics/registry.h), mirroring
 // that header's gate-selected alias so this widely-included header stays
@@ -53,6 +61,26 @@ struct TableOptions {
   bool poison_on_dealloc = false;
   // Nonempty: buckets live in this file (true disk-resident operation).
   std::string backing_file;
+
+  // --- Durability (DESIGN.md §9) ---
+  // Enable the WAL + checksummed-slot durability layer.  Bucket pages then
+  // always live in memory; durable state is the last checkpoint's slot
+  // area plus the flushed log, on `backing_file`(+`wal_file`) when a
+  // backing file is set, else on an in-memory shadow that survives only
+  // *simulated* crashes (the crash harness's medium).  Splits and merges
+  // become transactions — their page pair recovers all-or-nothing.
+  bool wal = false;
+  // Log file beside backing_file; defaults to backing_file + ".wal".
+  std::string wal_file;
+  // true: every acked operation is durable before its call returns.
+  // false: group commit — only restructure commit points flush.
+  bool wal_flush_every_commit = true;
+  // Reopen existing backing_file/wal_file and recover the table from them
+  // instead of formatting a fresh one (implies wal).
+  bool recover = false;
+  // Recover from a simulated-crash survivor's durable bytes instead of
+  // files (implies wal); see storage::PageStore::TakeCrashImage().
+  std::shared_ptr<storage::CrashImage> recover_from;
 
   // When false, deletes never merge buckets (ablation D3': measures what
   // merging buys/costs; also the behaviour of many practical systems).
@@ -100,6 +128,15 @@ struct TableOptions {
   // ever produced (a mixed old/new record area), which the linearizability
   // checker must catch.  Never set outside tests.
   bool test_seq_bump_after_write = false;
+
+  // TEST ONLY — the durability analogue of the three above (DESIGN.md
+  // §9/§6b).  When true, the WAL flushes each transaction's commit record
+  // *before* its page images reach the durable stream, so a crash in the
+  // window leaves a committed transaction with no images: an acked
+  // operation recovery silently forgets.  The crash sweep must catch this
+  // as a linearizability violation of the joined pre/post-crash history.
+  // Never set outside tests.
+  bool test_commit_before_images = false;
 };
 
 }  // namespace exhash::core

@@ -1,8 +1,10 @@
 #include "core/table_base.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "core/validate.h"
@@ -20,17 +22,31 @@ std::byte* Scratch(size_t page_size) {
   return tls_page_scratch.data();
 }
 
+storage::PageStore::Options MakeStoreOptions(const TableOptions& o) {
+  storage::PageStore::Options s;
+  s.page_size = o.page_size;
+  s.latency_ns = o.io_latency_ns;
+  s.poison_on_dealloc = o.poison_on_dealloc;
+  s.backing_file = o.backing_file;
+  s.test_seq_bump_after_write = o.test_seq_bump_after_write;
+  // Recovery without the WAL has nothing to recover from — asking for
+  // either form of it implies the durability layer.
+  s.wal = o.wal || o.recover || o.recover_from != nullptr;
+  s.wal_file = o.wal_file;
+  s.wal_flush_every_commit = o.wal_flush_every_commit;
+  s.recover = o.recover;
+  s.recover_image = o.recover_from;
+  s.test_commit_before_images = o.test_commit_before_images;
+  return s;
+}
+
 }  // namespace
 
 TableBase::TableBase(const TableOptions& options)
     : options_(options),
       hasher_(options.hasher != nullptr ? options.hasher : &default_hasher_),
       capacity_(storage::Bucket::CapacityFor(options.page_size)),
-      store_(storage::PageStore::Options{options.page_size,
-                                         options.io_latency_ns,
-                                         options.poison_on_dealloc,
-                                         options.backing_file,
-                                         options.test_seq_bump_after_write}),
+      store_(MakeStoreOptions(options)),
       dir_(options.initial_depth, options.max_depth) {
 #if EXHASH_METRICS_ENABLED
   if (options_.metrics) {
@@ -86,6 +102,21 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".bucket_locks.alpha"] = bl.alpha_acquired;
           c[prefix + ".bucket_locks.xi"] = bl.xi_acquired;
           c[prefix + ".bucket_locks.contended"] = bl.contended;
+          // Durability layer (DESIGN.md §9): all zero when the WAL is off,
+          // but always exported — the namespace is not config-dependent.
+          const storage::PageStoreStats io = store_.stats();
+          c[prefix + ".wal.txns"] = io.wal_txns;
+          c[prefix + ".wal.appends"] = io.wal_appends;
+          c[prefix + ".wal.commits"] = io.wal_commits;
+          c[prefix + ".wal.flushes"] = io.wal_flushes;
+          c[prefix + ".wal.flushed_bytes"] = io.wal_flushed_bytes;
+          // What the last recovery (if any) replayed/repaired.
+          c[prefix + ".recovery.replayed_images"] =
+              recovery_report_.replayed_images;
+          c[prefix + ".recovery.repaired_slots"] =
+              recovery_report_.repaired_slots;
+          c[prefix + ".recovery.committed_txns"] =
+              recovery_report_.committed_txns;
           c[prefix + ".depth"] = static_cast<uint64_t>(dir_.depth());
         });
     dir_lock_.SetMetricsSink(&metrics_->dir_lock);
@@ -126,6 +157,29 @@ void TableBase::PutBucket(storage::PageId page,
                           const storage::Bucket& bucket) {
   bucket.SerializeTo(Scratch(options_.page_size), options_.page_size);
   store_.Write(page, Scratch(options_.page_size));
+}
+
+void TableBase::PutBucket(storage::PageId page, const storage::Bucket& bucket,
+                          uint64_t txn) {
+  if (!store_.wal_enabled()) {
+    PutBucket(page, bucket);
+    return;
+  }
+  bucket.SerializeTo(Scratch(options_.page_size), options_.page_size);
+  store_.Write(page, Scratch(options_.page_size), txn);
+}
+
+void TableBase::CommitRestructureTxn(uint64_t txn) {
+  if (!store_.wal_enabled()) return;
+  const storage::IoStatus s = store_.CommitTxn(txn, /*flush=*/true);
+  if (s != storage::IoStatus::kOk) {
+    std::fprintf(stderr,
+                 "exhash: restructure commit failed (%s) — durable media "
+                 "will not take the transaction; failing stop rather than "
+                 "acking an operation that may not survive a crash\n",
+                 storage::IoStatusName(s));
+    std::abort();
+  }
 }
 
 // The lock-free find (DESIGN.md §4e).  Route: snapshot entry -> validated
@@ -314,6 +368,11 @@ void TableBase::InitBuckets() {
   const int d = options_.initial_depth;
   const uint64_t n = uint64_t{1} << d;
 
+  // One transaction for the whole format: a crash mid-initialization
+  // recovers to either an empty (unformatted) medium or the complete seed
+  // file, never a partial chain.
+  const uint64_t txn = BeginRestructureTxn();
+
   // Allocate a page per initial bucket.
   std::vector<storage::PageId> pages(n);
   for (uint64_t i = 0; i < n; ++i) pages[i] = store_.Alloc();
@@ -341,12 +400,107 @@ void TableBase::InitBuckets() {
     if (idx != 0) {
       b.prev = pages[idx & ~(uint64_t{1} << (std::bit_width(idx) - 1))];
     }
-    PutBucket(pages[idx], b);
+    PutBucket(pages[idx], b, txn);
   }
+  CommitRestructureTxn(txn);
   // One publish for the whole seed directory (entry i -> page i).
   dir_.InitEntries(pages.data(), n);
   // Every initial bucket has localdepth == depth.
   dir_.set_depthcount(static_cast<int>(n));
+}
+
+// Rebuilding a table from recovered pages (DESIGN.md §9).  The store's
+// Recover() yields the committed page contents; the table treats every
+// structure *around* the pages as derived state:
+//
+//   * liveness is content-derived — a page holds a live bucket iff it
+//     decodes (magic checks) and is not a tombstone.  Sound because every
+//     live->dead transition in the protocols goes through a committed
+//     tombstone write (the merge transaction), and Dealloc's poison is
+//     deliberately unlogged;
+//   * the directory is rebuilt from the live buckets' (commonbits,
+//     localdepth) patterns, which partition the pseudokey space in any
+//     committed state — depth is their maximum (a crash between a V2
+//     merge and its deferred halving may recover one level *below* the
+//     pre-crash directory depth: equally valid, just already halved);
+//   * the chain (next/prev links) and record counts ride inside the page
+//     images; size is their sum;
+//   * pages holding no live bucket go back to the free list.
+//
+// No WAL records for directory operations follow from this: Double and
+// Halve touch no page, so they have nothing durable to log.
+bool TableBase::RecoverIfRequested() {
+  if (!options_.recover && options_.recover_from == nullptr) return false;
+
+  recovery_report_ = store_.Recover();
+  if (!recovery_report_.ok()) {
+    std::fprintf(stderr,
+                 "exhash: recovery failed (%s): %s — refusing to serve\n",
+                 storage::IoStatusName(recovery_report_.status),
+                 recovery_report_.error.c_str());
+    std::abort();
+  }
+
+  // Scan the recovered extent for live buckets.
+  const size_t extent = store_.extent();
+  std::vector<storage::PageId> free;
+  std::vector<std::pair<storage::PageId, storage::Bucket>> live;
+  std::byte* scratch = Scratch(options_.page_size);
+  int max_localdepth = 1;
+  uint64_t records = 0;
+  for (size_t p = 0; p < extent; ++p) {
+    const storage::PageId page = static_cast<storage::PageId>(p);
+    store_.Read(page, scratch);
+    storage::Bucket b(capacity_);
+    if (!storage::Bucket::DeserializeFrom(scratch, options_.page_size, &b) ||
+        b.deleted) {
+      // Tombstones are unreachable in a committed state (the merge
+      // transaction bypasses them in the same commit that writes them),
+      // and recovery starts with no stale readers to signpost for.
+      free.push_back(page);
+      continue;
+    }
+    max_localdepth = std::max(max_localdepth, b.localdepth);
+    records += static_cast<uint64_t>(b.count());
+    live.emplace_back(page, std::move(b));
+  }
+  if (live.empty()) {
+    std::fprintf(stderr,
+                 "exhash: recovery found no live buckets in %zu pages — "
+                 "medium holds no formatted table\n",
+                 extent);
+    std::abort();
+  }
+
+  // Rebuild the directory at the recovered depth and aim every entry at
+  // its bucket; UpdateEntries per live bucket covers all 2^depth entries
+  // exactly once because the patterns partition.
+  while (dir_.depth() < max_localdepth) {
+    if (!dir_.Double()) {
+      std::fprintf(stderr,
+                   "exhash: recovered localdepth %d exceeds max_depth=%d\n",
+                   max_localdepth, dir_.max_depth());
+      std::abort();
+    }
+  }
+  while (dir_.depth() > max_localdepth) dir_.Halve();
+  for (const auto& [page, b] : live) {
+    dir_.UpdateEntries(page, b.localdepth, b.commonbits);
+  }
+  dir_.set_depthcount(dir_.RecomputeDepthcount());
+  size_.store(records, std::memory_order_relaxed);
+  store_.ResetFreeList(free);
+
+  // Drain the log into a fresh checkpoint: the next crash replays only
+  // what happens after this point, and a torn slot left by the crash
+  // cannot survive into the next recovery.
+  const storage::IoStatus cp = store_.Checkpoint();
+  if (cp != storage::IoStatus::kOk) {
+    std::fprintf(stderr, "exhash: post-recovery checkpoint failed (%s)\n",
+                 storage::IoStatusName(cp));
+    std::abort();
+  }
+  return true;
 }
 
 std::string TableBase::DebugString() {

@@ -67,6 +67,18 @@ class TableBase : public KeyValueIndex {
   uint64_t SnapshotVersion() const { return dir_.version(); }
   uint64_t SnapshotPublishes() const { return dir_.publishes(); }
 
+  // Durability seam (DESIGN.md §9): the crash harness and the durability
+  // tests drive the store directly — CrashNow/TakeCrashImage, Checkpoint,
+  // FlushWal, last_io_error.  Restructure-transaction boundaries stay the
+  // table's own business.
+  storage::PageStore& Store() { return store_; }
+
+  // What the store's Recover() found, when this table was constructed with
+  // TableOptions::recover / recover_from; default (all-kOk/zero) otherwise.
+  const storage::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
   // Extra introspection for benchmarks.
   storage::PageStoreStats IoStats() const { return store_.stats(); }
   util::RaxLockStats DirectoryLockStats() const { return dir_lock_.stats(); }
@@ -93,8 +105,26 @@ class TableBase : public KeyValueIndex {
   // buffer.  Aborts (protocol violation) if the page does not hold a bucket.
   void GetBucket(storage::PageId page, storage::Bucket* bucket);
 
-  // The paper's putbucket: encode and write the page atomically.
+  // The paper's putbucket: encode and write the page atomically.  With the
+  // WAL enabled this is an autonomous one-page transaction.
   void PutBucket(storage::PageId page, const storage::Bucket& bucket);
+
+  // Transactional putbucket for the restructure protocols (DESIGN.md §9):
+  // pages written under one transaction id recover all-or-nothing, which
+  // is what makes a split or merge — two page writes — atomic across a
+  // crash.  Falls back to the plain write when the WAL is off.  The caller
+  // holds the pages' locks across the whole transaction, so per-page log
+  // order equals lock order and redo replay converges on the locked state.
+  void PutBucket(storage::PageId page, const storage::Bucket& bucket,
+                 uint64_t txn);
+  uint64_t BeginRestructureTxn() {
+    return store_.wal_enabled() ? store_.BeginTxn() : 0;
+  }
+  // The restructure commit point: the transaction is durable (group-flush)
+  // before this returns, even under group-commit policy.  Fail-stop: a
+  // commit the media will not take aborts the process — acking an
+  // operation whose durability is unknown would be a lie.
+  void CommitRestructureTxn(uint64_t txn);
 
   // Allocates a fresh page (the paper's allocbucket).
   storage::PageId AllocBucket() { return store_.Alloc(); }
@@ -150,8 +180,20 @@ class TableBase : public KeyValueIndex {
 
   // Builds the initial file: 2^initial_depth buckets, chained in
   // bit-reversed index order (the order splits would have produced), with
-  // prev links aimed at each bucket's "0" partner.
+  // prev links aimed at each bucket's "0" partner.  One committed (and
+  // flushed) transaction, so a recovered table is never half-formatted.
   void InitBuckets();
+
+  // Recovery path (DESIGN.md §9): when the options request it, rebuilds
+  // the table from durable media instead of formatting.  The store's
+  // Recover() reconstructs the committed page contents; everything else —
+  // directory, depthcount, size, free list — is *derived* state, rebuilt
+  // here by scanning the live buckets (magic decodes, not deleted).  Ends
+  // with a checkpoint, so the log is drained and the next crash replays
+  // only its own deltas.  Returns true iff recovery ran (the variant then
+  // skips InitBuckets); aborts on unrecoverable media — corruption is
+  // reported, never served.
+  bool RecoverIfRequested();
 
   // Chase-length recording (DESIGN.md §8): called by the table variants at
   // the end of an operation that recovered via next links.  Only nonzero
@@ -184,6 +226,7 @@ class TableBase : public KeyValueIndex {
   util::RaxLock dir_lock_;
   AtomicTableStats stats_;
   std::atomic<uint64_t> size_{0};
+  storage::RecoveryReport recovery_report_;
 
 #if EXHASH_METRICS_ENABLED
   // Declared last so it is destroyed first: its destructor deregisters the

@@ -1,0 +1,49 @@
+// Page and WAL-record checksums for the durability layer (DESIGN.md §9).
+//
+// CRC-32C (Castagnoli), bytewise table-driven.  The polynomial's error
+// detection is what the torn-page witness relies on: a page whose slot
+// write was cut mid-transfer — or corrupted at rest — fails its trailer
+// check on read, and recovery reports the damage instead of serving it.
+// Software implementation only; at page-grain (hundreds of bytes per
+// restructure commit) the table lookup is nowhere near any hot path.
+
+#ifndef EXHASH_STORAGE_CHECKSUM_H_
+#define EXHASH_STORAGE_CHECKSUM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace exhash::storage {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace detail
+
+// Incremental: Crc32c(b, n2, Crc32c(a, n1)) == Crc32c(a++b, n1+n2).
+inline uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32cTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_CHECKSUM_H_

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -12,9 +13,33 @@
 #include <thread>
 #include <vector>
 
+#include "storage/checksum.h"
 #include "util/test_hooks.h"
 
 namespace exhash::storage {
+
+namespace {
+
+// Full-page pwrite with the short-write/errno audit: retries EINTR and
+// partial progress, types the failure.  Used by the legacy (non-WAL) file
+// backing, whose callers abort on failure — without a transactional frame
+// a half-written page is silent corruption waiting for a reader.
+IoStatus PwriteFullyAborting(int fd, const void* data, size_t n, off_t off) {
+  const auto* p = static_cast<const std::byte*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd, p + done, n - done, off + off_t(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno == ENOSPC ? IoStatus::kNoSpace : IoStatus::kIoError;
+    }
+    if (w == 0) return IoStatus::kShortWrite;
+    done += size_t(w);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
 
 PageStore::PageStore(Options options)
     : options_(std::move(options)), latches_(new std::mutex[kLatchStripes]) {
@@ -28,6 +53,35 @@ PageStore::PageStore(Options options)
     chunks_[i].store(nullptr, std::memory_order_relaxed);
     seq_chunks_[i].store(nullptr, std::memory_order_relaxed);
   }
+  if (options_.wal) {
+    // Durable-media operation (DESIGN.md §9): live pages stay in memory
+    // (fd_ stays -1 — the backing file, when given, is the durable slot
+    // area, not the read/write path), and every write is logged.
+    if (options_.recover_image != nullptr) {
+      media_ = std::make_unique<MemMedia>(*options_.recover_image);
+      mem_media_ = static_cast<MemMedia*>(media_.get());
+      needs_recovery_ = true;
+    } else if (!options_.backing_file.empty()) {
+      const std::string wal_path = options_.wal_file.empty()
+                                       ? options_.backing_file + ".wal"
+                                       : options_.wal_file;
+      auto files = std::make_unique<FileMedia>(options_.backing_file,
+                                               wal_path, options_.recover);
+      if (!files->ok()) {
+        std::fprintf(stderr, "exhash: cannot open durable media %s / %s\n",
+                     options_.backing_file.c_str(), wal_path.c_str());
+        std::abort();
+      }
+      media_ = std::move(files);
+      needs_recovery_ = options_.recover;
+    } else {
+      media_ = std::make_unique<MemMedia>();
+      mem_media_ = static_cast<MemMedia*>(media_.get());
+    }
+    wal_ = std::make_unique<Wal>(media_.get(),
+                                 options_.test_commit_before_images);
+    return;
+  }
   if (!options_.backing_file.empty()) {
     fd_ = ::open(options_.backing_file.c_str(), O_RDWR | O_CREAT | O_TRUNC,
                  0644);
@@ -40,6 +94,9 @@ PageStore::PageStore(Options options)
 }
 
 PageStore::~PageStore() {
+  // Clean shutdown: whatever the group-commit policy buffered becomes
+  // durable, so a reopen-with-recover sees every committed transaction.
+  if (wal_ != nullptr && !needs_recovery_) NoteIo(wal_->Flush());
   if (fd_ >= 0) ::close(fd_);
   for (size_t i = 0; i < num_chunks_; ++i) {
     delete[] chunks_[i].load(std::memory_order_relaxed);
@@ -58,6 +115,7 @@ std::byte* PageStore::PagePtr(PageId page) {
 }
 
 PageId PageStore::Alloc() {
+  assert(!needs_recovery_ && "call Recover() before using the store");
   std::lock_guard<std::mutex> guard(alloc_mutex_);
   allocs_.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
@@ -95,10 +153,15 @@ void PageStore::Dealloc(PageId page) {
       std::atomic<uint64_t>& seq = SeqRef(page);
       const uint64_t s0 = seq.load(std::memory_order_relaxed);
       seq.store(s0 + 1, std::memory_order_relaxed);
-      [[maybe_unused]] const ssize_t n =
-          ::pwrite(fd_, poison.data(), options_.page_size,
-                   off_t(page) * off_t(options_.page_size));
-      assert(n == ssize_t(options_.page_size));
+      const IoStatus s =
+          PwriteFullyAborting(fd_, poison.data(), options_.page_size,
+                              off_t(page) * off_t(options_.page_size));
+      if (s != IoStatus::kOk) {
+        NoteIo(s);
+        std::fprintf(stderr, "exhash: poison write of page %u failed (%s)\n",
+                     page, IoStatusName(s));
+        std::abort();
+      }
       seq.store(s0 + 2, std::memory_order_release);
     } else {
       std::atomic<uint64_t>& seq = SeqRef(page);
@@ -116,6 +179,7 @@ void PageStore::Dealloc(PageId page) {
 
 void PageStore::Read(PageId page, void* out) {
   assert(page != kInvalidPage);
+  assert(!needs_recovery_ && "call Recover() before using the store");
   SimulateLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> latch(LatchFor(page));
@@ -128,13 +192,25 @@ void PageStore::Read(PageId page, void* out) {
 
 // Caller holds the page latch.
 void PageStore::PreadPage(PageId page, void* out) {
-  const ssize_t n = ::pread(fd_, out, options_.page_size,
-                            off_t(page) * off_t(options_.page_size));
-  // A short read means the page was allocated but never written; callers
-  // never do that, but zero-fill keeps the failure mode deterministic.
+  ssize_t n;
+  do {
+    n = ::pread(fd_, out, options_.page_size,
+                off_t(page) * off_t(options_.page_size));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    // A kernel read error is not a short read: zero-filling it would hand
+    // the caller fabricated page content.  Typed, loud, fatal.
+    NoteIo(IoStatus::kIoError);
+    std::fprintf(stderr, "exhash: page %u read from %s failed (errno %d)\n",
+                 page, options_.backing_file.c_str(), errno);
+    std::abort();
+  }
+  // A short read past EOF means the page was allocated but never written;
+  // callers never do that, but zero-fill keeps the failure mode
+  // deterministic.
   if (n < ssize_t(options_.page_size)) {
-    std::memset(static_cast<std::byte*>(out) + std::max<ssize_t>(n, 0),
-                0, options_.page_size - size_t(std::max<ssize_t>(n, 0)));
+    std::memset(static_cast<std::byte*>(out) + n, 0,
+                options_.page_size - size_t(n));
   }
 }
 
@@ -150,6 +226,15 @@ void PageStore::PreadPage(PageId page, void* out) {
 // bump's release pairs with the reader's first (acquire) sample: a reader
 // that starts after the write completes is guaranteed the full new image.
 void PageStore::Write(PageId page, const void* in) {
+  if (wal_ != nullptr) [[unlikely]] {
+    // Autonomous one-page transaction; CommitTxn publishes to live
+    // memory after the commit record (and its flush, when
+    // wal_flush_every_commit) so readers only ever see durable state.
+    const uint64_t txn = wal_->BeginTxn();
+    Write(page, in, txn);
+    CommitTxn(txn, options_.wal_flush_every_commit);
+    return;
+  }
   assert(page != kInvalidPage);
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
@@ -158,13 +243,46 @@ void PageStore::Write(PageId page, const void* in) {
     std::atomic<uint64_t>& seq = SeqRef(page);
     const uint64_t s0 = seq.load(std::memory_order_relaxed);
     seq.store(s0 + 1, std::memory_order_relaxed);
-    [[maybe_unused]] const ssize_t n =
-        ::pwrite(fd_, in, options_.page_size,
-                 off_t(page) * off_t(options_.page_size));
-    assert(n == ssize_t(options_.page_size));
+    const IoStatus s = PwriteFullyAborting(
+        fd_, in, options_.page_size, off_t(page) * off_t(options_.page_size));
+    if (s != IoStatus::kOk) {
+      NoteIo(s);
+      std::fprintf(stderr,
+                   "exhash: page %u write to %s failed (%s) — cannot "
+                   "continue without silent corruption\n",
+                   page, options_.backing_file.c_str(), IoStatusName(s));
+      std::abort();
+    }
     seq.store(s0 + 2, std::memory_order_release);
     return;
   }
+  WriteLiveMemory(page, in);
+}
+
+// The WAL path: log-then-stage.  The image record rides the page latch so
+// per-page log order equals write order; the live-memory publish waits
+// for CommitTxn.  Applying here — before the commit is durable — would
+// let a lock-free reader ack a value the crash then forgets (the V1
+// seed=104 counterexample the sweep caught): the seqlock read path
+// bypasses every lock, so the only way to keep dirty state out of acked
+// results is to never put it in live memory in the first place.
+void PageStore::Write(PageId page, const void* in, uint64_t txn) {
+  assert(page != kInvalidPage);
+  assert(wal_ != nullptr);
+  assert(!needs_recovery_ && "call Recover() before using the store");
+  SimulateLatency();
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    wal_->LogPageImage(txn, page, in, options_.page_size);
+  }
+  const auto* p = static_cast<const std::byte*>(in);
+  std::lock_guard<std::mutex> guard(txn_mutex_);
+  txn_staged_[txn].emplace_back(
+      page, std::vector<std::byte>(p, p + options_.page_size));
+}
+
+void PageStore::WriteLiveMemory(PageId page, const void* in) {
   std::atomic<uint64_t>& seq = SeqRef(page);
   const uint64_t s0 = seq.load(std::memory_order_relaxed);
   if (options_.test_seq_bump_after_write) [[unlikely]] {
@@ -289,6 +407,212 @@ size_t PageStore::extent() const {
   return next_unused_;
 }
 
+// ------------------------------------------------- durability (§9) ------
+
+uint64_t PageStore::BeginTxn() {
+  return wal_ != nullptr ? wal_->BeginTxn() : 0;
+}
+
+IoStatus PageStore::CommitTxn(uint64_t txn, bool flush) {
+  if (wal_ == nullptr) return IoStatus::kOk;
+  const IoStatus s = NoteIo(wal_->Commit(txn, flush));
+  // Publish only now, after the commit record (and, under flush, its
+  // transfer to the durable media): the first instant a reader can
+  // observe the transaction's effect, that effect already survives a
+  // crash.  A frozen (crashed) medium reports success and drops the
+  // bytes — but any reader observing this publish necessarily acks
+  // after the cut tick, so the joined-history checker classifies its op
+  // as crash-pending, never as an acked loss.  On a real flush fault the
+  // images are still published (the live table must not silently drop an
+  // applied operation); the typed status tells the caller the commit may
+  // not be durable and the op must not be acked — the restructure path
+  // fails stop on it.
+  std::vector<std::pair<PageId, std::vector<std::byte>>> staged;
+  {
+    std::lock_guard<std::mutex> guard(txn_mutex_);
+    auto it = txn_staged_.find(txn);
+    if (it != txn_staged_.end()) {
+      staged = std::move(it->second);
+      txn_staged_.erase(it);
+    }
+  }
+  for (const auto& [page, image] : staged) {
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    WriteLiveMemory(page, image.data());
+  }
+  return s;
+}
+
+IoStatus PageStore::FlushWal() {
+  if (wal_ == nullptr) return IoStatus::kOk;
+  return NoteIo(wal_->Flush());
+}
+
+IoStatus PageStore::Checkpoint() {
+  if (wal_ == nullptr) return IoStatus::kOk;
+  assert(!needs_recovery_);
+  const size_t n = extent();
+  const size_t slot_size = options_.page_size + kSlotTrailerSize;
+  std::vector<std::byte> slot(slot_size);
+  for (PageId p = 0; p < n; ++p) {
+    {
+      std::lock_guard<std::mutex> latch(LatchFor(p));
+      std::memcpy(slot.data(), PagePtr(p), options_.page_size);
+    }
+    SlotTrailer trailer;
+    trailer.magic = SlotTrailer::kMagic;
+    trailer.crc = Crc32c(slot.data(), options_.page_size);
+    std::memcpy(slot.data() + options_.page_size, &trailer, kSlotTrailerSize);
+    const IoStatus s = media_->WriteSlot(p, slot.data(), slot_size);
+    if (s != IoStatus::kOk) return NoteIo(s);
+  }
+  // Slots must be on the platter before the log that covers them goes
+  // away — truncating first would leave a crash with neither.
+  IoStatus s = media_->SyncSlots();
+  if (s != IoStatus::kOk) return NoteIo(s);
+  return NoteIo(wal_->Truncate());
+}
+
+RecoveryReport PageStore::Recover() {
+  RecoveryReport report;
+  if (wal_ == nullptr) {
+    report.status = IoStatus::kUnformatted;
+    report.error = "recovery requires Options::wal";
+    return report;
+  }
+
+  // 1. The log's clean prefix: committed transactions and their images.
+  std::vector<std::byte> log;
+  IoStatus s = media_->ReadWal(&log);
+  if (s != IoStatus::kOk) {
+    report.status = NoteIo(s);
+    report.error = "cannot read WAL";
+    return report;
+  }
+  const Wal::ScanResult scan = Wal::Scan(log.data(), log.size());
+  report.committed_txns = scan.committed_txns;
+  report.uncommitted_txns = scan.uncommitted_txns;
+  report.wal_torn_tail = scan.torn_tail;
+
+  const size_t slot_size = options_.page_size + kSlotTrailerSize;
+  const uint64_t num_slots = media_->NumSlots(slot_size);
+  size_t new_extent = size_t(num_slots);
+  for (const Wal::ScannedImage& img : scan.committed_images) {
+    if (img.len != options_.page_size || img.page == kInvalidPage) {
+      report.status = IoStatus::kCorrupt;
+      report.error = "committed image with wrong geometry";
+      return report;
+    }
+    new_extent = std::max(new_extent, size_t(img.page) + 1);
+  }
+  if (new_extent == 0) {
+    report.status = IoStatus::kUnformatted;
+    report.error = "durable media holds no pages";
+    return report;
+  }
+  EnsureCapacity(new_extent);
+  std::vector<char> covered(new_extent, 0);
+  for (const Wal::ScannedImage& img : scan.committed_images) {
+    covered[img.page] = 1;
+  }
+
+  // 2. Slot area: adopt checksum-clean pages; a damaged slot is fine iff
+  // the log will overwrite it (a torn checkpoint write), otherwise it is
+  // at-rest corruption — reported, never served.
+  std::vector<std::byte> slot(slot_size);
+  for (uint64_t p = 0; p < num_slots; ++p) {
+    s = media_->ReadSlot(p, slot.data(), slot_size);
+    if (s == IoStatus::kShortRead) {
+      ++report.unwritten_slots;
+      continue;
+    }
+    if (s != IoStatus::kOk) {
+      report.status = NoteIo(s);
+      report.error = "slot read failed";
+      return report;
+    }
+    SlotTrailer trailer;
+    std::memcpy(&trailer, slot.data() + options_.page_size, kSlotTrailerSize);
+    if (trailer.magic != SlotTrailer::kMagic ||
+        trailer.crc != Crc32c(slot.data(), options_.page_size)) {
+      const bool all_zero =
+          std::all_of(slot.begin(), slot.end(),
+                      [](std::byte b) { return b == std::byte{0}; });
+      if (all_zero) {
+        ++report.unwritten_slots;  // hole: allocated past, never written
+      } else if (covered[p]) {
+        ++report.repaired_slots;  // the redo pass below heals it
+      } else {
+        report.corrupt_pages.push_back(PageId(p));
+      }
+      continue;
+    }
+    std::memcpy(PagePtr(PageId(p)), slot.data(), options_.page_size);
+    ++report.slots_loaded;
+  }
+  if (!report.corrupt_pages.empty()) {
+    report.status = IoStatus::kCorrupt;
+    report.error = "checksum mismatch on pages without a committed image";
+    return report;
+  }
+
+  // 3. Redo: committed images in append order — per page that order agrees
+  // with lock order, so the last committed write wins and in-place slot
+  // content is irrelevant for every covered page.
+  for (const Wal::ScannedImage& img : scan.committed_images) {
+    std::memcpy(PagePtr(img.page), log.data() + img.offset,
+                options_.page_size);
+    ++report.replayed_images;
+  }
+
+  // 4. Allocator + log state.  Fresh txn ids must clear everything in the
+  // old log, or a new uncommitted transaction could alias an old durable
+  // commit record.  The caller rebuilds the free list from its own
+  // liveness scan (ResetFreeList) and should checkpoint when done.
+  {
+    std::lock_guard<std::mutex> guard(alloc_mutex_);
+    next_unused_ = new_extent;
+    free_list_.clear();
+  }
+  wal_->SetNextTxn(scan.max_txn + 1);
+  needs_recovery_ = false;
+  return report;
+}
+
+void PageStore::ResetFreeList(const std::vector<PageId>& free) {
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  free_list_ = free;
+}
+
+void PageStore::EnsureCapacity(size_t n_pages) {
+  std::lock_guard<std::mutex> guard(alloc_mutex_);
+  while (num_chunks_ * kPagesPerChunk < n_pages) {
+    assert(num_chunks_ < kMaxChunks && "PageStore chunk table exhausted");
+    chunks_[num_chunks_].store(
+        new std::byte[kPagesPerChunk * options_.page_size](),
+        std::memory_order_release);
+    ++num_chunks_;
+  }
+  while (num_seq_chunks_ * kPagesPerChunk < n_pages) {
+    assert(num_seq_chunks_ < kMaxChunks && "PageStore chunk table exhausted");
+    seq_chunks_[num_seq_chunks_].store(new SeqWord[kPagesPerChunk],
+                                       std::memory_order_release);
+    ++num_seq_chunks_;
+  }
+}
+
+void PageStore::CrashNow(uint64_t seed) {
+  assert(media_ != nullptr);
+  media_->Freeze(seed);
+}
+
+std::shared_ptr<CrashImage> PageStore::TakeCrashImage() const {
+  assert(mem_media_ != nullptr &&
+         "crash images come from memory-backed durable media");
+  return std::make_shared<CrashImage>(
+      mem_media_->Snapshot(options_.page_size));
+}
+
 PageStoreStats PageStore::stats() const {
   PageStoreStats s;
   s.reads = reads_.load(std::memory_order_relaxed);
@@ -297,6 +621,14 @@ PageStoreStats PageStore::stats() const {
   s.deallocs = deallocs_.load(std::memory_order_relaxed);
   s.optimistic_reads = optimistic_reads_.load(std::memory_order_relaxed);
   s.optimistic_torn = optimistic_torn_.load(std::memory_order_relaxed);
+  if (wal_ != nullptr) {
+    const Wal::Stats w = wal_->stats();
+    s.wal_txns = w.txns;
+    s.wal_appends = w.appends;
+    s.wal_commits = w.commits;
+    s.wal_flushes = w.flushes;
+    s.wal_flushed_bytes = w.flushed_bytes;
+  }
   std::lock_guard<std::mutex> guard(alloc_mutex_);
   s.live_pages = next_unused_ - free_list_.size();
   return s;

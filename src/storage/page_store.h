@@ -21,9 +21,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/page.h"
+#include "storage/wal.h"
 
 namespace exhash::storage {
 
@@ -36,6 +39,28 @@ struct PageStoreStats {
   uint64_t live_pages = 0;
   uint64_t optimistic_reads = 0;
   uint64_t optimistic_torn = 0;
+  // Durability layer (zero when Options::wal is off).
+  uint64_t wal_txns = 0;
+  uint64_t wal_appends = 0;
+  uint64_t wal_commits = 0;
+  uint64_t wal_flushes = 0;
+  uint64_t wal_flushed_bytes = 0;
+};
+
+// What Recover() found and did (DESIGN.md §9).  status != kOk means the
+// store must not serve: corruption is reported, never returned as data.
+struct RecoveryReport {
+  IoStatus status = IoStatus::kOk;
+  bool ok() const { return status == IoStatus::kOk; }
+  uint64_t slots_loaded = 0;      // checkpointed pages adopted (trailer ok)
+  uint64_t unwritten_slots = 0;   // never checkpointed (zeros / short)
+  uint64_t repaired_slots = 0;    // torn trailer healed by a committed image
+  uint64_t committed_txns = 0;
+  uint64_t uncommitted_txns = 0;  // in the log but never committed: ignored
+  uint64_t replayed_images = 0;
+  bool wal_torn_tail = false;     // log ends in a cut/corrupt record
+  std::vector<PageId> corrupt_pages;  // damaged at rest, no image to heal
+  std::string error;
 };
 
 class PageStore {
@@ -60,6 +85,32 @@ class PageStore {
     // seqlock protocol closes.  The verify sweeps must catch this variant
     // (DESIGN.md §4e).
     bool test_seq_bump_after_write = false;
+
+    // --- Durability (DESIGN.md §9) ---
+    // Enable the WAL + checksummed-slot durability layer.  Live pages then
+    // always reside in memory (the chunks double as the buffer pool); the
+    // durable media is `backing_file`+`wal_file` when backing_file is set,
+    // else an in-memory shadow (crash-simulation durability).  The read
+    // path is untouched: reads never consult the WAL or the slot area.
+    bool wal = false;
+    // Log file for the file-backed durable media; defaults to
+    // backing_file + ".wal" when empty.
+    std::string wal_file;
+    // true: every autonomous Write's commit record is fsynced before the
+    // write returns (every acked operation survives a crash).  false:
+    // group commit — records buffer in memory until a restructure commit
+    // point or explicit FlushWal() (cheaper; a crash may forget a suffix
+    // of acked single-page commits, never tear a restructure).
+    bool wal_flush_every_commit = true;
+    // Open existing backing_file/wal_file without truncating; the store
+    // serves nothing until Recover() succeeds.
+    bool recover = false;
+    // Adopt a simulated-crash survivor's durable bytes (memory-backed
+    // recovery); implies `recover` semantics.
+    std::shared_ptr<CrashImage> recover_image;
+    // TEST ONLY: flush the commit record before its page images (see
+    // Wal); the crash sweep must catch this broken commit ordering.
+    bool test_commit_before_images = false;
   };
 
   explicit PageStore(Options options);
@@ -107,7 +158,71 @@ class PageStore {
   uint64_t PageSeq(PageId page) const;
 
   // Atomically replaces the whole page from `in` (page_size() bytes).
+  // With the WAL enabled this is an autonomous one-page transaction:
+  // image record + commit, flushed per wal_flush_every_commit.
   void Write(PageId page, const void* in);
+
+  // --- Durability (DESIGN.md §9); only meaningful with Options::wal ---
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  // Multi-page atomicity for the restructure operations: writes logged
+  // under one transaction id recover all-or-nothing.  The caller must
+  // hold the pages' table-level locks across the whole transaction so
+  // per-page log order equals lock order.  The live pages do NOT change
+  // at Write(.., txn) time: images are staged and published at CommitTxn
+  // (publish-after-commit), so a caller must not read back its own
+  // pre-commit writes — none of the restructure protocols do.
+  uint64_t BeginTxn();
+  void Write(PageId page, const void* in, uint64_t txn);
+  // Appends the commit record; `flush` makes the transaction durable
+  // before returning (the restructure commit point), and only then are
+  // the staged images published to live memory.  Ordering is the crash-
+  // linearizability linchpin: a lock-free reader can observe an effect
+  // only after its commit record is on the durable media, so an acked
+  // Find never witnesses state a crash then forgets (the dirty-read-at-
+  // the-cut anomaly the sweep caught — DESIGN.md §9).  Emits
+  // kCommitPoint.  A non-kOk status means the commit may not be durable:
+  // the operation must not be acked.
+  IoStatus CommitTxn(uint64_t txn, bool flush = true);
+  IoStatus FlushWal();
+
+  // Quiescent checkpoint: writes every page in [0, extent) to the slot
+  // area with a CRC-32C trailer, syncs, then truncates the log.  No
+  // concurrent operations may be in flight.
+  IoStatus Checkpoint();
+
+  // Rebuilds live memory from the durable media: loads checksum-clean
+  // slots, scans the log's clean prefix, redoes committed page images in
+  // append order.  Torn slots with a committed image are healed; damaged
+  // pages without one are *reported* (status kCorrupt + corrupt_pages),
+  // never served.  On success the store serves traffic; the caller owns
+  // rebuilding table-level state (directory, free list — see
+  // ResetFreeList) and should checkpoint when done.
+  RecoveryReport Recover();
+
+  // Recovery-only: replaces the free list after the caller's liveness
+  // scan (pages not holding a live bucket are free for reuse).
+  void ResetFreeList(const std::vector<PageId>& free);
+
+  // Sticky record of the first durable-path I/O failure (typed: short
+  // read/write, ENOSPC, ...); kOk if none.  The audit seam the
+  // fault-injection tests observe.
+  IoStatus last_io_error() const {
+    return last_io_error_.load(std::memory_order_relaxed);
+  }
+
+  // Simulated power cut (memory-backed durable media): freezes the
+  // durable bytes — later flushes/checkpoints are dropped, the one write
+  // in flight lands as a seeded prefix — while live operation continues
+  // unawares.  TakeCrashImage() then hands the frozen bytes to a new
+  // store's Options::recover_image.
+  void CrashNow(uint64_t seed);
+  std::shared_ptr<CrashImage> TakeCrashImage() const;
+
+  // The durable media seam for fault-injection and witness tests (null
+  // when the WAL is off).
+  DurableMedia* durable_media() { return media_.get(); }
 
   size_t page_size() const { return options_.page_size; }
 
@@ -141,6 +256,18 @@ class PageStore {
     return latches_[page % kLatchStripes];
   }
   void SimulateLatency();
+  // The seqlock-bracketed transfer into live memory (odd bump, fenced
+  // word-atomic copy, even bump); shared by the memory backing and the
+  // WAL path.  Caller holds the page latch.
+  void WriteLiveMemory(PageId page, const void* in);
+  // Publishes memory + seq chunks covering pages [0, n) (recovery).
+  void EnsureCapacity(size_t n_pages);
+  IoStatus NoteIo(IoStatus s) {
+    if (s != IoStatus::kOk) {
+      last_io_error_.store(s, std::memory_order_relaxed);
+    }
+    return s;
+  }
   // The data transfers that race with optimistic readers, word-at-a-time
   // through relaxed atomics so the race is defined behavior (and
   // TSan-clean).  The page side is 8-aligned (chunk base is new[]-aligned,
@@ -182,6 +309,23 @@ class PageStore {
   std::atomic<uint64_t> deallocs_{0};
   std::atomic<uint64_t> optimistic_reads_{0};
   std::atomic<uint64_t> optimistic_torn_{0};
+
+  // Publish-after-commit staging (DESIGN.md §9): a transaction's page
+  // images wait here between Write(.., txn) and CommitTxn.  They cannot
+  // stay in the Wal's buffer — a concurrent commit's group flush drains
+  // that — and they cannot reference the caller's input buffer, which the
+  // tables reuse between PutBucket calls.
+  std::mutex txn_mutex_;
+  std::unordered_map<uint64_t,
+                     std::vector<std::pair<PageId, std::vector<std::byte>>>>
+      txn_staged_;
+
+  // Durability layer (null when Options::wal is off).
+  std::unique_ptr<DurableMedia> media_;
+  MemMedia* mem_media_ = nullptr;  // media_ downcast when memory-backed
+  std::unique_ptr<Wal> wal_;
+  bool needs_recovery_ = false;  // opened for recovery; Recover() not yet ok
+  std::atomic<IoStatus> last_io_error_{IoStatus::kOk};
 };
 
 }  // namespace exhash::storage

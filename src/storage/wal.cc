@@ -1,0 +1,440 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/checksum.h"
+#include "util/random.h"
+#include "util/test_hooks.h"
+
+namespace exhash::storage {
+
+const char* IoStatusName(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kShortRead: return "short-read";
+    case IoStatus::kShortWrite: return "short-write";
+    case IoStatus::kNoSpace: return "no-space";
+    case IoStatus::kIoError: return "io-error";
+    case IoStatus::kCorrupt: return "corrupt";
+    case IoStatus::kUnformatted: return "unformatted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- media --
+
+size_t DurableMedia::Admit(size_t n, IoStatus* fault) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (frozen_) {
+    if (tore_one_) return 0;  // power is off; nothing further lands
+    tore_one_ = true;
+    // The one write in flight at the cut: a seeded prefix of it reached
+    // the platter.  seed==point-of-death makes the tear replayable.
+    util::Rng rng(freeze_seed_ ^ 0x70FFu);
+    return n == 0 ? 0 : size_t(rng.Next() % (n + 1));
+  }
+  if (bytes_written_ + n > fault_after_bytes_) {
+    *fault = fault_status_;
+    return 0;
+  }
+  bytes_written_ += n;
+  return n;
+}
+
+IoStatus DurableMedia::AppendWal(const void* data, size_t n) {
+  IoStatus fault = IoStatus::kOk;
+  const size_t admit = Admit(n, &fault);
+  if (fault != IoStatus::kOk) return fault;
+  if (admit == 0 && n != 0) return IoStatus::kOk;  // frozen: silently dropped
+  return AppendWalImpl(data, admit);
+}
+
+IoStatus DurableMedia::TruncateWal() {
+  if (frozen()) return IoStatus::kOk;  // power already off: nothing changes
+  return TruncateWalImpl();
+}
+
+IoStatus DurableMedia::WriteSlot(uint64_t slot, const void* data,
+                                 size_t slot_size) {
+  IoStatus fault = IoStatus::kOk;
+  const size_t admit = Admit(slot_size, &fault);
+  if (fault != IoStatus::kOk) return fault;
+  if (admit == slot_size) return WriteSlotImpl(slot, data, slot_size);
+  if (admit == 0) return IoStatus::kOk;  // frozen: dropped
+  // Torn slot write: only the admitted prefix lands; the rest of the slot
+  // keeps its old bytes — exactly what the trailer CRC exists to catch.
+  std::vector<std::byte> old(slot_size);
+  const IoStatus r = ReadSlot(slot, old.data(), slot_size);
+  if (r == IoStatus::kShortRead) old.assign(slot_size, std::byte{0});
+  std::memcpy(old.data(), data, admit);
+  return WriteSlotImpl(slot, old.data(), slot_size);
+}
+
+IoStatus DurableMedia::SyncSlots() {
+  if (frozen()) return IoStatus::kOk;
+  return SyncSlotsImpl();
+}
+
+void DurableMedia::Freeze(uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (frozen_) return;
+  frozen_ = true;
+  freeze_seed_ = seed;
+}
+
+bool DurableMedia::frozen() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return frozen_;
+}
+
+void DurableMedia::SetTestFault(uint64_t after_bytes, IoStatus status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_after_bytes_ = after_bytes;
+  fault_status_ = status;
+}
+
+// ------------------------------------------------------------- MemMedia --
+
+MemMedia::MemMedia(const CrashImage& image)
+    : slots_(image.slots), wal_(image.wal) {}
+
+IoStatus MemMedia::AppendWalImpl(const void* data, size_t n) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  const auto* p = static_cast<const std::byte*>(data);
+  wal_.insert(wal_.end(), p, p + n);
+  return IoStatus::kOk;
+}
+
+IoStatus MemMedia::TruncateWalImpl() {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  wal_.clear();
+  return IoStatus::kOk;
+}
+
+IoStatus MemMedia::WriteSlotImpl(uint64_t slot, const void* data,
+                                 size_t slot_size) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  const size_t end = (slot + 1) * slot_size;
+  if (slots_.size() < end) slots_.resize(end);
+  std::memcpy(slots_.data() + slot * slot_size, data, slot_size);
+  return IoStatus::kOk;
+}
+
+IoStatus MemMedia::ReadWal(std::vector<std::byte>* out) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  *out = wal_;
+  return IoStatus::kOk;
+}
+
+IoStatus MemMedia::ReadSlot(uint64_t slot, void* out, size_t slot_size) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  const size_t off = slot * slot_size;
+  if (off + slot_size > slots_.size()) return IoStatus::kShortRead;
+  std::memcpy(out, slots_.data() + off, slot_size);
+  return IoStatus::kOk;
+}
+
+uint64_t MemMedia::NumSlots(size_t slot_size) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  return slots_.size() / slot_size;
+}
+
+CrashImage MemMedia::Snapshot(size_t page_size) const {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  CrashImage image;
+  image.page_size = page_size;
+  image.slots = slots_;
+  image.wal = wal_;
+  return image;
+}
+
+// ------------------------------------------------------------ FileMedia --
+
+namespace {
+
+// pwrite until done; EINTR retried, partial progress continued.  The loop
+// is the short-write audit: the old single-shot call could silently drop
+// the tail of a page in release builds.
+IoStatus PwriteFully(int fd, const void* data, size_t n, off_t off) {
+  const auto* p = static_cast<const std::byte*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::pwrite(fd, p + done, n - done, off + off_t(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno == ENOSPC ? IoStatus::kNoSpace : IoStatus::kIoError;
+    }
+    if (w == 0) return IoStatus::kShortWrite;
+    done += size_t(w);
+  }
+  return IoStatus::kOk;
+}
+
+// pread until done or EOF; distinguishes kernel errors from a short file.
+IoStatus PreadFully(int fd, void* out, size_t n, off_t off, size_t* got) {
+  auto* p = static_cast<std::byte*>(out);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, p + done, n - done, off + off_t(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      *got = done;
+      return IoStatus::kIoError;
+    }
+    if (r == 0) break;  // EOF
+    done += size_t(r);
+  }
+  *got = done;
+  return done == n ? IoStatus::kOk : IoStatus::kShortRead;
+}
+
+}  // namespace
+
+FileMedia::FileMedia(const std::string& slots_path,
+                     const std::string& wal_path, bool recover) {
+  const int flags = O_RDWR | O_CREAT | (recover ? 0 : O_TRUNC);
+  slots_fd_ = ::open(slots_path.c_str(), flags, 0644);
+  wal_fd_ = ::open(wal_path.c_str(), flags, 0644);
+  if (wal_fd_ >= 0) {
+    struct stat st;
+    if (::fstat(wal_fd_, &st) == 0) wal_offset_ = uint64_t(st.st_size);
+  }
+}
+
+FileMedia::~FileMedia() {
+  if (slots_fd_ >= 0) ::close(slots_fd_);
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+IoStatus FileMedia::AppendWalImpl(const void* data, size_t n) {
+  const IoStatus s = PwriteFully(wal_fd_, data, n, off_t(wal_offset_));
+  if (s != IoStatus::kOk) return s;
+  wal_offset_ += n;
+  if (::fsync(wal_fd_) < 0) return IoStatus::kIoError;
+  return IoStatus::kOk;
+}
+
+IoStatus FileMedia::TruncateWalImpl() {
+  if (::ftruncate(wal_fd_, 0) < 0) {
+    return errno == ENOSPC ? IoStatus::kNoSpace : IoStatus::kIoError;
+  }
+  wal_offset_ = 0;
+  if (::fsync(wal_fd_) < 0) return IoStatus::kIoError;
+  return IoStatus::kOk;
+}
+
+IoStatus FileMedia::WriteSlotImpl(uint64_t slot, const void* data,
+                                  size_t slot_size) {
+  return PwriteFully(slots_fd_, data, slot_size,
+                     off_t(slot) * off_t(slot_size));
+}
+
+IoStatus FileMedia::SyncSlotsImpl() {
+  return ::fsync(slots_fd_) < 0 ? IoStatus::kIoError : IoStatus::kOk;
+}
+
+IoStatus FileMedia::ReadWal(std::vector<std::byte>* out) {
+  struct stat st;
+  if (::fstat(wal_fd_, &st) < 0) return IoStatus::kIoError;
+  out->resize(size_t(st.st_size));
+  if (out->empty()) return IoStatus::kOk;
+  size_t got = 0;
+  return PreadFully(wal_fd_, out->data(), out->size(), 0, &got);
+}
+
+IoStatus FileMedia::ReadSlot(uint64_t slot, void* out, size_t slot_size) {
+  size_t got = 0;
+  return PreadFully(slots_fd_, out, slot_size, off_t(slot) * off_t(slot_size),
+                    &got);
+}
+
+uint64_t FileMedia::NumSlots(size_t slot_size) {
+  struct stat st;
+  if (::fstat(slots_fd_, &st) < 0) return 0;
+  return uint64_t(st.st_size) / slot_size;
+}
+
+// ------------------------------------------------------------------ Wal --
+
+namespace {
+
+template <typename T>
+void PutRaw(std::vector<std::byte>* out, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+Wal::Wal(DurableMedia* media, bool test_commit_before_images)
+    : media_(media), test_commit_before_images_(test_commit_before_images) {}
+
+uint64_t Wal::BeginTxn() {
+  return next_txn_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Wal::SetNextTxn(uint64_t next) {
+  next_txn_.store(next, std::memory_order_relaxed);
+}
+
+void Wal::AppendRecord(uint8_t type, uint64_t txn, PageId page,
+                       const void* payload, size_t payload_len,
+                       std::vector<std::byte>* out) {
+  const size_t start = out->size();
+  PutRaw<uint32_t>(out, kRecordMagic);
+  PutRaw<uint8_t>(out, type);
+  PutRaw<uint8_t>(out, 0);
+  PutRaw<uint8_t>(out, 0);
+  PutRaw<uint8_t>(out, 0);
+  PutRaw<uint64_t>(out, txn);
+  PutRaw<uint32_t>(out, page);
+  PutRaw<uint32_t>(out, uint32_t(payload_len));
+  if (payload_len != 0) {
+    const auto* p = static_cast<const std::byte*>(payload);
+    out->insert(out->end(), p, p + payload_len);
+  }
+  const uint32_t crc =
+      Crc32c(out->data() + start, kHeaderSize + payload_len);
+  PutRaw<uint32_t>(out, crc);
+}
+
+void Wal::LogPageImage(uint64_t txn, PageId page, const void* image,
+                       size_t n) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    AppendRecord(kTypeImage, txn, page, image, n,
+                 test_commit_before_images_ ? &pending_ : &buffer_);
+    ++stats_.appends;
+  }
+  util::TestHooks::Emit(util::HookPoint::kWalAppend, this);
+}
+
+IoStatus Wal::Commit(uint64_t txn, bool flush) {
+  IoStatus s = IoStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    AppendRecord(kTypeCommit, txn, kInvalidPage, nullptr, 0, &buffer_);
+    ++stats_.appends;
+    ++stats_.commits;
+    if (flush) {
+      s = FlushLocked();
+      if (test_commit_before_images_ && !pending_.empty()) {
+        // BROKEN (test only): the commit record is durable, the images it
+        // vouches for are not — they rejoin the buffer and ride the *next*
+        // flush.  A crash in between forgets an acked operation's pages
+        // while recovery still believes the transaction committed.
+        buffer_.insert(buffer_.end(), pending_.begin(), pending_.end());
+        pending_.clear();
+      }
+    }
+  }
+  util::TestHooks::Emit(util::HookPoint::kWalAppend, this);
+  util::TestHooks::Emit(util::HookPoint::kCommitPoint, this);
+  return s;
+}
+
+IoStatus Wal::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (test_commit_before_images_ && !pending_.empty()) {
+    buffer_.insert(buffer_.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+  }
+  return FlushLocked();
+}
+
+IoStatus Wal::FlushLocked() {
+  util::TestHooks::Emit(util::HookPoint::kWalFsync, this);
+  if (buffer_.empty()) return IoStatus::kOk;
+  const IoStatus s = media_->AppendWal(buffer_.data(), buffer_.size());
+  if (s != IoStatus::kOk) return s;
+  ++stats_.flushes;
+  stats_.flushed_bytes += buffer_.size();
+  buffer_.clear();
+  return IoStatus::kOk;
+}
+
+IoStatus Wal::Truncate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buffer_.clear();
+  pending_.clear();
+  return media_->TruncateWal();
+}
+
+Wal::Stats Wal::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = stats_;
+  s.txns = next_txn_.load(std::memory_order_relaxed) - 1;
+  return s;
+}
+
+Wal::ScanResult Wal::Scan(const std::byte* data, size_t n) {
+  ScanResult result;
+  // Pass 1: walk the clean prefix, collecting the committed-txn set.
+  struct Rec {
+    uint8_t type;
+    uint64_t txn;
+    PageId page;
+    size_t payload_off;
+    size_t payload_len;
+  };
+  std::vector<Rec> records;
+  std::vector<uint64_t> committed;
+  size_t off = 0;
+  while (off + kHeaderSize + sizeof(uint32_t) <= n) {
+    const std::byte* h = data + off;
+    if (GetRaw<uint32_t>(h) != kRecordMagic) break;
+    const uint8_t type = GetRaw<uint8_t>(h + 4);
+    const uint64_t txn = GetRaw<uint64_t>(h + 8);
+    const PageId page = GetRaw<uint32_t>(h + 16);
+    const uint32_t len = GetRaw<uint32_t>(h + 20);
+    if (len > (uint32_t{1} << 20)) break;  // implausible: treat as torn
+    if (off + kHeaderSize + len + sizeof(uint32_t) > n) break;
+    const uint32_t crc = GetRaw<uint32_t>(h + kHeaderSize + len);
+    if (crc != Crc32c(h, kHeaderSize + len)) break;
+    if (type != kTypeImage && type != kTypeCommit) break;
+    records.push_back(Rec{type, txn, page, off + kHeaderSize, len});
+    if (type == kTypeCommit) committed.push_back(txn);
+    result.max_txn = std::max(result.max_txn, txn);
+    off += kHeaderSize + len + sizeof(uint32_t);
+  }
+  result.valid_bytes = off;
+  result.torn_tail = off < n;
+  std::sort(committed.begin(), committed.end());
+  result.committed_txns = committed.size();
+
+  // Pass 2: page images of committed transactions, in append order.
+  std::vector<uint64_t> seen_uncommitted;
+  for (const Rec& r : records) {
+    if (r.type != kTypeImage) continue;
+    if (std::binary_search(committed.begin(), committed.end(), r.txn)) {
+      result.committed_images.push_back(
+          ScannedImage{r.txn, r.page, r.payload_off, r.payload_len});
+    } else {
+      seen_uncommitted.push_back(r.txn);
+    }
+  }
+  std::sort(seen_uncommitted.begin(), seen_uncommitted.end());
+  seen_uncommitted.erase(
+      std::unique(seen_uncommitted.begin(), seen_uncommitted.end()),
+      seen_uncommitted.end());
+  result.uncommitted_txns = seen_uncommitted.size();
+  return result;
+}
+
+}  // namespace exhash::storage

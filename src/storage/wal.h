@@ -1,0 +1,284 @@
+// Durability layer for PageStore (DESIGN.md §9): a redo-only write-ahead
+// log plus a checksummed slot area, both living on "durable media" that a
+// crash — real or simulated — truncates to a prefix.
+//
+// Model.  With the WAL enabled, live pages always reside in memory (the
+// memory chunks double as the buffer pool even when files back the store);
+// what survives a crash is exactly
+//
+//     durable state = slot area (last completed checkpoint)
+//                   + flushed WAL prefix (possibly cut mid-record).
+//
+// Every page write appends a full-page-image record under a transaction id;
+// a transaction becomes atomic-across-crash the instant its commit record
+// is flushed (HookPoint::kCommitPoint).  Slots are only written at
+// Checkpoint() — a quiescent operation that syncs every live page (with a
+// CRC-32C trailer) and then truncates the log — so the slot area never
+// holds uncommitted data and recovery needs no undo pass:
+//
+//   1. load every slot whose trailer checks (a torn slot is fine if the
+//      log holds a committed image for it; otherwise it is corruption and
+//      is *reported*, never served),
+//   2. scan the log prefix up to the first torn/corrupt record,
+//   3. redo the page images of committed transactions in append order.
+//
+// Append order per page agrees with lock order (writers hold the bucket
+// lock across their commit), so the last committed image wins and the
+// recovered store equals the crash-time committed state.
+//
+// Crash simulation.  DurableMedia::Freeze(seed) is the simulated power
+// cut: the first durable write attempted after the freeze lands as a
+// seeded prefix (a torn fsync / torn slot write), every later one is
+// dropped — while the live store keeps running unawares, which is what
+// lets the crash harness kill a table at *any* yield point mid-schedule
+// and still join the pre/post-crash histories.
+
+#ifndef EXHASH_STORAGE_WAL_H_
+#define EXHASH_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace exhash::storage {
+
+// Typed I/O outcomes for the durable paths — the audit that replaced the
+// release-mode-invisible asserts around pread/pwrite.  kOk aside, these
+// surface to callers of Flush/Commit/Checkpoint/Recover and through
+// PageStore::last_io_error(); the legacy (non-WAL) file backing aborts
+// loudly instead, since it has no transactional frame to fail inside.
+enum class IoStatus : uint8_t {
+  kOk = 0,
+  kShortRead,    // fewer bytes than requested and no errno
+  kShortWrite,   // ditto for writes
+  kNoSpace,      // ENOSPC
+  kIoError,      // any other errno from the kernel
+  kCorrupt,      // checksum/magic mismatch on data at rest
+  kUnformatted,  // durable media holds no formatted table
+};
+
+const char* IoStatusName(IoStatus s);
+
+// The bytes that survived a simulated crash: a frozen DurableMedia's
+// contents, handed from the dead store to the recovering one.
+struct CrashImage {
+  size_t page_size = 0;
+  std::vector<std::byte> slots;  // slot area (page + trailer each)
+  std::vector<std::byte> wal;    // flushed WAL stream
+};
+
+// Per-slot trailer: written with every checkpointed page, verified on
+// recovery.  The crc covers the page bytes only; the magic distinguishes
+// "never written" (zeros) from "written then damaged".
+struct SlotTrailer {
+  static constexpr uint32_t kMagic = 0x9A6E57A1u;
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+};
+constexpr size_t kSlotTrailerSize = sizeof(SlotTrailer);
+
+// Durable media: the WAL stream plus the slot area, with the crash-freeze
+// seam. Implementations: in-memory shadow (crash simulation) and real
+// files (true persistence across process restarts).
+class DurableMedia {
+ public:
+  virtual ~DurableMedia() = default;
+
+  // Appends to the durable WAL stream (the flush-time transfer; the Wal
+  // buffers records in memory until then).
+  IoStatus AppendWal(const void* data, size_t n);
+  // Reads the entire durable WAL stream.
+  virtual IoStatus ReadWal(std::vector<std::byte>* out) = 0;
+  // Empties the WAL stream (checkpoint completion).
+  IoStatus TruncateWal();
+
+  // Slot area: fixed-size records at slot * slot_size.
+  IoStatus WriteSlot(uint64_t slot, const void* data, size_t slot_size);
+  virtual IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) = 0;
+  virtual uint64_t NumSlots(size_t slot_size) = 0;
+  IoStatus SyncSlots();
+
+  // Simulated power cut: the first durable write attempted after the
+  // freeze is applied as a seeded prefix, all later ones are dropped.
+  // Frozen writes still report kOk — the dying process must not learn of
+  // the crash through its own I/O.
+  void Freeze(uint64_t seed);
+  bool frozen() const;
+
+  // Fault-injection seam for the I/O-audit tests: after `after_bytes`
+  // durable bytes have been written, every further durable write fails
+  // with `status`.
+  void SetTestFault(uint64_t after_bytes, IoStatus status);
+
+ protected:
+  virtual IoStatus AppendWalImpl(const void* data, size_t n) = 0;
+  virtual IoStatus TruncateWalImpl() = 0;
+  virtual IoStatus WriteSlotImpl(uint64_t slot, const void* data,
+                                 size_t slot_size) = 0;
+  virtual IoStatus SyncSlotsImpl() = 0;
+
+ private:
+  // Returns how many of `n` bytes this durable write may apply (freeze
+  // semantics), or the injected fault through `fault`.
+  size_t Admit(size_t n, IoStatus* fault);
+
+  mutable std::mutex mu_;
+  bool frozen_ = false;
+  bool tore_one_ = false;  // the single in-flight write at the cut
+  uint64_t freeze_seed_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t fault_after_bytes_ = UINT64_MAX;
+  IoStatus fault_status_ = IoStatus::kNoSpace;
+};
+
+// In-memory shadow media for crash simulation (and for WAL-enabled tables
+// with no backing files — durability against *simulated* crashes only).
+class MemMedia : public DurableMedia {
+ public:
+  MemMedia() = default;
+  explicit MemMedia(const CrashImage& image);
+
+  IoStatus ReadWal(std::vector<std::byte>* out) override;
+  IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) override;
+  uint64_t NumSlots(size_t slot_size) override;
+
+  // Copies the durable bytes out (call after Freeze, workers joined).
+  CrashImage Snapshot(size_t page_size) const;
+
+  // Test-only direct mutation of durable bytes: the torn-page witness
+  // flips bits in a committed slot "on disk".
+  std::vector<std::byte>* mutable_slots() { return &slots_; }
+
+ protected:
+  IoStatus AppendWalImpl(const void* data, size_t n) override;
+  IoStatus TruncateWalImpl() override;
+  IoStatus WriteSlotImpl(uint64_t slot, const void* data,
+                         size_t slot_size) override;
+  IoStatus SyncSlotsImpl() override { return IoStatus::kOk; }
+
+ private:
+  mutable std::mutex data_mu_;
+  std::vector<std::byte> slots_;
+  std::vector<std::byte> wal_;
+};
+
+// Real files: `slots_path` holds the checksummed slot area, `wal_path`
+// the log. With `recover` the files are opened as-is (reopen after a
+// crash or clean shutdown); otherwise both are truncated.
+class FileMedia : public DurableMedia {
+ public:
+  FileMedia(const std::string& slots_path, const std::string& wal_path,
+            bool recover);
+  ~FileMedia() override;
+
+  bool ok() const { return slots_fd_ >= 0 && wal_fd_ >= 0; }
+
+  IoStatus ReadWal(std::vector<std::byte>* out) override;
+  IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) override;
+  uint64_t NumSlots(size_t slot_size) override;
+
+ protected:
+  IoStatus AppendWalImpl(const void* data, size_t n) override;
+  IoStatus TruncateWalImpl() override;
+  IoStatus WriteSlotImpl(uint64_t slot, const void* data,
+                         size_t slot_size) override;
+  IoStatus SyncSlotsImpl() override;
+
+ private:
+  int slots_fd_ = -1;
+  int wal_fd_ = -1;
+  uint64_t wal_offset_ = 0;  // append position (logical end of the log)
+};
+
+// Write-ahead log over a DurableMedia.
+//
+// Record wire format (fixed 24-byte header, CRC-32C over header+payload):
+//
+//   u32 magic  u8 type  u8[3] pad  u64 txn  u32 page  u32 payload_len
+//   [payload_len bytes]  u32 crc
+//
+// type 1 = page image (payload = the page), type 2 = commit (no payload,
+// page = kInvalidPage).  Recovery parses the longest clean prefix; the
+// first short or CRC-failing record is the torn tail and ends the scan.
+class Wal {
+ public:
+  static constexpr uint32_t kRecordMagic = 0x3AA17E05u;
+  static constexpr uint8_t kTypeImage = 1;
+  static constexpr uint8_t kTypeCommit = 2;
+  static constexpr size_t kHeaderSize = 24;
+
+  struct Stats {
+    uint64_t txns = 0;
+    uint64_t appends = 0;        // records appended (images + commits)
+    uint64_t commits = 0;
+    uint64_t flushes = 0;
+    uint64_t flushed_bytes = 0;
+  };
+
+  // `test_commit_before_images`: the deliberately broken protocol the
+  // crash sweep must catch — a transaction's page images are withheld
+  // from the buffer until *after* its commit record has been flushed, so
+  // a crash in between leaves a committed transaction with no images
+  // (an acked operation recovery silently forgets).
+  Wal(DurableMedia* media, bool test_commit_before_images);
+
+  uint64_t BeginTxn();
+  void LogPageImage(uint64_t txn, PageId page, const void* image, size_t n);
+  // Appends the commit record; when `flush`, makes everything buffered
+  // durable before returning (the group-flush at a restructure commit
+  // point, or every commit under flush-every-commit policy).
+  IoStatus Commit(uint64_t txn, bool flush);
+  IoStatus Flush();
+
+  // Checkpoint completion: drops the durable stream and the buffer.
+  // Caller guarantees quiescence.
+  IoStatus Truncate();
+
+  // Recovery must start transaction ids above everything in the old log,
+  // or a fresh uncommitted txn could alias an old durable commit record.
+  void SetNextTxn(uint64_t next);
+
+  Stats stats() const;
+
+  // --- Recovery-side decoding (static: runs on raw durable bytes) ---
+  struct ScannedImage {
+    uint64_t txn = 0;
+    PageId page = kInvalidPage;
+    size_t offset = 0;  // payload offset into the scanned stream
+    size_t len = 0;
+  };
+  struct ScanResult {
+    std::vector<ScannedImage> committed_images;  // append order
+    uint64_t committed_txns = 0;
+    uint64_t uncommitted_txns = 0;  // records seen, commit never durable
+    uint64_t max_txn = 0;
+    size_t valid_bytes = 0;
+    bool torn_tail = false;
+  };
+  static ScanResult Scan(const std::byte* data, size_t n);
+
+ private:
+  IoStatus FlushLocked();
+  void AppendRecord(uint8_t type, uint64_t txn, PageId page,
+                    const void* payload, size_t payload_len,
+                    std::vector<std::byte>* out);
+
+  DurableMedia* const media_;
+  const bool test_commit_before_images_;
+
+  mutable std::mutex mu_;
+  std::vector<std::byte> buffer_;   // appended, not yet durable
+  std::vector<std::byte> pending_;  // broken variant: images held back
+  std::atomic<uint64_t> next_txn_{1};
+  Stats stats_;
+};
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_WAL_H_

@@ -69,9 +69,23 @@ enum class HookPoint : uint8_t {
   // how the torn-read tests hold a half-written page in place while
   // optimistic readers run against it.
   kPageCopy = 11,
+  // Durability layer (DESIGN.md §9).  A WAL record (page image or commit)
+  // was just appended to the in-memory log buffer; `where` is the Wal.
+  // Nothing is durable yet — a crash here loses the record.
+  kWalAppend = 12,
+  // A WAL flush is about to transfer the buffered suffix to durable media;
+  // `where` is the Wal.  A crash *at* this point models power loss during
+  // fsync: the flush lands as a seeded prefix (possibly cut mid-record,
+  // the torn tail recovery must detect).
+  kWalFsync = 13,
+  // A transaction's commit record was appended and, per the flush policy,
+  // made durable; `where` is the Wal.  This is the instant a restructure
+  // (split/merge) becomes atomic-across-crash: before it, recovery ignores
+  // the whole transaction; after it, recovery replays every page image.
+  kCommitPoint = 14,
 };
 
-constexpr int kNumHookPoints = 12;
+constexpr int kNumHookPoints = 15;
 
 class TestHooks {
  public:

@@ -1,0 +1,432 @@
+#include "verify/crash.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "core/table_base.h"
+#include "storage/bucket.h"
+#include "util/random.h"
+#include "util/test_hooks.h"
+#include "verify/history.h"
+
+namespace exhash::verify {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, stream) pairs into RNG seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15u * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9u;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBu;
+  return z ^ (z >> 31);
+}
+
+// The emissions a cut is allowed to land on: the durability protocol's own
+// yield points plus the two pre-existing restructure-visible ones, so the
+// sweep kills inside page writes and snapshot publishes too, not only
+// around the log.
+bool IsKillPoint(util::HookPoint p) {
+  switch (p) {
+    case util::HookPoint::kWalAppend:
+    case util::HookPoint::kWalFsync:
+    case util::HookPoint::kCommitPoint:
+    case util::HookPoint::kPageCopy:
+    case util::HookPoint::kSnapshotPublish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* KillPointName(util::HookPoint p) {
+  switch (p) {
+    case util::HookPoint::kWalAppend:
+      return "wal-append";
+    case util::HookPoint::kWalFsync:
+      return "wal-fsync";
+    case util::HookPoint::kCommitPoint:
+      return "commit-point";
+    case util::HookPoint::kPageCopy:
+      return "page-copy";
+    case util::HookPoint::kSnapshotPublish:
+      return "snapshot-publish";
+    default:
+      return "?";
+  }
+}
+
+class CrashController;
+thread_local CrashController* tls_crash_owner = nullptr;
+thread_local int tls_crash_tid = -1;
+
+// Counts durability-relevant emissions from tracked worker threads and
+// fires the simulated power cut at the kill_index-th one.  Also injects
+// mild seeded yields so different seeds explore different interleavings
+// (decisions depend only on (seed, thread, decision index) — replayable).
+class CrashController {
+ public:
+  CrashController(const CrashConfig& config, uint64_t kill_index,
+                  storage::PageStore* store, History* history)
+      : config_(config),
+        kill_index_(kill_index),
+        store_(store),
+        history_(history) {
+    for (int t = 0; t < config.threads; ++t) {
+      rngs_.emplace_back(MixSeed(config.seed, 0xC4A5Du + uint64_t(t)));
+    }
+    util::TestHooks::Install(&Trampoline, this);
+  }
+
+  ~CrashController() { Stop(); }
+
+  void Stop() {
+    if (util::TestHooks::Installed()) util::TestHooks::Clear();
+  }
+
+  void BeginThread(int tid) {
+    tls_crash_owner = this;
+    tls_crash_tid = tid;
+  }
+  void EndThread(int) {
+    tls_crash_owner = nullptr;
+    tls_crash_tid = -1;
+  }
+
+  // The quiescent cut: kill_index was never reached, so the cut lands
+  // after the workers finished — every acked operation must survive.
+  void ForceCrash() {
+    bool expected = false;
+    if (!crashed_.compare_exchange_strong(expected, true)) return;
+    crash_tick_ = history_->ExternalTick();
+    store_->CrashNow(MixSeed(config_.seed, 0xDEAD));
+    killed_at_ = "quiescent";
+  }
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  uint64_t crash_tick() const { return crash_tick_; }
+  uint64_t points() const { return points_.load(std::memory_order_relaxed); }
+  const char* killed_at() const { return killed_at_; }
+
+ private:
+  static void Trampoline(void* ctx, util::HookPoint point, const void*) {
+    static_cast<CrashController*>(ctx)->AtPoint(point);
+  }
+
+  void AtPoint(util::HookPoint point) {
+    if (tls_crash_owner != this || tls_crash_tid < 0) return;
+    if (!IsKillPoint(point)) return;
+    const uint64_t n = points_.fetch_add(1, std::memory_order_relaxed);
+    if (store_ != nullptr && n == kill_index_) {
+      bool expected = false;
+      if (crashed_.compare_exchange_strong(expected, true)) {
+        // Tick first, then freeze: an op whose response tick precedes
+        // crash_tick_ then provably flushed before the media froze (see
+        // History::ExternalTick), so requiring it of recovery is sound.
+        crash_tick_ = history_->ExternalTick();
+        store_->CrashNow(MixSeed(config_.seed, 0xDEAD));
+        killed_at_ = KillPointName(point);
+      }
+      return;
+    }
+    util::Rng& rng = rngs_[size_t(tls_crash_tid)];
+    if (rng.NextDouble() < 0.15) std::this_thread::yield();
+  }
+
+  const CrashConfig config_;
+  const uint64_t kill_index_;
+  storage::PageStore* const store_;
+  History* const history_;
+  std::vector<util::Rng> rngs_;
+  std::atomic<uint64_t> points_{0};
+  std::atomic<bool> crashed_{false};
+  uint64_t crash_tick_ = 0;
+  const char* killed_at_ = "?";
+};
+
+std::unique_ptr<core::TableBase> MakeTable(
+    const CrashConfig& config,
+    std::shared_ptr<storage::CrashImage> recover_from) {
+  core::TableOptions options;
+  options.page_size = config.page_size;
+  options.initial_depth = config.initial_depth;
+  options.wal = true;
+  options.wal_flush_every_commit = true;
+  options.test_commit_before_images = config.test_commit_before_images;
+  options.recover_from = std::move(recover_from);
+  if (config.variant == 1) {
+    return std::make_unique<core::EllisHashTableV1>(options);
+  }
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+// Restructure-heavy mix: the first half of each thread's ops leans insert
+// (splits and doublings), the second half leans remove (merges and, with
+// them, halvings), so every kill index lands near some restructure.
+void RunWorkload(core::KeyValueIndex* index, const CrashConfig& config,
+                 uint64_t stream_salt, int ops_per_thread,
+                 CrashController* controller) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (controller != nullptr) controller->BeginThread(t);
+      util::Rng rng(MixSeed(config.seed, stream_salt + uint64_t(t)));
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const double roll = rng.NextDouble();
+        const uint64_t key = rng.Uniform(config.key_space);
+        const uint64_t value = (uint64_t(t + 1) << 32) | uint64_t(i + 1);
+        if (i < ops_per_thread / 2) {
+          if (roll < 0.70) {
+            index->Insert(key, value);
+          } else if (roll < 0.85) {
+            index->Find(key, nullptr);
+          } else {
+            index->Remove(key);
+          }
+        } else {
+          if (roll < 0.20) {
+            index->Insert(key, value);
+          } else if (roll < 0.35) {
+            index->Find(key, nullptr);
+          } else {
+            index->Remove(key);
+          }
+        }
+      }
+      if (controller != nullptr) controller->EndThread(t);
+    });
+  }
+  while (ready.load() != config.threads) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace
+
+uint64_t CountCrashPoints(const CrashConfig& config) {
+  std::unique_ptr<core::TableBase> table = MakeTable(config, nullptr);
+  // No store/history: the controller only counts.
+  CrashController controller(config, UINT64_MAX, nullptr, nullptr);
+  RunWorkload(table.get(), config, 0x05EEDu, config.ops_per_thread,
+              &controller);
+  controller.Stop();
+  return controller.points();
+}
+
+CrashOutcome RunOneCrashSchedule(const CrashConfig& config,
+                                 uint64_t kill_index) {
+  CrashOutcome outcome;
+  outcome.seed = config.seed;
+  outcome.kill_index = kill_index;
+
+  // --- Pre-crash phase: run until the cut (threads finish unawares). ---
+  std::unique_ptr<core::TableBase> table = MakeTable(config, nullptr);
+  RecordingIndex pre(table.get());
+  CrashController controller(config, kill_index, &table->Store(),
+                             &pre.history());
+  RunWorkload(&pre, config, 0x05EEDu, config.ops_per_thread, &controller);
+  if (!controller.crashed()) controller.ForceCrash();
+  controller.Stop();
+  outcome.killed_at = controller.killed_at();
+  outcome.crash_tick = controller.crash_tick();
+  outcome.points = controller.points();
+
+  // --- The crash: only the frozen durable bytes cross it. ---
+  std::shared_ptr<storage::CrashImage> image =
+      table->Store().TakeCrashImage();
+  table.reset();
+
+  // --- Recovery pre-flight on a scratch store. ---
+  // A table constructor treats failed recovery as fail-stop (abort):
+  // correct for production, useless for a sweep that must *observe* the
+  // refusal (the broken commit protocol can leave a committed InitBuckets
+  // transaction with no durable images — an empty, unservable medium).
+  // Dry-run the storage recovery and the liveness scan first; a refusal
+  // is a recorded failure, not a dead test process.
+  std::string refusal;
+  {
+    storage::PageStore::Options so;
+    so.page_size = config.page_size;
+    so.wal = true;
+    so.recover_image = image;
+    storage::PageStore scratch(so);
+    outcome.recovery = scratch.Recover();
+    if (!outcome.recovery.ok()) {
+      refusal = "storage recovery refused to serve: " +
+                outcome.recovery.error;
+    } else {
+      const int capacity = storage::Bucket::CapacityFor(config.page_size);
+      std::vector<std::byte> page(config.page_size);
+      bool any_live = false;
+      for (size_t p = 0; p < scratch.extent() && !any_live; ++p) {
+        scratch.Read(storage::PageId(p), page.data());
+        storage::Bucket b(capacity);
+        any_live = storage::Bucket::DeserializeFrom(page.data(),
+                                                    config.page_size, &b) &&
+                   !b.deleted;
+      }
+      if (!any_live) refusal = "recovery found no live buckets";
+    }
+  }
+  // --- Recovery + post-crash phase. ---
+  std::unique_ptr<core::TableBase> recovered;
+  bool structurally_ok = false;
+  std::string validate_error;
+  if (refusal.empty()) {
+    recovered = MakeTable(config, image);
+    outcome.recovery = recovered->recovery_report();
+    structurally_ok = recovered->Validate(&validate_error);
+  }
+
+  std::vector<OpRecord> post_merged;
+  bool post_ok = true;
+  std::string post_validate_error;
+  if (structurally_ok) {
+    RecordingIndex post(recovered.get());
+    // Probe pass: one recorded Find per key — what did recovery serve?
+    for (uint64_t key = 0; key < config.key_space; ++key) {
+      post.Find(key, nullptr);
+    }
+    if (config.post_ops_per_thread > 0) {
+      RunWorkload(&post, config, 0xAF7E2u, config.post_ops_per_thread,
+                  nullptr);
+    }
+    post_ok = recovered->Validate(&post_validate_error);
+    post_merged = post.history().Merge();
+  }
+  // else: serving a refused or structurally corrupt table could chase a
+  // damaged next-link into an abort; the failure is already proven.
+
+  // --- Join the histories across the cut. ---
+  const uint64_t cut = outcome.crash_tick;
+  std::vector<OpRecord> joined;
+  for (OpRecord op : pre.history().Merge()) {
+    if (op.invoke > cut) continue;  // invoked by a dead process: fiction
+    if (op.ret > cut) {
+      // In flight at the cut; the in-process response is fictional.
+      op.crash_pending = true;
+      op.ret = cut;
+      op.result = false;
+      op.out = 0;
+      ++outcome.pending_ops;
+    } else {
+      ++outcome.pre_ops;
+    }
+    joined.push_back(op);
+  }
+  const uint64_t shift = cut + 1;
+  for (OpRecord op : post_merged) {
+    op.invoke += shift;
+    op.ret += shift;
+    ++outcome.post_ops;
+    joined.push_back(op);
+  }
+  const CheckResult check = CheckHistory(joined);
+  outcome.verdict = check.verdict;
+  outcome.states = check.states;
+  outcome.ok = refusal.empty() && structurally_ok && post_ok &&
+               check.verdict == Verdict::kLinearizable;
+
+  if (!outcome.ok) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "crash schedule seed=%" PRIu64 " kill_index=%" PRIu64
+                  " at=%s tick=%" PRIu64
+                  " (variant=%d threads=%d ops/thread=%d keys=%" PRIu64
+                  "%s)\n",
+                  config.seed, kill_index, outcome.killed_at.c_str(),
+                  outcome.crash_tick, config.variant, config.threads,
+                  config.ops_per_thread, config.key_space,
+                  config.test_commit_before_images
+                      ? " BROKEN-COMMIT-ORDER"
+                      : "");
+    outcome.report = buf;
+    std::snprintf(buf, sizeof(buf),
+                  "recovery: slots=%" PRIu64 " repaired=%" PRIu64
+                  " committed_txns=%" PRIu64 " replayed=%" PRIu64
+                  " uncommitted=%" PRIu64 " torn_tail=%d\n",
+                  outcome.recovery.slots_loaded,
+                  outcome.recovery.repaired_slots,
+                  outcome.recovery.committed_txns,
+                  outcome.recovery.replayed_images,
+                  outcome.recovery.uncommitted_txns,
+                  int(outcome.recovery.wal_torn_tail));
+    outcome.report += buf;
+    if (!refusal.empty()) {
+      outcome.report += refusal + "\n";
+    } else if (!structurally_ok) {
+      outcome.report +=
+          "post-recovery validation failed: " + validate_error + "\n";
+    }
+    if (!post_ok) {
+      outcome.report +=
+          "post-workload validation failed: " + post_validate_error + "\n";
+    }
+    if (check.verdict == Verdict::kNonLinearizable) {
+      outcome.report += check.cex.Format();
+    } else if (check.verdict == Verdict::kBudgetExceeded) {
+      outcome.report += "checker search budget exceeded\n";
+    }
+  }
+  return outcome;
+}
+
+CrashSweepOutcome RunCrashSweep(const CrashConfig& base, uint64_t num_seeds,
+                                uint64_t max_kills_per_seed) {
+  CrashSweepOutcome sweep;
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    CrashConfig config = base;
+    config.seed = base.seed + s;
+    const uint64_t census = CountCrashPoints(config);
+    // Stride so a capped sweep still samples the whole schedule (early
+    // formative splits, mid-run doublings, late merges/halvings alike),
+    // plus one quiescent cut per seed.
+    uint64_t kills = census;
+    uint64_t stride = 1;
+    if (max_kills_per_seed > 1 && kills > max_kills_per_seed - 1) {
+      stride = (census + max_kills_per_seed - 2) / (max_kills_per_seed - 1);
+      kills = census;
+    }
+    for (uint64_t k = 0; k < kills; k += stride) {
+      const CrashOutcome outcome = RunOneCrashSchedule(config, k);
+      ++sweep.runs;
+      sweep.total_states += outcome.states;
+      if (!outcome.ok) {
+        ++sweep.failures;
+        sweep.first_failure = outcome;
+        return sweep;
+      }
+    }
+    const CrashOutcome quiescent = RunOneCrashSchedule(config, UINT64_MAX);
+    ++sweep.runs;
+    sweep.total_states += quiescent.states;
+    if (!quiescent.ok) {
+      ++sweep.failures;
+      sweep.first_failure = quiescent;
+      return sweep;
+    }
+  }
+  return sweep;
+}
+
+uint64_t CrashSweepBudgetFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("EXHASH_CRASH_SWEEP");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return fallback;
+  return uint64_t(v);
+}
+
+}  // namespace exhash::verify

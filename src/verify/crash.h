@@ -1,0 +1,109 @@
+// Crash-point recovery harness (DESIGN.md §9): runs a seeded
+// restructure-heavy workload against a WAL-enabled table, kills the
+// durable media at the k-th emission of a durability-relevant yield point
+// (wal-append, wal-fsync, commit-point, page-copy, snapshot-publish),
+// recovers a fresh table from the frozen bytes, and checks
+//
+//   1. structural cleanliness — the recovered table passes core::Validate;
+//   2. linearizability of the *joined* history: pre-crash operations that
+//      completed before the cut, pre-crash operations still in flight at
+//      the cut (crash-pending: the checker may linearize or drop them —
+//      see verify/linearize.h), and every post-recovery operation, which
+//      the join orders after the cut.
+//
+// Killing "at the k-th emission" rather than at a wall-clock instant makes
+// a failing (seed, kill_index) pair replayable; sweeping k across every
+// emission of a schedule exercises a crash inside every split, merge,
+// doubling, halving, commit and fsync the schedule performs.  The
+// simulated cut (storage::DurableMedia::Freeze) lets the dying table's
+// worker threads run to completion unawares — their post-cut returns are
+// fictional and the join reclassifies them as crash-pending.
+
+#ifndef EXHASH_VERIFY_CRASH_H_
+#define EXHASH_VERIFY_CRASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "verify/linearize.h"
+
+namespace exhash::verify {
+
+struct CrashConfig {
+  // Table shape: small pages (few records per bucket) and a small key
+  // space force frequent splits/doublings in the insert-heavy first half
+  // of the workload and merges/halvings in the remove-heavy second half.
+  int variant = 2;  // 1 = EllisHashTableV1, 2 = EllisHashTableV2
+  size_t page_size = 112;
+  int initial_depth = 1;
+  int threads = 3;
+  int ops_per_thread = 32;
+  uint64_t key_space = 8;
+  uint64_t seed = 1;
+
+  // Post-recovery phase: one full-key-space probe pass (a recorded Find
+  // per key — direct evidence about what recovery served), then this many
+  // mixed ops per thread.
+  int post_ops_per_thread = 16;
+
+  // The deliberately broken commit protocol (commit record flushed before
+  // its page images) the sweep must catch; see TableOptions.
+  bool test_commit_before_images = false;
+};
+
+struct CrashOutcome {
+  bool ok = true;
+  uint64_t seed = 0;
+  uint64_t kill_index = 0;
+  // Where the cut landed: the hook point's name, or "quiescent" when
+  // kill_index exceeded the run's emissions and the cut fired after the
+  // workers finished (every acked op must then survive).
+  std::string killed_at;
+  uint64_t crash_tick = 0;
+  uint64_t points = 0;      // durability-relevant emissions this run
+  uint64_t pre_ops = 0;     // acked before the cut
+  uint64_t pending_ops = 0; // in flight at the cut
+  uint64_t post_ops = 0;    // after recovery
+  Verdict verdict = Verdict::kLinearizable;
+  uint64_t states = 0;
+  storage::RecoveryReport recovery;
+  std::string report;  // populated on failure: actionable, replayable
+};
+
+// Runs one seeded schedule, cutting power at the kill_index-th
+// durability-relevant emission.  Installs and clears the process-global
+// TestHooks; do not run concurrently with other hook users.
+CrashOutcome RunOneCrashSchedule(const CrashConfig& config,
+                                 uint64_t kill_index);
+
+// Counts the durability-relevant emissions of one uncrashed run of
+// `config`'s schedule — the census that bounds kill_index.  Emission
+// counts vary slightly across runs (retries depend on interleaving);
+// a kill_index the crashed run never reaches degrades to the quiescent
+// cut, so the sweep stays total.
+uint64_t CountCrashPoints(const CrashConfig& config);
+
+struct CrashSweepOutcome {
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  uint64_t total_states = 0;
+  CrashOutcome first_failure;  // meaningful iff failures > 0
+};
+
+// For each seed in [base.seed, base.seed + num_seeds): census the
+// schedule, then kill at every emission index (capped at
+// max_kills_per_seed, evenly strided across the census so the cap still
+// samples the whole schedule).  Stops at the first failure; its
+// (seed, kill_index) replays it.
+CrashSweepOutcome RunCrashSweep(const CrashConfig& base, uint64_t num_seeds,
+                                uint64_t max_kills_per_seed);
+
+// Kill budget for sweep tests: EXHASH_CRASH_SWEEP when set and positive,
+// otherwise `fallback` (the smoke-tier cap).
+uint64_t CrashSweepBudgetFromEnv(uint64_t fallback);
+
+}  // namespace exhash::verify
+
+#endif  // EXHASH_VERIFY_CRASH_H_

@@ -21,6 +21,17 @@ const char* OpKindName(OpKind kind) {
 
 std::string OpRecord::ToString() const {
   char buf[160];
+  if (crash_pending) {
+    std::snprintf(buf, sizeof(buf),
+                  "t%d %s(%" PRIu64 "%s) -> ? (crashed)  [%" PRIu64
+                  ", cut@%" PRIu64 "]",
+                  thread, OpKindName(kind), key,
+                  kind == OpKind::kInsert
+                      ? (", " + std::to_string(arg)).c_str()
+                      : "",
+                  invoke, ret);
+    return buf;
+  }
   switch (kind) {
     case OpKind::kFind:
       if (result) {

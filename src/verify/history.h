@@ -41,6 +41,13 @@ struct OpRecord {
   uint64_t out = 0;     // find's returned value (valid when result is true)
   uint64_t invoke = 0;
   uint64_t ret = 0;
+  // In flight when the process died (crash harness, DESIGN.md §9): the
+  // caller never observed a response, so the op may have taken effect
+  // before the cut or not at all — the checker is free to linearize it
+  // (with the result the model implies; the recorded result/out are
+  // meaningless) or to drop it.  `ret` holds the crash tick: if it did
+  // happen, it happened before everything invoked after the crash.
+  bool crash_pending = false;
 
   // "t2 Insert(5, 7) -> true  [12, 19]"
   std::string ToString() const;
@@ -75,6 +82,13 @@ class History {
   // Invocation-ordered merge of all logs.  Aborts if any op is still open —
   // harnesses join their workers before merging.
   std::vector<OpRecord> Merge() const;
+
+  // Mints a tick for an external real-time event on the same clock the ops
+  // use.  The crash harness stamps the simulated power cut with one *before*
+  // freezing the media: an op whose response tick precedes the stamp
+  // completed — and made its writes durable — strictly before the cut
+  // (same-variable RMW coherence), so classifying it as acked is sound.
+  uint64_t ExternalTick() { return Tick(); }
 
   uint64_t num_ops() const;
 

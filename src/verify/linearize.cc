@@ -17,9 +17,28 @@ using Model = std::map<uint64_t, uint64_t>;
 
 // Applies `op` to the model; returns false if the recorded result is
 // inconsistent with the model state (this linearization order is invalid).
+//
+// A crash-pending op has no recorded result — the caller died before the
+// response — so linearizing it can never fail: it takes whatever effect
+// the model implies (Insert succeeds iff absent, Remove iff present, Find
+// changes nothing).  The *choice* the search explores for pending ops is
+// linearize-here vs. drop-entirely, not which result it returned.
 bool Apply(const OpRecord& op, Model* m) {
   auto it = m->find(op.key);
   const bool present = it != m->end();
+  if (op.crash_pending) {
+    switch (op.kind) {
+      case OpKind::kFind:
+        break;
+      case OpKind::kInsert:
+        if (!present) (*m)[op.key] = op.arg;
+        break;
+      case OpKind::kRemove:
+        if (present) m->erase(it);
+        break;
+    }
+    return true;
+  }
   switch (op.kind) {
     case OpKind::kFind:
       if (op.result != present) return false;
@@ -51,10 +70,19 @@ struct VecHash {
 };
 
 // Wing & Gong search over one partition's ops (invocation-sorted).
+//
+// Crash-pending ops (DESIGN.md §9) relax the search two ways: a pending op
+// is *optional* — the history is linearizable once every non-pending op is
+// placed — and each pending candidate is explored twice, linearize-here
+// (index c) or drop-forever (encoded c + n).  A drop sets the op's bit
+// without touching the model, which releases the real-time constraint its
+// crash-tick response puts on everything invoked after the cut.
 class SubChecker {
  public:
   SubChecker(const std::vector<OpRecord>& ops, uint64_t budget)
-      : ops_(ops), budget_(budget), words_((ops.size() + 63) / 64) {}
+      : ops_(ops), budget_(budget), words_((ops.size() + 63) / 64) {
+    for (const OpRecord& op : ops_) num_required_ += op.crash_pending ? 0 : 1;
+  }
 
   // kLinearizable / kNonLinearizable / kBudgetExceeded for this partition.
   Verdict Run();
@@ -67,10 +95,11 @@ class SubChecker {
 
  private:
   struct Frame {
-    std::vector<uint64_t> mask;  // linearized set
+    std::vector<uint64_t> mask;  // linearized (or dropped-pending) set
     Model model;
     std::vector<int> cands;
     size_t next = 0;
+    size_t required_done = 0;  // non-pending ops placed so far
   };
 
   static bool TestBit(const std::vector<uint64_t>& mask, int i) {
@@ -92,6 +121,7 @@ class SubChecker {
     for (size_t i = 0; i < ops_.size(); ++i) {
       if (!TestBit(mask, int(i)) && ops_[i].invoke < min_ret) {
         cands.push_back(int(i));
+        if (ops_[i].crash_pending) cands.push_back(int(i + ops_.size()));
       }
     }
     return cands;
@@ -111,6 +141,7 @@ class SubChecker {
   const std::vector<OpRecord>& ops_;
   const uint64_t budget_;
   const size_t words_;
+  size_t num_required_ = 0;
   uint64_t states_ = 0;
   std::vector<int> best_path_;
   Model best_model_;
@@ -119,7 +150,7 @@ class SubChecker {
 
 Verdict SubChecker::Run() {
   const size_t n = ops_.size();
-  if (n == 0) return Verdict::kLinearizable;
+  if (num_required_ == 0) return Verdict::kLinearizable;
 
   std::unordered_set<std::vector<uint64_t>, VecHash> visited;
   std::vector<Frame> stack;
@@ -141,26 +172,30 @@ Verdict SubChecker::Run() {
       continue;
     }
     const int c = f.cands[f.next++];
+    const int idx = c < int(n) ? c : c - int(n);  // c >= n: drop a pending op
 
     Model model = f.model;
-    if (!Apply(ops_[c], &model)) continue;
+    if (c < int(n) && !Apply(ops_[idx], &model)) continue;
     std::vector<uint64_t> mask = f.mask;
-    SetBit(&mask, c);
+    SetBit(&mask, idx);
     if (!visited.insert(MemoKey(mask, model)).second) continue;
     if (++states_ > budget_) return Verdict::kBudgetExceeded;
 
+    const size_t required_done =
+        f.required_done + (ops_[idx].crash_pending ? 0 : 1);
     path.push_back(c);
     if (path.size() > best_path_.size()) {
       best_path_ = path;
       best_model_ = model;
       best_mask_ = mask;
     }
-    if (path.size() == n) return Verdict::kLinearizable;
+    if (required_done == num_required_) return Verdict::kLinearizable;
 
     Frame child;
     child.cands = Candidates(mask);
     child.mask = std::move(mask);
     child.model = std::move(model);
+    child.required_done = required_done;
     stack.push_back(std::move(child));
   }
   return Verdict::kNonLinearizable;
@@ -233,7 +268,11 @@ CheckResult CheckHistory(const std::vector<OpRecord>& history,
     if (v == Verdict::kNonLinearizable) {
       Counterexample& cex = result.cex;
       cex.key = key;
-      for (int i : checker.best_path()) cex.linearized.push_back(ops[i]);
+      for (int i : checker.best_path()) {
+        // Entries >= ops.size() are dropped pending ops — not part of the
+        // linearization, so not part of the prefix shown.
+        if (i < int(ops.size())) cex.linearized.push_back(ops[i]);
+      }
       const auto mask = checker.best_mask();
       for (size_t i = 0; i < ops.size(); ++i) {
         if (((mask[i / 64] >> (i % 64)) & 1) == 0) cex.stuck.push_back(ops[i]);

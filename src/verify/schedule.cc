@@ -54,6 +54,12 @@ const char* HookName(util::HookPoint p) {
       return "seq-validate";
     case util::HookPoint::kPageCopy:
       return "page-copy";
+    case util::HookPoint::kWalAppend:
+      return "wal-append";
+    case util::HookPoint::kWalFsync:
+      return "wal-fsync";
+    case util::HookPoint::kCommitPoint:
+      return "commit-point";
   }
   return "?";
 }

@@ -163,7 +163,12 @@ TEST(BenchFormatTest, TableCounterNamespaceMatchesSnapshotDirectoryEra) {
         "t.epoch.retired", "t.epoch.freed", "t.epoch.advances",
         "t.epoch.pending", "t.dir_lock.alpha", "t.dir_lock.xi",
         "t.dir_lock.contended", "t.bucket.optimistic_hits",
-        "t.bucket.seq_retries", "t.bucket.seq_fallbacks"}) {
+        "t.bucket.seq_retries", "t.bucket.seq_fallbacks",
+        // Durability layer (DESIGN.md §9): exported even with the WAL off
+        // (zeros) — the namespace is not config-dependent.
+        "t.wal.txns", "t.wal.appends", "t.wal.commits", "t.wal.flushes",
+        "t.wal.flushed_bytes", "t.recovery.replayed_images",
+        "t.recovery.repaired_slots", "t.recovery.committed_txns"}) {
     EXPECT_EQ(snap.counters.count(name), 1u) << name;
   }
   // The directory lock still latencies its surviving modes; the bucket

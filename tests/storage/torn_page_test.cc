@@ -1,0 +1,162 @@
+// Torn/damaged-page witness (DESIGN.md §9, companion to
+// seqlock_torn_test): flip bytes in a committed page at rest and assert
+// the recovery path *reports* the corruption — checksum mismatch, the
+// damaged page named — and never serves the damaged bytes as data.  Also
+// witnesses the two benign classifications recovery must distinguish from
+// corruption: a torn slot healed by a committed WAL image, and an
+// all-zero never-written hole.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPage = 64;
+constexpr size_t kSlotSize = kPage + kSlotTrailerSize;
+
+std::vector<std::byte> FilledPage(uint8_t fill) {
+  std::vector<std::byte> page(kPage);
+  for (size_t i = 0; i < kPage; ++i) {
+    page[i] = std::byte(uint8_t(fill + i));
+  }
+  return page;
+}
+
+PageStore::Options WalStoreOptions() {
+  PageStore::Options o;
+  o.page_size = kPage;
+  o.wal = true;
+  return o;
+}
+
+// Checkpointed store's crash image with three distinct pages.
+std::shared_ptr<CrashImage> CheckpointedImage() {
+  PageStore store(WalStoreOptions());
+  for (uint8_t i = 0; i < 3; ++i) {
+    const PageId p = store.Alloc();
+    store.Write(p, FilledPage(uint8_t(1 + i)).data());
+  }
+  EXPECT_EQ(store.Checkpoint(), IoStatus::kOk);
+  store.CrashNow(/*seed=*/1);
+  return store.TakeCrashImage();
+}
+
+RecoveryReport RecoverFrom(std::shared_ptr<CrashImage> image) {
+  PageStore::Options o = WalStoreOptions();
+  o.recover_image = std::move(image);
+  PageStore store(o);
+  return store.Recover();
+}
+
+TEST(TornPageTest, FlippedPayloadByteIsReportedNotServed) {
+  std::shared_ptr<CrashImage> image = CheckpointedImage();
+  // One bit of page 1's payload flips at rest.
+  image->slots[1 * kSlotSize + 17] ^= std::byte{0x40};
+  const RecoveryReport report = RecoverFrom(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, IoStatus::kCorrupt);
+  ASSERT_EQ(report.corrupt_pages.size(), 1u);
+  EXPECT_EQ(report.corrupt_pages[0], PageId{1});
+  // The undamaged neighbors were still classified, not abandoned.
+  EXPECT_EQ(report.slots_loaded, 2u);
+}
+
+TEST(TornPageTest, FlippedTrailerByteIsReported) {
+  std::shared_ptr<CrashImage> image = CheckpointedImage();
+  // Damage the trailer (crc field) instead of the payload.
+  image->slots[2 * kSlotSize + kPage + kSlotTrailerSize - 1] ^=
+      std::byte{0x01};
+  const RecoveryReport report = RecoverFrom(image);
+  EXPECT_EQ(report.status, IoStatus::kCorrupt);
+  ASSERT_EQ(report.corrupt_pages.size(), 1u);
+  EXPECT_EQ(report.corrupt_pages[0], PageId{2});
+}
+
+TEST(TornPageTest, TornSlotHealedByCommittedImage) {
+  PageStore store(WalStoreOptions());
+  const PageId pa = store.Alloc();
+  const PageId pb = store.Alloc();
+  store.Write(pa, FilledPage(1).data());
+  store.Write(pb, FilledPage(2).data());
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);
+  // A post-checkpoint committed write to pb: its image is in the log.
+  const auto fresh = FilledPage(9);
+  store.Write(pb, fresh.data());
+  store.CrashNow(2);
+  std::shared_ptr<CrashImage> image = store.TakeCrashImage();
+
+  // The same page's slot is torn at rest — exactly the state a crash
+  // mid-checkpoint leaves.  The committed image makes it benign.
+  image->slots[size_t(pb) * kSlotSize + 5] ^= std::byte{0xFF};
+
+  PageStore::Options o = WalStoreOptions();
+  o.recover_image = image;
+  PageStore recovered(o);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.repaired_slots, 1u);
+  EXPECT_TRUE(report.corrupt_pages.empty());
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), fresh.data(), kPage), 0);
+}
+
+TEST(TornPageTest, AllZeroSlotIsAnUnwrittenHoleNotCorruption) {
+  std::shared_ptr<CrashImage> image = CheckpointedImage();
+  std::memset(image->slots.data() + 1 * kSlotSize, 0, kSlotSize);
+  const RecoveryReport report = RecoverFrom(image);
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.unwritten_slots, 1u);
+  EXPECT_EQ(report.slots_loaded, 2u);
+}
+
+TEST(TornPageTest, FlippedByteInBackingFileIsReported) {
+  const std::string slots_path =
+      ::testing::TempDir() + "/torn_page_slots.db";
+  const std::string wal_path = slots_path + ".wal";
+  const auto a = FilledPage(1);
+  const auto b = FilledPage(2);
+  {
+    PageStore::Options o = WalStoreOptions();
+    o.backing_file = slots_path;
+    PageStore store(o);
+    const PageId pa = store.Alloc();
+    const PageId pb = store.Alloc();
+    store.Write(pa, a.data());
+    store.Write(pb, b.data());
+    ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);
+  }
+  // Flip one byte of page 0's payload in the file on disk.
+  {
+    std::FILE* f = std::fopen(slots_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 11, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 11, SEEK_SET), 0);
+    std::fputc(c ^ 0x80, f);
+    std::fclose(f);
+  }
+  {
+    PageStore::Options o = WalStoreOptions();
+    o.backing_file = slots_path;
+    o.recover = true;
+    PageStore store(o);
+    const RecoveryReport report = store.Recover();
+    EXPECT_EQ(report.status, IoStatus::kCorrupt);
+    ASSERT_EQ(report.corrupt_pages.size(), 1u);
+    EXPECT_EQ(report.corrupt_pages[0], PageId{0});
+  }
+  std::remove(slots_path.c_str());
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace exhash::storage

@@ -1,0 +1,302 @@
+// Durability-layer unit tests (DESIGN.md §9): WAL record codec and
+// recovery-side scan, simulated-crash freeze semantics, the typed I/O
+// fault seam, and checkpoint/recover roundtrips through PageStore.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/checksum.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPage = 64;
+
+std::vector<std::byte> FilledPage(uint8_t fill) {
+  std::vector<std::byte> page(kPage);
+  for (size_t i = 0; i < kPage; ++i) {
+    page[i] = std::byte(uint8_t(fill + i));
+  }
+  return page;
+}
+
+TEST(Crc32cTest, KnownVectorAndIncrementality) {
+  // RFC 3720 test vector: 32 zero bytes -> 0x8A9136AA.
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  // Seeding with a prefix's CRC equals one pass over the whole buffer.
+  const char data[] = "extendible hashing";
+  const uint32_t whole = Crc32c(data, sizeof(data));
+  const uint32_t split =
+      Crc32c(data + 7, sizeof(data) - 7, Crc32c(data, 7));
+  EXPECT_EQ(whole, split);
+}
+
+TEST(WalTest, CommittedImagesScanInAppendOrder) {
+  MemMedia media;
+  Wal wal(&media, /*test_commit_before_images=*/false);
+
+  const auto a = FilledPage(1);
+  const auto b = FilledPage(2);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 3, a.data(), kPage);
+  wal.LogPageImage(t1, 4, b.data(), kPage);
+  ASSERT_EQ(wal.Commit(t1, /*flush=*/true), IoStatus::kOk);
+
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  const Wal::ScanResult scan = Wal::Scan(stream.data(), stream.size());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.committed_txns, 1u);
+  EXPECT_EQ(scan.uncommitted_txns, 0u);
+  ASSERT_EQ(scan.committed_images.size(), 2u);
+  EXPECT_EQ(scan.committed_images[0].page, 3u);
+  EXPECT_EQ(scan.committed_images[1].page, 4u);
+  EXPECT_EQ(scan.committed_images[0].len, kPage);
+  EXPECT_EQ(scan.valid_bytes, stream.size());
+  EXPECT_EQ(std::memcmp(stream.data() + scan.committed_images[0].offset,
+                        a.data(), kPage),
+            0);
+}
+
+TEST(WalTest, UncommittedTxnIsScannedButNotReplayed) {
+  MemMedia media;
+  Wal wal(&media, false);
+  const auto a = FilledPage(7);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 0, a.data(), kPage);
+  ASSERT_EQ(wal.Flush(), IoStatus::kOk);  // image durable, commit never
+
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  const Wal::ScanResult scan = Wal::Scan(stream.data(), stream.size());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.committed_txns, 0u);
+  EXPECT_EQ(scan.uncommitted_txns, 1u);
+  EXPECT_TRUE(scan.committed_images.empty());
+}
+
+TEST(WalTest, TornTailEndsTheScanWithoutLosingThePrefix) {
+  MemMedia media;
+  Wal wal(&media, false);
+  const auto a = FilledPage(3);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 1, a.data(), kPage);
+  ASSERT_EQ(wal.Commit(t1, true), IoStatus::kOk);
+  const uint64_t t2 = wal.BeginTxn();
+  wal.LogPageImage(t2, 2, a.data(), kPage);
+  ASSERT_EQ(wal.Commit(t2, true), IoStatus::kOk);
+
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  // Cut the stream mid-way through txn 2's records: the scan keeps txn 1,
+  // reports the tear, and never surfaces a half-record.
+  const Wal::ScanResult full = Wal::Scan(stream.data(), stream.size());
+  ASSERT_EQ(full.committed_txns, 2u);
+  const size_t cut = stream.size() - kPage / 2;
+  const Wal::ScanResult torn = Wal::Scan(stream.data(), cut);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.committed_txns, 1u);
+  ASSERT_EQ(torn.committed_images.size(), 1u);
+  EXPECT_EQ(torn.committed_images[0].page, 1u);
+  EXPECT_LT(torn.valid_bytes, cut);
+}
+
+TEST(WalTest, CorruptRecordCrcEndsTheScan) {
+  MemMedia media;
+  Wal wal(&media, false);
+  const auto a = FilledPage(9);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 5, a.data(), kPage);
+  ASSERT_EQ(wal.Commit(t1, true), IoStatus::kOk);
+
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  // Flip one payload byte: the record CRC fails, the scan treats the
+  // stream as ending there.
+  stream[Wal::kHeaderSize + 3] ^= std::byte{0xFF};
+  const Wal::ScanResult scan = Wal::Scan(stream.data(), stream.size());
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.committed_txns, 0u);
+  EXPECT_TRUE(scan.committed_images.empty());
+}
+
+TEST(WalTest, FreezeDropsWritesButReportsSuccess) {
+  MemMedia media;
+  Wal wal(&media, false);
+  const auto a = FilledPage(1);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 0, a.data(), kPage);
+  ASSERT_EQ(wal.Commit(t1, true), IoStatus::kOk);
+
+  std::vector<std::byte> before;
+  ASSERT_EQ(media.ReadWal(&before), IoStatus::kOk);
+
+  media.Freeze(/*seed=*/42);
+  const uint64_t t2 = wal.BeginTxn();
+  wal.LogPageImage(t2, 1, a.data(), kPage);
+  // The dying process must not learn of the cut through its own I/O.
+  EXPECT_EQ(wal.Commit(t2, true), IoStatus::kOk);  // the one torn write
+  const size_t slot_size = kPage + kSlotTrailerSize;
+  EXPECT_EQ(media.WriteSlot(0, a.data(), slot_size), IoStatus::kOk);
+  EXPECT_EQ(media.TruncateWal(), IoStatus::kOk);
+
+  // Durable bytes: the pre-freeze prefix, plus a seeded prefix of the one
+  // in-flight write (possibly all of it, possibly none); everything after
+  // — the slot write, the truncate — is dropped.
+  EXPECT_EQ(media.NumSlots(slot_size), 0u);
+  std::vector<std::byte> after;
+  ASSERT_EQ(media.ReadWal(&after), IoStatus::kOk);
+  ASSERT_GE(after.size(), before.size());
+  EXPECT_EQ(std::memcmp(after.data(), before.data(), before.size()), 0);
+  const Wal::ScanResult scan = Wal::Scan(after.data(), after.size());
+  EXPECT_GE(scan.committed_txns, 1u);  // txn 1 always survives the cut
+  EXPECT_LE(scan.committed_txns, 2u);
+}
+
+TEST(WalTest, TestFaultSurfacesTypedStatus) {
+  MemMedia media;
+  media.SetTestFault(/*after_bytes=*/0, IoStatus::kNoSpace);
+  Wal wal(&media, false);
+  const auto a = FilledPage(1);
+  const uint64_t t1 = wal.BeginTxn();
+  wal.LogPageImage(t1, 0, a.data(), kPage);
+  EXPECT_EQ(wal.Commit(t1, true), IoStatus::kNoSpace);
+  EXPECT_STREQ(IoStatusName(IoStatus::kNoSpace), "no-space");
+}
+
+// --- PageStore-level durability ---
+
+PageStore::Options WalStoreOptions() {
+  PageStore::Options o;
+  o.page_size = kPage;
+  o.wal = true;
+  return o;
+}
+
+TEST(PageStoreDurabilityTest, CheckpointRecoverRoundtrip) {
+  PageStore store(WalStoreOptions());
+  const auto a = FilledPage(1);
+  const auto b = FilledPage(2);
+  const auto c = FilledPage(3);
+  const PageId pa = store.Alloc();
+  const PageId pb = store.Alloc();
+  store.Write(pa, a.data());
+  store.Write(pb, b.data());
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);
+  // Post-checkpoint delta lives only in the log.
+  store.Write(pb, c.data());
+
+  store.CrashNow(/*seed=*/7);
+  std::shared_ptr<CrashImage> image = store.TakeCrashImage();
+
+  PageStore::Options ro = WalStoreOptions();
+  ro.recover_image = image;
+  PageStore recovered(ro);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.slots_loaded, 2u);
+  EXPECT_EQ(report.replayed_images, 1u);
+  EXPECT_TRUE(report.corrupt_pages.empty());
+  EXPECT_EQ(recovered.extent(), 2u);
+
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pa, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), a.data(), kPage), 0);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), c.data(), kPage), 0);
+
+  // Allocation resumes past the recovered extent; ids never alias.
+  EXPECT_EQ(recovered.Alloc(), PageId{2});
+}
+
+TEST(PageStoreDurabilityTest, MultiPageTxnIsAtomicAndUncommittedIgnored) {
+  PageStore store(WalStoreOptions());
+  const auto a = FilledPage(1);
+  const auto b = FilledPage(2);
+  const auto n = FilledPage(9);
+  const PageId pa = store.Alloc();
+  const PageId pb = store.Alloc();
+  {
+    const uint64_t txn = store.BeginTxn();
+    store.Write(pa, a.data(), txn);
+    store.Write(pb, b.data(), txn);
+    ASSERT_EQ(store.CommitTxn(txn, /*flush=*/true), IoStatus::kOk);
+  }
+  {
+    // Logged, never committed: recovery must not replay either image.
+    const uint64_t txn = store.BeginTxn();
+    store.Write(pa, n.data(), txn);
+    store.Write(pb, n.data(), txn);
+    ASSERT_EQ(store.FlushWal(), IoStatus::kOk);
+  }
+  store.CrashNow(3);
+  PageStore::Options ro = WalStoreOptions();
+  ro.recover_image = store.TakeCrashImage();
+  PageStore recovered(ro);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.committed_txns, 1u);
+  EXPECT_EQ(report.uncommitted_txns, 1u);
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pa, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), a.data(), kPage), 0);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), b.data(), kPage), 0);
+}
+
+TEST(PageStoreDurabilityTest, IoFaultSurfacesThroughCommitAndSticks) {
+  PageStore store(WalStoreOptions());
+  const auto a = FilledPage(1);
+  const PageId pa = store.Alloc();
+  EXPECT_EQ(store.last_io_error(), IoStatus::kOk);
+
+  store.durable_media()->SetTestFault(/*after_bytes=*/0, IoStatus::kNoSpace);
+  const uint64_t txn = store.BeginTxn();
+  store.Write(pa, a.data(), txn);
+  EXPECT_EQ(store.CommitTxn(txn, true), IoStatus::kNoSpace);
+  EXPECT_EQ(store.last_io_error(), IoStatus::kNoSpace);
+  EXPECT_EQ(store.Checkpoint(), IoStatus::kNoSpace);
+}
+
+TEST(PageStoreDurabilityTest, ShortWriteFaultSurfacesTyped) {
+  PageStore store(WalStoreOptions());
+  const auto a = FilledPage(1);
+  const PageId pa = store.Alloc();
+  store.Write(pa, a.data());  // flushed: some durable bytes exist
+  store.durable_media()->SetTestFault(/*after_bytes=*/1,
+                                      IoStatus::kShortWrite);
+  const uint64_t txn = store.BeginTxn();
+  store.Write(pa, a.data(), txn);
+  EXPECT_EQ(store.CommitTxn(txn, true), IoStatus::kShortWrite);
+  EXPECT_EQ(store.last_io_error(), IoStatus::kShortWrite);
+}
+
+TEST(PageStoreDurabilityTest, RecoverEmptyMediaReportsUnformatted) {
+  PageStore::Options ro = WalStoreOptions();
+  ro.recover_image = std::make_shared<CrashImage>();
+  ro.recover_image->page_size = kPage;
+  PageStore store(ro);
+  const RecoveryReport report = store.Recover();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status, IoStatus::kUnformatted);
+}
+
+TEST(PageStoreDurabilityTest, WalStatsFlowThroughStoreStats) {
+  PageStore store(WalStoreOptions());
+  const auto a = FilledPage(1);
+  const PageId pa = store.Alloc();
+  store.Write(pa, a.data());
+  const PageStoreStats stats = store.stats();
+  EXPECT_EQ(stats.wal_txns, 1u);
+  EXPECT_EQ(stats.wal_commits, 1u);
+  EXPECT_GE(stats.wal_appends, 2u);  // image + commit
+  EXPECT_GE(stats.wal_flushes, 1u);
+  EXPECT_GT(stats.wal_flushed_bytes, kPage);
+}
+
+}  // namespace
+}  // namespace exhash::storage

@@ -1,0 +1,99 @@
+// Crash-point sweep (DESIGN.md §9): kill a WAL-enabled table at every
+// durability-relevant yield point of a seeded restructure-heavy schedule,
+// recover from the frozen bytes, and require validator-cleanliness plus
+// linearizability of the joined pre/post-crash history.
+//
+// Smoke tier sweeps a strided sample of kill points for a few seeds per
+// variant; EXHASH_CRASH_SWEEP=<n> raises the per-seed kill budget for the
+// full campaign (the acceptance run uses >= 8 seeds at every point — see
+// tests/README.md for the replay recipe).  A failing run prints a
+// replayable (seed, kill_index) pair.
+
+#include "verify/crash.h"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace exhash::verify {
+namespace {
+
+// One harness sanity check before any sweeping: an uncrashed census run
+// of the default schedule emits a healthy number of kill points (splits,
+// merges, commits, fsyncs all fire).
+TEST(CrashHarnessTest, CensusFindsKillPoints) {
+  CrashConfig config;
+  const uint64_t points = CountCrashPoints(config);
+  EXPECT_GT(points, 50u) << "schedule too quiet to be worth sweeping";
+}
+
+// A single mid-schedule kill, end to end: replayable shape of the sweep's
+// inner loop, with the outcome's bookkeeping visible for debugging.
+TEST(CrashHarnessTest, SingleKillRecoversAndLinearizes) {
+  CrashConfig config;
+  const CrashOutcome out = RunOneCrashSchedule(config, /*kill_index=*/25);
+  EXPECT_TRUE(out.ok) << out.report;
+  EXPECT_TRUE(out.recovery.ok()) << out.recovery.error;
+  EXPECT_GT(out.post_ops, 0u);
+}
+
+// The quiescent cut (kill_index past every emission): all workers done,
+// every acked op must be durable under flush-every-commit.
+TEST(CrashHarnessTest, QuiescentCutLosesNothing) {
+  CrashConfig config;
+  const CrashOutcome out = RunOneCrashSchedule(config, UINT64_MAX);
+  EXPECT_TRUE(out.ok) << out.report;
+  EXPECT_EQ(out.killed_at, "quiescent");
+  EXPECT_EQ(out.pending_ops, 0u);
+}
+
+// Campaign scaling: the smoke tier strides 12 kill points over 3 (V2) /
+// 2 (V1) seeds; EXHASH_CRASH_SWEEP >= 1000 switches to the acceptance
+// campaign — 8 seeds per variant, killing at *every* emitted point.
+TEST(CrashSweepTest, V2SweepIsClean) {
+  CrashConfig config;
+  config.variant = 2;
+  const uint64_t kills = CrashSweepBudgetFromEnv(/*fallback=*/12);
+  const uint64_t seeds = kills >= 1000 ? 8 : 3;
+  const CrashSweepOutcome sweep =
+      RunCrashSweep(config, seeds, /*max_kills_per_seed=*/kills);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  EXPECT_GT(sweep.runs, 0u);
+  std::printf("V2 sweep: %" PRIu64 " crash/recover/check runs over %" PRIu64
+              " seeds\n",
+              sweep.runs, seeds);
+}
+
+TEST(CrashSweepTest, V1SweepIsClean) {
+  CrashConfig config;
+  config.variant = 1;
+  config.seed = 100;
+  const uint64_t kills = CrashSweepBudgetFromEnv(/*fallback=*/12);
+  const uint64_t seeds = kills >= 1000 ? 8 : 2;
+  const CrashSweepOutcome sweep =
+      RunCrashSweep(config, seeds, /*max_kills_per_seed=*/kills);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  std::printf("V1 sweep: %" PRIu64 " crash/recover/check runs over %" PRIu64
+              " seeds\n",
+              sweep.runs, seeds);
+}
+
+// The teeth check: a deliberately broken commit protocol — the commit
+// record flushed *before* its page images — leaves a window where a
+// crash yields a committed transaction recovery cannot replay, i.e. an
+// acked operation silently forgotten.  The same sweep that passes above
+// must catch it (via the joined-history linearizability check or the
+// validator); if it cannot, the sweep proves nothing.
+TEST(CrashSweepTest, BrokenCommitOrderingIsCaught) {
+  CrashConfig config;
+  config.test_commit_before_images = true;
+  const CrashSweepOutcome sweep = RunCrashSweep(config, /*num_seeds=*/4,
+                                                /*max_kills_per_seed=*/64);
+  EXPECT_GT(sweep.failures, 0u)
+      << "sweep failed to catch the broken commit ordering in "
+      << sweep.runs << " runs";
+}
+
+}  // namespace
+}  // namespace exhash::verify

@@ -186,6 +186,100 @@ TEST(LinearizeTest, BudgetExceededIsReported) {
   EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
 }
 
+// --- Crash-pending semantics (DESIGN.md §9) ---
+//
+// An op in flight at a crash cut has no observed return value: the
+// checker may linearize it (with the model-implied result) or drop it,
+// but whichever it picks must explain every later observation.
+
+OpRecord Pending(OpKind kind, int t, uint64_t key, uint64_t arg,
+                 uint64_t inv, uint64_t cut) {
+  OpRecord op = Op(kind, t, key, arg, /*result=*/false, /*out=*/0, inv, cut);
+  op.crash_pending = true;
+  return op;
+}
+
+TEST(LinearizeCrashTest, PendingInsertMayBeDropped) {
+  // The insert's effect never surfaced: recovery forgot it.  Legal — it
+  // was never acked.
+  const std::vector<OpRecord> h = {
+      Pending(OpKind::kInsert, 0, 5, 7, 0, 10),
+      Find(1, 5, false, 0, 11, 12),
+  };
+  EXPECT_EQ(CheckHistory(h).verdict, Verdict::kLinearizable);
+}
+
+TEST(LinearizeCrashTest, PendingInsertMayHaveTakenEffect) {
+  // The insert's effect *did* survive: equally legal.
+  const std::vector<OpRecord> h = {
+      Pending(OpKind::kInsert, 0, 5, 7, 0, 10),
+      Find(1, 5, true, 7, 11, 12),
+  };
+  EXPECT_EQ(CheckHistory(h).verdict, Verdict::kLinearizable);
+}
+
+TEST(LinearizeCrashTest, PendingInsertCannotExplainForeignValue) {
+  // Present with a value nobody — acked or pending — ever wrote.
+  const std::vector<OpRecord> h = {
+      Pending(OpKind::kInsert, 0, 5, 7, 0, 10),
+      Find(1, 5, true, 9, 11, 12),
+  };
+  EXPECT_EQ(CheckHistory(h).verdict, Verdict::kNonLinearizable);
+}
+
+TEST(LinearizeCrashTest, AckedOpLostAcrossCrashIsCaught) {
+  // The shape the broken commit protocol produces: an insert acked
+  // before the cut (ret < cut), silently missing after recovery.
+  const std::vector<OpRecord> h = {
+      Insert(0, 5, 7, true, 0, 1),   // acked pre-crash
+      Find(1, 5, false, 0, 11, 12),  // post-recovery: gone
+  };
+  EXPECT_EQ(CheckHistory(h).verdict, Verdict::kNonLinearizable);
+}
+
+TEST(LinearizeCrashTest, PendingOpCannotLinearizeAfterTheCut) {
+  // Both post-crash finds returned after the cut, so the pending insert
+  // must resolve — take effect or vanish — before either of them.
+  // "false then true" would need the insert to land *between* them,
+  // which is after the cut: impossible, and the checker must say so.
+  const std::vector<OpRecord> h = {
+      Pending(OpKind::kInsert, 0, 5, 7, 0, 10),
+      Find(1, 5, false, 0, 11, 12),
+      Find(1, 5, true, 7, 13, 14),
+  };
+  EXPECT_EQ(CheckHistory(h).verdict, Verdict::kNonLinearizable);
+}
+
+TEST(LinearizeCrashTest, PendingRemoveResolvesEitherWay) {
+  const std::vector<OpRecord> base = {
+      Insert(0, 5, 7, true, 0, 1),
+      Pending(OpKind::kRemove, 0, 5, 0, 2, 10),
+  };
+  for (const bool survived : {false, true}) {
+    std::vector<OpRecord> h = base;
+    h.push_back(Find(1, 5, survived, survived ? 7u : 0u, 11, 12));
+    EXPECT_EQ(CheckHistory(h).verdict, Verdict::kLinearizable)
+        << "survived=" << survived;
+  }
+}
+
+TEST(LinearizeCrashTest, AllPendingHistoryIsLinearizable) {
+  // Every op in flight at the cut: dropping them all is always legal.
+  const std::vector<OpRecord> h = {
+      Pending(OpKind::kInsert, 0, 1, 5, 0, 10),
+      Pending(OpKind::kRemove, 1, 1, 0, 1, 10),
+      Pending(OpKind::kFind, 2, 1, 0, 2, 10),
+  };
+  const CheckResult r = CheckHistory(h);
+  EXPECT_EQ(r.verdict, Verdict::kLinearizable);
+}
+
+TEST(LinearizeCrashTest, PendingFormatsInHistoryDump) {
+  const OpRecord op = Pending(OpKind::kInsert, 0, 5, 7, 0, 10);
+  const std::string text = op.ToString();
+  EXPECT_NE(text.find("crashed"), std::string::npos);
+}
+
 // Recorder end-to-end: drive a real (sequential) table through the
 // recording wrapper and check the merged history.
 TEST(HistoryRecorderTest, RecordsAndPassesChecker) {
