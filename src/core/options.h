@@ -16,6 +16,9 @@
 // durability subsystem's types.
 namespace exhash::storage {
 struct CrashImage;
+// Forward declaration of the WAL flush policy (storage/wal.h); fixed
+// underlying type so the enum is usable here without the full header.
+enum class WalFlushPolicy : uint8_t;
 }
 
 // Forward declaration of metrics::Registry (metrics/registry.h), mirroring
@@ -73,8 +76,22 @@ struct TableOptions {
   // Log file beside backing_file; defaults to backing_file + ".wal".
   std::string wal_file;
   // true: every acked operation is durable before its call returns.
-  // false: group commit — only restructure commit points flush.
+  // false: lazy — only restructure commit points flush.  Superseded by
+  // wal_flush_policy; kept for existing callers (false downgrades the
+  // default kPerCommit policy to kLazy).
   bool wal_flush_every_commit = true;
+  // Commit-record flush policy (storage::WalFlushPolicy): 0 = per-commit
+  // fsync, 1 = group commit (a flusher thread batches concurrent commits
+  // under one fsync; committers block until their batch is durable), 2 =
+  // pipelined (the flusher writes one batch while the next fills), 3 =
+  // lazy (buffer until a restructure commit point or explicit flush).
+  // Brace-initialized from the underlying value so this header stays
+  // free of storage/wal.h; 0 is kPerCommit.
+  storage::WalFlushPolicy wal_flush_policy{0};
+  // Log segment size in bytes; 0 selects the Wal default (64 KiB).
+  // Records never span a segment boundary, so checkpoint recycling drops
+  // whole segments.
+  size_t wal_segment_bytes = 0;
   // Reopen existing backing_file/wal_file and recover the table from them
   // instead of formatting a fresh one (implies wal).
   bool recover = false;
@@ -137,6 +154,13 @@ struct TableOptions {
   // as a linearizability violation of the joined pre/post-crash history.
   // Never set outside tests.
   bool test_commit_before_images = false;
+
+  // TEST ONLY — the delta-record analogue of the above (DESIGN.md §9).
+  // When true, the page store logs delta records even for pages with no
+  // full image in the retained log.  Redo then meets a delta with
+  // nothing to apply it over; Recover() must refuse (kCorrupt), never
+  // serve a guessed page.  Never set outside tests.
+  bool test_delta_before_base = false;
 };
 
 }  // namespace exhash::core

@@ -34,9 +34,12 @@ storage::PageStore::Options MakeStoreOptions(const TableOptions& o) {
   s.wal = o.wal || o.recover || o.recover_from != nullptr;
   s.wal_file = o.wal_file;
   s.wal_flush_every_commit = o.wal_flush_every_commit;
+  s.wal_flush_policy = o.wal_flush_policy;
+  if (o.wal_segment_bytes != 0) s.wal_segment_bytes = o.wal_segment_bytes;
   s.recover = o.recover;
   s.recover_image = o.recover_from;
   s.test_commit_before_images = o.test_commit_before_images;
+  s.test_delta_before_base = o.test_delta_before_base;
   return s;
 }
 
@@ -110,9 +113,26 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".wal.commits"] = io.wal_commits;
           c[prefix + ".wal.flushes"] = io.wal_flushes;
           c[prefix + ".wal.flushed_bytes"] = io.wal_flushed_bytes;
+          // Group-commit pipeline + delta records (durability phase 2).
+          c[prefix + ".wal.images"] = io.wal_images;
+          c[prefix + ".wal.deltas"] = io.wal_deltas;
+          c[prefix + ".wal.delta_bytes"] = io.wal_delta_bytes;
+          c[prefix + ".wal.tickets"] = io.wal_tickets;
+          c[prefix + ".wal.tickets_flushed"] = io.wal_tickets_flushed;
+          c[prefix + ".wal.recycled_segments"] = io.wal_recycled_segments;
+          for (size_t i = 0; i < storage::Wal::kBatchBuckets; ++i) {
+            c[prefix + ".wal.batch_size_le_" + std::to_string(1u << i)] =
+                io.wal_batch_size_hist[i];
+          }
+          for (size_t i = 0; i < storage::Wal::kLatencyBuckets; ++i) {
+            c[prefix + ".wal.flush_latency_us_bucket_" + std::to_string(i)] =
+                io.wal_flush_latency_us_hist[i];
+          }
           // What the last recovery (if any) replayed/repaired.
           c[prefix + ".recovery.replayed_images"] =
               recovery_report_.replayed_images;
+          c[prefix + ".recovery.replayed_deltas"] =
+              recovery_report_.replayed_deltas;
           c[prefix + ".recovery.repaired_slots"] =
               recovery_report_.repaired_slots;
           c[prefix + ".recovery.committed_txns"] =

@@ -57,7 +57,6 @@ T Get(const std::byte*& p) {
 
 void Bucket::SerializeTo(std::byte* out, size_t page_size) const {
   assert(kHeaderSize + size_t(capacity_) * sizeof(Record) <= page_size);
-  (void)page_size;
   std::byte* p = out;
   Put<int32_t>(p, localdepth);
   Put<int32_t>(p, count());
@@ -71,6 +70,13 @@ void Bucket::SerializeTo(std::byte* out, size_t page_size) const {
   Put<uint32_t>(p, kMagic);
   assert(p == out + kHeaderSize);
   std::memcpy(p, records_.data(), records_.size() * sizeof(Record));
+  // Zero the unused tail: page bytes are a pure function of the bucket
+  // (never the caller's reused scratch buffer), which keeps heap contents
+  // off the durable media and makes WAL delta encoding deterministic —
+  // a record removed near the tail diffs as a small extent, not as
+  // whatever garbage the buffer held last.
+  const size_t used = kHeaderSize + records_.size() * sizeof(Record);
+  std::memset(out + used, 0, page_size - used);
 }
 
 bool Bucket::DeserializeFrom(const std::byte* in, size_t page_size,

@@ -1,11 +1,15 @@
 // Page and WAL-record checksums for the durability layer (DESIGN.md §9).
 //
-// CRC-32C (Castagnoli), bytewise table-driven.  The polynomial's error
-// detection is what the torn-page witness relies on: a page whose slot
-// write was cut mid-transfer — or corrupted at rest — fails its trailer
-// check on read, and recovery reports the damage instead of serving it.
-// Software implementation only; at page-grain (hundreds of bytes per
-// restructure commit) the table lookup is nowhere near any hot path.
+// CRC-32C (Castagnoli).  The polynomial's error detection is what the
+// torn-page witness relies on: a page whose slot write was cut
+// mid-transfer — or corrupted at rest — fails its trailer check on
+// read, and recovery reports the damage instead of serving it.
+//
+// With delta records the CRC moved onto the per-update WAL path (every
+// delta + commit record is checksummed under the log mutex), so on
+// x86-64 the SSE4.2 crc32 instruction — the same reflected polynomial —
+// is dispatched at runtime; the bytewise table is the portable
+// fallback and the reference both must agree with.
 
 #ifndef EXHASH_STORAGE_CHECKSUM_H_
 #define EXHASH_STORAGE_CHECKSUM_H_
@@ -32,12 +36,39 @@ constexpr std::array<uint32_t, 256> MakeCrc32cTable() {
 
 inline constexpr std::array<uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
 
+#if defined(__x86_64__)
+__attribute__((target("sse4.2"))) inline uint32_t Crc32cHw(
+    const unsigned char* p, size_t n, uint32_t c) {
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    c = uint32_t(__builtin_ia32_crc32di(c, w));
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    c = __builtin_ia32_crc32qi(c, *p);
+    ++p;
+    --n;
+  }
+  return c;
+}
+
+inline bool HaveCrc32cHw() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
 }  // namespace detail
 
 // Incremental: Crc32c(b, n2, Crc32c(a, n1)) == Crc32c(a++b, n1+n2).
 inline uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = ~seed;
+#if defined(__x86_64__)
+  if (detail::HaveCrc32cHw()) return ~detail::Crc32cHw(p, n, c);
+#endif
   for (size_t i = 0; i < n; ++i) {
     c = detail::kCrc32cTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }

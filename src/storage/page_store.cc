@@ -39,6 +39,18 @@ IoStatus PwriteFullyAborting(int fd, const void* data, size_t n, off_t off) {
   return IoStatus::kOk;
 }
 
+// Thread-local recycling of staged page buffers: one durable update
+// stages exactly one page image between its log append and its publish,
+// so without a pool every WAL write pays a heap allocate/free pair on
+// the hot path.  Bounded so a burst of multi-page restructure
+// transactions does not pin memory forever.
+constexpr size_t kStagedPoolCap = 16;
+
+std::vector<std::vector<std::byte>>& StagedPool() {
+  thread_local std::vector<std::vector<std::byte>> pool;
+  return pool;
+}
+
 }  // namespace
 
 PageStore::PageStore(Options options)
@@ -78,8 +90,18 @@ PageStore::PageStore(Options options)
       media_ = std::make_unique<MemMedia>();
       mem_media_ = static_cast<MemMedia*>(media_.get());
     }
-    wal_ = std::make_unique<Wal>(media_.get(),
-                                 options_.test_commit_before_images);
+    Wal::Options wopts;
+    wopts.policy = options_.wal_flush_policy;
+    if (wopts.policy == WalFlushPolicy::kPerCommit &&
+        !options_.wal_flush_every_commit) {
+      wopts.policy = WalFlushPolicy::kLazy;  // legacy switch, default policy
+    }
+    // One full page image (header + page + crc) must fit in a segment.
+    wopts.segment_bytes =
+        std::max(options_.wal_segment_bytes, options_.page_size + 64);
+    wopts.test_commit_before_images = options_.test_commit_before_images;
+    wal_policy_ = wopts.policy;
+    wal_ = std::make_unique<Wal>(media_.get(), wopts);
     return;
   }
   if (!options_.backing_file.empty()) {
@@ -172,6 +194,13 @@ void PageStore::Dealloc(PageId page) {
       seq.store(s0 + 2, std::memory_order_release);
     }
   }
+  if (wal_ != nullptr) {
+    // The page's next life must not apply deltas over this life's log
+    // records: clear the delta-base flag so the first post-realloc write
+    // logs a full image (the dealloc-then-reuse redo corner).
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    WalBaseRef(page).store(0, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> guard(alloc_mutex_);
   deallocs_.fetch_add(1, std::memory_order_relaxed);
   free_list_.push_back(page);
@@ -232,7 +261,7 @@ void PageStore::Write(PageId page, const void* in) {
     // wal_flush_every_commit) so readers only ever see durable state.
     const uint64_t txn = wal_->BeginTxn();
     Write(page, in, txn);
-    CommitTxn(txn, options_.wal_flush_every_commit);
+    CommitTxn(txn, /*flush=*/wal_policy_ != WalFlushPolicy::kLazy);
     return;
   }
   assert(page != kInvalidPage);
@@ -272,14 +301,76 @@ void PageStore::Write(PageId page, const void* in, uint64_t txn) {
   assert(!needs_recovery_ && "call Recover() before using the store");
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
+  // Redo replays a transaction's records in append order, so when this
+  // txn already wrote this page the correct delta base is its own staged
+  // image — the live page is still the pre-txn state (publish waits for
+  // commit).  Table-level locks exclude every *other* writer of the page
+  // for the whole transaction.
+  StagedList* slot;
   {
+    std::lock_guard<std::mutex> guard(txn_mutex_);
+    slot = &txn_staged_[txn];
+  }
+  // Unlocked from here: the slot belongs to this thread's transaction
+  // alone (see the txn_staged_ comment), and only this txn's CommitTxn —
+  // later, on this thread — erases it.
+  const std::byte* staged_base = nullptr;
+  for (auto rit = slot->rbegin(); rit != slot->rend(); ++rit) {
+    if (rit->first == page) {
+      staged_base = rit->second.data();
+      break;
+    }
+  }
+  {
+    // Under the latch the live page is exactly the last published state,
+    // which (absent a staged rewrite) is also the last logged state for
+    // this page — the delta base.  A delta is only logged when the
+    // retained log holds a full image to apply it over (wal_base), and
+    // only when it actually saves space — a page-sized diff degenerates
+    // to a full image.
     std::lock_guard<std::mutex> latch(LatchFor(page));
-    wal_->LogPageImage(txn, page, in, options_.page_size);
+    bool logged = false;
+    const bool base_ok =
+        WalBaseRef(page).load(std::memory_order_relaxed) != 0;
+    if (base_ok || options_.test_delta_before_base) {
+      // BROKEN (test only): with no valid base, diff against a zero page
+      // as if one existed.  A sparse page then logs a small delta with no
+      // image anywhere — the violation Recover() must refuse to serve.
+      std::vector<std::byte> zero_base;
+      const std::byte* base;
+      if (staged_base != nullptr) {
+        base = staged_base;
+      } else if (base_ok) {
+        base = PagePtr(page);
+      } else {
+        zero_base.assign(options_.page_size, std::byte{0});
+        base = zero_base.data();
+      }
+      thread_local std::vector<std::byte> delta;
+      const size_t dlen =
+          Wal::EncodeDelta(base, static_cast<const std::byte*>(in),
+                           options_.page_size, &delta);
+      if (dlen > 0 && dlen < options_.page_size / 2) {
+        wal_->LogPageDelta(txn, page, delta.data(), dlen);
+        logged = true;
+      } else if (dlen == 0) {
+        logged = true;  // byte-identical rewrite: nothing to redo
+      }
+    }
+    if (!logged) {
+      wal_->LogPageImage(txn, page, in, options_.page_size);
+      WalBaseRef(page).store(1, std::memory_order_relaxed);
+    }
   }
   const auto* p = static_cast<const std::byte*>(in);
-  std::lock_guard<std::mutex> guard(txn_mutex_);
-  txn_staged_[txn].emplace_back(
-      page, std::vector<std::byte>(p, p + options_.page_size));
+  auto& pool = StagedPool();
+  std::vector<std::byte> copy;
+  if (!pool.empty()) {
+    copy = std::move(pool.back());
+    pool.pop_back();
+  }
+  copy.assign(p, p + options_.page_size);
+  slot->emplace_back(page, std::move(copy));
 }
 
 void PageStore::WriteLiveMemory(PageId page, const void* in) {
@@ -427,7 +518,7 @@ IoStatus PageStore::CommitTxn(uint64_t txn, bool flush) {
   // applied operation); the typed status tells the caller the commit may
   // not be durable and the op must not be acked — the restructure path
   // fails stop on it.
-  std::vector<std::pair<PageId, std::vector<std::byte>>> staged;
+  StagedList staged;
   {
     std::lock_guard<std::mutex> guard(txn_mutex_);
     auto it = txn_staged_.find(txn);
@@ -440,6 +531,16 @@ IoStatus PageStore::CommitTxn(uint64_t txn, bool flush) {
     std::lock_guard<std::mutex> latch(LatchFor(page));
     WriteLiveMemory(page, image.data());
   }
+  auto& pool = StagedPool();
+  for (auto& entry : staged) {
+    if (pool.size() >= kStagedPoolCap) break;
+    pool.push_back(std::move(entry.second));
+  }
+  // Close the transaction's publish window.  Until this point a fuzzy
+  // checkpoint's safe recycle LSN stays pinned at or before the txn's
+  // first record, so a capture that raced the publish above is always
+  // backed by the full transaction in the retained log.
+  wal_->OnPublished(txn);
   return s;
 }
 
@@ -448,29 +549,81 @@ IoStatus PageStore::FlushWal() {
   return NoteIo(wal_->Flush());
 }
 
+// Fuzzy checkpoint (DESIGN.md §9): runs against live traffic.  Ordering
+// is the whole argument —
+//
+//   1. Flush: everything appended so far is durable, so the safe LSN
+//      below can never exceed what the media holds.
+//   2. Safe LSN B = min(durable end, earliest record of any transaction
+//      whose publish window is still open).  Taken BEFORE the page walk:
+//      any transaction publishing during the walk either closed its
+//      window before B was computed (its effects are in live memory, the
+//      capture sees them) or still had it open (B pins its first record,
+//      the retained log replays it whole).
+//   3. Extent AFTER B: pages allocated later get their first image
+//      retained (their txns' windows are open across B).
+//   4. Per-page capture through the seqlock protocol — never a torn mix.
+//   5. Each capture goes to the generation's slot copy (2p + gen&1): a
+//      torn write of this checkpoint leaves the previous generation's
+//      copy intact, and the log retained since *its* safe LSN still
+//      covers it (recycling to B happens only after this generation is
+//      fully synced).
+//   6. Sync, then recycle whole segments below B.
 IoStatus PageStore::Checkpoint() {
   if (wal_ == nullptr) return IoStatus::kOk;
   assert(!needs_recovery_);
+  std::lock_guard<std::mutex> ckpt(checkpoint_mutex_);
+  IoStatus s = NoteIo(wal_->Flush());
+  if (s != IoStatus::kOk) return s;
+  const uint64_t safe = wal_->SafeRecycleLsn();
   const size_t n = extent();
+  const uint32_t gen = ++checkpoint_gen_;
   const size_t slot_size = options_.page_size + kSlotTrailerSize;
   std::vector<std::byte> slot(slot_size);
   for (PageId p = 0; p < n; ++p) {
-    {
-      std::lock_guard<std::mutex> latch(LatchFor(p));
-      std::memcpy(slot.data(), PagePtr(p), options_.page_size);
-    }
+    CapturePage(p, slot.data());
     SlotTrailer trailer;
     trailer.magic = SlotTrailer::kMagic;
-    trailer.crc = Crc32c(slot.data(), options_.page_size);
+    trailer.gen = gen;
+    // The CRC covers payload + generation: a gen byte flipped at rest
+    // must not silently promote a stale copy over a newer one.
+    trailer.crc = Crc32c(&trailer.gen, sizeof(trailer.gen),
+                         Crc32c(slot.data(), options_.page_size));
     std::memcpy(slot.data() + options_.page_size, &trailer, kSlotTrailerSize);
-    const IoStatus s = media_->WriteSlot(p, slot.data(), slot_size);
+    const uint64_t phys = 2 * uint64_t(p) + (gen & 1u);
+    // Sampled per write: if a simulated cut lands inside this slot write,
+    // it was in flight at the cut and may land torn; slot writes issued
+    // after the freeze land nothing.
+    const bool in_flight_at_cut = !media_->frozen();
+    s = media_->WriteSlot(phys, slot.data(), slot_size, in_flight_at_cut);
     if (s != IoStatus::kOk) return NoteIo(s);
   }
   // Slots must be on the platter before the log that covers them goes
-  // away — truncating first would leave a crash with neither.
-  IoStatus s = media_->SyncSlots();
+  // away — recycling first would leave a crash with neither.
+  s = media_->SyncSlots();
   if (s != IoStatus::kOk) return NoteIo(s);
-  return NoteIo(wal_->Truncate());
+  return NoteIo(wal_->RecycleTo(safe));
+}
+
+// Consistent page capture for the fuzzy checkpoint: optimistic seqlock
+// copies with bounded retries (the common, contention-free case), then
+// the latched fallback (waits out the writer instead of spinning
+// forever against a hot page).
+void PageStore::CapturePage(PageId page, std::byte* out) {
+  std::atomic<uint64_t>& seq = SeqRef(page);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint64_t s1 = seq.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      CopyFromPage(out, PagePtr(page), options_.page_size);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq.load(std::memory_order_relaxed) == s1) return;
+    }
+    std::this_thread::yield();
+  }
+  // Writers mutate only under the latch, so a latched plain copy is
+  // consistent by exclusion.
+  std::lock_guard<std::mutex> latch(LatchFor(page));
+  std::memcpy(out, PagePtr(page), options_.page_size);
 }
 
 RecoveryReport PageStore::Recover() {
@@ -495,15 +648,20 @@ RecoveryReport PageStore::Recover() {
   report.wal_torn_tail = scan.torn_tail;
 
   const size_t slot_size = options_.page_size + kSlotTrailerSize;
-  const uint64_t num_slots = media_->NumSlots(slot_size);
-  size_t new_extent = size_t(num_slots);
-  for (const Wal::ScannedImage& img : scan.committed_images) {
-    if (img.len != options_.page_size || img.page == kInvalidPage) {
+  // Two physical slot copies per page, alternating by checkpoint
+  // generation parity.
+  const uint64_t num_phys = media_->NumSlots(slot_size);
+  const uint64_t num_pages = num_phys / 2;
+  size_t new_extent = size_t(num_pages);
+  for (const Wal::ScannedRecord& rec : scan.committed_records) {
+    if (rec.page == kInvalidPage ||
+        (!rec.is_delta && rec.len != options_.page_size) ||
+        (rec.is_delta && rec.len > 2 * options_.page_size)) {
       report.status = IoStatus::kCorrupt;
-      report.error = "committed image with wrong geometry";
+      report.error = "committed record with wrong geometry";
       return report;
     }
-    new_extent = std::max(new_extent, size_t(img.page) + 1);
+    new_extent = std::max(new_extent, size_t(rec.page) + 1);
   }
   if (new_extent == 0) {
     report.status = IoStatus::kUnformatted;
@@ -512,57 +670,98 @@ RecoveryReport PageStore::Recover() {
   }
   EnsureCapacity(new_extent);
   std::vector<char> covered(new_extent, 0);
-  for (const Wal::ScannedImage& img : scan.committed_images) {
-    covered[img.page] = 1;
+  for (const Wal::ScannedRecord& rec : scan.committed_records) {
+    if (!rec.is_delta) covered[rec.page] = 1;  // full images heal torn slots
   }
 
-  // 2. Slot area: adopt checksum-clean pages; a damaged slot is fine iff
-  // the log will overwrite it (a torn checkpoint write), otherwise it is
-  // at-rest corruption — reported, never served.
-  std::vector<std::byte> slot(slot_size);
-  for (uint64_t p = 0; p < num_slots; ++p) {
-    s = media_->ReadSlot(p, slot.data(), slot_size);
-    if (s == IoStatus::kShortRead) {
-      ++report.unwritten_slots;
-      continue;
-    }
-    if (s != IoStatus::kOk) {
-      report.status = NoteIo(s);
-      report.error = "slot read failed";
-      return report;
-    }
-    SlotTrailer trailer;
-    std::memcpy(&trailer, slot.data() + options_.page_size, kSlotTrailerSize);
-    if (trailer.magic != SlotTrailer::kMagic ||
-        trailer.crc != Crc32c(slot.data(), options_.page_size)) {
-      const bool all_zero =
-          std::all_of(slot.begin(), slot.end(),
-                      [](std::byte b) { return b == std::byte{0}; });
-      if (all_zero) {
-        ++report.unwritten_slots;  // hole: allocated past, never written
-      } else if (covered[p]) {
-        ++report.repaired_slots;  // the redo pass below heals it
-      } else {
-        report.corrupt_pages.push_back(PageId(p));
+  // 2. Slot area: adopt the highest-generation checksum-clean copy of
+  // each page; a page with no clean copy is fine iff the log holds a
+  // committed full image (a torn checkpoint write healed by redo),
+  // otherwise it is at-rest corruption — reported, never served.
+  // base_ok tracks whether the page has *something* a delta may legally
+  // apply over.
+  std::vector<char> base_ok(new_extent, 0);
+  std::vector<std::byte> copies[2] = {std::vector<std::byte>(slot_size),
+                                      std::vector<std::byte>(slot_size)};
+  uint64_t max_gen = 0;
+  for (uint64_t p = 0; p < num_pages; ++p) {
+    int best = -1;
+    uint64_t best_gen = 0;
+    bool any_nonzero = false;
+    for (int c = 0; c < 2; ++c) {
+      std::fill(copies[c].begin(), copies[c].end(), std::byte{0});
+      s = media_->ReadSlot(2 * p + uint64_t(c), copies[c].data(), slot_size);
+      if (s == IoStatus::kShortRead) continue;  // hole: reads as zeros
+      if (s != IoStatus::kOk) {
+        report.status = NoteIo(s);
+        report.error = "slot read failed";
+        return report;
       }
-      continue;
+      SlotTrailer trailer;
+      std::memcpy(&trailer, copies[c].data() + options_.page_size,
+                  kSlotTrailerSize);
+      const bool all_zero =
+          std::all_of(copies[c].begin(), copies[c].end(),
+                      [](std::byte b) { return b == std::byte{0}; });
+      if (!all_zero) any_nonzero = true;
+      if (trailer.magic == SlotTrailer::kMagic &&
+          trailer.crc == Crc32c(&trailer.gen, sizeof(trailer.gen),
+                                Crc32c(copies[c].data(),
+                                       options_.page_size)) &&
+          (best < 0 || trailer.gen > best_gen)) {
+        best = c;
+        best_gen = trailer.gen;
+      }
     }
-    std::memcpy(PagePtr(PageId(p)), slot.data(), options_.page_size);
-    ++report.slots_loaded;
+    if (best >= 0) {
+      std::memcpy(PagePtr(PageId(p)), copies[best].data(),
+                  options_.page_size);
+      ++report.slots_loaded;
+      base_ok[p] = 1;
+      max_gen = std::max(max_gen, best_gen);
+    } else if (!any_nonzero) {
+      ++report.unwritten_slots;  // hole: allocated past, never checkpointed
+    } else if (covered[p]) {
+      ++report.repaired_slots;  // the redo pass below heals it
+    } else {
+      report.corrupt_pages.push_back(PageId(p));
+    }
   }
   if (!report.corrupt_pages.empty()) {
     report.status = IoStatus::kCorrupt;
     report.error = "checksum mismatch on pages without a committed image";
     return report;
   }
+  report.checkpoint_gen = max_gen;
 
-  // 3. Redo: committed images in append order — per page that order agrees
-  // with lock order, so the last committed write wins and in-place slot
-  // content is irrelevant for every covered page.
-  for (const Wal::ScannedImage& img : scan.committed_images) {
-    std::memcpy(PagePtr(img.page), log.data() + img.offset,
-                options_.page_size);
-    ++report.replayed_images;
+  // 3. Redo: committed records in append order — per page that order
+  // agrees with lock order, so the last committed write wins byte-wise.
+  // A full image establishes a base wherever it lands; a delta demands
+  // one (slot copy or earlier image) — a delta with no base means the
+  // wal_base discipline was violated and no honest reconstruction
+  // exists.
+  for (const Wal::ScannedRecord& rec : scan.committed_records) {
+    if (!rec.is_delta) {
+      std::memcpy(PagePtr(rec.page), log.data() + rec.offset,
+                  options_.page_size);
+      ++report.replayed_images;
+      base_ok[rec.page] = 1;
+      continue;
+    }
+    if (!base_ok[rec.page]) {
+      report.status = IoStatus::kCorrupt;
+      report.error = "committed delta for a page with no base";
+      report.corrupt_pages.push_back(rec.page);
+      return report;
+    }
+    if (!Wal::ApplyDelta(log.data() + rec.offset, rec.len,
+                         PagePtr(rec.page), options_.page_size)) {
+      report.status = IoStatus::kCorrupt;
+      report.error = "malformed delta payload";
+      report.corrupt_pages.push_back(rec.page);
+      return report;
+    }
+    ++report.replayed_deltas;
   }
 
   // 4. Allocator + log state.  Fresh txn ids must clear everything in the
@@ -575,6 +774,7 @@ RecoveryReport PageStore::Recover() {
     free_list_.clear();
   }
   wal_->SetNextTxn(scan.max_txn + 1);
+  checkpoint_gen_ = uint32_t(max_gen);  // next checkpoint takes gen+1
   needs_recovery_ = false;
   return report;
 }
@@ -628,6 +828,18 @@ PageStoreStats PageStore::stats() const {
     s.wal_commits = w.commits;
     s.wal_flushes = w.flushes;
     s.wal_flushed_bytes = w.flushed_bytes;
+    s.wal_images = w.images;
+    s.wal_deltas = w.deltas;
+    s.wal_delta_bytes = w.delta_bytes;
+    s.wal_tickets = w.tickets;
+    s.wal_tickets_flushed = w.tickets_flushed;
+    s.wal_recycled_segments = w.recycled_segments;
+    for (size_t i = 0; i < Wal::kBatchBuckets; ++i) {
+      s.wal_batch_size_hist[i] = w.batch_size_hist[i];
+    }
+    for (size_t i = 0; i < Wal::kLatencyBuckets; ++i) {
+      s.wal_flush_latency_us_hist[i] = w.flush_latency_us_hist[i];
+    }
   }
   std::lock_guard<std::mutex> guard(alloc_mutex_);
   s.live_pages = next_unused_ - free_list_.size();

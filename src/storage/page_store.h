@@ -45,6 +45,14 @@ struct PageStoreStats {
   uint64_t wal_commits = 0;
   uint64_t wal_flushes = 0;
   uint64_t wal_flushed_bytes = 0;
+  uint64_t wal_images = 0;
+  uint64_t wal_deltas = 0;
+  uint64_t wal_delta_bytes = 0;
+  uint64_t wal_tickets = 0;
+  uint64_t wal_tickets_flushed = 0;
+  uint64_t wal_recycled_segments = 0;
+  uint64_t wal_batch_size_hist[Wal::kBatchBuckets] = {};
+  uint64_t wal_flush_latency_us_hist[Wal::kLatencyBuckets] = {};
 };
 
 // What Recover() found and did (DESIGN.md §9).  status != kOk means the
@@ -58,6 +66,8 @@ struct RecoveryReport {
   uint64_t committed_txns = 0;
   uint64_t uncommitted_txns = 0;  // in the log but never committed: ignored
   uint64_t replayed_images = 0;
+  uint64_t replayed_deltas = 0;   // delta records applied over their base
+  uint64_t checkpoint_gen = 0;    // highest checkpoint generation adopted
   bool wal_torn_tail = false;     // log ends in a cut/corrupt record
   std::vector<PageId> corrupt_pages;  // damaged at rest, no image to heal
   std::string error;
@@ -96,12 +106,24 @@ class PageStore {
     // Log file for the file-backed durable media; defaults to
     // backing_file + ".wal" when empty.
     std::string wal_file;
-    // true: every autonomous Write's commit record is fsynced before the
-    // write returns (every acked operation survives a crash).  false:
-    // group commit — records buffer in memory until a restructure commit
-    // point or explicit FlushWal() (cheaper; a crash may forget a suffix
-    // of acked single-page commits, never tear a restructure).
+    // How commit records reach the durable media (see WalFlushPolicy).
+    // kPerCommit: each committer fsyncs its own suffix.  kGroup /
+    // kPipelined: a dedicated flusher thread batches concurrent commits
+    // under one fsync; every acked operation still survives a crash
+    // (committers block until their batch's fsync returns).  kLazy:
+    // records buffer until a restructure commit point or FlushWal() — a
+    // crash may forget a suffix of acked single-page commits, never tear
+    // a restructure.
+    WalFlushPolicy wal_flush_policy = WalFlushPolicy::kPerCommit;
+    // Legacy switch predating wal_flush_policy: when false and the policy
+    // is the default kPerCommit, the store runs kLazy.  An explicit
+    // non-default policy wins.
     bool wal_flush_every_commit = true;
+    // Log segment size.  Records never span a segment boundary (the tail
+    // of a segment is zero-padded), so checkpoint recycling can drop
+    // whole segments from the front of the retained log.  Clamped up so
+    // one full page image always fits in a segment.
+    size_t wal_segment_bytes = Wal::kDefaultSegmentBytes;
     // Open existing backing_file/wal_file without truncating; the store
     // serves nothing until Recover() succeeds.
     bool recover = false;
@@ -111,6 +133,11 @@ class PageStore {
     // TEST ONLY: flush the commit record before its page images (see
     // Wal); the crash sweep must catch this broken commit ordering.
     bool test_commit_before_images = false;
+    // TEST ONLY: log delta records even when the page has no full image
+    // in the retained log (the wal_base discipline is skipped).  Redo
+    // then meets a delta with no base to apply it over; Recover() must
+    // report kCorrupt, never serve a guessed page.
+    bool test_delta_before_base = false;
   };
 
   explicit PageStore(Options options);
@@ -187,16 +214,25 @@ class PageStore {
   IoStatus CommitTxn(uint64_t txn, bool flush = true);
   IoStatus FlushWal();
 
-  // Quiescent checkpoint: writes every page in [0, extent) to the slot
-  // area with a CRC-32C trailer, syncs, then truncates the log.  No
-  // concurrent operations may be in flight.
+  // Fuzzy (non-quiescent) checkpoint: captures every page in [0, extent)
+  // through the seqlock read protocol while traffic continues, writes each
+  // capture to the generation's slot copy (two copies per page, alternating
+  // by generation parity, each with a CRC-32C + generation trailer), syncs,
+  // then recycles log segments wholly covered by the checkpoint.  Sound
+  // because the safe recycle LSN is taken *before* the page walk: any
+  // transaction not fully published by then still has every record in the
+  // retained log, so slot + retained-log redo reconstructs every committed
+  // byte (DESIGN.md §9).  Checkpoints themselves are serialized; everything
+  // else runs concurrently.
   IoStatus Checkpoint();
 
-  // Rebuilds live memory from the durable media: loads checksum-clean
-  // slots, scans the log's clean prefix, redoes committed page images in
-  // append order.  Torn slots with a committed image are healed; damaged
-  // pages without one are *reported* (status kCorrupt + corrupt_pages),
-  // never served.  On success the store serves traffic; the caller owns
+  // Rebuilds live memory from the durable media: adopts the highest-
+  // generation checksum-clean copy of each slot, scans the log's clean
+  // prefix, redoes committed records (full images and deltas) in append
+  // order.  Torn slots with a committed image are healed; a delta with no
+  // base (no slot copy and no earlier image) is corruption; damaged
+  // pages without an image to heal them are *reported* (status kCorrupt +
+  // corrupt_pages), never served.  On success the store serves traffic; the caller owns
   // rebuilding table-level state (directory, free list — see
   // ResetFreeList) and should checkpoint when done.
   RecoveryReport Recover();
@@ -244,6 +280,12 @@ class PageStore {
   // the image still published (no ABA across page reuse).
   struct alignas(64) SeqWord {
     std::atomic<uint64_t> v{0};
+    // wal_base: nonzero iff the retained log holds a full image of this
+    // page, making it a valid delta base.  Set by the image-logging path
+    // under the page latch, cleared by Dealloc (a reallocated page's
+    // first write logs a full image again).  Lives in the seq word's
+    // alignment padding — no extra cache lines.
+    std::atomic<uint8_t> wal_base{0};
   };
 
   std::byte* PagePtr(PageId page);
@@ -251,6 +293,11 @@ class PageStore {
     return seq_chunks_[page / kPagesPerChunk]
         .load(std::memory_order_acquire)[page % kPagesPerChunk]
         .v;
+  }
+  std::atomic<uint8_t>& WalBaseRef(PageId page) const {
+    return seq_chunks_[page / kPagesPerChunk]
+        .load(std::memory_order_acquire)[page % kPagesPerChunk]
+        .wal_base;
   }
   std::mutex& LatchFor(PageId page) {
     return latches_[page % kLatchStripes];
@@ -277,6 +324,9 @@ class PageStore {
   static void CopyFromPage(void* out, const std::byte* page_src, size_t n);
   // File-backed pread with zero-fill of short reads; caller holds the latch.
   void PreadPage(PageId page, void* out);
+  // Consistent page capture for the fuzzy checkpoint: optimistic seqlock
+  // copy with bounded retries, then the latched fallback.
+  void CapturePage(PageId page, std::byte* out);
 
   const Options options_;
 
@@ -315,15 +365,26 @@ class PageStore {
   // stay in the Wal's buffer — a concurrent commit's group flush drains
   // that — and they cannot reference the caller's input buffer, which the
   // tables reuse between PutBucket calls.
+  //
+  // txn_mutex_ guards only the map structure (concurrent transactions
+  // inserting/erasing their own entries).  Each entry's list is owned by
+  // the thread that began the transaction — Write/CommitTxn of one txn
+  // always run on that thread — so the list is read and grown without
+  // the mutex through a pointer fetched under one lock round-trip
+  // (unordered_map references stay valid until their own erase).
+  using StagedList = std::vector<std::pair<PageId, std::vector<std::byte>>>;
   std::mutex txn_mutex_;
-  std::unordered_map<uint64_t,
-                     std::vector<std::pair<PageId, std::vector<std::byte>>>>
-      txn_staged_;
+  std::unordered_map<uint64_t, StagedList> txn_staged_;
 
   // Durability layer (null when Options::wal is off).
   std::unique_ptr<DurableMedia> media_;
   MemMedia* mem_media_ = nullptr;  // media_ downcast when memory-backed
   std::unique_ptr<Wal> wal_;
+  // Resolved flush policy (legacy wal_flush_every_commit folded in).
+  WalFlushPolicy wal_policy_ = WalFlushPolicy::kPerCommit;
+  // Checkpoints are serialized against each other (never against traffic).
+  std::mutex checkpoint_mutex_;
+  uint32_t checkpoint_gen_ = 0;  // guarded by checkpoint_mutex_
   bool needs_recovery_ = false;  // opened for recovery; Recover() not yet ok
   std::atomic<IoStatus> last_io_error_{IoStatus::kOk};
 };

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,15 +31,33 @@ const char* IoStatusName(IoStatus s) {
   return "?";
 }
 
+const char* WalFlushPolicyName(WalFlushPolicy p) {
+  switch (p) {
+    case WalFlushPolicy::kPerCommit: return "per-commit";
+    case WalFlushPolicy::kGroup: return "group";
+    case WalFlushPolicy::kPipelined: return "pipelined";
+    case WalFlushPolicy::kLazy: return "lazy";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------- media --
 
-size_t DurableMedia::Admit(size_t n, IoStatus* fault) {
+size_t DurableMedia::Admit(size_t n, IoStatus* fault, bool in_flight_at_cut) {
   std::lock_guard<std::mutex> lk(mu_);
   if (frozen_) {
-    if (tore_one_) return 0;  // power is off; nothing further lands
+    // Only the write in flight at the cut — its flush call began before
+    // the freeze, vouched for by the caller's pre-write frozen() snapshot
+    // — may land, and only as a seeded prefix (the platter lost power
+    // mid-transfer).  Everything else is after the cut: zero bytes.  A
+    // write issued by code that ran after the freeze must never land,
+    // or an operation *invoked* after the power cut could commit durably
+    // — recovery would honestly serve an effect the crash checker has no
+    // sound way to classify (the sweep once flagged exactly that as data
+    // loss).
+    if (!in_flight_at_cut || tore_one_) return 0;
     tore_one_ = true;
-    // The one write in flight at the cut: a seeded prefix of it reached
-    // the platter.  seed==point-of-death makes the tear replayable.
+    // seed==point-of-death makes the tear replayable.
     util::Rng rng(freeze_seed_ ^ 0x70FFu);
     return n == 0 ? 0 : size_t(rng.Next() % (n + 1));
   }
@@ -50,9 +69,10 @@ size_t DurableMedia::Admit(size_t n, IoStatus* fault) {
   return n;
 }
 
-IoStatus DurableMedia::AppendWal(const void* data, size_t n) {
+IoStatus DurableMedia::AppendWal(const void* data, size_t n,
+                                 bool in_flight_at_cut) {
   IoStatus fault = IoStatus::kOk;
-  const size_t admit = Admit(n, &fault);
+  const size_t admit = Admit(n, &fault, in_flight_at_cut);
   if (fault != IoStatus::kOk) return fault;
   if (admit == 0 && n != 0) return IoStatus::kOk;  // frozen: silently dropped
   return AppendWalImpl(data, admit);
@@ -63,10 +83,16 @@ IoStatus DurableMedia::TruncateWal() {
   return TruncateWalImpl();
 }
 
+IoStatus DurableMedia::DropWalPrefix(uint64_t n) {
+  if (frozen()) return IoStatus::kOk;
+  if (n == 0) return IoStatus::kOk;
+  return DropWalPrefixImpl(n);
+}
+
 IoStatus DurableMedia::WriteSlot(uint64_t slot, const void* data,
-                                 size_t slot_size) {
+                                 size_t slot_size, bool in_flight_at_cut) {
   IoStatus fault = IoStatus::kOk;
-  const size_t admit = Admit(slot_size, &fault);
+  const size_t admit = Admit(slot_size, &fault, in_flight_at_cut);
   if (fault != IoStatus::kOk) return fault;
   if (admit == slot_size) return WriteSlotImpl(slot, data, slot_size);
   if (admit == 0) return IoStatus::kOk;  // frozen: dropped
@@ -120,6 +146,13 @@ IoStatus MemMedia::TruncateWalImpl() {
   return IoStatus::kOk;
 }
 
+IoStatus MemMedia::DropWalPrefixImpl(uint64_t n) {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  const size_t drop = std::min<size_t>(size_t(n), wal_.size());
+  wal_.erase(wal_.begin(), wal_.begin() + drop);
+  return IoStatus::kOk;
+}
+
 IoStatus MemMedia::WriteSlotImpl(uint64_t slot, const void* data,
                                  size_t slot_size) {
   std::lock_guard<std::mutex> lk(data_mu_);
@@ -133,6 +166,11 @@ IoStatus MemMedia::ReadWal(std::vector<std::byte>* out) {
   std::lock_guard<std::mutex> lk(data_mu_);
   *out = wal_;
   return IoStatus::kOk;
+}
+
+uint64_t MemMedia::WalBytes() {
+  std::lock_guard<std::mutex> lk(data_mu_);
+  return wal_.size();
 }
 
 IoStatus MemMedia::ReadSlot(uint64_t slot, void* out, size_t slot_size) {
@@ -197,6 +235,21 @@ IoStatus PreadFully(int fd, void* out, size_t n, off_t off, size_t* got) {
   return done == n ? IoStatus::kOk : IoStatus::kShortRead;
 }
 
+// One 32-byte WAL-file header copy: magic, crc (over the start field and
+// the reserved tail), retained-stream start offset, reserved.
+struct WalFileHeader {
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  uint64_t start = 0;
+  uint64_t reserved[2] = {0, 0};
+};
+static_assert(sizeof(WalFileHeader) == FileMedia::kWalHeaderCopySize);
+
+uint32_t WalHeaderCrc(const WalFileHeader& h) {
+  return Crc32c(reinterpret_cast<const std::byte*>(&h.start),
+                sizeof(WalFileHeader) - offsetof(WalFileHeader, start));
+}
+
 }  // namespace
 
 FileMedia::FileMedia(const std::string& slots_path,
@@ -204,10 +257,48 @@ FileMedia::FileMedia(const std::string& slots_path,
   const int flags = O_RDWR | O_CREAT | (recover ? 0 : O_TRUNC);
   slots_fd_ = ::open(slots_path.c_str(), flags, 0644);
   wal_fd_ = ::open(wal_path.c_str(), flags, 0644);
-  if (wal_fd_ >= 0) {
-    struct stat st;
-    if (::fstat(wal_fd_, &st) == 0) wal_offset_ = uint64_t(st.st_size);
+  if (wal_fd_ < 0) return;
+  struct stat st;
+  uint64_t size = 0;
+  if (::fstat(wal_fd_, &st) == 0) size = uint64_t(st.st_size);
+  if (!recover || size == 0) {
+    // Fresh log: both header copies say start = 0.
+    WalFileHeader h;
+    h.magic = kWalHeaderMagic;
+    h.crc = WalHeaderCrc(h);
+    PwriteFully(wal_fd_, &h, sizeof(h), 0);
+    PwriteFully(wal_fd_, &h, sizeof(h), off_t(kWalHeaderCopySize));
+    ::fsync(wal_fd_);
+    wal_start_ = 0;
+    wal_end_ = 0;
+    return;
   }
+  // Reopen: pick the valid header copy with the larger start (the other
+  // copy is at worst an older start — recovery replays more, never less).
+  wal_end_ = size > kWalDataStart ? size - kWalDataStart : 0;
+  wal_start_ = 0;
+  bool any_valid = false;
+  for (uint32_t i = 0; i < 2; ++i) {
+    WalFileHeader h;
+    size_t got = 0;
+    if (PreadFully(wal_fd_, &h, sizeof(h), off_t(i * kWalHeaderCopySize),
+                   &got) != IoStatus::kOk) {
+      continue;
+    }
+    if (h.magic != kWalHeaderMagic || h.crc != WalHeaderCrc(h)) continue;
+    if (!any_valid || h.start > wal_start_) {
+      wal_start_ = h.start;
+      header_flip_ = i ^ 1u;  // next update overwrites the other copy
+    }
+    any_valid = true;
+  }
+  if (!any_valid) {
+    // Headerless bytes are unreadable as a log: retain nothing.
+    wal_start_ = wal_end_;
+  }
+  // A cut between ftruncate and the header rewrite leaves start past the
+  // data end; that meant nothing was retained.
+  if (wal_start_ > wal_end_) wal_start_ = wal_end_;
 }
 
 FileMedia::~FileMedia() {
@@ -215,20 +306,47 @@ FileMedia::~FileMedia() {
   if (wal_fd_ >= 0) ::close(wal_fd_);
 }
 
-IoStatus FileMedia::AppendWalImpl(const void* data, size_t n) {
-  const IoStatus s = PwriteFully(wal_fd_, data, n, off_t(wal_offset_));
+IoStatus FileMedia::WriteWalHeader(uint64_t start) {
+  WalFileHeader h;
+  h.magic = kWalHeaderMagic;
+  h.start = start;
+  h.crc = WalHeaderCrc(h);
+  const IoStatus s = PwriteFully(wal_fd_, &h, sizeof(h),
+                                 off_t(header_flip_ * kWalHeaderCopySize));
   if (s != IoStatus::kOk) return s;
-  wal_offset_ += n;
+  if (::fsync(wal_fd_) < 0) return IoStatus::kIoError;
+  header_flip_ ^= 1u;
+  return IoStatus::kOk;
+}
+
+IoStatus FileMedia::AppendWalImpl(const void* data, size_t n) {
+  const IoStatus s =
+      PwriteFully(wal_fd_, data, n, off_t(kWalDataStart + wal_end_));
+  if (s != IoStatus::kOk) return s;
+  wal_end_ += n;
   if (::fsync(wal_fd_) < 0) return IoStatus::kIoError;
   return IoStatus::kOk;
 }
 
 IoStatus FileMedia::TruncateWalImpl() {
-  if (::ftruncate(wal_fd_, 0) < 0) {
+  // Truncate *before* rewinding the header: a cut in between leaves
+  // start > data end, which reads back as an empty log (see ctor) — the
+  // safe direction, since truncation only happens once the slot area
+  // alone reconstructs the store.
+  if (::ftruncate(wal_fd_, off_t(kWalDataStart)) < 0) {
     return errno == ENOSPC ? IoStatus::kNoSpace : IoStatus::kIoError;
   }
-  wal_offset_ = 0;
   if (::fsync(wal_fd_) < 0) return IoStatus::kIoError;
+  wal_end_ = 0;
+  wal_start_ = 0;
+  return WriteWalHeader(0);
+}
+
+IoStatus FileMedia::DropWalPrefixImpl(uint64_t n) {
+  const uint64_t new_start = std::min(wal_start_ + n, wal_end_);
+  const IoStatus s = WriteWalHeader(new_start);
+  if (s != IoStatus::kOk) return s;
+  wal_start_ = new_start;
   return IoStatus::kOk;
 }
 
@@ -245,10 +363,18 @@ IoStatus FileMedia::SyncSlotsImpl() {
 IoStatus FileMedia::ReadWal(std::vector<std::byte>* out) {
   struct stat st;
   if (::fstat(wal_fd_, &st) < 0) return IoStatus::kIoError;
-  out->resize(size_t(st.st_size));
+  const uint64_t size = uint64_t(st.st_size);
+  const uint64_t end = size > kWalDataStart ? size - kWalDataStart : 0;
+  const uint64_t start = std::min(wal_start_, end);
+  out->resize(size_t(end - start));
   if (out->empty()) return IoStatus::kOk;
   size_t got = 0;
-  return PreadFully(wal_fd_, out->data(), out->size(), 0, &got);
+  return PreadFully(wal_fd_, out->data(), out->size(),
+                    off_t(kWalDataStart + start), &got);
+}
+
+uint64_t FileMedia::WalBytes() {
+  return wal_end_ > wal_start_ ? wal_end_ - wal_start_ : 0;
 }
 
 IoStatus FileMedia::ReadSlot(uint64_t slot, void* out, size_t slot_size) {
@@ -280,10 +406,68 @@ T GetRaw(const std::byte* p) {
   return v;
 }
 
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+}
+
+// Bounded-spin budgets for the group-commit handoff (see the mirror
+// comment in wal.h): the writer spins on its ticket becoming durable,
+// the flusher spins on work arriving.  Sized to a few condvar
+// round-trips; past that the other side is genuinely slow (real fsync,
+// preemption) and sleeping is right.
+constexpr int kWriterSpin = 4096;
+constexpr int kFlusherSpin = 65536;
+
+inline void SpinPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// Spinning only ever pays when the spinner and the thread it waits for
+// can run simultaneously; on a single-hardware-thread host every spin
+// iteration burns the quantum the other side needs.
+inline bool MultiCore() {
+  static const bool multi = std::thread::hardware_concurrency() > 1;
+  return multi;
+}
+
 }  // namespace
 
-Wal::Wal(DurableMedia* media, bool test_commit_before_images)
-    : media_(media), test_commit_before_images_(test_commit_before_images) {}
+Wal::Wal(DurableMedia* media, const Options& options)
+    : media_(media),
+      options_(options),
+      flusher_policy_(options.policy == WalFlushPolicy::kGroup ||
+                      options.policy == WalFlushPolicy::kPipelined) {
+  // LSNs are retained-stream positions.  The retained stream always
+  // starts on a segment boundary (recycling drops whole segments), so the
+  // padding arithmetic survives a reopen.
+  const uint64_t retained = media_->WalBytes();
+  appended_end_ = retained;
+  durable_end_ = retained;
+  durable_end_pub_.store(retained, std::memory_order_relaxed);
+  if (flusher_policy_) StartFlusher();
+}
+
+Wal::~Wal() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_pub_.store(true, std::memory_order_release);  // break the spin
+    flush_cv_.notify_all();
+    flusher_.join();
+  }
+}
+
+void Wal::StartFlusher() {
+  flusher_ = std::thread([this] { FlusherMain(); });
+}
 
 uint64_t Wal::BeginTxn() {
   return next_txn_.fetch_add(1, std::memory_order_relaxed);
@@ -293,9 +477,33 @@ void Wal::SetNextTxn(uint64_t next) {
   next_txn_.store(next, std::memory_order_relaxed);
 }
 
+void Wal::OpenRecycleWindow(uint64_t txn) {
+  // First record of the transaction opens its window at the current
+  // append position; PageStore::OnPublished closes it.  emplace keeps the
+  // earliest LSN if the window is already open.
+  open_txns_.emplace(txn, appended_end_);
+}
+
 void Wal::AppendRecord(uint8_t type, uint64_t txn, PageId page,
-                       const void* payload, size_t payload_len,
-                       std::vector<std::byte>* out) {
+                       const void* payload, size_t payload_len) {
+  std::vector<std::byte>* out = &buffer_;
+  bool framed = true;
+  if (options_.test_commit_before_images && type != kTypeCommit) {
+    out = &pending_;  // broken variant: held back past the commit flush
+    framed = false;
+  }
+  const size_t rec = kHeaderSize + payload_len + sizeof(uint32_t);
+  if (framed && options_.segment_bytes != 0) {
+    assert(rec <= options_.segment_bytes);
+    const size_t in_seg = size_t(appended_end_ % options_.segment_bytes);
+    if (in_seg + rec > options_.segment_bytes) {
+      // Records never span a segment boundary: zero-pad to it (the
+      // scanner treats the padding as clean).
+      const size_t pad = options_.segment_bytes - in_seg;
+      buffer_.insert(buffer_.end(), pad, std::byte{0});
+      appended_end_ += pad;
+    }
+  }
   const size_t start = out->size();
   PutRaw<uint32_t>(out, kRecordMagic);
   PutRaw<uint8_t>(out, type);
@@ -309,37 +517,103 @@ void Wal::AppendRecord(uint8_t type, uint64_t txn, PageId page,
     const auto* p = static_cast<const std::byte*>(payload);
     out->insert(out->end(), p, p + payload_len);
   }
-  const uint32_t crc =
-      Crc32c(out->data() + start, kHeaderSize + payload_len);
+  const uint32_t crc = Crc32c(out->data() + start, kHeaderSize + payload_len);
   PutRaw<uint32_t>(out, crc);
+  if (framed) appended_end_ += rec;
 }
 
 void Wal::LogPageImage(uint64_t txn, PageId page, const void* image,
                        size_t n) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    AppendRecord(kTypeImage, txn, page, image, n,
-                 test_commit_before_images_ ? &pending_ : &buffer_);
+    OpenRecycleWindow(txn);
+    AppendRecord(kTypeImage, txn, page, image, n);
     ++stats_.appends;
+    ++stats_.images;
   }
   util::TestHooks::Emit(util::HookPoint::kWalAppend, this);
 }
 
-IoStatus Wal::Commit(uint64_t txn, bool flush) {
-  IoStatus s = IoStatus::kOk;
+void Wal::LogPageDelta(uint64_t txn, PageId page, const void* payload,
+                       size_t payload_len) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    AppendRecord(kTypeCommit, txn, kInvalidPage, nullptr, 0, &buffer_);
+    OpenRecycleWindow(txn);
+    AppendRecord(kTypeDelta, txn, page, payload, payload_len);
+    ++stats_.appends;
+    ++stats_.deltas;
+    stats_.delta_bytes += payload_len;
+  }
+  util::TestHooks::Emit(util::HookPoint::kWalAppend, this);
+}
+
+void Wal::OnPublished(uint64_t txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  open_txns_.erase(txn);
+}
+
+IoStatus Wal::Commit(uint64_t txn, bool durable) {
+  IoStatus s = IoStatus::kOk;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    AppendRecord(kTypeCommit, txn, kInvalidPage, nullptr, 0);
     ++stats_.appends;
     ++stats_.commits;
-    if (flush) {
-      s = FlushLocked();
-      if (test_commit_before_images_ && !pending_.empty()) {
-        // BROKEN (test only): the commit record is durable, the images it
-        // vouches for are not — they rejoin the buffer and ride the *next*
-        // flush.  A crash in between forgets an acked operation's pages
-        // while recovery still believes the transaction committed.
+    if (durable) {
+      if (flusher_policy_) {
+        if (flusher_dead_) {
+          s = flusher_status_;
+        } else {
+          // Group-commit ticket: block until one flusher fsync covers
+          // this commit's batch.  The ack — and therefore the caller's
+          // page publish and client ack — happens only after the batch
+          // is durable.
+          const uint64_t target = appended_end_;
+          ticket_targets_.push_back(target);
+          ++stats_.tickets;
+          if (!flusher_inflight_) {
+            // Leader-led flush: no batch is on the media right now, so
+            // this committer drives the fsync itself — every ticket in
+            // the deque (its own included) rides it, and no thread
+            // handoff happens at all.  The dedicated flusher picks up
+            // only the tickets a pipelined in-flight batch left behind.
+            // On a loaded single-core host the handoff is the dominant
+            // cost (two scheduler round-trips per commit against a
+            // near-free in-memory fsync), so leading is the difference
+            // between per-commit-equivalent and an order of magnitude
+            // slower.
+            FlushBatch(lk);
+            s = durable_end_ >= target ? IoStatus::kOk : flusher_status_;
+          } else {
+            work_pub_.store(true, std::memory_order_release);
+            flush_cv_.notify_one();
+            // Spin on the durable mirror first: with the flusher hot
+            // this resolves in well under a condvar round-trip.  The
+            // relocked wait below is the source of truth either way.
+            lk.unlock();
+            for (int i = 0;
+                 MultiCore() && i < kWriterSpin &&
+                 durable_end_pub_.load(std::memory_order_acquire) < target;
+                 ++i) {
+              SpinPause();
+            }
+            lk.lock();
+            ack_cv_.wait(lk, [&] {
+              return durable_end_ >= target || flusher_dead_;
+            });
+            s = durable_end_ >= target ? IoStatus::kOk : flusher_status_;
+          }
+        }
+      } else {
+        s = FlushLocked(lk);
+      }
+      if (options_.test_commit_before_images && !pending_.empty()) {
+        // BROKEN (test only): the commit record is durable, the records
+        // it vouches for are not — they rejoin the buffer and ride the
+        // *next* flush.  A crash in between forgets an acked operation's
+        // pages while recovery still believes the transaction committed.
         buffer_.insert(buffer_.end(), pending_.begin(), pending_.end());
+        appended_end_ += pending_.size();
         pending_.clear();
       }
     }
@@ -350,30 +624,217 @@ IoStatus Wal::Commit(uint64_t txn, bool flush) {
 }
 
 IoStatus Wal::Flush() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (test_commit_before_images_ && !pending_.empty()) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (options_.test_commit_before_images && !pending_.empty()) {
     buffer_.insert(buffer_.end(), pending_.begin(), pending_.end());
+    appended_end_ += pending_.size();
     pending_.clear();
   }
-  return FlushLocked();
+  if (flusher_policy_) {
+    if (flusher_dead_) return flusher_status_;
+    const uint64_t target = appended_end_;
+    if (durable_end_ >= target) return IoStatus::kOk;
+    ++flush_waiters_;
+    work_pub_.store(true, std::memory_order_release);
+    flush_cv_.notify_one();
+    ack_cv_.wait(lk,
+                 [&] { return durable_end_ >= target || flusher_dead_; });
+    --flush_waiters_;
+    return durable_end_ >= target ? IoStatus::kOk : flusher_status_;
+  }
+  return FlushLocked(lk);
 }
 
-IoStatus Wal::FlushLocked() {
+bool Wal::FlusherWanted() const {
+  return !ticket_targets_.empty() ||
+         (flush_waiters_ > 0 && durable_end_ < appended_end_);
+}
+
+void Wal::FlusherMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    if (!stop_ && !(FlusherWanted() && !flusher_inflight_)) {
+      // Bounded unlocked spin on the work mirror before sleeping: while
+      // the workload is hot, the next commit arrives faster than a futex
+      // wake, so the condvar below usually finds its predicate already
+      // true and never blocks.  A leader's in-flight pipelined batch
+      // owns the media append order; its leftover tickets are picked up
+      // here only once it lands.
+      lk.unlock();
+      for (int i = 0;
+           MultiCore() && i < kFlusherSpin &&
+           !work_pub_.load(std::memory_order_acquire);
+           ++i) {
+        SpinPause();
+      }
+      lk.lock();
+      flush_cv_.wait(lk, [&] {
+        return stop_ || (FlusherWanted() && !flusher_inflight_);
+      });
+    }
+    if (stop_) break;
+    FlushBatch(lk);
+    if (flusher_dead_) break;
+  }
+}
+
+void Wal::FlushBatch(std::unique_lock<std::mutex>& lk) {
+  // Sampled before the kill-point emission: if a simulated cut lands
+  // anywhere inside this flush, this batch was in flight at it (contents
+  // fixed, every covered commit's op already invoked) and may tear.
+  const bool in_flight_at_cut = !media_->frozen();
+  util::TestHooks::Emit(util::HookPoint::kWalFsync, this);
+  // Every ticket in the deque right now has its commit record in the
+  // buffer (targets are append positions), so this batch covers them all;
+  // tickets enqueued during a pipelined unlock carry strictly larger
+  // targets and ride the next batch.
+  const uint64_t batch_end = appended_end_;
+  const size_t batch_bytes = buffer_.size();
+  IoStatus s = IoStatus::kOk;
+  uint64_t latency_us = 0;
+  if (!buffer_.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (options_.policy == WalFlushPolicy::kPipelined) {
+      // Double-buffer: the media append runs outside the log mutex so
+      // the next batch accumulates during the fsync.
+      std::vector<std::byte> batch;
+      batch.swap(buffer_);
+      flusher_inflight_ = true;
+      lk.unlock();
+      s = media_->AppendWal(batch.data(), batch.size(), in_flight_at_cut);
+      lk.lock();
+      flusher_inflight_ = false;
+    } else {
+      s = media_->AppendWal(buffer_.data(), buffer_.size(), in_flight_at_cut);
+      if (s == IoStatus::kOk) buffer_.clear();
+    }
+    latency_us = ElapsedUs(t0);
+  }
+  if (s != IoStatus::kOk) {
+    // Flusher death: every current waiter is released with the failure
+    // status, and every future durable commit gets it immediately.
+    flusher_dead_ = true;
+    flusher_status_ = s;
+    ticket_targets_.clear();
+    work_pub_.store(false, std::memory_order_relaxed);
+    ack_cv_.notify_all();
+    return;
+  }
+  durable_end_ = batch_end;
+  durable_end_pub_.store(batch_end, std::memory_order_release);
+  FlushBatchInfo info;
+  info.end_lsn = batch_end;
+  info.bytes = batch_bytes;
+  while (!ticket_targets_.empty() && ticket_targets_.front() <= durable_end_) {
+    ticket_targets_.pop_front();
+    ++info.tickets;
+  }
+  stats_.tickets_flushed += info.tickets;
+  ++stats_.flushes;
+  stats_.flushed_bytes += batch_bytes;
+  RecordFlushStats(info, latency_us);
+  work_pub_.store(FlusherWanted(), std::memory_order_relaxed);
+  // Tickets enqueued while this batch was in flight notified a flusher
+  // whose wait predicate was still false (in-flight guard) — re-arm it
+  // now that the media is free, or the wakeup is lost.
+  if (FlusherWanted()) flush_cv_.notify_one();
+  ack_cv_.notify_all();
+}
+
+IoStatus Wal::FlushLocked(std::unique_lock<std::mutex>& lk) {
+  // A pipelined in-flight batch owns the media append order; wait it out.
+  ack_cv_.wait(lk, [&] { return !flusher_inflight_; });
+  // As in FlushBatch: sampled before the kill-point emission so a cut
+  // landing inside this flush tears exactly the write in flight at it.
+  const bool in_flight_at_cut = !media_->frozen();
   util::TestHooks::Emit(util::HookPoint::kWalFsync, this);
   if (buffer_.empty()) return IoStatus::kOk;
-  const IoStatus s = media_->AppendWal(buffer_.data(), buffer_.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const IoStatus s =
+      media_->AppendWal(buffer_.data(), buffer_.size(), in_flight_at_cut);
+  const uint64_t latency_us = ElapsedUs(t0);
   if (s != IoStatus::kOk) return s;
   ++stats_.flushes;
   stats_.flushed_bytes += buffer_.size();
   buffer_.clear();
+  durable_end_ = appended_end_;
+  durable_end_pub_.store(durable_end_, std::memory_order_release);
+  RecordFlushStats(FlushBatchInfo{}, latency_us);
+  ack_cv_.notify_all();
+  return IoStatus::kOk;
+}
+
+void Wal::RecordFlushStats(const FlushBatchInfo& batch, uint64_t latency_us) {
+  if (batch.tickets != 0) {
+    size_t idx = 0;
+    uint64_t bound = 1;
+    while (idx + 1 < kBatchBuckets && batch.tickets > bound) {
+      bound *= 2;
+      ++idx;
+    }
+    ++stats_.batch_size_hist[idx];
+  }
+  size_t lidx = 0;
+  uint64_t lbound = 1;
+  while (lidx + 1 < kLatencyBuckets && latency_us >= lbound) {
+    lbound *= 4;
+    ++lidx;
+  }
+  ++stats_.flush_latency_us_hist[lidx];
+}
+
+uint64_t Wal::SafeRecycleLsn() {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t lsn = durable_end_;
+  for (const auto& [txn, first] : open_txns_) {
+    (void)txn;
+    lsn = std::min(lsn, first);
+  }
+  return lsn;
+}
+
+IoStatus Wal::RecycleTo(uint64_t keep_from) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ack_cv_.wait(lk, [&] { return !flusher_inflight_; });
+  if (keep_from > durable_end_) keep_from = durable_end_;
+  const size_t seg = options_.segment_bytes;
+  if (keep_from >= appended_end_ && buffer_.empty() &&
+      ticket_targets_.empty() && open_txns_.empty()) {
+    // Quiescent degenerate case: everything is covered by the checkpoint
+    // — drop the stream outright and restart at a fresh boundary.
+    const IoStatus s = media_->TruncateWal();
+    if (s != IoStatus::kOk) return s;
+    if (seg != 0) stats_.recycled_segments += (appended_end_ - log_start_) / seg;
+    log_start_ = 0;
+    appended_end_ = 0;
+    durable_end_ = 0;
+    durable_end_pub_.store(0, std::memory_order_release);
+    return IoStatus::kOk;
+  }
+  if (seg == 0) return IoStatus::kOk;
+  const uint64_t droppable = (keep_from / seg) * seg;
+  if (droppable <= log_start_) return IoStatus::kOk;
+  const uint64_t drop = droppable - log_start_;
+  const IoStatus s = media_->DropWalPrefix(drop);
+  if (s != IoStatus::kOk) return s;
+  stats_.recycled_segments += drop / seg;
+  log_start_ = droppable;
   return IoStatus::kOk;
 }
 
 IoStatus Wal::Truncate() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
+  ack_cv_.wait(lk, [&] { return !flusher_inflight_; });
   buffer_.clear();
   pending_.clear();
-  return media_->TruncateWal();
+  open_txns_.clear();
+  const IoStatus s = media_->TruncateWal();
+  if (s != IoStatus::kOk) return s;
+  log_start_ = 0;
+  appended_end_ = 0;
+  durable_end_ = 0;
+  durable_end_pub_.store(0, std::memory_order_release);
+  return IoStatus::kOk;
 }
 
 Wal::Stats Wal::stats() const {
@@ -382,6 +843,59 @@ Wal::Stats Wal::stats() const {
   s.txns = next_txn_.load(std::memory_order_relaxed) - 1;
   return s;
 }
+
+// ----------------------------------------------------------- delta codec --
+
+size_t Wal::EncodeDelta(const std::byte* base, const std::byte* next,
+                        size_t page_size, std::vector<std::byte>* out) {
+  assert(page_size <= 0xFFFF);
+  out->clear();
+  // Runs of up to kGap identical bytes between differing bytes are folded
+  // into one extent: 4 bytes of framing per extent makes short gaps
+  // cheaper to carry than to split.
+  constexpr size_t kGap = 8;
+  size_t i = 0;
+  while (i < page_size) {
+    while (i < page_size && base[i] == next[i]) ++i;
+    if (i == page_size) break;
+    const size_t start = i;
+    size_t end = i + 1;  // one past the last differing byte of the extent
+    size_t same_run = 0;
+    size_t j = i + 1;
+    while (j < page_size) {
+      if (base[j] != next[j]) {
+        end = j + 1;
+        same_run = 0;
+      } else if (++same_run >= kGap) {
+        break;
+      }
+      ++j;
+    }
+    PutRaw<uint16_t>(out, uint16_t(start));
+    PutRaw<uint16_t>(out, uint16_t(end - start));
+    out->insert(out->end(), next + start, next + end);
+    i = j;
+  }
+  return out->size();
+}
+
+bool Wal::ApplyDelta(const std::byte* payload, size_t payload_len,
+                     std::byte* page, size_t page_size) {
+  size_t off = 0;
+  while (off < payload_len) {
+    if (off + 4 > payload_len) return false;
+    const uint16_t eoff = GetRaw<uint16_t>(payload + off);
+    const uint16_t elen = GetRaw<uint16_t>(payload + off + 2);
+    if (elen == 0) return false;
+    if (size_t(eoff) + elen > page_size) return false;
+    if (off + 4 + elen > payload_len) return false;
+    std::memcpy(page + eoff, payload + off + 4, elen);
+    off += 4 + elen;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ scan --
 
 Wal::ScanResult Wal::Scan(const std::byte* data, size_t n) {
   ScanResult result;
@@ -396,7 +910,19 @@ Wal::ScanResult Wal::Scan(const std::byte* data, size_t n) {
   std::vector<Rec> records;
   std::vector<uint64_t> committed;
   size_t off = 0;
-  while (off + kHeaderSize + sizeof(uint32_t) <= n) {
+  while (off < n) {
+    // Zero bytes at a record position are segment padding (records start
+    // with a nonzero magic byte): skip to the next nonzero byte.  A
+    // stream that ends inside padding — including exactly on a segment
+    // boundary, the shape a cut after recycling leaves — is a *clean*
+    // end, not a torn tail.
+    if (data[off] == std::byte{0}) {
+      size_t z = off;
+      while (z < n && data[z] == std::byte{0}) ++z;
+      off = z;
+      if (off == n) break;
+    }
+    if (off + kHeaderSize + sizeof(uint32_t) > n) break;
     const std::byte* h = data + off;
     if (GetRaw<uint32_t>(h) != kRecordMagic) break;
     const uint8_t type = GetRaw<uint8_t>(h + 4);
@@ -407,7 +933,7 @@ Wal::ScanResult Wal::Scan(const std::byte* data, size_t n) {
     if (off + kHeaderSize + len + sizeof(uint32_t) > n) break;
     const uint32_t crc = GetRaw<uint32_t>(h + kHeaderSize + len);
     if (crc != Crc32c(h, kHeaderSize + len)) break;
-    if (type != kTypeImage && type != kTypeCommit) break;
+    if (type != kTypeImage && type != kTypeCommit && type != kTypeDelta) break;
     records.push_back(Rec{type, txn, page, off + kHeaderSize, len});
     if (type == kTypeCommit) committed.push_back(txn);
     result.max_txn = std::max(result.max_txn, txn);
@@ -418,13 +944,13 @@ Wal::ScanResult Wal::Scan(const std::byte* data, size_t n) {
   std::sort(committed.begin(), committed.end());
   result.committed_txns = committed.size();
 
-  // Pass 2: page images of committed transactions, in append order.
+  // Pass 2: page records of committed transactions, in append order.
   std::vector<uint64_t> seen_uncommitted;
   for (const Rec& r : records) {
-    if (r.type != kTypeImage) continue;
+    if (r.type == kTypeCommit) continue;
     if (std::binary_search(committed.begin(), committed.end(), r.txn)) {
-      result.committed_images.push_back(
-          ScannedImage{r.txn, r.page, r.payload_off, r.payload_len});
+      result.committed_records.push_back(ScannedRecord{
+          r.txn, r.page, r.payload_off, r.payload_len, r.type == kTypeDelta});
     } else {
       seen_uncommitted.push_back(r.txn);
     }

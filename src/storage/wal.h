@@ -6,42 +6,64 @@
 // memory chunks double as the buffer pool even when files back the store);
 // what survives a crash is exactly
 //
-//     durable state = slot area (last completed checkpoint)
-//                   + flushed WAL prefix (possibly cut mid-record).
+//     durable state = slot area (last completed checkpoint, generation-
+//                     stamped, double-buffered per page)
+//                   + flushed WAL suffix (segment-aligned, possibly cut
+//                     mid-record at the tail).
 //
-// Every page write appends a full-page-image record under a transaction id;
-// a transaction becomes atomic-across-crash the instant its commit record
-// is flushed (HookPoint::kCommitPoint).  Slots are only written at
-// Checkpoint() — a quiescent operation that syncs every live page (with a
-// CRC-32C trailer) and then truncates the log — so the slot area never
-// holds uncommitted data and recovery needs no undo pass:
+// Every page write appends either a full-page-image record or a delta
+// record (byte-range extents against the page's last logged state) under a
+// transaction id; a transaction becomes atomic-across-crash the instant
+// its commit record is flushed (HookPoint::kCommitPoint).  Slots are
+// written by Checkpoint() — now *fuzzy*: it walks live pages under the
+// seqlock read protocol while traffic continues — and whole log segments
+// older than the checkpoint's safe LSN are recycled.  The slot area never
+// holds uncommitted data (pages publish only after their commit record is
+// durable), so recovery needs no undo pass:
 //
-//   1. load every slot whose trailer checks (a torn slot is fine if the
-//      log holds a committed image for it; otherwise it is corruption and
-//      is *reported*, never served),
-//   2. scan the log prefix up to the first torn/corrupt record,
-//   3. redo the page images of committed transactions in append order.
+//   1. per page, load the higher-generation valid slot copy (a torn slot
+//      is fine if the log holds a committed full image for it; otherwise
+//      it is corruption and is *reported*, never served),
+//   2. scan the log prefix up to the first torn/corrupt record (zero
+//      padding between records and at segment boundaries is clean),
+//   3. redo committed transactions in append order — full images by copy,
+//      deltas by extent over the slot/image base.
 //
 // Append order per page agrees with lock order (writers hold the bucket
-// lock across their commit), so the last committed image wins and the
-// recovered store equals the crash-time committed state.
+// lock across their commit), so the last committed record per byte wins
+// and the recovered store equals the crash-time committed state.
+//
+// Flush policies.  kPerCommit is the PR-7 behavior: the committing thread
+// flushes synchronously.  kGroup and kPipelined hand the flush to a
+// dedicated flusher thread: committers append their commit record, enqueue
+// a ticket, and block until one media append/fsync covers their whole
+// batch (kPipelined releases the log mutex during the media write so the
+// next batch accumulates concurrently).  An op is acked to its caller only
+// after its ticket's batch is durable, and live pages publish only after
+// that ack — DESIGN.md §9's crash-linearizability argument is preserved
+// verbatim.  kLazy buffers commits without flushing (simulation only).
 //
 // Crash simulation.  DurableMedia::Freeze(seed) is the simulated power
-// cut: the first durable write attempted after the freeze lands as a
-// seeded prefix (a torn fsync / torn slot write), every later one is
-// dropped — while the live store keeps running unawares, which is what
-// lets the crash harness kill a table at *any* yield point mid-schedule
+// cut: the one durable write *in flight* at the freeze (its flush call
+// began pre-freeze) lands as a seeded prefix (a torn fsync / torn slot
+// write), every other write is dropped — while the live store keeps
+// running unawares, which is what lets the crash harness kill a table at
+// *any* yield point mid-schedule
 // and still join the pre/post-crash histories.
 
 #ifndef EXHASH_STORAGE_WAL_H_
 #define EXHASH_STORAGE_WAL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/page.h"
@@ -65,21 +87,37 @@ enum class IoStatus : uint8_t {
 
 const char* IoStatusName(IoStatus s);
 
+// Who flushes a committed transaction's log records to durable media.
+enum class WalFlushPolicy : uint8_t {
+  kPerCommit = 0,  // the committing thread flushes synchronously
+  kGroup = 1,      // flusher thread; one fsync covers the whole batch
+  kPipelined = 2,  // flusher thread; next batch fills during the fsync
+  kLazy = 3,       // commits stay buffered until an explicit Flush()
+};
+
+const char* WalFlushPolicyName(WalFlushPolicy p);
+
 // The bytes that survived a simulated crash: a frozen DurableMedia's
 // contents, handed from the dead store to the recovering one.
 struct CrashImage {
   size_t page_size = 0;
   std::vector<std::byte> slots;  // slot area (page + trailer each)
-  std::vector<std::byte> wal;    // flushed WAL stream
+  std::vector<std::byte> wal;    // flushed WAL stream (retained suffix)
 };
 
 // Per-slot trailer: written with every checkpointed page, verified on
 // recovery.  The crc covers the page bytes only; the magic distinguishes
-// "never written" (zeros) from "written then damaged".
+// "never written" (zeros) from "written then damaged"; the generation
+// picks the winner between a page's two slot copies (fuzzy checkpoints
+// double-buffer every page: physical slot 2p + (gen & 1), so a torn
+// checkpoint-g write leaves the gen-(g-1) copy intact and the log retains
+// everything the older base needs).
 struct SlotTrailer {
   static constexpr uint32_t kMagic = 0x9A6E57A1u;
   uint32_t magic = 0;
   uint32_t crc = 0;
+  uint32_t gen = 0;
+  uint32_t pad = 0;
 };
 constexpr size_t kSlotTrailerSize = sizeof(SlotTrailer);
 
@@ -91,23 +129,41 @@ class DurableMedia {
   virtual ~DurableMedia() = default;
 
   // Appends to the durable WAL stream (the flush-time transfer; the Wal
-  // buffers records in memory until then).
-  IoStatus AppendWal(const void* data, size_t n);
-  // Reads the entire durable WAL stream.
+  // buffers records in memory until then).  `in_flight_at_cut` is the
+  // caller's pre-write frozen() snapshot inverted: true means this write's
+  // flush call began before any freeze, so if the power cut landed inside
+  // the call the write was genuinely in flight and may tear (land as a
+  // seeded prefix).  A write whose call starts after the freeze must pass
+  // false — a real powered-off platter accepts nothing, and letting a
+  // later write land would let an operation invoked after the cut commit
+  // durably (an unclassifiable op no crash checker can reason about).
+  IoStatus AppendWal(const void* data, size_t n,
+                     bool in_flight_at_cut = false);
+  // Reads the entire retained WAL stream.
   virtual IoStatus ReadWal(std::vector<std::byte>* out) = 0;
-  // Empties the WAL stream (checkpoint completion).
+  // Bytes currently retained in the WAL stream.
+  virtual uint64_t WalBytes() = 0;
+  // Empties the WAL stream (quiescent checkpoint completion).
   IoStatus TruncateWal();
+  // Drops the oldest `n` retained WAL bytes (log-segment recycling once a
+  // checkpoint covers them).  Crash-safe: a cut mid-drop retains *more*
+  // log, never less.
+  IoStatus DropWalPrefix(uint64_t n);
 
-  // Slot area: fixed-size records at slot * slot_size.
-  IoStatus WriteSlot(uint64_t slot, const void* data, size_t slot_size);
+  // Slot area: fixed-size records at slot * slot_size.  `in_flight_at_cut`
+  // as for AppendWal: only a slot write already in flight at the freeze
+  // may land (torn).
+  IoStatus WriteSlot(uint64_t slot, const void* data, size_t slot_size,
+                     bool in_flight_at_cut = false);
   virtual IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) = 0;
   virtual uint64_t NumSlots(size_t slot_size) = 0;
   IoStatus SyncSlots();
 
-  // Simulated power cut: the first durable write attempted after the
-  // freeze is applied as a seeded prefix, all later ones are dropped.
-  // Frozen writes still report kOk — the dying process must not learn of
-  // the crash through its own I/O.
+  // Simulated power cut: the one durable write in flight at the freeze
+  // (a write whose flush call began pre-freeze, marked by its caller via
+  // `in_flight_at_cut`) lands as a seeded prefix; every other write is
+  // dropped entirely.  Frozen writes still report kOk — the dying process
+  // must not learn of the crash through its own I/O.
   void Freeze(uint64_t seed);
   bool frozen() const;
 
@@ -119,6 +175,7 @@ class DurableMedia {
  protected:
   virtual IoStatus AppendWalImpl(const void* data, size_t n) = 0;
   virtual IoStatus TruncateWalImpl() = 0;
+  virtual IoStatus DropWalPrefixImpl(uint64_t n) = 0;
   virtual IoStatus WriteSlotImpl(uint64_t slot, const void* data,
                                  size_t slot_size) = 0;
   virtual IoStatus SyncSlotsImpl() = 0;
@@ -126,7 +183,7 @@ class DurableMedia {
  private:
   // Returns how many of `n` bytes this durable write may apply (freeze
   // semantics), or the injected fault through `fault`.
-  size_t Admit(size_t n, IoStatus* fault);
+  size_t Admit(size_t n, IoStatus* fault, bool in_flight_at_cut);
 
   mutable std::mutex mu_;
   bool frozen_ = false;
@@ -145,6 +202,7 @@ class MemMedia : public DurableMedia {
   explicit MemMedia(const CrashImage& image);
 
   IoStatus ReadWal(std::vector<std::byte>* out) override;
+  uint64_t WalBytes() override;
   IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) override;
   uint64_t NumSlots(size_t slot_size) override;
 
@@ -158,6 +216,7 @@ class MemMedia : public DurableMedia {
  protected:
   IoStatus AppendWalImpl(const void* data, size_t n) override;
   IoStatus TruncateWalImpl() override;
+  IoStatus DropWalPrefixImpl(uint64_t n) override;
   IoStatus WriteSlotImpl(uint64_t slot, const void* data,
                          size_t slot_size) override;
   IoStatus SyncSlotsImpl() override { return IoStatus::kOk; }
@@ -171,8 +230,20 @@ class MemMedia : public DurableMedia {
 // Real files: `slots_path` holds the checksummed slot area, `wal_path`
 // the log. With `recover` the files are opened as-is (reopen after a
 // crash or clean shutdown); otherwise both are truncated.
+//
+// The WAL file carries a 64-byte header region (two alternating 32-byte
+// checksummed copies) holding the retained stream's start offset, so
+// segment recycling advances a pointer instead of rewriting log bytes —
+// a torn header write leaves the other copy valid with an older (smaller)
+// start, which only makes recovery replay more, never less.
 class FileMedia : public DurableMedia {
  public:
+  // Physical layout: [header copy A][header copy B][log data...], with
+  // logical log byte L at physical kWalDataStart + L.
+  static constexpr uint64_t kWalHeaderMagic = 0x57A15E60u;
+  static constexpr size_t kWalHeaderCopySize = 32;
+  static constexpr size_t kWalDataStart = 2 * kWalHeaderCopySize;
+
   FileMedia(const std::string& slots_path, const std::string& wal_path,
             bool recover);
   ~FileMedia() override;
@@ -180,20 +251,26 @@ class FileMedia : public DurableMedia {
   bool ok() const { return slots_fd_ >= 0 && wal_fd_ >= 0; }
 
   IoStatus ReadWal(std::vector<std::byte>* out) override;
+  uint64_t WalBytes() override;
   IoStatus ReadSlot(uint64_t slot, void* out, size_t slot_size) override;
   uint64_t NumSlots(size_t slot_size) override;
 
  protected:
   IoStatus AppendWalImpl(const void* data, size_t n) override;
   IoStatus TruncateWalImpl() override;
+  IoStatus DropWalPrefixImpl(uint64_t n) override;
   IoStatus WriteSlotImpl(uint64_t slot, const void* data,
                          size_t slot_size) override;
   IoStatus SyncSlotsImpl() override;
 
  private:
+  IoStatus WriteWalHeader(uint64_t start);
+
   int slots_fd_ = -1;
   int wal_fd_ = -1;
-  uint64_t wal_offset_ = 0;  // append position (logical end of the log)
+  uint64_t wal_start_ = 0;   // logical offset of the retained stream
+  uint64_t wal_end_ = 0;     // logical append position (end of the log)
+  uint32_t header_flip_ = 0;  // which header copy the next update writes
 };
 
 // Write-ahead log over a DurableMedia.
@@ -204,40 +281,102 @@ class FileMedia : public DurableMedia {
 //   [payload_len bytes]  u32 crc
 //
 // type 1 = page image (payload = the page), type 2 = commit (no payload,
-// page = kInvalidPage).  Recovery parses the longest clean prefix; the
-// first short or CRC-failing record is the torn tail and ends the scan.
+// page = kInvalidPage), type 3 = delta (payload = extents, each
+// [u16 offset][u16 len][len bytes], applied over the page's base in
+// append order).  Records never span a segment boundary: the appender
+// zero-pads to the boundary instead, and the scanner treats zero padding
+// (including a stream that ends inside it or exactly on a boundary — the
+// shape recycling leaves) as clean, not torn.  Recovery parses the
+// longest clean prefix; the first short or CRC-failing record is the torn
+// tail and ends the scan.
 class Wal {
  public:
   static constexpr uint32_t kRecordMagic = 0x3AA17E05u;
   static constexpr uint8_t kTypeImage = 1;
   static constexpr uint8_t kTypeCommit = 2;
+  static constexpr uint8_t kTypeDelta = 3;
   static constexpr size_t kHeaderSize = 24;
+  static constexpr size_t kDefaultSegmentBytes = 64 * 1024;
+
+  // Raw histogram buckets kept in Stats so the storage layer stays
+  // metrics-free; the table's metrics exporter turns them into t.wal.*
+  // series.  Batch buckets are commits-per-flush: 1, 2, ≤4, ≤8, ≤16,
+  // ≤32, ≤64, more.  Latency buckets are per-flush media-append time:
+  // <1us, <4us, <16us, <64us, <256us, <1ms, <4ms, more.
+  static constexpr size_t kBatchBuckets = 8;
+  static constexpr size_t kLatencyBuckets = 8;
 
   struct Stats {
     uint64_t txns = 0;
-    uint64_t appends = 0;        // records appended (images + commits)
+    uint64_t appends = 0;  // records appended (images + deltas + commits)
     uint64_t commits = 0;
     uint64_t flushes = 0;
     uint64_t flushed_bytes = 0;
+    uint64_t images = 0;           // full-page-image records
+    uint64_t deltas = 0;           // delta records
+    uint64_t delta_bytes = 0;      // delta payload bytes (pre-framing)
+    uint64_t tickets = 0;          // group-commit tickets enqueued
+    uint64_t tickets_flushed = 0;  // tickets acked by a batch fsync
+    uint64_t recycled_segments = 0;
+    uint64_t batch_size_hist[kBatchBuckets] = {};
+    uint64_t flush_latency_us_hist[kLatencyBuckets] = {};
   };
 
-  // `test_commit_before_images`: the deliberately broken protocol the
-  // crash sweep must catch — a transaction's page images are withheld
-  // from the buffer until *after* its commit record has been flushed, so
-  // a crash in between leaves a committed transaction with no images
-  // (an acked operation recovery silently forgets).
-  Wal(DurableMedia* media, bool test_commit_before_images);
+  struct Options {
+    WalFlushPolicy policy = WalFlushPolicy::kPerCommit;
+    // Records never cross a segment boundary; whole segments below the
+    // checkpoint's safe LSN are recycled.  Callers clamp this so one
+    // page-image record always fits.
+    size_t segment_bytes = kDefaultSegmentBytes;
+    // TEST ONLY — the deliberately broken protocol the crash sweep must
+    // catch: a transaction's page records are withheld from the buffer
+    // until *after* its commit record has been flushed, so a crash in
+    // between leaves a committed transaction with no records (an acked
+    // operation recovery silently forgets).
+    bool test_commit_before_images = false;
+  };
+
+  Wal(DurableMedia* media, const Options& options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
 
   uint64_t BeginTxn();
   void LogPageImage(uint64_t txn, PageId page, const void* image, size_t n);
-  // Appends the commit record; when `flush`, makes everything buffered
-  // durable before returning (the group-flush at a restructure commit
-  // point, or every commit under flush-every-commit policy).
-  IoStatus Commit(uint64_t txn, bool flush);
+  // Appends a pre-encoded delta payload (see EncodeDelta) for `page`.
+  void LogPageDelta(uint64_t txn, PageId page, const void* payload,
+                    size_t payload_len);
+  // Appends the commit record; when `durable`, does not return until the
+  // whole transaction is on durable media — synchronously under
+  // kPerCommit/kLazy, via a flusher ticket under kGroup/kPipelined (the
+  // ack arrives only after the batch's fsync returns; a dead flusher
+  // surfaces its IoStatus to every current and future waiter).
+  IoStatus Commit(uint64_t txn, bool durable);
+  // Makes everything appended so far durable (drains the flusher under
+  // group policies).
   IoStatus Flush();
 
-  // Checkpoint completion: drops the durable stream and the buffer.
-  // Caller guarantees quiescence.
+  // PageStore calls this after a committed transaction's staged pages
+  // have been published to live memory.  Closes the transaction's
+  // recycle window: its log records may be dropped once a checkpoint
+  // that started after this call completes.
+  void OnPublished(uint64_t txn);
+
+  // The log position a checkpoint starting now may recycle up to: no
+  // byte below it is needed to redo any transaction that is committed
+  // (or will commit) but unpublished.  Callers take this *before* the
+  // page walk; see PageStore::Checkpoint.
+  uint64_t SafeRecycleLsn();
+
+  // Drops whole segments strictly below `keep_from` (a SafeRecycleLsn
+  // value) once the covering checkpoint is durable.  When the entire log
+  // is droppable and nothing is buffered, resets the stream outright
+  // (the quiescent-checkpoint degenerate case).
+  IoStatus RecycleTo(uint64_t keep_from);
+
+  // Checkpoint completion under quiescence: drops the durable stream and
+  // the buffer.
   IoStatus Truncate();
 
   // Recovery must start transaction ids above everything in the old log,
@@ -246,15 +385,27 @@ class Wal {
 
   Stats stats() const;
 
+  // --- Delta encode/apply (static: pure byte transforms) ---
+  // Encodes the byte ranges where `next` differs from `base` as extent
+  // payload into `out` (cleared first).  Returns the payload size; an
+  // identical page encodes to 0 bytes.
+  static size_t EncodeDelta(const std::byte* base, const std::byte* next,
+                            size_t page_size, std::vector<std::byte>* out);
+  // Applies an extent payload over `page`; false if the payload is
+  // malformed or an extent lands outside the page.
+  static bool ApplyDelta(const std::byte* payload, size_t payload_len,
+                         std::byte* page, size_t page_size);
+
   // --- Recovery-side decoding (static: runs on raw durable bytes) ---
-  struct ScannedImage {
+  struct ScannedRecord {
     uint64_t txn = 0;
     PageId page = kInvalidPage;
     size_t offset = 0;  // payload offset into the scanned stream
     size_t len = 0;
+    bool is_delta = false;
   };
   struct ScanResult {
-    std::vector<ScannedImage> committed_images;  // append order
+    std::vector<ScannedRecord> committed_records;  // append order
     uint64_t committed_txns = 0;
     uint64_t uncommitted_txns = 0;  // records seen, commit never durable
     uint64_t max_txn = 0;
@@ -264,17 +415,54 @@ class Wal {
   static ScanResult Scan(const std::byte* data, size_t n);
 
  private:
-  IoStatus FlushLocked();
+  struct FlushBatchInfo {
+    uint64_t end_lsn = 0;
+    uint64_t tickets = 0;
+    size_t bytes = 0;
+  };
+
+  void StartFlusher();
+  void FlusherMain();
+  // Flushes the whole buffer; requires mu_ held, flusher not in flight.
+  IoStatus FlushLocked(std::unique_lock<std::mutex>& lk);
+  // One flusher batch: swap/flush the buffer, ack covered tickets.
+  void FlushBatch(std::unique_lock<std::mutex>& lk);
+  void RecordFlushStats(const FlushBatchInfo& batch, uint64_t latency_us);
   void AppendRecord(uint8_t type, uint64_t txn, PageId page,
-                    const void* payload, size_t payload_len,
-                    std::vector<std::byte>* out);
+                    const void* payload, size_t payload_len);
+  void OpenRecycleWindow(uint64_t txn);
+  bool FlusherWanted() const;
 
   DurableMedia* const media_;
-  const bool test_commit_before_images_;
+  const Options options_;
+  const bool flusher_policy_;  // kGroup or kPipelined
 
   mutable std::mutex mu_;
-  std::vector<std::byte> buffer_;   // appended, not yet durable
-  std::vector<std::byte> pending_;  // broken variant: images held back
+  std::condition_variable flush_cv_;  // wakes the flusher
+  std::condition_variable ack_cv_;    // wakes ticket/Flush waiters
+  std::vector<std::byte> buffer_;     // appended, not yet durable
+  std::vector<std::byte> pending_;    // broken variant: records held back
+  uint64_t log_start_ = 0;     // logical LSN of the retained stream start
+  uint64_t appended_end_ = 0;  // logical LSN past the last appended byte
+  uint64_t durable_end_ = 0;   // logical LSN past the last durable byte
+  std::deque<uint64_t> ticket_targets_;  // commit LSNs awaiting a flush
+  std::unordered_map<uint64_t, uint64_t> open_txns_;  // txn -> first LSN
+  uint64_t flush_waiters_ = 0;
+  bool flusher_inflight_ = false;  // pipelined append outside mu_
+  bool flusher_dead_ = false;
+  // Lock-free mirrors for the bounded spin phases.  On in-memory media a
+  // flush costs about a memcpy, so two condvar round-trips per commit
+  // (writer -> flusher -> writer) would dominate the whole durability
+  // path; both sides instead spin briefly on these mirrors — the writer
+  // on durable_end_pub_ reaching its ticket, the flusher on work_pub_ —
+  // and fall back to the condvars only when the other side is genuinely
+  // slow.  The mutex-guarded fields stay the source of truth; the
+  // mirrors are written only by their mu_-holding counterparts.
+  std::atomic<uint64_t> durable_end_pub_{0};
+  std::atomic<bool> work_pub_{false};
+  IoStatus flusher_status_ = IoStatus::kOk;
+  bool stop_ = false;
+  std::thread flusher_;
   std::atomic<uint64_t> next_txn_{1};
   Stats stats_;
 };

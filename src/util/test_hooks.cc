@@ -1,21 +1,51 @@
 #include "util/test_hooks.h"
 
+#include <thread>
+
 namespace exhash::util {
 
 std::atomic<const TestHooks::Impl*> TestHooks::impl_{nullptr};
+std::atomic<const TestHooks::Impl*> TestHooks::retired_{nullptr};
+std::atomic<uint64_t> TestHooks::active_{0};
+
+void TestHooks::EmitSlow(HookPoint point, const void* where) {
+  // Pin before re-reading: once active_ is raised, Clear cannot finish its
+  // drain, so whatever impl_ holds now stays allocated until we unpin.
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  const Impl* h = impl_.load(std::memory_order_acquire);
+  if (h != nullptr) h->fn(h->ctx, point, where);
+  active_.fetch_sub(1, std::memory_order_release);
+}
 
 void TestHooks::Install(Fn fn, void* ctx) {
-  // Per the header contract no instrumented thread runs during Install/
-  // Clear, so swapping the pointer and freeing the old impl cannot race an
-  // Emit.
-  const Impl* old = impl_.exchange(new Impl{fn, ctx},
-                                   std::memory_order_release);
-  delete old;
+  // The superseded impl may still be mid-dereference in a concurrent Emit;
+  // retire it instead of freeing — Clear frees the chain after draining.
+  const Impl* old =
+      impl_.exchange(new Impl{fn, ctx, nullptr}, std::memory_order_release);
+  if (old != nullptr) {
+    Impl* o = const_cast<Impl*>(old);
+    o->retired_next = retired_.load(std::memory_order_relaxed);
+    while (!retired_.compare_exchange_weak(o->retired_next, o,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+    }
+  }
 }
 
 void TestHooks::Clear() {
-  const Impl* old = impl_.exchange(nullptr, std::memory_order_release);
+  const Impl* old = impl_.exchange(nullptr, std::memory_order_acq_rel);
+  // Drain in-flight emitters: new ones see null and never pin, so this
+  // terminates as soon as the current handful of callbacks return.
+  while (active_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
   delete old;
+  const Impl* r = retired_.exchange(nullptr, std::memory_order_acq_rel);
+  while (r != nullptr) {
+    const Impl* next = r->retired_next;
+    delete r;
+    r = next;
+  }
 }
 
 }  // namespace exhash::util

@@ -13,10 +13,13 @@
 // ever see — is one relaxed-tier load of a never-written global plus a
 // predicted-not-taken branch per emission point.
 //
-// Contract: Install() and Clear() may only be called while no instrumented
-// thread is running (install before spawning workers, clear after joining
-// them).  That makes the fn/ctx pair race-free without any synchronization
-// on the emit path beyond the single acquire load.
+// Contract: Install() and Clear() may be called while instrumented threads
+// are still emitting — the WAL's group-commit flusher is a persistent
+// background thread that cannot be joined around every hook swap.  Emit
+// guards the dereference with an active-emitter count; Clear unpublishes
+// the impl, waits for in-flight emitters to drain, then frees it.  The
+// production fast path is unchanged: one relaxed load and a
+// predicted-not-taken branch when no hook is installed.
 
 #ifndef EXHASH_UTIL_TEST_HOOKS_H_
 #define EXHASH_UTIL_TEST_HOOKS_H_
@@ -69,12 +72,13 @@ enum class HookPoint : uint8_t {
   // how the torn-read tests hold a half-written page in place while
   // optimistic readers run against it.
   kPageCopy = 11,
-  // Durability layer (DESIGN.md §9).  A WAL record (page image or commit)
-  // was just appended to the in-memory log buffer; `where` is the Wal.
-  // Nothing is durable yet — a crash here loses the record.
+  // Durability layer (DESIGN.md §9).  A WAL record (page image, delta, or
+  // commit) was just appended to the in-memory log buffer; `where` is the
+  // Wal.  Nothing is durable yet — a crash here loses the record.
   kWalAppend = 12,
   // A WAL flush is about to transfer the buffered suffix to durable media;
-  // `where` is the Wal.  A crash *at* this point models power loss during
+  // `where` is the Wal.  Under group/pipelined policies this is emitted by
+  // the flusher thread.  A crash *at* this point models power loss during
   // fsync: the flush lands as a seeded prefix (possibly cut mid-record,
   // the torn tail recovery must detect).
   kWalFsync = 13,
@@ -82,6 +86,8 @@ enum class HookPoint : uint8_t {
   // made durable; `where` is the Wal.  This is the instant a restructure
   // (split/merge) becomes atomic-across-crash: before it, recovery ignores
   // the whole transaction; after it, recovery replays every page image.
+  // Under group/pipelined policies the committer emits this only after its
+  // ticket is acked (its batch's fsync returned).
   kCommitPoint = 14,
 };
 
@@ -93,29 +99,40 @@ class TestHooks {
   // emitting the event — an opaque address, never dereferenced.
   using Fn = void (*)(void* ctx, HookPoint point, const void* where);
 
-  // Installs the hook.  No instrumented threads may be running.
+  // Installs the hook.  Safe against concurrent Emit (the superseded impl
+  // is retired and freed at the next Clear, after emitters drain).
   static void Install(Fn fn, void* ctx);
 
-  // Removes the hook.  No instrumented threads may be running.
+  // Removes the hook and frees every impl ever installed, after waiting
+  // for in-flight Emit calls to drain.  Safe against concurrent Emit.
   static void Clear();
 
   static bool Installed() {
     return impl_.load(std::memory_order_relaxed) != nullptr;
   }
 
-  // The emission point, called from lock hot paths.
+  // The emission point, called from lock hot paths.  The null fast path —
+  // all production binaries — is a single relaxed-tier load.  The guarded
+  // slow path increments the active-emitter count *before* re-reading the
+  // impl so Clear's drain-then-free cannot free an impl this thread is
+  // about to dereference.
   static void Emit(HookPoint point, const void* where) {
-    const Impl* h = impl_.load(std::memory_order_acquire);
-    if (h != nullptr) [[unlikely]] h->fn(h->ctx, point, where);
+    if (impl_.load(std::memory_order_relaxed) == nullptr) [[likely]] return;
+    EmitSlow(point, where);
   }
 
  private:
   struct Impl {
     Fn fn;
     void* ctx;
+    const Impl* retired_next;  // chain of superseded impls (freed at Clear)
   };
 
+  static void EmitSlow(HookPoint point, const void* where);
+
   static std::atomic<const Impl*> impl_;
+  static std::atomic<const Impl*> retired_;
+  static std::atomic<uint64_t> active_;
 };
 
 }  // namespace exhash::util

@@ -107,11 +107,13 @@ class CrashController {
     if (!crashed_.compare_exchange_strong(expected, true)) return;
     crash_tick_ = history_->ExternalTick();
     store_->CrashNow(MixSeed(config_.seed, 0xDEAD));
+    fiction_tick_ = history_->ExternalTick();
     killed_at_ = "quiescent";
   }
 
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   uint64_t crash_tick() const { return crash_tick_; }
+  uint64_t fiction_tick() const { return fiction_tick_; }
   uint64_t points() const { return points_.load(std::memory_order_relaxed); }
   const char* killed_at() const { return killed_at_; }
 
@@ -121,21 +123,38 @@ class CrashController {
   }
 
   void AtPoint(util::HookPoint point) {
-    if (tls_crash_owner != this || tls_crash_tid < 0) return;
     if (!IsKillPoint(point)) return;
+    // Kill points count from ANY thread: under the group/pipelined
+    // policies the wal-fsync emission comes from the Wal's flusher
+    // thread, which never registers a tls tid.  Only one controller is
+    // installed at a time (the sweeps run sequentially), so every
+    // emission belongs to this run.
     const uint64_t n = points_.fetch_add(1, std::memory_order_relaxed);
     if (store_ != nullptr && n == kill_index_) {
       bool expected = false;
       if (crashed_.compare_exchange_strong(expected, true)) {
-        // Tick first, then freeze: an op whose response tick precedes
-        // crash_tick_ then provably flushed before the media froze (see
-        // History::ExternalTick), so requiring it of recovery is sound.
+        // The cut is bracketed by TWO ticks, because minting a tick and
+        // freezing the media are not one atomic step and worker threads
+        // run unawares in between.  crash_tick_ is minted BEFORE the
+        // freeze: an op whose response tick precedes it provably flushed
+        // before the media froze (see History::ExternalTick), so
+        // requiring it of recovery is sound.  fiction_tick_ is minted
+        // AFTER CrashNow returns: an op *invoked* later provably wrote
+        // nothing durable, so dropping it from the joined history is
+        // sound.  An op invoked in the window between the two ticks may
+        // have committed durably before the freeze landed — it must be
+        // kept as crash-pending (the sweep once dropped such a durable
+        // Remove as "fiction" and flagged honest recovery as data loss).
         crash_tick_ = history_->ExternalTick();
         store_->CrashNow(MixSeed(config_.seed, 0xDEAD));
+        fiction_tick_ = history_->ExternalTick();
         killed_at_ = KillPointName(point);
       }
       return;
     }
+    // The seeded perturbation stays per-tracked-worker: the flusher has
+    // no replayable decision stream to draw from.
+    if (tls_crash_owner != this || tls_crash_tid < 0) return;
     util::Rng& rng = rngs_[size_t(tls_crash_tid)];
     if (rng.NextDouble() < 0.15) std::this_thread::yield();
   }
@@ -148,6 +167,7 @@ class CrashController {
   std::atomic<uint64_t> points_{0};
   std::atomic<bool> crashed_{false};
   uint64_t crash_tick_ = 0;
+  uint64_t fiction_tick_ = 0;
   const char* killed_at_ = "?";
 };
 
@@ -159,7 +179,9 @@ std::unique_ptr<core::TableBase> MakeTable(
   options.initial_depth = config.initial_depth;
   options.wal = true;
   options.wal_flush_every_commit = true;
+  options.wal_flush_policy = config.flush_policy;
   options.test_commit_before_images = config.test_commit_before_images;
+  options.test_delta_before_base = config.test_delta_before_base;
   options.recover_from = std::move(recover_from);
   if (config.variant == 1) {
     return std::make_unique<core::EllisHashTableV1>(options);
@@ -310,12 +332,18 @@ CrashOutcome RunOneCrashSchedule(const CrashConfig& config,
 
   // --- Join the histories across the cut. ---
   const uint64_t cut = outcome.crash_tick;
+  const uint64_t fiction = controller.fiction_tick();
   std::vector<OpRecord> joined;
   for (OpRecord op : pre.history().Merge()) {
-    if (op.invoke > cut) continue;  // invoked by a dead process: fiction
+    // Invoked only after the freeze completed: wrote nothing durable, a
+    // fiction of the dead process.  Ops invoked between crash_tick and
+    // fiction_tick raced the freeze and may have committed durably —
+    // they fall through to the crash-pending arm below.
+    if (op.invoke > fiction) continue;
     if (op.ret > cut) {
       // In flight at the cut; the in-process response is fictional.
       op.crash_pending = true;
+      op.invoke = std::min(op.invoke, cut);
       op.ret = cut;
       op.result = false;
       op.out = 0;
@@ -344,10 +372,11 @@ CrashOutcome RunOneCrashSchedule(const CrashConfig& config,
                   "crash schedule seed=%" PRIu64 " kill_index=%" PRIu64
                   " at=%s tick=%" PRIu64
                   " (variant=%d threads=%d ops/thread=%d keys=%" PRIu64
-                  "%s)\n",
+                  " policy=%s%s)\n",
                   config.seed, kill_index, outcome.killed_at.c_str(),
                   outcome.crash_tick, config.variant, config.threads,
                   config.ops_per_thread, config.key_space,
+                  storage::WalFlushPolicyName(config.flush_policy),
                   config.test_commit_before_images
                       ? " BROKEN-COMMIT-ORDER"
                       : "");

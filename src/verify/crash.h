@@ -48,9 +48,20 @@ struct CrashConfig {
   // mixed ops per thread.
   int post_ops_per_thread = 16;
 
+  // Commit-record flush policy under test.  kPerCommit and the flusher
+  // policies (kGroup, kPipelined) must all be crash-safe at every kill
+  // point: a committer is only acked once its batch's fsync returned, so
+  // the joined-history checker's obligations are identical.
+  storage::WalFlushPolicy flush_policy = storage::WalFlushPolicy::kPerCommit;
+
   // The deliberately broken commit protocol (commit record flushed before
   // its page images) the sweep must catch; see TableOptions.
   bool test_commit_before_images = false;
+
+  // The deliberately broken delta discipline (delta records logged for
+  // pages with no durable base) the sweep must catch as a recovery
+  // refusal; see TableOptions::test_delta_before_base.
+  bool test_delta_before_base = false;
 };
 
 struct CrashOutcome {

@@ -1,0 +1,240 @@
+// Delta-record redo corners (DESIGN.md §9): the delta codec itself, and
+// the recovery interactions that make byte deltas sound — a delta whose
+// base slot is torn (healed from the last full image first), a delta
+// chain whose retained prefix replays over a *newer* fuzzy-checkpoint
+// slot capture, a page deallocated and reused inside one log (the reuse
+// must re-base with a full image), and the deliberately broken
+// delta-before-base discipline recovery must refuse to serve.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPage = 64;
+
+std::vector<std::byte> FilledPage(uint8_t fill) {
+  std::vector<std::byte> page(kPage);
+  for (size_t i = 0; i < kPage; ++i) {
+    page[i] = std::byte(uint8_t(fill + i));
+  }
+  return page;
+}
+
+PageStore::Options WalStoreOptions() {
+  PageStore::Options o;
+  o.page_size = kPage;
+  o.wal = true;
+  return o;
+}
+
+// --- The codec alone ---
+
+TEST(DeltaCodecTest, RoundtripMergesNearbyExtents) {
+  const auto base = FilledPage(1);
+  auto next = base;
+  // Two changed bytes 3 apart (gap < 8) fold into one extent; a third
+  // change far away opens a second extent.
+  next[4] ^= std::byte{0x10};
+  next[7] ^= std::byte{0x20};
+  next[40] ^= std::byte{0x40};
+  std::vector<std::byte> payload;
+  const size_t n = Wal::EncodeDelta(base.data(), next.data(), kPage, &payload);
+  // Extent framing is 4 bytes: [4..7] costs 4+4, [40] costs 4+1.
+  EXPECT_EQ(n, 13u);
+  auto page = base;
+  ASSERT_TRUE(Wal::ApplyDelta(payload.data(), n, page.data(), kPage));
+  EXPECT_EQ(std::memcmp(page.data(), next.data(), kPage), 0);
+}
+
+TEST(DeltaCodecTest, IdenticalPagesEncodeToNothing) {
+  const auto base = FilledPage(3);
+  std::vector<std::byte> payload;
+  EXPECT_EQ(Wal::EncodeDelta(base.data(), base.data(), kPage, &payload), 0u);
+}
+
+TEST(DeltaCodecTest, MalformedPayloadsAreRejectedNotApplied) {
+  auto page = FilledPage(1);
+  const auto pristine = page;
+  const auto bytes = [](const auto& a) {
+    return reinterpret_cast<const std::byte*>(a);
+  };
+  // Truncated: header promises 4 bytes, only 2 follow.
+  const uint8_t truncated[] = {4, 0, 4, 0, 0xAA, 0xBB};
+  EXPECT_FALSE(Wal::ApplyDelta(bytes(truncated), sizeof(truncated),
+                               page.data(), kPage));
+  // Extent past the page end: offset 60, length 8 on a 64-byte page.
+  const uint8_t past_end[] = {60, 0, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(Wal::ApplyDelta(bytes(past_end), sizeof(past_end), page.data(),
+                               kPage));
+  // Zero-length extent: never emitted by the encoder, so refused.
+  const uint8_t zero_len[] = {4, 0, 0, 0};
+  EXPECT_FALSE(Wal::ApplyDelta(bytes(zero_len), sizeof(zero_len), page.data(),
+                               kPage));
+  // A rejected delta must not have half-applied.
+  EXPECT_EQ(std::memcmp(page.data(), pristine.data(), kPage), 0);
+}
+
+// --- Recovery corners ---
+
+// A delta's base slot is torn at rest, but the retained log holds a
+// committed full image of the page: recovery heals from the image first,
+// then applies the delta over it.
+TEST(DeltaRedoTest, TornBaseSlotHealedByImageThenDeltaApplies) {
+  PageStore store(WalStoreOptions());
+  const PageId pa = store.Alloc();
+  const PageId pb = store.Alloc();
+  store.Write(pa, FilledPage(1).data());
+  store.Write(pb, FilledPage(2).data());
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);  // gen 1; log recycled
+  // Post-checkpoint: a full rewrite (every byte differs -> image record)
+  // then a small touch-up (-> delta record).
+  const auto big = FilledPage(9);
+  store.Write(pb, big.data());
+  auto touched = big;
+  touched[3] ^= std::byte{0xFF};
+  touched[4] ^= std::byte{0xFF};
+  store.Write(pb, touched.data());
+  const PageStoreStats ws = store.stats();
+  EXPECT_EQ(ws.wal_deltas, 1u);
+  store.CrashNow(/*seed=*/7);
+  std::shared_ptr<CrashImage> image = store.TakeCrashImage();
+
+  // Tear pb's only valid slot copy (gen-1 parity: physical slot 2p + 1;
+  // 2p is an all-zero hole).  The delta's checkpoint base is now gone.
+  const size_t slot_size = kPage + kSlotTrailerSize;
+  image->slots[(2 * size_t(pb) + 1) * slot_size + 5] ^= std::byte{0xFF};
+
+  PageStore::Options o = WalStoreOptions();
+  o.recover_image = std::move(image);
+  PageStore recovered(o);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.repaired_slots, 1u);
+  EXPECT_EQ(report.replayed_images, 1u);
+  EXPECT_EQ(report.replayed_deltas, 1u);
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), touched.data(), kPage), 0);
+  recovered.Read(pa, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), FilledPage(1).data(), kPage), 0);
+}
+
+// A fuzzy checkpoint taken while a transaction's recycle window is open
+// retains the whole chain — full image and deltas older than the slot
+// capture included.  Redo replays them *over* the newer capture: the
+// page regresses and re-advances byte-wise, converging on the chain's
+// final state (last-writer-wins soundness, DESIGN.md §9).
+TEST(DeltaRedoTest, RetainedChainReplaysOverNewerSlotCapture) {
+  PageStore store(WalStoreOptions());
+  const PageId pa = store.Alloc();
+  const PageId pb = store.Alloc();
+  const auto a0 = FilledPage(1);
+  store.Write(pa, a0.data());  // image
+  auto a1 = a0;
+  a1[10] ^= std::byte{0x01};
+  store.Write(pa, a1.data());  // delta
+  // Open window: pb's transaction is staged but not yet committed, so
+  // the checkpoint's safe recycle LSN sits below the whole log and
+  // nothing is dropped.
+  const uint64_t txn = store.BeginTxn();
+  const auto x = FilledPage(5);
+  store.Write(pb, x.data(), txn);
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);  // slot(pa) captures a1
+  ASSERT_EQ(store.CommitTxn(txn), IoStatus::kOk);
+  auto a2 = a1;
+  a2[20] ^= std::byte{0x02};
+  store.Write(pa, a2.data());  // delta, after the checkpoint
+  store.CrashNow(/*seed=*/8);
+
+  PageStore::Options o = WalStoreOptions();
+  o.recover_image = store.TakeCrashImage();
+  PageStore recovered(o);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_GE(report.slots_loaded, 1u);
+  // The pre-checkpoint image and delta were retained and replayed.
+  EXPECT_GE(report.replayed_images, 1u);
+  EXPECT_EQ(report.replayed_deltas, 2u);
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pa, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), a2.data(), kPage), 0);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), x.data(), kPage), 0);
+}
+
+// Dealloc clears the page's delta-base flag: when the id is reused in
+// the same log, the first write must log a full image again (the old
+// image in the log describes the previous tenant), and redo of the whole
+// image/delta/image chain converges on the new tenant's bytes.
+TEST(DeltaRedoTest, DeallocThenReuseRebasesWithFullImage) {
+  PageStore store(WalStoreOptions());
+  const PageId pa = store.Alloc();
+  const auto a0 = FilledPage(1);
+  store.Write(pa, a0.data());  // image
+  auto a1 = a0;
+  a1[7] ^= std::byte{0x04};
+  store.Write(pa, a1.data());  // delta
+  store.Dealloc(pa);
+  const PageId pb = store.Alloc();
+  ASSERT_EQ(pb, pa);  // free-list reuse of the same id
+  // One byte off a1: delta-eligible against the stale base, which is
+  // exactly why the cleared flag must force an image here.
+  auto b = a1;
+  b[0] ^= std::byte{0x08};
+  store.Write(pb, b.data());
+  const PageStoreStats ws = store.stats();
+  EXPECT_EQ(ws.wal_images, 2u);
+  EXPECT_EQ(ws.wal_deltas, 1u);
+  store.CrashNow(/*seed=*/9);
+
+  PageStore::Options o = WalStoreOptions();
+  o.recover_image = store.TakeCrashImage();
+  PageStore recovered(o);
+  const RecoveryReport report = recovered.Recover();
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.replayed_images, 2u);
+  EXPECT_EQ(report.replayed_deltas, 1u);
+  std::vector<std::byte> out(kPage);
+  recovered.Read(pb, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), b.data(), kPage), 0);
+}
+
+// The teeth check: with the delta-before-base discipline deliberately
+// broken (TEST ONLY flag), a committed delta reaches the log for a page
+// with no slot copy and no prior image.  Recovery has nothing sound to
+// apply it over and must refuse (kCorrupt), never serve a guessed page.
+TEST(DeltaRedoTest, DeltaWithNoBaseIsARecoveryRefusal) {
+  PageStore::Options o = WalStoreOptions();
+  o.test_delta_before_base = true;
+  PageStore store(o);
+  const PageId pa = store.Alloc();
+  // A sparse page (mostly zeros) diffs small against the zero base the
+  // broken mode invents, so the very first write lands as a delta.
+  std::vector<std::byte> sparse(kPage, std::byte{0});
+  for (size_t i = 0; i < 8; ++i) sparse[i] = std::byte(uint8_t(i + 1));
+  store.Write(pa, sparse.data());
+  const PageStoreStats ws = store.stats();
+  ASSERT_EQ(ws.wal_deltas, 1u) << "broken mode failed to force a delta";
+  ASSERT_EQ(ws.wal_images, 0u);
+  store.CrashNow(/*seed=*/10);
+
+  PageStore::Options r = WalStoreOptions();
+  r.recover_image = store.TakeCrashImage();
+  PageStore recovered(r);
+  const RecoveryReport report = recovered.Recover();
+  EXPECT_EQ(report.status, IoStatus::kCorrupt);
+  EXPECT_NE(report.error.find("no base"), std::string::npos) << report.error;
+  ASSERT_EQ(report.corrupt_pages.size(), 1u);
+  EXPECT_EQ(report.corrupt_pages[0], pa);
+}
+
+}  // namespace
+}  // namespace exhash::storage

@@ -21,6 +21,12 @@ namespace {
 constexpr size_t kPage = 64;
 constexpr size_t kSlotSize = kPage + kSlotTrailerSize;
 
+// Each logical page owns two physical slot copies, alternating by
+// checkpoint generation parity.  These stores checkpoint exactly once
+// (gen 1, odd), so page p's valid copy sits at physical slot 2p + 1 and
+// physical slot 2p is an all-zero hole.
+size_t Gen1SlotOffset(size_t page) { return (2 * page + 1) * kSlotSize; }
+
 std::vector<std::byte> FilledPage(uint8_t fill) {
   std::vector<std::byte> page(kPage);
   for (size_t i = 0; i < kPage; ++i) {
@@ -58,7 +64,7 @@ RecoveryReport RecoverFrom(std::shared_ptr<CrashImage> image) {
 TEST(TornPageTest, FlippedPayloadByteIsReportedNotServed) {
   std::shared_ptr<CrashImage> image = CheckpointedImage();
   // One bit of page 1's payload flips at rest.
-  image->slots[1 * kSlotSize + 17] ^= std::byte{0x40};
+  image->slots[Gen1SlotOffset(1) + 17] ^= std::byte{0x40};
   const RecoveryReport report = RecoverFrom(image);
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status, IoStatus::kCorrupt);
@@ -70,9 +76,10 @@ TEST(TornPageTest, FlippedPayloadByteIsReportedNotServed) {
 
 TEST(TornPageTest, FlippedTrailerByteIsReported) {
   std::shared_ptr<CrashImage> image = CheckpointedImage();
-  // Damage the trailer (crc field) instead of the payload.
-  image->slots[2 * kSlotSize + kPage + kSlotTrailerSize - 1] ^=
-      std::byte{0x01};
+  // Damage the trailer (gen field) instead of the payload: the CRC
+  // covers the generation too, so a flipped gen byte can never silently
+  // promote a stale copy.
+  image->slots[Gen1SlotOffset(2) + kPage + 8] ^= std::byte{0x01};
   const RecoveryReport report = RecoverFrom(image);
   EXPECT_EQ(report.status, IoStatus::kCorrupt);
   ASSERT_EQ(report.corrupt_pages.size(), 1u);
@@ -94,7 +101,7 @@ TEST(TornPageTest, TornSlotHealedByCommittedImage) {
 
   // The same page's slot is torn at rest — exactly the state a crash
   // mid-checkpoint leaves.  The committed image makes it benign.
-  image->slots[size_t(pb) * kSlotSize + 5] ^= std::byte{0xFF};
+  image->slots[Gen1SlotOffset(size_t(pb)) + 5] ^= std::byte{0xFF};
 
   PageStore::Options o = WalStoreOptions();
   o.recover_image = image;
@@ -110,7 +117,7 @@ TEST(TornPageTest, TornSlotHealedByCommittedImage) {
 
 TEST(TornPageTest, AllZeroSlotIsAnUnwrittenHoleNotCorruption) {
   std::shared_ptr<CrashImage> image = CheckpointedImage();
-  std::memset(image->slots.data() + 1 * kSlotSize, 0, kSlotSize);
+  std::memset(image->slots.data() + Gen1SlotOffset(1), 0, kSlotSize);
   const RecoveryReport report = RecoverFrom(image);
   ASSERT_TRUE(report.ok()) << report.error;
   EXPECT_EQ(report.unwritten_slots, 1u);
@@ -133,14 +140,16 @@ TEST(TornPageTest, FlippedByteInBackingFileIsReported) {
     store.Write(pb, b.data());
     ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);
   }
-  // Flip one byte of page 0's payload in the file on disk.
+  // Flip one byte of page 0's payload in the file on disk (its gen-1
+  // copy lives at physical slot 1).
   {
+    const long off = long(Gen1SlotOffset(0)) + 11;
     std::FILE* f = std::fopen(slots_path.c_str(), "r+b");
     ASSERT_NE(f, nullptr);
-    ASSERT_EQ(std::fseek(f, 11, SEEK_SET), 0);
+    ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
     int c = std::fgetc(f);
     ASSERT_NE(c, EOF);
-    ASSERT_EQ(std::fseek(f, 11, SEEK_SET), 0);
+    ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
     std::fputc(c ^ 0x80, f);
     std::fclose(f);
   }

@@ -37,7 +37,7 @@ TEST(Crc32cTest, KnownVectorAndIncrementality) {
 
 TEST(WalTest, CommittedImagesScanInAppendOrder) {
   MemMedia media;
-  Wal wal(&media, /*test_commit_before_images=*/false);
+  Wal wal(&media, Wal::Options{});
 
   const auto a = FilledPage(1);
   const auto b = FilledPage(2);
@@ -52,19 +52,19 @@ TEST(WalTest, CommittedImagesScanInAppendOrder) {
   EXPECT_FALSE(scan.torn_tail);
   EXPECT_EQ(scan.committed_txns, 1u);
   EXPECT_EQ(scan.uncommitted_txns, 0u);
-  ASSERT_EQ(scan.committed_images.size(), 2u);
-  EXPECT_EQ(scan.committed_images[0].page, 3u);
-  EXPECT_EQ(scan.committed_images[1].page, 4u);
-  EXPECT_EQ(scan.committed_images[0].len, kPage);
+  ASSERT_EQ(scan.committed_records.size(), 2u);
+  EXPECT_EQ(scan.committed_records[0].page, 3u);
+  EXPECT_EQ(scan.committed_records[1].page, 4u);
+  EXPECT_EQ(scan.committed_records[0].len, kPage);
   EXPECT_EQ(scan.valid_bytes, stream.size());
-  EXPECT_EQ(std::memcmp(stream.data() + scan.committed_images[0].offset,
+  EXPECT_EQ(std::memcmp(stream.data() + scan.committed_records[0].offset,
                         a.data(), kPage),
             0);
 }
 
 TEST(WalTest, UncommittedTxnIsScannedButNotReplayed) {
   MemMedia media;
-  Wal wal(&media, false);
+  Wal wal(&media, Wal::Options{});
   const auto a = FilledPage(7);
   const uint64_t t1 = wal.BeginTxn();
   wal.LogPageImage(t1, 0, a.data(), kPage);
@@ -76,12 +76,12 @@ TEST(WalTest, UncommittedTxnIsScannedButNotReplayed) {
   EXPECT_FALSE(scan.torn_tail);
   EXPECT_EQ(scan.committed_txns, 0u);
   EXPECT_EQ(scan.uncommitted_txns, 1u);
-  EXPECT_TRUE(scan.committed_images.empty());
+  EXPECT_TRUE(scan.committed_records.empty());
 }
 
 TEST(WalTest, TornTailEndsTheScanWithoutLosingThePrefix) {
   MemMedia media;
-  Wal wal(&media, false);
+  Wal wal(&media, Wal::Options{});
   const auto a = FilledPage(3);
   const uint64_t t1 = wal.BeginTxn();
   wal.LogPageImage(t1, 1, a.data(), kPage);
@@ -100,14 +100,14 @@ TEST(WalTest, TornTailEndsTheScanWithoutLosingThePrefix) {
   const Wal::ScanResult torn = Wal::Scan(stream.data(), cut);
   EXPECT_TRUE(torn.torn_tail);
   EXPECT_EQ(torn.committed_txns, 1u);
-  ASSERT_EQ(torn.committed_images.size(), 1u);
-  EXPECT_EQ(torn.committed_images[0].page, 1u);
+  ASSERT_EQ(torn.committed_records.size(), 1u);
+  EXPECT_EQ(torn.committed_records[0].page, 1u);
   EXPECT_LT(torn.valid_bytes, cut);
 }
 
 TEST(WalTest, CorruptRecordCrcEndsTheScan) {
   MemMedia media;
-  Wal wal(&media, false);
+  Wal wal(&media, Wal::Options{});
   const auto a = FilledPage(9);
   const uint64_t t1 = wal.BeginTxn();
   wal.LogPageImage(t1, 5, a.data(), kPage);
@@ -121,12 +121,12 @@ TEST(WalTest, CorruptRecordCrcEndsTheScan) {
   const Wal::ScanResult scan = Wal::Scan(stream.data(), stream.size());
   EXPECT_TRUE(scan.torn_tail);
   EXPECT_EQ(scan.committed_txns, 0u);
-  EXPECT_TRUE(scan.committed_images.empty());
+  EXPECT_TRUE(scan.committed_records.empty());
 }
 
 TEST(WalTest, FreezeDropsWritesButReportsSuccess) {
   MemMedia media;
-  Wal wal(&media, false);
+  Wal wal(&media, Wal::Options{});
   const auto a = FilledPage(1);
   const uint64_t t1 = wal.BeginTxn();
   wal.LogPageImage(t1, 0, a.data(), kPage);
@@ -160,12 +160,79 @@ TEST(WalTest, FreezeDropsWritesButReportsSuccess) {
 TEST(WalTest, TestFaultSurfacesTypedStatus) {
   MemMedia media;
   media.SetTestFault(/*after_bytes=*/0, IoStatus::kNoSpace);
-  Wal wal(&media, false);
+  Wal wal(&media, Wal::Options{});
   const auto a = FilledPage(1);
   const uint64_t t1 = wal.BeginTxn();
   wal.LogPageImage(t1, 0, a.data(), kPage);
   EXPECT_EQ(wal.Commit(t1, true), IoStatus::kNoSpace);
   EXPECT_STREQ(IoStatusName(IoStatus::kNoSpace), "no-space");
+}
+
+// Regression (segmented log): a 64-byte image record is 92 bytes framed
+// and a commit is 28, so two single-image transactions fill 240 bytes of
+// a 256-byte segment and the third forces zero-padding to the boundary.
+// A scan cut inside that padding — or exactly ON the boundary — is a
+// CLEAN end (padding is not a record), not a torn tail; the bug was
+// classifying the all-zero tail as torn, which recovery then reported
+// for a perfectly healthy log.
+TEST(WalTest, ScanCutOnSegmentBoundaryIsCleanNotTorn) {
+  MemMedia media;
+  Wal::Options opts;
+  opts.segment_bytes = 256;
+  Wal wal(&media, opts);
+  const auto a = FilledPage(1);
+  for (uint32_t t = 0; t < 3; ++t) {
+    const uint64_t txn = wal.BeginTxn();
+    wal.LogPageImage(txn, t, a.data(), kPage);
+    ASSERT_EQ(wal.Commit(txn, /*flush=*/true), IoStatus::kOk);
+  }
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  ASSERT_GT(stream.size(), 256u);  // the third txn crossed into segment 1
+  for (const size_t cut : {size_t(250), size_t(256)}) {
+    const Wal::ScanResult scan = Wal::Scan(stream.data(), cut);
+    EXPECT_FALSE(scan.torn_tail) << "cut at " << cut;
+    EXPECT_EQ(scan.committed_txns, 2u) << "cut at " << cut;
+    EXPECT_EQ(scan.committed_records.size(), 2u) << "cut at " << cut;
+  }
+}
+
+// Checkpoint recycling drops whole segments from the front; the retained
+// stream then *starts* at a segment boundary.  Its scan must stay clean
+// and keep every record at or above the safe recycle LSN.
+TEST(WalTest, RecyclingDropsWholeSegmentsAndRetainedScanIsClean) {
+  MemMedia media;
+  Wal::Options opts;
+  opts.segment_bytes = 256;
+  Wal wal(&media, opts);
+  const auto a = FilledPage(1);
+  for (uint32_t t = 0; t < 3; ++t) {
+    const uint64_t txn = wal.BeginTxn();
+    wal.LogPageImage(txn, t, a.data(), kPage);
+    ASSERT_EQ(wal.Commit(txn, /*flush=*/true), IoStatus::kOk);
+    wal.OnPublished(txn);
+  }
+  // A fourth transaction holds its recycle window open in segment 1
+  // (first record at LSN 376), so recycling can drop exactly segment 0.
+  const uint64_t t4 = wal.BeginTxn();
+  wal.LogPageImage(t4, 9, a.data(), kPage);
+  ASSERT_EQ(wal.Commit(t4, /*flush=*/true), IoStatus::kOk);
+  const uint64_t safe = wal.SafeRecycleLsn();
+  EXPECT_EQ(safe, 376u);
+  ASSERT_EQ(wal.RecycleTo(safe), IoStatus::kOk);
+  EXPECT_EQ(wal.stats().recycled_segments, 1u);
+
+  std::vector<std::byte> stream;
+  ASSERT_EQ(media.ReadWal(&stream), IoStatus::kOk);
+  EXPECT_EQ(stream.size(), 240u);  // 496 appended - 256 dropped
+  const Wal::ScanResult scan = Wal::Scan(stream.data(), stream.size());
+  EXPECT_FALSE(scan.torn_tail);
+  // Transaction 3's records straddled the recycle point's segment (its
+  // image opens segment 1), so it and txn 4 survive; 1 and 2 are gone.
+  EXPECT_EQ(scan.committed_txns, 2u);
+  ASSERT_EQ(scan.committed_records.size(), 2u);
+  EXPECT_EQ(scan.committed_records[0].page, 2u);
+  EXPECT_EQ(scan.committed_records[1].page, 9u);
 }
 
 // --- PageStore-level durability ---

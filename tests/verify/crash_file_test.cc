@@ -1,0 +1,398 @@
+// FileMedia real-kill crash tier (DESIGN.md §9): unlike the simulated
+// Freeze() sweep, this tier forks a child process that runs the
+// restructure-heavy workload against a *file-backed* WAL table and
+// SIGKILLs itself at the k-th durability-relevant hook emission.  The
+// parent then recovers from the actual on-disk bytes — whatever the
+// kernel kept of a process that died mid-write — validates the structure,
+// probes every key, runs a post workload, and checks linearizability of
+// the joined history.
+//
+// The child streams one fixed-size record per invocation/response over a
+// pipe (each write() is <= PIPE_BUF, hence atomic; pipe order is a valid
+// real-time order of the write syscalls, and the recorded interval
+// contains the true op interval, so checking against it is sound).  Ops
+// with an invocation but no response were in flight at the kill and join
+// as crash-pending.  A kill index past the schedule's emissions degrades
+// to a clean child exit — the quiescent tier, where every acked op must
+// survive.
+//
+// What this tier adds over the Freeze() sweep: real process death (no
+// cooperative unwinding, destructors never run), real file descriptors
+// (partial page/log writes cut by the kernel, not by a seeded prefix
+// model), and the flusher thread dying mid-batch for the group policies.
+// What it cannot catch: a missing fsync — completed write()s survive a
+// process kill regardless of flushing; only the power-cut model (Freeze)
+// has teeth there.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ellis_v2.h"
+#include "core/table_base.h"
+#include "storage/bucket.h"
+#include "storage/page_store.h"
+#include "storage/wal.h"
+#include "util/random.h"
+#include "util/test_hooks.h"
+#include "verify/history.h"
+#include "verify/linearize.h"
+
+namespace exhash::verify {
+namespace {
+
+constexpr int kThreads = 3;
+constexpr int kOpsPerThread = 32;
+constexpr uint64_t kKeySpace = 8;
+constexpr size_t kPageSize = 112;
+
+// One event on the pipe.  32 bytes, far below PIPE_BUF, so concurrent
+// child threads interleave whole records, never fragments.
+struct WireOp {
+  uint8_t kind;       // OpKind, or 0xFF for the census sentinel
+  uint8_t is_return;  // 0 = invocation, 1 = response
+  uint8_t thread;
+  uint8_t result;
+  uint32_t seq;  // per-thread op index pairing invocation with response
+  uint64_t key;  // sentinel: total kill-point emissions
+  uint64_t arg;
+  uint64_t out;
+};
+static_assert(sizeof(WireOp) == 32, "one atomic pipe write per event");
+
+constexpr uint8_t kCensusSentinel = 0xFF;
+
+// Mirrors the Freeze() sweep's kill-point set (verify/crash.cc).
+bool IsKillPoint(util::HookPoint p) {
+  switch (p) {
+    case util::HookPoint::kWalAppend:
+    case util::HookPoint::kWalFsync:
+    case util::HookPoint::kCommitPoint:
+    case util::HookPoint::kPageCopy:
+    case util::HookPoint::kSnapshotPublish:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct KillTrigger {
+  std::atomic<uint64_t> points{0};
+  uint64_t kill_index = 0;
+};
+
+void KillHook(void* ctx, util::HookPoint point, const void*) {
+  if (!IsKillPoint(point)) return;
+  auto* trigger = static_cast<KillTrigger*>(ctx);
+  const uint64_t n =
+      trigger->points.fetch_add(1, std::memory_order_relaxed);
+  if (n == trigger->kill_index) {
+    // Real death, no unwinding: the kernel keeps whatever bytes the
+    // store's completed write()s produced, nothing else.
+    kill(getpid(), SIGKILL);
+  }
+}
+
+void WriteRecord(int fd, const WireOp& op) {
+  // Atomic (<= PIPE_BUF); a short count cannot happen on a pipe.
+  (void)!write(fd, &op, sizeof(op));
+}
+
+core::TableOptions FileTableOptions(const std::string& path,
+                                    storage::WalFlushPolicy policy) {
+  core::TableOptions o;
+  o.page_size = kPageSize;
+  o.initial_depth = 1;
+  o.wal = true;
+  o.backing_file = path;
+  o.wal_flush_policy = policy;
+  return o;
+}
+
+// Child body: build the file-backed table, install the kill hook (after
+// construction, mirroring the Freeze() sweep: the formatting transaction
+// is not a kill target), run the workload streaming events to the pipe,
+// then report the census and exit cleanly if the kill never fired.
+// Never returns into gtest; plain code only.
+void ChildMain(const std::string& path, storage::WalFlushPolicy policy,
+               uint64_t kill_index, uint64_t seed, int pipe_fd) {
+  core::EllisHashTableV2 table(FileTableOptions(path, policy));
+  KillTrigger trigger;
+  trigger.kill_index = kill_index;
+  util::TestHooks::Install(&KillHook, &trigger);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&table, seed, t, pipe_fd] {
+      util::Rng rng(seed * 1000003 + uint64_t(t) * 7919 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const double roll = rng.NextDouble();
+        const uint64_t key = rng.Uniform(kKeySpace);
+        const uint64_t value = (uint64_t(t + 1) << 32) | uint64_t(i + 1);
+        WireOp op = {};
+        op.thread = uint8_t(t);
+        op.seq = uint32_t(i);
+        op.key = key;
+        // Same restructure-heavy mix as the Freeze() sweep: insert-lean
+        // first half (splits/doublings), remove-lean second half.
+        const double ins = i < kOpsPerThread / 2 ? 0.70 : 0.20;
+        bool result = false;
+        if (roll < ins) {
+          op.kind = uint8_t(OpKind::kInsert);
+          op.arg = value;
+          WriteRecord(pipe_fd, op);
+          result = table.Insert(key, value);
+        } else if (roll < ins + 0.15) {
+          op.kind = uint8_t(OpKind::kFind);
+          WriteRecord(pipe_fd, op);
+          uint64_t found = 0;
+          result = table.Find(key, &found);
+          op.out = found;
+        } else {
+          op.kind = uint8_t(OpKind::kRemove);
+          WriteRecord(pipe_fd, op);
+          result = table.Remove(key);
+        }
+        op.is_return = 1;
+        op.result = result ? 1 : 0;
+        WriteRecord(pipe_fd, op);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  util::TestHooks::Clear();
+  WireOp sentinel = {};
+  sentinel.kind = kCensusSentinel;
+  sentinel.key = trigger.points.load(std::memory_order_relaxed);
+  WriteRecord(pipe_fd, sentinel);
+}
+
+struct ChildRun {
+  bool killed = false;    // died by SIGKILL (vs clean exit)
+  uint64_t census = 0;    // sentinel value; only on clean exits
+  std::vector<OpRecord> history;  // pipe-order ticks; pending ops at cut
+  uint64_t cut = 0;       // tick of the death/exit
+  uint64_t pending = 0;
+};
+
+// Forks the workload child and reassembles its event stream.
+ChildRun RunChild(const std::string& path, storage::WalFlushPolicy policy,
+                  uint64_t kill_index, uint64_t seed) {
+  ChildRun run;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    ADD_FAILURE() << "pipe() failed";
+    return run;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    ADD_FAILURE() << "fork() failed";
+    return run;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    ChildMain(path, policy, kill_index, seed, fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  std::vector<std::byte> raw;
+  std::byte buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) {
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) {
+    run.killed = true;
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  } else {
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child exited with " << WEXITSTATUS(status);
+  }
+
+  // Rebuild the history from the stream: record index = tick.  A child
+  // thread runs one op at a time (invoke write, op, response write), so
+  // each thread has at most one op open; the seq field double-checks the
+  // pairing.
+  const size_t records = raw.size() / sizeof(WireOp);
+  OpRecord open[kThreads];
+  uint32_t open_seq[kThreads];
+  bool has_open[kThreads] = {};
+  for (size_t r = 0; r < records; ++r) {
+    WireOp op;
+    std::memcpy(&op, raw.data() + r * sizeof(WireOp), sizeof(WireOp));
+    if (op.kind == kCensusSentinel) {
+      run.census = op.key;
+      continue;
+    }
+    if (op.thread >= kThreads) {
+      ADD_FAILURE() << "garbled pipe record " << r;
+      continue;
+    }
+    if (op.is_return == 0) {
+      EXPECT_FALSE(has_open[op.thread]) << "two ops in flight on one thread";
+      OpRecord rec;
+      rec.kind = OpKind(op.kind);
+      rec.thread = op.thread;
+      rec.key = op.key;
+      rec.arg = op.arg;
+      rec.invoke = uint64_t(r);
+      open[op.thread] = rec;
+      open_seq[op.thread] = op.seq;
+      has_open[op.thread] = true;
+      continue;
+    }
+    if (!has_open[op.thread] || open_seq[op.thread] != op.seq) {
+      ADD_FAILURE() << "unmatched response at pipe record " << r;
+      continue;
+    }
+    OpRecord rec = open[op.thread];
+    rec.ret = uint64_t(r);
+    rec.result = op.result != 0;
+    rec.out = op.out;
+    run.history.push_back(rec);
+    has_open[op.thread] = false;
+  }
+  run.cut = uint64_t(records);
+  for (int t = 0; t < kThreads; ++t) {
+    if (!has_open[t]) continue;
+    OpRecord pending = open[t];
+    pending.crash_pending = true;
+    pending.ret = run.cut;
+    pending.result = false;
+    pending.out = 0;
+    run.history.push_back(pending);
+    ++run.pending;
+  }
+  return run;
+}
+
+void RemoveFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+// Recover the on-disk bytes, validate, probe every key, run a post
+// workload, and check the joined history — the parent half of the tier.
+void RecoverAndCheck(const std::string& path, storage::WalFlushPolicy policy,
+                     const ChildRun& run, const std::string& label) {
+  // Dry-run the storage recovery on a scratch store first: a refusal is
+  // an actionable failure message, not an aborting table constructor.
+  {
+    storage::PageStore::Options so;
+    so.page_size = kPageSize;
+    so.wal = true;
+    so.backing_file = path;
+    so.recover = true;
+    storage::PageStore scratch(so);
+    const storage::RecoveryReport report = scratch.Recover();
+    ASSERT_TRUE(report.ok())
+        << label << ": storage recovery refused: " << report.error;
+  }
+  core::TableOptions o = FileTableOptions(path, policy);
+  o.recover = true;
+  core::EllisHashTableV2 table(o);
+  ASSERT_TRUE(table.recovery_report().ok())
+      << label << ": " << table.recovery_report().error;
+  std::string error;
+  ASSERT_TRUE(table.Validate(&error)) << label << ": " << error;
+
+  RecordingIndex post(&table);
+  for (uint64_t key = 0; key < kKeySpace; ++key) {
+    post.Find(key, nullptr);  // what did recovery serve?
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&post, t] {
+      util::Rng rng(0xAF7E2u + uint64_t(t));
+      for (int i = 0; i < 16; ++i) {
+        const double roll = rng.NextDouble();
+        const uint64_t key = rng.Uniform(kKeySpace);
+        if (roll < 0.4) {
+          post.Insert(key, (uint64_t(t + 91) << 32) | uint64_t(i + 1));
+        } else if (roll < 0.7) {
+          post.Find(key, nullptr);
+        } else {
+          post.Remove(key);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_TRUE(table.Validate(&error)) << label << ": " << error;
+
+  std::vector<OpRecord> joined = run.history;
+  const uint64_t shift = run.cut + 1;
+  for (OpRecord op : post.history().Merge()) {
+    op.invoke += shift;
+    op.ret += shift;
+    joined.push_back(op);
+  }
+  const CheckResult check = CheckHistory(joined);
+  EXPECT_EQ(check.verdict, Verdict::kLinearizable)
+      << label << " (pre=" << run.history.size() - run.pending
+      << " pending=" << run.pending << " post=" << post.history().num_ops()
+      << "):\n"
+      << (check.verdict == Verdict::kNonLinearizable ? check.cex.Format()
+                                                     : "budget exceeded");
+}
+
+class CrashFileTest
+    : public ::testing::TestWithParam<storage::WalFlushPolicy> {};
+
+TEST_P(CrashFileTest, RealKillSweepRecoversAndLinearizes) {
+  const std::string path = ::testing::TempDir() + "/crash_file_" +
+                           storage::WalFlushPolicyName(GetParam()) + ".db";
+  // Census pass: the child survives, reports its emission count, and the
+  // quiescent recovery (clean exit, every op acked) must be perfect.
+  RemoveFiles(path);
+  const ChildRun census = RunChild(path, GetParam(), UINT64_MAX, /*seed=*/1);
+  ASSERT_FALSE(census.killed);
+  ASSERT_GT(census.census, 50u) << "schedule too quiet to be worth killing";
+  EXPECT_EQ(census.pending, 0u);
+  RecoverAndCheck(path, GetParam(), census, "quiescent");
+
+  // Real kills strided across the schedule.  Emission counts vary run to
+  // run (real interleaving), so a kill index the run never reaches just
+  // degrades to another clean exit — the sweep stays total either way.
+  const uint64_t kills[] = {1, census.census / 4, census.census / 2,
+                            (3 * census.census) / 4};
+  int killed_runs = 0;
+  for (const uint64_t k : kills) {
+    RemoveFiles(path);
+    const ChildRun run = RunChild(path, GetParam(), k, /*seed=*/2 + k);
+    killed_runs += run.killed ? 1 : 0;
+    RecoverAndCheck(path, GetParam(), run,
+                    "kill@" + std::to_string(k) +
+                        (run.killed ? "" : " (survived)"));
+  }
+  // Teeth: the tier is vacuous if every child outran its kill index.
+  EXPECT_GT(killed_runs, 0) << "no child was actually killed";
+  RemoveFiles(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlushPolicies, CrashFileTest,
+    ::testing::Values(storage::WalFlushPolicy::kPerCommit,
+                      storage::WalFlushPolicy::kGroup),
+    [](const auto& info) {
+      return std::string(storage::WalFlushPolicyName(info.param)) == "group"
+                 ? "group"
+                 : "percommit";
+    });
+
+}  // namespace
+}  // namespace exhash::verify

@@ -79,6 +79,37 @@ TEST(CrashSweepTest, V1SweepIsClean) {
               sweep.runs, seeds);
 }
 
+// The batching flush policies must be crash-safe at every kill point
+// too: a committer is only acked once its batch's fsync returned, so the
+// joined-history obligations are identical to per-commit — including
+// kills landing on the flusher thread's own wal-fsync emissions.
+TEST(CrashSweepTest, GroupCommitSweepIsClean) {
+  CrashConfig config;
+  config.flush_policy = storage::WalFlushPolicy::kGroup;
+  config.seed = 300;
+  const uint64_t kills = CrashSweepBudgetFromEnv(/*fallback=*/12);
+  const uint64_t seeds = kills >= 1000 ? 8 : 2;
+  const CrashSweepOutcome sweep =
+      RunCrashSweep(config, seeds, /*max_kills_per_seed=*/kills);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  std::printf("group-commit sweep: %" PRIu64 " runs over %" PRIu64
+              " seeds\n",
+              sweep.runs, seeds);
+}
+
+TEST(CrashSweepTest, PipelinedSweepIsClean) {
+  CrashConfig config;
+  config.flush_policy = storage::WalFlushPolicy::kPipelined;
+  config.seed = 400;
+  const uint64_t kills = CrashSweepBudgetFromEnv(/*fallback=*/12);
+  const uint64_t seeds = kills >= 1000 ? 8 : 2;
+  const CrashSweepOutcome sweep =
+      RunCrashSweep(config, seeds, /*max_kills_per_seed=*/kills);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  std::printf("pipelined sweep: %" PRIu64 " runs over %" PRIu64 " seeds\n",
+              sweep.runs, seeds);
+}
+
 // The teeth check: a deliberately broken commit protocol — the commit
 // record flushed *before* its page images — leaves a window where a
 // crash yields a committed transaction recovery cannot replay, i.e. an
@@ -92,6 +123,21 @@ TEST(CrashSweepTest, BrokenCommitOrderingIsCaught) {
                                                 /*max_kills_per_seed=*/64);
   EXPECT_GT(sweep.failures, 0u)
       << "sweep failed to catch the broken commit ordering in "
+      << sweep.runs << " runs";
+}
+
+// Delta-record teeth: with the delta-before-base discipline broken, the
+// formatting writes themselves land as zero-base deltas, so essentially
+// every cut leaves a committed delta recovery has no base to apply —
+// the sweep must observe the kCorrupt refusal as a failure, proving it
+// would catch a real delta-discipline regression.
+TEST(CrashSweepTest, BrokenDeltaBeforeBaseIsCaught) {
+  CrashConfig config;
+  config.test_delta_before_base = true;
+  const CrashSweepOutcome sweep = RunCrashSweep(config, /*num_seeds=*/2,
+                                                /*max_kills_per_seed=*/16);
+  EXPECT_GT(sweep.failures, 0u)
+      << "sweep failed to catch the broken delta discipline in "
       << sweep.runs << " runs";
 }
 

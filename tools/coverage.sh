@@ -13,6 +13,13 @@
 #   tools/coverage.sh              # full tier-1 suite
 #   tools/coverage.sh <label>      # only `ctest -L <label>` (e.g. util)
 #
+# Focused runs for the durability-phase-2 TUs (flusher + delta redo live in
+# src/storage/wal.cc and src/storage/page_store.cc, both inside the report
+# filter below):
+#   tools/coverage.sh flusher      # group-commit flusher suite only
+#   tools/coverage.sh crash        # crash sweeps incl. the crash-file tier
+#                                  # (label regex: `crash` matches both)
+#
 # Only gcov is assumed (no lcov/gcovr on the toolchain image).
 
 set -euo pipefail
