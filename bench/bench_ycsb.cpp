@@ -1,0 +1,225 @@
+// E17 — YCSB-style SLO suite: per-op latency percentiles for the classic
+// cloud-serving mixes, plus the hot-key storm with and without the
+// hot-bucket split-bias mitigation (DESIGN.md §10).
+//
+// Claim under test: tail latency — not mean throughput — is where skew
+// hurts.  Under extreme skew every op funnels into one bucket's seqlock
+// and alpha lock; the mitigation splits the hot bucket early (below the
+// overflow trigger) so the hot set spreads across 2^k buckets and the p999
+// re-converges toward the uniform baseline.
+//
+// Usage: bench_ycsb [threads] [ops_per_thread] [--metrics]
+//
+// --metrics writes per-cell registry snapshots (including the
+// <table>.hot.* family) to the sidecar BENCH_ycsb_metrics.json; the
+// BENCH_ycsb.json one-liner is byte-identical with or without the flag.
+
+#include <cinttypes>
+#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exhash/exhash.h"
+#include "metrics/metrics_index.h"
+
+namespace {
+
+using namespace exhash;
+
+std::unique_ptr<core::KeyValueIndex> MakeTable(const std::string& name,
+                                               uint64_t page_size,
+                                               bool mitigated,
+                                               bool metrics) {
+  core::TableOptions options;
+  options.page_size = page_size;
+  options.initial_depth = 2;
+  options.metrics = metrics;
+  if (mitigated) {
+    // Tight window + exact sampling: the storm needs a chain of bias
+    // splits (natural depth up to collide_bits, then pairwise spreading),
+    // each gated on a fresh window mark, so rotations must come fast.
+    options.hot_bucket_mitigation = true;
+    options.hot_sample_every = 1;
+    options.hot_window = 64;
+    options.hot_share = 0.20;
+  }
+  if (name == "ellis-v1") return std::make_unique<core::EllisHashTableV1>(options);
+  if (name == "ellis-v2") return std::make_unique<core::EllisHashTableV2>(options);
+  return std::make_unique<baseline::GlobalLockHash>(options);
+}
+
+workload::YcsbOptions OptionsFor(workload::YcsbWorkload wl) {
+  workload::YcsbOptions o;
+  o.workload = wl;
+  o.record_count = 20000;   // small defaults: every bench runs everywhere
+  o.d_preload = 2000;
+  o.seed = 42;
+  if (wl == workload::YcsbWorkload::kStorm) {
+    // Shallow cold preload (depth ~5 in 4096-byte pages), well under
+    // storm_collide_bits: the hot bucket is durable unmitigated, and the
+    // mitigated spread tops out at a modest directory.
+    o.record_count = 4096;
+  }
+  return o;
+}
+
+struct Cell {
+  double ops_per_sec = 0;
+  uint64_t p50 = 0, p99 = 0, p999 = 0;
+};
+
+Cell RunCell(core::KeyValueIndex* table, const workload::YcsbOptions& o,
+             int threads, uint64_t ops_per_thread) {
+  const workload::YcsbRunStats r =
+      workload::RunYcsb(table, o, threads, ops_per_thread);
+  Cell c;
+  c.ops_per_sec = r.seconds > 0 ? double(r.ops) / r.seconds : 0;
+  c.p50 = r.latency.Percentile(50);
+  c.p99 = r.latency.Percentile(99);
+  c.p999 = r.latency.Percentile(99.9);
+  return c;
+}
+
+std::string CellJson(const Cell& c) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"ops_per_sec\":%.0f,\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                ",\"p999\":%" PRIu64 "}",
+                c.ops_per_sec, c.p50, c.p99, c.p999);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const char* arg2 = bench::PositionalArg(argc, argv, 2);
+  const int threads = arg1 != nullptr ? std::atoi(arg1) : 4;
+  const uint64_t ops =
+      arg2 != nullptr ? std::strtoull(arg2, nullptr, 10) : 20000;
+  const bool metrics = bench::HasFlag(argc, argv, "--metrics");
+  bench::MetricsSidecar sidecar("ycsb");
+
+  const std::vector<workload::YcsbWorkload> workloads = {
+      workload::YcsbWorkload::kA,    workload::YcsbWorkload::kB,
+      workload::YcsbWorkload::kC,    workload::YcsbWorkload::kD,
+      workload::YcsbWorkload::kF,    workload::YcsbWorkload::kScan,
+  };
+  const std::vector<std::string> tables = {"ellis-v1", "ellis-v2",
+                                           "global-lock"};
+
+  std::printf("=== E17: YCSB SLO suite — latency ns per op, %d threads, "
+              "%" PRIu64 " ops/thread, seed 42 ===\n",
+              threads, ops);
+  std::printf("(single-core host: percentiles measure protocol overhead and "
+              "fairness under\ninterleaving, not parallel speedup)\n");
+
+  std::string json = "{\"bench\":\"ycsb\",\"slo\":{";
+  bool first_wl = true;
+  for (workload::YcsbWorkload wl : workloads) {
+    const workload::YcsbOptions o = OptionsFor(wl);
+    std::printf("\nworkload %-6s %12s %12s %12s %12s\n", ToString(wl),
+                "ops/sec", "p50", "p99", "p999");
+    bench::PrintRule();
+    json += std::string(first_wl ? "" : ",") + "\"" + ToString(wl) + "\":{";
+    first_wl = false;
+    bool first_table = true;
+    for (const std::string& name : tables) {
+      // Small pages keep splits frequent, like E2.
+      auto table = MakeTable(name, /*page_size=*/256, /*mitigated=*/false,
+                             metrics);
+      workload::YcsbPreload(table.get(), o, threads);
+      metrics::Snapshot before;
+      if (metrics) before = metrics::Registry::Global().TakeSnapshot();
+      const Cell c = RunCell(table.get(), o, threads, ops / uint64_t(threads));
+      if (metrics) {
+        sidecar.Add(std::string(ToString(wl)) + "/" + name,
+                    metrics::Registry::Global().TakeSnapshot().Delta(before));
+      }
+      std::printf("  %-12s %12.0f %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  "\n",
+                  name.c_str(), c.ops_per_sec, c.p50, c.p99, c.p999);
+      json += std::string(first_table ? "" : ",") + "\"" + name +
+              "\":" + CellJson(c);
+      first_table = false;
+    }
+    json += "}";
+  }
+  json += "}";
+
+  // --- The storm: extreme skew at one bucket subtree, ellis-v2 with and
+  // without the split-bias mitigation.  The interesting column is p999 —
+  // hot-key convoys live in the tail. ---
+  std::printf("\n=== E17b: hot-key storm, ellis-v2, %d threads ===\n",
+              threads);
+  std::printf("%-14s %12s %12s %12s %12s %10s %8s\n", "", "ops/sec", "p50",
+              "p99", "p999", "fallbacks", "bias");
+  bench::PrintRule();
+  json += ",\"storm\":{";
+  for (const bool mitigated : {false, true}) {
+    const workload::YcsbOptions o = OptionsFor(workload::YcsbWorkload::kStorm);
+    // Full-size pages: the cold preload settles at depth ~7, well under
+    // storm_collide_bits, so unmitigated the hot set shares one bucket for
+    // the whole run (16 keys never overflow a 253-capacity page).
+    auto table = MakeTable("ellis-v2", /*page_size=*/4096, mitigated, metrics);
+    workload::YcsbPreload(table.get(), o, threads);
+    // Unmeasured warmup (both variants, identically): the mitigated table
+    // pays its adaptation — the chain of bias splits and doublings that
+    // spreads the hot set — here, so the measured window is steady state.
+    // EXPERIMENTS.md E17 reports the adaptation cost separately.
+    workload::RunYcsb(table.get(), o, threads, ops / uint64_t(threads) / 2);
+    metrics::Snapshot before;
+    if (metrics) before = metrics::Registry::Global().TakeSnapshot();
+    // Median of three measured phases: tail percentiles on a shared (and
+    // possibly single-core) host are noisy, and one descheduling blip
+    // should not decide the mitigated/unmitigated comparison.
+    std::vector<Cell> reps;
+    for (int rep = 0; rep < 3; ++rep) {
+      reps.push_back(
+          RunCell(table.get(), o, threads, ops / uint64_t(threads)));
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const Cell& a, const Cell& b) { return a.p999 < b.p999; });
+    const Cell c = reps[1];
+    if (metrics) {
+      sidecar.Add(std::string("storm/") +
+                      (mitigated ? "mitigated" : "unmitigated"),
+                  metrics::Registry::Global().TakeSnapshot().Delta(before));
+    }
+    const core::TableStats s = table->Stats();
+    std::printf("  %-12s %12.0f %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                " %10" PRIu64 " %8" PRIu64 "\n",
+                mitigated ? "mitigated" : "unmitigated", c.ops_per_sec, c.p50,
+                c.p99, c.p999, s.seq_fallbacks, s.bias_splits);
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\":{\"ops_per_sec\":%.0f,\"p50\":%" PRIu64
+                  ",\"p99\":%" PRIu64 ",\"p999\":%" PRIu64
+                  ",\"seq_fallbacks\":%" PRIu64 ",\"bias_splits\":%" PRIu64
+                  "}",
+                  mitigated ? "," : "", mitigated ? "mitigated" : "unmitigated",
+                  c.ops_per_sec, c.p50, c.p99, c.p999, s.seq_fallbacks,
+                  s.bias_splits);
+    json += buf;
+  }
+  json += "}}";
+
+  std::printf("\nexpected shape: A/B/C/D/F/scan tails ordered global-lock >= "
+              "v1 >= v2 as write\nfraction grows; storm mitigated p999 well "
+              "under unmitigated once bias splits\nspread the hot set.\n");
+  std::printf("\n%s\n", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_ycsb.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  if (metrics) {
+    if (sidecar.Write()) {
+      std::printf("metrics sidecar: BENCH_ycsb_metrics.json\n");
+    }
+  }
+  return 0;
+}

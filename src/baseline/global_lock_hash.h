@@ -31,6 +31,12 @@ class GlobalLockHash : public core::KeyValueIndex {
     std::lock_guard<std::mutex> guard(mutex_);
     return inner_.Remove(key);
   }
+  bool Update(uint64_t key,
+              const std::function<uint64_t(uint64_t)>& f) override {
+    // The mutex brackets read-modify-write, so Update is atomic here too.
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.Update(key, f);
+  }
   uint64_t Size() const override { return inner_.Size(); }
   std::string Name() const override { return "global-lock"; }
   int Depth() const override { return inner_.Depth(); }
@@ -44,6 +50,13 @@ class GlobalLockHash : public core::KeyValueIndex {
       override {
     std::lock_guard<std::mutex> guard(mutex_);
     return inner_.ForEachRecord(visit);
+  }
+  uint64_t ScanFrom(
+      uint64_t key, uint64_t limit,
+      const std::function<void(uint64_t key, uint64_t value)>& visit)
+      override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return inner_.ScanFrom(key, limit, visit);
   }
 
  private:

@@ -61,6 +61,9 @@ TableStats AtomicTableStats::Snapshot() const {
   s.optimistic_hits = optimistic_hits.load(std::memory_order_relaxed);
   s.seq_retries = seq_retries.load(std::memory_order_relaxed);
   s.seq_fallbacks = seq_fallbacks.load(std::memory_order_relaxed);
+  s.updates = updates.load(std::memory_order_relaxed);
+  s.scans = scans.load(std::memory_order_relaxed);
+  s.bias_splits = bias_splits.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,6 +44,9 @@ struct AtomicTableStats {
   std::atomic<uint64_t> optimistic_hits{0};
   std::atomic<uint64_t> seq_retries{0};
   std::atomic<uint64_t> seq_fallbacks{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> bias_splits{0};
 
   TableStats Snapshot() const;
 };

@@ -67,13 +67,14 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
       stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
     }
     RecordUpdateChase(chase_hops);
+    NoteOp(oldpage);
 
     if (current.Search(key)) {
       old_lock->UnAlphaLock();
       return false;
     }
 
-    if (!current.full()) {
+    if (!current.full() && !ShouldBiasSplit(oldpage, current)) {
       // The directory is not affected: no directory lock at all.
       current.Add(key, value);
       PutBucket(oldpage, current);
@@ -82,9 +83,11 @@ bool EllisHashTableV1::Insert(uint64_t key, uint64_t value) {
       return true;
     }
 
-    // Current is full: split (doubling the directory first if the bucket
-    // is already at full depth).  The bucket alpha is held, so current
-    // cannot change; take the directory alpha last.
+    // Current is full — or hot enough that the mitigation splits it early
+    // (DESIGN.md §10; SplitRecords handles a non-full bucket the same way).
+    // Split, doubling the directory first if the bucket is already at full
+    // depth.  The bucket alpha is held, so current cannot change; take the
+    // directory alpha last.
     dir_lock_.AlphaLock();
     if (current.localdepth == dir_.depth()) {
       if (!dir_.Double()) {
@@ -166,11 +169,15 @@ bool EllisHashTableV1::Remove(uint64_t key) {
       stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
     }
     RecordUpdateChase(chase_hops);
+    NoteOp(oldpage);
 
     // Merge only when deleting the lone record of a depth>1 bucket.  (The
     // membership check is our fix to Figure 7; see the class comment.)
+    // Hot-bucket hysteresis as in V2: a bucket still drawing hot-window
+    // traffic stays split even when emptied (DESIGN.md §10).
     const bool try_merge = allow_merge && current.count() <= 1 &&
-                           current.localdepth > 1 && current.Search(key);
+                           current.localdepth > 1 && current.Search(key) &&
+                           (hot_ == nullptr || !hot_->IsWarm(oldpage));
     if (!try_merge) {
       const bool removed = current.Remove(key);
       if (removed) {

@@ -46,6 +46,12 @@ class EllisHashTableV1 : public TableBase {
   bool Find(uint64_t key, uint64_t* value) override;
   bool Insert(uint64_t key, uint64_t value) override;
   bool Remove(uint64_t key) override;
+  // Read-modify-write is variant-independent (it never restructures): the
+  // shared alpha-locked in-place edit of TableBase.
+  bool Update(uint64_t key,
+              const std::function<uint64_t(uint64_t)>& f) override {
+    return UpdateImpl(key, f);
+  }
   std::string Name() const override { return "ellis-v1"; }
 };
 

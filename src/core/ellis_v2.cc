@@ -68,13 +68,14 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
       stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
     }
     RecordUpdateChase(chase_hops);
+    NoteOp(oldpage);
 
     if (current.Search(key)) {
       old_lock->UnAlphaLock();
       return false;
     }
 
-    if (!current.full()) {
+    if (!current.full() && !ShouldBiasSplit(oldpage, current)) {
       current.Add(key, value);
       if (options_.test_publish_after_unlock) [[unlikely]] {
         // TEST ONLY (see TableOptions): releasing the lock before the page
@@ -90,8 +91,10 @@ bool EllisHashTableV2::Insert(uint64_t key, uint64_t value) {
       return true;
     }
 
-    // Current is full — the directory will be affected.  The bucket alpha
-    // pins `current`; take the directory alpha last.
+    // Current is full — or hot enough that the mitigation splits it early
+    // (DESIGN.md §10; SplitRecords handles a non-full bucket the same way)
+    // — and the directory may be affected.  The bucket alpha pins
+    // `current`; take the directory alpha last.
     dir_lock_.AlphaLock();
     if (current.localdepth == dir_.depth()) {
       if (!dir_.Double()) {
@@ -194,8 +197,15 @@ bool EllisHashTableV2::Remove(uint64_t key) {
       stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
     }
     RecordUpdateChase(chase_hops);
+    NoteOp(oldpage);
 
-    if (current.count() > 1 || current.localdepth <= 1 || !allow_merge) {
+    // Hot-bucket hysteresis: a bucket still drawing hot-window traffic is
+    // not merged away even when emptied — remove-heavy skew would
+    // otherwise collapse the subtree the bias splits just spread and the
+    // table would oscillate (DESIGN.md §10).  Off (hot_ null) this is the
+    // paper's unmodified merge rule.
+    if (current.count() > 1 || current.localdepth <= 1 || !allow_merge ||
+        (hot_ != nullptr && hot_->IsWarm(oldpage))) {
       // Plain removal; the directory is not affected.
       const bool removed = current.Remove(key);
       if (removed) {

@@ -52,6 +52,18 @@ struct TableStats {
   // rho-locked chase.  Kept out of the find-chase histogram on purpose:
   // a fall is a different event than a wrong-bucket hop.
   uint64_t seq_fallbacks = 0;
+  // Read-modify-write operations (Update).  A fourth op family, counted
+  // separately from finds so the optimistic_hits/seq_fallbacks partition
+  // of finds is undisturbed.
+  uint64_t updates = 0;
+  // Bounded chain scans (ScanFrom).  Like updates, outside the finds
+  // partition — the scan walks with rho locks, never optimistically.
+  uint64_t scans = 0;
+  // Splits taken *early* by the hot-bucket mitigation (DESIGN.md §10): the
+  // bucket was below the overflow trigger but its op share crossed
+  // TableOptions::hot_share.  Every bias split also counts in `splits`, so
+  // LiveBuckets == 2^initial_depth + splits - merges still holds.
+  uint64_t bias_splits = 0;
 };
 
 // Thread-safety: Find/Insert/Remove may be called concurrently from any
@@ -71,6 +83,21 @@ class KeyValueIndex {
 
   // Deletes `key`.  Returns false if it was not present.
   virtual bool Remove(uint64_t key) = 0;
+
+  // Read-modify-write: replaces `key`'s value with `f(old value)`.
+  // Returns false (and changes nothing) if the key is absent.  The
+  // extendible tables apply `f` under the bucket's alpha lock, so
+  // concurrent Updates of one key never lose increments; this default is
+  // a NON-atomic find/remove/insert composition for structures without an
+  // in-place write path — callers needing atomicity must not rely on it.
+  virtual bool Update(uint64_t key,
+                      const std::function<uint64_t(uint64_t)>& f) {
+    uint64_t old = 0;
+    if (!Find(key, &old)) return false;
+    Remove(key);
+    Insert(key, f(old));
+    return true;
+  }
 
   // Number of records.  Exact when no operations are in flight.
   virtual uint64_t Size() const = 0;
@@ -97,6 +124,27 @@ class KeyValueIndex {
   // then be seen twice or not at all.  Returns the number of visits.
   virtual uint64_t ForEachRecord(
       const std::function<void(uint64_t key, uint64_t value)>& visit) = 0;
+
+  // Bounded scan in chain order starting at `key`'s bucket: visits up to
+  // `limit` records — the key's bucket to the chain tail, then wrapping
+  // once to the chain head — and returns the number visited, which is
+  // exactly min(limit, Size()) in a quiescent state.  The extendible
+  // tables walk the directory-snapshot chain with coupled rho locks
+  // (DESIGN.md §10); this default falls back to ForEachRecord, visiting
+  // the first `limit` records in whatever order that yields.
+  virtual uint64_t ScanFrom(
+      uint64_t key, uint64_t limit,
+      const std::function<void(uint64_t key, uint64_t value)>& visit) {
+    (void)key;
+    uint64_t visited = 0;
+    ForEachRecord([&](uint64_t k, uint64_t v) {
+      if (visited < limit) {
+        visit(k, v);
+        ++visited;
+      }
+    });
+    return visited;
+  }
 };
 
 }  // namespace exhash::core

@@ -103,6 +103,26 @@ struct TableOptions {
   // merging buys/costs; also the behaviour of many practical systems).
   bool enable_merging = true;
 
+  // --- Hot-bucket detection & mitigation (DESIGN.md §10) ---
+  // When true the table runs a sampled per-bucket op counter
+  // (HotBucketTracker) and inserters split a bucket *early* — below the
+  // overflow trigger — when its share of the sampled traffic crossed
+  // `hot_share` in the last detection window (Malakhov-style per-bucket
+  // rehash bias).  A bias split only fires when the records actually
+  // separate at the next pseudokey bit, so storms of fully-colliding keys
+  // cannot drive depth toward max_depth for nothing.  Off by default: the
+  // uniform/Zipf benches (E14/E16) and every pre-existing test run the
+  // unmitigated protocol bit-for-bit.
+  bool hot_bucket_mitigation = false;
+  // Record every Nth operation's bucket into the tracker (per-thread
+  // countdown; 1 = every op, exact — used by deterministic tests).
+  uint32_t hot_sample_every = 16;
+  // Samples per detection window; crossing it rotates the window, marks
+  // buckets whose count >= hot_share * hot_window, and zeroes counters.
+  uint64_t hot_window = 512;
+  // Op-share threshold marking a bucket hot, in [0, 1].
+  double hot_share = 0.20;
+
   // Observability (DESIGN.md §8).  When true the table constructs its
   // metrics state: lock-acquisition latency histograms on the directory
   // lock and the bucket-lock family, chase-length histograms, and a

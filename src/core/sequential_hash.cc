@@ -71,6 +71,20 @@ bool SequentialExtendibleHash::Insert(uint64_t key, uint64_t value) {
   }
 }
 
+bool SequentialExtendibleHash::Update(
+    uint64_t key, const std::function<uint64_t(uint64_t)>& f) {
+  stats_.updates.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  const storage::PageId page = dir_.Entry(util::LowBits(pk, dir_.depth()));
+  storage::Bucket bucket(capacity_);
+  GetBucket(page, &bucket);
+  uint64_t old = 0;
+  if (!bucket.Search(key, &old)) return false;
+  bucket.SetValue(key, f(old));
+  PutBucket(page, bucket);
+  return true;
+}
+
 bool SequentialExtendibleHash::Remove(uint64_t key) {
   stats_.removes.fetch_add(1, std::memory_order_relaxed);
   const util::Pseudokey pk = hasher().Hash(key);

@@ -19,6 +19,10 @@ class SequentialExtendibleHash : public TableBase {
   bool Find(uint64_t key, uint64_t* value) override;
   bool Insert(uint64_t key, uint64_t value) override;
   bool Remove(uint64_t key) override;
+  // In-place read-modify-write, lock-free like the rest of this variant
+  // (callers serialize externally).
+  bool Update(uint64_t key,
+              const std::function<uint64_t(uint64_t)>& f) override;
   std::string Name() const override { return "sequential"; }
 };
 

@@ -51,6 +51,13 @@ TableBase::TableBase(const TableOptions& options)
       capacity_(storage::Bucket::CapacityFor(options.page_size)),
       store_(MakeStoreOptions(options)),
       dir_(options.initial_depth, options.max_depth) {
+  if (options_.hot_bucket_mitigation) {
+    metrics::HotBucketTracker::Options h;
+    h.sample_every = options_.hot_sample_every;
+    h.window = options_.hot_window;
+    h.share = options_.hot_share;
+    hot_ = std::make_unique<metrics::HotBucketTracker>(h);
+  }
 #if EXHASH_METRICS_ENABLED
   if (options_.metrics) {
     // The `extra` callback bridges the table's existing atomic counters
@@ -64,6 +71,8 @@ TableBase::TableBase(const TableOptions& options)
           c[prefix + ".ops.finds"] = s.finds;
           c[prefix + ".ops.inserts"] = s.inserts;
           c[prefix + ".ops.removes"] = s.removes;
+          c[prefix + ".ops.updates"] = s.updates;
+          c[prefix + ".ops.scans"] = s.scans;
           c[prefix + ".structure.splits"] = s.splits;
           c[prefix + ".structure.merges"] = s.merges;
           c[prefix + ".structure.doublings"] = s.doublings;
@@ -137,6 +146,23 @@ TableBase::TableBase(const TableOptions& options)
               recovery_report_.repaired_slots;
           c[prefix + ".recovery.committed_txns"] =
               recovery_report_.committed_txns;
+          // Hot-bucket detection & mitigation (DESIGN.md §10).  Exported
+          // unconditionally — all zero when mitigation is off, because the
+          // counter namespace must not depend on configuration.
+          c[prefix + ".hot.bias_splits"] = s.bias_splits;
+          const metrics::HotBucketStats hs =
+              hot_ != nullptr ? hot_->stats() : metrics::HotBucketStats{};
+          c[prefix + ".hot.sampled"] = hs.sampled;
+          c[prefix + ".hot.windows"] = hs.windows;
+          c[prefix + ".hot.marks"] = hs.marks;
+          c[prefix + ".hot.consumed"] = hs.consumed;
+          c[prefix + ".hot.hot_now"] = hs.hot_now;
+          c[prefix + ".hot.warm_now"] = hs.warm_now;
+          c[prefix + ".hot.top_count"] = hs.top_count;
+          if (hot_ != nullptr) {
+            metrics::AddHistogramSummary(snap, prefix + ".hot.bucket_ops",
+                                         hot_->bucket_ops());
+          }
           c[prefix + ".depth"] = static_cast<uint64_t>(dir_.depth());
         });
     dir_lock_.SetMetricsSink(&metrics_->dir_lock);
@@ -269,6 +295,7 @@ bool TableBase::FindImpl(uint64_t key, uint64_t* value) {
       stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
     }
     RecordFindChase(chase_hops);
+    NoteOp(page);
     return found;
   }
 
@@ -302,9 +329,85 @@ bool TableBase::FindImpl(uint64_t key, uint64_t* value) {
     stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
   }
   RecordFindChase(chase_hops);
+  NoteOp(oldpage);
   const bool found = current.Search(key, value);
   old_lock->UnRhoLock();
   return found;
+}
+
+// The shared read-modify-write (DESIGN.md §10): position like an inserter
+// (optimistic seek, alpha lock, coupled wrong-bucket chase), then apply
+// `f` to the record in place under the lock.  The alpha lock brackets the
+// read of the old value and the page write, so concurrent Updates of one
+// key serialize — no lost increments.  No restructure is ever needed: the
+// record count is unchanged, and the PutBucket is the same autonomous
+// one-page write a non-split insert issues (WAL: one logged page, no txn).
+bool TableBase::UpdateImpl(uint64_t key,
+                           const std::function<uint64_t(uint64_t)>& f) {
+  stats_.updates.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  util::EpochPin pin(util::EpochDomain::Global());
+  storage::Bucket current(capacity_);
+
+  const SeekResult seek = OptimisticSeek(pk);
+  storage::PageId oldpage = seek.page;
+  util::RaxLock* old_lock = &locks_.For(oldpage);
+  old_lock->AlphaLock();
+  GetBucketSeeked(seek, oldpage, &current);
+
+  uint64_t chase_hops = 0;
+  while (current.deleted ||
+         !util::MatchesCommonBits(pk, current.commonbits,
+                                  current.localdepth)) {
+    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    ++chase_hops;
+    const storage::PageId newpage = current.next;
+    util::RaxLock* new_lock = &locks_.For(newpage);
+    new_lock->AlphaLock();
+    GetBucket(newpage, &current);
+    old_lock->UnAlphaLock();
+    old_lock = new_lock;
+    oldpage = newpage;
+  }
+  if (chase_hops != 0) {
+    stats_.stale_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordUpdateChase(chase_hops);
+  NoteOp(oldpage);
+
+  uint64_t old = 0;
+  if (!current.Search(key, &old)) {
+    old_lock->UnAlphaLock();
+    return false;
+  }
+  current.SetValue(key, f(old));
+  PutBucket(oldpage, current);
+  old_lock->UnAlphaLock();
+  return true;
+}
+
+bool TableBase::ShouldBiasSplit(storage::PageId page,
+                                const storage::Bucket& bucket) {
+  if (hot_ == nullptr || !hot_->IsHot(page)) return false;
+  // A bias split must be a *legal* ordinary split: depth headroom, and at
+  // least one record on each side of the next pseudokey bit — otherwise a
+  // fully-colliding hot set would split off empty halves all the way to
+  // max_depth without spreading any traffic.
+  if (bucket.localdepth >= options_.max_depth) return false;
+  if (bucket.count() < 2) return false;
+  int ones = 0;
+  for (const storage::Record& r : bucket.records()) {
+    if (util::IsOnePartner(hasher().Hash(r.key), bucket.localdepth + 1)) {
+      ++ones;
+    }
+  }
+  if (ones == 0 || ones == bucket.count()) return false;
+  // Claim the mark: exactly one inserter mitigates per mark, and the split
+  // it performs is unconditional from here (the caller re-enters the
+  // ordinary split path), so a consumed mark always buys a split.
+  if (!hot_->ConsumeHot(page)) return false;
+  stats_.bias_splits.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 // Updater positioning without locks: the same validated route as FindImpl,
@@ -585,6 +688,80 @@ uint64_t TableBase::ForEachRecord(
     page = next;
   }
   lock->UnRhoLock();
+  return visited;
+}
+
+uint64_t TableBase::ScanFrom(
+    uint64_t key, uint64_t limit,
+    const std::function<void(uint64_t key, uint64_t value)>& visit) {
+  if (limit == 0) return 0;
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  const util::Pseudokey pk = hasher().Hash(key);
+  // The pin covers the unlocked windows: snapshot entry -> first rho lock,
+  // and the released-coupling gap across the wrap.
+  util::EpochPin pin(util::EpochDomain::Global());
+
+  // Position on the key's bucket with the rho-coupled wrong-bucket chase
+  // (the find fallback's discipline; scans never read optimistically, so
+  // they stay out of the optimistic_hits/seq_fallbacks partition).
+  const DirectorySnapshot* snap = dir_.Load();
+  storage::PageId page = snap->Entry(util::LowBits(pk, snap->depth));
+  util::RaxLock* lock = &locks_.For(page);
+  lock->RhoLock();
+  storage::Bucket bucket(capacity_);
+  GetBucket(page, &bucket);
+  while (bucket.deleted ||
+         !util::MatchesCommonBits(pk, bucket.commonbits, bucket.localdepth)) {
+    stats_.wrong_bucket_hops.fetch_add(1, std::memory_order_relaxed);
+    const storage::PageId next = bucket.next;
+    util::RaxLock* next_lock = &locks_.For(next);
+    next_lock->RhoLock();
+    GetBucket(next, &bucket);
+    lock->UnRhoLock();
+    lock = next_lock;
+    page = next;
+  }
+
+  const storage::PageId start = page;
+  bool wrapped = false;
+  uint64_t visited = 0;
+  while (visited < limit) {
+    if (!bucket.deleted) {
+      for (const storage::Record& r : bucket.records()) {
+        if (visited >= limit) break;
+        visit(r.key, r.value);
+        ++visited;
+      }
+    }
+    storage::PageId next = bucket.next;
+    if (next == storage::kInvalidPage) {
+      // Chain tail.  Wrap once to the head — but drop the coupling first:
+      // tail -> head is a back edge in the chain's lock order, and holding
+      // it closed could cycle against coupled forward walkers.  The head
+      // entry (the all-zeros bucket) is read from a fresh snapshot under
+      // the pin; records moved during the gap are missed or repeated like
+      // in any concurrent ForEachRecord.
+      if (wrapped) break;
+      wrapped = true;
+      lock->UnRhoLock();
+      lock = nullptr;
+      next = dir_.Load()->Entry(0);
+      if (next == start) break;
+      lock = &locks_.For(next);
+      lock->RhoLock();
+      GetBucket(next, &bucket);
+      page = next;
+      continue;
+    }
+    if (wrapped && next == start) break;  // closed the loop
+    util::RaxLock* next_lock = &locks_.For(next);
+    next_lock->RhoLock();
+    GetBucket(next, &bucket);
+    lock->UnRhoLock();
+    lock = next_lock;
+    page = next;
+  }
+  if (lock != nullptr) lock->UnRhoLock();
   return visited;
 }
 

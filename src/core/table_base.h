@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/bucket_ops.h"
@@ -15,14 +16,13 @@
 #include "core/lock_table.h"
 #include "core/options.h"
 #include "metrics/gate.h"
+#include "metrics/hot_metrics.h"
 #include "storage/bucket.h"
 #include "storage/page_store.h"
 #include "util/pseudokey.h"
 #include "util/rax_lock.h"
 
 #if EXHASH_METRICS_ENABLED
-#include <memory>
-
 #include "metrics/table_metrics.h"
 #endif
 
@@ -61,6 +61,19 @@ class TableBase : public KeyValueIndex {
   uint64_t ForEachRecord(
       const std::function<void(uint64_t key, uint64_t value)>& visit) override;
 
+  // Bounded chain scan (DESIGN.md §10): positions on `key`'s bucket via the
+  // snapshot (rho-coupled wrong-bucket chase, same recovery as the find
+  // fallback), then walks next links visiting records — to the tail, then
+  // wrapping once to the chain head — until `limit` records are visited or
+  // the walk closes on its starting bucket.  Quiescent result: exactly
+  // min(limit, Size()) visits.  Lock coupling is released across the wrap
+  // (tail -> head is a back edge in the chain order; holding it closed
+  // could deadlock against coupled forward walkers), so a restructure in
+  // that window may move records like any concurrent ForEachRecord.
+  uint64_t ScanFrom(
+      uint64_t key, uint64_t limit,
+      const std::function<void(uint64_t key, uint64_t value)>& visit) override;
+
   // Snapshot-directory introspection (DESIGN.md §4d): the live snapshot's
   // version and the publish counter.  Equal in any quiescent state — the
   // differential suites assert it.
@@ -92,6 +105,11 @@ class TableBase : public KeyValueIndex {
   // chain.  Quiescent-state introspection: structure-invariant tests check
   // it against 2^initial_depth + splits - merges.
   uint64_t LiveBuckets();
+
+  // Non-null iff TableOptions::hot_bucket_mitigation was set.  Exposed for
+  // the storm bench/tests; the table itself consults it in NoteOp and the
+  // insert paths' ShouldBiasSplit.
+  metrics::HotBucketTracker* hot_tracker() { return hot_.get(); }
 
 #if EXHASH_METRICS_ENABLED
   // Non-null iff TableOptions::metrics was set (DESIGN.md §8).
@@ -152,6 +170,31 @@ class TableBase : public KeyValueIndex {
   // Counts the op and maintains the optimistic_hits/seq_fallbacks
   // partition of `finds`.
   bool FindImpl(uint64_t key, uint64_t* value);
+
+  // The shared read-modify-write (DESIGN.md §10): the same optimistic-seek
+  // -> alpha-lock -> coupled-chase discipline as the variants' inserts,
+  // then an in-place value overwrite under the lock.  Never restructures —
+  // an update changes a value, not the record count — so one
+  // implementation serves both Ellis variants.
+  bool UpdateImpl(uint64_t key, const std::function<uint64_t(uint64_t)>& f);
+
+  // --- Hot-bucket detection & mitigation (DESIGN.md §10) ---
+
+  // Per-op accounting hook: the variants call it with the operation's
+  // final (post-chase) bucket page.  One null check when mitigation is
+  // off.
+  void NoteOp(storage::PageId page) {
+    if (hot_ != nullptr) hot_->Record(page);
+  }
+
+  // The split-bias decision, called by the variants' inserts while holding
+  // the bucket's alpha lock on a *non-full* bucket.  True when the bucket
+  // was marked hot, can legally deepen (localdepth < max_depth), holds at
+  // least two records, and those records actually separate at the next
+  // pseudokey bit (a storm of fully-colliding keys must not drive empty
+  // splits toward max_depth).  Consumes the hot mark and counts the bias
+  // split; the caller then enters the ordinary split path unconditionally.
+  bool ShouldBiasSplit(storage::PageId page, const storage::Bucket& bucket);
 
   // Lock-free positioning for updaters: chases the snapshot entry along
   // next links with validated optimistic reads until the bucket matching
@@ -227,6 +270,9 @@ class TableBase : public KeyValueIndex {
   AtomicTableStats stats_;
   std::atomic<uint64_t> size_{0};
   storage::RecoveryReport recovery_report_;
+  // Constructed only when options_.hot_bucket_mitigation is set; the
+  // unmitigated table carries one never-taken null check per op.
+  std::unique_ptr<metrics::HotBucketTracker> hot_;
 
 #if EXHASH_METRICS_ENABLED
   // Declared last so it is destroyed first: its destructor deregisters the

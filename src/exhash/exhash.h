@@ -12,6 +12,8 @@
 #include "core/kv_index.h"                // IWYU pragma: export
 #include "core/options.h"                 // IWYU pragma: export
 #include "core/sequential_hash.h"         // IWYU pragma: export
+#include "workload/runner.h"              // IWYU pragma: export
 #include "workload/workload.h"            // IWYU pragma: export
+#include "workload/ycsb.h"                // IWYU pragma: export
 
 #endif  // EXHASH_EXHASH_H_

@@ -1,0 +1,151 @@
+#include "metrics/hot_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace exhash::metrics {
+
+HotBucketTracker::HotBucketTracker(const Options& options)
+    : options_(options),
+      chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  if (options_.window == 0) options_.window = 1;
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+HotBucketTracker::~HotBucketTracker() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+HotBucketTracker::Chunk* HotBucketTracker::Publish(storage::PageId page,
+                                                   size_t chunk) {
+  if (chunk >= kMaxChunks) {
+    std::fprintf(stderr,
+                 "exhash: hot tracker page id %u exceeds the %zu-chunk "
+                 "directory\n",
+                 page, kMaxChunks);
+    std::abort();
+  }
+  Chunk* fresh = new Chunk();
+  Chunk* expected = nullptr;
+  if (!chunks_[chunk].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    delete fresh;  // a racing publisher won; adopt its chunk
+    fresh = expected;
+  }
+  // Advance the sweep bound (monotone max).
+  size_t extent = chunk_extent_.load(std::memory_order_relaxed);
+  while (extent < chunk + 1 &&
+         !chunk_extent_.compare_exchange_weak(extent, chunk + 1,
+                                              std::memory_order_relaxed)) {
+  }
+  return fresh;
+}
+
+void HotBucketTracker::RecordSample(storage::PageId page) {
+  const size_t chunk = size_t(page) / kChunkSize;
+  Chunk* c = chunk < kMaxChunks
+                 ? chunks_[chunk].load(std::memory_order_acquire)
+                 : nullptr;
+  if (c == nullptr) [[unlikely]] c = Publish(page, chunk);
+  c->slots[size_t(page) % kChunkSize].count.fetch_add(
+      1, std::memory_order_relaxed);
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  if (window_samples_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      options_.window) {
+    // The window is full: one thread rotates, the rest keep sampling into
+    // the (slightly over-full) window — shares are ratios, a few extra
+    // samples in the denominator cannot unmark a truly hot page.
+    if (rotate_mutex_.try_lock()) {
+      if (window_samples_.load(std::memory_order_relaxed) >=
+          options_.window) {
+        Rotate();
+      }
+      rotate_mutex_.unlock();
+    }
+  }
+}
+
+void HotBucketTracker::Rotate() {
+  const uint64_t threshold = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options_.share *
+                               static_cast<double>(options_.window)));
+  const uint64_t warm_threshold = std::max<uint64_t>(1, threshold / 4);
+  const size_t extent = chunk_extent_.load(std::memory_order_acquire);
+  uint64_t top = 0;
+  uint64_t marks = 0;
+  for (size_t ci = 0; ci < extent; ++ci) {
+    Chunk* c = chunks_[ci].load(std::memory_order_acquire);
+    if (c == nullptr) continue;
+    for (size_t si = 0; si < kChunkSize; ++si) {
+      Slot& s = c->slots[si];
+      const uint32_t n = s.count.exchange(0, std::memory_order_relaxed);
+      if (n >= warm_threshold) {
+        s.warm.store(kWarmTtl, std::memory_order_relaxed);
+      } else {
+        const uint32_t w = s.warm.load(std::memory_order_relaxed);
+        if (w != 0) s.warm.store(w - 1, std::memory_order_relaxed);
+      }
+      if (n == 0) {
+        // A page sampled in no window since its last mark has gone cold;
+        // an unconsumed mark must not linger to bias-split idle buckets.
+        s.hot.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      bucket_ops_.Add(n);
+      top = std::max<uint64_t>(top, n);
+      if (n >= threshold) {
+        if (s.hot.exchange(1, std::memory_order_relaxed) == 0) ++marks;
+      } else {
+        s.hot.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  top_count_.store(top, std::memory_order_relaxed);
+  marks_.fetch_add(marks, std::memory_order_relaxed);
+  windows_.fetch_add(1, std::memory_order_relaxed);
+  window_samples_.store(0, std::memory_order_relaxed);
+}
+
+bool HotBucketTracker::ConsumeHot(storage::PageId page) {
+  const size_t chunk = size_t(page) / kChunkSize;
+  Chunk* c = chunk < kMaxChunks
+                 ? chunks_[chunk].load(std::memory_order_acquire)
+                 : nullptr;
+  if (c == nullptr) return false;
+  if (c->slots[size_t(page) % kChunkSize].hot.exchange(
+          0, std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  consumed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+HotBucketStats HotBucketTracker::stats() const {
+  HotBucketStats s;
+  s.sampled = sampled_.load(std::memory_order_relaxed);
+  s.windows = windows_.load(std::memory_order_relaxed);
+  s.marks = marks_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.top_count = top_count_.load(std::memory_order_relaxed);
+  const size_t extent = chunk_extent_.load(std::memory_order_acquire);
+  for (size_t ci = 0; ci < extent; ++ci) {
+    const Chunk* c = chunks_[ci].load(std::memory_order_acquire);
+    if (c == nullptr) continue;
+    for (size_t si = 0; si < kChunkSize; ++si) {
+      if (c->slots[si].hot.load(std::memory_order_relaxed) != 0) ++s.hot_now;
+      if (c->slots[si].warm.load(std::memory_order_relaxed) != 0) {
+        ++s.warm_now;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace exhash::metrics

@@ -1,0 +1,151 @@
+// Hot-bucket detection: sampled per-bucket op accounting with windowed
+// share thresholds (DESIGN.md §10).
+//
+// The tables call Record(page) on every operation's final bucket; a
+// per-thread countdown keeps all but every Nth call off the shared state,
+// so the hot path pays one thread-local decrement.  Sampled hits land in a
+// per-page counter (chunked atomic arrays, CAS-published like LockTable —
+// page ids are dense and the registry only grows).  When a window's worth
+// of samples has accumulated, the crossing thread rotates: every page's
+// count is swept into a per-bucket histogram, pages whose share of the
+// window crossed the threshold are marked hot, and the counters restart.
+//
+// IsHot() is one relaxed load — cheap enough for the insert fast path to
+// consult on every operation — and ConsumeHot() hands the mark to exactly
+// one mitigator (the bias split), so a hot bucket splits once per mark,
+// re-arming only if a later window still finds it hot.
+//
+// Lives in src/metrics (layering: util < metrics < core) but is always
+// compiled, like MetricsIndex: mitigation is core *policy* and must behave
+// identically under EXHASH_METRICS=OFF; only the registry export of the
+// tracker's numbers rides the compile gate (table_base.cc's provider).
+
+#ifndef EXHASH_METRICS_HOT_METRICS_H_
+#define EXHASH_METRICS_HOT_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "storage/page.h"
+#include "util/histogram.h"
+
+namespace exhash::metrics {
+
+// Point-in-time tracker numbers (all monotone except hot_now/warm_now).
+struct HotBucketStats {
+  uint64_t sampled = 0;    // ops that made it past the sampling countdown
+  uint64_t windows = 0;    // completed detection windows
+  uint64_t marks = 0;      // hot marks set across all windows
+  uint64_t consumed = 0;   // marks consumed by a mitigator
+  uint64_t hot_now = 0;    // pages currently marked hot
+  uint64_t warm_now = 0;   // pages currently under merge hysteresis
+  uint64_t top_count = 0;  // hottest page's sample count, last window
+};
+
+class HotBucketTracker {
+ public:
+  struct Options {
+    // Record every Nth call (per-thread countdown); 1 = exact.
+    uint32_t sample_every = 16;
+    // Samples per detection window.
+    uint64_t window = 512;
+    // Share of a window's samples marking a page hot, in [0, 1].
+    double share = 0.20;
+  };
+
+  explicit HotBucketTracker(const Options& options);
+  ~HotBucketTracker();
+  HotBucketTracker(const HotBucketTracker&) = delete;
+  HotBucketTracker& operator=(const HotBucketTracker&) = delete;
+
+  // Per-op accounting hook.  The countdown is thread-local and shared
+  // across trackers (sampling is statistical; tests wanting exact counts
+  // set sample_every = 1, which bypasses it).
+  void Record(storage::PageId page) {
+    if (options_.sample_every > 1) {
+      thread_local uint32_t countdown = 0;
+      if (++countdown % options_.sample_every != 0) return;
+    }
+    RecordSample(page);
+  }
+
+  // One relaxed load: was `page` marked hot by the last rotation?
+  bool IsHot(storage::PageId page) const {
+    const Slot* s = SlotFor(page);
+    return s != nullptr && s->hot.load(std::memory_order_relaxed) != 0;
+  }
+
+  // Claims the hot mark for exactly one caller (the bias split); returns
+  // whether this caller got it.
+  bool ConsumeHot(storage::PageId page);
+
+  // Merge hysteresis: is `page` still drawing a non-trivial share of
+  // recent windows?  A remove-heavy storm empties the singleton buckets
+  // the bias splits just created; if merging collapsed them on sight, the
+  // table would oscillate split/merge forever, paying restructure cost
+  // every cycle.  Warmth is set by a rotation seeing >= 1/4 of the hot
+  // threshold and decays only after kWarmTtl consecutive windows below
+  // it, so one quiet window (skew is bursty) does not forfeit the spread.
+  bool IsWarm(storage::PageId page) const {
+    const Slot* s = SlotFor(page);
+    return s != nullptr && s->warm.load(std::memory_order_relaxed) != 0;
+  }
+
+  HotBucketStats stats() const;
+
+  // Distribution of per-bucket sampled op counts, one Add per live counter
+  // per window — the "per-bucket histogram" the detection reads its shares
+  // from, exported by the table's registry provider.
+  const util::Histogram& bucket_ops() const { return bucket_ops_; }
+
+ private:
+  static constexpr size_t kChunkSize = 256;
+  // Matches LockTable's page-id ceiling: 2^16 chunks of 256 counters.
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
+  // Windows a warm page survives below the warmth threshold before its
+  // hysteresis lapses and merging may reclaim it.
+  static constexpr uint32_t kWarmTtl = 8;
+
+  struct Slot {
+    std::atomic<uint32_t> count{0};
+    std::atomic<uint32_t> hot{0};
+    std::atomic<uint32_t> warm{0};  // remaining-TTL counter
+  };
+  struct Chunk {
+    Slot slots[kChunkSize];
+  };
+
+  const Slot* SlotFor(storage::PageId page) const {
+    const size_t chunk = size_t(page) / kChunkSize;
+    const Chunk* c = chunk < kMaxChunks
+                         ? chunks_[chunk].load(std::memory_order_acquire)
+                         : nullptr;
+    return c == nullptr ? nullptr : &c->slots[size_t(page) % kChunkSize];
+  }
+
+  void RecordSample(storage::PageId page);
+  Chunk* Publish(storage::PageId page, size_t chunk);
+  void Rotate();
+
+  Options options_;
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  // Highest published chunk index + 1 — bounds the rotation sweep.
+  std::atomic<size_t> chunk_extent_{0};
+  std::atomic<uint64_t> window_samples_{0};
+  std::atomic<uint64_t> sampled_{0};
+  std::atomic<uint64_t> windows_{0};
+  std::atomic<uint64_t> marks_{0};
+  std::atomic<uint64_t> consumed_{0};
+  std::atomic<uint64_t> top_count_{0};
+  util::Histogram bucket_ops_;
+  // Rotation is single-writer (try_lock: a losing thread just keeps
+  // sampling; the window rotates at-most-once per crossing).
+  std::mutex rotate_mutex_;
+};
+
+}  // namespace exhash::metrics
+
+#endif  // EXHASH_METRICS_HOT_METRICS_H_

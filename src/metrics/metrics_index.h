@@ -36,6 +36,18 @@ class MetricsIndex : public core::KeyValueIndex {
   bool Find(uint64_t key, uint64_t* value) override;
   bool Insert(uint64_t key, uint64_t value) override;
   bool Remove(uint64_t key) override;
+  // Plain forwards (not yet metered as their own families): the wrapper
+  // must not replace the base's atomic RMW / chain scan with the
+  // non-atomic KeyValueIndex defaults.
+  bool Update(uint64_t key,
+              const std::function<uint64_t(uint64_t)>& f) override {
+    return base_->Update(key, f);
+  }
+  uint64_t ScanFrom(
+      uint64_t key, uint64_t limit,
+      const std::function<void(uint64_t, uint64_t)>& visit) override {
+    return base_->ScanFrom(key, limit, visit);
+  }
 
   uint64_t Size() const override { return base_->Size(); }
   std::string Name() const override { return base_->Name() + "+metrics"; }

@@ -25,6 +25,16 @@ void Bucket::Add(uint64_t key, uint64_t value) {
   records_.push_back(Record{key, value});
 }
 
+bool Bucket::SetValue(uint64_t key, uint64_t value) {
+  for (Record& r : records_) {
+    if (r.key == key) {
+      r.value = value;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool Bucket::Remove(uint64_t key) {
   for (size_t i = 0; i < records_.size(); ++i) {
     if (records_[i].key == key) {

@@ -76,6 +76,11 @@ class Bucket {
   // Removes `key` if present; returns whether anything changed.
   bool Remove(uint64_t key);
 
+  // Overwrites the value stored under `key` in place; returns false (and
+  // changes nothing) if the key is absent.  The read-modify-write path
+  // uses this so an update never perturbs record order or count.
+  bool SetValue(uint64_t key, uint64_t value);
+
   void Clear() { records_.clear(); }
 
   // --- Page codec ---

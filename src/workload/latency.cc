@@ -1,0 +1,77 @@
+#include "workload/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace exhash::workload {
+
+LatencyRecorder::LatencyRecorder() : buckets_(kBucketCount, 0) {}
+
+int LatencyRecorder::BucketFor(uint64_t value) {
+  if (value < kSub) return static_cast<int>(value);  // major 0: exact
+  const int msb = std::bit_width(value) - 1;         // >= kSubBits
+  const int major = msb - kSubBits + 1;
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBits)) & uint64_t(kSub - 1));
+  return major * kSub + sub;
+}
+
+uint64_t LatencyRecorder::BucketMid(int bucket) {
+  const int major = bucket / kSub;
+  const uint64_t sub = uint64_t(bucket % kSub);
+  if (major == 0) return sub;
+  // Bucket low edge is (kSub + sub) << (major - 1); width is 2^(major-1).
+  const uint64_t lo = (uint64_t(kSub) + sub) << (major - 1);
+  return lo + (uint64_t{1} << (major - 1)) / 2;
+}
+
+void LatencyRecorder::Record(uint64_t ns) {
+  ++buckets_[size_t(BucketFor(ns))];
+  ++count_;
+  sum_ += ns;
+  max_ = std::max(max_, ns);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (int i = 0; i < kBucketCount; ++i) buckets_[size_t(i)] += other.buckets_[size_t(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyRecorder::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LatencyRecorder::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(count_))));
+  int last = -1;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[size_t(i)] != 0) last = i;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[size_t(i)];
+    if (seen >= target) {
+      // In the top nonempty bucket the true maximum is the better
+      // estimate than the midpoint — it makes a single-sample (and any
+      // max-bucket tail) percentile exact instead of off by half a
+      // bucket in either direction.
+      return i == last ? max_ : std::min(BucketMid(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyRecorder::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = max_ = 0;
+}
+
+}  // namespace exhash::workload

@@ -1,0 +1,60 @@
+// Per-op latency recording with enough resolution for credible p999
+// (DESIGN.md §10).
+//
+// util::Histogram's power-of-two buckets bound percentile error at 2x —
+// fine for lock-acquisition shapes, too coarse for SLO tables.  This
+// recorder is log-linear (HdrHistogram-style): values below 2^kSubBits are
+// exact; above that each power-of-two range is cut into 2^kSubBits linear
+// sub-buckets, so relative error is bounded by 1/2^kSubBits (~3%).
+// Counters are plain uint64 — one recorder per worker thread, merged after
+// the run — so Record() is a shift, a mask, and an increment: cheap enough
+// to time every operation, which is what a p999 needs (sampling starves
+// the tail of the very events it is about).
+
+#ifndef EXHASH_WORKLOAD_LATENCY_H_
+#define EXHASH_WORKLOAD_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace exhash::workload {
+
+class LatencyRecorder {
+ public:
+  static constexpr int kSubBits = 5;                  // 32 linear sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kMajors = 64 - kSubBits;       // covers all of uint64
+  static constexpr int kBucketCount = kMajors * kSub;
+
+  LatencyRecorder();
+
+  // Records one value (nanoseconds by convention).  NOT thread-safe: one
+  // recorder per thread.
+  void Record(uint64_t ns);
+
+  // Adds another recorder's counts into this one (post-run merge).
+  void Merge(const LatencyRecorder& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // p in [0, 100].  Returns the bucket-midpoint estimate of the p-th
+  // percentile (0 when empty).  Exact for values < kSub.
+  uint64_t Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketMid(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace exhash::workload
+
+#endif  // EXHASH_WORKLOAD_LATENCY_H_

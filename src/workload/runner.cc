@@ -1,0 +1,166 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/pseudokey.h"
+
+namespace exhash::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowNs(Clock::time_point since, Clock::time_point now) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - since)
+          .count());
+}
+
+}  // namespace
+
+uint64_t PayloadValue(uint64_t key, uint32_t value_size) {
+  // One fold step per 8 simulated bytes; the golden-ratio multiply chain
+  // keeps the result a full-width function of both inputs.
+  uint64_t v = util::Mix64Hasher::Mix(key ^ 0x9c5bull);
+  for (uint32_t i = 0; i < value_size / 8; ++i) {
+    v = v * 0x9e3779b97f4a7c15ull + i;
+  }
+  return v;
+}
+
+void YcsbPreload(core::KeyValueIndex* table, const YcsbOptions& options,
+                 int threads) {
+  if (options.workload == YcsbWorkload::kD) {
+    for (int t = 0; t < threads; ++t) {
+      for (uint64_t i = 0; i < options.d_preload; ++i) {
+        const uint64_t key = YcsbGenerator::LatestKey(t, i);
+        table->Insert(key, PayloadValue(key, options.value_size_min));
+      }
+    }
+    return;
+  }
+  for (uint64_t i = 0; i < options.record_count; ++i) {
+    const uint64_t key = YcsbGenerator::LoadKey(i);
+    table->Insert(key, PayloadValue(key, options.value_size_min));
+  }
+  if (options.workload == YcsbWorkload::kStorm) {
+    for (uint32_t i = 0; i < options.storm_hot_keys; ++i) {
+      const uint64_t key = YcsbGenerator::StormHotKey(options, i);
+      table->Insert(key, PayloadValue(key, options.value_size_min));
+    }
+  }
+}
+
+YcsbRunStats RunYcsb(core::KeyValueIndex* table, const YcsbOptions& options,
+                     int threads, uint64_t ops_per_thread) {
+  struct WorkerResult {
+    uint64_t reads = 0, read_hits = 0, updates = 0, inserts = 0, rmws = 0;
+    uint64_t scans = 0, scanned_records = 0, removes = 0;
+    LatencyRecorder latency;
+    LatencyRecorder read_latency;
+  };
+  std::vector<WorkerResult> results(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(size_t(threads));
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+
+  auto worker = [&](int t) {
+    YcsbGenerator gen(options, t);
+    WorkerResult& r = results[size_t(t)];
+    ready.fetch_add(1, std::memory_order_release);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (uint64_t i = 0; i < ops_per_thread; ++i) {
+      const YcsbOp op = gen.Next();
+      const Clock::time_point begin = Clock::now();
+      bool is_read = false;
+      switch (op.type) {
+        case YcsbOp::Type::kRead: {
+          is_read = true;
+          ++r.reads;
+          uint64_t value = 0;
+          if (table->Find(op.key, &value)) ++r.read_hits;
+          break;
+        }
+        case YcsbOp::Type::kUpdate: {
+          // Upsert: overwrite in place when present, insert otherwise —
+          // YCSB updates never fail just because a remove got there first.
+          ++r.updates;
+          const uint64_t value = PayloadValue(op.key, op.value_size);
+          if (!table->Update(op.key,
+                             [value](uint64_t) { return value; })) {
+            table->Insert(op.key, value);
+          }
+          break;
+        }
+        case YcsbOp::Type::kInsert: {
+          ++r.inserts;
+          table->Insert(op.key, PayloadValue(op.key, op.value_size));
+          break;
+        }
+        case YcsbOp::Type::kRmw: {
+          // Commutative fold (old + payload): concurrent RMWs on one key
+          // land in some order and the sum still checks out.
+          ++r.rmws;
+          const uint64_t delta = PayloadValue(op.key, op.value_size);
+          if (!table->Update(op.key, [delta](uint64_t old) {
+                return old + delta;
+              })) {
+            table->Insert(op.key, delta);
+          }
+          break;
+        }
+        case YcsbOp::Type::kScan: {
+          ++r.scans;
+          uint64_t acc = 0;
+          r.scanned_records += table->ScanFrom(
+              op.key, op.scan_len,
+              [&acc](uint64_t, uint64_t value) { acc += value; });
+          // Publish the fold so the visits aren't dead code to eliminate.
+          static std::atomic<uint64_t> sink{0};
+          sink.store(acc, std::memory_order_relaxed);
+          break;
+        }
+        case YcsbOp::Type::kRemove: {
+          ++r.removes;
+          table->Remove(op.key);
+          break;
+        }
+      }
+      const uint64_t ns = NowNs(begin, Clock::now());
+      r.latency.Record(ns);
+      if (is_read) r.read_latency.Record(ns);
+    }
+  };
+
+  for (int t = 0; t < threads; ++t) workers.emplace_back(worker, t);
+  while (ready.load(std::memory_order_acquire) < threads)
+    std::this_thread::yield();
+  const Clock::time_point run_begin = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  const Clock::time_point run_end = Clock::now();
+
+  YcsbRunStats stats;
+  stats.ops = uint64_t(threads) * ops_per_thread;
+  stats.seconds =
+      static_cast<double>(NowNs(run_begin, run_end)) / 1e9;
+  for (const WorkerResult& r : results) {
+    stats.reads += r.reads;
+    stats.read_hits += r.read_hits;
+    stats.updates += r.updates;
+    stats.inserts += r.inserts;
+    stats.rmws += r.rmws;
+    stats.scans += r.scans;
+    stats.scanned_records += r.scanned_records;
+    stats.removes += r.removes;
+    stats.latency.Merge(r.latency);
+    stats.read_latency.Merge(r.read_latency);
+  }
+  return stats;
+}
+
+}  // namespace exhash::workload

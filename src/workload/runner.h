@@ -1,0 +1,56 @@
+// Drives a KeyValueIndex through a YCSB workload and times every op
+// (DESIGN.md §10).  Lives in the workload layer — workload may link core,
+// never the reverse.
+
+#ifndef EXHASH_WORKLOAD_RUNNER_H_
+#define EXHASH_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+
+#include "core/kv_index.h"
+#include "workload/latency.h"
+#include "workload/ycsb.h"
+
+namespace exhash::workload {
+
+// The 8-byte value an op of `value_size` simulated bytes stores for `key`.
+// A pure function of (key, value_size): differential tests recompute it for
+// their model tables, and it folds value_size / 8 multiply steps so bigger
+// values cost proportionally more CPU, the way serializing them would.
+uint64_t PayloadValue(uint64_t key, uint32_t value_size);
+
+// Per-run result: op counts by outcome plus the merged latency recorders.
+struct YcsbRunStats {
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t read_hits = 0;
+  uint64_t updates = 0;       // includes the upsert-miss insert path
+  uint64_t inserts = 0;
+  uint64_t rmws = 0;
+  uint64_t scans = 0;
+  uint64_t scanned_records = 0;
+  uint64_t removes = 0;
+  double seconds = 0.0;
+  LatencyRecorder latency;    // all ops
+  LatencyRecorder read_latency;
+};
+
+// Deterministically preloads `table` for `options.workload` (single
+// threaded):
+//   kD      → LatestKey(t, i) for t in [0, threads), i in [0, d_preload)
+//   kStorm  → LoadKey(0..record_count) cold keys plus the hot set
+//   others  → LoadKey(0..record_count)
+// Values are PayloadValue(key, value_size_min).
+void YcsbPreload(core::KeyValueIndex* table, const YcsbOptions& options,
+                 int threads);
+
+// Runs `threads` workers, each its own YcsbGenerator(options, t) stream of
+// `ops_per_thread` ops, per-op steady_clock timing into a per-thread
+// LatencyRecorder, merged into the returned stats.  Workers start together
+// behind a ready/go barrier so the measured window is all-threads-hot.
+YcsbRunStats RunYcsb(core::KeyValueIndex* table, const YcsbOptions& options,
+                     int threads, uint64_t ops_per_thread);
+
+}  // namespace exhash::workload
+
+#endif  // EXHASH_WORKLOAD_RUNNER_H_

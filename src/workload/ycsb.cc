@@ -1,0 +1,192 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/pseudokey.h"
+
+namespace exhash::workload {
+
+const char* ToString(YcsbWorkload workload) {
+  switch (workload) {
+    case YcsbWorkload::kA:
+      return "A";
+    case YcsbWorkload::kB:
+      return "B";
+    case YcsbWorkload::kC:
+      return "C";
+    case YcsbWorkload::kD:
+      return "D";
+    case YcsbWorkload::kF:
+      return "F";
+    case YcsbWorkload::kScan:
+      return "scan";
+    case YcsbWorkload::kStorm:
+      return "storm";
+  }
+  return "?";
+}
+
+YcsbMix MixFor(YcsbWorkload workload) {
+  YcsbMix mix;
+  switch (workload) {
+    case YcsbWorkload::kA:
+      mix.read_pct = 50;
+      mix.update_pct = 50;
+      break;
+    case YcsbWorkload::kB:
+      mix.read_pct = 95;
+      mix.update_pct = 5;
+      break;
+    case YcsbWorkload::kC:
+      mix.read_pct = 100;
+      break;
+    case YcsbWorkload::kD:
+      mix.read_pct = 95;
+      mix.insert_pct = 5;
+      break;
+    case YcsbWorkload::kF:
+      mix.read_pct = 50;
+      mix.rmw_pct = 50;
+      break;
+    case YcsbWorkload::kScan:
+      mix.read_pct = 95;
+      mix.scan_pct = 5;
+      break;
+    case YcsbWorkload::kStorm:
+      // The sub-mix aimed at the hot set (cold remainder is all reads):
+      // reads dominate but enough writes flow that the hot bucket's seqlock
+      // keeps ticking and inserts/removes churn its record array.
+      mix.read_pct = 60;
+      mix.update_pct = 30;
+      mix.insert_pct = 5;
+      mix.remove_pct = 5;
+      break;
+  }
+  assert(mix.read_pct + mix.update_pct + mix.insert_pct + mix.rmw_pct +
+             mix.scan_pct + mix.remove_pct ==
+         100);
+  return mix;
+}
+
+uint64_t YcsbGenerator::LatestKey(int thread_id, uint64_t i) {
+  // Each thread owns a disjoint high-bit region; (t + 1) keeps region 0
+  // clear of the shared preload universe used by other workloads.
+  return ((uint64_t(thread_id) + 1) << 40) + i;
+}
+
+uint64_t YcsbGenerator::StormHotKey(const YcsbOptions& options, uint32_t i) {
+  // Like KeyDist::kColliding: pseudokeys share their low collide_bits bits
+  // (pattern of alternating ones keeps them away from the all-zeros bucket
+  // the preload universe also favors), differ above, so the table's Mix64
+  // hash funnels all of them into one depth-collide_bits bucket subtree.
+  const int bits = std::clamp(options.storm_collide_bits, 1, 32);
+  const uint64_t pattern = 0x5555555555555555ull >> (64 - bits);
+  return util::Mix64Hasher::Unmix((uint64_t(i) << bits) | pattern);
+}
+
+YcsbGenerator::YcsbGenerator(const YcsbOptions& options, int thread_id)
+    : options_(options),
+      thread_id_(thread_id),
+      // Same per-thread seeding discipline as WorkloadGenerator, with a
+      // distinct domain tag so YCSB streams never mirror plain workload
+      // streams run from the same seed.
+      rng_(util::Mix64Hasher::Mix(options.seed) ^
+           util::Mix64Hasher::Mix(0x9c5b0000u + uint64_t(thread_id))) {
+  assert(options_.record_count > 0);
+  assert(options_.value_size_min <= options_.value_size_max);
+  assert(options_.scan_len_min <= options_.scan_len_max);
+  const bool zipf_keyed = options_.workload == YcsbWorkload::kA ||
+                          options_.workload == YcsbWorkload::kB ||
+                          options_.workload == YcsbWorkload::kC ||
+                          options_.workload == YcsbWorkload::kF ||
+                          options_.workload == YcsbWorkload::kScan;
+  if (zipf_keyed) {
+    zipf_ = std::make_unique<util::ZipfGenerator>(
+        options_.record_count, options_.zipf_theta, rng_.Next());
+  } else if (options_.workload == YcsbWorkload::kD) {
+    // D draws *recency ranks*, not keys: rank 0 is the newest key of this
+    // thread's region, so the popular head tracks the insert frontier.
+    assert(options_.d_preload > 0);
+    zipf_ = std::make_unique<util::ZipfGenerator>(
+        options_.d_preload, options_.zipf_theta, rng_.Next());
+  }
+}
+
+uint64_t YcsbGenerator::ZipfKey() { return LoadKey(zipf_->Next()); }
+
+uint64_t YcsbGenerator::LatestReadKey() {
+  // n keys exist in this thread's region; map Zipf rank r (over the fixed
+  // window [0, d_preload)) to the r-th-newest of them.  Using a fixed rank
+  // window keeps the draw-count per op constant, so the stream stays
+  // deterministic across runs regardless of how many inserts preceded it.
+  const uint64_t n = options_.d_preload + inserted_;
+  const uint64_t rank = zipf_->Next();  // 0 = newest
+  return LatestKey(thread_id_, n - 1 - std::min(rank, n - 1));
+}
+
+YcsbOp YcsbGenerator::Next() {
+  YcsbOp op;
+  op.value_size =
+      options_.value_size_min +
+      static_cast<uint32_t>(rng_.Uniform(
+          uint64_t(options_.value_size_max - options_.value_size_min) + 1));
+  op.scan_len = 0;
+
+  if (options_.workload == YcsbWorkload::kStorm) {
+    if (static_cast<int>(rng_.Uniform(100)) < options_.storm_hot_pct) {
+      const uint32_t i =
+          static_cast<uint32_t>(rng_.Uniform(options_.storm_hot_keys));
+      op.key = StormHotKey(options_, i);
+      const int roll = static_cast<int>(rng_.Uniform(100));
+      const YcsbMix mix = MixFor(YcsbWorkload::kStorm);
+      if (roll < mix.read_pct) {
+        op.type = YcsbOp::Type::kRead;
+      } else if (roll < mix.read_pct + mix.update_pct) {
+        op.type = YcsbOp::Type::kUpdate;
+      } else if (roll < mix.read_pct + mix.update_pct + mix.insert_pct) {
+        op.type = YcsbOp::Type::kInsert;
+      } else {
+        op.type = YcsbOp::Type::kRemove;
+      }
+    } else {
+      // Cold traffic: uniform reads over the preload universe, the
+      // background the storm's tail latency is measured against.
+      op.type = YcsbOp::Type::kRead;
+      op.key = LoadKey(rng_.Uniform(options_.record_count));
+    }
+    return op;
+  }
+
+  if (options_.workload == YcsbWorkload::kD) {
+    if (static_cast<int>(rng_.Uniform(100)) < 95) {
+      op.type = YcsbOp::Type::kRead;
+      op.key = LatestReadKey();
+    } else {
+      op.type = YcsbOp::Type::kInsert;
+      op.key = LatestKey(thread_id_, options_.d_preload + inserted_);
+      ++inserted_;
+    }
+    return op;
+  }
+
+  const YcsbMix mix = MixFor(options_.workload);
+  const int roll = static_cast<int>(rng_.Uniform(100));
+  op.key = ZipfKey();
+  if (roll < mix.read_pct) {
+    op.type = YcsbOp::Type::kRead;
+  } else if (roll < mix.read_pct + mix.update_pct) {
+    op.type = YcsbOp::Type::kUpdate;
+  } else if (roll < mix.read_pct + mix.update_pct + mix.rmw_pct) {
+    op.type = YcsbOp::Type::kRmw;
+  } else {
+    op.type = YcsbOp::Type::kScan;
+    op.scan_len =
+        options_.scan_len_min +
+        static_cast<uint32_t>(rng_.Uniform(
+            uint64_t(options_.scan_len_max - options_.scan_len_min) + 1));
+  }
+  return op;
+}
+
+}  // namespace exhash::workload

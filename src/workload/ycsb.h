@@ -1,0 +1,138 @@
+// YCSB-shaped workload suite (DESIGN.md §10, experiment E17).
+//
+// Seven workloads over the classic cloud-serving mixes:
+//   A      update-heavy    50% read / 50% update,      Zipf
+//   B      read-heavy      95% read /  5% update,      Zipf
+//   C      read-only      100% read,                   Zipf
+//   D      latest          95% read /  5% insert, reads skew to the newest
+//                          keys of the thread's own insert frontier
+//   F      read-modify-    50% read / 50% RMW,         Zipf
+//          write
+//   Scan   short scans     95% read /  5% bounded chain scan (directory-
+//                          snapshot iteration, ScanFrom)
+//   Storm  hot-key storm   storm_hot_pct% of ops hammer storm_hot_keys
+//                          keys whose *pseudokeys* share their low
+//                          storm_collide_bits bits — one bucket subtree
+//                          until splits past that depth spread them
+//
+// Determinism is the whole design: a generator is constructed from
+// (options, thread_id) only — never the thread count — so the stream for
+// (seed, thread 3) is byte-identical whether the run uses 4 threads or 16,
+// and any failure replays from the printed seed.  The latest-distribution
+// generator keeps its insert frontier per-thread (thread t inserts into
+// its own key region) for exactly this reason.
+//
+// Every op carries a seeded value_size: the table stores 8-byte values, so
+// variable sizes are simulated where they cost — the runner's PayloadValue
+// folds value_size pseudo-bytes into the stored value, like a serializer
+// would (runner.h).
+//
+// Storm key construction assumes the table's default Mix64 hasher (like
+// KeyDist::kColliding): keys are built by un-mixing colliding pseudokeys.
+
+#ifndef EXHASH_WORKLOAD_YCSB_H_
+#define EXHASH_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+#include "workload/workload.h"
+
+namespace exhash::workload {
+
+enum class YcsbWorkload { kA, kB, kC, kD, kF, kScan, kStorm };
+
+const char* ToString(YcsbWorkload workload);
+
+// Op-type percentages of a workload's mix (sum to 100); data for tests and
+// reports.
+struct YcsbMix {
+  int read_pct = 0;
+  int update_pct = 0;
+  int insert_pct = 0;
+  int rmw_pct = 0;
+  int scan_pct = 0;
+  int remove_pct = 0;
+};
+
+YcsbMix MixFor(YcsbWorkload workload);
+
+struct YcsbOp {
+  enum class Type : uint8_t { kRead, kUpdate, kInsert, kRmw, kScan, kRemove };
+  Type type;
+  uint64_t key;
+  // Simulated value bytes this op writes (reads carry it too — it seeds
+  // the re-written payload of an upsert); drawn uniform in
+  // [value_size_min, value_size_max].
+  uint32_t value_size;
+  // Records a kScan visits, uniform in [scan_len_min, scan_len_max]; 0 for
+  // every other type.
+  uint32_t scan_len;
+};
+
+struct YcsbOptions {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  // Preloaded key universe [0, record_count) for A/B/C/F/Scan and the
+  // storm's cold keys.
+  uint64_t record_count = 100000;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  uint32_t value_size_min = 8;
+  uint32_t value_size_max = 256;
+  uint32_t scan_len_min = 10;
+  uint32_t scan_len_max = 100;
+  // kD: records preloaded into each thread's own region (LatestKey(t, i)
+  // for i in [0, d_preload)) — a per-thread constant, independent of the
+  // thread count, so streams replay identically at any parallelism.
+  uint64_t d_preload = 10000;
+  // kStorm: hot-set size, shared low pseudokey bits, and the share of ops
+  // aimed at the hot set.  The hot keys cohabit one bucket at any
+  // directory depth <= collide_bits and separate pairwise beyond it.
+  // Geometry matters, in both directions: collide_bits must exceed the
+  // depth the cold preload settles at (~ record_count / page capacity
+  // buckets) or the directory spreads the "hot set" before the storm
+  // starts — but not by much, because spreading the set costs a directory
+  // of depth collide_bits + log2(hot_keys).  The default assumes a
+  // shallow cold preload (<= ~2^9 buckets, e.g. 4096 keys in 4096-byte
+  // pages); storm callers pick record_count accordingly.  Unmitigated,
+  // the hot bucket is a permanent convoy — 16 keys never overflow a page
+  // on their own; mitigated, chained bias splits walk the bucket down to
+  // depth collide_bits and then split the set pairwise.
+  uint32_t storm_hot_keys = 16;
+  int storm_collide_bits = 10;
+  int storm_hot_pct = 90;
+};
+
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbOptions& options, int thread_id);
+
+  YcsbOp Next();
+
+  // The i-th key of the preloaded universe (identity: the table's hash
+  // spreads it).
+  static uint64_t LoadKey(uint64_t i) { return i; }
+
+  // The i-th key of thread `thread_id`'s latest-distribution region.
+  static uint64_t LatestKey(int thread_id, uint64_t i);
+
+  // The i-th hot-storm key: pseudokeys share their low collide_bits bits.
+  static uint64_t StormHotKey(const YcsbOptions& options, uint32_t i);
+
+ private:
+  uint64_t ZipfKey();
+  uint64_t LatestReadKey();
+
+  YcsbOptions options_;
+  int thread_id_;
+  util::Rng rng_;
+  std::unique_ptr<util::ZipfGenerator> zipf_;
+  // kD: this thread's insert frontier (keys beyond d_preload it has
+  // inserted so far).
+  uint64_t inserted_ = 0;
+};
+
+}  // namespace exhash::workload
+
+#endif  // EXHASH_WORKLOAD_YCSB_H_

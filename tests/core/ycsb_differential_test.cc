@@ -1,0 +1,271 @@
+// Differential testing of the YCSB op families: every implementation —
+// both concurrent protocols (plus a mitigation-enabled V2) and the
+// sequential baseline — replays one identical seeded YCSB stream op by op
+// against a std::map reference.  This extends differential_test.cc's
+// find/insert/remove coverage to the two new operations: Update (atomic
+// in-place RMW) and ScanFrom (bounded chain scan with its
+// min(limit, Size()) quiescent law), and proves the hot-bucket mitigation
+// changes performance shape only, never semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "core/sequential_hash.h"
+#include "workload/runner.h"
+#include "workload/ycsb.h"
+
+namespace exhash::core {
+namespace {
+
+TableOptions SmallOptions(bool mitigated = false) {
+  TableOptions options;
+  options.page_size = 112;  // capacity 4: restructures constantly
+  options.initial_depth = 1;
+  options.max_depth = 16;
+  if (mitigated) {
+    // Exact sampling and a tight window so bias splits actually fire
+    // within a few thousand ops.
+    options.hot_bucket_mitigation = true;
+    options.hot_sample_every = 1;
+    options.hot_window = 64;
+    options.hot_share = 0.20;
+  }
+  return options;
+}
+
+class YcsbDifferentialTest
+    : public ::testing::TestWithParam<workload::YcsbWorkload> {
+ protected:
+  YcsbDifferentialTest()
+      : v1_(SmallOptions()),
+        v2_(SmallOptions()),
+        v2_mitigated_(SmallOptions(/*mitigated=*/true)),
+        seq_(SmallOptions()) {}
+
+  KeyValueIndex* tables_[4] = {&v1_, &v2_, &v2_mitigated_, &seq_};
+
+  workload::YcsbOptions Options() const {
+    workload::YcsbOptions o;
+    o.workload = GetParam();
+    o.record_count = 600;
+    o.d_preload = 200;
+    o.seed = 42;
+    return o;
+  }
+
+  // Mirrors workload::YcsbPreload against the model too.
+  void Preload(const workload::YcsbOptions& o) {
+    if (o.workload == workload::YcsbWorkload::kD) {
+      for (uint64_t i = 0; i < o.d_preload; ++i) {
+        Insert(workload::YcsbGenerator::LatestKey(0, i),
+               workload::PayloadValue(
+                   workload::YcsbGenerator::LatestKey(0, i),
+                   o.value_size_min));
+      }
+      return;
+    }
+    for (uint64_t i = 0; i < o.record_count; ++i) {
+      Insert(i, workload::PayloadValue(i, o.value_size_min));
+    }
+    if (o.workload == workload::YcsbWorkload::kStorm) {
+      for (uint32_t i = 0; i < o.storm_hot_keys; ++i) {
+        const uint64_t key = workload::YcsbGenerator::StormHotKey(o, i);
+        Insert(key, workload::PayloadValue(key, o.value_size_min));
+      }
+    }
+  }
+
+  void Insert(uint64_t key, uint64_t value) {
+    const bool expect = model_.emplace(key, value).second;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Insert(key, value), expect)
+          << t->Name() << " Insert(" << key << ") diverged at op " << ops_;
+    }
+    ++ops_;
+  }
+
+  void Read(uint64_t key) {
+    const auto it = model_.find(key);
+    const bool expect = it != model_.end();
+    for (KeyValueIndex* t : tables_) {
+      uint64_t out = 0;
+      ASSERT_EQ(t->Find(key, &out), expect)
+          << t->Name() << " Find(" << key << ") diverged at op " << ops_;
+      if (expect) {
+        ASSERT_EQ(out, it->second)
+            << t->Name() << " Find(" << key << ") wrong value at op " << ops_;
+      }
+    }
+    ++ops_;
+  }
+
+  // The runner's upsert: in-place overwrite when present, insert when not.
+  void Upsert(uint64_t key, uint64_t value) {
+    const auto it = model_.find(key);
+    const bool present = it != model_.end();
+    for (KeyValueIndex* t : tables_) {
+      const bool updated =
+          t->Update(key, [value](uint64_t) { return value; });
+      ASSERT_EQ(updated, present)
+          << t->Name() << " Update(" << key << ") diverged at op " << ops_;
+      if (!updated) {
+        ASSERT_TRUE(t->Insert(key, value)) << t->Name();
+      }
+    }
+    if (present) {
+      it->second = value;
+    } else {
+      model_.emplace(key, value);
+    }
+    ++ops_;
+  }
+
+  // The runner's RMW: old + delta when present, insert delta when not.
+  void Rmw(uint64_t key, uint64_t delta) {
+    const auto it = model_.find(key);
+    const bool present = it != model_.end();
+    for (KeyValueIndex* t : tables_) {
+      const bool updated =
+          t->Update(key, [delta](uint64_t old) { return old + delta; });
+      ASSERT_EQ(updated, present)
+          << t->Name() << " Rmw(" << key << ") diverged at op " << ops_;
+      if (!updated) {
+        ASSERT_TRUE(t->Insert(key, delta)) << t->Name();
+      }
+    }
+    if (present) {
+      it->second += delta;
+    } else {
+      model_.emplace(key, delta);
+    }
+    ++ops_;
+  }
+
+  // Quiescent scan law: exactly min(limit, Size()) records visited, each
+  // a live (key, value) pair of the model, no key twice.
+  void Scan(uint64_t key, uint64_t limit) {
+    const uint64_t expect = std::min<uint64_t>(limit, model_.size());
+    for (KeyValueIndex* t : tables_) {
+      std::set<uint64_t> seen;
+      uint64_t bad = 0;
+      const uint64_t visited =
+          t->ScanFrom(key, limit, [&](uint64_t k, uint64_t v) {
+            const auto it = model_.find(k);
+            if (it == model_.end() || it->second != v ||
+                !seen.insert(k).second) {
+              ++bad;
+            }
+          });
+      ASSERT_EQ(visited, expect)
+          << t->Name() << " ScanFrom(" << key << ", " << limit
+          << ") visited wrong count at op " << ops_;
+      ASSERT_EQ(seen.size(), visited) << t->Name() << " at op " << ops_;
+      ASSERT_EQ(bad, 0u)
+          << t->Name() << " scan surfaced records not in the model at op "
+          << ops_;
+    }
+    ++ops_;
+  }
+
+  void Remove(uint64_t key) {
+    const bool expect = model_.erase(key) != 0;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Remove(key), expect)
+          << t->Name() << " Remove(" << key << ") diverged at op " << ops_;
+    }
+    ++ops_;
+  }
+
+  void CheckState() {
+    std::string error;
+    for (KeyValueIndex* t : tables_) {
+      ASSERT_EQ(t->Size(), model_.size()) << t->Name() << " at op " << ops_;
+      ASSERT_TRUE(t->Validate(&error))
+          << t->Name() << " at op " << ops_ << ": " << error;
+    }
+    // Bias splits count in `splits` too, so the bucket-accounting law is
+    // mitigation-invariant.
+    TableBase* concurrent[3] = {&v1_, &v2_, &v2_mitigated_};
+    for (TableBase* t : concurrent) {
+      const TableStats s = t->Stats();
+      ASSERT_EQ(t->LiveBuckets(), 2 + s.splits - s.merges)
+          << t->Name() << " at op " << ops_;
+    }
+  }
+
+  EllisHashTableV1 v1_;
+  EllisHashTableV2 v2_;
+  EllisHashTableV2 v2_mitigated_;
+  SequentialExtendibleHash seq_;
+  std::map<uint64_t, uint64_t> model_;
+  uint64_t ops_ = 0;
+};
+
+TEST_P(YcsbDifferentialTest, StreamAgreesWithModelEverywhere) {
+  const workload::YcsbOptions o = Options();
+  Preload(o);
+  CheckState();
+  workload::YcsbGenerator gen(o, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const workload::YcsbOp op = gen.Next();
+    switch (op.type) {
+      case workload::YcsbOp::Type::kRead:
+        Read(op.key);
+        break;
+      case workload::YcsbOp::Type::kUpdate:
+        Upsert(op.key, workload::PayloadValue(op.key, op.value_size));
+        break;
+      case workload::YcsbOp::Type::kInsert:
+        Insert(op.key, workload::PayloadValue(op.key, op.value_size));
+        break;
+      case workload::YcsbOp::Type::kRmw:
+        Rmw(op.key, workload::PayloadValue(op.key, op.value_size));
+        break;
+      case workload::YcsbOp::Type::kScan:
+        Scan(op.key, op.scan_len);
+        break;
+      case workload::YcsbOp::Type::kRemove:
+        Remove(op.key);
+        break;
+    }
+    if (i % 256 == 0) CheckState();
+  }
+  CheckState();
+  // The update-heavy and RMW mixes must actually have exercised the
+  // in-place write path in the concurrent tables.
+  if (GetParam() == workload::YcsbWorkload::kA ||
+      GetParam() == workload::YcsbWorkload::kF) {
+    EXPECT_GT(v1_.Stats().updates, 0u);
+    EXPECT_GT(v2_.Stats().updates, 0u);
+  }
+  if (GetParam() == workload::YcsbWorkload::kScan) {
+    EXPECT_GT(v2_.Stats().scans, 0u);
+  }
+  // Under the storm, the mitigated table must have taken early splits —
+  // and still agreed with the model on every single op above.
+  if (GetParam() == workload::YcsbWorkload::kStorm) {
+    EXPECT_GT(v2_mitigated_.Stats().bias_splits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, YcsbDifferentialTest,
+    ::testing::Values(workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
+                      workload::YcsbWorkload::kD, workload::YcsbWorkload::kF,
+                      workload::YcsbWorkload::kScan,
+                      workload::YcsbWorkload::kStorm),
+    [](const ::testing::TestParamInfo<workload::YcsbWorkload>& info) {
+      std::string name = ToString(info.param);
+      name[0] = char(std::toupper(name[0]));  // "scan" -> "Scan"
+      return name;
+    });
+
+}  // namespace
+}  // namespace exhash::core

@@ -92,6 +92,90 @@ TEST(BenchFormatTest, GeneratedThroughputArtifactMatchesGolden) {
   ExpectThroughputSchema(*doc);
 }
 
+// Captured from a real bench_ycsb run; shortened to two workloads and two
+// tables but structurally identical: slo -> workload -> table -> latency
+// cell, plus the storm pair with its mitigation counters.
+const char kGoldenYcsbLine[] =
+    "{\"bench\":\"ycsb\",\"slo\":{"
+    "\"A\":{\"ellis-v1\":{\"ops_per_sec\":1514806,\"p50\":448,\"p99\":1184,"
+    "\"p999\":4544},"
+    "\"ellis-v2\":{\"ops_per_sec\":1857038,\"p50\":384,\"p99\":928,"
+    "\"p999\":3392}},"
+    "\"scan\":{\"ellis-v1\":{\"ops_per_sec\":312903,\"p50\":544,\"p99\":29184,"
+    "\"p999\":43520},"
+    "\"ellis-v2\":{\"ops_per_sec\":338161,\"p50\":512,\"p99\":27136,"
+    "\"p999\":39936}}},"
+    "\"storm\":{"
+    "\"unmitigated\":{\"ops_per_sec\":1573734,\"p50\":480,\"p99\":1248,"
+    "\"p999\":5440,\"seq_fallbacks\":1,\"bias_splits\":0},"
+    "\"mitigated\":{\"ops_per_sec\":1886792,\"p50\":416,\"p99\":1056,"
+    "\"p999\":4544,\"seq_fallbacks\":0,\"bias_splits\":26}}}";
+
+void ExpectLatencyCell(const JsonValue& cell, const std::string& where) {
+  for (const char* field : {"ops_per_sec", "p50", "p99", "p999"}) {
+    const JsonValue* v = cell.Get(field);
+    ASSERT_NE(v, nullptr) << where << "/" << field;
+    EXPECT_TRUE(v->is_number()) << where << "/" << field;
+    EXPECT_GE(v->number, 0) << where << "/" << field;
+  }
+}
+
+void ExpectYcsbSchema(const JsonValue& doc) {
+  const JsonValue* bench = doc.Get("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->str, "ycsb");
+  const JsonValue* slo = doc.Get("slo");
+  ASSERT_NE(slo, nullptr);
+  ASSERT_TRUE(slo->is_object());
+  ASSERT_FALSE(slo->object.empty());
+  for (const auto& [workload, tables] : slo->object) {
+    ASSERT_TRUE(tables.is_object()) << workload;
+    ASSERT_FALSE(tables.object.empty()) << workload;
+    for (const auto& [table, cell] : tables.object) {
+      ExpectLatencyCell(cell, workload + "/" + table);
+    }
+  }
+  // The storm pair is the mitigation's acceptance record: both variants,
+  // each carrying the fallback/bias counters next to its percentiles.
+  const JsonValue* storm = doc.Get("storm");
+  ASSERT_NE(storm, nullptr);
+  for (const char* variant : {"unmitigated", "mitigated"}) {
+    const JsonValue* cell = storm->Get(variant);
+    ASSERT_NE(cell, nullptr) << variant;
+    ExpectLatencyCell(*cell, variant);
+    for (const char* field : {"seq_fallbacks", "bias_splits"}) {
+      const JsonValue* v = cell->Get(field);
+      ASSERT_NE(v, nullptr) << variant << "/" << field;
+      EXPECT_TRUE(v->is_number());
+    }
+  }
+}
+
+TEST(BenchFormatTest, GoldenYcsbLineKeepsItsSchema) {
+  const auto doc = MiniJsonParser::Parse(kGoldenYcsbLine);
+  ASSERT_TRUE(doc.has_value());
+  ExpectYcsbSchema(*doc);
+  // The mitigation's signature cell is part of the golden record: bias
+  // splits fired in the mitigated run and only there.
+  EXPECT_EQ(doc->Get("storm")->Get("mitigated")->Get("bias_splits")->number,
+            26);
+  EXPECT_EQ(doc->Get("storm")->Get("unmitigated")->Get("bias_splits")->number,
+            0);
+}
+
+TEST(BenchFormatTest, GeneratedYcsbArtifactMatchesGolden) {
+  const std::string path = std::string(EXHASH_SOURCE_DIR) + "/BENCH_ycsb.json";
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    GTEST_SKIP() << "no generated BENCH_ycsb.json in this tree";
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = MiniJsonParser::Parse(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << "artifact is not valid JSON";
+  ExpectYcsbSchema(*doc);
+}
+
 TEST(BenchFormatTest, MetricsSidecarEnvelopeParses) {
   metrics::Registry registry;
   EXHASH_METRICS_ONLY(registry.GetCounter("table.splits")->Add(42));
@@ -164,6 +248,11 @@ TEST(BenchFormatTest, TableCounterNamespaceMatchesSnapshotDirectoryEra) {
         "t.epoch.pending", "t.dir_lock.alpha", "t.dir_lock.xi",
         "t.dir_lock.contended", "t.bucket.optimistic_hits",
         "t.bucket.seq_retries", "t.bucket.seq_fallbacks",
+        // YCSB op families and the hot-bucket detection export
+        // (DESIGN.md §10) — present (zero) even with mitigation off.
+        "t.ops.updates", "t.ops.scans", "t.hot.bias_splits",
+        "t.hot.sampled", "t.hot.windows", "t.hot.marks", "t.hot.consumed",
+        "t.hot.hot_now", "t.hot.warm_now", "t.hot.top_count",
         // Durability layer (DESIGN.md §9): exported even with the WAL off
         // (zeros) — the namespace is not config-dependent.
         "t.wal.txns", "t.wal.appends", "t.wal.commits", "t.wal.flushes",

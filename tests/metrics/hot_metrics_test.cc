@@ -1,0 +1,183 @@
+// HotBucketTracker unit tests (DESIGN.md §10): windowed detection
+// mechanics in isolation — marking at the share threshold, exactly-once
+// mark consumption, cold-page mark decay, the warm-TTL merge hysteresis,
+// the sampling countdown's exact arithmetic, and the stats/histogram
+// export the registry provider reads.
+
+#include "metrics/hot_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+
+namespace exhash::metrics {
+namespace {
+
+// window=16 @ share=0.5: hot threshold 8 samples, warmth threshold 2.
+HotBucketTracker::Options ExactOptions() {
+  HotBucketTracker::Options o;
+  o.sample_every = 1;
+  o.window = 16;
+  o.share = 0.5;
+  return o;
+}
+
+void Drive(HotBucketTracker* t, storage::PageId page, int n) {
+  for (int i = 0; i < n; ++i) t->Record(page);
+}
+
+TEST(HotBucketTrackerTest, MarksOnlyPagesCrossingTheShareThreshold) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 10);  // 10/16 >= 0.5: hot
+  Drive(&t, 2, 6);   // 6/16 < 0.5: not hot (but warm, 6 >= 2)
+  const HotBucketStats s = t.stats();
+  EXPECT_EQ(s.sampled, 16u);
+  EXPECT_EQ(s.windows, 1u);
+  EXPECT_EQ(s.marks, 1u);
+  EXPECT_EQ(s.top_count, 10u);
+  EXPECT_EQ(s.hot_now, 1u);
+  EXPECT_TRUE(t.IsHot(1));
+  EXPECT_FALSE(t.IsHot(2));
+  EXPECT_FALSE(t.IsHot(3));  // never sampled: no slot, never hot
+}
+
+TEST(HotBucketTrackerTest, ConsumeHotHandsTheMarkToExactlyOneCaller) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  ASSERT_TRUE(t.IsHot(1));
+  EXPECT_TRUE(t.ConsumeHot(1));
+  EXPECT_FALSE(t.ConsumeHot(1));  // second claimant loses
+  EXPECT_FALSE(t.IsHot(1));       // consuming unmarks
+  EXPECT_FALSE(t.ConsumeHot(99));  // unknown page: nothing to claim
+  const HotBucketStats s = t.stats();
+  EXPECT_EQ(s.marks, 1u);
+  EXPECT_EQ(s.consumed, 1u);
+  EXPECT_EQ(s.hot_now, 0u);
+}
+
+TEST(HotBucketTrackerTest, UnconsumedMarkClearsOnceThePageGoesCold) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  ASSERT_TRUE(t.IsHot(1));
+  // A whole window elsewhere: page 1 contributes zero samples, so the
+  // stale mark must not linger to bias-split an idle bucket.
+  Drive(&t, 2, 16);
+  EXPECT_FALSE(t.IsHot(1));
+  EXPECT_TRUE(t.IsHot(2));
+}
+
+TEST(HotBucketTrackerTest, BelowThresholdWindowUnmarksAStillActivePage) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  ASSERT_TRUE(t.IsHot(1));
+  // Next window the page is active but below the share: cooled off.
+  Drive(&t, 1, 4);
+  Drive(&t, 2, 12);
+  EXPECT_FALSE(t.IsHot(1));
+}
+
+TEST(HotBucketTrackerTest, MarkReArmsIfALaterWindowIsHotAgain) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  ASSERT_TRUE(t.ConsumeHot(1));
+  Drive(&t, 1, 16);  // still hot next window: a fresh mark
+  EXPECT_TRUE(t.IsHot(1));
+  EXPECT_TRUE(t.ConsumeHot(1));
+  EXPECT_EQ(t.stats().consumed, 2u);
+}
+
+TEST(HotBucketTrackerTest, WarmthOutlivesTheMarkByTtlQuietWindows) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  EXPECT_TRUE(t.IsWarm(1));
+  ASSERT_TRUE(t.ConsumeHot(1));  // mark consumed; warmth is independent
+  // Quiet windows: page 1 silent, all traffic on page 2.  Warmth decays
+  // one TTL tick per rotation and must survive several quiet windows
+  // (skew is bursty; one lull must not forfeit the spread to merging).
+  for (int w = 0; w < 7; ++w) {
+    Drive(&t, 2, 16);
+    EXPECT_TRUE(t.IsWarm(1)) << "lapsed after " << (w + 1) << " windows";
+  }
+  Drive(&t, 2, 16);  // 8th quiet window: TTL exhausted
+  EXPECT_FALSE(t.IsWarm(1));
+  EXPECT_FALSE(t.IsWarm(3));  // never sampled: never warm
+}
+
+TEST(HotBucketTrackerTest, WarmthRefreshesOnAnyWarmThresholdWindow) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 16);
+  ASSERT_TRUE(t.IsWarm(1));
+  // Drain most of the TTL...
+  for (int w = 0; w < 6; ++w) Drive(&t, 2, 16);
+  ASSERT_TRUE(t.IsWarm(1));
+  // ...then one window at warmth level (2 >= threshold/4) — far below the
+  // hot threshold — snaps the TTL back to full.
+  Drive(&t, 1, 2);
+  Drive(&t, 2, 14);
+  EXPECT_FALSE(t.IsHot(1));
+  for (int w = 0; w < 7; ++w) {
+    Drive(&t, 2, 16);
+    EXPECT_TRUE(t.IsWarm(1)) << "refresh did not reset TTL, window " << w;
+  }
+  Drive(&t, 2, 16);
+  EXPECT_FALSE(t.IsWarm(1));
+}
+
+TEST(HotBucketTrackerTest, WarmNowCountsPagesUnderHysteresis) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 8);
+  Drive(&t, 2, 8);
+  const HotBucketStats s = t.stats();
+  EXPECT_EQ(s.warm_now, 2u);
+  EXPECT_EQ(s.hot_now, 2u);  // both at exactly the threshold
+}
+
+TEST(HotBucketTrackerTest, SamplingCountdownKeepsExactArithmetic) {
+  HotBucketTracker::Options o = ExactOptions();
+  o.sample_every = 4;
+  HotBucketTracker t(o);
+  // The countdown is thread-local and phase-shared across trackers, but
+  // any run of 4k consecutive calls contains exactly k multiples of 4.
+  Drive(&t, 1, 64);
+  EXPECT_EQ(t.stats().sampled, 16u);
+}
+
+TEST(HotBucketTrackerTest, BucketOpsHistogramSeesPerWindowCounts) {
+  HotBucketTracker t(ExactOptions());
+  Drive(&t, 1, 10);
+  Drive(&t, 2, 6);
+  // One Add per live counter per rotation.
+  EXPECT_EQ(t.bucket_ops().count(), 2u);
+  EXPECT_EQ(t.bucket_ops().max(), 10u);
+  Drive(&t, 1, 16);
+  EXPECT_EQ(t.bucket_ops().count(), 3u);
+  EXPECT_EQ(t.bucket_ops().max(), 16u);
+}
+
+TEST(HotBucketTrackerTest, DegenerateOptionsAreClamped) {
+  HotBucketTracker::Options o;
+  o.sample_every = 0;  // clamped to 1 (exact)
+  o.window = 0;        // clamped to 1: every sample is a window
+  o.share = 0.5;
+  HotBucketTracker t(o);
+  t.Record(1);
+  const HotBucketStats s = t.stats();
+  EXPECT_EQ(s.sampled, 1u);
+  EXPECT_EQ(s.windows, 1u);
+  EXPECT_TRUE(t.IsHot(1));
+}
+
+TEST(HotBucketTrackerTest, PagesInDistinctChunksTrackIndependently) {
+  // Slot addressing is chunked (256 counters per CAS-published chunk);
+  // pages far apart land in different chunks and must not alias.
+  HotBucketTracker t(ExactOptions());
+  const storage::PageId far = 5 * 256 + 7;
+  Drive(&t, far, 12);
+  Drive(&t, 1, 4);
+  EXPECT_TRUE(t.IsHot(far));
+  EXPECT_FALSE(t.IsHot(1));
+  EXPECT_EQ(t.stats().top_count, 12u);
+}
+
+}  // namespace
+}  // namespace exhash::metrics

@@ -1,0 +1,173 @@
+// Long-soak tier (the `soak` ctest label): grow the table by orders of
+// magnitude, shrink it back to empty, and repeat — all under four-thread
+// traffic — asserting at every quiescent point that the structure is
+// validator-clean and the bucket accounting law held across the entire
+// excursion:
+//
+//     LiveBuckets == 2^initial_depth + splits - merges
+//
+// The law is the soak's teeth: a split whose buddy bookkeeping leaks a
+// bucket, or a merge that drops one, shows up as a drift that compounds
+// over cycles even when any single restructure looks fine.
+//
+// Smoke-tier scale by default (fits the default ctest run); EXHASH_SOAK=N
+// sets the total keys per cycle for a long campaign — the acceptance runs
+// use millions (tests/README.md has the recipe):
+//
+//     EXHASH_SOAK=2000000 ctest --test-dir build -L soak
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ellis_v1.h"
+#include "core/ellis_v2.h"
+#include "workload/runner.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define EXHASH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EXHASH_TSAN 1
+#endif
+#endif
+
+namespace exhash::core {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kCycles = 2;
+
+// TSan multiplies every memory access; the smoke tier shrinks so the soak
+// still fits the default suite (the interleavings it checks don't need
+// volume — volume is what EXHASH_SOAK buys on the plain build).
+#ifdef EXHASH_TSAN
+constexpr uint64_t kSmokeKeysPerCycle = 8000;
+#else
+constexpr uint64_t kSmokeKeysPerCycle = 40000;
+#endif
+
+uint64_t SoakKeysFromEnv() {
+  const char* env = std::getenv("EXHASH_SOAK");
+  if (env == nullptr || *env == '\0') return kSmokeKeysPerCycle;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return kSmokeKeysPerCycle;
+  return uint64_t(v);
+}
+
+TableOptions SoakOptions() {
+  TableOptions options;
+  // Full-size pages (capacity 253): millions of keys settle near depth 14,
+  // comfortably under the depth-22 directory ceiling.
+  options.page_size = 4096;
+  options.initial_depth = 2;
+  return options;
+}
+
+// Quiescent-point checks: no thread is touching the table when called.
+void CheckQuiescent(TableBase* table, uint64_t expect_size,
+                    const char* where) {
+  ASSERT_EQ(table->Size(), expect_size) << where;
+  std::string error;
+  ASSERT_TRUE(table->Validate(&error)) << where << ": " << error;
+  const TableStats s = table->Stats();
+  ASSERT_EQ(table->LiveBuckets(), 4 + s.splits - s.merges)
+      << where << " (splits=" << s.splits << " merges=" << s.merges << ")";
+}
+
+// Each thread owns a disjoint key stripe; values are the differential
+// suite's PayloadValue so a torn record is also a wrong-value find.
+uint64_t StripeKey(int thread, uint64_t i) {
+  return (uint64_t(thread) << 48) | i;
+}
+
+void RunSoak(TableBase* table) {
+  const uint64_t total = SoakKeysFromEnv();
+  const uint64_t per_thread = std::max<uint64_t>(1, total / kThreads);
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    // --- grow: concurrent inserts, with read-back traffic mixed in so
+    // the optimistic path runs against live restructures ---
+    std::atomic<uint64_t> read_misses{0};
+    {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+          for (uint64_t i = 0; i < per_thread; ++i) {
+            const uint64_t key = StripeKey(t, i);
+            ASSERT_TRUE(table->Insert(key, workload::PayloadValue(key, 8)));
+            if (i % 8 == 0) {
+              // Re-find a key from earlier in this thread's stripe: it
+              // must already be visible to its own writer.
+              const uint64_t probe = StripeKey(t, i / 2);
+              uint64_t value = 0;
+              if (!table->Find(probe, &value) ||
+                  value != workload::PayloadValue(probe, 8)) {
+                read_misses.fetch_add(1);
+              }
+            }
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    ASSERT_EQ(read_misses.load(), 0u) << "cycle " << cycle;
+    CheckQuiescent(table, per_thread * kThreads, "after grow");
+    const uint64_t peak_buckets = table->LiveBuckets();
+    ASSERT_GT(peak_buckets, 4u) << "soak scale too small to split";
+
+    // --- shrink back to empty: concurrent removes drive the merge path
+    // as hard as the grow phase drove splits ---
+    {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+          for (uint64_t i = 0; i < per_thread; ++i) {
+            ASSERT_TRUE(table->Remove(StripeKey(t, i)));
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    CheckQuiescent(table, 0, "after shrink");
+    // The merge path actually reclaimed the growth: an empty table must
+    // not still hold its peak bucket population.
+    ASSERT_LT(table->LiveBuckets(), peak_buckets) << "cycle " << cycle;
+    ASSERT_GT(table->Stats().merges, 0u);
+  }
+  // Cumulative accounting across all cycles, one last time.
+  const TableStats s = table->Stats();
+  EXPECT_GE(s.splits, s.merges);
+  EXPECT_EQ(table->LiveBuckets(), 4 + s.splits - s.merges);
+}
+
+TEST(SoakTest, V1GrowShrinkCyclesStayLawful) {
+  EllisHashTableV1 table(SoakOptions());
+  RunSoak(&table);
+}
+
+TEST(SoakTest, V2GrowShrinkCyclesStayLawful) {
+  EllisHashTableV2 table(SoakOptions());
+  RunSoak(&table);
+}
+
+// The mitigated configuration soaks too: bias splits ride the same
+// accounting (they count in `splits`), and the warm-TTL merge hysteresis
+// must lapse once traffic stops favoring a bucket — an empty quiescent
+// table still satisfies the law with mitigation enabled.
+TEST(SoakTest, V2MitigatedSoakKeepsTheLaw) {
+  TableOptions options = SoakOptions();
+  options.hot_bucket_mitigation = true;
+  options.hot_sample_every = 16;
+  options.hot_window = 512;
+  options.hot_share = 0.20;
+  EllisHashTableV2 table(options);
+  RunSoak(&table);
+}
+
+}  // namespace
+}  // namespace exhash::core

@@ -1,0 +1,315 @@
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/pseudokey.h"
+#include "workload/latency.h"
+#include "workload/runner.h"
+
+namespace exhash::workload {
+namespace {
+
+const std::vector<YcsbWorkload> kAllWorkloads = {
+    YcsbWorkload::kA, YcsbWorkload::kB,    YcsbWorkload::kC,    YcsbWorkload::kD,
+    YcsbWorkload::kF, YcsbWorkload::kScan, YcsbWorkload::kStorm};
+
+YcsbOptions SmallOptions(YcsbWorkload wl, uint64_t seed = 42) {
+  YcsbOptions o;
+  o.workload = wl;
+  o.record_count = 2000;
+  o.d_preload = 500;
+  o.seed = seed;
+  return o;
+}
+
+// Serializes a generator's next `n` ops to one string — byte-identical
+// streams are the determinism contract (same seed => same bytes, across
+// runs and regardless of how many other threads the run uses).
+std::string Serialize(const YcsbOptions& options, int thread_id, int n) {
+  YcsbGenerator gen(options, thread_id);
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    const YcsbOp op = gen.Next();
+    out << int(op.type) << ':' << op.key << ':' << op.value_size << ':'
+        << op.scan_len << '\n';
+  }
+  return out.str();
+}
+
+TEST(YcsbGeneratorTest, SameSeedSameThreadByteIdenticalStreams) {
+  for (YcsbWorkload wl : kAllWorkloads) {
+    for (int thread = 0; thread < 3; ++thread) {
+      const YcsbOptions o = SmallOptions(wl);
+      EXPECT_EQ(Serialize(o, thread, 500), Serialize(o, thread, 500))
+          << "workload " << ToString(wl) << " thread " << thread;
+    }
+  }
+}
+
+TEST(YcsbGeneratorTest, DifferentSeedsDifferentStreams) {
+  for (YcsbWorkload wl : kAllWorkloads) {
+    EXPECT_NE(Serialize(SmallOptions(wl, 1), 0, 500),
+              Serialize(SmallOptions(wl, 2), 0, 500))
+        << "workload " << ToString(wl);
+  }
+}
+
+TEST(YcsbGeneratorTest, DifferentThreadsDifferentStreams) {
+  for (YcsbWorkload wl : kAllWorkloads) {
+    const YcsbOptions o = SmallOptions(wl);
+    EXPECT_NE(Serialize(o, 0, 500), Serialize(o, 1, 500))
+        << "workload " << ToString(wl);
+  }
+}
+
+TEST(YcsbGeneratorTest, MixRatiosRespected) {
+  constexpr int kOps = 30000;
+  for (YcsbWorkload wl :
+       {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC, YcsbWorkload::kD,
+        YcsbWorkload::kF, YcsbWorkload::kScan}) {
+    YcsbGenerator gen(SmallOptions(wl), 0);
+    int counts[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < kOps; ++i) ++counts[int(gen.Next().type)];
+    const YcsbMix mix = MixFor(wl);
+    EXPECT_NEAR(double(counts[int(YcsbOp::Type::kRead)]) / kOps,
+                mix.read_pct / 100.0, 0.02)
+        << ToString(wl);
+    EXPECT_NEAR(double(counts[int(YcsbOp::Type::kUpdate)]) / kOps,
+                mix.update_pct / 100.0, 0.02)
+        << ToString(wl);
+    EXPECT_NEAR(double(counts[int(YcsbOp::Type::kInsert)]) / kOps,
+                mix.insert_pct / 100.0, 0.02)
+        << ToString(wl);
+    EXPECT_NEAR(double(counts[int(YcsbOp::Type::kRmw)]) / kOps,
+                mix.rmw_pct / 100.0, 0.02)
+        << ToString(wl);
+    EXPECT_NEAR(double(counts[int(YcsbOp::Type::kScan)]) / kOps,
+                mix.scan_pct / 100.0, 0.02)
+        << ToString(wl);
+  }
+}
+
+TEST(YcsbGeneratorTest, MixPercentagesSumTo100) {
+  for (YcsbWorkload wl : kAllWorkloads) {
+    const YcsbMix m = MixFor(wl);
+    EXPECT_EQ(m.read_pct + m.update_pct + m.insert_pct + m.rmw_pct +
+                  m.scan_pct + m.remove_pct,
+              100)
+        << ToString(wl);
+  }
+}
+
+TEST(YcsbGeneratorTest, ValueSizeAndScanLenStayInBounds) {
+  for (YcsbWorkload wl : kAllWorkloads) {
+    YcsbOptions o = SmallOptions(wl);
+    o.value_size_min = 16;
+    o.value_size_max = 64;
+    o.scan_len_min = 5;
+    o.scan_len_max = 9;
+    YcsbGenerator gen(o, 0);
+    for (int i = 0; i < 2000; ++i) {
+      const YcsbOp op = gen.Next();
+      EXPECT_GE(op.value_size, 16u);
+      EXPECT_LE(op.value_size, 64u);
+      if (op.type == YcsbOp::Type::kScan) {
+        EXPECT_GE(op.scan_len, 5u);
+        EXPECT_LE(op.scan_len, 9u);
+      } else {
+        EXPECT_EQ(op.scan_len, 0u);
+      }
+    }
+  }
+}
+
+TEST(YcsbGeneratorTest, ZipfWorkloadsDrawFromPreloadUniverse) {
+  for (YcsbWorkload wl : {YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+                          YcsbWorkload::kF, YcsbWorkload::kScan}) {
+    YcsbGenerator gen(SmallOptions(wl), 0);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(gen.Next().key, 2000u) << ToString(wl);
+    }
+  }
+}
+
+TEST(YcsbGeneratorTest, ZipfSkewsTowardLowKeys) {
+  YcsbGenerator gen(SmallOptions(YcsbWorkload::kC), 0);
+  int hot = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    if (gen.Next().key < 20) ++hot;  // top 1% of the 2000-key universe
+  }
+  EXPECT_GT(hot, kOps / 4);
+}
+
+// --- workload D: latest distribution ---
+
+TEST(YcsbGeneratorTest, LatestReadsStayInThreadRegionAndSkewRecent) {
+  const YcsbOptions o = SmallOptions(YcsbWorkload::kD);
+  const int thread = 2;
+  YcsbGenerator gen(o, thread);
+  uint64_t frontier = o.d_preload;  // keys [0, frontier) of the region exist
+  int recent = 0;
+  int reads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const YcsbOp op = gen.Next();
+    if (op.type == YcsbOp::Type::kInsert) {
+      EXPECT_EQ(op.key, YcsbGenerator::LatestKey(thread, frontier));
+      ++frontier;
+      continue;
+    }
+    ASSERT_EQ(int(op.type), int(YcsbOp::Type::kRead));
+    ++reads;
+    // Reads target this thread's region, below its insert frontier.
+    EXPECT_GE(op.key, YcsbGenerator::LatestKey(thread, 0));
+    EXPECT_LT(op.key, YcsbGenerator::LatestKey(thread, frontier));
+    // "Latest" skew: most reads land in the newest 10% of the region.
+    if (op.key >= YcsbGenerator::LatestKey(thread, frontier - frontier / 10)) {
+      ++recent;
+    }
+  }
+  EXPECT_GT(recent, reads / 2);
+}
+
+TEST(YcsbGeneratorTest, LatestKeyRegionsAreDisjointAcrossThreads) {
+  // Region t spans [ (t+1)<<40, (t+2)<<40 ): adjacent regions cannot
+  // overlap for any realistic i, and region 0 stays clear of the
+  // preload universe [0, record_count).
+  EXPECT_GT(YcsbGenerator::LatestKey(0, 0), uint64_t{1} << 39);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_LT(YcsbGenerator::LatestKey(t, uint64_t{1} << 39),
+              YcsbGenerator::LatestKey(t + 1, 0));
+  }
+}
+
+// --- the storm ---
+
+TEST(YcsbGeneratorTest, StormHotKeysCollideBelowCollideBits) {
+  YcsbOptions o = SmallOptions(YcsbWorkload::kStorm);
+  util::Mix64Hasher hasher;
+  const uint64_t shared =
+      util::LowBits(hasher.Hash(YcsbGenerator::StormHotKey(o, 0)),
+                    o.storm_collide_bits);
+  std::set<uint64_t> keys;
+  std::set<uint64_t> pseudokeys;
+  for (uint32_t i = 0; i < o.storm_hot_keys; ++i) {
+    const uint64_t key = YcsbGenerator::StormHotKey(o, i);
+    keys.insert(key);
+    pseudokeys.insert(hasher.Hash(key));
+    // All hot pseudokeys share their low collide_bits bits (one bucket
+    // subtree at any depth <= collide_bits)...
+    EXPECT_EQ(util::LowBits(hasher.Hash(key), o.storm_collide_bits), shared);
+  }
+  // ...while both keys and pseudokeys stay distinct (mitigation can
+  // separate them past collide_bits).
+  EXPECT_EQ(keys.size(), o.storm_hot_keys);
+  EXPECT_EQ(pseudokeys.size(), o.storm_hot_keys);
+}
+
+TEST(YcsbGeneratorTest, StormTrafficConcentratesOnHotSet) {
+  YcsbOptions o = SmallOptions(YcsbWorkload::kStorm);
+  std::set<uint64_t> hot;
+  for (uint32_t i = 0; i < o.storm_hot_keys; ++i) {
+    hot.insert(YcsbGenerator::StormHotKey(o, i));
+  }
+  YcsbGenerator gen(o, 0);
+  int on_hot = 0;
+  int cold_writes = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    const YcsbOp op = gen.Next();
+    if (hot.count(op.key) != 0) {
+      ++on_hot;
+    } else {
+      EXPECT_LT(op.key, o.record_count);  // cold = preload universe
+      if (op.type != YcsbOp::Type::kRead) ++cold_writes;
+    }
+  }
+  EXPECT_NEAR(double(on_hot) / kOps, o.storm_hot_pct / 100.0, 0.02);
+  EXPECT_EQ(cold_writes, 0);  // cold traffic is read-only
+}
+
+// --- the latency recorder ---
+
+TEST(LatencyRecorderTest, ExactBelowSubBucketRange) {
+  LatencyRecorder r;
+  for (uint64_t v = 0; v < 32; ++v) r.Record(v);
+  EXPECT_EQ(r.count(), 32u);
+  EXPECT_EQ(r.max(), 31u);
+  EXPECT_EQ(r.Percentile(100), 31u);
+  EXPECT_EQ(r.Percentile(50), 15u);
+}
+
+TEST(LatencyRecorderTest, PercentileWithinRelativeErrorBound) {
+  LatencyRecorder r;
+  for (uint64_t v = 1; v <= 100000; ++v) r.Record(v);
+  // Log-linear with 32 sub-buckets: relative error <= 1/32 (~3%), plus
+  // one bucket of slack for the midpoint convention.
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = p / 100.0 * 100000.0;
+    const double got = double(r.Percentile(p));
+    EXPECT_NEAR(got, exact, exact * 0.07) << "p" << p;
+  }
+}
+
+TEST(LatencyRecorderTest, MergeMatchesCombinedRecording) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder combined;
+  for (uint64_t v = 0; v < 1000; ++v) {
+    ((v % 2 == 0) ? a : b).Record(v * 17);
+    combined.Record(v * 17);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.Mean(), combined.Mean());
+  for (double p : {10.0, 50.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(LatencyRecorderTest, EmptyAndReset) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.Percentile(99), 0u);
+  EXPECT_EQ(r.Mean(), 0.0);
+  r.Record(12345);
+  EXPECT_EQ(r.count(), 1u);
+  r.Reset();
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.max(), 0u);
+  EXPECT_EQ(r.Percentile(99), 0u);
+}
+
+TEST(LatencyRecorderTest, PercentileNeverExceedsObservedMax) {
+  LatencyRecorder r;
+  r.Record(1000000007);  // lands mid-bucket; the estimate must clamp
+  EXPECT_EQ(r.Percentile(99.9), 1000000007u);
+}
+
+// --- payload function ---
+
+TEST(PayloadValueTest, PureFunctionOfKeyAndSize) {
+  EXPECT_EQ(PayloadValue(7, 64), PayloadValue(7, 64));
+  EXPECT_NE(PayloadValue(7, 64), PayloadValue(8, 64));
+  EXPECT_NE(PayloadValue(7, 64), PayloadValue(7, 128));
+}
+
+TEST(YcsbGeneratorTest, ToStringNames) {
+  EXPECT_STREQ(ToString(YcsbWorkload::kA), "A");
+  EXPECT_STREQ(ToString(YcsbWorkload::kB), "B");
+  EXPECT_STREQ(ToString(YcsbWorkload::kC), "C");
+  EXPECT_STREQ(ToString(YcsbWorkload::kD), "D");
+  EXPECT_STREQ(ToString(YcsbWorkload::kF), "F");
+  EXPECT_STREQ(ToString(YcsbWorkload::kScan), "scan");
+  EXPECT_STREQ(ToString(YcsbWorkload::kStorm), "storm");
+}
+
+}  // namespace
+}  // namespace exhash::workload

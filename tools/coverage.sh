@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # One-shot line-coverage report for src/core + src/storage + src/util +
-# src/verify
+# src/verify + src/workload
 # (tests/README.md).
 #
 # Configures/builds/tests the `coverage` preset (gcov instrumentation,
@@ -59,7 +59,8 @@ for doc in open(sys.argv[2]):
             path = path[len(root):]
         if not (path.startswith("src/core/") or path.startswith("src/storage/")
                 or path.startswith("src/util/")
-                or path.startswith("src/verify/")):
+                or path.startswith("src/verify/")
+                or path.startswith("src/workload/")):
             continue
         per_file = lines[path]
         for ln in f["lines"]:
@@ -67,7 +68,7 @@ for doc in open(sys.argv[2]):
             per_file[n] = per_file.get(n, False) or ln["count"] > 0
 if not lines:
     sys.exit("coverage.sh: no gcov data for src/core, src/storage, "
-             "src/util or src/verify")
+             "src/util, src/verify or src/workload")
 
 print(f"\n{'file':<44} {'lines':>7} {'hit':>7} {'cover':>7}")
 print("-" * 68)
@@ -79,6 +80,6 @@ for path in sorted(lines):
     hit += h
     print(f"{path:<44} {n:>7} {h:>7} {100.0 * h / n:>6.1f}%")
 print("-" * 68)
-print(f"{'TOTAL core + storage + util + verify':<44} {total:>7} {hit:>7} "
+print(f"{'TOTAL core+storage+util+verify+workload':<44} {total:>7} {hit:>7} "
       f"{100.0 * hit / total:>6.1f}%")
 PY
