@@ -1,29 +1,40 @@
-// E8 — the Fagin-79 substrate claims: bucket occupancy and lookup cost vs.
-// bucket capacity (page size).
+// E8 — capacity: the Fagin-79 occupancy substrate, and the bounded buffer
+// pool under sustained mixed load (DESIGN.md §11, ROADMAP item 2).
 //
-// Expected shape: storage utilization settles near ln 2 ~ 69% independent of
-// bucket capacity; directory size shrinks exponentially with capacity;
-// lookup I/O is flat at ~1 page read (plus rare chain hops) — the headline
-// property of extendible hashing ("at most two page faults to locate the
-// data", with the directory as the first).
+// Two claims under test:
+//   * occupancy: storage utilization settles near ln 2 ~ 69% independent
+//     of bucket capacity, with lookup cost flat at ~1 page read — the
+//     original "at most two page faults" property (kept from the previous
+//     incarnation of this bench, minus google-benchmark);
+//   * capacity: with the frame budget an eighth of the data's pages, a
+//     sustained 4-thread mixed workload keeps its answers and its laws
+//     (Validate, pin ledger, hits + misses == frame_reads) while the pool
+//     thrashes — and the unbounded-budget pool costs read-only throughput
+//     nothing (the E14 guard: pooled >= 95% of pool-off).
 //
-// Uses google-benchmark for the lookup-latency measurements.
-
-#include <benchmark/benchmark.h>
+// Usage: bench_capacity [threads] [keys]
+//
+// Small default (1M keys) so the whole bench suite stays quick; the
+// committed bench/baselines/BENCH_capacity.json is generated at 10M keys
+// (`bench_capacity 4 10000000`), the acceptance scale.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
+#include "bench/bench_util.h"
 #include "exhash/exhash.h"
 
 namespace {
 
 using namespace exhash;
 
-constexpr uint64_t kRecords = 120000;
+// --- E8a: occupancy vs bucket capacity (sequential substrate) ---
 
 void PrintOccupancyTable() {
+  constexpr uint64_t kRecords = 120000;
   std::printf("occupancy after %" PRIu64 " inserts:\n", kRecords);
   std::printf("%10s %10s %8s %12s %12s %14s\n", "page size", "capacity",
               "depth", "buckets", "occupancy", "dir entries");
@@ -45,50 +56,199 @@ void PrintOccupancyTable() {
   std::printf("(theory: asymptotic utilization ln 2 = 69.3%%)\n\n");
 }
 
-void BM_Lookup(benchmark::State& state) {
-  core::TableOptions options;
-  options.page_size = size_t(state.range(0));
-  options.initial_depth = 1;
-  options.max_depth = 26;
-  core::SequentialExtendibleHash table(options);
-  for (uint64_t k = 0; k < kRecords; ++k) table.Insert(k, k);
-  const auto before = table.IoStats();
-  uint64_t i = 0;
-  uint64_t found = 0;
-  for (auto _ : state) {
-    uint64_t v;
-    if (table.Find((i++ * 7) % kRecords, &v)) ++found;
-  }
-  benchmark::DoNotOptimize(found);
-  const auto after = table.IoStats();
-  state.counters["page_reads/op"] =
-      double(after.reads - before.reads) / double(state.iterations());
-}
-BENCHMARK(BM_Lookup)->Arg(112)->Arg(256)->Arg(1024)->Arg(4096);
+// --- E8b: the bounded pool ---
 
-void BM_InsertAmortized(benchmark::State& state) {
+core::TableOptions PooledOptions(size_t page_budget) {
   core::TableOptions options;
-  options.page_size = size_t(state.range(0));
-  options.initial_depth = 1;
+  options.page_size = 4096;
+  options.initial_depth = 2;
   options.max_depth = 26;
-  core::SequentialExtendibleHash table(options);
-  uint64_t k = 0;
-  for (auto _ : state) {
-    table.Insert(k * 0x9e3779b9ULL, k);
-    ++k;
-  }
-  state.counters["splits/op"] =
-      double(table.Stats().splits) / double(state.iterations());
+  options.page_budget = page_budget;
+  return options;
 }
-BENCHMARK(BM_InsertAmortized)->Arg(112)->Arg(256)->Arg(1024)->Arg(4096);
+
+struct Cell {
+  double ops_per_sec = 0;
+  uint64_t p50 = 0, p99 = 0;
+  double hit_rate = 0;
+  uint64_t evictions = 0, writebacks = 0;
+};
+
+// Asserts the §11 laws at the run's quiescent point; aborts loudly on any
+// violation so a baseline regeneration can never silently record a broken
+// run.  Returns true so callers can fold it into a "laws: OK" line.
+bool CheckLaws(core::TableBase* table, const char* where) {
+  std::string error;
+  if (!table->Validate(&error)) {
+    std::fprintf(stderr, "FATAL %s: Validate: %s\n", where, error.c_str());
+    std::abort();
+  }
+  const storage::PageStoreStats io = table->Store().stats();
+  if (io.pool_pins_acquired != io.pool_pins_released) {
+    std::fprintf(stderr,
+                 "FATAL %s: pin ledger %" PRIu64 " acquired vs %" PRIu64
+                 " released\n",
+                 where, io.pool_pins_acquired, io.pool_pins_released);
+    std::abort();
+  }
+  if (io.pool_hits + io.pool_misses != io.frame_reads) {
+    std::fprintf(stderr,
+                 "FATAL %s: accounting %" PRIu64 " hits + %" PRIu64
+                 " misses != %" PRIu64 " frame reads\n",
+                 where, io.pool_hits, io.pool_misses, io.frame_reads);
+    std::abort();
+  }
+  return true;
+}
+
+Cell RunMixedCell(core::TableBase* table, int threads, uint64_t keys,
+                  uint64_t ops_per_thread) {
+  bench::MixedRunConfig config;
+  config.threads = threads;
+  config.ops_per_thread = ops_per_thread;
+  config.mix = {.find_pct = 50, .insert_pct = 25, .remove_pct = 25};
+  config.key_space = keys * 2;
+  config.latency_sample_every = 64;
+  const storage::PageStoreStats before = table->Store().stats();
+  bench::MixedRunResult result;
+  bench::RunMixed(table, config, &result);
+  const storage::PageStoreStats after = table->Store().stats();
+  Cell c;
+  c.ops_per_sec = result.ops_per_sec();
+  c.p50 = result.latency.Percentile(50);
+  c.p99 = result.latency.Percentile(99);
+  const uint64_t hits = after.pool_hits - before.pool_hits;
+  const uint64_t misses = after.pool_misses - before.pool_misses;
+  c.hit_rate = hits + misses > 0 ? double(hits) / double(hits + misses) : 1.0;
+  c.evictions = after.pool_evictions - before.pool_evictions;
+  c.writebacks = after.pool_writebacks - before.pool_writebacks;
+  return c;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("=== E8: bucket capacity — occupancy and lookup cost ===\n\n");
+  const char* arg1 = bench::PositionalArg(argc, argv, 1);
+  const char* arg2 = bench::PositionalArg(argc, argv, 2);
+  const int threads = arg1 != nullptr ? std::atoi(arg1) : 4;
+  const uint64_t keys =
+      arg2 != nullptr ? std::strtoull(arg2, nullptr, 10) : 1000000;
+
+  std::printf("=== E8: capacity — occupancy, and the bounded buffer pool "
+              "===\n\n");
   PrintOccupancyTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+
+  // Size the data set once, pool off: the budgets below are fractions of
+  // this page population.
+  std::printf("preloading %" PRIu64 " keys (pool off) ...\n", keys);
+  auto sizing = std::make_unique<core::EllisHashTableV2>(PooledOptions(0));
+  bench::PreloadHalf(sizing.get(), keys * 2);
+  const uint64_t data_pages = sizing->Store().extent();
+  std::printf("data set: %" PRIu64 " pages (%.1f MiB live)\n\n", data_pages,
+              double(data_pages) * 4096 / (1024 * 1024));
+
+  // --- E14 guard: read-only throughput, pool off vs unbounded budget.
+  // Every read is an epoch-validated pin-free frame copy, so the pool
+  // must cost (almost) nothing.  Best of 3 trials per side: a single
+  // short window swings tens of percent with scheduler luck, which would
+  // drown the ~5% regression this guard exists to catch.  The sides run
+  // with sequential table lifetimes — two live tables double the cache
+  // footprint and depress whichever side runs second by far more than
+  // the regression margin. ---
+  const uint64_t ops_per_thread = std::max<uint64_t>(keys / 2, 250000);
+  bench::MixedRunConfig ro;
+  ro.threads = threads;
+  ro.ops_per_thread = ops_per_thread;
+  ro.mix = {.find_pct = 100, .insert_pct = 0, .remove_pct = 0};
+  ro.key_space = keys * 2;
+
+  double off_ops = 0, pooled_ops = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    bench::MixedRunResult off_result;
+    bench::RunMixed(sizing.get(), ro, &off_result);
+    off_ops = std::max(off_ops, off_result.ops_per_sec());
+  }
+  sizing.reset();
+  // Budget just above the data size: unbounded behavior (zero evictions)
+  // without doubling the arena.
+  auto unbounded =
+      std::make_unique<core::EllisHashTableV2>(PooledOptions(data_pages + 64));
+  bench::PreloadHalf(unbounded.get(), keys * 2);
+  uint64_t unpinned = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const storage::PageStoreStats before = unbounded->Store().stats();
+    bench::MixedRunResult pooled_result;
+    bench::RunMixed(unbounded.get(), ro, &pooled_result);
+    pooled_ops = std::max(pooled_ops, pooled_result.ops_per_sec());
+    unpinned = unbounded->Store().stats().pool_unpinned_reads -
+               before.pool_unpinned_reads;
+  }
+  const double ratio = off_ops > 0 ? pooled_ops / off_ops : 0;
+  CheckLaws(unbounded.get(), "unbounded read-only");
+  const storage::PageStoreStats ub = unbounded->Store().stats();
+  std::printf("read-only, %d threads, %" PRIu64 " ops/thread:\n", threads,
+              ops_per_thread);
+  std::printf("  %-18s %12.0f ops/sec\n", "pool off", off_ops);
+  std::printf("  %-18s %12.0f ops/sec  (%.1f%% of pool off; "
+              "%" PRIu64 " evictions; %" PRIu64 " pin-free reads last "
+              "trial)\n",
+              "unbounded budget", pooled_ops, 100 * ratio, ub.pool_evictions,
+              unpinned);
+  unbounded.reset();
+
+  // --- Sustained mixed workload at budgets well below the data size ---
+  std::printf("\nmixed 50f/25i/25d, %d threads, %" PRIu64
+              " ops/thread, latency sampled 1/64:\n",
+              threads, ops_per_thread);
+  std::printf("  %-12s %12s %10s %10s %10s %12s %12s\n", "budget", "ops/sec",
+              "p50 ns", "p99 ns", "hit rate", "evictions", "writebacks");
+  bench::PrintRule();
+  std::string mixed_json;
+  for (const size_t divisor : {4, 8}) {
+    const size_t budget = std::max<size_t>(64, data_pages / divisor);
+    auto table =
+        std::make_unique<core::EllisHashTableV2>(PooledOptions(budget));
+    bench::PreloadHalf(table.get(), keys * 2);
+    const Cell c = RunMixedCell(table.get(), threads, keys, ops_per_thread);
+    CheckLaws(table.get(), "mixed");
+    char label[32];
+    std::snprintf(label, sizeof label, "1/%zu", divisor);
+    std::printf("  %-12s %12.0f %10" PRIu64 " %10" PRIu64 " %9.1f%% %12" PRIu64
+                " %12" PRIu64 "\n",
+                label, c.ops_per_sec, c.p50, c.p99, 100 * c.hit_rate,
+                c.evictions, c.writebacks);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"budget_1_%zu\":{\"pages\":%zu,\"ops_per_sec\":%.0f,"
+                  "\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                  ",\"hit_rate\":%.4f,\"evictions\":%" PRIu64
+                  ",\"writebacks\":%" PRIu64 "}",
+                  mixed_json.empty() ? "" : ",", divisor, budget,
+                  c.ops_per_sec, c.p50, c.p99, c.hit_rate, c.evictions,
+                  c.writebacks);
+    mixed_json += buf;
+  }
+  std::printf("laws: OK (Validate, pin ledger, hits + misses == frame "
+              "reads)\n");
+
+  std::printf("\nexpected shape: unbounded-budget read-only within ~5%% of "
+              "pool off (hits are\nlock-free); mixed throughput degrades "
+              "gracefully as the budget shrinks while\nthe hit rate tracks "
+              "the budget fraction and every law stays green.\n");
+
+  char json[1024];
+  std::snprintf(json, sizeof json,
+                "{\"bench\":\"capacity\",\"threads\":%d,\"keys\":%" PRIu64
+                ",\"data_pages\":%" PRIu64
+                ",\"readonly\":{\"pool_off\":{\"ops_per_sec\":%.0f},"
+                "\"unbounded\":{\"ops_per_sec\":%.0f,\"ratio\":%.3f}},"
+                "\"mixed\":{%s},\"laws\":\"ok\"}",
+                threads, keys, data_pages, off_ops, pooled_ops, ratio,
+                mixed_json.c_str());
+  std::printf("\n%s\n", json);
+  if (std::FILE* f = std::fopen("BENCH_capacity.json", "w")) {
+    std::fprintf(f, "%s\n", json);
+    std::fclose(f);
+  }
   return 0;
 }

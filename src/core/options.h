@@ -64,6 +64,13 @@ struct TableOptions {
   bool poison_on_dealloc = false;
   // Nonempty: buckets live in this file (true disk-resident operation).
   std::string backing_file;
+  // Nonzero: cap resident bucket pages at this many frames (DESIGN.md
+  // §11).  Page accesses then go through a sharded pin/evict buffer pool
+  // in front of the backing media — the table serves data sets larger
+  // than the frames it holds, the paper's disk-resident operating point.
+  // Zero (the default) keeps every page resident and the pool entirely
+  // out of the code path.
+  size_t page_budget = 0;
 
   // --- Durability (DESIGN.md §9) ---
   // Enable the WAL + checksummed-slot durability layer.  Bucket pages then
@@ -181,6 +188,16 @@ struct TableOptions {
   // nothing to apply it over; Recover() must refuse (kCorrupt), never
   // serve a guessed page.  Never set outside tests.
   bool test_delta_before_base = false;
+
+  // TEST ONLY — the buffer-pool analogue of the above (DESIGN.md §11).
+  // When true (and page_budget is set), dirty frames are evicted
+  // *without* flushing the WAL first, breaking the steal ⇒ flush-log
+  // rule: a crash after such an eviction leaves the spilled image's
+  // producing records volatile, and recovery cannot reconstruct state
+  // live readers already observed through the reloaded spill.  The
+  // dirty-eviction witness tests must catch this ordering.  Never set
+  // outside tests.
+  bool test_evict_before_flush = false;
 };
 
 }  // namespace exhash::core

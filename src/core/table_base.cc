@@ -40,6 +40,8 @@ storage::PageStore::Options MakeStoreOptions(const TableOptions& o) {
   s.recover_image = o.recover_from;
   s.test_commit_before_images = o.test_commit_before_images;
   s.test_delta_before_base = o.test_delta_before_base;
+  s.page_budget = o.page_budget;
+  s.test_evict_before_flush = o.test_evict_before_flush;
   return s;
 }
 
@@ -137,6 +139,18 @@ TableBase::TableBase(const TableOptions& options)
             c[prefix + ".wal.flush_latency_us_bucket_" + std::to_string(i)] =
                 io.wal_flush_latency_us_hist[i];
           }
+          // Buffer pool (DESIGN.md §11): all zero when page_budget is 0,
+          // but always exported — the namespace is not config-dependent.
+          c[prefix + ".pool.hits"] = io.pool_hits;
+          c[prefix + ".pool.misses"] = io.pool_misses;
+          c[prefix + ".pool.evictions"] = io.pool_evictions;
+          c[prefix + ".pool.writebacks"] = io.pool_writebacks;
+          c[prefix + ".pool.pinned_peak"] = io.pool_pinned_peak;
+          c[prefix + ".pool.pins_acquired"] = io.pool_pins_acquired;
+          c[prefix + ".pool.pins_released"] = io.pool_pins_released;
+          c[prefix + ".pool.resident"] = io.pool_resident;
+          c[prefix + ".pool.unpinned_reads"] = io.pool_unpinned_reads;
+          c[prefix + ".pool.frame_reads"] = io.frame_reads;
           // What the last recovery (if any) replayed/repaired.
           c[prefix + ".recovery.replayed_images"] =
               recovery_report_.replayed_images;
@@ -375,13 +389,23 @@ bool TableBase::UpdateImpl(uint64_t key,
   RecordUpdateChase(chase_hops);
   NoteOp(oldpage);
 
+  // Pin bracket (DESIGN.md §11): once the chase has settled on the bucket
+  // we hold alpha-locked, keep its page resident across the
+  // read-modify-write so a tiny page budget cannot thrash it between the
+  // Search above and the PutBucket below.  The bracket covers exactly one
+  // page — the per-thread single-pin discipline the pool's budget-1
+  // progress argument rests on (the find/scan paths copy pages out and
+  // never re-access them, so they carry no bracket at all).
+  store_.PinPage(oldpage);
   uint64_t old = 0;
   if (!current.Search(key, &old)) {
+    store_.UnpinPage(oldpage);
     old_lock->UnAlphaLock();
     return false;
   }
   current.SetValue(key, f(old));
   PutBucket(oldpage, current);
+  store_.UnpinPage(oldpage);
   old_lock->UnAlphaLock();
   return true;
 }

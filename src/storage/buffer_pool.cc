@@ -1,0 +1,349 @@
+#include "storage/buffer_pool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/test_hooks.h"
+
+namespace exhash::storage {
+
+BufferPool::BufferPool(const Options& options, const Backing& backing)
+    : options_(options), backing_(backing) {
+  if (options_.budget == 0 || options_.page_size == 0 ||
+      backing_.load == nullptr || backing_.store == nullptr) {
+    std::fprintf(stderr, "BufferPool: bad options (budget=%zu)\n",
+                 options_.budget);
+    std::abort();
+  }
+  num_frames_ = options_.budget;
+  size_t shards = options_.shards == 0 ? 1 : options_.shards;
+  if (shards > num_frames_) shards = num_frames_;
+
+  frames_ = std::make_unique<Frame[]>(num_frames_);
+  arena_ = std::make_unique<std::byte[]>(num_frames_ * options_.page_size);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    frames_[i].data = arena_.get() + i * options_.page_size;
+  }
+
+  // Partition the frames into contiguous per-shard slices.  Residency is
+  // also sharded (page % shards picks the shard), so a page only ever
+  // lands in its own shard's slice and every mapping-table transition for
+  // it happens under that one mutex.
+  shards_ = std::vector<Shard>(shards);
+  size_t base = num_frames_ / shards;
+  size_t extra = num_frames_ % shards;
+  size_t at = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    shards_[s].begin = at;
+    at += base + (s < extra ? 1 : 0);
+    shards_[s].end = at;
+    shards_[s].hand = shards_[s].begin;
+  }
+
+  map_chunks_ =
+      std::make_unique<std::atomic<std::atomic<uint32_t>*>[]>(kMaxChunks);
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    map_chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // A live pin here is a caller bug (unbalanced bracket); freeing the
+  // arena under it would hand out dangling memory, so die loudly with the
+  // page named rather than corrupt silently.
+  for (size_t i = 0; i < num_frames_; ++i) {
+    uint64_t state = frames_[i].state.load(std::memory_order_acquire);
+    if (state / kPinStep != 0) {
+      std::fprintf(stderr,
+                   "BufferPool: shutdown with %llu live pin(s) on page %u "
+                   "(frame %zu)\n",
+                   static_cast<unsigned long long>(state / kPinStep),
+                   frames_[i].page.load(std::memory_order_relaxed), i);
+      std::abort();
+    }
+  }
+  for (size_t i = 0; i < num_map_chunks_; ++i) {
+    delete[] map_chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::EnsureCapacity(size_t n_pages) {
+  size_t need = (n_pages + kPagesPerChunk - 1) / kPagesPerChunk;
+  if (need <= num_map_chunks_) return;  // racy fast path; recheck below
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  if (need > kMaxChunks) {
+    std::fprintf(stderr, "BufferPool: capacity overflow (%zu pages)\n",
+                 n_pages);
+    std::abort();
+  }
+  while (num_map_chunks_ < need) {
+    auto* chunk = new std::atomic<uint32_t>[kPagesPerChunk];
+    for (size_t i = 0; i < kPagesPerChunk; ++i) {
+      chunk[i].store(kNoFrame, std::memory_order_relaxed);
+    }
+    map_chunks_[num_map_chunks_].store(chunk, std::memory_order_release);
+    ++num_map_chunks_;
+  }
+}
+
+void BufferPool::NotePin(Frame& f, uint64_t observed_state) {
+  // All on the frame's own cache line, which the pin fetch_add just took
+  // exclusive — relaxed RMWs here are effectively free, where pool-global
+  // counters would serialize every hit from every thread.
+  f.pins_acquired.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now = observed_state / kPinStep + 1;
+  uint64_t peak = f.pin_peak.load(std::memory_order_relaxed);
+  while (now > peak && !f.pin_peak.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+std::byte* BufferPool::Pin(PageId page) {
+  for (;;) {
+    // Lock-free hit path: mapping lookup, speculative pin, then verify the
+    // frame still holds this page.  The evicting bit and the page recheck
+    // close the race with a concurrent evictor: the evictor's claim CAS
+    // only succeeds from pin-count 0, and it unmaps + changes f.page
+    // before clearing the bit, so a pinner that slipped in after the claim
+    // sees one of the two and bounces back to the mapping table.
+    std::atomic<uint32_t>* slot = MapSlot(page);
+    if (slot == nullptr) {
+      std::fprintf(stderr, "BufferPool: Pin(%u) beyond EnsureCapacity\n",
+                   page);
+      std::abort();
+    }
+    uint32_t fi = slot->load(std::memory_order_acquire);
+    if (fi != kNoFrame) {
+      Frame& f = frames_[fi];
+      uint64_t old = f.state.fetch_add(kPinStep, std::memory_order_acquire);
+      if ((old & kEvictingBit) == 0 &&
+          f.page.load(std::memory_order_acquire) == page) {
+        // Grant the second chance only if it was actually spent: on a hot
+        // frame the ref bit is already set, and skipping the RMW keeps the
+        // hit path at one state-word mutation.
+        if ((old & kRefBit) == 0) {
+          f.state.fetch_or(kRefBit, std::memory_order_relaxed);
+        }
+        NotePin(f, old);
+        return f.data;
+      }
+      // Lost to an evictor (or the frame was re-targeted): undo and retry.
+      f.state.fetch_sub(kPinStep, std::memory_order_release);
+      continue;
+    }
+
+    // Miss path: serialize through the page's shard.
+    Shard& shard = ShardFor(page);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    // Someone may have faulted it in while we waited for the mutex.
+    if (slot->load(std::memory_order_acquire) != kNoFrame) {
+      continue;  // fast path will pin it (or chase the next eviction)
+    }
+    uint32_t victim = ClaimVictim(shard);
+    if (victim == kNoFrame) {
+      // Every frame in the shard is pinned right now.  Per-caller pin
+      // discipline (one page per thread) guarantees some pin releases
+      // without needing this fault to finish, so spin politely.
+      lock.unlock();
+      std::this_thread::yield();
+      continue;
+    }
+    Frame& f = frames_[victim];
+    PageId old_page = f.page.load(std::memory_order_relaxed);
+    if (old_page != kInvalidPage) {
+      // Unmap first: from here no new pin can reach the frame through the
+      // table, and the evicting bit bounces stragglers mid-fast-path.
+      MapSlot(old_page)->store(kNoFrame, std::memory_order_release);
+      util::TestHooks::Emit(util::HookPoint::kPoolEvict, this);
+      if (f.dirty.load(std::memory_order_relaxed)) {
+        if (backing_.before_writeback != nullptr &&
+            !options_.test_evict_before_flush) {
+          backing_.before_writeback(backing_.ctx);
+        }
+        backing_.store(backing_.ctx, old_page, f.data);
+        writebacks_.fetch_add(1, std::memory_order_relaxed);
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      // Retarget barrier for pin-free readers: the first fence orders the
+      // unmap above before the bump (a reader that saw the new epoch must
+      // not still see the stale mapping), the second orders the bump
+      // before every frame mutation below (a reader whose copy caught any
+      // mutated byte must see the moved epoch when it validates).  A
+      // fresh frame (old_page == kInvalidPage) was never mapped, so no
+      // reader can be copying it — no bump, and warmup fills stay
+      // invisible to the epoch.
+      std::atomic_thread_fence(std::memory_order_release);
+      evict_epoch_.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+    f.page.store(page, std::memory_order_release);
+    util::TestHooks::Emit(util::HookPoint::kPoolReload, this);
+    backing_.load(backing_.ctx, page, f.data);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    // Publish: one pin (ours), referenced, evicting bit cleared — then the
+    // mapping, so a fast-path pinner that finds the slot sees a frame
+    // already carrying the right page.  Additive, not a store: a straggler
+    // that speculatively pinned mid-eviction and has not yet undone its
+    // increment must not have it clobbered (it will subtract its own step).
+    // While the evicting bit is held, state ≡ kEvictingBit (mod kPinStep)
+    // with the ref bit clear, so this lands exactly on kPinStep | kRefBit
+    // once stragglers retreat.
+    const uint64_t prior = f.state.fetch_add(kPinStep + kRefBit - kEvictingBit,
+                                             std::memory_order_release);
+    slot->store(victim, std::memory_order_release);
+    NotePin(f, prior);
+    return f.data;
+  }
+}
+
+void BufferPool::Unpin(PageId page, bool dirty) {
+  std::atomic<uint32_t>* slot = MapSlot(page);
+  uint32_t fi = slot == nullptr ? kNoFrame
+                                : slot->load(std::memory_order_acquire);
+  if (fi == kNoFrame) {
+    // A pinned page cannot be unmapped (the evictor's claim CAS fails
+    // against the live pin), so this is an unbalanced Unpin.
+    std::fprintf(stderr, "BufferPool: Unpin(%u) without a pin\n", page);
+    std::abort();
+  }
+  Frame& f = frames_[fi];
+  if (dirty) {
+    // Ordered before the pin release: the evictor's acquire claim then
+    // observes the mark.
+    f.dirty.store(true, std::memory_order_relaxed);
+  }
+  f.pins_released.fetch_add(1, std::memory_order_relaxed);
+  f.state.fetch_sub(kPinStep, std::memory_order_release);
+}
+
+const std::byte* BufferPool::ResidentFrame(PageId page, uint64_t epoch_seen) {
+  std::atomic<uint32_t>* slot = MapSlot(page);
+  if (slot == nullptr) {
+    return nullptr;
+  }
+  const uint32_t fi = slot->load(std::memory_order_acquire);
+  if (fi == kNoFrame) {
+    return nullptr;
+  }
+  if (epoch_seen == 0) {
+    // The pool has never retargeted a frame, so the clock has never swept
+    // and second-chance credit is moot: skip the frame line entirely and
+    // derive the data pointer from the arena layout (frames_[fi].data is
+    // arena + fi * page_size by construction).  This keeps the
+    // no-eviction steady state down to the mapping lookup alone.
+    return arena_.get() + size_t(fi) * options_.page_size;
+  }
+  Frame& f = frames_[fi];
+  // Best-effort second chance, so pages read only pin-free still look hot
+  // to the clock.  Must be a CAS, not a blind fetch_or: the miss-path
+  // publish *adds* kRefBit arithmetically on the premise that a claimed
+  // frame's ref bit is clear, so setting it on a frame an evictor already
+  // claimed would carry into the pin count.  The CAS only lands if the
+  // state did not change since we saw it unclaimed.
+  uint64_t st = f.state.load(std::memory_order_relaxed);
+  if ((st & (kRefBit | kEvictingBit)) == 0) {
+    f.state.compare_exchange_weak(st, st | kRefBit,
+                                  std::memory_order_relaxed);
+  }
+  return f.data;
+}
+
+uint32_t BufferPool::ClaimVictim(Shard& shard) {
+  // Clock with second chance: pass 1 clears ref bits, pass 2 takes the
+  // first frame that stayed cold, pass 3 catches frames unpinned during
+  // the sweep.  A frame is claimable only at state exactly 0 — no pins,
+  // no ref credit, not already claimed — so the CAS *is* the proof that
+  // the victim was unpinned with its second chance spent.
+  size_t span = shard.end - shard.begin;
+  for (size_t step = 0; step < 3 * span; ++step) {
+    Frame& f = frames_[shard.hand];
+    shard.hand = shard.hand + 1 == shard.end ? shard.begin : shard.hand + 1;
+    uint64_t state = f.state.load(std::memory_order_relaxed);
+    if (state == kRefBit) {
+      f.state.compare_exchange_strong(state, 0, std::memory_order_relaxed);
+      continue;  // second chance spent; eligible next lap
+    }
+    if (state == 0) {
+      uint64_t expected = 0;
+      if (f.state.compare_exchange_strong(expected, kEvictingBit,
+                                          std::memory_order_acquire)) {
+        return static_cast<uint32_t>(&f - frames_.get());
+      }
+    }
+  }
+  return kNoFrame;
+}
+
+void BufferPool::FlushAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (size_t i = shard.begin; i < shard.end; ++i) {
+      Frame& f = frames_[i];
+      if (!f.dirty.load(std::memory_order_acquire)) continue;
+      PageId page = f.page.load(std::memory_order_relaxed);
+      if (backing_.before_writeback != nullptr &&
+          !options_.test_evict_before_flush) {
+        backing_.before_writeback(backing_.ctx);
+      }
+      backing_.store(backing_.ctx, page, f.data);
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+      f.dirty.store(false, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool BufferPool::CheckQuiescent(std::string* error) const {
+  for (size_t i = 0; i < num_frames_; ++i) {
+    uint64_t state = frames_[i].state.load(std::memory_order_acquire);
+    if (state / kPinStep != 0) {
+      if (error != nullptr) {
+        *error = "live pin on page " +
+                 std::to_string(
+                     frames_[i].page.load(std::memory_order_relaxed)) +
+                 " (frame " + std::to_string(i) + ")";
+      }
+      return false;
+    }
+  }
+  uint64_t acquired = 0;
+  uint64_t released = 0;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    acquired += frames_[i].pins_acquired.load(std::memory_order_relaxed);
+    released += frames_[i].pins_released.load(std::memory_order_relaxed);
+  }
+  if (acquired != released) {
+    if (error != nullptr) {
+      *error = "pin ledger unbalanced: acquired " + std::to_string(acquired) +
+               " != released " + std::to_string(released);
+    }
+    return false;
+  }
+  return true;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    const Frame& f = frames_[i];
+    s.pins_acquired += f.pins_acquired.load(std::memory_order_relaxed);
+    s.pins_released += f.pins_released.load(std::memory_order_relaxed);
+    s.pinned_peak += f.pin_peak.load(std::memory_order_relaxed);
+    if (f.page.load(std::memory_order_relaxed) != kInvalidPage) {
+      ++s.resident;
+    }
+  }
+  // Derived fields, exact at quiescent points; mid-flight the arithmetic
+  // is as racy as any other snapshot field (clamped against underflow).
+  s.hits = s.pins_acquired > s.misses ? s.pins_acquired - s.misses : 0;
+  s.pinned_now = s.pins_acquired > s.pins_released
+                     ? s.pins_acquired - s.pins_released
+                     : 0;
+  return s;
+}
+
+}  // namespace exhash::storage

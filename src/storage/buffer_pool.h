@@ -1,0 +1,253 @@
+// BufferPool: bounded frame cache between the PageStore's callers and its
+// backing media (ROADMAP item 2, DESIGN.md §11).
+//
+// The paper assumes buckets that outgrow memory; until this layer, every
+// table in the repo was fully RAM-resident.  The pool holds a fixed budget
+// of page frames, serves hits lock-free, and faults misses in under a
+// per-shard mutex with clock (second-chance) eviction.  The discipline
+// that keeps eviction safe under the lock-free read path (§4e) is
+// pin-while-accessing: every byte of frame memory is read or written only
+// between Pin and Unpin, and a frame with a live pin is unevictable *by
+// construction* — the evictor claims a frame with a single CAS that only
+// succeeds when the pin count is zero, and a pinner that loses the race
+// observes the evicting bit and retries through the mapping table.
+//
+// Optimistic pin elision (the read fast path): pinning costs two RMWs on
+// the frame's cache line, which is the entire steady-state overhead of the
+// pool for readers.  The pool therefore exports a pool-wide eviction
+// epoch: every frame *retarget* (a mapped page displaced so the frame can
+// host another) bumps it before mutating the frame.  A reader may copy a
+// resident frame without pinning if it brackets the copy with epoch
+// samples — equal samples prove no retarget anywhere in the pool
+// overlapped the copy, so the bytes are as good as pinned; a moved epoch
+// sends the reader to the pinned path.  In the no-eviction steady state
+// the epoch line stays shared in every core's cache and reads cost no
+// coherence traffic at all.
+//
+// Laws the pool exports (asserted by tests at every quiescent point):
+//   * pin ledger: pins_acquired == pins_released;
+//   * accounting: every Pin is exactly one hit or one miss, so the owner's
+//     access counter equals hits + misses;
+//   * residency: at most `budget` frames exist, ever (no overflow frames —
+//     callers hold at most one pin per thread, so a victim always appears
+//     once some pin is released, and budget-1 cannot deadlock);
+//   * shutdown: destroying the pool with a live pin is a protocol bug; the
+//     destructor names the pinned page and aborts.
+//
+// WAL interaction (§9/§11): a dirty frame's writeback calls
+// `before_writeback` first — the owner points it at FlushWal, so the log
+// records that produced the frame's image are durable before that image
+// becomes the page's only copy outside the pool (the classic steal ⇒
+// flush-WAL rule).  The deliberately broken ordering
+// (Options::test_evict_before_flush) skips the flush so the witness tests
+// can observe spilled-but-forgettable state.  Sequence words are NOT pool
+// state: they live in the owner's always-resident chunks, and eviction
+// never touches them — reload restores byte-identical content, so a
+// reader's seq validation spans evict/reload transparently.
+
+#ifndef EXHASH_STORAGE_BUFFER_POOL_H_
+#define EXHASH_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace exhash::storage {
+
+// Racy snapshot of pool activity (exact at quiescent points).  The hot
+// counters (hits, pins) are kept per frame — on the cache line the pin RMW
+// already owns — so the hit path touches no shared counter line; stats()
+// sums them.
+struct BufferPoolStats {
+  uint64_t hits = 0;         // Pin served from a resident frame — derived
+                             // as pins_acquired - misses (every Pin is
+                             // exactly one or the other), keeping the hit
+                             // path one counter lighter
+  uint64_t misses = 0;       // Pin faulted the page in from the backing
+  uint64_t evictions = 0;    // frames whose previous page was displaced
+  uint64_t writebacks = 0;   // evictions that had to store a dirty frame
+  uint64_t pins_acquired = 0;
+  uint64_t pins_released = 0;
+  uint64_t pinned_now = 0;   // live pins at snapshot time (acquired-released)
+  uint64_t pinned_peak = 0;  // sum of per-frame concurrent-pin high-water
+                             // marks: an upper bound on concurrently live
+                             // pins pool-wide, exact for same-page nesting
+  uint64_t resident = 0;     // frames currently holding a page
+};
+
+class BufferPool {
+ public:
+  // The backing media seam.  `load` must fill `out` with the page's
+  // current content; `store` must persist `in` as the page's content;
+  // `before_writeback` (optional) runs before every dirty store — the
+  // WAL-flush ordering hook.  Callbacks run under a shard mutex and must
+  // not re-enter the pool.
+  struct Backing {
+    void* ctx = nullptr;
+    void (*load)(void* ctx, PageId page, std::byte* out) = nullptr;
+    void (*store)(void* ctx, PageId page, const std::byte* in) = nullptr;
+    void (*before_writeback)(void* ctx) = nullptr;
+  };
+
+  struct Options {
+    size_t page_size = 256;
+    // Frame budget: the hard ceiling on resident pages.
+    size_t budget = 64;
+    // Shard count (clamped to [1, budget]).  Pages map to shards by
+    // id % shards; each shard owns an equal slice of the frames, so all
+    // pool activity for one page serializes through one mutex.
+    size_t shards = 8;
+    // TEST ONLY: skip the before_writeback call on dirty eviction — the
+    // broken steal-without-flush ordering the witness tests must catch.
+    bool test_evict_before_flush = false;
+  };
+
+  BufferPool(const Options& options, const Backing& backing);
+  // Aborts (naming the page) if any frame still carries a live pin: a
+  // leaked pin means some caller's access bracket never closed, and
+  // freeing the arena under it would be a use-after-free.
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins the page's frame and returns its memory, faulting the page in on
+  // a miss (evicting a victim when no frame is free).  Hits are lock-free.
+  // The caller must have covered `page` with EnsureCapacity, must not pin
+  // two distinct pages at once from one thread (same-page nesting is
+  // fine — pins are counted), and must Unpin exactly once per Pin.
+  std::byte* Pin(PageId page);
+
+  // Releases one pin.  `dirty` marks the frame as modified since load; the
+  // eviction path then writes it back through the backing before reuse.
+  void Unpin(PageId page, bool dirty = false);
+
+  // Pin-free read protocol (see the header comment).  The caller samples
+  // the epoch, acquire-fences, probes, copies the frame word-atomically,
+  // acquire-fences, and re-samples: equal epochs certify the copy.  Any
+  // other outcome (not resident, epoch moved) must fall back to Pin.
+  //
+  //   e0 = pool.evict_epoch();
+  //   fence(acquire);
+  //   if (const std::byte* f = pool.ResidentFrame(page, e0)) {
+  //     copy words of f;           // word-atomic loads
+  //     fence(acquire);
+  //     ok = pool.evict_epoch() == e0;
+  //   }
+  //
+  // Once the pool has ever evicted (epoch_seen != 0), ResidentFrame also
+  // grants the frame its clock second chance (best effort), so pages read
+  // only through this path still look hot to the evictor; before any
+  // eviction the frame line is not even touched.  The returned pointer is
+  // only valid under the epoch check — the frame may be retargeted at any
+  // moment, and only equal epochs prove it was not.
+  uint64_t evict_epoch() const {
+    return evict_epoch_.load(std::memory_order_relaxed);
+  }
+  const std::byte* ResidentFrame(PageId page, uint64_t epoch_seen);
+
+  // Publishes mapping-table capacity for pages [0, n_pages).  Must cover
+  // every id later passed to Pin; safe against concurrent Pin/Unpin.
+  void EnsureCapacity(size_t n_pages);
+
+  // Writes every dirty frame back through the backing (with the
+  // before_writeback ordering) and marks them clean.  Quiescent callers
+  // only (shutdown, or a test's settle point).
+  void FlushAll();
+
+  // The pin-ledger + accounting law, checkable without dying: returns
+  // false (naming the page / counter) if a pin is live or the ledger does
+  // not balance.  Tests call this at every quiescent point.
+  bool CheckQuiescent(std::string* error) const;
+
+  BufferPoolStats stats() const;
+  size_t budget() const { return num_frames_; }
+  size_t page_size() const { return options_.page_size; }
+
+ private:
+  // Frame state word: bit 0 = evicting (claimed by an evictor; pinners
+  // must bounce), bit 1 = referenced (clock second chance), bits 2..63 =
+  // pin count.  The evictor's claim is a CAS from exactly 0, so a claim
+  // and a live pin are mutually exclusive by construction.
+  static constexpr uint64_t kEvictingBit = 1;
+  static constexpr uint64_t kRefBit = 2;
+  static constexpr uint64_t kPinStep = 4;
+
+  struct alignas(64) Frame {
+    std::atomic<uint64_t> state{0};
+    std::atomic<PageId> page{kInvalidPage};
+    // Set under a live pin (before its release), read by the evictor
+    // after its acquire-CAS claim — the release/acquire pair makes the
+    // last unpinner's mark visible.
+    std::atomic<bool> dirty{false};
+    std::byte* data = nullptr;
+    // Hot-path counters, deliberately on the frame's own cache line: the
+    // pin fetch_add already owns it in exclusive state, so these relaxed
+    // RMWs add no coherence traffic — unlike pool-global counters, which
+    // every thread would contend on every hit.  They accumulate across
+    // retargets (pool-lifetime totals, summed by stats()).
+    std::atomic<uint64_t> pins_acquired{0};
+    std::atomic<uint64_t> pins_released{0};
+    std::atomic<uint64_t> pin_peak{0};  // high-water of this frame's pins
+  };
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    size_t hand = 0;          // clock hand, relative to [begin, end)
+    size_t begin = 0;
+    size_t end = 0;
+  };
+
+  // Mapping table: page -> frame index (kNoFrame when not resident),
+  // chunked and published through atomic pointers like the PageStore's
+  // page memory so lookups never race chunk growth.
+  static constexpr uint32_t kNoFrame = 0xffffffffu;
+  static constexpr size_t kPagesPerChunk = 1024;
+  static constexpr size_t kMaxChunks = 1 << 16;
+
+  std::atomic<uint32_t>* MapSlot(PageId page) const {
+    std::atomic<uint32_t>* chunk =
+        map_chunks_[page / kPagesPerChunk].load(std::memory_order_acquire);
+    return chunk == nullptr ? nullptr : chunk + page % kPagesPerChunk;
+  }
+  Shard& ShardFor(PageId page) { return shards_[page % shards_.size()]; }
+  // Clock sweep over the shard's frames; returns a frame claimed with the
+  // evicting bit set, or kNoFrame when every frame is pinned right now.
+  // Caller holds the shard mutex.
+  uint32_t ClaimVictim(Shard& shard);
+  // Ledger + peak bookkeeping for one acquired pin on `f`, given the state
+  // word observed by the pin's fetch_add.  Same cache line as the RMW.
+  static void NotePin(Frame& f, uint64_t observed_state);
+
+  const Options options_;
+  const Backing backing_;
+  size_t num_frames_ = 0;
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<std::byte[]> arena_;  // num_frames_ * page_size
+  std::vector<Shard> shards_;
+
+  std::mutex map_mutex_;  // guards chunk growth only
+  std::unique_ptr<std::atomic<std::atomic<uint32_t>*>[]> map_chunks_;
+  size_t num_map_chunks_ = 0;
+
+  // Miss-path counters only (already serialized through a shard mutex);
+  // the hit-path counters live on the frames themselves.
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
+
+  // Eviction epoch for pin-free reads: bumped (between release fences) by
+  // every frame retarget, before the frame's bytes or identity change.
+  // Read-mostly — its line stays shared across cores while no eviction
+  // runs, which is exactly when the pin-free path wins.
+  alignas(64) std::atomic<uint64_t> evict_epoch_{0};
+};
+
+}  // namespace exhash::storage
+
+#endif  // EXHASH_STORAGE_BUFFER_POOL_H_

@@ -20,6 +20,14 @@ namespace exhash::storage {
 
 namespace {
 
+// Single-entry per-thread cache for the frame-read counter node,
+// deliberately two constant-initialized PODs: local-exec TLS with no
+// init guard and no heap indirection, so the hot-path check is two
+// loads and a compare.  void*: FrameReadNode is store-private; member
+// code casts.
+thread_local uint64_t tls_frame_read_id = 0;
+thread_local void* tls_frame_read_node = nullptr;
+
 // Full-page pwrite with the short-write/errno audit: retries EINTR and
 // partial progress, types the failure.  Used by the legacy (non-WAL) file
 // backing, whose callers abort on failure — without a transactional frame
@@ -64,6 +72,26 @@ PageStore::PageStore(Options options)
   for (size_t i = 0; i < kMaxChunks; ++i) {
     chunks_[i].store(nullptr, std::memory_order_relaxed);
     seq_chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  if (options_.page_budget > 0) {
+    // Pool mode (DESIGN.md §11): frames are the live page memory; the
+    // platter underneath is the memory chunks (pure memory and WAL modes)
+    // or the backing file (non-WAL file mode).  In WAL mode the dirty
+    // writeback is preceded by a log flush — the steal ⇒ flush-WAL rule —
+    // so a spilled frame's producing records are always durable before
+    // the spill becomes the page's only in-pool-reachable copy.
+    BufferPool::Options popts;
+    popts.page_size = options_.page_size;
+    popts.budget = options_.page_budget;
+    popts.test_evict_before_flush = options_.test_evict_before_flush;
+    BufferPool::Backing backing;
+    backing.ctx = this;
+    backing.load = &PageStore::PoolLoad;
+    backing.store = &PageStore::PoolStore;
+    if (options_.wal) {
+      backing.before_writeback = &PageStore::PoolBeforeWriteback;
+    }
+    pool_ = std::make_unique<BufferPool>(popts, backing);
   }
   if (options_.wal) {
     // Durable-media operation (DESIGN.md §9): live pages stay in memory
@@ -119,7 +147,21 @@ PageStore::~PageStore() {
   // Clean shutdown: whatever the group-commit policy buffered becomes
   // durable, so a reopen-with-recover sees every committed transaction.
   if (wal_ != nullptr && !needs_recovery_) NoteIo(wal_->Flush());
+  // Dirty frames drain to the platter before it goes away; destroying the
+  // pool also runs its pin-leak check (aborts naming the page) while the
+  // frame arena is still valid.
+  if (pool_ != nullptr) {
+    if (!needs_recovery_) pool_->FlushAll();
+    pool_.reset();
+  }
   if (fd_ >= 0) ::close(fd_);
+  for (FrameReadNode* node =
+           frame_read_head_.load(std::memory_order_relaxed);
+       node != nullptr;) {
+    FrameReadNode* next = node->next;
+    delete node;
+    node = next;
+  }
   for (size_t i = 0; i < num_chunks_; ++i) {
     delete[] chunks_[i].load(std::memory_order_relaxed);
   }
@@ -158,6 +200,9 @@ PageId PageStore::Alloc() {
                                        std::memory_order_release);
     ++num_seq_chunks_;
   }
+  // Free-list reuses were covered when first allocated; only a fresh id
+  // extends the pool's mapping table.
+  if (pool_ != nullptr) pool_->EnsureCapacity(next_unused_ + 1);
   return static_cast<PageId>(next_unused_++);  // pwrite extends the file
 }
 
@@ -171,7 +216,16 @@ void PageStore::Dealloc(PageId page) {
     // validation — never a half-poisoned page.
     const std::vector<std::byte> poison(options_.page_size, std::byte{0xDB});
     std::lock_guard<std::mutex> latch(LatchFor(page));
-    if (fd_ >= 0) {
+    if (pool_ != nullptr) {
+      std::byte* frame = PoolPin(page);
+      std::atomic<uint64_t>& seq = SeqRef(page);
+      const uint64_t s0 = seq.load(std::memory_order_relaxed);
+      seq.store(s0 + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      CopyIntoPage(frame, poison.data());
+      seq.store(s0 + 2, std::memory_order_release);
+      pool_->Unpin(page, /*dirty=*/true);
+    } else if (fd_ >= 0) {
       std::atomic<uint64_t>& seq = SeqRef(page);
       const uint64_t s0 = seq.load(std::memory_order_relaxed);
       seq.store(s0 + 1, std::memory_order_relaxed);
@@ -209,6 +263,18 @@ void PageStore::Dealloc(PageId page) {
 void PageStore::Read(PageId page, void* out) {
   assert(page != kInvalidPage);
   assert(!needs_recovery_ && "call Recover() before using the store");
+  if (pool_ != nullptr) {
+    // Pool mode: the frame is the live page.  Simulated device latency
+    // moves into the fault callbacks — a hit is a memory access, which is
+    // the point of the pool.  The latch still excludes writers, so the
+    // plain copy is consistent.
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    const std::byte* frame = PoolPin(page);
+    std::memcpy(out, frame, options_.page_size);
+    pool_->Unpin(page);
+    return;
+  }
   SimulateLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> latch(LatchFor(page));
@@ -265,6 +331,18 @@ void PageStore::Write(PageId page, const void* in) {
     return;
   }
   assert(page != kInvalidPage);
+  if (pool_ != nullptr) {
+    // Pool mode: the write lands in the pinned frame under the full
+    // seqlock bracket (optimistic readers race frame memory exactly as
+    // they raced chunk memory); the platter sees it at eviction or
+    // FlushPool, not per write.
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> latch(LatchFor(page));
+    std::byte* frame = PoolPin(page);
+    WriteLiveMemoryTo(page, frame, in);
+    pool_->Unpin(page, /*dirty=*/true);
+    return;
+  }
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> latch(LatchFor(page));
@@ -338,10 +416,13 @@ void PageStore::Write(PageId page, const void* in, uint64_t txn) {
       // image anywhere — the violation Recover() must refuse to serve.
       std::vector<std::byte> zero_base;
       const std::byte* base;
+      std::byte* pinned = nullptr;
       if (staged_base != nullptr) {
         base = staged_base;
       } else if (base_ok) {
-        base = PagePtr(page);
+        // Pool mode: the live (last-published) image is the frame, not
+        // the chunk — and the pin holds it resident for the diff.
+        base = pool_ != nullptr ? (pinned = PoolPin(page)) : PagePtr(page);
       } else {
         zero_base.assign(options_.page_size, std::byte{0});
         base = zero_base.data();
@@ -350,6 +431,7 @@ void PageStore::Write(PageId page, const void* in, uint64_t txn) {
       const size_t dlen =
           Wal::EncodeDelta(base, static_cast<const std::byte*>(in),
                            options_.page_size, &delta);
+      if (pinned != nullptr) pool_->Unpin(page);
       if (dlen > 0 && dlen < options_.page_size / 2) {
         wal_->LogPageDelta(txn, page, delta.data(), dlen);
         logged = true;
@@ -374,19 +456,24 @@ void PageStore::Write(PageId page, const void* in, uint64_t txn) {
 }
 
 void PageStore::WriteLiveMemory(PageId page, const void* in) {
+  WriteLiveMemoryTo(page, PagePtr(page), in);
+}
+
+void PageStore::WriteLiveMemoryTo(PageId page, std::byte* dst,
+                                  const void* in) {
   std::atomic<uint64_t>& seq = SeqRef(page);
   const uint64_t s0 = seq.load(std::memory_order_relaxed);
   if (options_.test_seq_bump_after_write) [[unlikely]] {
     // BROKEN (test only): the copy runs with the word still even, so a
     // racing optimistic reader validates a torn image.
-    CopyIntoPage(PagePtr(page), in);
+    CopyIntoPage(dst, in);
     seq.store(s0 + 1, std::memory_order_relaxed);
     seq.store(s0 + 2, std::memory_order_release);
     return;
   }
   seq.store(s0 + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
-  CopyIntoPage(PagePtr(page), in);
+  CopyIntoPage(dst, in);
   seq.store(s0 + 2, std::memory_order_release);
 }
 
@@ -416,6 +503,73 @@ void PageStore::CopyFromPage(void* out, const std::byte* page_src, size_t n) {
 }
 
 bool PageStore::ReadOptimistic(PageId page, void* out, uint64_t* seq_out) {
+  if (pool_ != nullptr) {
+    // Pool mode: the optimistic copy reads the page's frame.  The seq
+    // word is NOT pool state — it lives in the always-resident seq
+    // chunks, and eviction never bumps it — so the protocol survives the
+    // page vanishing and returning mid-read: a clean evict+reload
+    // restores the byte-identical image (validation legitimately
+    // passes), while any write in the window bumps the seq and the
+    // reader rejects the mix.  Bounds check against the seq chunks —
+    // they exist for file-backed pools too, where data chunks do not.
+    if (page / kPagesPerChunk >= kMaxChunks ||
+        seq_chunks_[page / kPagesPerChunk].load(std::memory_order_acquire) ==
+            nullptr) {
+      optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    optimistic_reads_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<uint64_t>& seq = SeqRef(page);
+    util::TestHooks::Emit(util::HookPoint::kSeqReadBegin, this);
+    const uint64_t s1 = seq.load(std::memory_order_acquire);
+    if (s1 & 1) {
+      optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Pin elision (BufferPool header): copy the resident frame with no
+    // pin, then prove no frame retarget anywhere in the pool overlapped
+    // the copy — equal eviction epochs on both sides of it.  In the
+    // no-eviction steady state this makes a read zero-RMW end to end;
+    // under eviction pressure the rare overlapping reader falls through
+    // to the pinned copy below.  Either way the *seq* validation at the
+    // bottom runs against the same s1, so torn-write rejection is
+    // byte-for-byte the protocol the pool-off path implements.
+    bool copied = false;
+    const uint64_t e0 = pool_->evict_epoch();
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (const std::byte* frame = pool_->ResidentFrame(page, e0)) {
+      CopyFromPage(out, frame, options_.page_size);
+      util::TestHooks::Emit(util::HookPoint::kSeqValidate, this);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (pool_->evict_epoch() == e0) {
+        copied = true;
+        if (tls_frame_read_id == store_id_) {
+          static_cast<FrameReadNode*>(tls_frame_read_node)
+              ->unpinned.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          FrameReadNodeSlow().unpinned.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (!copied) {
+      // Not resident, or an eviction moved under us: pin (faulting the
+      // page in if needed — shard mutex + platter I/O) and recopy.
+      const std::byte* frame = PoolPin(page);
+      CopyFromPage(out, frame, options_.page_size);
+      pool_->Unpin(page);
+      util::TestHooks::Emit(util::HookPoint::kSeqValidate, this);
+      std::atomic_thread_fence(std::memory_order_acquire);
+    }
+    const uint64_t s2 = seq.load(std::memory_order_relaxed);
+    if (s1 != s2) {
+      optimistic_torn_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (seq_out != nullptr) {
+      *seq_out = s1;
+    }
+    return true;
+  }
   if (fd_ >= 0) {
     // File-backed pages go through the kernel page cache; there is no
     // defined lockless racy pread, so optimistic mode degrades to the
@@ -529,7 +683,13 @@ IoStatus PageStore::CommitTxn(uint64_t txn, bool flush) {
   }
   for (const auto& [page, image] : staged) {
     std::lock_guard<std::mutex> latch(LatchFor(page));
-    WriteLiveMemory(page, image.data());
+    if (pool_ != nullptr) {
+      std::byte* frame = PoolPin(page);
+      WriteLiveMemoryTo(page, frame, image.data());
+      pool_->Unpin(page, /*dirty=*/true);
+    } else {
+      WriteLiveMemory(page, image.data());
+    }
   }
   auto& pool = StagedPool();
   for (auto& entry : staged) {
@@ -547,6 +707,135 @@ IoStatus PageStore::CommitTxn(uint64_t txn, bool flush) {
 IoStatus PageStore::FlushWal() {
   if (wal_ == nullptr) return IoStatus::kOk;
   return NoteIo(wal_->Flush());
+}
+
+// ---------------------------------------------- buffer pool (§11) ------
+
+uint64_t PageStore::NextStoreId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+PageStore::FrameReadNode& PageStore::FrameReadNodeSlow() {
+  // Secondary per-thread list, touched only when the one-entry cache
+  // misses (a thread alternating between pooled stores): without it
+  // every switch would register a fresh node and bloat the registry.
+  struct Entry {
+    uint64_t id;
+    FrameReadNode* node;
+  };
+  thread_local std::vector<Entry> known;
+  for (const Entry& e : known) {
+    if (e.id == store_id_) {
+      tls_frame_read_id = store_id_;
+      tls_frame_read_node = e.node;
+      return *e.node;
+    }
+  }
+  auto* node = new FrameReadNode();
+  {
+    std::lock_guard<std::mutex> lock(frame_read_mutex_);
+    node->next = frame_read_head_.load(std::memory_order_relaxed);
+    frame_read_head_.store(node, std::memory_order_release);
+  }
+  // Dead-store entries accumulate here; pruning the cold half is safe —
+  // a live store whose entry was dropped just registers a fresh node,
+  // and the registry sum stays exact across any number of nodes.
+  if (known.size() >= 64) known.resize(32);
+  known.push_back(Entry{store_id_, node});
+  tls_frame_read_id = store_id_;
+  tls_frame_read_node = node;
+  return *node;
+}
+
+std::byte* PageStore::PoolPin(PageId page) {
+  if (tls_frame_read_id == store_id_) {
+    static_cast<FrameReadNode*>(tls_frame_read_node)
+        ->count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    FrameReadNodeSlow().count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return pool_->Pin(page);
+}
+
+void PageStore::PinPage(PageId page) {
+  if (pool_ == nullptr) return;
+  PoolPin(page);
+}
+
+void PageStore::UnpinPage(PageId page) {
+  if (pool_ == nullptr) return;
+  pool_->Unpin(page);
+}
+
+void PageStore::FlushPool() {
+  if (pool_ != nullptr) pool_->FlushAll();
+}
+
+namespace {
+// Word-atomic publish into frame memory a pin-free optimistic reader may
+// be scanning concurrently — its epoch validation will reject whatever it
+// copied, but the store side must still be atomic for the race to be
+// defined (and TSan-clean).  No kPageCopy hook here: that yield point
+// belongs to the write path's seqlock window, not to pool refills.
+void AtomicCopyToFrame(std::byte* dst, const std::byte* src, size_t n) {
+  for (size_t i = 0; i < n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, src + i, 8);
+    __atomic_store_n(reinterpret_cast<uint64_t*>(dst + i), w,
+                     __ATOMIC_RELAXED);
+  }
+}
+}  // namespace
+
+void PageStore::PoolLoad(void* ctx, PageId page, std::byte* out) {
+  auto* self = static_cast<PageStore*>(ctx);
+  self->SimulateLatency();
+  if (self->fd_ >= 0) {
+    // pread writes the destination plainly, so it cannot target the frame
+    // directly; bounce through per-thread scratch and publish atomically.
+    thread_local std::vector<std::byte> bounce;
+    if (bounce.size() < self->options_.page_size) {
+      bounce.resize(self->options_.page_size);
+    }
+    self->PreadPage(page, bounce.data());
+    AtomicCopyToFrame(out, bounce.data(), self->options_.page_size);
+    return;
+  }
+  AtomicCopyToFrame(out, self->PagePtr(page), self->options_.page_size);
+}
+
+void PageStore::PoolStore(void* ctx, PageId page, const std::byte* in) {
+  auto* self = static_cast<PageStore*>(ctx);
+  self->SimulateLatency();
+  if (self->fd_ >= 0) {
+    const IoStatus s = PwriteFullyAborting(
+        self->fd_, in, self->options_.page_size,
+        off_t(page) * off_t(self->options_.page_size));
+    if (s != IoStatus::kOk) {
+      self->NoteIo(s);
+      std::fprintf(stderr,
+                   "exhash: page %u writeback to %s failed (%s) — cannot "
+                   "continue without silent corruption\n",
+                   page, self->options_.backing_file.c_str(),
+                   IoStatusName(s));
+      std::abort();
+    }
+    return;
+  }
+  std::memcpy(self->PagePtr(page), in, self->options_.page_size);
+}
+
+// The steal ⇒ flush-WAL rule: a spilled frame can be faulted back in and
+// served to live readers, so its producing log records must already be
+// durable — otherwise a crash leaves recovery unable to reconstruct
+// state readers observed from the reloaded spill (the same anomaly
+// publish-after-commit closes at the commit edge).  Under kPerCommit /
+// kGroup this flush is a no-op; under kLazy it bounds the forgettable
+// suffix: spilled implies durable.
+void PageStore::PoolBeforeWriteback(void* ctx) {
+  auto* self = static_cast<PageStore*>(ctx);
+  self->NoteIo(self->wal_->Flush());
 }
 
 // Fuzzy checkpoint (DESIGN.md §9): runs against live traffic.  Ordering
@@ -614,7 +903,16 @@ void PageStore::CapturePage(PageId page, std::byte* out) {
   for (int attempt = 0; attempt < 16; ++attempt) {
     const uint64_t s1 = seq.load(std::memory_order_acquire);
     if ((s1 & 1) == 0) {
-      CopyFromPage(out, PagePtr(page), options_.page_size);
+      // Per-attempt pin (pool mode): never hold a pin while waiting for
+      // a latch or vice versa beyond the latch -> pin order the write
+      // paths use, so the capture cannot wedge a tiny-budget pool.
+      if (pool_ != nullptr) {
+        const std::byte* frame = PoolPin(page);
+        CopyFromPage(out, frame, options_.page_size);
+        pool_->Unpin(page);
+      } else {
+        CopyFromPage(out, PagePtr(page), options_.page_size);
+      }
       std::atomic_thread_fence(std::memory_order_acquire);
       if (seq.load(std::memory_order_relaxed) == s1) return;
     }
@@ -623,6 +921,12 @@ void PageStore::CapturePage(PageId page, std::byte* out) {
   // Writers mutate only under the latch, so a latched plain copy is
   // consistent by exclusion.
   std::lock_guard<std::mutex> latch(LatchFor(page));
+  if (pool_ != nullptr) {
+    const std::byte* frame = PoolPin(page);
+    std::memcpy(out, frame, options_.page_size);
+    pool_->Unpin(page);
+    return;
+  }
   std::memcpy(out, PagePtr(page), options_.page_size);
 }
 
@@ -669,6 +973,10 @@ RecoveryReport PageStore::Recover() {
     return report;
   }
   EnsureCapacity(new_extent);
+  // Recovery redoes straight onto the platter (the chunks); the pool is
+  // pre-traffic here — no frame is resident, so the first post-recovery
+  // pin faults the recovered bytes in.
+  if (pool_ != nullptr) pool_->EnsureCapacity(new_extent);
   std::vector<char> covered(new_extent, 0);
   for (const Wal::ScannedRecord& rec : scan.committed_records) {
     if (!rec.is_delta) covered[rec.page] = 1;  // full images heal torn slots
@@ -821,6 +1129,23 @@ PageStoreStats PageStore::stats() const {
   s.deallocs = deallocs_.load(std::memory_order_relaxed);
   s.optimistic_reads = optimistic_reads_.load(std::memory_order_relaxed);
   s.optimistic_torn = optimistic_torn_.load(std::memory_order_relaxed);
+  for (const FrameReadNode* node =
+           frame_read_head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    s.frame_reads += node->count.load(std::memory_order_relaxed);
+    s.pool_unpinned_reads += node->unpinned.load(std::memory_order_relaxed);
+  }
+  if (pool_ != nullptr) {
+    const BufferPoolStats p = pool_->stats();
+    s.pool_hits = p.hits;
+    s.pool_misses = p.misses;
+    s.pool_evictions = p.evictions;
+    s.pool_writebacks = p.writebacks;
+    s.pool_pins_acquired = p.pins_acquired;
+    s.pool_pins_released = p.pins_released;
+    s.pool_pinned_peak = p.pinned_peak;
+    s.pool_resident = p.resident;
+  }
   if (wal_ != nullptr) {
     const Wal::Stats w = wal_->stats();
     s.wal_txns = w.txns;
@@ -853,6 +1178,9 @@ void PageStore::ResetStats() {
   deallocs_.store(0, std::memory_order_relaxed);
   optimistic_reads_.store(0, std::memory_order_relaxed);
   optimistic_torn_.store(0, std::memory_order_relaxed);
+  // Pool counters are NOT reset: the pin ledger and the accounting law
+  // are lifetime invariants, and zeroing one side mid-flight would break
+  // them.  frame_reads_ stays with them.
 }
 
 }  // namespace exhash::storage

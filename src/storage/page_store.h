@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/wal.h"
 
@@ -53,6 +54,24 @@ struct PageStoreStats {
   uint64_t wal_recycled_segments = 0;
   uint64_t wal_batch_size_hist[Wal::kBatchBuckets] = {};
   uint64_t wal_flush_latency_us_hist[Wal::kLatencyBuckets] = {};
+  // Buffer pool (zero when Options::page_budget is 0).  The accounting
+  // law: every internal *pinned* frame access is one pool Pin, so at
+  // quiescent points pool_hits + pool_misses == frame_reads, and the pin
+  // ledger balances (pool_pins_acquired == pool_pins_released).
+  // Pin-free optimistic reads (epoch-validated, see BufferPool) are
+  // counted separately in pool_unpinned_reads — they are neither a hit
+  // nor a frame_read, so the law is untouched; "served from memory" for
+  // hit-rate purposes is hits + unpinned_reads.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t pool_pins_acquired = 0;
+  uint64_t pool_pins_released = 0;
+  uint64_t pool_pinned_peak = 0;
+  uint64_t pool_resident = 0;
+  uint64_t pool_unpinned_reads = 0;
+  uint64_t frame_reads = 0;
 };
 
 // What Recover() found and did (DESIGN.md §9).  status != kOk means the
@@ -138,6 +157,20 @@ class PageStore {
     // then meets a delta with no base to apply it over; Recover() must
     // report kCorrupt, never serve a guessed page.
     bool test_delta_before_base = false;
+
+    // --- Buffer pool (DESIGN.md §11) ---
+    // Nonzero caps resident page frames at this count: every page access
+    // then goes through a sharded pin/evict BufferPool in front of the
+    // backing media (the memory chunks, the backing file, or the WAL
+    // mode's live-page spill).  Zero keeps the pool out of the build's
+    // hot paths entirely — the pre-pool code runs unchanged.
+    size_t page_budget = 0;
+    // TEST ONLY: evict dirty frames without flushing the WAL first,
+    // breaking the steal ⇒ flush-log rule.  A crash after such an
+    // eviction leaves the spilled image's producing records volatile;
+    // the dirty-eviction witness tests must catch the resulting
+    // unrecoverable state.
+    bool test_evict_before_flush = false;
   };
 
   explicit PageStore(Options options);
@@ -260,6 +293,24 @@ class PageStore {
   // when the WAL is off).
   DurableMedia* durable_media() { return media_.get(); }
 
+  // --- Buffer pool (DESIGN.md §11); no-ops when Options::page_budget
+  // is 0 ---
+
+  bool pool_enabled() const { return pool_ != nullptr; }
+
+  // External pin bracket: holds the page's frame resident (and counts in
+  // the pin ledger) until the matching UnpinPage.  Used by the tables to
+  // keep a bucket's page from thrashing across a read-modify-write.  The
+  // caller must not hold pins on two distinct pages from one thread
+  // (same-page nesting is fine), must balance every PinPage with exactly
+  // one UnpinPage, and must not Dealloc the page while pinned.
+  void PinPage(PageId page);
+  void UnpinPage(PageId page);
+
+  // Writes every dirty frame back to the backing media (pool mode only).
+  // Quiescent callers only.
+  void FlushPool();
+
   size_t page_size() const { return options_.page_size; }
 
   // Number of pages ever allocated (allocated ids are dense in [0, extent)).
@@ -307,6 +358,18 @@ class PageStore {
   // word-atomic copy, even bump); shared by the memory backing and the
   // WAL path.  Caller holds the page latch.
   void WriteLiveMemory(PageId page, const void* in);
+  // Same protocol, explicit destination — the pooled paths pass the
+  // page's pinned frame instead of PagePtr.  Caller holds the page latch
+  // and (pooled) a pin covering `dst` for the whole call.
+  void WriteLiveMemoryTo(PageId page, std::byte* dst, const void* in);
+  // Pool access with the frame_reads_ accounting every internal pin pays
+  // (the hits + misses == frame_reads law).  Caller must be in pool mode.
+  std::byte* PoolPin(PageId page);
+  // BufferPool::Backing callbacks: the platter side of a frame fault /
+  // writeback.  Run under a pool shard mutex; must not re-enter the pool.
+  static void PoolLoad(void* ctx, PageId page, std::byte* out);
+  static void PoolStore(void* ctx, PageId page, const std::byte* in);
+  static void PoolBeforeWriteback(void* ctx);
   // Publishes memory + seq chunks covering pages [0, n) (recovery).
   void EnsureCapacity(size_t n_pages);
   IoStatus NoteIo(IoStatus s) {
@@ -359,6 +422,34 @@ class PageStore {
   std::atomic<uint64_t> deallocs_{0};
   std::atomic<uint64_t> optimistic_reads_{0};
   std::atomic<uint64_t> optimistic_torn_{0};
+  // frame_reads is paid on every pooled pin (the hits + misses ==
+  // frame_reads law), so unlike the counters above it sits on the
+  // lock-free hit path — where even a striped shared counter costs a
+  // coherence miss per access.  Instead each thread counts on its own
+  // node (registered per store, never freed before the store), so the
+  // accounting RMW stays in the owner's L1; stats() walks the registry.
+  // The thread-local cache keys nodes by a process-unique store id, so a
+  // cached entry for a destroyed store can never falsely match a new
+  // store reusing the same address.
+  struct alignas(64) FrameReadNode {
+    std::atomic<uint64_t> count{0};
+    // Epoch-validated pin-free reads (not frame_reads — no pin was paid).
+    std::atomic<uint64_t> unpinned{0};
+    FrameReadNode* next = nullptr;
+  };
+  static uint64_t NextStoreId();
+  FrameReadNode& FrameReadNodeSlow();
+  const uint64_t store_id_ = NextStoreId();
+  mutable std::mutex frame_read_mutex_;  // guards registry push only
+  std::atomic<FrameReadNode*> frame_read_head_{nullptr};
+
+  // Buffer pool (null when Options::page_budget is 0).  In pool mode the
+  // frames are the live page memory; the chunks (memory backing, WAL
+  // spill) or the backing file are the platter the pool faults from and
+  // writes back to.  Lock order: page latch -> pool shard mutex -> wal
+  // mutex (the before_writeback callback flushes the log under a shard
+  // mutex).
+  std::unique_ptr<BufferPool> pool_;
 
   // Publish-after-commit staging (DESIGN.md §9): a transaction's page
   // images wait here between Write(.., txn) and CommitTxn.  They cannot

@@ -89,9 +89,19 @@ enum class HookPoint : uint8_t {
   // Under group/pipelined policies the committer emits this only after its
   // ticket is acked (its batch's fsync returned).
   kCommitPoint = 14,
+  // Buffer pool (DESIGN.md §11).  An evictor claimed a victim frame and
+  // unmapped its page; `where` is the BufferPool.  Lands between the unmap
+  // and the dirty writeback — yielding here stretches the window in which
+  // a concurrent pinner must bounce off the evicting bit, and a crash here
+  // models power loss with a spilled-but-unflushed frame in flight.
+  kPoolEvict = 15,
+  // A faulting pinner is about to reload a page's content into its new
+  // frame (mapping not yet published); `where` is the BufferPool.  Yields
+  // here stretch the not-resident window that optimistic readers span.
+  kPoolReload = 16,
 };
 
-constexpr int kNumHookPoints = 15;
+constexpr int kNumHookPoints = 17;
 
 class TestHooks {
  public:

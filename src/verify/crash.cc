@@ -40,6 +40,11 @@ bool IsKillPoint(util::HookPoint p) {
     case util::HookPoint::kCommitPoint:
     case util::HookPoint::kPageCopy:
     case util::HookPoint::kSnapshotPublish:
+    // Buffer-pool eviction edges (DESIGN.md §11): a cut between an
+    // eviction's unmap and its writeback — or mid-reload — is exactly
+    // where the steal ⇒ flush-WAL ordering earns its keep.
+    case util::HookPoint::kPoolEvict:
+    case util::HookPoint::kPoolReload:
       return true;
     default:
       return false;
@@ -58,6 +63,10 @@ const char* KillPointName(util::HookPoint p) {
       return "page-copy";
     case util::HookPoint::kSnapshotPublish:
       return "snapshot-publish";
+    case util::HookPoint::kPoolEvict:
+      return "pool-evict";
+    case util::HookPoint::kPoolReload:
+      return "pool-reload";
     default:
       return "?";
   }
@@ -182,6 +191,7 @@ std::unique_ptr<core::TableBase> MakeTable(
   options.wal_flush_policy = config.flush_policy;
   options.test_commit_before_images = config.test_commit_before_images;
   options.test_delta_before_base = config.test_delta_before_base;
+  options.page_budget = config.page_budget;
   options.recover_from = std::move(recover_from);
   if (config.variant == 1) {
     return std::make_unique<core::EllisHashTableV1>(options);

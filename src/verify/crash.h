@@ -62,6 +62,12 @@ struct CrashConfig {
   // pages with no durable base) the sweep must catch as a recovery
   // refusal; see TableOptions::test_delta_before_base.
   bool test_delta_before_base = false;
+
+  // Nonzero: run the pre-crash table under this buffer-pool frame budget
+  // (DESIGN.md §11), so cuts land inside eviction/reload windows too
+  // (kPoolEvict/kPoolReload join the kill points).  The post-crash table
+  // recovers with the same budget.
+  size_t page_budget = 0;
 };
 
 struct CrashOutcome {

@@ -60,6 +60,10 @@ const char* HookName(util::HookPoint p) {
       return "wal-fsync";
     case util::HookPoint::kCommitPoint:
       return "commit-point";
+    case util::HookPoint::kPoolEvict:
+      return "pool-evict";
+    case util::HookPoint::kPoolReload:
+      return "pool-reload";
   }
   return "?";
 }

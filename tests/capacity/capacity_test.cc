@@ -1,0 +1,189 @@
+// Capacity tier (the `capacity` ctest label): sustained multi-thread mixed
+// traffic against a table whose frame budget is ~1/8 of its data pages
+// (DESIGN.md §11).  Everything must work exactly as if the pool were not
+// there: every key written is found with its value while the clock hand
+// sweeps underneath, and the quiescent points hold the §11 laws —
+// Validate, the pin ledger (pins_acquired == pins_released), and the
+// accounting law (hits + misses == frame_reads).
+//
+// Smoke-tier keys by default; EXHASH_CAPACITY=N sets the key count for a
+// long campaign (tests/README.md has the recipe):
+//
+//     EXHASH_CAPACITY=2000000 ctest --test-dir build -L capacity
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ellis_v2.h"
+#include "workload/runner.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define EXHASH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EXHASH_TSAN 1
+#endif
+#endif
+
+namespace exhash::core {
+namespace {
+
+constexpr int kThreads = 4;
+
+#ifdef EXHASH_TSAN
+constexpr uint64_t kSmokeKeys = 20000;
+#else
+constexpr uint64_t kSmokeKeys = 100000;
+#endif
+
+uint64_t KeysFromEnv() {
+  const char* env = std::getenv("EXHASH_CAPACITY");
+  if (env == nullptr || *env == '\0') return kSmokeKeys;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return kSmokeKeys;
+  return uint64_t(v);
+}
+
+uint64_t StripeKey(int thread, uint64_t i) {
+  return (uint64_t(thread) << 48) | i;
+}
+
+// Churn keys live in a stripe no resident thread ever asserts on.
+uint64_t ChurnKey(int thread, uint64_t i) {
+  return (uint64_t(kThreads + thread) << 48) | i;
+}
+
+void CheckLaws(TableBase* table, const char* where) {
+  std::string error;
+  ASSERT_TRUE(table->Validate(&error)) << where << ": " << error;
+  const storage::PageStoreStats io = table->Store().stats();
+  ASSERT_EQ(io.pool_pins_acquired, io.pool_pins_released) << where;
+  ASSERT_EQ(io.pool_hits + io.pool_misses, io.frame_reads) << where;
+}
+
+TEST(CapacityTest, MixedWorkloadAtan8thOfTheDataStaysLawful) {
+  const uint64_t total = KeysFromEnv();
+  const uint64_t per_thread = std::max<uint64_t>(1, total / kThreads);
+
+  TableOptions options;
+  options.page_size = 4096;  // capacity 253
+  options.initial_depth = 2;
+  // ~253 records per page at ~70% fill: data pages ≈ keys / 177; an
+  // eighth of that, floored so the smoke tier still evicts constantly.
+  options.page_budget = std::max<uint64_t>(16, total / (253 * 8));
+  EllisHashTableV2 table(options);
+
+  // --- Phase 1: concurrent load.  Each thread owns a stripe; read-backs
+  // against the writer's own stripe must hit even mid-fault. ---
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          const uint64_t key = StripeKey(t, i);
+          ASSERT_TRUE(table.Insert(key, workload::PayloadValue(key, 8)));
+          if (i % 16 == 0 && i > 0) {
+            uint64_t value = 0;
+            const uint64_t probe = StripeKey(t, i / 2);
+            ASSERT_TRUE(table.Find(probe, &value));
+            ASSERT_EQ(value, workload::PayloadValue(probe, 8));
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  ASSERT_EQ(table.Size(), per_thread * kThreads);
+  CheckLaws(&table, "after load");
+
+  // --- Phase 2: sustained mixed traffic.  Half the ops re-find resident
+  // keys (every one must answer correctly through any eviction), half
+  // churn insert/remove in disjoint stripes to keep splits, merges, and
+  // dirty evictions running. ---
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        const uint64_t churn_span = std::max<uint64_t>(per_thread / 4, 64);
+        for (uint64_t i = 0; i < per_thread; ++i) {
+          const uint64_t resident = StripeKey(t, (i * 31) % per_thread);
+          uint64_t value = 0;
+          ASSERT_TRUE(table.Find(resident, &value)) << resident;
+          ASSERT_EQ(value, workload::PayloadValue(resident, 8));
+          const uint64_t churn = ChurnKey(t, i % churn_span);
+          if ((i / churn_span) % 2 == 0) {
+            table.Insert(churn, churn);
+          } else {
+            table.Remove(churn);
+          }
+        }
+        // Drain this thread's churn stripe so the final census is exact.
+        for (uint64_t i = 0; i < churn_span; ++i) {
+          table.Remove(ChurnKey(t, i));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  ASSERT_EQ(table.Size(), per_thread * kThreads);
+  CheckLaws(&table, "after mixed phase");
+
+  // --- Final census: every loaded key, value intact. ---
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      const uint64_t key = StripeKey(t, i);
+      uint64_t value = 0;
+      ASSERT_TRUE(table.Find(key, &value)) << key;
+      ASSERT_EQ(value, workload::PayloadValue(key, 8)) << key;
+    }
+  }
+  CheckLaws(&table, "after census");
+
+  // The budget genuinely bit for the whole run.
+  const storage::PageStoreStats io = table.Store().stats();
+  EXPECT_GT(io.pool_evictions, 0u) << "budget never bit: tier proves nothing";
+  EXPECT_GT(io.pool_writebacks, 0u) << "no dirty eviction ever happened";
+  EXPECT_GT(io.pool_hits, 0u);
+}
+
+// The same tier against the WAL-enabled store: dirty evictions now carry
+// the steal => flush obligation on the real group-commit path while the
+// directory restructures.  Scaled down — every publish is a WAL commit.
+TEST(CapacityTest, PagedWalTableSurvivesMixedTraffic) {
+  const uint64_t total = std::max<uint64_t>(KeysFromEnv() / 10, 2000);
+  const uint64_t per_thread = std::max<uint64_t>(1, total / kThreads);
+
+  TableOptions options;
+  options.page_size = 4096;
+  options.initial_depth = 2;
+  options.wal = true;
+  options.page_budget = std::max<uint64_t>(16, total / (253 * 8));
+  EllisHashTableV2 table(options);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t key = StripeKey(t, i);
+        ASSERT_TRUE(table.Insert(key, workload::PayloadValue(key, 8)));
+        if (i % 8 == 0) {
+          uint64_t value = 0;
+          ASSERT_TRUE(table.Find(key, &value));
+          ASSERT_EQ(value, workload::PayloadValue(key, 8));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_EQ(table.Size(), per_thread * kThreads);
+  CheckLaws(&table, "after wal load");
+}
+
+}  // namespace
+}  // namespace exhash::core

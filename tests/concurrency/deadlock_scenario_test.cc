@@ -14,6 +14,7 @@
 
 #include "core/ellis_v1.h"
 #include "core/ellis_v2.h"
+#include "test_paths.h"
 #include "util/pseudokey.h"
 
 namespace exhash::core {
@@ -31,13 +32,8 @@ TableOptions ScenarioOptions() {
   options.max_depth = 16;
   options.hasher = identity();
   options.poison_on_dealloc = true;
-  // Disk-backed, with a pid + counter in the name: parallel ctest runners
-  // (one process per test) share TempDir, and a shared backing file would
-  // let two tables corrupt each other.
-  static std::atomic<int> counter{0};
-  options.backing_file = ::testing::TempDir() + "exhash_deadlock_" +
-                         std::to_string(::getpid()) + "_" +
-                         std::to_string(counter.fetch_add(1));
+  // Disk-backed; see tests/test_paths.h for why the path must be unique.
+  options.backing_file = testpaths::UniqueBackingFile("deadlock");
   return options;
 }
 

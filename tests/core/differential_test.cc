@@ -160,5 +160,73 @@ TEST_P(DifferentialTest, GrowThenShrinkAgreesEverywhere) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(11u, 22u, 33u, 44u));
 
+// Paged differential (DESIGN.md §11): the same randomized grow/shrink
+// stream against a std::map reference, but with the page budget ≈ 1/8 of
+// the pages the run peaks at — every bucket access may fault, every fault
+// may evict, and none of it may change a single answer.  Quiescent points
+// assert Validate, the bucket accounting law, and the pool's own laws
+// (hits + misses == frame_reads; pin ledger balanced).
+class PagedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PagedDifferentialTest, PagedV2AgreesWithTheModel) {
+  TableOptions options = SmallOptions();
+  options.page_budget = 8;  // peak is ~50-60 pages at key space 96
+  EllisHashTableV2 table(options);
+  std::map<uint64_t, uint64_t> model;
+  util::Rng rng(GetParam());
+  constexpr uint64_t kKeySpace = 96;
+
+  uint64_t ops = 0;
+  const auto check_quiescent = [&] {
+    ASSERT_EQ(table.Size(), model.size()) << "op " << ops;
+    std::string error;
+    ASSERT_TRUE(table.Validate(&error)) << "op " << ops << ": " << error;
+    const TableStats s = table.Stats();
+    ASSERT_EQ(table.LiveBuckets(), 2 + s.splits - s.merges) << "op " << ops;
+    const storage::PageStoreStats io = table.Store().stats();
+    ASSERT_EQ(io.pool_hits + io.pool_misses, io.frame_reads) << "op " << ops;
+    ASSERT_EQ(io.pool_pins_acquired, io.pool_pins_released) << "op " << ops;
+  };
+
+  const auto step = [&](double insert_p, double find_p) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    const double roll = rng.NextDouble();
+    if (roll < insert_p) {
+      const uint64_t value = rng.Next();
+      const bool expect = model.emplace(key, value).second;
+      ASSERT_EQ(table.Insert(key, value), expect) << "op " << ops;
+    } else if (roll < insert_p + find_p) {
+      uint64_t out = 0;
+      const auto it = model.find(key);
+      ASSERT_EQ(table.Find(key, &out), it != model.end()) << "op " << ops;
+      if (it != model.end()) ASSERT_EQ(out, it->second) << "op " << ops;
+    } else {
+      ASSERT_EQ(table.Remove(key), model.erase(key) != 0) << "op " << ops;
+    }
+    ++ops;
+  };
+
+  for (int i = 0; i < 600; ++i) {  // grow: insert-heavy
+    step(/*insert_p=*/0.70, /*find_p=*/0.20);
+    if (i % 64 == 0) check_quiescent();
+  }
+  check_quiescent();
+  for (int i = 0; i < 600; ++i) {  // shrink: remove-heavy
+    step(/*insert_p=*/0.10, /*find_p=*/0.20);
+    if (i % 64 == 0) check_quiescent();
+  }
+  while (!model.empty()) {
+    const uint64_t key = model.begin()->first;
+    ASSERT_TRUE(table.Remove(key));
+    model.erase(key);
+  }
+  check_quiescent();
+  // The budget genuinely bit: the run thrashed, it didn't just fit.
+  EXPECT_GT(table.Store().stats().pool_evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PagedDifferentialTest,
+                         ::testing::Values(55u, 66u));
+
 }  // namespace
 }  // namespace exhash::core

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "exhash/exhash.h"
+#include "test_paths.h"
 #include "util/random.h"
 
 namespace exhash {
@@ -227,15 +228,9 @@ INSTANTIATE_TEST_SUITE_P(
                      }},
         TableFactory{"ellis_v2_on_disk",
                      [] {
-                       // The pid keeps the path unique across the parallel
-                       // ctest runners (one process per test), which would
-                       // otherwise share one file and corrupt each other.
-                       static std::atomic<int> counter{0};
                        auto o = SmallOptions();
-                       o.backing_file = ::testing::TempDir() +
-                                        "exhash_semantics_" +
-                                        std::to_string(::getpid()) + "_" +
-                                        std::to_string(counter.fetch_add(1));
+                       o.backing_file =
+                           testpaths::UniqueBackingFile("semantics");
                        return std::make_unique<core::EllisHashTableV2>(o);
                      }},
         TableFactory{"blink",

@@ -78,6 +78,12 @@ void CheckQuiescent(TableBase* table, uint64_t expect_size,
   const TableStats s = table->Stats();
   ASSERT_EQ(table->LiveBuckets(), 4 + s.splits - s.merges)
       << where << " (splits=" << s.splits << " merges=" << s.merges << ")";
+  // Buffer-pool laws (DESIGN.md §11), trivially zero when no budget is
+  // set: every frame access was exactly one hit or one miss, and every
+  // pin bracket closed.
+  const storage::PageStoreStats io = table->Store().stats();
+  ASSERT_EQ(io.pool_hits + io.pool_misses, io.frame_reads) << where;
+  ASSERT_EQ(io.pool_pins_acquired, io.pool_pins_released) << where;
 }
 
 // Each thread owns a disjoint key stripe; values are the differential
@@ -159,6 +165,26 @@ TEST(SoakTest, V2GrowShrinkCyclesStayLawful) {
 // accounting (they count in `splits`), and the warm-TTL merge hysteresis
 // must lapse once traffic stops favoring a bucket — an empty quiescent
 // table still satisfies the law with mitigation enabled.
+// Paged tier (DESIGN.md §11): the whole excursion runs with a frame
+// budget ≈ 1/8 of the peak data pages, so the grow phase faults and
+// evicts continuously while four threads restructure.  The quiescent
+// checks above already assert the pool's accounting and pin-ledger laws
+// every cycle; this test additionally demands the budget genuinely bit.
+TEST(SoakTest, V2PagedSoakKeepsTheLaw) {
+  TableOptions options = SoakOptions();
+  // Capacity-253 pages at ~70% fill: peak data pages ≈ keys / 177; an
+  // eighth of that (floored well below the smoke tier's peak) keeps the
+  // clock sweeping for the entire soak.
+  options.page_budget =
+      std::max<uint64_t>(16, SoakKeysFromEnv() / (253 * 8));
+  EllisHashTableV2 table(options);
+  RunSoak(&table);
+  const storage::PageStoreStats io = table.Store().stats();
+  EXPECT_GT(io.pool_evictions, 0u) << "budget never bit: soak proves nothing";
+  EXPECT_EQ(io.pool_hits + io.pool_misses, io.frame_reads);
+  EXPECT_EQ(io.pool_pins_acquired, io.pool_pins_released);
+}
+
 TEST(SoakTest, V2MitigatedSoakKeepsTheLaw) {
   TableOptions options = SoakOptions();
   options.hot_bucket_mitigation = true;

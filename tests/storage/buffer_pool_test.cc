@@ -1,0 +1,333 @@
+// BufferPool unit laws (DESIGN.md §11): clock-hand victim selection
+// (victim is unpinned with its second chance spent), pin-leak detection
+// (shutdown with a live pin dies naming the page), budget-1 thrash
+// correctness, and dirty-eviction ordering (the WAL-flush callback runs
+// before every dirty writeback — and the deliberately broken
+// test_evict_before_flush variant is observably different).  The
+// PageStore-level crash witness for the same ordering lives in
+// pool_evict_seqlock_test.cc alongside the seqlock witnesses.
+
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPageSize = 128;
+
+// Scripted platter: pages are a std::map of byte vectors, and every
+// callback appends to an event log so tests can assert exact fault /
+// writeback / flush ordering.
+struct RecordingBacking {
+  std::map<PageId, std::vector<std::byte>> pages;
+  std::vector<std::string> events;
+
+  static void Load(void* ctx, PageId page, std::byte* out) {
+    auto* self = static_cast<RecordingBacking*>(ctx);
+    self->events.push_back("load:" + std::to_string(page));
+    auto it = self->pages.find(page);
+    if (it == self->pages.end()) {
+      std::memset(out, 0, kPageSize);
+      return;
+    }
+    std::memcpy(out, it->second.data(), kPageSize);
+  }
+
+  static void Store(void* ctx, PageId page, const std::byte* in) {
+    auto* self = static_cast<RecordingBacking*>(ctx);
+    self->events.push_back("store:" + std::to_string(page));
+    self->pages[page].assign(in, in + kPageSize);
+  }
+
+  static void Flush(void* ctx) {
+    static_cast<RecordingBacking*>(ctx)->events.push_back("flush");
+  }
+
+  BufferPool::Backing AsBacking(bool with_flush) {
+    BufferPool::Backing b;
+    b.ctx = this;
+    b.load = &Load;
+    b.store = &Store;
+    if (with_flush) b.before_writeback = &Flush;
+    return b;
+  }
+};
+
+BufferPool::Options PoolOptions(size_t budget, size_t shards = 1) {
+  BufferPool::Options o;
+  o.page_size = kPageSize;
+  o.budget = budget;
+  o.shards = shards;
+  return o;
+}
+
+void Touch(BufferPool* pool, PageId page) {
+  pool->Pin(page);
+  pool->Unpin(page);
+}
+
+void WritePattern(BufferPool* pool, PageId page, std::byte fill) {
+  std::byte* f = pool->Pin(page);
+  std::memset(f, int(fill), kPageSize);
+  pool->Unpin(page, /*dirty=*/true);
+}
+
+// With every frame's ref bit set, one full sweep spends everyone's second
+// chance and the frame at the hand is claimed; a frame whose ref was
+// cleared by an earlier sweep (and not re-touched) is claimed before a
+// freshly re-touched one.
+TEST(BufferPoolClockTest, SecondChanceProtectsTouchedFrame) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(8);
+
+  Touch(&pool, 0);
+  Touch(&pool, 1);
+  // Sweep clears both refs, claims frame 0 -> page 0 evicted for page 2.
+  Touch(&pool, 2);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  // Page 1's second chance is spent (ref cleared by that sweep); page 2's
+  // is fresh.  The next fault must claim page 1's frame, not page 2's.
+  Touch(&pool, 3);
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  const uint64_t hits_before = pool.stats().hits;
+  Touch(&pool, 2);  // still resident: survived on its second chance
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  // And the eviction order in the log confirms it: page 0 then page 1.
+  std::vector<std::string> loads;
+  for (const auto& e : backing.events) loads.push_back(e);
+  EXPECT_EQ(loads, (std::vector<std::string>{"load:0", "load:1", "load:2",
+                                             "load:3", /*hit on 2*/}));
+  std::string err;
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+}
+
+// A pinned frame is never the victim, whatever the clock hand says.
+TEST(BufferPoolClockTest, VictimIsNeverPinned) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(8);
+
+  std::byte* held = pool.Pin(0);  // frame 0, pinned for the whole test
+  std::memset(held, 0x5A, kPageSize);
+  Touch(&pool, 1);  // frame 1
+  // Both faults below must claim frame 1 — frame 0's pin count blocks the
+  // claim CAS by construction.
+  Touch(&pool, 2);
+  Touch(&pool, 3);
+  EXPECT_EQ(pool.stats().evictions, 2u);
+  // The pinned frame's memory was never touched by those faults.
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(held[i], std::byte{0x5A});
+  }
+  const uint64_t hits_before = pool.stats().hits;
+  pool.Pin(0);  // still resident
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  pool.Unpin(0);
+  pool.Unpin(0, /*dirty=*/true);
+  std::string err;
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+}
+
+// Budget 1: every distinct-page access thrashes through the single frame,
+// and dirty writeback + reload still round-trips every byte.
+TEST(BufferPoolTest, BudgetOneThrashPreservesContents) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(1), backing.AsBacking(false));
+  pool.EnsureCapacity(16);
+
+  for (PageId p = 0; p < 8; ++p) {
+    WritePattern(&pool, p, std::byte(0xA0 + p));
+  }
+  for (PageId p = 0; p < 8; ++p) {
+    const std::byte* f = pool.Pin(p);
+    for (size_t i = 0; i < kPageSize; ++i) {
+      ASSERT_EQ(f[i], std::byte(0xA0 + p)) << "page " << p;
+    }
+    pool.Unpin(p);
+  }
+  const BufferPoolStats s = pool.stats();
+  // Every access was a miss (the single frame can never hold the next
+  // page), every miss after the first evicted, every eviction wrote back
+  // a dirty frame on the first lap.
+  EXPECT_EQ(s.hits, 0u);  // the single frame can never serve a repeat
+  EXPECT_EQ(s.misses, 16u);
+  EXPECT_EQ(s.pins_acquired, 16u);
+  EXPECT_EQ(s.evictions, 15u);
+  EXPECT_EQ(s.writebacks, 8u);
+  EXPECT_EQ(s.resident, 1u);
+  std::string err;
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+}
+
+// Same-page pins nest (refcounted hits) and the ledger still balances.
+TEST(BufferPoolTest, NestedSamePagePinsAreCountedHits) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(4);
+
+  std::byte* a = pool.Pin(0);
+  std::byte* b = pool.Pin(0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().pinned_peak, 2u);
+  std::string err;
+  EXPECT_FALSE(pool.CheckQuiescent(&err));  // two live pins
+  pool.Unpin(0);
+  pool.Unpin(0);
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+  EXPECT_EQ(pool.stats().pins_acquired, pool.stats().pins_released);
+}
+
+// The pool refuses shutdown with a live pin and names the page: freeing
+// the frame arena under an open access bracket would be a use-after-free.
+TEST(BufferPoolDeathTest, ShutdownWithLivePinDiesNamingThePage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RecordingBacking backing;
+        BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+        pool.EnsureCapacity(8);
+        pool.Pin(7);
+        // Leak the pin; the destructor must abort, not free the arena.
+      },
+      "live pin\\(s\\) on page 7");
+}
+
+// CheckQuiescent names the offending page without dying — the form the
+// soak/capacity tiers assert at every quiescent point.
+TEST(BufferPoolTest, CheckQuiescentNamesLeakedPin) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(8);
+  pool.Pin(5);
+  std::string err;
+  EXPECT_FALSE(pool.CheckQuiescent(&err));
+  EXPECT_NE(err.find("page 5"), std::string::npos) << err;
+  pool.Unpin(5);
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+}
+
+// The steal ⇒ flush rule at the pool layer: every dirty writeback (evict
+// or FlushAll) is immediately preceded by the before_writeback callback.
+TEST(BufferPoolTest, DirtyEvictionFlushesBeforeWriteback) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(1), backing.AsBacking(true));
+  pool.EnsureCapacity(8);
+
+  WritePattern(&pool, 0, std::byte{0x11});
+  WritePattern(&pool, 1, std::byte{0x22});  // evicts dirty page 0
+  WritePattern(&pool, 2, std::byte{0x33});  // evicts dirty page 1
+  pool.FlushAll();                          // writes back dirty page 2
+
+  ASSERT_EQ(pool.stats().writebacks, 3u);
+  for (size_t i = 0; i < backing.events.size(); ++i) {
+    if (backing.events[i].rfind("store:", 0) == 0) {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(backing.events[i - 1], "flush")
+          << "store at event " << i << " not preceded by a flush";
+    }
+  }
+}
+
+// BROKEN variant: with test_evict_before_flush the flush callback never
+// runs — the exact ordering violation the crash witness in
+// pool_evict_seqlock_test.cc turns into lost durable state.
+TEST(BufferPoolTest, TestEvictBeforeFlushSkipsTheFlush) {
+  RecordingBacking backing;
+  BufferPool::Options opts = PoolOptions(1);
+  opts.test_evict_before_flush = true;
+  BufferPool pool(opts, backing.AsBacking(true));
+  pool.EnsureCapacity(8);
+
+  WritePattern(&pool, 0, std::byte{0x11});
+  WritePattern(&pool, 1, std::byte{0x22});  // evicts dirty page 0, no flush
+  pool.FlushAll();
+
+  ASSERT_EQ(pool.stats().writebacks, 2u);
+  for (const auto& e : backing.events) {
+    EXPECT_NE(e, "flush");
+  }
+}
+
+// The pin-elision protocol's observable pieces: ResidentFrame answers
+// nullptr for unmapped pages and the frame memory for mapped ones, and the
+// eviction epoch moves exactly when a mapped frame is retargeted — never
+// on a first fill, so warmup stays invisible to pin-free readers.
+TEST(BufferPoolEpochTest, EpochMovesOnRetargetOnly) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(8);
+
+  EXPECT_EQ(pool.ResidentFrame(0, pool.evict_epoch()), nullptr);
+  EXPECT_EQ(pool.evict_epoch(), 0u);
+  WritePattern(&pool, 0, std::byte{0x5A});
+  WritePattern(&pool, 1, std::byte{0x5B});
+  // Two fresh-frame fills: mapped now, epoch untouched.
+  EXPECT_EQ(pool.evict_epoch(), 0u);
+  const std::byte* f0 = pool.ResidentFrame(0, pool.evict_epoch());
+  ASSERT_NE(f0, nullptr);
+  EXPECT_EQ(f0[0], std::byte{0x5A});
+  // Displacing page 0 retargets its frame: epoch moves, mapping gone.
+  Touch(&pool, 2);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.evict_epoch(), 1u);
+  EXPECT_EQ(pool.ResidentFrame(0, pool.evict_epoch()), nullptr);
+  ASSERT_NE(pool.ResidentFrame(2, pool.evict_epoch()), nullptr);
+  std::string err;
+  EXPECT_TRUE(pool.CheckQuiescent(&err)) << err;
+}
+
+// The epoch-bracket read protocol end to end, as PageStore uses it: a
+// copy bracketed by equal epoch samples is exactly the frame's bytes; a
+// retarget between the samples is detected (unequal), telling the reader
+// to fall back to the pinned path.
+TEST(BufferPoolEpochTest, EpochBracketCertifiesOrRejectsACopy) {
+  RecordingBacking backing;
+  BufferPool pool(PoolOptions(2), backing.AsBacking(false));
+  pool.EnsureCapacity(8);
+  WritePattern(&pool, 0, std::byte{0x42});
+  WritePattern(&pool, 1, std::byte{0x43});  // both frames mapped
+
+  // Quiet pool: the bracket certifies the copy.
+  uint64_t e0 = pool.evict_epoch();
+  const std::byte* f = pool.ResidentFrame(0, e0);
+  ASSERT_NE(f, nullptr);
+  std::vector<std::byte> copy(f, f + kPageSize);
+  EXPECT_EQ(pool.evict_epoch(), e0);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(copy[i], std::byte{0x42});
+  }
+
+  // Retarget inside the bracket: the second sample exposes it.
+  e0 = pool.evict_epoch();
+  ASSERT_NE(pool.ResidentFrame(0, e0), nullptr);
+  Touch(&pool, 2);  // displaces page 0 mid-"copy"
+  EXPECT_NE(pool.evict_epoch(), e0);
+}
+
+// Clean evictions never write back: reload serves the platter's copy.
+TEST(BufferPoolTest, CleanEvictionSkipsWriteback) {
+  RecordingBacking backing;
+  backing.pages[0].assign(kPageSize, std::byte{0x77});
+  BufferPool pool(PoolOptions(1), backing.AsBacking(true));
+  pool.EnsureCapacity(8);
+
+  Touch(&pool, 0);
+  Touch(&pool, 1);  // evicts clean page 0
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_EQ(pool.stats().writebacks, 0u);
+  const std::byte* f = pool.Pin(0);  // reload: platter copy intact
+  EXPECT_EQ(f[0], std::byte{0x77});
+  pool.Unpin(0);
+}
+
+}  // namespace
+}  // namespace exhash::storage

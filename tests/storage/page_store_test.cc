@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "test_paths.h"
+
 namespace exhash::storage {
 namespace {
 
@@ -139,13 +141,7 @@ TEST(PageStoreTest, PageTransfersAreAtomic) {
 
 class FilePageStoreTest : public ::testing::Test {
  protected:
-  std::string Path() {
-    // Test name alone is not enough: repeated or sharded runs of the same
-    // test can overlap in one TempDir, so include the pid too.
-    return ::testing::TempDir() + "exhash_pages_" +
-           std::to_string(::getpid()) + "_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
-  }
+  std::string Path() { return testpaths::PerTestBackingFile("pages"); }
   void TearDown() override { std::remove(Path().c_str()); }
 };
 

@@ -1,0 +1,284 @@
+// Eviction vs. the §4e seqlock, witnessed directly (labels storage,verify).
+//
+// The contract DESIGN.md §11 adds on top of §4e: page eviction and reload
+// are *invisible* to optimistic readers.  Sequence words live in the
+// store's always-resident seq chunks — eviction never bumps them — so a
+// reader frozen between its copy and its validation tolerates a clean
+// evict/reload cycle (byte-identical content, same seq), while any real
+// write in that window still bumps the word and the reader's validation
+// rejects the stale copy, exactly as if the pool were not there.
+//
+// Pin elision folds in transparently: the frozen readers below copied
+// pin-free, the evictions in their window move the pool's epoch, and on
+// release they recopy through the pinned fallback — but the *seq* they
+// validate is still the one sampled before the freeze, so the clean cycle
+// is accepted and the written-over copy is rejected just the same.
+//
+// The second half is the WAL steal ⇒ flush rule: a dirty frame's eviction
+// makes its image the page's only copy outside the pool, so the log
+// records that produced it must be durable first.  Under kLazy (commits
+// buffered indefinitely) the eviction's flush is the *only* thing that
+// makes the spilled state recoverable — and the deliberately broken
+// test_evict_before_flush ordering observably loses it across a crash.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "storage/page_store.h"
+#include "storage/wal.h"
+#include "util/test_hooks.h"
+
+namespace exhash::storage {
+namespace {
+
+constexpr size_t kPageSize = 128;
+
+std::vector<std::byte> Pattern(std::byte fill) {
+  return std::vector<std::byte>(kPageSize, fill);
+}
+
+PageStore::Options PooledOptions(size_t budget) {
+  PageStore::Options o;
+  o.page_size = kPageSize;
+  o.page_budget = budget;
+  return o;
+}
+
+// Blocks the hooked thread at its first kSeqValidate emission until
+// Release() — the reader has copied the page out (pin-free, holding no
+// claim on the frame at all) but has not yet compared sequence words.
+// Everything the main thread then does to the store (faults, evictions,
+// writes) lands inside the reader's validation window.  Same shape as
+// seqlock_torn_test.cc's PauseAtPageCopy.
+class PauseAtValidate {
+ public:
+  PauseAtValidate() {
+    util::TestHooks::Install(&PauseAtValidate::Trampoline, this);
+  }
+  ~PauseAtValidate() { util::TestHooks::Clear(); }
+
+  void AwaitPaused() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return paused_; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  static void Trampoline(void* ctx, util::HookPoint point, const void*) {
+    static_cast<PauseAtValidate*>(ctx)->At(point);
+  }
+
+  void At(util::HookPoint point) {
+    if (point != util::HookPoint::kSeqValidate) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (armed_fired_) return;  // only the first validation pauses
+    armed_fired_ = true;
+    paused_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return released_; });
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_fired_ = false;
+  bool paused_ = false;
+  bool released_ = false;
+};
+
+// Evicts `page`'s frame by faulting same-shard neighbours through the
+// latched read path (pages map to shards by id % shards, and a budget-2
+// pool has one frame per shard, so any same-parity fault displaces it).
+void EvictThroughNeighbours(PageStore* store, PageId page,
+                            const std::vector<PageId>& pages) {
+  std::vector<std::byte> scratch(kPageSize);
+  for (PageId other : pages) {
+    if (other != page && (other % 2) == (page % 2)) {
+      store->Read(other, scratch.data());
+    }
+  }
+}
+
+// Baseline law: a budget far below the data set thrashes pages through
+// the backing, and every optimistic read still returns exactly what was
+// written — plus the accounting law hits + misses == frame_reads.
+TEST(PoolEvictSeqlockTest, EvictReloadRoundTripUnderOptimisticReads) {
+  PageStore store(PooledOptions(/*budget=*/2));
+  constexpr int kPages = 8;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) pages.push_back(store.Alloc());
+  for (int i = 0; i < kPages; ++i) {
+    store.Write(pages[i], Pattern(std::byte(0x10 + i)).data());
+  }
+  std::vector<std::byte> out(kPageSize);
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(store.ReadOptimistic(pages[i], out.data())) << i;
+    EXPECT_EQ(std::memcmp(out.data(), Pattern(std::byte(0x10 + i)).data(),
+                          kPageSize),
+              0)
+        << "page " << i << " round-tripped through eviction damaged";
+  }
+  const PageStoreStats s = store.stats();
+  EXPECT_GT(s.pool_evictions, 0u) << "budget 2 over 8 pages must thrash";
+  EXPECT_EQ(s.pool_hits + s.pool_misses, s.frame_reads);
+}
+
+// A write landing between the reader's copy and its validation bumps the
+// seq — even when the frame is also evicted and reloaded so the reader's
+// copy came from a frame that no longer holds the page.  Validation must
+// reject; the retry sees the new image.
+TEST(PoolEvictSeqlockTest, WriteInValidationWindowRejectsTheStaleCopy) {
+  PageStore store(PooledOptions(/*budget=*/2));
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(store.Alloc());
+  const PageId p = pages[0];
+  store.Write(p, Pattern(std::byte{0xAA}).data());
+
+  PauseAtValidate pause;
+  bool first_read_ok = true;
+  std::vector<std::byte> first(kPageSize);
+  std::vector<std::byte> retry(kPageSize);
+  std::thread reader([&] {
+    first_read_ok = store.ReadOptimistic(p, first.data());
+    // Retry loop, as the bucket paths do: must converge on the new image.
+    while (!store.ReadOptimistic(p, retry.data())) {
+    }
+  });
+  pause.AwaitPaused();
+
+  // Reader holds the 0xAA copy, pin already dropped.  Displace the frame,
+  // overwrite the page (faulting it back into a frame), displace again:
+  // the reader's copy now describes a frame image two evictions stale.
+  EvictThroughNeighbours(&store, p, pages);
+  store.Write(p, Pattern(std::byte{0xBB}).data());
+  EvictThroughNeighbours(&store, p, pages);
+  EXPECT_GT(store.stats().pool_evictions, 0u);
+
+  pause.Release();
+  reader.join();
+  EXPECT_FALSE(first_read_ok)
+      << "validation accepted a copy despite a write in the window";
+  EXPECT_EQ(std::memcmp(retry.data(), Pattern(std::byte{0xBB}).data(),
+                        kPageSize),
+            0);
+  EXPECT_GT(store.stats().optimistic_torn, 0u);
+}
+
+// The positive half: a *clean* evict + reload in the validation window
+// changes nothing the reader can observe — reload restored byte-identical
+// content and the seq never moved, so validation legitimately succeeds.
+// Eviction is invisible to the §4e protocol.
+TEST(PoolEvictSeqlockTest, CleanEvictReloadIsInvisibleToValidation) {
+  PageStore store(PooledOptions(/*budget=*/2));
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(store.Alloc());
+  const PageId p = pages[0];
+  store.Write(p, Pattern(std::byte{0x5C}).data());
+  // Settle the dirty frame so the witnessed cycle is a clean one.
+  store.FlushPool();
+
+  PauseAtValidate pause;
+  bool read_ok = false;
+  std::vector<std::byte> out(kPageSize);
+  std::thread reader([&] { read_ok = store.ReadOptimistic(p, out.data()); });
+  pause.AwaitPaused();
+
+  const uint64_t evictions_before = store.stats().pool_evictions;
+  EvictThroughNeighbours(&store, p, pages);  // evict p's frame
+  std::vector<std::byte> scratch(kPageSize);
+  store.Read(p, scratch.data());  // and reload it into a fresh frame
+  EXPECT_GT(store.stats().pool_evictions, evictions_before);
+
+  pause.Release();
+  reader.join();
+  EXPECT_TRUE(read_ok)
+      << "clean evict/reload must not fail a reader's validation";
+  EXPECT_EQ(std::memcmp(out.data(), Pattern(std::byte{0x5C}).data(),
+                        kPageSize),
+            0);
+}
+
+// --- The steal ⇒ flush-WAL rule, witnessed across a crash ---
+
+PageStore::Options LazyWalOptions(size_t budget) {
+  PageStore::Options o;
+  o.page_size = kPageSize;
+  o.wal = true;
+  o.wal_flush_policy = WalFlushPolicy::kLazy;
+  o.page_budget = budget;
+  return o;
+}
+
+// Under kLazy nothing flushes the log — except a dirty eviction, whose
+// before_writeback hook must make the spilled frame's producing records
+// durable.  Crash after the eviction: the spilled write recovers.
+TEST(PoolEvictSeqlockTest, DirtyEvictionMakesSpilledStateRecoverable) {
+  PageStore store(LazyWalOptions(/*budget=*/2));
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(store.Alloc());
+  const PageId p = pages[0];
+  store.Write(p, Pattern(std::byte{0x01}).data());
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);  // durable pre-state
+
+  store.Write(p, Pattern(std::byte{0x09}).data());  // commit stays buffered
+  EvictThroughNeighbours(&store, p, pages);         // steal the dirty frame
+  ASSERT_GT(store.stats().pool_writebacks, 0u)
+      << "the witness needs a real dirty eviction";
+
+  store.CrashNow(/*seed=*/21);
+  PageStore::Options r = LazyWalOptions(2);
+  r.recover_image = store.TakeCrashImage();
+  PageStore recovered(r);
+  ASSERT_TRUE(recovered.Recover().ok());
+  std::vector<std::byte> out(kPageSize);
+  recovered.Read(p, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), Pattern(std::byte{0x09}).data(),
+                        kPageSize),
+            0)
+      << "spilled-but-unrecoverable: eviction did not flush the log";
+}
+
+// BROKEN ordering (test_evict_before_flush): the frame spills without the
+// flush, the crash eats the buffered commit, and recovery serves the
+// checkpointed pre-state — the anomaly the correct ordering rules out.
+TEST(PoolEvictSeqlockTest, BrokenEvictBeforeFlushLosesSpilledState) {
+  PageStore::Options o = LazyWalOptions(/*budget=*/2);
+  o.test_evict_before_flush = true;
+  PageStore store(o);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(store.Alloc());
+  const PageId p = pages[0];
+  store.Write(p, Pattern(std::byte{0x01}).data());
+  ASSERT_EQ(store.Checkpoint(), IoStatus::kOk);
+
+  store.Write(p, Pattern(std::byte{0x09}).data());
+  EvictThroughNeighbours(&store, p, pages);
+  ASSERT_GT(store.stats().pool_writebacks, 0u);
+
+  store.CrashNow(/*seed=*/22);
+  PageStore::Options r = LazyWalOptions(2);
+  r.recover_image = store.TakeCrashImage();
+  PageStore recovered(r);
+  ASSERT_TRUE(recovered.Recover().ok());
+  std::vector<std::byte> out(kPageSize);
+  recovered.Read(p, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), Pattern(std::byte{0x01}).data(),
+                        kPageSize),
+            0)
+      << "broken ordering was not observable: the spilled write survived";
+}
+
+}  // namespace
+}  // namespace exhash::storage

@@ -1,0 +1,42 @@
+// Unique backing-file paths for the file-backed test suites.
+//
+// Parallel ctest runners (one process per test) share one TempDir, and a
+// shared backing file would let two tables corrupt each other; repeated or
+// sharded runs of the same test can overlap there too.  So every path
+// carries the pid plus a per-process counter — the scheme that was
+// copy-pasted across the file-backed suites before this header existed.
+
+#ifndef EXHASH_TESTS_TEST_PATHS_H_
+#define EXHASH_TESTS_TEST_PATHS_H_
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+namespace exhash::testpaths {
+
+// TempDir() + "exhash_<tag>_<pid>_<n>", fresh on every call.  The caller
+// owns cleanup (std::remove), as before — leaked files land in TempDir and
+// never collide.
+inline std::string UniqueBackingFile(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "exhash_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+// Variant keyed by the running test's name instead of a counter: stable
+// across calls within one test, which lets a fixture's TearDown recompute
+// the same path it handed out in the body (FilePageStoreTest's pattern).
+inline std::string PerTestBackingFile(const std::string& tag) {
+  return ::testing::TempDir() + "exhash_" + tag + "_" +
+         std::to_string(::getpid()) + "_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+}  // namespace exhash::testpaths
+
+#endif  // EXHASH_TESTS_TEST_PATHS_H_

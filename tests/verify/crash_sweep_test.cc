@@ -110,6 +110,26 @@ TEST(CrashSweepTest, PipelinedSweepIsClean) {
               sweep.runs, seeds);
 }
 
+// Paged tier (DESIGN.md §11): with the page budget far below the bucket
+// population the schedule's kills also land inside the pool's
+// kPoolEvict/kPoolReload windows — between a victim's unmap and its
+// writeback, and between a reload and its publish.  The steal => flush
+// rule makes those cuts indistinguishable from any other: a spilled
+// frame's producing records were durable before the spill, and recovery
+// reopens with the same budget.
+TEST(CrashSweepTest, PagedSweepIsClean) {
+  CrashConfig config;
+  config.page_budget = 6;
+  config.seed = 500;
+  const uint64_t kills = CrashSweepBudgetFromEnv(/*fallback=*/12);
+  const uint64_t seeds = kills >= 1000 ? 8 : 2;
+  const CrashSweepOutcome sweep =
+      RunCrashSweep(config, seeds, /*max_kills_per_seed=*/kills);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  std::printf("paged sweep: %" PRIu64 " runs over %" PRIu64 " seeds\n",
+              sweep.runs, seeds);
+}
+
 // The teeth check: a deliberately broken commit protocol — the commit
 // record flushed *before* its page images — leaves a window where a
 // crash yields a committed transaction recovery cannot replay, i.e. an

@@ -76,6 +76,25 @@ TEST(ScheduleTest, V2RandomYieldSweep) {
   EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
 }
 
+// Paged configuration (DESIGN.md §11): a page budget far below the bucket
+// population keeps the pool's kPoolEvict/kPoolReload windows open inside
+// every schedule, so the sweep interleaves evictions and reloads with the
+// seqlock read path and the restructure locks.  Budget 6 over a run that
+// peaks at dozens of pages ≈ the 1/8 paged tier.
+std::unique_ptr<core::KeyValueIndex> MakePagedV2() {
+  auto options = SmallOptions();
+  options.page_budget = 6;
+  return std::make_unique<core::EllisHashTableV2>(options);
+}
+
+TEST(ScheduleTest, V2PagedRandomYieldSweep) {
+  ScheduleConfig config;
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep = RunSweep(MakePagedV2, config, seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+  EXPECT_EQ(sweep.schedules, seeds);
+}
+
 TEST(ScheduleTest, V1PctSweep) {
   ScheduleConfig config;
   config.mode = ScheduleConfig::Mode::kPct;
@@ -169,6 +188,17 @@ TEST(ScheduleTest, V2SurvivesTheSplitHeavyHunt) {
   const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
   const SweepOutcome sweep = RunSweep(MakeV2, BrokenSnapshotHuntConfig(),
                                       seeds);
+  EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
+}
+
+// The paged table under the same split-heavy heat: every split's page
+// rewrite now races evictions and reloads of the very pages being rewritten
+// (the §11 claim that eviction is invisible to §4e validation, checked by
+// the linearizability oracle rather than a frozen-reader witness).
+TEST(ScheduleTest, PagedV2SurvivesTheSplitHeavyHunt) {
+  const uint64_t seeds = SweepBudgetFromEnv(kSmokeSeeds);
+  const SweepOutcome sweep =
+      RunSweep(MakePagedV2, BrokenSnapshotHuntConfig(), seeds);
   EXPECT_EQ(sweep.failures, 0u) << sweep.first_failure.report;
 }
 

@@ -20,6 +20,11 @@
 #   tools/coverage.sh crash        # crash sweeps incl. the crash-file tier
 #                                  # (label regex: `crash` matches both)
 #
+# Buffer-pool TUs (src/storage/buffer_pool.{h,cc}, inside the same report
+# filter):
+#   tools/coverage.sh storage      # pool unit laws + eviction witnesses
+#   tools/coverage.sh capacity     # the paged mixed-workload tier
+#
 # Only gcov is assumed (no lcov/gcovr on the toolchain image).
 
 set -euo pipefail
